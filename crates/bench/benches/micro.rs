@@ -1,0 +1,186 @@
+//! Criterion micro-benchmarks for the hot primitives of the reproduction:
+//! the range coder and delta codec that bound memory-sync throughput, the
+//! crypto sealing every commit, page-table walks, shader execution, the
+//! symbolic-value machinery, and end-to-end record/replay.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use grt_compress::{compress, decompress, DeltaCodec};
+use grt_crypto::{SecureChannel, Sha256};
+use grt_driver::{RegVal, SymSlot};
+use grt_gpu::mem::Memory;
+use grt_gpu::mmu::{map_page, AccessKind, PteFlags, Walker};
+use grt_gpu::PAGE_SIZE;
+
+fn sparse_dump(len: usize) -> Vec<u8> {
+    let mut d = vec![0u8; len];
+    for i in (0..len).step_by(331) {
+        d[i] = (i * 7) as u8;
+    }
+    d
+}
+
+fn bench_range_coder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("range_coder");
+    let data = sparse_dump(256 * 1024);
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("compress_sparse_256k", |b| {
+        b.iter(|| compress(std::hint::black_box(&data)))
+    });
+    let packed = compress(&data);
+    g.bench_function("decompress_sparse_256k", |b| {
+        b.iter(|| decompress(std::hint::black_box(&packed)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_delta_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delta_codec");
+    let old = sparse_dump(1 << 20);
+    let mut new = old.clone();
+    for i in (0..new.len()).step_by(50_000) {
+        new[i] ^= 0xFF;
+    }
+    let codec = DeltaCodec::new(PAGE_SIZE);
+    g.throughput(Throughput::Bytes(old.len() as u64));
+    g.bench_function("encode_1m_sparse_change", |b| {
+        b.iter(|| codec.encode(std::hint::black_box(&old), std::hint::black_box(&new)))
+    });
+    let delta = codec.encode(&old, &new);
+    g.bench_function("decode_1m_sparse_change", |b| {
+        b.iter(|| codec.decode(std::hint::black_box(&old), &delta).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let payload = vec![0x5Au8; 300]; // Typical commit payload (§7.1).
+    g.bench_function("seal_open_commit_payload", |b| {
+        b.iter_batched(
+            || {
+                (
+                    SecureChannel::from_secret(b"k"),
+                    SecureChannel::from_secret(b"k"),
+                )
+            },
+            |(mut tx, mut rx)| {
+                let wire = tx.seal(&payload);
+                rx.open(&wire).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let big = vec![7u8; 64 * 1024];
+    g.throughput(Throughput::Bytes(big.len() as u64));
+    g.bench_function("sha256_64k", |b| {
+        b.iter(|| Sha256::digest(std::hint::black_box(&big)))
+    });
+    g.finish();
+}
+
+fn bench_mmu_walk(c: &mut Criterion) {
+    let mut mem = Memory::new(8 << 20);
+    let mut next = 1 << 20;
+    let root = next;
+    next += PAGE_SIZE as u64;
+    let mut alloc = || {
+        let pa = next;
+        next += PAGE_SIZE as u64;
+        pa
+    };
+    for i in 0..256u64 {
+        map_page(
+            &mut mem,
+            root,
+            0x4000_0000 + i * PAGE_SIZE as u64,
+            0x10_0000 + i * PAGE_SIZE as u64,
+            PteFlags::rw(),
+            0,
+            &mut alloc,
+        )
+        .unwrap();
+    }
+    let walker = Walker {
+        root_pa: root,
+        quirk: 0,
+    };
+    c.bench_function("mmu_translate", |b| {
+        b.iter(|| {
+            walker
+                .translate(
+                    std::hint::black_box(&mem),
+                    0x4000_0000 + 37 * PAGE_SIZE as u64 + 123,
+                    AccessKind::Read,
+                )
+                .unwrap()
+        })
+    });
+}
+
+fn bench_symbolic(c: &mut Criterion) {
+    c.bench_function("symbolic_regval_eval", |b| {
+        b.iter_batched(
+            || {
+                let slot = SymSlot::new(1);
+                let v = (RegVal::symbolic(slot.clone()) & 0xFFFF) | 0x10;
+                slot.bind(0xABCD);
+                v
+            },
+            |v| v.eval().unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("native_mnist_inference", |b| {
+        let spec = grt_ml::zoo::mnist();
+        let mut stack = grt_runtime::NativeStack::boot(grt_gpu::GpuSku::mali_g71_mp8()).unwrap();
+        let net = stack.compile(&spec).unwrap();
+        let input = grt_ml::reference::test_input(&spec, 0);
+        b.iter(|| stack.infer(&net, std::hint::black_box(&input)).unwrap())
+    });
+    g.bench_function("record_mnist_oursmds_wifi", |b| {
+        let spec = grt_ml::zoo::mnist();
+        b.iter(|| {
+            let mut s = grt_core::session::RecordSession::new(
+                grt_gpu::GpuSku::mali_g71_mp8(),
+                grt_net::NetConditions::wifi(),
+                grt_core::session::RecorderMode::OursMDS,
+            );
+            s.record(std::hint::black_box(&spec)).unwrap()
+        })
+    });
+    g.bench_function("replay_mnist", |b| {
+        let spec = grt_ml::zoo::mnist();
+        let mut s = grt_core::session::RecordSession::new(
+            grt_gpu::GpuSku::mali_g71_mp8(),
+            grt_net::NetConditions::wifi(),
+            grt_core::session::RecorderMode::OursMDS,
+        );
+        let out = s.record(&spec).unwrap();
+        let key = s.recording_key();
+        let input = grt_ml::reference::test_input(&spec, 0);
+        let weights = grt_core::replay::workload_weights(&spec);
+        let mut replayer = grt_core::replay::Replayer::new(&s.client);
+        b.iter(|| {
+            replayer
+                .replay(std::hint::black_box(&out.recording), &key, &input, &weights)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_range_coder,
+    bench_delta_codec,
+    bench_crypto,
+    bench_mmu_walk,
+    bench_symbolic,
+    bench_inference
+);
+criterion_main!(benches);

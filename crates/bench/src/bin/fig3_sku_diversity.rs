@@ -1,0 +1,36 @@
+//! Figure 3: numbers of new mobile GPU SKUs per year.
+//!
+//! Run: `cargo run --release -p grt-bench --bin fig3_sku_diversity`
+
+use grt_bench::{bar, header};
+use grt_gpu::catalog::{cumulative_sku_count, sku_releases_per_year};
+
+fn main() {
+    header("Figure 3: new mobile GPU SKUs per year", "Figure 3");
+    println!(
+        "{:<6} {:>7} {:>6} {:>8} {:>6} {:>6}  chart (total)",
+        "year", "adreno", "mali", "powervr", "other", "total"
+    );
+    let data = sku_releases_per_year();
+    let max = data.iter().map(|e| e.total()).max().unwrap_or(1) as f64;
+    for e in &data {
+        println!(
+            "{:<6} {:>7} {:>6} {:>8} {:>6} {:>6}  {}",
+            e.year,
+            e.adreno,
+            e.mali,
+            e.powervr,
+            e.other,
+            e.total(),
+            bar(e.total() as f64, max, 30)
+        );
+    }
+    println!();
+    println!(
+        "cumulative SKUs: {} (the paper reports \"around 80 SKUs\" on today's smartphones)",
+        cumulative_sku_count()
+    );
+    println!("no SKU family dominates; new SKUs appear every year -> per-SKU");
+    println!("recording on developer machines cannot scale (the paper's argument");
+    println!("for cloud-side recording against the client's own GPU).");
+}

@@ -1,0 +1,61 @@
+//! Figure 7: end-to-end recording delays under WiFi and cellular
+//! conditions, for the four recorder builds across all six benchmarks.
+//!
+//! Run: `cargo run --release -p grt-bench --bin fig7_recording_delay`
+//! (optionally pass `wifi` or `cellular` to run one condition).
+
+use grt_bench::{bar, benchmarks, header, record_warm, short_name};
+use grt_core::session::RecorderMode;
+use grt_net::NetConditions;
+
+fn run_condition(name: &str, conditions: NetConditions) {
+    println!();
+    println!(
+        "--- Recording with {name} conditions ({}) ---",
+        conditions.label()
+    );
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9}   OursMDS vs Naive",
+        "NN", "Naive", "OursM", "OursMD", "OursMDS"
+    );
+    let mut naive_avg = 0.0;
+    let mut mds_avg = 0.0;
+    let n = benchmarks().len() as f64;
+    for spec in benchmarks() {
+        let mut delays = Vec::new();
+        for mode in RecorderMode::ALL {
+            let (_s, out) = record_warm(&spec, mode, conditions);
+            delays.push(out.delay.as_secs_f64());
+        }
+        let reduction = 100.0 * (1.0 - delays[3] / delays[0]);
+        naive_avg += delays[0] / n;
+        mds_avg += delays[3] / n;
+        println!(
+            "{:<10} {:>8.1}s {:>8.1}s {:>8.1}s {:>8.1}s   -{reduction:.0}%  {}",
+            short_name(spec.name),
+            delays[0],
+            delays[1],
+            delays[2],
+            delays[3],
+            bar(delays[3], delays[0], 20),
+        );
+    }
+    println!(
+        "average: Naive {naive_avg:.1}s -> OursMDS {mds_avg:.1}s  \
+         (paper: hundreds of seconds down to tens of seconds)"
+    );
+}
+
+fn main() {
+    header(
+        "Figure 7: recording delays (Naive / OursM / OursMD / OursMDS)",
+        "Figure 7(a) and 7(b)",
+    );
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "both".into());
+    if arg == "wifi" || arg == "both" {
+        run_condition("WiFi", NetConditions::wifi());
+    }
+    if arg == "cellular" || arg == "both" {
+        run_condition("cellular", NetConditions::cellular());
+    }
+}

@@ -1,0 +1,59 @@
+//! Figure 8: breakdown of speculative commits by driver-routine category
+//! (Init / Interrupt / Power state / Polling), normalized to 100%, with
+//! the absolute commit counts in parentheses; plus the §7.3 speculation
+//! success rates.
+//!
+//! Run: `cargo run --release -p grt-bench --bin fig8_commit_breakdown`
+
+use grt_bench::{benchmarks, header, record_warm, short_name};
+use grt_core::session::RecorderMode;
+use grt_net::NetConditions;
+
+fn main() {
+    header(
+        "Figure 8: speculative commits by driver-routine category",
+        "Figure 8 and §7.3's speculation success rates",
+    );
+    println!(
+        "{:<10} {:>6} {:>10} {:>7} {:>9} {:>7}  (commits)",
+        "NN", "Init", "Interrupt", "Power", "Polling", "Other"
+    );
+    println!("{}", "-".repeat(66));
+    let categories = ["init", "interrupt", "power", "polling", "other"];
+    for spec in benchmarks() {
+        let (s, _out) = record_warm(&spec, RecorderMode::OursMDS, NetConditions::wifi());
+        let spec_total: u64 = categories
+            .iter()
+            .map(|c| s.stats.get(&format!("spec.commits_speculative.{c}")))
+            .sum();
+        let sync_total: u64 = categories
+            .iter()
+            .map(|c| s.stats.get(&format!("spec.commits_sync.{c}")))
+            .sum();
+        let total = spec_total + sync_total;
+        let pct = |c: &str| {
+            100.0 * s.stats.get(&format!("spec.commits_speculative.{c}")) as f64
+                / spec_total.max(1) as f64
+        };
+        println!(
+            "{:<10} {:>5.1}% {:>9.1}% {:>6.1}% {:>8.1}% {:>6.1}%  ({total})",
+            short_name(spec.name),
+            pct("init"),
+            pct("interrupt"),
+            pct("power"),
+            pct("polling"),
+            pct("other"),
+        );
+        let success = 100.0 * spec_total as f64 / total.max(1) as f64;
+        let reads = s.stats.get("shim.reads");
+        println!(
+            "{:<10}   -> {success:.0}% of commits met the speculation criteria \
+             (paper: 95%); {reads} register reads",
+            ""
+        );
+    }
+    println!();
+    println!("the residual synchronous commits read nondeterministic registers");
+    println!("(LATEST_FLUSH at every job submission), exactly the failure case");
+    println!("the paper describes in §7.3.");
+}

@@ -1,0 +1,32 @@
+//! Runs every table/figure harness in sequence — the one-shot artifact
+//! evaluation entry point.
+//!
+//! Run: `cargo run --release -p grt-bench --bin reproduce_all`
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig3_sku_diversity",
+        "tab1_record_stats",
+        "fig7_recording_delay",
+        "tab2_replay_delay",
+        "fig8_commit_breakdown",
+        "fig9_energy",
+        "sec73_misprediction",
+        "sec73_polling",
+    ];
+    let exe = std::env::current_exe().expect("current exe path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        let path = dir.join(bin);
+        println!();
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} failed with {status}");
+            std::process::exit(1);
+        }
+    }
+}

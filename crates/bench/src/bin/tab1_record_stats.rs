@@ -1,0 +1,64 @@
+//! Table 1: statistics of record runs — blocking round trips per recorder
+//! build and memory-synchronization traffic, plus the §7.3 deferral
+//! efficacy numbers (accesses per commit, RTT reduction).
+//!
+//! Run: `cargo run --release -p grt-bench --bin tab1_record_stats`
+
+use grt_bench::{benchmarks, header, record_warm, short_name};
+use grt_core::session::RecorderMode;
+use grt_net::NetConditions;
+
+fn main() {
+    header(
+        "Table 1: record-run statistics (WiFi conditions)",
+        "Table 1 and §7.3",
+    );
+    println!(
+        "{:<16} | {:>7} {:>7} {:>8} | {:>11} {:>10}",
+        "NN (# GPU jobs)", "OursM", "OursMD", "OursMDS", "Naive MB", "OursM MB"
+    );
+    println!("{}", "-".repeat(72));
+
+    let mut m_total = 0u64;
+    let mut md_total = 0u64;
+    let mut mds_total = 0u64;
+    let mut acc_sum = 0u64;
+    let mut commit_sum = 0u64;
+
+    for spec in benchmarks() {
+        let conditions = NetConditions::wifi();
+        let (_s, naive) = record_warm(&spec, RecorderMode::Naive, conditions);
+        let (_s, m) = record_warm(&spec, RecorderMode::OursM, conditions);
+        let (smd, md) = record_warm(&spec, RecorderMode::OursMD, conditions);
+        let (_s, mds) = record_warm(&spec, RecorderMode::OursMDS, conditions);
+        m_total += m.blocking_rtts;
+        md_total += md.blocking_rtts;
+        mds_total += mds.blocking_rtts;
+        acc_sum += smd.stats.get("shim.accesses_per_commit_sum");
+        commit_sum += smd.stats.get("shim.commits");
+        println!(
+            "{:<16} | {:>7} {:>7} {:>8} | {:>11.2} {:>10.2}",
+            format!("{} ({})", short_name(spec.name), spec.total_jobs()),
+            m.blocking_rtts,
+            md.blocking_rtts,
+            mds.blocking_rtts,
+            naive.sync_bytes as f64 / 1e6,
+            m.sync_bytes as f64 / 1e6,
+        );
+    }
+
+    println!();
+    println!("Derived §7.3 numbers:");
+    println!(
+        "  deferral cuts blocking RTTs by {:.0}% (paper: 73% on average)",
+        100.0 * (1.0 - md_total as f64 / m_total as f64)
+    );
+    println!(
+        "  speculation cuts them by a further {:.0}% (paper: 86% on average)",
+        100.0 * (1.0 - mds_total as f64 / md_total as f64)
+    );
+    println!(
+        "  each commit encloses {:.1} register accesses on average (paper: 3.8)",
+        acc_sum as f64 / commit_sum.max(1) as f64
+    );
+}

@@ -1,0 +1,111 @@
+//! Shared experiment harness for the GR-T reproduction.
+//!
+//! Every table and figure of the paper's evaluation (§7) has a binary in
+//! `src/bin/` that regenerates it; this library holds the common plumbing:
+//! running warm record sessions (the paper retains register-access history
+//! between runs, §7.3), formatting tables, and drawing ASCII bar charts.
+
+use grt_core::session::{RecordOutcome, RecordSession, RecorderMode};
+use grt_gpu::GpuSku;
+use grt_ml::NetworkSpec;
+use grt_net::NetConditions;
+
+/// The benchmark list in the paper's order.
+pub fn benchmarks() -> Vec<NetworkSpec> {
+    grt_ml::zoo::all_benchmarks()
+}
+
+/// Short benchmark labels as used in Table 2.
+pub fn short_name(name: &str) -> &'static str {
+    match name {
+        "MNIST" => "MNIST",
+        "AlexNet" => "Alex",
+        "MobileNet" => "Mobile",
+        "SqueezeNet" => "Squeeze",
+        "ResNet12" => "Res12",
+        "VGG16" => "VGG16",
+        _ => "?",
+    }
+}
+
+/// Runs one record experiment: a cold warm-up run to populate the commit
+/// history (the paper's methodology, §7.3), then the measured run.
+///
+/// Returns the session (for stats inspection) and the measured outcome.
+pub fn record_warm(
+    spec: &NetworkSpec,
+    mode: RecorderMode,
+    conditions: NetConditions,
+) -> (RecordSession, RecordOutcome) {
+    let mut session = RecordSession::new(GpuSku::mali_g71_mp8(), conditions, mode);
+    let _warmup = session.record(spec).expect("warm-up record run succeeds");
+    session.stats.reset();
+    let outcome = session.record(spec).expect("measured record run succeeds");
+    (session, outcome)
+}
+
+/// Runs a cold (first-contact) record experiment — no history.
+pub fn record_cold(
+    spec: &NetworkSpec,
+    mode: RecorderMode,
+    conditions: NetConditions,
+) -> (RecordSession, RecordOutcome) {
+    let mut session = RecordSession::new(GpuSku::mali_g71_mp8(), conditions, mode);
+    let outcome = session.record(spec).expect("record run succeeds");
+    (session, outcome)
+}
+
+/// Renders a horizontal ASCII bar scaled to `max`.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let n = if max > 0.0 {
+        ((value / max) * width as f64).round() as usize
+    } else {
+        0
+    };
+    "#".repeat(n.min(width))
+}
+
+/// Prints a standard experiment header.
+pub fn header(title: &str, source: &str) {
+    println!("================================================================");
+    println!("{title}");
+    println!("(reproduces {source} of \"Safe and Practical GPU Computation in");
+    println!(" TrustZone\", EuroSys '23; see EXPERIMENTS.md for paper-vs-measured)");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(20.0, 10.0, 10), "##########");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn benchmark_list_matches_paper() {
+        let names: Vec<_> = benchmarks().iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "MNIST",
+                "AlexNet",
+                "MobileNet",
+                "SqueezeNet",
+                "ResNet12",
+                "VGG16"
+            ]
+        );
+    }
+
+    #[test]
+    fn short_names_cover_all() {
+        for b in benchmarks() {
+            assert_ne!(short_name(b.name), "?");
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! An adaptive binary range coder (LZMA-style) with an order-1 byte model.
+
+use crate::CorruptStream;
+
+const TOP: u32 = 1 << 24;
+const PROB_BITS: u32 = 11;
+const PROB_INIT: u16 = (1 << PROB_BITS) / 2;
+const MOVE_BITS: u32 = 5;
+
+/// A carry-aware binary range encoder.
+///
+/// Bits are encoded against adaptive probabilities supplied by the caller;
+/// the probability adapts toward the observed bit after each encode, which
+/// is what makes zero-runs in sparsified GPU memory dumps nearly free.
+#[derive(Debug)]
+pub struct RangeEncoder {
+    low: u64,
+    range: u32,
+    cache: u8,
+    cache_size: u64,
+    out: Vec<u8>,
+}
+
+impl Default for RangeEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RangeEncoder {
+    /// Creates an encoder with an empty output buffer.
+    pub fn new() -> Self {
+        RangeEncoder {
+            low: 0,
+            range: u32::MAX,
+            cache: 0,
+            cache_size: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn shift_low(&mut self) {
+        if self.low < 0xFF00_0000 || self.low > 0xFFFF_FFFF {
+            let carry = (self.low >> 32) as u8;
+            let mut first = true;
+            while self.cache_size > 0 {
+                let byte = if first {
+                    first = false;
+                    self.cache.wrapping_add(carry)
+                } else {
+                    0xFFu8.wrapping_add(carry)
+                };
+                self.out.push(byte);
+                self.cache_size -= 1;
+            }
+            self.cache = ((self.low >> 24) & 0xFF) as u8;
+        }
+        self.cache_size += 1;
+        self.low = (self.low << 8) & 0xFFFF_FFFF;
+    }
+
+    /// Encodes one `bit` against the adaptive probability `prob`.
+    pub fn encode_bit(&mut self, prob: &mut u16, bit: bool) {
+        let bound = (self.range >> PROB_BITS) * (*prob as u32);
+        if !bit {
+            self.range = bound;
+            *prob += ((1 << PROB_BITS) - *prob) >> MOVE_BITS;
+        } else {
+            self.low += bound as u64;
+            self.range -= bound;
+            *prob -= *prob >> MOVE_BITS;
+        }
+        while self.range < TOP {
+            self.range <<= 8;
+            self.shift_low();
+        }
+    }
+
+    /// Flushes the arithmetic state and returns the encoded bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        for _ in 0..5 {
+            self.shift_low();
+        }
+        self.out
+    }
+}
+
+/// The matching binary range decoder.
+#[derive(Debug)]
+pub struct RangeDecoder<'a> {
+    code: u32,
+    range: u32,
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RangeDecoder<'a> {
+    /// Creates a decoder over an encoder-produced byte stream.
+    pub fn new(input: &'a [u8]) -> Result<Self, CorruptStream> {
+        if input.is_empty() {
+            return Err(CorruptStream);
+        }
+        let mut d = RangeDecoder {
+            code: 0,
+            range: u32::MAX,
+            input,
+            pos: 1, // The first byte is always zero (encoder cache priming).
+        };
+        for _ in 0..4 {
+            d.code = (d.code << 8) | d.next_byte() as u32;
+        }
+        Ok(d)
+    }
+
+    fn next_byte(&mut self) -> u8 {
+        let b = self.input.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    /// Decodes one bit against the adaptive probability `prob`.
+    pub fn decode_bit(&mut self, prob: &mut u16) -> bool {
+        let bound = (self.range >> PROB_BITS) * (*prob as u32);
+        let bit = if self.code < bound {
+            self.range = bound;
+            *prob += ((1 << PROB_BITS) - *prob) >> MOVE_BITS;
+            false
+        } else {
+            self.code -= bound;
+            self.range -= bound;
+            *prob -= *prob >> MOVE_BITS;
+            true
+        };
+        while self.range < TOP {
+            self.range <<= 8;
+            self.code = (self.code << 8) | self.next_byte() as u32;
+        }
+        bit
+    }
+}
+
+/// Order-1 adaptive byte model: a 256-leaf bit tree per 1-byte context.
+struct ByteModel {
+    // probs[ctx][tree_index]; tree indices 1..256.
+    probs: Vec<u16>,
+}
+
+impl ByteModel {
+    fn new() -> Self {
+        ByteModel {
+            probs: vec![PROB_INIT; 256 * 256],
+        }
+    }
+
+    fn encode(&mut self, enc: &mut RangeEncoder, ctx: u8, byte: u8) {
+        let base = (ctx as usize) * 256;
+        let mut node = 1usize;
+        for i in (0..8).rev() {
+            let bit = (byte >> i) & 1 == 1;
+            enc.encode_bit(&mut self.probs[base + node], bit);
+            node = (node << 1) | bit as usize;
+        }
+    }
+
+    fn decode(&mut self, dec: &mut RangeDecoder<'_>, ctx: u8) -> u8 {
+        let base = (ctx as usize) * 256;
+        let mut node = 1usize;
+        for _ in 0..8 {
+            let bit = dec.decode_bit(&mut self.probs[base + node]);
+            node = (node << 1) | bit as usize;
+        }
+        (node & 0xFF) as u8
+    }
+}
+
+/// Run-length encodes zero runs: `0x00` is followed by a varint run length.
+///
+/// Sparsified GPU memory dumps (§5 zero-fills program data) are dominated by
+/// zero runs; collapsing them before entropy coding both shrinks the output
+/// past the coder's adaptation floor and speeds up both directions.
+fn rle0_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 4 + 16);
+    let mut i = 0;
+    while i < data.len() {
+        let b = data[i];
+        if b == 0 {
+            let start = i;
+            while i < data.len() && data[i] == 0 {
+                i += 1;
+            }
+            let mut run = (i - start) as u64;
+            out.push(0);
+            // LEB128 varint.
+            loop {
+                let mut byte = (run & 0x7F) as u8;
+                run >>= 7;
+                if run != 0 {
+                    byte |= 0x80;
+                }
+                out.push(byte);
+                if run == 0 {
+                    break;
+                }
+            }
+        } else {
+            out.push(b);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn rle0_decode(data: &[u8], expected_len: usize) -> Result<Vec<u8>, CorruptStream> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut i = 0;
+    while i < data.len() {
+        let b = data[i];
+        i += 1;
+        if b == 0 {
+            let mut run = 0u64;
+            let mut shift = 0u32;
+            loop {
+                let byte = *data.get(i).ok_or(CorruptStream)?;
+                i += 1;
+                run |= ((byte & 0x7F) as u64) << shift;
+                shift += 7;
+                if byte & 0x80 == 0 {
+                    break;
+                }
+                if shift > 63 {
+                    return Err(CorruptStream);
+                }
+            }
+            if out.len() + run as usize > expected_len {
+                return Err(CorruptStream);
+            }
+            out.resize(out.len() + run as usize, 0);
+        } else {
+            out.push(b);
+        }
+    }
+    if out.len() != expected_len {
+        return Err(CorruptStream);
+    }
+    Ok(out)
+}
+
+/// Compresses `data`: `len (u32 LE) ‖ rle_len (u32 LE) ‖ range-coded RLE0 payload`.
+pub fn range_compress(data: &[u8]) -> Vec<u8> {
+    let rle = rle0_encode(data);
+    let mut enc = RangeEncoder::new();
+    let mut model = ByteModel::new();
+    let mut ctx = 0u8;
+    for &b in &rle {
+        model.encode(&mut enc, ctx, b);
+        ctx = b;
+    }
+    let payload = enc.finish();
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(rle.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decompresses a [`range_compress`]-produced buffer.
+pub fn range_decompress(packed: &[u8]) -> Result<Vec<u8>, CorruptStream> {
+    range_decompress_limited(packed, usize::MAX)
+}
+
+/// Decompresses with a hard bound on the stated output and RLE sizes.
+pub fn range_decompress_limited(packed: &[u8], max_len: usize) -> Result<Vec<u8>, CorruptStream> {
+    if packed.len() < 8 {
+        return Err(CorruptStream);
+    }
+    let len = u32::from_le_bytes([packed[0], packed[1], packed[2], packed[3]]) as usize;
+    let rle_len = u32::from_le_bytes([packed[4], packed[5], packed[6], packed[7]]) as usize;
+    if len > max_len || rle_len > max_len.saturating_mul(2).saturating_add(64) {
+        return Err(CorruptStream);
+    }
+    let mut dec = RangeDecoder::new(&packed[8..])?;
+    let mut model = ByteModel::new();
+    let mut rle = Vec::with_capacity(rle_len);
+    let mut ctx = 0u8;
+    for _ in 0..rle_len {
+        let b = model.decode(&mut dec, ctx);
+        rle.push(b);
+        ctx = b;
+    }
+    rle0_decode(&rle, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) -> usize {
+        let packed = range_compress(data);
+        assert_eq!(range_decompress(&packed).unwrap(), data);
+        packed.len()
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(round_trip(&[]) <= 16);
+    }
+
+    #[test]
+    fn single_byte() {
+        round_trip(&[0x42]);
+    }
+
+    #[test]
+    fn zeros_compress_massively() {
+        let data = vec![0u8; 65536];
+        let size = round_trip(&data);
+        assert!(size < 200, "65536 zeros compressed to {size} bytes");
+    }
+
+    #[test]
+    fn repetitive_patterns_compress() {
+        let data: Vec<u8> = (0..16384)
+            .map(|i| [0xDE, 0xAD, 0xBE, 0xEF][i % 4])
+            .collect();
+        let size = round_trip(&data);
+        assert!(size < data.len() / 10, "size={size}");
+    }
+
+    #[test]
+    fn random_data_round_trips() {
+        // xorshift noise: incompressible but must still round-trip.
+        let mut x = 0x12345678u64;
+        let data: Vec<u8> = (0..10000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        let size = round_trip(&data);
+        // Incompressible data should not blow up by more than a few percent.
+        assert!(size < data.len() + data.len() / 10 + 16, "size={size}");
+    }
+
+    #[test]
+    fn all_byte_values_round_trip() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        assert_eq!(range_decompress(&[1, 2]), Err(CorruptStream));
+    }
+
+    #[test]
+    fn sparse_dump_shape() {
+        // A dump shaped like sparsified GPU memory: mostly zeros with
+        // scattered metastate words.
+        let mut data = vec![0u8; 1 << 20];
+        for i in (0..data.len()).step_by(4096) {
+            data[i] = 0x7F;
+            data[i + 1] = (i >> 12) as u8;
+        }
+        let size = round_trip(&data);
+        assert!(size < 16 * 1024, "1MiB sparse dump -> {size} bytes");
+    }
+}

@@ -1,0 +1,43 @@
+//! GR-T: safe and practical GPU computation in TrustZone.
+//!
+//! This crate is the paper's contribution (EuroSys '23). The cloud runs the
+//! full GPU stack with **no GPU**; the client TEE owns the GPU with **no
+//! GPU stack**; together they *dry-run* a workload once to produce a
+//! recording, which the TEE thereafter replays on new input with no cloud
+//! involvement:
+//!
+//! - [`drivershim`] — the cloud-side shim under the GPU driver: register
+//!   access **deferral** with symbolic execution (§4.1), value
+//!   **speculation** with taint tracking and replay-based rollback (§4.2),
+//!   and **polling-loop offload** (§4.3);
+//! - [`client`] — GPUShim, the TEE module owning the physical GPU: executes
+//!   committed access batches, runs offloaded polls, forwards interrupts,
+//!   and locks the GPU against the normal world;
+//! - [`memsync`] — meta-only memory synchronization with delta + range
+//!   coding and continuous validation (§5);
+//! - [`recording`] — the signed interaction log and its byte format;
+//! - [`session`] — the end-to-end record workflow over an attested,
+//!   encrypted channel, configurable as `Naive` / `OursM` / `OursMD` /
+//!   `OursMDS` (the evaluation's four recorder builds);
+//! - [`replay`] — the in-TEE replayer: a few hundred lines with zero
+//!   dependencies on the GPU stack.
+
+pub mod client;
+pub mod cloud;
+pub mod debug;
+pub mod drivershim;
+pub mod memsync;
+pub mod recording;
+pub mod replay;
+pub mod service;
+pub mod session;
+
+pub use client::GpuShim;
+pub use cloud::{CloudVmImage, UnsupportedGpu};
+pub use debug::{audit_replay, diff_recordings, Divergence};
+pub use drivershim::{CommitCategory, DriverShim, ShimConfig};
+pub use memsync::{MemSync, SyncMode};
+pub use recording::{Event, Recording, RecordingBuilder, SignedRecording};
+pub use replay::{LayeredReplay, ReplayError, Replayer};
+pub use service::ReplayService;
+pub use session::{ClientDevice, RecordError, RecordOutcome, RecordSession, RecorderMode};

@@ -1,0 +1,377 @@
+//! Memory synchronization between the cloud's local memory and client DRAM
+//! (§5).
+//!
+//! With the driver's job queue length pinned at 1, CPU and GPU never touch
+//! shared memory simultaneously, so two sync points suffice:
+//!
+//! - **cloud → client**, right before the register write that starts a GPU
+//!   job: ship the GPU *metastate* (commands, shaders, descriptors, page
+//!   tables) as delta-compressed dumps;
+//! - **client → cloud**, right after the job-completion interrupt: ship
+//!   back the GPU-written metastate (descriptor status words).
+//!
+//! [`SyncMode::FullData`] is the Naive baseline: program data travels too
+//! (accounted at paper-scale nominal bytes — the tensors themselves are
+//! dimensionally scaled, see DESIGN.md). [`SyncMode::MetaOnly`] is GR-T's
+//! optimization: program data is *never* transferred; the client's copy
+//! stays zero-filled, which is exactly the paper's dry-run semantics.
+//!
+//! Continuous validation (§5): after a down-sync the cloud CPU's view of
+//! the shipped regions is unmapped (any spurious driver access traps); the
+//! client unmaps the GPU's view while the GPU is idle.
+
+use crate::client::GpuShim;
+use crate::recording::Event;
+use grt_compress::DeltaCodec;
+use grt_driver::RegionTable;
+use grt_gpu::mem::{Memory, PageFlags};
+use grt_sim::Stats;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// What travels at each sync point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncMode {
+    /// Naive: metastate plus all program data.
+    FullData,
+    /// GR-T: metastate only (§5).
+    MetaOnly,
+}
+
+/// Outcome of one sync operation.
+#[derive(Debug, Default)]
+pub struct SyncOutcome {
+    /// Recording events to append (down-syncs only).
+    pub events: Vec<Event>,
+    /// Bytes actually put on the wire (metastate deltas).
+    pub meta_bytes: u64,
+    /// Nominal program-data bytes accounted (FullData mode only).
+    pub data_bytes: u64,
+}
+
+impl SyncOutcome {
+    /// Total bytes for link accounting.
+    pub fn total_bytes(&self) -> u64 {
+        self.meta_bytes + self.data_bytes
+    }
+}
+
+/// The cloud-side synchronizer state.
+pub struct MemSync {
+    mode: SyncMode,
+    codec: DeltaCodec,
+    /// Last agreed content per metastate region (keyed by base PA).
+    baselines: HashMap<u64, Vec<u8>>,
+    stats: Rc<Stats>,
+    /// Enable the unmap-based continuous validation traps.
+    pub validation_traps: bool,
+}
+
+impl MemSync {
+    /// Creates a synchronizer.
+    pub fn new(mode: SyncMode, stats: &Rc<Stats>) -> Self {
+        MemSync {
+            mode,
+            codec: DeltaCodec::new(grt_gpu::PAGE_SIZE),
+            baselines: HashMap::new(),
+            stats: Rc::clone(stats),
+            validation_traps: true,
+        }
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> SyncMode {
+        self.mode
+    }
+
+    /// Cloud → client sync before a job start.
+    ///
+    /// Ships delta-compressed metastate dumps, applies them to the client,
+    /// emits the corresponding recording events, and (FullData) accounts
+    /// the job's nominal program-data working set.
+    pub fn sync_down(
+        &mut self,
+        cloud_mem: &mut Memory,
+        regions: &RegionTable,
+        client: &mut GpuShim,
+        nominal_data_bytes: u64,
+    ) -> SyncOutcome {
+        let mut out = SyncOutcome::default();
+        for region in regions.metastate() {
+            let len = region.len_bytes();
+            let dump = cloud_mem.dump_range(region.pa, len);
+            let baseline = self.baselines.entry(region.pa).or_default();
+            if *baseline == dump {
+                continue; // Unchanged since last agreement.
+            }
+            let delta = self.codec.encode(baseline, &dump);
+            client
+                .apply_mem_delta(&self.codec, region.pa, len, &delta)
+                .expect("delta produced from matching baseline");
+            out.meta_bytes += delta.len() as u64;
+            out.events.push(Event::LoadMemDelta {
+                pa: region.pa,
+                len: len as u32,
+                delta,
+            });
+            // Both parties now agree on the region: pin the client's
+            // up-sync baseline so its next delta encodes against what the
+            // cloud actually holds.
+            if region.gpu_flags.write {
+                client.set_up_baseline(region.pa, dump.clone());
+            }
+            *baseline = dump;
+        }
+        if self.mode == SyncMode::FullData {
+            out.data_bytes = nominal_data_bytes;
+        }
+        if self.validation_traps {
+            // §5 continuous validation: the cloud CPU must not touch the
+            // shipped metastate until the job completes; the client GPU
+            // regains access (its idle-window traps are lifted).
+            for region in regions.metastate() {
+                cloud_mem.set_page_flags(
+                    region.pa,
+                    region.len_bytes(),
+                    PageFlags {
+                        cpu_unmapped: true,
+                        gpu_unmapped: false,
+                    },
+                );
+            }
+            for region in regions.all() {
+                client.mem().borrow_mut().set_page_flags(
+                    region.pa,
+                    region.len_bytes(),
+                    PageFlags::default(),
+                );
+            }
+        }
+        self.stats.add("sync.down_meta_bytes", out.meta_bytes);
+        self.stats.add("sync.down_data_bytes", out.data_bytes);
+        self.stats.inc("sync.down_count");
+        out
+    }
+
+    /// Client → cloud sync after a job-completion interrupt.
+    ///
+    /// Ships back GPU-written metastate (descriptor statuses), applies it
+    /// to the cloud memory, and re-establishes the shared baselines.
+    pub fn sync_up(
+        &mut self,
+        client: &mut GpuShim,
+        regions: &RegionTable,
+        cloud_mem: &mut Memory,
+        nominal_data_bytes: u64,
+    ) -> SyncOutcome {
+        let mut out = SyncOutcome::default();
+        for region in regions.metastate().filter(|r| r.gpu_flags.write) {
+            let len = region.len_bytes();
+            let delta = client.dump_up_delta(&self.codec, region.pa, len);
+            // Apply onto the cloud view.
+            let current = cloud_mem.dump_range(region.pa, len);
+            if self.validation_traps {
+                cloud_mem.set_page_flags(region.pa, len, PageFlags::default());
+            }
+            if let Ok(new) = self.codec.decode(&current, &delta) {
+                cloud_mem.restore_range(region.pa, &new);
+                self.baselines.insert(region.pa, new);
+            }
+            out.meta_bytes += delta.len() as u64;
+        }
+        if self.validation_traps {
+            // Lift the remaining cloud CPU traps now that the job is done.
+            for region in regions.metastate() {
+                cloud_mem.set_page_flags(region.pa, region.len_bytes(), PageFlags::default());
+            }
+            // The GPU is idle again: trap any spurious GPU access until the
+            // next down-sync re-opens its window.
+            for region in regions.all() {
+                client.mem().borrow_mut().set_page_flags(
+                    region.pa,
+                    region.len_bytes(),
+                    PageFlags {
+                        cpu_unmapped: false,
+                        gpu_unmapped: true,
+                    },
+                );
+            }
+        }
+        if self.mode == SyncMode::FullData {
+            out.data_bytes = nominal_data_bytes;
+        }
+        self.stats.add("sync.up_meta_bytes", out.meta_bytes);
+        self.stats.add("sync.up_data_bytes", out.data_bytes);
+        self.stats.inc("sync.up_count");
+        out
+    }
+
+    /// Drops all baselines (new record run).
+    pub fn reset(&mut self) {
+        self.baselines.clear();
+    }
+}
+
+impl std::fmt::Debug for MemSync {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemSync")
+            .field("mode", &self.mode)
+            .field("regions", &self.baselines.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grt_driver::{Region, Usage};
+    use grt_gpu::mmu::PteFlags;
+    use grt_gpu::{Gpu, GpuSku, PAGE_SIZE};
+    use grt_sim::Clock;
+    use grt_tee::{SecureMonitor, Tzasc};
+    use std::cell::RefCell;
+
+    fn setup() -> (MemSync, Memory, RegionTable, GpuShim, Rc<Stats>) {
+        let stats = Stats::new();
+        let sync = MemSync::new(SyncMode::MetaOnly, &stats);
+        let cloud_mem = Memory::new(1 << 20);
+        let mut regions = RegionTable::new();
+        regions.insert(Region {
+            va: 0x1000,
+            pa: 0x4000,
+            pages: 2,
+            gpu_flags: PteFlags::rx(),
+            usage: Usage::Shader,
+            nominal_bytes: 2 * PAGE_SIZE as u64,
+        });
+        regions.insert(Region {
+            va: 0x3000,
+            pa: 0x8000,
+            pages: 1,
+            gpu_flags: PteFlags::rw(),
+            usage: Usage::JobDescriptors,
+            nominal_bytes: PAGE_SIZE as u64,
+        });
+        regions.insert(Region {
+            va: 0x5000,
+            pa: 0xA000,
+            pages: 4,
+            gpu_flags: PteFlags::rw(),
+            usage: Usage::Weights,
+            nominal_bytes: 4 * PAGE_SIZE as u64,
+        });
+        let clock = Clock::new();
+        let client_mem = Rc::new(RefCell::new(Memory::new(1 << 20)));
+        let gpu = Rc::new(RefCell::new(Gpu::new(
+            GpuSku::mali_g71_mp8(),
+            &clock,
+            &client_mem,
+        )));
+        let tzasc = Rc::new(Tzasc::new());
+        let monitor = SecureMonitor::new(&clock);
+        let shim = GpuShim::new(&clock, &gpu, &client_mem, &tzasc, &monitor, b"s");
+        (sync, cloud_mem, regions, shim, stats)
+    }
+
+    #[test]
+    fn metaonly_ships_only_metastate() {
+        let (mut sync, mut cloud, regions, mut shim, _stats) = setup();
+        // Write shader bytes (metastate) and weights (data) on the cloud.
+        cloud.restore_range(0x4000, &[0xAA; 64]);
+        cloud.restore_range(0xA000, &[0xBB; 64]);
+        let out = sync.sync_down(&mut cloud, &regions, &mut shim, 12345);
+        assert!(out.meta_bytes > 0);
+        assert_eq!(out.data_bytes, 0, "meta-only must not account data");
+        // Client received the shader bytes but NOT the weights.
+        assert_eq!(shim.mem().borrow().dump_range(0x4000, 1), vec![0xAA]);
+        assert_eq!(shim.mem().borrow().dump_range(0xA000, 1), vec![0x00]);
+    }
+
+    #[test]
+    fn fulldata_accounts_nominal_bytes() {
+        let (_, mut cloud, regions, mut shim, stats) = setup();
+        let mut sync = MemSync::new(SyncMode::FullData, &stats);
+        cloud.restore_range(0x4000, &[1; 8]);
+        let out = sync.sync_down(&mut cloud, &regions, &mut shim, 999_999);
+        assert_eq!(out.data_bytes, 999_999);
+        assert!(out.total_bytes() > 999_999);
+    }
+
+    #[test]
+    fn unchanged_regions_are_skipped() {
+        let (mut sync, mut cloud, regions, mut shim, _stats) = setup();
+        cloud.restore_range(0x4000, &[0xAA; 64]);
+        let first = sync.sync_down(&mut cloud, &regions, &mut shim, 0);
+        // Lift traps for the second round (normally sync_up does this).
+        sync.validation_traps = false;
+        let second = sync.sync_down(&mut cloud, &regions, &mut shim, 0);
+        assert!(first.meta_bytes > 0);
+        assert_eq!(second.meta_bytes, 0, "nothing changed");
+        assert!(second.events.is_empty());
+    }
+
+    #[test]
+    fn up_sync_brings_back_gpu_writes() {
+        let (mut sync, mut cloud, regions, mut shim, _stats) = setup();
+        sync.sync_down(&mut cloud, &regions, &mut shim, 0);
+        // GPU writes a status word into the descriptor region (client side).
+        shim.mem()
+            .borrow_mut()
+            .restore_range(0x8000 + 32, &[1, 0, 0, 0]);
+        let out = sync.sync_up(&mut shim, &regions, &mut cloud, 0);
+        assert!(out.meta_bytes > 0);
+        assert_eq!(cloud.dump_range(0x8000 + 32, 1), vec![1]);
+    }
+
+    #[test]
+    fn continuous_validation_traps_cloud_cpu() {
+        let (mut sync, mut cloud, regions, mut shim, _stats) = setup();
+        sync.sync_down(&mut cloud, &regions, &mut shim, 0);
+        // The driver spuriously touching shipped metastate must trap (§5).
+        let r = cloud.read_u32(0x4000, grt_gpu::mem::Accessor::Cpu);
+        assert!(r.is_err(), "expected trap, got {r:?}");
+        // After the up-sync the traps are lifted.
+        sync.sync_up(&mut shim, &regions, &mut cloud, 0);
+        assert!(cloud.read_u32(0x4000, grt_gpu::mem::Accessor::Cpu).is_ok());
+    }
+
+    #[test]
+    fn continuous_validation_traps_idle_gpu() {
+        let (mut sync, mut cloud, regions, mut shim, _stats) = setup();
+        sync.sync_down(&mut cloud, &regions, &mut shim, 0);
+        sync.sync_up(&mut shim, &regions, &mut cloud, 0);
+        // GPU idle: its access window is closed.
+        let r = shim
+            .mem()
+            .borrow()
+            .read_u32(0x4000, grt_gpu::mem::Accessor::Gpu);
+        assert!(r.is_err(), "expected idle-GPU trap, got {r:?}");
+        // Next down-sync reopens it.
+        cloud.restore_range(0x4000, &[0xCC; 4]);
+        sync.sync_down(&mut cloud, &regions, &mut shim, 0);
+        assert!(shim
+            .mem()
+            .borrow()
+            .read_u32(0x4000, grt_gpu::mem::Accessor::Gpu)
+            .is_ok());
+    }
+
+    #[test]
+    fn events_replay_client_state() {
+        let (mut sync, mut cloud, regions, mut shim, _stats) = setup();
+        cloud.restore_range(0x4000, b"shader-code-v1");
+        let out = sync.sync_down(&mut cloud, &regions, &mut shim, 0);
+        // A fresh replayer memory, applying the recorded deltas in order,
+        // reconstructs the same metastate.
+        let mut replay_mem = Memory::new(1 << 20);
+        let codec = DeltaCodec::new(PAGE_SIZE);
+        for ev in &out.events {
+            if let Event::LoadMemDelta { pa, len, delta } = ev {
+                let cur = replay_mem.dump_range(*pa, *len as usize);
+                let new = codec.decode(&cur, delta).unwrap();
+                replay_mem.restore_range(*pa, &new);
+            }
+        }
+        assert_eq!(replay_mem.dump_range(0x4000, 14), b"shader-code-v1");
+    }
+}

@@ -1,0 +1,598 @@
+//! The in-TEE replayer (§2.3, §3.2).
+//!
+//! The replayer is deliberately tiny: it holds no GPU stack, no JIT, no
+//! driver — it verifies the recording's signature and SKU, injects the
+//! app's real input and model parameters into the recorded slots, and
+//! walks the event log: register writes go to the hardware, deterministic
+//! reads are checked, polls and interrupt waits pace execution, memory
+//! deltas rebuild the metastate. Before and after a replay the GPU is
+//! reset and the TZASC holds it in the secure world.
+
+use crate::recording::{irq_line_from, Event, SignedRecording};
+use crate::session::ClientDevice;
+use grt_compress::DeltaCodec;
+use grt_crypto::KeyPair;
+use grt_driver::{PollCond, RegionTable};
+use grt_ml::reference::{biases_for_layer, weights_for_layer};
+use grt_ml::NetworkSpec;
+use grt_sim::SimTime;
+use std::rc::Rc;
+
+/// Per-event replayer overhead (log decode + MMIO issue).
+const REPLAY_EVENT_TIME: SimTime = SimTime::from_nanos(1500);
+
+/// Hard cap on poll iterations regardless of what the recording asks for:
+/// a malicious (or corrupt) recording must not be able to spin the TEE.
+const REPLAY_POLL_ITER_CAP: u32 = 10_000;
+
+/// Replay failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError {
+    /// Signature verification failed or the bytes were malformed.
+    BadRecording,
+    /// The recording was made on a different GPU SKU.
+    WrongSku {
+        /// GPU_ID in the recording.
+        recorded: u32,
+        /// GPU_ID of the present hardware.
+        present: u32,
+    },
+    /// A deterministic register read differed from the recorded value.
+    VerifyMismatch {
+        /// Register offset.
+        offset: u32,
+        /// Recorded value.
+        expected: u32,
+        /// Observed value.
+        got: u32,
+    },
+    /// A recorded polling loop never met its condition.
+    PollTimeout {
+        /// Register polled.
+        reg: u32,
+    },
+    /// A recorded interrupt never arrived.
+    IrqHang,
+    /// Injected data did not match the recorded slot shape.
+    BadInput,
+    /// A metastate delta failed to decode.
+    CorruptDelta,
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::BadRecording => write!(f, "recording rejected (signature/format)"),
+            ReplayError::WrongSku { recorded, present } => write!(
+                f,
+                "recording for GPU {recorded:#x} cannot replay on {present:#x}"
+            ),
+            ReplayError::VerifyMismatch {
+                offset,
+                expected,
+                got,
+            } => write!(
+                f,
+                "register {offset:#x} read {got:#x}, recorded {expected:#x}"
+            ),
+            ReplayError::PollTimeout { reg } => write!(f, "poll on {reg:#x} timed out"),
+            ReplayError::IrqHang => write!(f, "recorded interrupt never arrived"),
+            ReplayError::BadInput => write!(f, "injected data does not fit recorded slots"),
+            ReplayError::CorruptDelta => write!(f, "metastate delta failed to decode"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Generates the real model parameters for `spec` in recording slot order
+/// (weights then bias per layer, empty buffers omitted) — the data the app
+/// provides inside the TEE at replay time.
+pub fn workload_weights(spec: &NetworkSpec) -> Vec<Vec<f32>> {
+    let mut out = Vec::new();
+    for (idx, layer) in spec.layers.iter().enumerate() {
+        let wl = layer.op.weight_len() as usize;
+        let bl = layer.op.bias_len() as usize;
+        if wl > 0 {
+            out.push(weights_for_layer(spec.name, idx, wl));
+        }
+        if bl > 0 {
+            out.push(biases_for_layer(spec.name, idx, bl));
+        }
+    }
+    out
+}
+
+/// Looks up a GPU VA's physical address in the driver's region table.
+pub fn region_pa(regions: &RegionTable, va: u64) -> u64 {
+    regions
+        .find_va(va)
+        .and_then(|r| r.va_to_pa(va))
+        .expect("compiled VA is always mapped")
+}
+
+/// The replayer, bound to a client device.
+pub struct Replayer {
+    device_gpu: Rc<std::cell::RefCell<grt_gpu::Gpu>>,
+    device_mem: Rc<std::cell::RefCell<grt_gpu::Memory>>,
+    clock: Rc<grt_sim::Clock>,
+    tzasc: Rc<grt_tee::Tzasc>,
+    codec: DeltaCodec,
+}
+
+impl Replayer {
+    /// Creates a replayer over the client device's hardware.
+    pub fn new(device: &ClientDevice) -> Self {
+        Replayer {
+            device_gpu: Rc::clone(&device.gpu),
+            device_mem: Rc::clone(&device.mem),
+            clock: Rc::clone(&device.clock),
+            tzasc: Rc::clone(&device.tzasc),
+            codec: DeltaCodec::new(grt_gpu::PAGE_SIZE),
+        }
+    }
+
+    /// Replays a signed recording with fresh `input` and `weights`,
+    /// returning the inference output and the replay delay (Table 2).
+    pub fn replay(
+        &mut self,
+        signed: &SignedRecording,
+        key: &KeyPair,
+        input: &[f32],
+        weights: &[Vec<f32>],
+    ) -> Result<(Vec<f32>, SimTime), ReplayError> {
+        let rec = signed
+            .verify_and_parse(key)
+            .ok_or(ReplayError::BadRecording)?;
+        let present = self.device_gpu.borrow().sku().gpu_id;
+        if rec.gpu_id != present {
+            return Err(ReplayError::WrongSku {
+                recorded: rec.gpu_id,
+                present,
+            });
+        }
+        if input.len() != rec.input.len_elems as usize || weights.len() != rec.weights.len() {
+            return Err(ReplayError::BadInput);
+        }
+        for (slot, w) in rec.weights.iter().zip(weights) {
+            if w.len() != slot.len_elems as usize {
+                return Err(ReplayError::BadInput);
+            }
+        }
+
+        let t0 = self.clock.now();
+        // TEE isolates and resets the GPU (§3.2).
+        self.tzasc.claim(
+            crate::client::GPU_MMIO_BASE,
+            crate::client::GPU_MMIO_LEN,
+            grt_tee::World::Secure,
+        );
+        self.device_gpu.borrow_mut().hard_reset_now();
+        self.device_mem.borrow_mut().wipe();
+
+        // Inject real parameters and input into the recorded slots.
+        {
+            let mut mem = self.device_mem.borrow_mut();
+            for (slot, w) in rec.weights.iter().zip(weights) {
+                let bytes: Vec<u8> = w.iter().flat_map(|v| v.to_le_bytes()).collect();
+                mem.restore_range(slot.pa, &bytes);
+            }
+            let bytes: Vec<u8> = input.iter().flat_map(|v| v.to_le_bytes()).collect();
+            mem.restore_range(rec.input.pa, &bytes);
+        }
+
+        // Walk the log.
+        for event in &rec.events {
+            if let Err(e) = self.exec_event(event) {
+                self.cleanup();
+                return Err(e);
+            }
+        }
+
+        // Read the output, then scrub hardware state (§3.2).
+        let raw = self
+            .device_mem
+            .borrow()
+            .dump_range(rec.output.pa, rec.output.len_elems as usize * 4);
+        let out: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        self.cleanup();
+        Ok((out, self.clock.now() - t0))
+    }
+
+    /// Executes one recorded event against the hardware.
+    fn exec_event(&mut self, event: &Event) -> Result<(), ReplayError> {
+        self.clock.advance(REPLAY_EVENT_TIME);
+        match event {
+            Event::BeginLayer { .. } => {}
+            Event::RegWrite { offset, value } => {
+                self.device_gpu.borrow_mut().write_reg(*offset, *value);
+            }
+            Event::RegRead {
+                offset,
+                value,
+                verify,
+            } => {
+                let got = self.device_gpu.borrow_mut().read_reg(*offset);
+                if *verify && got != *value {
+                    return Err(ReplayError::VerifyMismatch {
+                        offset: *offset,
+                        expected: *value,
+                        got,
+                    });
+                }
+            }
+            Event::Poll {
+                reg,
+                mask,
+                cond,
+                cmp,
+                max_iters,
+                delay_us,
+            } => {
+                let cond = match cond {
+                    0 => PollCond::MaskedZero,
+                    1 => PollCond::MaskedNonZero,
+                    _ => PollCond::MaskedEq(*cmp),
+                };
+                let mut satisfied = false;
+                for _ in 0..(*max_iters).min(REPLAY_POLL_ITER_CAP) {
+                    let raw = self.device_gpu.borrow_mut().read_reg(*reg);
+                    if cond.satisfied(raw, *mask) {
+                        satisfied = true;
+                        break;
+                    }
+                    self.clock.advance(SimTime::from_micros(*delay_us as u64));
+                }
+                if !satisfied {
+                    return Err(ReplayError::PollTimeout { reg: *reg });
+                }
+            }
+            Event::WaitIrq { line } => {
+                let line = irq_line_from(*line).ok_or(ReplayError::BadRecording)?;
+                let Some(at) = self.device_gpu.borrow_mut().next_irq_at(line) else {
+                    return Err(ReplayError::IrqHang);
+                };
+                self.clock.advance_to(at);
+            }
+            Event::LoadMemDelta { pa, len, delta } => {
+                // Clamp the claimed region length to the device's memory
+                // and bound the decode accordingly: a malicious recording
+                // must not drive unbounded allocation or decode work.
+                let len = (*len as usize).min(self.device_mem.borrow().size());
+                let current = self.device_mem.borrow().dump_range(*pa, len);
+                let new = self
+                    .codec
+                    .decode_limited(&current, delta, len)
+                    .map_err(|_| ReplayError::CorruptDelta)?;
+                self.device_mem.borrow_mut().restore_range(*pa, &new);
+                // Decompression cost: ~1 µs per KiB.
+                self.clock.advance(SimTime::from_nanos(delta.len() as u64));
+            }
+        }
+        Ok(())
+    }
+
+    fn cleanup(&mut self) {
+        self.device_gpu.borrow_mut().hard_reset_now();
+        self.tzasc
+            .release(crate::client::GPU_MMIO_BASE, crate::client::GPU_MMIO_LEN);
+    }
+
+    /// Begins an incremental, layer-at-a-time replay — Figure 2's
+    /// composable recording granularity: the app may interleave its own
+    /// CPU work (e.g. pre/post-processing, early exit) between layers.
+    ///
+    /// Verification, injection, and GPU lockdown happen here; drive the
+    /// layers with [`LayeredReplay::replay_layer`] and collect the output
+    /// with [`LayeredReplay::finish`].
+    pub fn begin_layered<'r>(
+        &'r mut self,
+        signed: &SignedRecording,
+        key: &KeyPair,
+        input: &[f32],
+        weights: &[Vec<f32>],
+    ) -> Result<LayeredReplay<'r>, ReplayError> {
+        let rec = signed
+            .verify_and_parse(key)
+            .ok_or(ReplayError::BadRecording)?;
+        let present = self.device_gpu.borrow().sku().gpu_id;
+        if rec.gpu_id != present {
+            return Err(ReplayError::WrongSku {
+                recorded: rec.gpu_id,
+                present,
+            });
+        }
+        if input.len() != rec.input.len_elems as usize || weights.len() != rec.weights.len() {
+            return Err(ReplayError::BadInput);
+        }
+        for (slot, w) in rec.weights.iter().zip(weights) {
+            if w.len() != slot.len_elems as usize {
+                return Err(ReplayError::BadInput);
+            }
+        }
+        self.tzasc.claim(
+            crate::client::GPU_MMIO_BASE,
+            crate::client::GPU_MMIO_LEN,
+            grt_tee::World::Secure,
+        );
+        self.device_gpu.borrow_mut().hard_reset_now();
+        self.device_mem.borrow_mut().wipe();
+        {
+            let mut mem = self.device_mem.borrow_mut();
+            for (slot, w) in rec.weights.iter().zip(weights) {
+                let bytes: Vec<u8> = w.iter().flat_map(|v| v.to_le_bytes()).collect();
+                mem.restore_range(slot.pa, &bytes);
+            }
+            let bytes: Vec<u8> = input.iter().flat_map(|v| v.to_le_bytes()).collect();
+            mem.restore_range(rec.input.pa, &bytes);
+        }
+        Ok(LayeredReplay {
+            replayer: self,
+            rec,
+            cursor: 0,
+            done: false,
+        })
+    }
+}
+
+/// An in-progress layer-at-a-time replay (see
+/// [`Replayer::begin_layered`]).
+pub struct LayeredReplay<'r> {
+    replayer: &'r mut Replayer,
+    rec: crate::recording::Recording,
+    cursor: usize,
+    done: bool,
+}
+
+impl LayeredReplay<'_> {
+    /// Number of layers in the recording.
+    pub fn layer_count(&self) -> usize {
+        self.rec
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::BeginLayer { .. }))
+            .count()
+    }
+
+    /// Replays the next layer's events. Returns the layer index replayed,
+    /// or `None` when every layer has completed.
+    pub fn replay_layer(&mut self) -> Result<Option<u32>, ReplayError> {
+        if self.done || self.cursor >= self.rec.events.len() {
+            self.done = true;
+            return Ok(None);
+        }
+        // The cursor always rests on a BeginLayer (or 0 with leading init
+        // events before the first layer marker).
+        let mut layer_index = None;
+        while self.cursor < self.rec.events.len() {
+            let event = self.rec.events[self.cursor].clone();
+            if let Event::BeginLayer { index } = event {
+                if layer_index.is_some() {
+                    // Next layer's marker: stop before consuming it.
+                    break;
+                }
+                layer_index = Some(index);
+                self.cursor += 1;
+                continue;
+            }
+            if let Err(e) = self.replayer.exec_event(&event) {
+                self.done = true;
+                self.replayer.cleanup();
+                return Err(e);
+            }
+            self.cursor += 1;
+        }
+        if self.cursor >= self.rec.events.len() {
+            self.done = true;
+        }
+        Ok(layer_index)
+    }
+
+    /// Reads the output and scrubs hardware state.
+    ///
+    /// Valid once [`LayeredReplay::replay_layer`] has returned `None` (or
+    /// earlier, for apps that only need a prefix of the network).
+    pub fn finish(self) -> Vec<f32> {
+        let raw = self
+            .replayer
+            .device_mem
+            .borrow()
+            .dump_range(self.rec.output.pa, self.rec.output.len_elems as usize * 4);
+        self.replayer.cleanup();
+        raw.chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for LayeredReplay<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LayeredReplay")
+            .field("cursor", &self.cursor)
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for Replayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replayer").finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{RecordSession, RecorderMode};
+    use grt_gpu::GpuSku;
+    use grt_ml::reference::{test_input, ReferenceNet};
+    use grt_net::NetConditions;
+
+    fn close(a: &[f32], b: &[f32]) -> bool {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b)
+                .all(|(x, y)| (x - y).abs() < 1e-3 * (1.0 + x.abs().max(y.abs())))
+    }
+
+    fn record_mnist(mode: RecorderMode) -> (RecordSession, crate::session::RecordOutcome) {
+        let mut s = RecordSession::new(GpuSku::mali_g71_mp8(), NetConditions::wifi(), mode);
+        let spec = grt_ml::zoo::mnist();
+        let out = s.record(&spec).unwrap();
+        (s, out)
+    }
+
+    #[test]
+    fn replay_with_real_input_matches_reference() {
+        let (s, out) = record_mnist(RecorderMode::OursMDS);
+        let spec = grt_ml::zoo::mnist();
+        let key = s.recording_key();
+        let mut replayer = Replayer::new(&s.client);
+        let input = test_input(&spec, 5);
+        let weights = workload_weights(&spec);
+        let (gpu_out, delay) = replayer
+            .replay(&out.recording, &key, &input, &weights)
+            .unwrap();
+        let cpu_out = ReferenceNet::new(spec).infer(&input);
+        assert!(close(&gpu_out, &cpu_out), "{gpu_out:?} vs {cpu_out:?}");
+        assert!(delay > grt_sim::SimTime::ZERO);
+    }
+
+    #[test]
+    fn replay_is_repeatable_with_new_inputs() {
+        let (s, out) = record_mnist(RecorderMode::OursMDS);
+        let spec = grt_ml::zoo::mnist();
+        let key = s.recording_key();
+        let mut replayer = Replayer::new(&s.client);
+        let weights = workload_weights(&spec);
+        let reference = ReferenceNet::new(spec.clone());
+        for variant in [11, 12, 13] {
+            let input = test_input(&spec, variant);
+            let (gpu_out, _) = replayer
+                .replay(&out.recording, &key, &input, &weights)
+                .unwrap();
+            let cpu_out = reference.infer(&input);
+            assert!(close(&gpu_out, &cpu_out), "variant {variant}");
+        }
+    }
+
+    #[test]
+    fn tampered_recording_is_rejected() {
+        let (s, mut out) = record_mnist(RecorderMode::OursMDS);
+        let spec = grt_ml::zoo::mnist();
+        let key = s.recording_key();
+        let n = out.recording.bytes.len();
+        out.recording.bytes[n / 2] ^= 1;
+        let mut replayer = Replayer::new(&s.client);
+        let err = replayer
+            .replay(
+                &out.recording,
+                &key,
+                &test_input(&spec, 0),
+                &workload_weights(&spec),
+            )
+            .unwrap_err();
+        assert_eq!(err, ReplayError::BadRecording);
+    }
+
+    #[test]
+    fn wrong_sku_replay_is_rejected() {
+        let (s, out) = record_mnist(RecorderMode::OursMDS);
+        let spec = grt_ml::zoo::mnist();
+        let key = s.recording_key();
+        // A *different* client device with an MP4 GPU.
+        let clock = grt_sim::Clock::new();
+        let stats = grt_sim::Stats::new();
+        let other = crate::session::ClientDevice::new(GpuSku::mali_g71_mp4(), &clock, &stats, b"x");
+        let mut replayer = Replayer::new(&other);
+        let err = replayer
+            .replay(
+                &out.recording,
+                &key,
+                &test_input(&spec, 0),
+                &workload_weights(&spec),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ReplayError::WrongSku { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn layered_replay_matches_monolithic() {
+        let (s, out) = record_mnist(RecorderMode::OursMDS);
+        let spec = grt_ml::zoo::mnist();
+        let key = s.recording_key();
+        let input = test_input(&spec, 6);
+        let weights = workload_weights(&spec);
+
+        let mut replayer = Replayer::new(&s.client);
+        let (mono_out, _) = replayer
+            .replay(&out.recording, &key, &input, &weights)
+            .unwrap();
+
+        let mut replayer = Replayer::new(&s.client);
+        let mut layered = replayer
+            .begin_layered(&out.recording, &key, &input, &weights)
+            .unwrap();
+        assert_eq!(layered.layer_count(), spec.layers.len());
+        let mut seen = Vec::new();
+        while let Some(idx) = layered.replay_layer().unwrap() {
+            // The app can interleave its own work between layers
+            // (Figure 2's timeline); model it as CPU time.
+            s.clock.advance(grt_sim::SimTime::from_micros(50));
+            seen.push(idx);
+        }
+        assert_eq!(seen, (0..spec.layers.len() as u32).collect::<Vec<_>>());
+        let layered_out = layered.finish();
+        assert_eq!(layered_out, mono_out);
+    }
+
+    #[test]
+    fn layered_replay_cleans_up_on_error() {
+        let (s, mut out) = record_mnist(RecorderMode::OursMDS);
+        let spec = grt_ml::zoo::mnist();
+        let key = s.recording_key();
+        // Corrupt after signing check by re-signing a recording whose
+        // first layer's job-start write is removed: the WaitIrq hangs.
+        let mut rec = out.recording.verify_and_parse(&key).unwrap();
+        let js_command =
+            grt_gpu::regs::job_control::slot_base(0) + grt_gpu::regs::job_control::JS_COMMAND;
+        rec.events
+            .retain(|e| !matches!(e, Event::RegWrite { offset, .. } if *offset == js_command));
+        out.recording = SignedRecording::sign(&rec, &key);
+        let mut replayer = Replayer::new(&s.client);
+        let input = test_input(&spec, 0);
+        let weights = workload_weights(&spec);
+        let mut layered = replayer
+            .begin_layered(&out.recording, &key, &input, &weights)
+            .unwrap();
+        let err = loop {
+            match layered.replay_layer() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("expected a hang"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err, ReplayError::IrqHang);
+        // The TZASC claim was released by the error path.
+        assert!(s
+            .client
+            .tzasc
+            .owner_of(crate::client::GPU_MMIO_BASE)
+            .is_none());
+    }
+
+    #[test]
+    fn wrong_shape_input_rejected() {
+        let (s, out) = record_mnist(RecorderMode::OursMDS);
+        let spec = grt_ml::zoo::mnist();
+        let key = s.recording_key();
+        let mut replayer = Replayer::new(&s.client);
+        let err = replayer
+            .replay(&out.recording, &key, &[0.0; 3], &workload_weights(&spec))
+            .unwrap_err();
+        assert_eq!(err, ReplayError::BadInput);
+    }
+}

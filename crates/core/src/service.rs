@@ -1,0 +1,273 @@
+//! The replay service as a GlobalPlatform TEE module (§3.2, §6).
+//!
+//! The paper instantiates GPUShim/replayer as an OP-TEE module reached
+//! through GlobalPlatform client APIs. [`ReplayService`] is that module: a
+//! normal-world app opens a session, loads a signed recording, stages its
+//! input and model parameters (which therefore exist only inside the TEE),
+//! runs the replay, and reads back the output — four commands over
+//! byte-buffer params, like a real GP TA.
+
+use crate::recording::SignedRecording;
+use crate::replay::Replayer;
+use crate::session::ClientDevice;
+use grt_crypto::{KeyPair, Signature};
+use grt_tee::{GpParam, GpStatus, TeeModule};
+
+/// Command ids of the replay service (the TA's protocol).
+pub mod cmd {
+    /// params: `recording bytes ‖ 32-byte signature`. Verifies and stages.
+    pub const LOAD_RECORDING: u32 = 1;
+    /// params: `f32-LE input bytes`. Stages the inference input.
+    pub const SET_INPUT: u32 = 2;
+    /// params: `u32-LE slot index ‖ f32-LE weight bytes`. Stages one slot.
+    pub const SET_WEIGHTS: u32 = 3;
+    /// params: none. Replays; returns `f32-LE output bytes`.
+    pub const RUN: u32 = 4;
+}
+
+/// The trusted replay module.
+pub struct ReplayService {
+    replayer: Replayer,
+    key: KeyPair,
+    recording: Option<SignedRecording>,
+    input: Option<Vec<f32>>,
+    weights: Vec<Option<Vec<f32>>>,
+}
+
+impl ReplayService {
+    /// Creates the module over the device's hardware, trusting recordings
+    /// signed under `key`.
+    pub fn new(device: &ClientDevice, key: KeyPair) -> Self {
+        ReplayService {
+            replayer: Replayer::new(device),
+            key,
+            recording: None,
+            input: None,
+            weights: Vec::new(),
+        }
+    }
+
+    fn parse_f32s(bytes: &[u8]) -> Result<Vec<f32>, GpStatus> {
+        if !bytes.len().is_multiple_of(4) {
+            return Err(GpStatus::BadParameters);
+        }
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+}
+
+impl TeeModule for ReplayService {
+    fn name(&self) -> &'static str {
+        "grt.replay"
+    }
+
+    fn invoke(&mut self, command: u32, input: &[u8]) -> Result<GpParam, GpStatus> {
+        match command {
+            cmd::LOAD_RECORDING => {
+                if input.len() < 33 {
+                    return Err(GpStatus::BadParameters);
+                }
+                let (body, sig) = input.split_at(input.len() - 32);
+                let mut raw = [0u8; 32];
+                raw.copy_from_slice(sig);
+                let signed = SignedRecording {
+                    bytes: body.to_vec(),
+                    signature: Signature::from_bytes(raw),
+                };
+                // Verify *now*: a bad recording never occupies TEE state.
+                let rec = signed
+                    .verify_and_parse(&self.key)
+                    .ok_or(GpStatus::AccessDenied)?;
+                self.weights = vec![None; rec.weights.len()];
+                self.input = None;
+                self.recording = Some(signed);
+                Ok(rec.weights.len().to_le_bytes()[..4].to_vec())
+            }
+            cmd::SET_INPUT => {
+                if self.recording.is_none() {
+                    return Err(GpStatus::BadParameters);
+                }
+                self.input = Some(Self::parse_f32s(input)?);
+                Ok(Vec::new())
+            }
+            cmd::SET_WEIGHTS => {
+                if input.len() < 4 {
+                    return Err(GpStatus::BadParameters);
+                }
+                let idx = u32::from_le_bytes([input[0], input[1], input[2], input[3]]) as usize;
+                if idx >= self.weights.len() {
+                    return Err(GpStatus::BadParameters);
+                }
+                self.weights[idx] = Some(Self::parse_f32s(&input[4..])?);
+                Ok(Vec::new())
+            }
+            cmd::RUN => {
+                let signed = self.recording.as_ref().ok_or(GpStatus::BadParameters)?;
+                let input = self.input.as_ref().ok_or(GpStatus::BadParameters)?;
+                let weights: Option<Vec<Vec<f32>>> = self.weights.iter().cloned().collect();
+                let weights = weights.ok_or(GpStatus::BadParameters)?;
+                let (out, _) = self
+                    .replayer
+                    .replay(signed, &self.key, input, &weights)
+                    .map_err(|_| GpStatus::Generic)?;
+                Ok(out.iter().flat_map(|v| v.to_le_bytes()).collect())
+            }
+            _ => Err(GpStatus::BadParameters),
+        }
+    }
+}
+
+impl std::fmt::Debug for ReplayService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplayService")
+            .field("loaded", &self.recording.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replay::workload_weights;
+    use crate::session::{RecordSession, RecorderMode};
+    use grt_gpu::GpuSku;
+    use grt_ml::reference::{test_input, ReferenceNet};
+    use grt_net::NetConditions;
+    use grt_tee::TeeHost;
+    use std::cell::RefCell;
+
+    fn recorded() -> (RecordSession, crate::session::RecordOutcome) {
+        let mut s = RecordSession::new(
+            GpuSku::mali_g71_mp8(),
+            NetConditions::wifi(),
+            RecorderMode::OursMDS,
+        );
+        let out = s.record(&grt_ml::zoo::mnist()).expect("record");
+        (s, out)
+    }
+
+    fn gp_run(
+        host: &TeeHost,
+        session: u32,
+        out: &crate::session::RecordOutcome,
+        input: &[f32],
+        weights: &[Vec<f32>],
+    ) -> Result<Vec<f32>, GpStatus> {
+        let mut blob = out.recording.bytes.clone();
+        blob.extend_from_slice(out.recording.signature.as_bytes());
+        let n = host.invoke(session, cmd::LOAD_RECORDING, &blob)?;
+        assert_eq!(
+            u32::from_le_bytes([n[0], n[1], n[2], n[3]]) as usize,
+            weights.len()
+        );
+        let input_bytes: Vec<u8> = input.iter().flat_map(|v| v.to_le_bytes()).collect();
+        host.invoke(session, cmd::SET_INPUT, &input_bytes)?;
+        for (i, w) in weights.iter().enumerate() {
+            let mut p = (i as u32).to_le_bytes().to_vec();
+            p.extend(w.iter().flat_map(|v| v.to_le_bytes()));
+            host.invoke(session, cmd::SET_WEIGHTS, &p)?;
+        }
+        let raw = host.invoke(session, cmd::RUN, &[])?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    #[test]
+    fn gp_protocol_runs_inference_in_tee() {
+        let (s, out) = recorded();
+        let spec = grt_ml::zoo::mnist();
+        let host = TeeHost::new(&s.client.monitor);
+        host.register(Box::new(RefCell::new(ReplayService::new(
+            &s.client,
+            s.recording_key(),
+        ))));
+        let session = host.open_session("grt.replay").unwrap();
+        let input = test_input(&spec, 8);
+        let weights = workload_weights(&spec);
+        let gpu_out = gp_run(&host, session, &out, &input, &weights).unwrap();
+        let cpu_out = ReferenceNet::new(spec).infer(&input);
+        for (a, b) in gpu_out.iter().zip(&cpu_out) {
+            assert!((a - b).abs() < 1e-3);
+        }
+        host.close_session(session).unwrap();
+    }
+
+    #[test]
+    fn tampered_recording_refused_at_load() {
+        let (s, mut out) = recorded();
+        let host = TeeHost::new(&s.client.monitor);
+        host.register(Box::new(RefCell::new(ReplayService::new(
+            &s.client,
+            s.recording_key(),
+        ))));
+        let session = host.open_session("grt.replay").unwrap();
+        out.recording.bytes[10] ^= 1;
+        let mut blob = out.recording.bytes.clone();
+        blob.extend_from_slice(out.recording.signature.as_bytes());
+        assert_eq!(
+            host.invoke(session, cmd::LOAD_RECORDING, &blob),
+            Err(GpStatus::AccessDenied)
+        );
+    }
+
+    #[test]
+    fn run_requires_complete_staging() {
+        let (s, out) = recorded();
+        let spec = grt_ml::zoo::mnist();
+        let host = TeeHost::new(&s.client.monitor);
+        host.register(Box::new(RefCell::new(ReplayService::new(
+            &s.client,
+            s.recording_key(),
+        ))));
+        let session = host.open_session("grt.replay").unwrap();
+        // Run with nothing loaded.
+        assert_eq!(
+            host.invoke(session, cmd::RUN, &[]),
+            Err(GpStatus::BadParameters)
+        );
+        // Load, set input, but leave weights unstaged.
+        let mut blob = out.recording.bytes.clone();
+        blob.extend_from_slice(out.recording.signature.as_bytes());
+        host.invoke(session, cmd::LOAD_RECORDING, &blob).unwrap();
+        let input_bytes: Vec<u8> = test_input(&spec, 0)
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
+        host.invoke(session, cmd::SET_INPUT, &input_bytes).unwrap();
+        assert_eq!(
+            host.invoke(session, cmd::RUN, &[]),
+            Err(GpStatus::BadParameters)
+        );
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        let (s, out) = recorded();
+        let host = TeeHost::new(&s.client.monitor);
+        host.register(Box::new(RefCell::new(ReplayService::new(
+            &s.client,
+            s.recording_key(),
+        ))));
+        let session = host.open_session("grt.replay").unwrap();
+        // Too-short load blob.
+        assert_eq!(
+            host.invoke(session, cmd::LOAD_RECORDING, &[0u8; 10]),
+            Err(GpStatus::BadParameters)
+        );
+        // Unknown command.
+        assert_eq!(host.invoke(session, 99, &[]), Err(GpStatus::BadParameters));
+        // Out-of-range weight slot.
+        let mut blob = out.recording.bytes.clone();
+        blob.extend_from_slice(out.recording.signature.as_bytes());
+        host.invoke(session, cmd::LOAD_RECORDING, &blob).unwrap();
+        let p = 9999u32.to_le_bytes().to_vec();
+        assert_eq!(
+            host.invoke(session, cmd::SET_WEIGHTS, &p),
+            Err(GpStatus::BadParameters)
+        );
+    }
+}

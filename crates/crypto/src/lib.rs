@@ -1,0 +1,26 @@
+//! Minimal cryptographic primitives for the GR-T reproduction.
+//!
+//! The paper's prototype authenticates and encrypts the cloud↔client channel
+//! (SSL forwarded through the normal world), attests the cloud VM, and signs
+//! recordings so the replayer accepts only cloud-produced logs (§3.2, §7.1).
+//! This crate provides from-scratch implementations of exactly the
+//! primitives those mechanisms need — SHA-256, HMAC-SHA256, a ChaCha20
+//! stream cipher, an HMAC-based signing scheme, and a tiny attested-channel
+//! handshake — so the replayer's trusted computing base carries **zero
+//! external dependencies**, mirroring the paper's "replayer is a few KSLoC
+//! with little external dependency" claim.
+//!
+//! These implementations favour clarity and testability over speed; they are
+//! validated against published test vectors in the unit tests.
+
+pub mod chacha;
+pub mod channel;
+pub mod hmac;
+pub mod sha256;
+pub mod sign;
+
+pub use chacha::ChaCha20;
+pub use channel::{AttestationReport, SecureChannel};
+pub use hmac::hmac_sha256;
+pub use sha256::Sha256;
+pub use sign::{KeyPair, Signature};

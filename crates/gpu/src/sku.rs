@@ -1,0 +1,165 @@
+//! GPU SKU (stock-keeping unit) descriptions.
+//!
+//! §2.4: *"even subtle SKU differences can break replay: variations in GPU
+//! hardware resources, e.g. shader core count, which determines how the JIT
+//! compiler generates and optimizes GPU shaders; variations in GPU page
+//! table formats; variations in shared memory layout."* The SKU struct
+//! carries exactly those axes, and the rest of the stack really depends on
+//! them: the JIT tiles by `shader_cores`, the MMU honours `pte_quirk`, and
+//! job timing scales with core count and clock.
+
+/// Identity and capabilities of one GPU hardware model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GpuSku {
+    /// Marketing name, e.g. `"Mali-G71 MP8"`.
+    pub name: &'static str,
+    /// Value returned by the `GPU_ID` register (product << 16 | revision).
+    pub gpu_id: u32,
+    /// Number of shader cores (the `MPx` suffix).
+    pub shader_cores: u32,
+    /// Number of L2 cache slices.
+    pub l2_slices: u32,
+    /// Number of hardware address spaces.
+    pub address_spaces: u32,
+    /// Number of job slots.
+    pub job_slots: u32,
+    /// Core clock in MHz (drives the job cost model).
+    pub clock_mhz: u32,
+    /// A page-table-entry format quirk: XOR-ed into the flag bits of every
+    /// PTE. Different quirks between record and replay SKUs make page-table
+    /// snapshots incompatible, reproducing the paper's "page table format"
+    /// SKU variation.
+    pub pte_quirk: u8,
+    /// Multiply-accumulate throughput per core per MHz (cost model).
+    pub macs_per_core_per_cycle: u32,
+}
+
+impl GpuSku {
+    /// The paper's client GPU: Mali-G71 MP8 on the HiKey960.
+    pub fn mali_g71_mp8() -> Self {
+        GpuSku {
+            name: "Mali-G71 MP8",
+            gpu_id: 0x6000_0011,
+            shader_cores: 8,
+            l2_slices: 2,
+            address_spaces: 8,
+            job_slots: 3,
+            clock_mhz: 850,
+            pte_quirk: 0x00,
+            macs_per_core_per_cycle: 8,
+        }
+    }
+
+    /// A smaller G71 variant: same driver, different core count.
+    pub fn mali_g71_mp4() -> Self {
+        GpuSku {
+            name: "Mali-G71 MP4",
+            gpu_id: 0x6000_0012,
+            shader_cores: 4,
+            l2_slices: 1,
+            address_spaces: 8,
+            job_slots: 3,
+            clock_mhz: 770,
+            pte_quirk: 0x00,
+            macs_per_core_per_cycle: 8,
+        }
+    }
+
+    /// A G72 with a PTE quirk, exercising the page-table-format axis.
+    pub fn mali_g72_mp12() -> Self {
+        GpuSku {
+            name: "Mali-G72 MP12",
+            gpu_id: 0x6001_0020,
+            shader_cores: 12,
+            l2_slices: 2,
+            address_spaces: 8,
+            job_slots: 3,
+            clock_mhz: 900,
+            pte_quirk: 0x01,
+            macs_per_core_per_cycle: 12,
+        }
+    }
+
+    /// A G76 with both more cores and a different PTE quirk.
+    pub fn mali_g76_mp10() -> Self {
+        GpuSku {
+            name: "Mali-G76 MP10",
+            gpu_id: 0x6002_0030,
+            shader_cores: 10,
+            l2_slices: 4,
+            address_spaces: 8,
+            job_slots: 3,
+            clock_mhz: 720,
+            pte_quirk: 0x05,
+            macs_per_core_per_cycle: 24,
+        }
+    }
+
+    /// Bitmask of present shader cores.
+    pub fn shader_present_mask(&self) -> u32 {
+        if self.shader_cores >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.shader_cores) - 1
+        }
+    }
+
+    /// Bitmask of present L2 slices.
+    pub fn l2_present_mask(&self) -> u32 {
+        (1u32 << self.l2_slices.min(31)) - 1
+    }
+
+    /// Bitmask of present address spaces.
+    pub fn as_present_mask(&self) -> u32 {
+        (1u32 << self.address_spaces.min(31)) - 1
+    }
+
+    /// Bitmask of present job slots.
+    pub fn js_present_mask(&self) -> u32 {
+        (1u32 << self.job_slots.min(31)) - 1
+    }
+
+    /// MAC throughput per microsecond, the denominator of the job cost model.
+    pub fn macs_per_us(&self) -> u64 {
+        self.clock_mhz as u64 * self.shader_cores as u64 * self.macs_per_core_per_cycle as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_match_counts() {
+        let sku = GpuSku::mali_g71_mp8();
+        assert_eq!(sku.shader_present_mask(), 0xFF);
+        assert_eq!(sku.l2_present_mask(), 0x3);
+        assert_eq!(sku.js_present_mask(), 0x7);
+        assert_eq!(sku.as_present_mask(), 0xFF);
+    }
+
+    #[test]
+    fn mp4_has_half_the_cores() {
+        assert_eq!(GpuSku::mali_g71_mp4().shader_present_mask(), 0x0F);
+    }
+
+    #[test]
+    fn gpu_ids_are_unique() {
+        let ids = [
+            GpuSku::mali_g71_mp8().gpu_id,
+            GpuSku::mali_g71_mp4().gpu_id,
+            GpuSku::mali_g72_mp12().gpu_id,
+            GpuSku::mali_g76_mp10().gpu_id,
+        ];
+        for i in 0..ids.len() {
+            for j in i + 1..ids.len() {
+                assert_ne!(ids[i], ids[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_scales_with_cores() {
+        assert!(GpuSku::mali_g71_mp8().macs_per_us() > GpuSku::mali_g71_mp4().macs_per_us());
+    }
+}

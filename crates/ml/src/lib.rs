@@ -1,0 +1,23 @@
+//! Neural-network workload definitions: the paper's six benchmarks.
+//!
+//! §7.2 evaluates GR-T on MNIST (LeNet-5), AlexNet, MobileNet, SqueezeNet,
+//! ResNet12, and VGG16, all running atop the ARM Compute Library. This
+//! crate defines those networks as *specs* the runtime's JIT lowers to GPU
+//! jobs, plus a CPU reference implementation used to validate that replay
+//! with new input reproduces the correct computation.
+//!
+//! Two scales coexist deliberately (see DESIGN.md):
+//!
+//! - **actual dims** drive real arithmetic on the simulated GPU — kept
+//!   small so test suites and benches run in seconds;
+//! - **nominal** MAC counts and working-set bytes carry the paper-scale
+//!   magnitudes into the DES cost model and the §5 traffic accounting, so
+//!   recording/replay delays and MemSync MB land near the paper's numbers.
+
+pub mod reference;
+pub mod spec;
+pub mod zoo;
+
+pub use reference::ReferenceNet;
+pub use spec::{LayerOp, LayerSpec, NetworkSpec};
+pub use zoo::{alexnet, all_benchmarks, mnist, mobilenet, resnet12, squeezenet, vgg16};

@@ -1,0 +1,295 @@
+//! Network and layer specifications.
+
+use grt_gpu::shader::ConvParams;
+use grt_gpu::PoolKind;
+
+/// The operator a layer computes, with its *actual* (scaled) dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerOp {
+    /// Convolution (+ optional fused ReLU).
+    Conv {
+        /// Geometry at actual scale.
+        p: ConvParams,
+        /// Fused ReLU after the convolution.
+        relu: bool,
+    },
+    /// Fully-connected layer (+ optional fused ReLU).
+    Fc {
+        /// Input features.
+        in_dim: u32,
+        /// Output features.
+        out_dim: u32,
+        /// Fused ReLU.
+        relu: bool,
+    },
+    /// Spatial pooling.
+    Pool {
+        /// Max or average.
+        kind: PoolKind,
+        /// Channels.
+        c: u32,
+        /// Input height.
+        h: u32,
+        /// Input width.
+        w: u32,
+        /// Kernel size.
+        k: u32,
+        /// Stride.
+        stride: u32,
+    },
+    /// Residual addition with the saved skip buffer, followed by a fused
+    /// ReLU (lowered to two GPU jobs).
+    Add {
+        /// Element count.
+        len: u32,
+    },
+    /// Softmax over the final vector.
+    Softmax {
+        /// Element count.
+        len: u32,
+    },
+}
+
+impl LayerOp {
+    /// Output element count of this layer.
+    pub fn out_len(&self) -> u32 {
+        match self {
+            LayerOp::Conv { p, .. } => p.out_c * p.out_h() * p.out_w(),
+            LayerOp::Fc { out_dim, .. } => *out_dim,
+            LayerOp::Pool {
+                kind: _,
+                c,
+                h,
+                w,
+                k,
+                stride,
+            } => {
+                let oh = (h - k) / stride + 1;
+                let ow = (w - k) / stride + 1;
+                c * oh * ow
+            }
+            LayerOp::Add { len } | LayerOp::Softmax { len } => *len,
+        }
+    }
+
+    /// Input element count of this layer.
+    pub fn in_len(&self) -> u32 {
+        match self {
+            LayerOp::Conv { p, .. } => p.in_c * p.in_h * p.in_w,
+            LayerOp::Fc { in_dim, .. } => *in_dim,
+            LayerOp::Pool { c, h, w, .. } => c * h * w,
+            LayerOp::Add { len } | LayerOp::Softmax { len } => *len,
+        }
+    }
+
+    /// Weight element count (0 for weight-less ops).
+    pub fn weight_len(&self) -> u32 {
+        match self {
+            LayerOp::Conv { p, .. } => p.out_c * p.in_c * p.k * p.k,
+            LayerOp::Fc {
+                in_dim, out_dim, ..
+            } => in_dim * out_dim,
+            _ => 0,
+        }
+    }
+
+    /// Bias element count.
+    pub fn bias_len(&self) -> u32 {
+        match self {
+            LayerOp::Conv { p, .. } => p.out_c,
+            LayerOp::Fc { out_dim, .. } => *out_dim,
+            _ => 0,
+        }
+    }
+
+    /// MACs at actual scale.
+    pub fn actual_macs(&self) -> u64 {
+        match self {
+            LayerOp::Conv { p, .. } => p.macs(),
+            LayerOp::Fc {
+                in_dim, out_dim, ..
+            } => *in_dim as u64 * *out_dim as u64,
+            LayerOp::Pool { c, h, w, k, .. } => {
+                *c as u64 * *h as u64 * *w as u64 * (*k as u64).pow(2) / 4
+            }
+            LayerOp::Add { len } => *len as u64,
+            LayerOp::Softmax { len } => *len as u64 * 4,
+        }
+    }
+}
+
+/// One layer: operator plus JIT/lowering calibration knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSpec {
+    /// Layer name (`"conv1"`, `"fc2"`, ...).
+    pub name: &'static str,
+    /// The operator.
+    pub op: LayerOp,
+    /// GEMM tile jobs the JIT emits for this layer's main op (≥ 1) —
+    /// standing in for ACL's workload tiling heuristics.
+    pub splits: u32,
+    /// Runtime housekeeping jobs (buffer fills, border handling, staging)
+    /// ACL emits around this layer.
+    pub setup_jobs: u32,
+    /// Paper-scale MAC count (drives the job-duration cost model).
+    pub nominal_macs: u64,
+    /// Paper-scale live working set in bytes (drives naive sync traffic).
+    pub nominal_data_bytes: u64,
+    /// Save this layer's output as the skip input for a later `Add`.
+    pub save_skip: bool,
+}
+
+impl LayerSpec {
+    /// Number of GPU jobs this layer lowers to (must match the runtime's
+    /// lowering; asserted by cross-crate tests).
+    pub fn job_count(&self) -> u32 {
+        let main = match &self.op {
+            LayerOp::Conv { relu, .. } | LayerOp::Fc { relu, .. } => {
+                // Stage + tiles + optional activation.
+                1 + self.splits + u32::from(*relu)
+            }
+            // Residual add lowers to an Add job plus its fused ReLU job.
+            LayerOp::Add { .. } => 2,
+            LayerOp::Pool { .. } | LayerOp::Softmax { .. } => 1,
+        };
+        self.setup_jobs + main
+    }
+}
+
+/// A whole network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSpec {
+    /// Benchmark name as used in the paper's tables.
+    pub name: &'static str,
+    /// Input element count.
+    pub input_len: u32,
+    /// Output element count (class scores).
+    pub output_len: u32,
+    /// Layers in execution order.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl NetworkSpec {
+    /// Total GPU jobs over all layers (the "# GPU jobs" of Table 1).
+    pub fn total_jobs(&self) -> u32 {
+        self.layers.iter().map(LayerSpec::job_count).sum()
+    }
+
+    /// Total paper-scale MACs.
+    pub fn total_nominal_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.nominal_macs).sum()
+    }
+
+    /// Total weight elements at actual scale.
+    pub fn total_weights(&self) -> u64 {
+        self.layers.iter().map(|l| l.op.weight_len() as u64).sum()
+    }
+
+    /// Validates internal consistency: each layer's input length matches
+    /// the previous layer's output length (Add layers consume the running
+    /// activation plus the skip buffer and so must match too).
+    pub fn validate(&self) -> Result<(), String> {
+        let mut cur = self.input_len;
+        for layer in &self.layers {
+            let expect = layer.op.in_len();
+            if expect != cur {
+                return Err(format!(
+                    "{}: layer {} expects {} inputs but receives {}",
+                    self.name, layer.name, expect, cur
+                ));
+            }
+            cur = layer.op.out_len();
+        }
+        if cur != self.output_len {
+            return Err(format!(
+                "{}: final output {} != declared {}",
+                self.name, cur, self.output_len
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(in_c: u32, in_hw: u32, out_c: u32, k: u32, relu: bool) -> LayerOp {
+        LayerOp::Conv {
+            p: ConvParams {
+                in_c,
+                in_h: in_hw,
+                in_w: in_hw,
+                out_c,
+                k,
+                stride: 1,
+                pad: 0,
+            },
+            relu,
+        }
+    }
+
+    #[test]
+    fn out_len_math() {
+        let op = conv(1, 28, 6, 5, true);
+        assert_eq!(op.out_len(), 6 * 24 * 24);
+        assert_eq!(op.in_len(), 28 * 28);
+        assert_eq!(op.weight_len(), 6 * 25);
+        assert_eq!(op.bias_len(), 6);
+    }
+
+    #[test]
+    fn job_count_lowering_rule() {
+        let l = LayerSpec {
+            name: "c",
+            op: conv(1, 8, 2, 3, true),
+            splits: 3,
+            setup_jobs: 2,
+            nominal_macs: 0,
+            nominal_data_bytes: 0,
+            save_skip: false,
+        };
+        // 2 setup + 1 stage + 3 tiles + 1 relu.
+        assert_eq!(l.job_count(), 7);
+        let pool = LayerSpec {
+            name: "p",
+            op: LayerOp::Pool {
+                kind: PoolKind::Max,
+                c: 2,
+                h: 6,
+                w: 6,
+                k: 2,
+                stride: 2,
+            },
+            splits: 1,
+            setup_jobs: 0,
+            nominal_macs: 0,
+            nominal_data_bytes: 0,
+            save_skip: false,
+        };
+        assert_eq!(pool.job_count(), 1);
+    }
+
+    #[test]
+    fn validate_catches_shape_mismatch() {
+        let net = NetworkSpec {
+            name: "bad",
+            input_len: 10,
+            output_len: 4,
+            layers: vec![LayerSpec {
+                name: "fc",
+                op: LayerOp::Fc {
+                    in_dim: 12, // Mismatch: input is 10.
+                    out_dim: 4,
+                    relu: false,
+                },
+                splits: 1,
+                setup_jobs: 0,
+                nominal_macs: 0,
+                nominal_data_bytes: 0,
+                save_skip: false,
+            }],
+        };
+        assert!(net.validate().is_err());
+    }
+}

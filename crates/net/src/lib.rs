@@ -1,0 +1,437 @@
+//! Network channel model between the cloud VM and the client TEE.
+//!
+//! The paper evaluates GR-T under NetEm-shaped conditions (§7.2): a
+//! WiFi-like link (20 ms RTT, 80 Mbps) and a cellular-like link (50 ms RTT,
+//! 40 Mbps). This crate models a [`Link`] on the shared virtual clock:
+//!
+//! - a **blocking round trip** advances the clock by RTT plus serialization
+//!   time for both directions (this is what a synchronous register-access
+//!   commit costs);
+//! - an **asynchronous send** computes when the message would complete
+//!   *without* advancing the clock — the caller joins on the returned
+//!   completion time later (this is how speculative commits hide their RTT);
+//! - every message is accounted (count, bytes up/down, blocking RTTs) into a
+//!   shared [`grt_sim::Stats`], which is exactly the data behind Table 1;
+//! - optionally, radio energy is charged to a [`grt_sim::EnergyMeter`]
+//!   (Figure 9).
+
+use grt_sim::{Clock, EnergyMeter, Rail, SimTime, Stats};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shaped network conditions, NetEm-style.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConditions {
+    /// Round-trip time (propagation both ways, excluding serialization).
+    pub rtt: SimTime,
+    /// Link bandwidth in bits per second (applies to each direction).
+    pub bandwidth_bps: u64,
+    /// Uniform RTT jitter as a fraction of `rtt` (0.0 = none). Drawn from
+    /// a deterministic per-link stream, like NetEm's `delay ... jitter`.
+    pub jitter_frac: f64,
+    /// Probability that a message is lost and must be retransmitted after
+    /// a one-RTT timeout (NetEm's `loss`).
+    pub loss_prob: f64,
+}
+
+impl NetConditions {
+    /// WiFi-like conditions from §7.2: 20 ms RTT, 80 Mbps.
+    pub fn wifi() -> Self {
+        NetConditions {
+            rtt: SimTime::from_millis(20),
+            bandwidth_bps: 80_000_000,
+            jitter_frac: 0.0,
+            loss_prob: 0.0,
+        }
+    }
+
+    /// Cellular-like conditions from §7.2: 50 ms RTT, 40 Mbps.
+    pub fn cellular() -> Self {
+        NetConditions {
+            rtt: SimTime::from_millis(50),
+            bandwidth_bps: 40_000_000,
+            jitter_frac: 0.0,
+            loss_prob: 0.0,
+        }
+    }
+
+    /// A same-machine loopback used by native (non-GR-T) baselines.
+    pub fn loopback() -> Self {
+        NetConditions {
+            rtt: SimTime::from_micros(1),
+            bandwidth_bps: 100_000_000_000,
+            jitter_frac: 0.0,
+            loss_prob: 0.0,
+        }
+    }
+
+    /// Arbitrary conditions for parameter sweeps.
+    pub fn custom(rtt: SimTime, bandwidth_bps: u64) -> Self {
+        NetConditions {
+            rtt,
+            bandwidth_bps,
+            jitter_frac: 0.0,
+            loss_prob: 0.0,
+        }
+    }
+
+    /// Adds uniform RTT jitter (fraction of the base RTT).
+    pub fn with_jitter(mut self, frac: f64) -> Self {
+        self.jitter_frac = frac.max(0.0);
+        self
+    }
+
+    /// Adds a message-loss probability (retransmit after one RTT timeout).
+    pub fn with_loss(mut self, prob: f64) -> Self {
+        self.loss_prob = prob.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Serialization time for `bytes` at this link's bandwidth.
+    pub fn tx_time(&self, bytes: usize) -> SimTime {
+        let bits = bytes as u64 * 8;
+        SimTime::from_secs_f64(bits as f64 / self.bandwidth_bps.max(1) as f64)
+    }
+
+    /// Human-readable label ("rtt=20ms bw=80Mbps").
+    pub fn label(&self) -> String {
+        format!(
+            "rtt={}ms bw={}Mbps",
+            self.rtt.as_millis(),
+            self.bandwidth_bps / 1_000_000
+        )
+    }
+}
+
+/// Radio power model for energy accounting (Figure 9).
+///
+/// Values are representative of the HiKey960's WL1835 WiFi module.
+#[derive(Debug, Clone, Copy)]
+pub struct RadioPower {
+    /// Draw while transmitting, in watts.
+    pub tx_watts: f64,
+    /// Draw while receiving, in watts.
+    pub rx_watts: f64,
+    /// Draw while the radio is awake but idle (waiting on a response).
+    pub idle_watts: f64,
+}
+
+impl Default for RadioPower {
+    fn default() -> Self {
+        RadioPower {
+            tx_watts: 0.9,
+            rx_watts: 0.65,
+            idle_watts: 0.25,
+        }
+    }
+}
+
+/// A cloud↔client link bound to the shared virtual clock.
+///
+/// # Examples
+///
+/// ```
+/// use grt_net::{Link, NetConditions};
+/// use grt_sim::{Clock, Stats};
+///
+/// let clock = Clock::new();
+/// let stats = Stats::new();
+/// let link = Link::new(&clock, &stats, NetConditions::wifi());
+/// link.round_trip(200, 200);
+/// assert!(clock.now().as_millis() >= 20);
+/// assert_eq!(stats.get("net.blocking_rtts"), 1);
+/// ```
+#[derive(Debug)]
+pub struct Link {
+    clock: Rc<Clock>,
+    stats: Rc<Stats>,
+    conditions: RefCell<NetConditions>,
+    energy: RefCell<Option<(Rc<EnergyMeter>, RadioPower)>>,
+    rng: RefCell<grt_sim::Rng>,
+}
+
+impl Link {
+    /// Creates a link with the given shaped conditions.
+    pub fn new(clock: &Rc<Clock>, stats: &Rc<Stats>, conditions: NetConditions) -> Rc<Link> {
+        Rc::new(Link {
+            clock: Rc::clone(clock),
+            stats: Rc::clone(stats),
+            conditions: RefCell::new(conditions),
+            energy: RefCell::new(None),
+            rng: RefCell::new(grt_sim::Rng::new(0x6e65_746c_696e_6b)),
+        })
+    }
+
+    /// Attaches an energy meter; radio energy is charged per transfer.
+    pub fn attach_energy(&self, meter: &Rc<EnergyMeter>, power: RadioPower) {
+        *self.energy.borrow_mut() = Some((Rc::clone(meter), power));
+    }
+
+    /// Replaces the link conditions (used by the network sweep example).
+    pub fn set_conditions(&self, conditions: NetConditions) {
+        *self.conditions.borrow_mut() = conditions;
+    }
+
+    /// Current link conditions.
+    pub fn conditions(&self) -> NetConditions {
+        *self.conditions.borrow()
+    }
+
+    /// One propagation leg's effective duration: jitter applied, plus any
+    /// loss-retransmission timeouts (each lost attempt costs a full RTT).
+    fn effective_rtt(&self, c: &NetConditions) -> SimTime {
+        let mut rng = self.rng.borrow_mut();
+        let mut total = SimTime::ZERO;
+        while c.loss_prob > 0.0 && rng.chance(c.loss_prob) {
+            // Timeout and retransmit.
+            total += c.rtt;
+            self.stats.inc("net.retransmissions");
+        }
+        let jitter = if c.jitter_frac > 0.0 {
+            SimTime::from_secs_f64(c.rtt.as_secs_f64() * c.jitter_frac * rng.gen_f64())
+        } else {
+            SimTime::ZERO
+        };
+        total + c.rtt + jitter
+    }
+
+    fn charge_energy(&self, tx: SimTime, rx: SimTime, idle: SimTime) {
+        if let Some((meter, p)) = self.energy.borrow().as_ref() {
+            meter.add_energy(
+                Rail::Radio,
+                p.tx_watts * tx.as_secs_f64()
+                    + p.rx_watts * rx.as_secs_f64()
+                    + p.idle_watts * idle.as_secs_f64(),
+            );
+        }
+    }
+
+    /// A blocking request/response exchange: the caller cannot make progress
+    /// until the response arrives. Advances the clock and returns the elapsed
+    /// time.
+    ///
+    /// This is the cost of a synchronous register-access commit (§4.1) or a
+    /// naive per-access forwarding round trip.
+    pub fn round_trip(&self, request_bytes: usize, response_bytes: usize) -> SimTime {
+        let c = self.conditions();
+        let tx = c.tx_time(request_bytes);
+        let rx = c.tx_time(response_bytes);
+        let total = self.effective_rtt(&c) + tx + rx;
+        self.clock.advance(total);
+        self.stats.inc("net.blocking_rtts");
+        self.stats.inc("net.messages");
+        self.stats.add("net.bytes_up", request_bytes as u64);
+        self.stats.add("net.bytes_down", response_bytes as u64);
+        self.charge_energy(tx, rx, c.rtt);
+        total
+    }
+
+    /// An asynchronous exchange: computes the absolute virtual time at which
+    /// the response would be fully received, **without advancing the clock**.
+    ///
+    /// Speculative commits (§4.2) use this: the cloud continues executing on
+    /// predicted values and joins on the returned completion time only when
+    /// forced to (externalization, speculative commit, validation).
+    pub fn round_trip_async(&self, request_bytes: usize, response_bytes: usize) -> SimTime {
+        let c = self.conditions();
+        let tx = c.tx_time(request_bytes);
+        let rx = c.tx_time(response_bytes);
+        self.stats.inc("net.async_rtts");
+        self.stats.inc("net.messages");
+        self.stats.add("net.bytes_up", request_bytes as u64);
+        self.stats.add("net.bytes_down", response_bytes as u64);
+        // Overlapped exchanges do not serialize radio idle time; only the
+        // actual transmit/receive energy is charged.
+        self.charge_energy(tx, rx, SimTime::ZERO);
+        self.clock.now() + self.effective_rtt(&c) + tx + rx
+    }
+
+    /// A one-way bulk transfer (memory-dump synchronization, recording
+    /// download). Advances the clock by half an RTT plus serialization time.
+    pub fn transfer(&self, bytes: usize, direction: Direction) -> SimTime {
+        let c = self.conditions();
+        let tx = c.tx_time(bytes);
+        let total = self.effective_rtt(&c) / 2 + tx;
+        self.clock.advance(total);
+        self.stats.inc("net.messages");
+        // A sync transfer gates forward progress (job start / IRQ
+        // forwarding), so it counts toward the blocking round-trip budget.
+        self.stats.inc("net.transfers");
+        self.stats.inc("net.blocking_rtts");
+        match direction {
+            Direction::Up => {
+                self.stats.add("net.bytes_up", bytes as u64);
+                self.charge_energy(tx, SimTime::ZERO, c.rtt / 2);
+            }
+            Direction::Down => {
+                self.stats.add("net.bytes_down", bytes as u64);
+                self.charge_energy(SimTime::ZERO, tx, c.rtt / 2);
+            }
+        }
+        total
+    }
+
+    /// The shared stats sink (for layered accounting by the session code).
+    pub fn stats(&self) -> &Rc<Stats> {
+        &self.stats
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &Rc<Clock> {
+        &self.clock
+    }
+}
+
+/// Direction of a one-way transfer, from the client's perspective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Client → cloud (e.g. client memory dump, interrupt forward).
+    Up,
+    /// Cloud → client (e.g. cloud memory dump, recording download).
+    Down,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(c: NetConditions) -> (Rc<Clock>, Rc<Stats>, Rc<Link>) {
+        let clock = Clock::new();
+        let stats = Stats::new();
+        let link = Link::new(&clock, &stats, c);
+        (clock, stats, link)
+    }
+
+    #[test]
+    fn blocking_rtt_advances_clock() {
+        let (clock, stats, link) = setup(NetConditions::wifi());
+        let dt = link.round_trip(0, 0);
+        assert_eq!(dt.as_millis(), 20);
+        assert_eq!(clock.now().as_millis(), 20);
+        assert_eq!(stats.get("net.blocking_rtts"), 1);
+    }
+
+    #[test]
+    fn serialization_time_added() {
+        let (clock, _, link) = setup(NetConditions::custom(SimTime::ZERO, 8_000_000));
+        // 1 MB at 8 Mbps = 1 second each way.
+        link.round_trip(1_000_000, 1_000_000);
+        assert!((clock.now().as_secs_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn async_round_trip_does_not_advance_clock() {
+        let (clock, stats, link) = setup(NetConditions::wifi());
+        let done_at = link.round_trip_async(100, 100);
+        assert_eq!(clock.now(), SimTime::ZERO);
+        assert!(done_at.as_millis() >= 20);
+        assert_eq!(stats.get("net.blocking_rtts"), 0);
+        assert_eq!(stats.get("net.async_rtts"), 1);
+    }
+
+    #[test]
+    fn transfer_counts_direction() {
+        let (_, stats, link) = setup(NetConditions::cellular());
+        link.transfer(5000, Direction::Up);
+        link.transfer(7000, Direction::Down);
+        assert_eq!(stats.get("net.bytes_up"), 5000);
+        assert_eq!(stats.get("net.bytes_down"), 7000);
+    }
+
+    #[test]
+    fn cellular_is_slower_than_wifi() {
+        let (cw, _, lw) = setup(NetConditions::wifi());
+        let (cc, _, lc) = setup(NetConditions::cellular());
+        lw.round_trip(400, 400);
+        lc.round_trip(400, 400);
+        assert!(cc.now() > cw.now());
+    }
+
+    #[test]
+    fn energy_charged_per_transfer() {
+        let (clock, stats, link) =
+            setup(NetConditions::custom(SimTime::from_millis(10), 8_000_000));
+        let meter = EnergyMeter::new(&clock);
+        link.attach_energy(
+            &meter,
+            RadioPower {
+                tx_watts: 1.0,
+                rx_watts: 1.0,
+                idle_watts: 0.0,
+            },
+        );
+        // 1 MB up at 8 Mbps = 1 s of tx at 1 W = 1 J.
+        link.transfer(1_000_000, Direction::Up);
+        assert!((meter.energy(Rail::Radio) - 1.0).abs() < 1e-6);
+        let _ = stats;
+    }
+
+    #[test]
+    fn conditions_can_be_swept() {
+        let (clock, _, link) = setup(NetConditions::wifi());
+        link.set_conditions(NetConditions::custom(SimTime::from_millis(100), 1_000_000));
+        link.round_trip(0, 0);
+        assert_eq!(clock.now().as_millis(), 100);
+        assert_eq!(link.conditions().rtt.as_millis(), 100);
+    }
+
+    #[test]
+    fn tx_time_math() {
+        let c = NetConditions::custom(SimTime::ZERO, 80_000_000);
+        // 10 KB at 80 Mbps = 1 ms.
+        assert_eq!(c.tx_time(10_000).as_micros(), 1000);
+    }
+}
+
+#[cfg(test)]
+mod degradation_tests {
+    use super::*;
+
+    #[test]
+    fn jitter_stretches_rtts_but_never_shrinks() {
+        let clock = Clock::new();
+        let stats = Stats::new();
+        let link = Link::new(&clock, &stats, NetConditions::wifi().with_jitter(0.5));
+        let mut total = SimTime::ZERO;
+        for _ in 0..50 {
+            let dt = link.round_trip(0, 0);
+            assert!(dt >= SimTime::from_millis(20), "{dt}");
+            assert!(dt <= SimTime::from_millis(30), "{dt}");
+            total += dt;
+        }
+        // On average strictly above the base RTT.
+        assert!(total > SimTime::from_millis(20 * 50));
+    }
+
+    #[test]
+    fn loss_triggers_retransmissions() {
+        let clock = Clock::new();
+        let stats = Stats::new();
+        let link = Link::new(&clock, &stats, NetConditions::wifi().with_loss(0.3));
+        for _ in 0..200 {
+            link.round_trip(0, 0);
+        }
+        let retx = stats.get("net.retransmissions");
+        assert!((20..160).contains(&retx), "retx={retx}");
+        // Each retransmission costs a full extra RTT.
+        assert!(clock.now() >= SimTime::from_millis(20 * 200) + SimTime::from_millis(20) * retx);
+    }
+
+    #[test]
+    fn degraded_link_is_deterministic() {
+        let run = || {
+            let clock = Clock::new();
+            let stats = Stats::new();
+            let link = Link::new(
+                &clock,
+                &stats,
+                NetConditions::cellular().with_jitter(0.2).with_loss(0.1),
+            );
+            for i in 0..100 {
+                link.round_trip(i, 2 * i);
+            }
+            clock.now()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,333 @@
+//! The per-SKU JIT: lowers layers to tiled shader jobs.
+//!
+//! Tiling is keyed to the probed shader-core count, so kernels compiled for
+//! a Mali-G71 MP8 fault on an MP4 (§2.4's SKU specificity). Job durations
+//! come from the paper-scale MAC counts divided by the SKU's throughput.
+
+use grt_gpu::shader::ShaderOp;
+use grt_gpu::GpuSku;
+use grt_ml::spec::{LayerOp, LayerSpec};
+
+/// What role a job plays inside a layer (used by Figure 8's classifier and
+/// by tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Runtime housekeeping (buffer fills, border handling).
+    Setup,
+    /// Weight/input staging before the main op.
+    Stage,
+    /// A tile of the main compute op.
+    Tile,
+    /// The fused activation pass.
+    Activation,
+    /// Pooling.
+    Pool,
+    /// Residual addition.
+    Add,
+    /// Softmax.
+    Softmax,
+}
+
+/// One lowered GPU job: its shader program and modeled duration.
+#[derive(Debug, Clone)]
+pub struct JitJob {
+    /// Shader instructions (usually one).
+    pub ops: Vec<ShaderOp>,
+    /// Virtual duration in microseconds (descriptor `cost_us`).
+    pub cost_us: u32,
+    /// Role within the layer.
+    pub kind: JobKind,
+}
+
+/// Buffer addresses a layer's lowering needs.
+#[derive(Debug, Clone, Copy)]
+pub struct LayerBuffers {
+    /// Input activation VA.
+    pub in_va: u64,
+    /// Output activation VA.
+    pub out_va: u64,
+    /// Weights VA (0 if the layer has none).
+    pub w_va: u64,
+    /// Bias VA (0 if none).
+    pub b_va: u64,
+    /// Skip-connection VA (for `Add` layers).
+    pub skip_va: u64,
+}
+
+/// The JIT compiler for one probed device.
+#[derive(Debug, Clone)]
+pub struct Jit {
+    /// Workgroup tiling — the probed shader-core count.
+    pub tiles: u32,
+    /// Device MAC throughput per microsecond (cost model denominator).
+    pub macs_per_us: u64,
+}
+
+/// Fixed virtual cost of a housekeeping/staging job.
+const SMALL_JOB_US: u32 = 10;
+
+impl Jit {
+    /// Builds a JIT for the probed SKU (what `clGetDeviceInfo` exposes).
+    pub fn for_device(sku: &GpuSku) -> Self {
+        Jit {
+            tiles: sku.shader_cores,
+            macs_per_us: sku.macs_per_us().max(1),
+        }
+    }
+
+    /// Lowers one layer to its job sequence.
+    ///
+    /// The job count always equals [`LayerSpec::job_count`]; a cross-crate
+    /// test enforces this.
+    pub fn lower_layer(&self, layer: &LayerSpec, bufs: LayerBuffers) -> Vec<JitJob> {
+        let mut jobs = Vec::new();
+        let out_len = layer.op.out_len();
+        // Housekeeping jobs: identity copies over a small prefix of the
+        // output buffer (fills/border handling in the real ACL).
+        for _ in 0..layer.setup_jobs {
+            jobs.push(JitJob {
+                ops: vec![ShaderOp::Copy {
+                    src_va: bufs.out_va,
+                    dst_va: bufs.out_va,
+                    len: out_len.min(16),
+                }],
+                cost_us: SMALL_JOB_US,
+                kind: JobKind::Setup,
+            });
+        }
+        match &layer.op {
+            LayerOp::Conv { p, relu } => {
+                let tile_cost = self.tile_cost(layer);
+                jobs.push(self.stage_job(bufs, layer));
+                jobs.push(JitJob {
+                    ops: vec![ShaderOp::Conv2d {
+                        in_va: bufs.in_va,
+                        w_va: bufs.w_va,
+                        b_va: bufs.b_va,
+                        out_va: bufs.out_va,
+                        p: *p,
+                        tiles: self.tiles,
+                    }],
+                    cost_us: tile_cost,
+                    kind: JobKind::Tile,
+                });
+                for _ in 1..layer.splits {
+                    jobs.push(self.extra_tile_job(bufs, out_len, tile_cost));
+                }
+                if *relu {
+                    jobs.push(self.relu_job(bufs, out_len));
+                }
+            }
+            LayerOp::Fc {
+                in_dim,
+                out_dim,
+                relu,
+            } => {
+                let tile_cost = self.tile_cost(layer);
+                jobs.push(self.stage_job(bufs, layer));
+                jobs.push(JitJob {
+                    ops: vec![ShaderOp::MatMul {
+                        a_va: bufs.in_va,
+                        b_va: bufs.w_va,
+                        bias_va: bufs.b_va,
+                        out_va: bufs.out_va,
+                        m: 1,
+                        k: *in_dim,
+                        n: *out_dim,
+                        tiles: self.tiles,
+                    }],
+                    cost_us: tile_cost,
+                    kind: JobKind::Tile,
+                });
+                for _ in 1..layer.splits {
+                    jobs.push(self.extra_tile_job(bufs, out_len, tile_cost));
+                }
+                if *relu {
+                    jobs.push(self.relu_job(bufs, out_len));
+                }
+            }
+            LayerOp::Pool {
+                kind,
+                c,
+                h,
+                w,
+                k,
+                stride,
+            } => {
+                jobs.push(JitJob {
+                    ops: vec![ShaderOp::Pool {
+                        in_va: bufs.in_va,
+                        out_va: bufs.out_va,
+                        kind: *kind,
+                        c: *c,
+                        h: *h,
+                        w: *w,
+                        k: *k,
+                        stride: *stride,
+                    }],
+                    cost_us: self.tile_cost(layer).max(SMALL_JOB_US),
+                    kind: JobKind::Pool,
+                });
+            }
+            LayerOp::Add { len } => {
+                jobs.push(JitJob {
+                    ops: vec![ShaderOp::Add {
+                        a_va: bufs.in_va,
+                        b_va: bufs.skip_va,
+                        out_va: bufs.out_va,
+                        len: *len,
+                    }],
+                    cost_us: SMALL_JOB_US,
+                    kind: JobKind::Add,
+                });
+                jobs.push(self.relu_job(bufs, *len));
+            }
+            LayerOp::Softmax { len } => {
+                jobs.push(JitJob {
+                    ops: vec![ShaderOp::Softmax {
+                        in_va: bufs.in_va,
+                        out_va: bufs.out_va,
+                        len: *len,
+                    }],
+                    cost_us: SMALL_JOB_US,
+                    kind: JobKind::Softmax,
+                });
+            }
+        }
+        jobs
+    }
+
+    /// The cost of one tile of the layer's main op.
+    fn tile_cost(&self, layer: &LayerSpec) -> u32 {
+        let per_tile = layer.nominal_macs / layer.splits.max(1) as u64 / self.macs_per_us;
+        (per_tile as u32).max(SMALL_JOB_US)
+    }
+
+    fn stage_job(&self, bufs: LayerBuffers, layer: &LayerSpec) -> JitJob {
+        // Stage: touch the input buffer (im2col / weight reshape stand-in).
+        JitJob {
+            ops: vec![ShaderOp::Copy {
+                src_va: bufs.in_va,
+                dst_va: bufs.in_va,
+                len: layer.op.in_len().min(16),
+            }],
+            cost_us: SMALL_JOB_US,
+            kind: JobKind::Stage,
+        }
+    }
+
+    fn extra_tile_job(&self, bufs: LayerBuffers, out_len: u32, cost: u32) -> JitJob {
+        // Subsequent GEMM tiles: the first tile already produced the whole
+        // output at validation scale; these carry the remaining virtual
+        // cost as idempotent passes over the output.
+        JitJob {
+            ops: vec![ShaderOp::Copy {
+                src_va: bufs.out_va,
+                dst_va: bufs.out_va,
+                len: out_len.min(64),
+            }],
+            cost_us: cost,
+            kind: JobKind::Tile,
+        }
+    }
+
+    fn relu_job(&self, bufs: LayerBuffers, len: u32) -> JitJob {
+        JitJob {
+            ops: vec![ShaderOp::Relu {
+                in_va: bufs.out_va,
+                out_va: bufs.out_va,
+                len,
+            }],
+            cost_us: SMALL_JOB_US,
+            kind: JobKind::Activation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grt_ml::zoo;
+
+    #[test]
+    fn job_counts_match_spec_lowering() {
+        let jit = Jit::for_device(&GpuSku::mali_g71_mp8());
+        let bufs = LayerBuffers {
+            in_va: 0x1000,
+            out_va: 0x2000,
+            w_va: 0x3000,
+            b_va: 0x4000,
+            skip_va: 0x5000,
+        };
+        for net in zoo::all_benchmarks() {
+            for layer in &net.layers {
+                let jobs = jit.lower_layer(layer, bufs);
+                assert_eq!(
+                    jobs.len() as u32,
+                    layer.job_count(),
+                    "{}::{}",
+                    net.name,
+                    layer.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiles_follow_sku() {
+        let jit8 = Jit::for_device(&GpuSku::mali_g71_mp8());
+        let jit4 = Jit::for_device(&GpuSku::mali_g71_mp4());
+        assert_eq!(jit8.tiles, 8);
+        assert_eq!(jit4.tiles, 4);
+        let layer = &zoo::mnist().layers[0];
+        let bufs = LayerBuffers {
+            in_va: 0,
+            out_va: 0,
+            w_va: 0,
+            b_va: 0,
+            skip_va: 0,
+        };
+        let j8 = jit8.lower_layer(layer, bufs);
+        let conv8 = j8.iter().find_map(|j| match &j.ops[0] {
+            ShaderOp::Conv2d { tiles, .. } => Some(*tiles),
+            _ => None,
+        });
+        assert_eq!(conv8, Some(8));
+        let j4 = jit4.lower_layer(layer, bufs);
+        let conv4 = j4.iter().find_map(|j| match &j.ops[0] {
+            ShaderOp::Conv2d { tiles, .. } => Some(*tiles),
+            _ => None,
+        });
+        assert_eq!(conv4, Some(4));
+    }
+
+    #[test]
+    fn cost_scales_with_nominal_macs() {
+        let jit = Jit::for_device(&GpuSku::mali_g71_mp8());
+        let vgg = zoo::vgg16();
+        let mnist = zoo::mnist();
+        let bufs = LayerBuffers {
+            in_va: 0,
+            out_va: 0,
+            w_va: 0,
+            b_va: 0,
+            skip_va: 0,
+        };
+        let vgg_cost: u64 = vgg
+            .layers
+            .iter()
+            .flat_map(|l| jit.lower_layer(l, bufs))
+            .map(|j| j.cost_us as u64)
+            .sum();
+        let mnist_cost: u64 = mnist
+            .layers
+            .iter()
+            .flat_map(|l| jit.lower_layer(l, bufs))
+            .map(|j| j.cost_us as u64)
+            .sum();
+        assert!(
+            vgg_cost > mnist_cost * 50,
+            "vgg={vgg_cost} mnist={mnist_cost}"
+        );
+    }
+}

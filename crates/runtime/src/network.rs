@@ -1,0 +1,448 @@
+//! Network compilation: allocate GPU regions, JIT all layers, emit shader
+//! programs / descriptors / command streams into GPU memory.
+
+use crate::jit::{Jit, JitJob, JobKind, LayerBuffers};
+use grt_driver::{DriverError, KbaseDriver, RegPort, Usage};
+use grt_gpu::job::{JobDescriptor, JobStatus, DESC_SIZE};
+use grt_gpu::mem::PAGE_SIZE;
+use grt_gpu::mmu::PteFlags;
+use grt_gpu::shader::INSTR_SIZE;
+use grt_ml::reference::{biases_for_layer, weights_for_layer};
+use grt_ml::NetworkSpec;
+
+/// One submitted GPU job of a compiled network.
+#[derive(Debug, Clone, Copy)]
+pub struct CompiledJob {
+    /// VA of the job descriptor (what goes into `JS_HEAD`).
+    pub desc_va: u64,
+    /// Modeled duration.
+    pub cost_us: u32,
+    /// Role within the layer.
+    pub kind: JobKind,
+}
+
+/// One compiled layer: the recording granularity of Figure 2.
+#[derive(Debug, Clone)]
+pub struct CompiledLayer {
+    /// Layer name.
+    pub name: &'static str,
+    /// Jobs in submission order.
+    pub jobs: Vec<CompiledJob>,
+    /// Paper-scale live working set for naive sync accounting.
+    pub nominal_data_bytes: u64,
+}
+
+/// A network compiled for one specific GPU SKU.
+#[derive(Debug, Clone)]
+pub struct CompiledNetwork {
+    /// Benchmark name.
+    pub name: String,
+    /// SKU the JIT targeted (recordings are only valid on this SKU).
+    pub compiled_for_gpu_id: u32,
+    /// Layers in execution order.
+    pub layers: Vec<CompiledLayer>,
+    /// VA where inference input is written.
+    pub input_va: u64,
+    /// VA where the final output appears.
+    pub output_va: u64,
+    /// Input element count.
+    pub input_len: u32,
+    /// Output element count.
+    pub output_len: u32,
+    /// Weight/bias buffer VAs and element counts in layer order (weights
+    /// then bias per layer; empty buffers omitted). The replayer injects
+    /// real parameters into these slots (§2.3 input independence).
+    pub weight_slots: Vec<(u64, u32)>,
+}
+
+impl CompiledNetwork {
+    /// Total job count (matches `NetworkSpec::total_jobs`).
+    pub fn total_jobs(&self) -> usize {
+        self.layers.iter().map(|l| l.jobs.len()).sum()
+    }
+}
+
+fn pages_for(bytes: usize) -> usize {
+    bytes.div_ceil(PAGE_SIZE).max(1)
+}
+
+/// Size of the compiled kernel binary for a job of the given virtual
+/// cost: bigger kernels (unrolled tiles) for bigger workloads, clamped to
+/// the 4-48 KiB range seen in real Mali shader blobs.
+fn kernel_pad_bytes(cost_us: u32) -> usize {
+    (4096 + cost_us as usize * 32).min(48 * 1024)
+}
+
+/// Deterministic pseudo-"machine code" for a kernel binary: incompressible
+/// bytes seeded by the kernel's address (stable across record runs).
+fn kernel_binary_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = grt_sim::Rng::new(seed ^ 0x4A49_545F_4B42);
+    let mut out = vec![0u8; len];
+    rng.fill_bytes(&mut out);
+    out
+}
+
+/// Compiles `spec` through `driver` for the driver's device-tree SKU.
+///
+/// Allocates all GPU regions, writes weights/biases (deterministic, shared
+/// with the CPU reference), JITs every layer, and emits descriptors plus a
+/// synthetic command stream — the metastate the §5 synchronizer ships.
+pub fn compile_network<P: RegPort>(
+    driver: &mut KbaseDriver<P>,
+    spec: &NetworkSpec,
+) -> Result<CompiledNetwork, DriverError> {
+    compile_network_inner(driver, spec, false)
+}
+
+/// Like [`compile_network`] but *dry*: weight buffers are left zero-filled,
+/// matching the paper's record-phase rule that model parameters never reach
+/// the cloud (§5, §7.1). Layout is identical to a real compile.
+pub fn compile_network_dry<P: RegPort>(
+    driver: &mut KbaseDriver<P>,
+    spec: &NetworkSpec,
+) -> Result<CompiledNetwork, DriverError> {
+    compile_network_inner(driver, spec, true)
+}
+
+fn compile_network_inner<P: RegPort>(
+    driver: &mut KbaseDriver<P>,
+    spec: &NetworkSpec,
+    dry: bool,
+) -> Result<CompiledNetwork, DriverError> {
+    spec.validate().map_err(|_| DriverError::NotProbed).ok();
+    let jit = Jit::for_device(driver.devtree());
+
+    // --- Region sizing -------------------------------------------------
+    let max_act = spec
+        .layers
+        .iter()
+        .flat_map(|l| [l.op.in_len(), l.op.out_len()])
+        .chain([spec.input_len, spec.output_len])
+        .max()
+        .unwrap_or(1) as usize;
+    let total_jobs: usize = spec.total_jobs() as usize;
+    let total_weights: usize = spec
+        .layers
+        .iter()
+        .map(|l| (l.op.weight_len() + l.op.bias_len()) as usize)
+        .sum();
+
+    let input_va = driver.alloc_region(
+        pages_for(spec.input_len as usize * 4),
+        PteFlags::rw(),
+        Usage::Input,
+        None,
+    )?;
+    let output_va = driver.alloc_region(
+        pages_for(spec.output_len as usize * 4),
+        PteFlags::rw(),
+        Usage::Output,
+        None,
+    )?;
+    // Four rotating activation buffers; skip-pinned buffers are excluded
+    // from reuse until consumed.
+    let mut scratch = Vec::new();
+    for _ in 0..4 {
+        scratch.push(driver.alloc_region(
+            pages_for(max_act * 4),
+            PteFlags::rw(),
+            Usage::Scratch,
+            None,
+        )?);
+    }
+    let weights_va = driver.alloc_region(
+        pages_for(total_weights.max(1) * 4),
+        PteFlags::ro(),
+        Usage::Weights,
+        None,
+    )?;
+    // Shader region: instruction records plus the JIT's compiled kernel
+    // binaries. Real Mali kernels are 4-64 KiB of machine code per tile;
+    // pad_bytes models that (it is what makes the §5 metastate sync carry
+    // paper-scale traffic).
+    let total_shader_bytes: usize = spec
+        .layers
+        .iter()
+        .flat_map(|l| {
+            jit.lower_layer(
+                l,
+                LayerBuffers {
+                    in_va: 0,
+                    out_va: 0,
+                    w_va: 0,
+                    b_va: 0,
+                    skip_va: 0,
+                },
+            )
+        })
+        .map(|j| j.ops.len() * INSTR_SIZE + kernel_pad_bytes(j.cost_us))
+        .sum();
+    let shader_va = driver.alloc_region(
+        pages_for(total_shader_bytes + PAGE_SIZE),
+        PteFlags::rx(),
+        Usage::Shader,
+        None,
+    )?;
+    let desc_region_va = driver.alloc_region(
+        pages_for(total_jobs * DESC_SIZE),
+        PteFlags::rw(),
+        Usage::JobDescriptors,
+        None,
+    )?;
+    let cmd_va = driver.alloc_region(
+        pages_for(total_jobs * 32),
+        PteFlags::rw(),
+        Usage::Commands,
+        None,
+    )?;
+
+    // --- Weights -------------------------------------------------------
+    let mut w_cursor = weights_va;
+    let mut layer_weight_vas: Vec<(u64, u64)> = Vec::new();
+    let mut weight_slots: Vec<(u64, u32)> = Vec::new();
+    for (idx, layer) in spec.layers.iter().enumerate() {
+        let wl = layer.op.weight_len() as usize;
+        let bl = layer.op.bias_len() as usize;
+        let (mut w_va, mut b_va) = (0u64, 0u64);
+        if wl > 0 {
+            if !dry {
+                let w = weights_for_layer(spec.name, idx, wl);
+                let bytes: Vec<u8> = w.iter().flat_map(|v| v.to_le_bytes()).collect();
+                driver.copy_to_gpu(w_cursor, &bytes)?;
+            }
+            w_va = w_cursor;
+            weight_slots.push((w_va, wl as u32));
+            w_cursor += (wl * 4) as u64;
+        }
+        if bl > 0 {
+            if !dry {
+                let b = biases_for_layer(spec.name, idx, bl);
+                let bytes: Vec<u8> = b.iter().flat_map(|v| v.to_le_bytes()).collect();
+                driver.copy_to_gpu(w_cursor, &bytes)?;
+            }
+            b_va = w_cursor;
+            weight_slots.push((b_va, bl as u32));
+            w_cursor += (bl * 4) as u64;
+        }
+        layer_weight_vas.push((w_va, b_va));
+    }
+
+    // --- Lower layers, emit shaders + descriptors + commands -----------
+    let mut layers = Vec::new();
+    let mut shader_cursor = shader_va;
+    let mut desc_cursor = desc_region_va;
+    let mut cmd_cursor = cmd_va;
+    let mut cur_va = input_va;
+    let mut skip_va = 0u64;
+
+    for (idx, layer) in spec.layers.iter().enumerate() {
+        let is_last = idx == spec.layers.len() - 1;
+        let out_va = if is_last {
+            output_va
+        } else {
+            // Pick a scratch buffer that is neither the live input nor the
+            // pinned skip buffer.
+            *scratch
+                .iter()
+                .find(|&&v| v != cur_va && v != skip_va)
+                .expect("four scratch buffers always leave a free one")
+        };
+        let (w_va, b_va) = layer_weight_vas[idx];
+        let bufs = LayerBuffers {
+            in_va: cur_va,
+            out_va,
+            w_va,
+            b_va,
+            skip_va,
+        };
+        let jit_jobs: Vec<JitJob> = jit.lower_layer(layer, bufs);
+        let mut jobs = Vec::new();
+        for job in &jit_jobs {
+            // Shader program.
+            let prog_va = shader_cursor;
+            for op in &job.ops {
+                driver.copy_to_gpu(shader_cursor, &op.encode())?;
+                shader_cursor += INSTR_SIZE as u64;
+            }
+            // The kernel's compiled binary body (decoder only reads the
+            // records above; these bytes ride along as metastate). Dry
+            // compiles emit it too: kernel code is metastate, not data.
+            let pad = kernel_pad_bytes(job.cost_us);
+            let body = kernel_binary_bytes(shader_cursor, pad);
+            driver.copy_to_gpu(shader_cursor, &body)?;
+            shader_cursor += pad as u64;
+            // Descriptor.
+            let desc = JobDescriptor {
+                shader_va: prog_va,
+                n_instrs: job.ops.len() as u32,
+                cost_us: job.cost_us,
+                next_va: 0,
+                status: JobStatus::Pending,
+            };
+            driver.copy_to_gpu(desc_cursor, &desc.encode())?;
+            // Synthetic command-stream words referencing the descriptor.
+            let mut cmd = Vec::with_capacity(16);
+            cmd.extend_from_slice(&0xC0DE_CAFEu32.to_le_bytes());
+            cmd.extend_from_slice(&(desc_cursor as u32).to_le_bytes());
+            cmd.extend_from_slice(&((desc_cursor >> 32) as u32).to_le_bytes());
+            cmd.extend_from_slice(&job.cost_us.to_le_bytes());
+            driver.copy_to_gpu(cmd_cursor, &cmd)?;
+            cmd_cursor += 32;
+            jobs.push(CompiledJob {
+                desc_va: desc_cursor,
+                cost_us: job.cost_us,
+                kind: job.kind,
+            });
+            desc_cursor += DESC_SIZE as u64;
+        }
+        layers.push(CompiledLayer {
+            name: layer.name,
+            jobs,
+            nominal_data_bytes: layer.nominal_data_bytes,
+        });
+        if layer.save_skip {
+            skip_va = out_va;
+        }
+        cur_va = out_va;
+    }
+
+    Ok(CompiledNetwork {
+        name: spec.name.to_owned(),
+        compiled_for_gpu_id: driver.devtree().gpu_id,
+        layers,
+        input_va,
+        output_va,
+        input_len: spec.input_len,
+        output_len: spec.output_len,
+        weight_slots,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grt_driver::DirectPort;
+    use grt_gpu::{Gpu, GpuSku, Memory};
+    use grt_sim::{Clock, Stats};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn driver() -> KbaseDriver<DirectPort> {
+        let clock = Clock::new();
+        let stats = Stats::new();
+        let mem = Rc::new(RefCell::new(Memory::new(96 << 20)));
+        let gpu = Rc::new(RefCell::new(Gpu::new(GpuSku::mali_g71_mp8(), &clock, &mem)));
+        let port = DirectPort::new(&gpu, &clock, &stats);
+        let mut d = KbaseDriver::new(&port, &mem, GpuSku::mali_g71_mp8(), 0, 96 << 20);
+        d.probe().unwrap();
+        d
+    }
+
+    #[test]
+    fn compile_all_benchmarks() {
+        let mut d = driver();
+        for spec in grt_ml::zoo::all_benchmarks() {
+            let net = compile_network(&mut d, &spec).unwrap();
+            assert_eq!(
+                net.total_jobs(),
+                spec.total_jobs() as usize,
+                "{}",
+                spec.name
+            );
+            assert_eq!(net.layers.len(), spec.layers.len());
+            assert_ne!(net.input_va, net.output_va);
+        }
+    }
+
+    #[test]
+    fn dry_compile_has_identical_layout() {
+        // §5/§7.1: the dry compile must place every buffer exactly where a
+        // real compile would, or replay-time weight injection would miss.
+        let mut d1 = driver();
+        let real = compile_network(&mut d1, &grt_ml::zoo::mnist()).unwrap();
+        let mut d2 = driver();
+        let dry = compile_network_dry(&mut d2, &grt_ml::zoo::mnist()).unwrap();
+        assert_eq!(real.input_va, dry.input_va);
+        assert_eq!(real.output_va, dry.output_va);
+        assert_eq!(real.weight_slots, dry.weight_slots);
+        assert_eq!(real.total_jobs(), dry.total_jobs());
+        for (a, b) in real.layers.iter().zip(&dry.layers) {
+            for (ja, jb) in a.jobs.iter().zip(&b.jobs) {
+                assert_eq!(ja.desc_va, jb.desc_va);
+                assert_eq!(ja.cost_us, jb.cost_us);
+            }
+        }
+        // And the weights region really is zero in the dry compile.
+        let (w_va, w_len) = dry.weight_slots[0];
+        let bytes = d2.copy_from_gpu(w_va, w_len as usize * 4).unwrap();
+        assert!(bytes.iter().all(|&b| b == 0));
+        let bytes = d1.copy_from_gpu(w_va, w_len as usize * 4).unwrap();
+        assert!(bytes.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn kernel_binaries_are_deterministic_metastate() {
+        // The JIT's kernel bodies must be identical across compiles (they
+        // are recorded metastate) and incompressible enough to model real
+        // shader blobs.
+        let mut d1 = driver();
+        let n1 = compile_network(&mut d1, &grt_ml::zoo::mnist()).unwrap();
+        let mut d2 = driver();
+        let n2 = compile_network(&mut d2, &grt_ml::zoo::mnist()).unwrap();
+        let regions1 = d1.regions();
+        let regions1 = regions1.borrow();
+        let shader1 = regions1
+            .all()
+            .iter()
+            .find(|r| r.usage == Usage::Shader)
+            .unwrap();
+        let dump1 = d1
+            .mem()
+            .borrow()
+            .dump_range(shader1.pa, shader1.len_bytes());
+        let dump2 = d2
+            .mem()
+            .borrow()
+            .dump_range(shader1.pa, shader1.len_bytes());
+        assert_eq!(dump1, dump2, "kernel bodies must be reproducible");
+        let packed = grt_compress::compress(&dump1);
+        assert!(
+            packed.len() * 2 > dump1.len(),
+            "kernel bodies should be near-incompressible: {} -> {}",
+            dump1.len(),
+            packed.len()
+        );
+        let _ = (n1, n2);
+    }
+
+    #[test]
+    fn regions_are_classified() {
+        let mut d = driver();
+        let _net = compile_network(&mut d, &grt_ml::zoo::mnist()).unwrap();
+        let regions = d.regions();
+        let regions = regions.borrow();
+        let meta: Vec<_> = regions.metastate().map(|r| r.usage).collect();
+        assert!(meta.contains(&Usage::Shader));
+        assert!(meta.contains(&Usage::JobDescriptors));
+        assert!(meta.contains(&Usage::Commands));
+        assert!(meta.contains(&Usage::PageTable));
+        assert!(regions.data().count() >= 3); // Input, output, scratch, weights.
+    }
+
+    #[test]
+    fn shader_pages_are_executable_only_for_shader_region() {
+        let mut d = driver();
+        let _net = compile_network(&mut d, &grt_ml::zoo::mnist()).unwrap();
+        let regions = d.regions();
+        let regions = regions.borrow();
+        for r in regions.all() {
+            match r.usage {
+                Usage::Shader => assert!(r.gpu_flags.execute),
+                Usage::Input | Usage::Output | Usage::Scratch | Usage::Weights => {
+                    assert!(!r.gpu_flags.execute)
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! The shared virtual clock.
+
+use crate::time::SimTime;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// A monotonically advancing virtual clock shared by every simulated party.
+///
+/// The simulation is single-threaded and cooperative: components hold an
+/// `Rc<Clock>` and advance it explicitly when they model a cost (a network
+/// round trip, a GPU job, a driver delay). The clock never goes backwards;
+/// [`Clock::advance_to`] with a past time is a no-op, which is exactly the
+/// semantics needed for joining on speculative commits that may have already
+/// completed.
+///
+/// # Examples
+///
+/// ```
+/// use grt_sim::{Clock, SimTime};
+///
+/// let clock = Clock::new();
+/// clock.advance(SimTime::from_millis(20));
+/// clock.advance_to(SimTime::from_millis(10)); // no-op: already past
+/// assert_eq!(clock.now().as_millis(), 20);
+/// ```
+#[derive(Debug, Default)]
+pub struct Clock {
+    now: Cell<SimTime>,
+}
+
+impl Clock {
+    /// Creates a clock at time zero, wrapped for sharing.
+    pub fn new() -> Rc<Clock> {
+        Rc::new(Clock {
+            now: Cell::new(SimTime::ZERO),
+        })
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now.get()
+    }
+
+    /// Advances the clock by `delta`.
+    pub fn advance(&self, delta: SimTime) {
+        self.now.set(self.now.get() + delta);
+    }
+
+    /// Advances the clock to `t` if `t` is in the future; otherwise no-op.
+    ///
+    /// Returns the amount of time actually waited.
+    pub fn advance_to(&self, t: SimTime) -> SimTime {
+        let now = self.now.get();
+        if t > now {
+            self.now.set(t);
+            t - now
+        } else {
+            SimTime::ZERO
+        }
+    }
+
+    /// Runs `f` and returns its result together with the virtual time it
+    /// consumed (useful for experiment harnesses measuring phases).
+    pub fn measure<T>(&self, f: impl FnOnce() -> T) -> (T, SimTime) {
+        let start = self.now();
+        let out = f();
+        (out, self.now() - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let c = Clock::new();
+        assert_eq!(c.now(), SimTime::ZERO);
+        c.advance(SimTime::from_micros(5));
+        assert_eq!(c.now().as_micros(), 5);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let c = Clock::new();
+        c.advance(SimTime::from_millis(10));
+        let waited = c.advance_to(SimTime::from_millis(3));
+        assert_eq!(waited, SimTime::ZERO);
+        assert_eq!(c.now().as_millis(), 10);
+        let waited = c.advance_to(SimTime::from_millis(25));
+        assert_eq!(waited.as_millis(), 15);
+        assert_eq!(c.now().as_millis(), 25);
+    }
+
+    #[test]
+    fn measure_reports_elapsed() {
+        let c = Clock::new();
+        let (v, dt) = c.measure(|| {
+            c.advance(SimTime::from_secs(1));
+            42
+        });
+        assert_eq!(v, 42);
+        assert_eq!(dt.as_secs_f64(), 1.0);
+    }
+
+    #[test]
+    fn shared_view_is_consistent() {
+        let c = Clock::new();
+        let c2 = Rc::clone(&c);
+        c.advance(SimTime::from_nanos(7));
+        assert_eq!(c2.now().as_nanos(), 7);
+    }
+}

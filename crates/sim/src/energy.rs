@@ -1,0 +1,195 @@
+//! Power-state integration, standing in for the paper's multimeter (§7.4).
+//!
+//! The paper measures whole-client energy by instrumenting the HiKey960's
+//! power barrel. Our simulation knows every component's power state interval
+//! on the virtual timeline, so energy is the exact integral of power over
+//! time. Components register power *rails* (CPU, WiFi, GPU, SoC base) and
+//! update the rail's draw whenever their state changes.
+
+use crate::clock::Clock;
+use crate::time::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A power rail of the simulated client device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rail {
+    /// CPU cluster (TEE + normal world run here).
+    Cpu,
+    /// WiFi/cellular radio.
+    Radio,
+    /// The GPU power domain.
+    Gpu,
+    /// Always-on SoC base draw (DRAM refresh, PMIC, board).
+    Soc,
+}
+
+impl Rail {
+    /// All rails, for iteration in reports.
+    pub const ALL: [Rail; 4] = [Rail::Cpu, Rail::Radio, Rail::Gpu, Rail::Soc];
+
+    /// Stable index used for internal storage.
+    fn idx(self) -> usize {
+        match self {
+            Rail::Cpu => 0,
+            Rail::Radio => 1,
+            Rail::Gpu => 2,
+            Rail::Soc => 3,
+        }
+    }
+
+    /// Human-readable rail name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rail::Cpu => "cpu",
+            Rail::Radio => "radio",
+            Rail::Gpu => "gpu",
+            Rail::Soc => "soc",
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct RailState {
+    watts: f64,
+    joules: f64,
+    last_update: SimTime,
+}
+
+/// Integrates per-rail power draw over the shared virtual clock.
+///
+/// # Examples
+///
+/// ```
+/// use grt_sim::{Clock, EnergyMeter, Rail, SimTime};
+///
+/// let clock = Clock::new();
+/// let meter = EnergyMeter::new(&clock);
+/// meter.set_power(Rail::Radio, 0.8);
+/// clock.advance(SimTime::from_secs(10));
+/// meter.set_power(Rail::Radio, 0.0);
+/// assert!((meter.energy(Rail::Radio) - 8.0).abs() < 1e-9);
+/// ```
+#[derive(Debug)]
+pub struct EnergyMeter {
+    clock: Rc<Clock>,
+    rails: RefCell<[RailState; 4]>,
+}
+
+impl EnergyMeter {
+    /// Creates a meter bound to `clock` with all rails at zero watts.
+    pub fn new(clock: &Rc<Clock>) -> Rc<EnergyMeter> {
+        Rc::new(EnergyMeter {
+            clock: Rc::clone(clock),
+            rails: RefCell::new([RailState::default(); 4]),
+        })
+    }
+
+    fn settle(&self, rail: Rail) {
+        let now = self.clock.now();
+        let mut rails = self.rails.borrow_mut();
+        let st = &mut rails[rail.idx()];
+        let dt = (now - st.last_update).as_secs_f64();
+        st.joules += st.watts * dt;
+        st.last_update = now;
+    }
+
+    /// Sets the instantaneous draw of `rail` to `watts`, settling the energy
+    /// accumulated at the previous draw first.
+    pub fn set_power(&self, rail: Rail, watts: f64) {
+        self.settle(rail);
+        self.rails.borrow_mut()[rail.idx()].watts = watts;
+    }
+
+    /// Adds a fixed energy cost (e.g. a radio wake-up transient) to `rail`.
+    pub fn add_energy(&self, rail: Rail, joules: f64) {
+        self.settle(rail);
+        self.rails.borrow_mut()[rail.idx()].joules += joules;
+    }
+
+    /// Energy consumed on `rail` up to the current virtual time, in joules.
+    pub fn energy(&self, rail: Rail) -> f64 {
+        self.settle(rail);
+        self.rails.borrow()[rail.idx()].joules
+    }
+
+    /// Total energy across all rails, in joules.
+    pub fn total_energy(&self) -> f64 {
+        Rail::ALL.iter().map(|&r| self.energy(r)).sum()
+    }
+
+    /// Current draw of `rail` in watts.
+    pub fn power(&self, rail: Rail) -> f64 {
+        self.rails.borrow()[rail.idx()].watts
+    }
+
+    /// Resets all accumulated energy (draws are preserved); used between
+    /// experiment repetitions.
+    pub fn reset(&self) {
+        let now = self.clock.now();
+        for st in self.rails.borrow_mut().iter_mut() {
+            st.joules = 0.0;
+            st.last_update = now;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Rc<Clock>, Rc<EnergyMeter>) {
+        let c = Clock::new();
+        let m = EnergyMeter::new(&c);
+        (c, m)
+    }
+
+    #[test]
+    fn integrates_constant_power() {
+        let (c, m) = setup();
+        m.set_power(Rail::Cpu, 2.0);
+        c.advance(SimTime::from_secs(3));
+        assert!((m.energy(Rail::Cpu) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_change_settles_previous_interval() {
+        let (c, m) = setup();
+        m.set_power(Rail::Gpu, 1.0);
+        c.advance(SimTime::from_secs(2));
+        m.set_power(Rail::Gpu, 5.0);
+        c.advance(SimTime::from_secs(1));
+        assert!((m.energy(Rail::Gpu) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rails_are_independent() {
+        let (c, m) = setup();
+        m.set_power(Rail::Radio, 1.0);
+        m.set_power(Rail::Soc, 0.5);
+        c.advance(SimTime::from_secs(4));
+        assert!((m.energy(Rail::Radio) - 4.0).abs() < 1e-9);
+        assert!((m.energy(Rail::Soc) - 2.0).abs() < 1e-9);
+        assert_eq!(m.energy(Rail::Cpu), 0.0);
+        assert!((m.total_energy() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_energy_accounts_transients() {
+        let (_c, m) = setup();
+        m.add_energy(Rail::Radio, 0.25);
+        assert!((m.energy(Rail::Radio) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_energy_not_power() {
+        let (c, m) = setup();
+        m.set_power(Rail::Cpu, 3.0);
+        c.advance(SimTime::from_secs(1));
+        m.reset();
+        assert_eq!(m.energy(Rail::Cpu), 0.0);
+        assert_eq!(m.power(Rail::Cpu), 3.0);
+        c.advance(SimTime::from_secs(2));
+        assert!((m.energy(Rail::Cpu) - 6.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,167 @@
+//! A deterministic future-event queue.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a virtual time.
+///
+/// Ordering is by time, then by insertion sequence, so two events scheduled
+/// for the same instant pop in FIFO order — determinism matters more here
+/// than fairness.
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of future events keyed by [`SimTime`].
+///
+/// Used by the GPU hardware model for job completions, flush state machines,
+/// and interrupt delivery, and by the network model for in-flight messages.
+///
+/// # Examples
+///
+/// ```
+/// use grt_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_millis(5), "late");
+/// q.push(SimTime::from_millis(1), "early");
+/// assert_eq!(q.pop().unwrap().1, "early");
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// The time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Removes and returns the earliest event if it is due at or before `t`.
+    pub fn pop_due(&mut self, t: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? <= t {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events (used when resetting the GPU model).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(3), 3);
+        q.push(SimTime::from_millis(1), 1);
+        q.push(SimTime::from_millis(2), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_millis(1), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(2), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_millis(3), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(10);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(10), "x");
+        assert!(q.pop_due(SimTime::from_millis(9)).is_none());
+        assert_eq!(q.len(), 1);
+        assert!(q.pop_due(SimTime::from_millis(10)).is_some());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, ());
+        q.push(SimTime::from_secs(1), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

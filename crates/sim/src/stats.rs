@@ -1,0 +1,140 @@
+//! Named counters for experiment accounting.
+//!
+//! The experiment harnesses (Table 1, Figures 7–9) report quantities like
+//! "blocking RTTs", "memory sync bytes", and "speculative commits". Rather
+//! than threading a dozen counter references through every layer, components
+//! share one [`Stats`] sink and bump named counters.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A shared, ordered map of named `u64` counters.
+///
+/// `BTreeMap` keeps report output deterministic and sorted.
+///
+/// # Examples
+///
+/// ```
+/// use grt_sim::Stats;
+///
+/// let stats = Stats::new();
+/// stats.inc("net.blocking_rtts");
+/// stats.add("net.bytes_tx", 1500);
+/// assert_eq!(stats.get("net.blocking_rtts"), 1);
+/// assert_eq!(stats.get("net.bytes_tx"), 1500);
+/// assert_eq!(stats.get("missing"), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct Stats {
+    counters: RefCell<BTreeMap<String, u64>>,
+}
+
+impl Stats {
+    /// Creates an empty, shareable counter sink.
+    pub fn new() -> Rc<Stats> {
+        Rc::new(Stats::default())
+    }
+
+    /// Adds `n` to counter `key`, creating it at zero if absent.
+    pub fn add(&self, key: &str, n: u64) {
+        *self
+            .counters
+            .borrow_mut()
+            .entry(key.to_owned())
+            .or_insert(0) += n;
+    }
+
+    /// Increments counter `key` by one.
+    pub fn inc(&self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Current value of `key`, or zero if it was never touched.
+    pub fn get(&self, key: &str) -> u64 {
+        self.counters.borrow().get(key).copied().unwrap_or(0)
+    }
+
+    /// Sets `key` to an absolute value (used for gauges like queue depth).
+    pub fn set(&self, key: &str, value: u64) {
+        self.counters.borrow_mut().insert(key.to_owned(), value);
+    }
+
+    /// Clears every counter.
+    pub fn reset(&self) {
+        self.counters.borrow_mut().clear();
+    }
+
+    /// Snapshot of all counters, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.counters
+            .borrow()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Snapshot of counters whose name starts with `prefix`.
+    pub fn snapshot_prefixed(&self, prefix: &str) -> Vec<(String, u64)> {
+        self.counters
+            .borrow()
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let s = Stats::new();
+        s.add("a", 3);
+        s.add("a", 4);
+        s.inc("b");
+        assert_eq!(s.get("a"), 7);
+        assert_eq!(s.get("b"), 1);
+        assert_eq!(s.get("c"), 0);
+    }
+
+    #[test]
+    fn set_overrides() {
+        let s = Stats::new();
+        s.add("gauge", 10);
+        s.set("gauge", 2);
+        assert_eq!(s.get("gauge"), 2);
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let s = Stats::new();
+        s.inc("z");
+        s.inc("a");
+        s.inc("m");
+        let snap = s.snapshot();
+        let keys: Vec<_> = snap.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["a", "m", "z"]);
+    }
+
+    #[test]
+    fn prefix_filtering() {
+        let s = Stats::new();
+        s.inc("net.rtt");
+        s.inc("net.bytes");
+        s.inc("gpu.jobs");
+        assert_eq!(s.snapshot_prefixed("net.").len(), 2);
+        assert_eq!(s.snapshot_prefixed("gpu.").len(), 1);
+    }
+
+    #[test]
+    fn reset_clears_all() {
+        let s = Stats::new();
+        s.inc("x");
+        s.reset();
+        assert_eq!(s.get("x"), 0);
+        assert!(s.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Timestamped event trace for debugging and experiment narration.
+
+use crate::clock::Clock;
+use crate::time::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time at which the event was emitted.
+    pub at: SimTime,
+    /// Component that emitted it (e.g. `"drivershim"`).
+    pub source: &'static str,
+    /// Free-form message.
+    pub message: String,
+}
+
+/// A shared, optionally-enabled trace sink.
+///
+/// Disabled by default so the hot paths pay only a branch; the experiment
+/// harnesses and the misprediction-recovery example enable it to narrate
+/// what the shims are doing.
+///
+/// # Examples
+///
+/// ```
+/// use grt_sim::{Clock, Trace};
+///
+/// let clock = Clock::new();
+/// let trace = Trace::new(&clock);
+/// trace.set_enabled(true);
+/// trace.emit("drivershim", "commit of 4 register accesses");
+/// assert_eq!(trace.events().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Trace {
+    clock: Rc<Clock>,
+    enabled: RefCell<bool>,
+    events: RefCell<Vec<TraceEvent>>,
+}
+
+impl Trace {
+    /// Creates a disabled trace bound to `clock`.
+    pub fn new(clock: &Rc<Clock>) -> Rc<Trace> {
+        Rc::new(Trace {
+            clock: Rc::clone(clock),
+            enabled: RefCell::new(false),
+            events: RefCell::new(Vec::new()),
+        })
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&self, on: bool) {
+        *self.enabled.borrow_mut() = on;
+    }
+
+    /// True when the trace is recording.
+    pub fn is_enabled(&self) -> bool {
+        *self.enabled.borrow()
+    }
+
+    /// Records an event if the trace is enabled.
+    pub fn emit(&self, source: &'static str, message: impl Into<String>) {
+        if self.is_enabled() {
+            self.events.borrow_mut().push(TraceEvent {
+                at: self.clock.now(),
+                source,
+                message: message.into(),
+            });
+        }
+    }
+
+    /// Copy of all recorded events.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.borrow().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.borrow().is_empty()
+    }
+
+    /// Drops all recorded events.
+    pub fn clear(&self) {
+        self.events.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        let c = Clock::new();
+        let t = Trace::new(&c);
+        t.emit("x", "ignored");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn records_with_timestamp_when_enabled() {
+        let c = Clock::new();
+        let t = Trace::new(&c);
+        t.set_enabled(true);
+        c.advance(SimTime::from_millis(5));
+        t.emit("gpu", "irq raised");
+        let evs = t.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].at.as_millis(), 5);
+        assert_eq!(evs[0].source, "gpu");
+        assert_eq!(evs[0].message, "irq raised");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let c = Clock::new();
+        let t = Trace::new(&c);
+        t.set_enabled(true);
+        t.emit("a", "1");
+        t.clear();
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! A TrustZone TEE model: worlds, address-space protection, secure-monitor
+//! interrupt routing, and a GlobalPlatform-style module host.
+//!
+//! GR-T's client side lives inside this model (§3.2, §6): GPUShim is a TEE
+//! module; the trusted firmware switches the GPU between the normal world
+//! and the TEE with a TZASC (reference 44 in the paper); the secure monitor routes GPU interrupts to
+//! the TEE during record and replay. The security tests of §7.1 — a local
+//! privileged adversary cannot touch GPU MMIO or secure memory while the
+//! TEE holds the GPU — run against this crate's enforcement.
+
+pub mod monitor;
+pub mod session;
+pub mod storage;
+pub mod tzasc;
+pub mod world;
+
+pub use monitor::SecureMonitor;
+pub use session::{GpParam, GpStatus, TeeHost, TeeModule};
+pub use storage::{SecureStorage, StorageError};
+pub use tzasc::{AccessDecision, ProtectedRange, Tzasc};
+pub use world::World;

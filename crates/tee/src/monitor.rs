@@ -1,0 +1,125 @@
+//! The secure monitor: world switches and interrupt routing.
+//!
+//! §6: *"We modify the secure monitor to route the GPU's interrupts to the
+//! TEE"* during record and replay. The model keeps a routing table from
+//! interrupt id to world and counts world switches (each SMC costs virtual
+//! time, which feeds the replay-delay model).
+
+use crate::world::World;
+use grt_sim::{Clock, SimTime};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Cost of one world switch (SMC + context save/restore).
+const WORLD_SWITCH_TIME: SimTime = SimTime::from_micros(4);
+
+/// The EL3 secure monitor.
+#[derive(Debug)]
+pub struct SecureMonitor {
+    clock: Rc<Clock>,
+    current: RefCell<World>,
+    irq_routes: RefCell<BTreeMap<u32, World>>,
+    switches: RefCell<u64>,
+}
+
+impl SecureMonitor {
+    /// Boots the monitor in the normal world with no special routes.
+    pub fn new(clock: &Rc<Clock>) -> Rc<Self> {
+        Rc::new(SecureMonitor {
+            clock: Rc::clone(clock),
+            current: RefCell::new(World::Normal),
+            irq_routes: RefCell::new(BTreeMap::new()),
+            switches: RefCell::new(0),
+        })
+    }
+
+    /// The currently executing world.
+    pub fn current_world(&self) -> World {
+        *self.current.borrow()
+    }
+
+    /// Switches worlds (SMC), charging the switch cost.
+    pub fn switch_to(&self, world: World) {
+        if *self.current.borrow() != world {
+            self.clock.advance(WORLD_SWITCH_TIME);
+            *self.current.borrow_mut() = world;
+            *self.switches.borrow_mut() += 1;
+        }
+    }
+
+    /// Routes hardware interrupt `irq` to `world`.
+    pub fn route_irq(&self, irq: u32, world: World) {
+        self.irq_routes.borrow_mut().insert(irq, world);
+    }
+
+    /// Where `irq` is delivered (default: normal world).
+    pub fn irq_target(&self, irq: u32) -> World {
+        self.irq_routes
+            .borrow()
+            .get(&irq)
+            .copied()
+            .unwrap_or(World::Normal)
+    }
+
+    /// Delivers `irq`: switches to its target world and returns it.
+    pub fn deliver_irq(&self, irq: u32) -> World {
+        let target = self.irq_target(irq);
+        self.switch_to(target);
+        target
+    }
+
+    /// Number of world switches so far.
+    pub fn switch_count(&self) -> u64 {
+        *self.switches.borrow()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The HiKey960's Mali job IRQ line.
+    const GPU_JOB_IRQ: u32 = 265;
+
+    #[test]
+    fn boots_in_normal_world() {
+        let clock = Clock::new();
+        let mon = SecureMonitor::new(&clock);
+        assert_eq!(mon.current_world(), World::Normal);
+        assert_eq!(mon.switch_count(), 0);
+    }
+
+    #[test]
+    fn switch_costs_time_once() {
+        let clock = Clock::new();
+        let mon = SecureMonitor::new(&clock);
+        mon.switch_to(World::Secure);
+        let t1 = clock.now();
+        assert!(t1 > SimTime::ZERO);
+        // Already secure: no cost.
+        mon.switch_to(World::Secure);
+        assert_eq!(clock.now(), t1);
+        assert_eq!(mon.switch_count(), 1);
+    }
+
+    #[test]
+    fn irq_routing_defaults_to_normal() {
+        let clock = Clock::new();
+        let mon = SecureMonitor::new(&clock);
+        assert_eq!(mon.irq_target(GPU_JOB_IRQ), World::Normal);
+    }
+
+    #[test]
+    fn routed_irq_enters_secure_world() {
+        let clock = Clock::new();
+        let mon = SecureMonitor::new(&clock);
+        mon.route_irq(GPU_JOB_IRQ, World::Secure);
+        assert_eq!(mon.deliver_irq(GPU_JOB_IRQ), World::Secure);
+        assert_eq!(mon.current_world(), World::Secure);
+        // Unrelated IRQs still land in the normal world.
+        assert_eq!(mon.deliver_irq(33), World::Normal);
+        assert_eq!(mon.current_world(), World::Normal);
+        assert_eq!(mon.switch_count(), 2);
+    }
+}

@@ -1,0 +1,193 @@
+//! A GlobalPlatform-flavoured TEE module host.
+//!
+//! GPUShim is "instantiated as a TEE module" (§3.2) and "communicates with
+//! the cloud using the GlobalPlatform APIs implemented by OP-TEE" (§6).
+//! This module models the client-API surface those sentences imply: the
+//! normal world opens sessions to named trusted modules and invokes
+//! commands with byte-buffer parameters; the host enforces that a module
+//! only runs while the monitor is in the secure world.
+
+use crate::monitor::SecureMonitor;
+use crate::world::World;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A command parameter / return buffer (GP memref-style).
+pub type GpParam = Vec<u8>;
+
+/// GlobalPlatform-style status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpStatus {
+    /// TEE_SUCCESS.
+    Success,
+    /// TEE_ERROR_ITEM_NOT_FOUND (no such module/session).
+    NotFound,
+    /// TEE_ERROR_BAD_PARAMETERS.
+    BadParameters,
+    /// TEE_ERROR_ACCESS_DENIED (module refused the operation).
+    AccessDenied,
+    /// TEE_ERROR_GENERIC.
+    Generic,
+}
+
+/// A trusted module hosted inside the TEE.
+pub trait TeeModule {
+    /// The module's well-known name (UUID stand-in).
+    fn name(&self) -> &'static str;
+
+    /// Handles one invoked command.
+    fn invoke(&mut self, command: u32, input: &[u8]) -> Result<GpParam, GpStatus>;
+}
+
+/// The TEE-side host: registry of modules and open sessions.
+pub struct TeeHost {
+    monitor: Rc<SecureMonitor>,
+    modules: RefCell<BTreeMap<&'static str, Box<RefCell<dyn TeeModule>>>>,
+    next_session: RefCell<u32>,
+    sessions: RefCell<BTreeMap<u32, &'static str>>,
+}
+
+impl std::fmt::Debug for TeeHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TeeHost")
+            .field("modules", &self.modules.borrow().len())
+            .field("sessions", &self.sessions.borrow().len())
+            .finish()
+    }
+}
+
+impl TeeHost {
+    /// Creates a host bound to the secure monitor.
+    pub fn new(monitor: &Rc<SecureMonitor>) -> Self {
+        TeeHost {
+            monitor: Rc::clone(monitor),
+            modules: RefCell::new(BTreeMap::new()),
+            next_session: RefCell::new(1),
+            sessions: RefCell::new(BTreeMap::new()),
+        }
+    }
+
+    /// Installs a trusted module.
+    pub fn register(&self, module: Box<RefCell<dyn TeeModule>>) {
+        let name = module.borrow().name();
+        self.modules.borrow_mut().insert(name, module);
+    }
+
+    /// Opens a session to a module by name (normal-world client API).
+    pub fn open_session(&self, name: &str) -> Result<u32, GpStatus> {
+        let key = {
+            let modules = self.modules.borrow();
+            modules
+                .keys()
+                .copied()
+                .find(|k| *k == name)
+                .ok_or(GpStatus::NotFound)?
+        };
+        let id = *self.next_session.borrow();
+        *self.next_session.borrow_mut() += 1;
+        self.sessions.borrow_mut().insert(id, key);
+        Ok(id)
+    }
+
+    /// Invokes a command on an open session. Performs the world switch
+    /// into the TEE for the duration of the call, then returns to the
+    /// caller's world.
+    pub fn invoke(&self, session: u32, command: u32, input: &[u8]) -> Result<GpParam, GpStatus> {
+        let name = *self
+            .sessions
+            .borrow()
+            .get(&session)
+            .ok_or(GpStatus::NotFound)?;
+        let caller_world = self.monitor.current_world();
+        self.monitor.switch_to(World::Secure);
+        let result = {
+            let modules = self.modules.borrow();
+            let module = modules.get(name).ok_or(GpStatus::NotFound)?;
+            let r = module.borrow_mut().invoke(command, input);
+            r
+        };
+        self.monitor.switch_to(caller_world);
+        result
+    }
+
+    /// Closes a session.
+    pub fn close_session(&self, session: u32) -> Result<(), GpStatus> {
+        self.sessions
+            .borrow_mut()
+            .remove(&session)
+            .map(|_| ())
+            .ok_or(GpStatus::NotFound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grt_sim::Clock;
+
+    struct Echo {
+        calls: u32,
+    }
+
+    impl TeeModule for Echo {
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+
+        fn invoke(&mut self, command: u32, input: &[u8]) -> Result<GpParam, GpStatus> {
+            self.calls += 1;
+            match command {
+                1 => Ok(input.to_vec()),
+                2 => Err(GpStatus::AccessDenied),
+                _ => Err(GpStatus::BadParameters),
+            }
+        }
+    }
+
+    fn host() -> TeeHost {
+        let clock = Clock::new();
+        let monitor = SecureMonitor::new(&clock);
+        let host = TeeHost::new(&monitor);
+        host.register(Box::new(RefCell::new(Echo { calls: 0 })));
+        host
+    }
+
+    #[test]
+    fn open_invoke_close() {
+        let host = host();
+        let s = host.open_session("echo").unwrap();
+        let out = host.invoke(s, 1, b"hello").unwrap();
+        assert_eq!(out, b"hello");
+        host.close_session(s).unwrap();
+        assert_eq!(host.invoke(s, 1, b"x"), Err(GpStatus::NotFound));
+    }
+
+    #[test]
+    fn unknown_module_rejected() {
+        let host = host();
+        assert_eq!(host.open_session("nope").unwrap_err(), GpStatus::NotFound);
+    }
+
+    #[test]
+    fn module_errors_propagate() {
+        let host = host();
+        let s = host.open_session("echo").unwrap();
+        assert_eq!(host.invoke(s, 2, b""), Err(GpStatus::AccessDenied));
+        assert_eq!(host.invoke(s, 99, b""), Err(GpStatus::BadParameters));
+    }
+
+    #[test]
+    fn invoke_round_trips_worlds() {
+        let clock = Clock::new();
+        let monitor = SecureMonitor::new(&clock);
+        let host = TeeHost::new(&monitor);
+        host.register(Box::new(RefCell::new(Echo { calls: 0 })));
+        let s = host.open_session("echo").unwrap();
+        assert_eq!(monitor.current_world(), World::Normal);
+        host.invoke(s, 1, b"x").unwrap();
+        // Back in the caller's world, having switched twice.
+        assert_eq!(monitor.current_world(), World::Normal);
+        assert_eq!(monitor.switch_count(), 2);
+    }
+}

@@ -1,0 +1,221 @@
+//! Sealed secure storage, modeled on OP-TEE's trusted storage.
+//!
+//! Recordings are downloaded once and replayed many times, across reboots
+//! — so the TEE persists them sealed under a device-unique key (hardware
+//! fuses on a real SoC). Objects are encrypted and integrity-protected;
+//! the normal world stores only opaque blobs, exactly as OP-TEE keeps its
+//! secure objects in the REE filesystem.
+
+use grt_crypto::{hmac_sha256, ChaCha20, Sha256};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Sealed-object container magic ("TEEOBJ01").
+const MAGIC: &[u8; 8] = b"TEEOBJ01";
+
+/// Storage failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageError {
+    /// No object under that name.
+    NotFound,
+    /// The sealed blob failed authentication (tampered or wrong device).
+    SealBroken,
+    /// Malformed container.
+    Corrupt,
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::NotFound => write!(f, "object not found"),
+            StorageError::SealBroken => write!(f, "sealed object failed authentication"),
+            StorageError::Corrupt => write!(f, "sealed object container malformed"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Device-sealed object storage.
+///
+/// The backing map stands in for the REE-side filesystem: everything in it
+/// is ciphertext + MAC, so handing it to the normal world leaks nothing
+/// and any modification is detected at load.
+pub struct SecureStorage {
+    enc_key: [u8; 32],
+    mac_key: [u8; 32],
+    /// The (untrusted) backing store of sealed blobs.
+    blobs: RefCell<BTreeMap<String, Vec<u8>>>,
+    seq: RefCell<u64>,
+}
+
+impl SecureStorage {
+    /// Creates storage sealed under `device_secret` (the fused HUK).
+    pub fn new(device_secret: &[u8]) -> Self {
+        let mut ek = Sha256::new();
+        ek.update(b"tee-storage-enc:");
+        ek.update(device_secret);
+        let mut mk = Sha256::new();
+        mk.update(b"tee-storage-mac:");
+        mk.update(device_secret);
+        SecureStorage {
+            enc_key: ek.finalize(),
+            mac_key: mk.finalize(),
+            blobs: RefCell::new(BTreeMap::new()),
+            seq: RefCell::new(0),
+        }
+    }
+
+    fn seal(&self, name: &str, data: &[u8]) -> Vec<u8> {
+        let seq = {
+            let mut s = self.seq.borrow_mut();
+            *s += 1;
+            *s
+        };
+        let mut nonce = [0u8; 12];
+        nonce[..8].copy_from_slice(&seq.to_le_bytes());
+        let mut ct = data.to_vec();
+        ChaCha20::new(&self.enc_key, &nonce).apply(&mut ct);
+        let mut blob = Vec::with_capacity(8 + 12 + ct.len() + 32);
+        blob.extend_from_slice(MAGIC);
+        blob.extend_from_slice(&nonce);
+        blob.extend_from_slice(&ct);
+        // MAC binds the object to its name, preventing blob swapping
+        // between objects by a normal-world adversary.
+        let mut mac_input = name.as_bytes().to_vec();
+        mac_input.extend_from_slice(&blob);
+        blob.extend_from_slice(&hmac_sha256(&self.mac_key, &mac_input));
+        blob
+    }
+
+    fn unseal(&self, name: &str, blob: &[u8]) -> Result<Vec<u8>, StorageError> {
+        if blob.len() < 8 + 12 + 32 || &blob[..8] != MAGIC {
+            return Err(StorageError::Corrupt);
+        }
+        let (body, tag) = blob.split_at(blob.len() - 32);
+        let mut mac_input = name.as_bytes().to_vec();
+        mac_input.extend_from_slice(body);
+        let expected = hmac_sha256(&self.mac_key, &mac_input);
+        let mut mac = [0u8; 32];
+        mac.copy_from_slice(tag);
+        if !grt_crypto::hmac::verify_mac(&expected, &mac) {
+            return Err(StorageError::SealBroken);
+        }
+        let mut nonce = [0u8; 12];
+        nonce.copy_from_slice(&body[8..20]);
+        let mut pt = body[20..].to_vec();
+        ChaCha20::new(&self.enc_key, &nonce).apply(&mut pt);
+        Ok(pt)
+    }
+
+    /// Stores `data` sealed under `name`, replacing any previous object.
+    pub fn store(&self, name: &str, data: &[u8]) {
+        let blob = self.seal(name, data);
+        self.blobs.borrow_mut().insert(name.to_owned(), blob);
+    }
+
+    /// Loads and unseals the object under `name`.
+    pub fn load(&self, name: &str) -> Result<Vec<u8>, StorageError> {
+        let blobs = self.blobs.borrow();
+        let blob = blobs.get(name).ok_or(StorageError::NotFound)?;
+        self.unseal(name, blob)
+    }
+
+    /// Deletes the object under `name`; true if it existed.
+    pub fn delete(&self, name: &str) -> bool {
+        self.blobs.borrow_mut().remove(name).is_some()
+    }
+
+    /// Object names currently stored.
+    pub fn names(&self) -> Vec<String> {
+        self.blobs.borrow().keys().cloned().collect()
+    }
+
+    /// Raw sealed blob (what the normal world sees / stores on flash).
+    pub fn raw_blob(&self, name: &str) -> Option<Vec<u8>> {
+        self.blobs.borrow().get(name).cloned()
+    }
+
+    /// Overwrites the raw blob — the normal-world adversary's move.
+    pub fn tamper_blob(&self, name: &str, blob: Vec<u8>) {
+        self.blobs.borrow_mut().insert(name.to_owned(), blob);
+    }
+}
+
+impl std::fmt::Debug for SecureStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecureStorage")
+            .field("objects", &self.blobs.borrow().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_load_round_trip() {
+        let st = SecureStorage::new(b"device-huk");
+        st.store("recording/mnist", b"recording bytes");
+        assert_eq!(st.load("recording/mnist").unwrap(), b"recording bytes");
+    }
+
+    #[test]
+    fn missing_object() {
+        let st = SecureStorage::new(b"huk");
+        assert_eq!(st.load("nope"), Err(StorageError::NotFound));
+        assert!(!st.delete("nope"));
+    }
+
+    #[test]
+    fn blobs_are_ciphertext() {
+        let st = SecureStorage::new(b"huk");
+        st.store("x", b"very secret recording content here");
+        let blob = st.raw_blob("x").unwrap();
+        assert!(!blob.windows(11).any(|w| w == b"very secret"));
+    }
+
+    #[test]
+    fn tampered_blob_detected() {
+        let st = SecureStorage::new(b"huk");
+        st.store("x", b"data");
+        let mut blob = st.raw_blob("x").unwrap();
+        let n = blob.len();
+        blob[n / 2] ^= 1;
+        st.tamper_blob("x", blob);
+        assert_eq!(st.load("x"), Err(StorageError::SealBroken));
+    }
+
+    #[test]
+    fn blob_swapping_between_names_detected() {
+        let st = SecureStorage::new(b"huk");
+        st.store("good-app", b"trusted recording");
+        st.store("evil-app", b"evil recording");
+        let evil = st.raw_blob("evil-app").unwrap();
+        st.tamper_blob("good-app", evil);
+        // The MAC binds the name: the swap is caught.
+        assert_eq!(st.load("good-app"), Err(StorageError::SealBroken));
+    }
+
+    #[test]
+    fn different_devices_cannot_unseal() {
+        let a = SecureStorage::new(b"device-a");
+        a.store("x", b"data");
+        let blob = a.raw_blob("x").unwrap();
+        let b = SecureStorage::new(b"device-b");
+        b.tamper_blob("x", blob);
+        assert_eq!(b.load("x"), Err(StorageError::SealBroken));
+    }
+
+    #[test]
+    fn overwrite_and_delete() {
+        let st = SecureStorage::new(b"huk");
+        st.store("x", b"v1");
+        st.store("x", b"v2");
+        assert_eq!(st.load("x").unwrap(), b"v2");
+        assert!(st.delete("x"));
+        assert_eq!(st.load("x"), Err(StorageError::NotFound));
+        assert!(st.names().is_empty());
+    }
+}

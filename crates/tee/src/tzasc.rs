@@ -1,0 +1,184 @@
+//! The TrustZone Address Space Controller model.
+//!
+//! The paper's client dynamically switches the GPU (MMIO + memory) between
+//! worlds with a configurable TZASC (the paper's reference 44); on the
+//! HiKey960 prototype the
+//! TZASC is proprietary, so the authors statically reserve the regions
+//! (§6). This model supports both styles: ranges can be claimed/released
+//! at runtime, and every access is checked against the claiming world.
+//! Denied accesses are *recorded*, which is what the §7.1 adversary tests
+//! assert on.
+
+use crate::world::World;
+use std::cell::RefCell;
+
+/// A physical address range under TZASC control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtectedRange {
+    /// Inclusive start.
+    pub base: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// World that may currently access the range.
+    pub owner: World,
+}
+
+impl ProtectedRange {
+    fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.base + self.len
+    }
+}
+
+/// Outcome of an access check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessDecision {
+    /// Access permitted.
+    Allowed,
+    /// Access denied: the range is owned by the other world.
+    Denied {
+        /// World that attempted the access.
+        attempted_by: World,
+    },
+}
+
+/// The address-space controller.
+#[derive(Debug, Default)]
+pub struct Tzasc {
+    ranges: RefCell<Vec<ProtectedRange>>,
+    denials: RefCell<Vec<(World, u64)>>,
+}
+
+impl Tzasc {
+    /// Creates a controller with no protected ranges (everything open).
+    pub fn new() -> Self {
+        Tzasc::default()
+    }
+
+    /// Claims `base..base+len` for `owner`, replacing any overlapping
+    /// claim (the firmware's world-switch operation).
+    pub fn claim(&self, base: u64, len: u64, owner: World) {
+        let mut ranges = self.ranges.borrow_mut();
+        ranges.retain(|r| !(base < r.base + r.len && r.base < base + len));
+        ranges.push(ProtectedRange { base, len, owner });
+    }
+
+    /// Releases any claim overlapping `base..base+len` (range becomes
+    /// world-shared again).
+    pub fn release(&self, base: u64, len: u64) {
+        self.ranges
+            .borrow_mut()
+            .retain(|r| !(base < r.base + r.len && r.base < base + len));
+    }
+
+    /// Checks an access to `addr` by `world`, recording denials.
+    pub fn check(&self, world: World, addr: u64) -> AccessDecision {
+        for r in self.ranges.borrow().iter() {
+            if r.contains(addr) && r.owner != world {
+                self.denials.borrow_mut().push((world, addr));
+                return AccessDecision::Denied {
+                    attempted_by: world,
+                };
+            }
+        }
+        AccessDecision::Allowed
+    }
+
+    /// All recorded denials (world, address).
+    pub fn denials(&self) -> Vec<(World, u64)> {
+        self.denials.borrow().clone()
+    }
+
+    /// Current owner of `addr`, if protected.
+    pub fn owner_of(&self, addr: u64) -> Option<World> {
+        self.ranges
+            .borrow()
+            .iter()
+            .find(|r| r.contains(addr))
+            .map(|r| r.owner)
+    }
+
+    /// Number of protected ranges.
+    pub fn range_count(&self) -> usize {
+        self.ranges.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GPU_MMIO: u64 = 0xE82C_0000;
+
+    #[test]
+    fn unprotected_access_allowed() {
+        let tz = Tzasc::new();
+        assert_eq!(tz.check(World::Normal, 0x1000), AccessDecision::Allowed);
+    }
+
+    #[test]
+    fn secure_claim_blocks_normal_world() {
+        let tz = Tzasc::new();
+        tz.claim(GPU_MMIO, 0x4000, World::Secure);
+        assert_eq!(
+            tz.check(World::Normal, GPU_MMIO + 0x30),
+            AccessDecision::Denied {
+                attempted_by: World::Normal
+            }
+        );
+        assert_eq!(
+            tz.check(World::Secure, GPU_MMIO + 0x30),
+            AccessDecision::Allowed
+        );
+        assert_eq!(tz.denials().len(), 1);
+    }
+
+    #[test]
+    fn release_reopens_range() {
+        let tz = Tzasc::new();
+        tz.claim(GPU_MMIO, 0x4000, World::Secure);
+        tz.release(GPU_MMIO, 0x4000);
+        assert_eq!(tz.check(World::Normal, GPU_MMIO), AccessDecision::Allowed);
+        assert_eq!(tz.range_count(), 0);
+    }
+
+    #[test]
+    fn reclaim_switches_world() {
+        let tz = Tzasc::new();
+        tz.claim(GPU_MMIO, 0x4000, World::Secure);
+        tz.claim(GPU_MMIO, 0x4000, World::Normal);
+        assert_eq!(tz.owner_of(GPU_MMIO), Some(World::Normal));
+        assert_eq!(
+            tz.check(World::Secure, GPU_MMIO),
+            AccessDecision::Denied {
+                attempted_by: World::Secure
+            }
+        );
+        assert_eq!(tz.range_count(), 1);
+    }
+
+    #[test]
+    fn boundaries_are_exclusive_at_end() {
+        let tz = Tzasc::new();
+        tz.claim(0x1000, 0x1000, World::Secure);
+        assert_eq!(tz.check(World::Normal, 0x0FFF), AccessDecision::Allowed);
+        assert!(matches!(
+            tz.check(World::Normal, 0x1000),
+            AccessDecision::Denied { .. }
+        ));
+        assert!(matches!(
+            tz.check(World::Normal, 0x1FFF),
+            AccessDecision::Denied { .. }
+        ));
+        assert_eq!(tz.check(World::Normal, 0x2000), AccessDecision::Allowed);
+    }
+
+    #[test]
+    fn overlapping_claim_replaces() {
+        let tz = Tzasc::new();
+        tz.claim(0x1000, 0x2000, World::Secure);
+        tz.claim(0x2000, 0x2000, World::Normal);
+        // The overlapping secure claim was replaced wholesale.
+        assert_eq!(tz.owner_of(0x1000), None);
+        assert_eq!(tz.owner_of(0x2800), Some(World::Normal));
+    }
+}

@@ -1,0 +1,38 @@
+//! The two TrustZone worlds.
+
+/// Execution world of the Arm core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum World {
+    /// The untrusted rich OS (Linux/Android).
+    Normal,
+    /// The TEE (OP-TEE in the paper's prototype).
+    Secure,
+}
+
+impl World {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            World::Normal => "normal",
+            World::Secure => "secure",
+        }
+    }
+}
+
+impl std::fmt::Display for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(World::Normal.name(), "normal");
+        assert_eq!(World::Secure.to_string(), "secure");
+        assert_ne!(World::Normal, World::Secure);
+    }
+}

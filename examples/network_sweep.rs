@@ -1,0 +1,94 @@
+//! Network-condition sweep: how recording delay scales with RTT and
+//! bandwidth for the Naive recorder vs full GR-T.
+//!
+//! The paper evaluates two points (WiFi, cellular); this sweep shows the
+//! whole curve: Naive scales linearly with RTT (thousands of blocking
+//! round trips), GR-T stays nearly flat because almost all commits are
+//! asynchronous.
+//!
+//! Run: `cargo run --release --example network_sweep`
+
+use grt_core::session::{RecordSession, RecorderMode};
+use grt_gpu::GpuSku;
+use grt_net::NetConditions;
+use grt_sim::SimTime;
+
+fn run(mode: RecorderMode, rtt_ms: u64, bw_mbps: u64, spec: &grt_ml::NetworkSpec) -> f64 {
+    let mut s = RecordSession::new(
+        GpuSku::mali_g71_mp8(),
+        NetConditions::custom(SimTime::from_millis(rtt_ms), bw_mbps * 1_000_000),
+        mode,
+    );
+    s.record(spec).expect("warm-up");
+    s.record(spec).expect("record").delay.as_secs_f64()
+}
+
+fn main() {
+    let spec = grt_ml::zoo::alexnet();
+    println!("== AlexNet recording delay vs RTT (80 Mbps) ==");
+    println!(
+        "{:>8} {:>12} {:>12} {:>8}",
+        "RTT", "Naive", "OursMDS", "ratio"
+    );
+    for rtt in [5u64, 10, 20, 50, 100, 200] {
+        let naive = run(RecorderMode::Naive, rtt, 80, &spec);
+        let ours = run(RecorderMode::OursMDS, rtt, 80, &spec);
+        println!(
+            "{:>6}ms {:>11.1}s {:>11.1}s {:>7.1}x",
+            rtt,
+            naive,
+            ours,
+            naive / ours
+        );
+    }
+
+    println!();
+    println!("== AlexNet recording delay vs bandwidth (20 ms RTT) ==");
+    println!("{:>8} {:>12} {:>12}", "BW", "Naive", "OursMDS");
+    for bw in [10u64, 20, 40, 80, 160] {
+        let naive = run(RecorderMode::Naive, 20, bw, &spec);
+        let ours = run(RecorderMode::OursMDS, 20, bw, &spec);
+        println!("{:>4}Mbps {:>11.1}s {:>11.1}s", bw, naive, ours);
+    }
+    println!();
+    println!("Naive is RTT-bound (per-access round trips) and, at low");
+    println!("bandwidth, also data-bound (full-memory sync); GR-T's curve is");
+    println!("flat until RTT dominates even its residual synchronous commits.");
+
+    // §3.1's stated limitation: "the poor network condition can slow down
+    // the entire recording process" — quantify it with NetEm-style jitter
+    // and loss on the cellular profile.
+    println!();
+    println!("== MNIST recording under degraded cellular conditions ==");
+    println!("{:>22} {:>12} {:>14}", "condition", "OursMDS", "retransmits");
+    let mnist = grt_ml::zoo::mnist();
+    let cases = [
+        ("clean", NetConditions::cellular()),
+        ("20% jitter", NetConditions::cellular().with_jitter(0.2)),
+        ("2% loss", NetConditions::cellular().with_loss(0.02)),
+        (
+            "20% jitter + 5% loss",
+            NetConditions::cellular().with_jitter(0.2).with_loss(0.05),
+        ),
+    ];
+    for (label, conditions) in cases {
+        let mut s = RecordSession::new(
+            grt_gpu::GpuSku::mali_g71_mp8(),
+            conditions,
+            RecorderMode::OursMDS,
+        );
+        s.record(&mnist).expect("warm-up");
+        s.stats.reset();
+        let out = s.record(&mnist).expect("record");
+        println!(
+            "{:>22} {:>11.1}s {:>14}",
+            label,
+            out.delay.as_secs_f64(),
+            s.stats.get("net.retransmissions"),
+        );
+    }
+    println!();
+    println!("recording degrades gracefully: lost messages retransmit after a");
+    println!("timeout and the run still completes — the paper's availability");
+    println!("caveat (§7.1), not a correctness issue.");
+}

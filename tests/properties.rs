@@ -1,0 +1,335 @@
+//! Property-based tests over the reproduction's core data structures and
+//! invariants (proptest).
+
+use grt_compress::{compress, decompress, DeltaCodec};
+use grt_crypto::{hmac_sha256, ChaCha20, SecureChannel, Sha256};
+use grt_driver::{PollCond, RegVal, SymSlot};
+use grt_gpu::job::{JobDescriptor, JobStatus, DESC_SIZE};
+use grt_gpu::mmu::{decode_pte, encode_pte, PteFlags};
+use grt_gpu::shader::{ConvParams, ShaderOp};
+use proptest::prelude::*;
+
+proptest! {
+    /// The range coder is lossless for arbitrary byte strings.
+    #[test]
+    fn range_coder_round_trips(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let packed = compress(&data);
+        prop_assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    /// The delta codec reconstructs `new` from `old` for arbitrary pairs
+    /// of arbitrary lengths.
+    #[test]
+    fn delta_codec_round_trips(
+        old in proptest::collection::vec(any::<u8>(), 0..2048),
+        new in proptest::collection::vec(any::<u8>(), 0..2048),
+        page_shift in 4usize..10,
+    ) {
+        let codec = DeltaCodec::new(1 << page_shift);
+        let delta = codec.encode(&old, &new);
+        prop_assert_eq!(codec.decode(&old, &delta).unwrap(), new);
+    }
+
+    /// Incremental SHA-256 equals one-shot regardless of chunking.
+    #[test]
+    fn sha256_chunking_invariant(
+        data in proptest::collection::vec(any::<u8>(), 0..1024),
+        cuts in proptest::collection::vec(0usize..1024, 0..6),
+    ) {
+        let mut h = Sha256::new();
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c % (data.len() + 1)).collect();
+        cuts.sort_unstable();
+        let mut prev = 0;
+        for c in cuts {
+            h.update(&data[prev..c]);
+            prev = c;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    /// HMAC differs whenever key or message differ (no trivial collisions
+    /// in the tested domain).
+    #[test]
+    fn hmac_key_separation(key in any::<[u8; 16]>(), msg in any::<[u8; 16]>()) {
+        let mut key2 = key;
+        key2[0] ^= 1;
+        prop_assert_ne!(hmac_sha256(&key, &msg), hmac_sha256(&key2, &msg));
+    }
+
+    /// ChaCha20 decrypts what it encrypts for arbitrary payloads.
+    #[test]
+    fn chacha_round_trips(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        mut data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let orig = data.clone();
+        ChaCha20::new(&key, &nonce).apply(&mut data);
+        ChaCha20::new(&key, &nonce).apply(&mut data);
+        prop_assert_eq!(data, orig);
+    }
+
+    /// Sealed channel messages round-trip and never leak the plaintext
+    /// verbatim (for plaintexts long enough to not appear by chance).
+    #[test]
+    fn secure_channel_round_trips(data in proptest::collection::vec(any::<u8>(), 16..256)) {
+        let mut a = SecureChannel::from_secret(b"k");
+        let mut b = SecureChannel::from_secret(b"k");
+        let wire = a.seal(&data);
+        prop_assert!(!wire.windows(data.len()).any(|w| w == &data[..]) || data.iter().all(|&x| x == data[0]));
+        prop_assert_eq!(b.open(&wire).unwrap(), data);
+    }
+
+    /// Symbolic RegVal expressions evaluate exactly like direct u32
+    /// arithmetic once their symbol is bound.
+    #[test]
+    fn symbolic_regval_matches_concrete(
+        seed in any::<u32>(),
+        and_m in any::<u32>(),
+        or_m in any::<u32>(),
+        xor_m in any::<u32>(),
+        shl in 0u32..32,
+        shr in 0u32..32,
+    ) {
+        let slot = SymSlot::new(1);
+        let sym = ((((RegVal::symbolic(slot.clone()) & and_m) | or_m) ^ xor_m)
+            .shl(shl))
+            .shr(shr)
+            .not();
+        prop_assert!(sym.is_symbolic());
+        slot.bind(seed);
+        let expected = !((((seed & and_m) | or_m) ^ xor_m).wrapping_shl(shl)).wrapping_shr(shr);
+        prop_assert_eq!(sym.eval(), Some(expected));
+    }
+
+    /// PTE encode/decode round-trips for every quirk and flag combination,
+    /// and decoding under a flag-region-different quirk never yields the
+    /// same permissions.
+    #[test]
+    fn pte_round_trip_and_quirk_separation(
+        pa_page in 0u64..0x1_0000,
+        quirk in any::<u8>(),
+        read in any::<bool>(),
+        write in any::<bool>(),
+        execute in any::<bool>(),
+    ) {
+        let pa = pa_page << 12;
+        let flags = PteFlags { read, write, execute };
+        let e = encode_pte(pa, flags, quirk);
+        let (pa2, f2) = decode_pte(e, quirk).unwrap();
+        prop_assert_eq!(pa2, pa);
+        prop_assert_eq!(f2, flags);
+        // Flipping a permission-region quirk bit changes the decode.
+        let wrong = quirk ^ 0x01;
+        if let Some((_, f3)) = decode_pte(e, wrong) { prop_assert_ne!(f3, flags) }
+    }
+
+    /// Job descriptors round-trip through their wire format.
+    #[test]
+    fn job_descriptor_round_trips(
+        shader_va in any::<u64>(),
+        n_instrs in any::<u32>(),
+        cost_us in any::<u32>(),
+        next_va in any::<u64>(),
+        status_w in 0u32..3,
+    ) {
+        let d = JobDescriptor {
+            shader_va,
+            n_instrs,
+            cost_us,
+            next_va,
+            status: JobStatus::from_word(status_w),
+        };
+        let enc: [u8; DESC_SIZE] = d.encode();
+        prop_assert_eq!(JobDescriptor::decode(&enc), Some(d));
+    }
+
+    /// Shader instructions round-trip through the 64-byte records.
+    #[test]
+    fn shader_op_round_trips(
+        vas in any::<[u32; 4]>(),
+        in_c in 1u32..64,
+        hw in 1u32..64,
+        out_c in 1u32..64,
+        k in 1u32..8,
+        stride in 1u32..4,
+        pad in 0u32..4,
+        tiles in 1u32..32,
+    ) {
+        let op = ShaderOp::Conv2d {
+            in_va: vas[0] as u64,
+            w_va: vas[1] as u64,
+            b_va: vas[2] as u64,
+            out_va: vas[3] as u64,
+            p: ConvParams { in_c, in_h: hw, in_w: hw, out_c, k, stride, pad },
+            tiles,
+        };
+        prop_assert_eq!(ShaderOp::decode(&op.encode()), Some(op));
+    }
+
+    /// Poll conditions partition the value space consistently.
+    #[test]
+    fn poll_cond_partition(raw in any::<u32>(), mask in any::<u32>()) {
+        let zero = PollCond::MaskedZero.satisfied(raw, mask);
+        let nonzero = PollCond::MaskedNonZero.satisfied(raw, mask);
+        prop_assert!(zero != nonzero);
+        prop_assert_eq!(PollCond::MaskedEq(raw & mask).satisfied(raw, mask), true);
+    }
+
+    /// Recording byte format round-trips arbitrary event mixes.
+    #[test]
+    fn recording_format_round_trips(
+        offsets in proptest::collection::vec(any::<u32>(), 1..40),
+        deltas in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..4),
+    ) {
+        use grt_core::recording::{DataSlot, Event, Recording};
+        let mut events = Vec::new();
+        for (i, off) in offsets.iter().enumerate() {
+            if i % 3 == 0 {
+                events.push(Event::RegWrite { offset: *off, value: off.wrapping_mul(3) });
+            } else {
+                events.push(Event::RegRead { offset: *off, value: !off, verify: i % 2 == 0 });
+            }
+        }
+        for (i, d) in deltas.into_iter().enumerate() {
+            events.push(Event::LoadMemDelta { pa: i as u64 * 4096, len: 4096, delta: d });
+        }
+        let rec = Recording {
+            workload: "prop".into(),
+            gpu_id: 7,
+            input: DataSlot { pa: 1, len_elems: 2 },
+            output: DataSlot { pa: 3, len_elems: 4 },
+            weights: vec![DataSlot { pa: 5, len_elems: 6 }],
+            events,
+        };
+        prop_assert_eq!(Recording::from_bytes(&rec.to_bytes()), Some(rec));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stateful properties: MMU mappings and memory-sync convergence.
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Arbitrary sets of page mappings translate exactly, enumerate
+    /// exactly, and leave unmapped neighbours faulting.
+    #[test]
+    fn mmu_mappings_are_exact(
+        pages in proptest::collection::btree_set(0u64..512, 1..24),
+        quirk in any::<u8>(),
+    ) {
+        use grt_gpu::mem::Memory;
+        use grt_gpu::mmu::{map_page, AccessKind, PteFlags, Walker};
+        use grt_gpu::PAGE_SIZE;
+
+        let mut mem = Memory::new(8 << 20);
+        let mut next = 1u64 << 20;
+        let root = next;
+        next += PAGE_SIZE as u64;
+        let mut alloc = || { let pa = next; next += PAGE_SIZE as u64; pa };
+        let va_base = 0x4000_0000u64;
+        for &p in &pages {
+            map_page(
+                &mut mem,
+                root,
+                va_base + p * PAGE_SIZE as u64,
+                0x10_0000 + p * PAGE_SIZE as u64,
+                PteFlags::rw(),
+                quirk,
+                &mut alloc,
+            )
+            .unwrap();
+        }
+        let walker = Walker { root_pa: root, quirk };
+        for &p in &pages {
+            let va = va_base + p * PAGE_SIZE as u64 + 17;
+            let pa = walker.translate(&mem, va, AccessKind::Read).unwrap();
+            prop_assert_eq!(pa, 0x10_0000 + p * PAGE_SIZE as u64 + 17);
+        }
+        // A page just outside the mapped set faults.
+        let unmapped = (0..513u64).find(|p| !pages.contains(p)).unwrap();
+        prop_assert!(walker
+            .translate(&mem, va_base + unmapped * PAGE_SIZE as u64, AccessKind::Read)
+            .is_err());
+        // Enumeration returns exactly the mapped set.
+        let mapped: std::collections::BTreeSet<u64> = walker
+            .mapped_pages(&mem)
+            .into_iter()
+            .map(|(va, _, _)| (va - va_base) / PAGE_SIZE as u64)
+            .collect();
+        prop_assert_eq!(mapped, pages);
+    }
+
+    /// Memory-sync convergence: after arbitrary cloud-side mutations of
+    /// metastate followed by a down-sync, the client's metastate equals
+    /// the cloud's; after arbitrary GPU-side mutations and an up-sync,
+    /// the cloud's equals the client's. Repeatedly.
+    #[test]
+    fn memsync_converges_under_arbitrary_mutation(
+        rounds in proptest::collection::vec(
+            (proptest::collection::vec((0usize..8192, any::<u8>()), 0..16),
+             proptest::collection::vec((0usize..4096, any::<u8>()), 0..8)),
+            1..5,
+        ),
+    ) {
+        use grt_core::client::GpuShim;
+        use grt_core::memsync::{MemSync, SyncMode};
+        use grt_driver::{Region, RegionTable, Usage};
+        use grt_gpu::mmu::PteFlags;
+        use grt_gpu::{Gpu, GpuSku, Memory, PAGE_SIZE};
+        use grt_sim::{Clock, Stats};
+        use grt_tee::{SecureMonitor, Tzasc};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let stats = Stats::new();
+        let mut sync = MemSync::new(SyncMode::MetaOnly, &stats);
+        sync.validation_traps = false; // Mutations here are the test driver, not the stack.
+        let mut cloud = Memory::new(1 << 20);
+        let mut regions = RegionTable::new();
+        regions.insert(Region {
+            va: 0x1000,
+            pa: 0x4000,
+            pages: 2,
+            gpu_flags: PteFlags::rx(),
+            usage: Usage::Shader,
+            nominal_bytes: 2 * PAGE_SIZE as u64,
+        });
+        regions.insert(Region {
+            va: 0x3000,
+            pa: 0x8000,
+            pages: 1,
+            gpu_flags: PteFlags::rw(),
+            usage: Usage::JobDescriptors,
+            nominal_bytes: PAGE_SIZE as u64,
+        });
+        let clock = Clock::new();
+        let client_mem = Rc::new(RefCell::new(Memory::new(1 << 20)));
+        let gpu = Rc::new(RefCell::new(Gpu::new(GpuSku::mali_g71_mp8(), &clock, &client_mem)));
+        let tzasc = Rc::new(Tzasc::new());
+        let monitor = SecureMonitor::new(&clock);
+        let mut shim = GpuShim::new(&clock, &gpu, &client_mem, &tzasc, &monitor, b"s");
+
+        for (cloud_writes, gpu_writes) in rounds {
+            // Cloud mutates its metastate (shader region), then down-syncs.
+            for (off, val) in cloud_writes {
+                cloud.restore_range(0x4000 + off as u64, &[val]);
+            }
+            sync.sync_down(&mut cloud, &regions, &mut shim, 0);
+            prop_assert_eq!(
+                shim.mem().borrow().dump_range(0x4000, 2 * PAGE_SIZE),
+                cloud.dump_range(0x4000, 2 * PAGE_SIZE)
+            );
+            // GPU mutates the descriptor region, then up-syncs.
+            for (off, val) in gpu_writes {
+                shim.mem().borrow_mut().restore_range(0x8000 + off as u64, &[val]);
+            }
+            sync.sync_up(&mut shim, &regions, &mut cloud, 0);
+            prop_assert_eq!(
+                cloud.dump_range(0x8000, PAGE_SIZE),
+                shim.mem().borrow().dump_range(0x8000, PAGE_SIZE)
+            );
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Workload-level integration: every benchmark computes correctly on the
+//! native GPU stack across SKUs, and the substrates compose (runtime over
+//! driver over GPU over MMU over memory).
+
+use grt_gpu::GpuSku;
+use grt_ml::reference::{test_input, ReferenceNet};
+use grt_runtime::NativeStack;
+
+fn close(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x - y).abs() < 1e-3 * (1.0 + x.abs().max(y.abs())))
+}
+
+/// All six benchmarks match the CPU reference on the native stack.
+#[test]
+fn all_benchmarks_match_reference_natively() {
+    let mut stack = NativeStack::boot(GpuSku::mali_g71_mp8()).expect("boot");
+    for spec in grt_ml::zoo::all_benchmarks() {
+        let net = stack.compile(&spec).expect("compile");
+        let input = test_input(&spec, 0);
+        let gpu_out = stack.infer(&net, &input).expect("inference");
+        let cpu_out = ReferenceNet::new(spec.clone()).infer(&input);
+        assert!(close(&gpu_out, &cpu_out), "{} diverged", spec.name);
+    }
+}
+
+/// The same hardware-neutral spec runs on every SKU (late binding): the
+/// JIT adapts and the computation stays correct.
+#[test]
+fn late_binding_works_across_skus() {
+    let spec = grt_ml::zoo::mnist();
+    let input = test_input(&spec, 2);
+    let reference = ReferenceNet::new(spec.clone()).infer(&input);
+    for sku in [
+        GpuSku::mali_g71_mp8(),
+        GpuSku::mali_g71_mp4(),
+        GpuSku::mali_g72_mp12(),
+        GpuSku::mali_g76_mp10(),
+    ] {
+        let name = sku.name;
+        let mut stack = NativeStack::boot(sku).expect("boot");
+        let net = stack.compile(&spec).expect("compile");
+        let gpu_out = stack.infer(&net, &input).expect("inference");
+        assert!(close(&gpu_out, &reference), "{name} diverged");
+    }
+}
+
+/// Faster SKUs finish sooner under the virtual cost model.
+#[test]
+fn job_timing_scales_with_sku_throughput() {
+    let spec = grt_ml::zoo::alexnet();
+    let input = test_input(&spec, 0);
+    let mut delays = Vec::new();
+    for sku in [GpuSku::mali_g71_mp4(), GpuSku::mali_g71_mp8()] {
+        let mut stack = NativeStack::boot(sku).expect("boot");
+        let net = stack.compile(&spec).expect("compile");
+        let (_, delay) = stack.infer_timed(&net, &input).expect("inference");
+        delays.push(delay);
+    }
+    assert!(
+        delays[0] > delays[1],
+        "MP4 must be slower than MP8: {delays:?}"
+    );
+}
+
+/// Table 2's shape natively: job counts and per-network compute ordering.
+#[test]
+fn native_delay_ordering_matches_network_sizes() {
+    let mut stack = NativeStack::boot(GpuSku::mali_g71_mp8()).expect("boot");
+    let mut delays = std::collections::BTreeMap::new();
+    for spec in grt_ml::zoo::all_benchmarks() {
+        let net = stack.compile(&spec).expect("compile");
+        let input = test_input(&spec, 0);
+        let (_, d) = stack.infer_timed(&net, &input).expect("run");
+        delays.insert(spec.name, d);
+    }
+    assert!(delays["MNIST"] < delays["AlexNet"]);
+    assert!(delays["AlexNet"] < delays["ResNet12"]);
+    assert!(delays["MobileNet"] < delays["VGG16"]);
+    // The two compute-heavy networks dominate, as in Table 2.
+    assert!(delays["VGG16"] > delays["SqueezeNet"] * 3);
+    assert!(delays["ResNet12"] > delays["MobileNet"] * 3);
+}
+
+/// The GPU's performance counters cross-check the executed computation:
+/// after one inference, sampled MACs equal the network's actual MAC count
+/// and the job counter equals the job total.
+#[test]
+fn perf_counters_account_for_inference() {
+    let spec = grt_ml::zoo::mnist();
+    let mut stack = NativeStack::boot(GpuSku::mali_g71_mp8()).expect("boot");
+    let net = stack.compile(&spec).expect("compile");
+    stack.driver.prfcnt_clear();
+    let input = test_input(&spec, 0);
+    stack.infer(&net, &input).expect("inference");
+    let sample = stack.driver.prfcnt_dump().expect("sample");
+    assert_eq!(sample.jobs, spec.total_jobs());
+    // Actual (validation-scale) MACs executed by the shader interpreter:
+    // every layer's ops plus the housekeeping copies.
+    assert!(sample.macs > spec.layers.iter().map(|l| l.op.actual_macs()).sum::<u64>());
+    assert!(sample.cycles > 0);
+}
