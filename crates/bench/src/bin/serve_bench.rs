@@ -1,0 +1,119 @@
+//! Fleet serving benchmark: many inference requests multiplexed over a
+//! heterogeneous fleet of simulated client TEE devices.
+//!
+//! Simulates a serving deployment of the paper's record/replay design: a
+//! Zipf-distributed model mix over the six benchmark networks arrives at
+//! a fleet of TrustZone devices spanning four Mali SKUs. The trace is
+//! served twice over the same virtual-time discrete-event simulation —
+//! once against a cold recording registry (every `(model, SKU)` pair pays
+//! an on-demand record run) and once against the registry the first pass
+//! warmed — and both reports are emitted as one JSON document, so the
+//! cold-start amortization the paper argues for (record once, replay
+//! many) is directly visible in the numbers.
+//!
+//! Usage: `serve_bench [REQUESTS] [SEED]` (defaults: 1200 requests, seed 42).
+
+use grt_bench::{benchmarks, heterogeneous_fleet};
+use grt_serve::{generate_trace, Fleet, FleetConfig, TraceConfig};
+use grt_sim::SimTime;
+
+fn usage() -> ! {
+    eprintln!("usage: serve_bench [REQUESTS] [SEED]");
+    eprintln!("  REQUESTS  number of requests to simulate (default 1200)");
+    eprintln!("  SEED      trace RNG seed (default 42)");
+    std::process::exit(2);
+}
+
+fn parse_arg<T: std::str::FromStr>(arg: &str, name: &str) -> T {
+    arg.parse().unwrap_or_else(|_| {
+        eprintln!("serve_bench: {name} must be an integer, got {arg:?}");
+        usage()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() > 2 || args.iter().any(|a| a == "-h" || a == "--help") {
+        usage();
+    }
+    let requests: usize = args
+        .first()
+        .map(|a| parse_arg(a, "REQUESTS"))
+        .unwrap_or(1200);
+    let seed: u64 = args.get(1).map(|a| parse_arg(a, "SEED")).unwrap_or(42);
+
+    let models = benchmarks();
+    let skus = heterogeneous_fleet();
+    let trace_cfg = TraceConfig {
+        // Deep enough queues that the cold pass absorbs multi-second
+        // record runs as latency (visible in p99), not rejections.
+        mean_interarrival: SimTime::from_millis(40),
+        ..TraceConfig::new(requests, seed)
+    };
+    let fleet_cfg = FleetConfig {
+        queue_capacity: 256,
+        ..FleetConfig::new(skus.clone())
+    };
+    let trace = generate_trace(models.len(), &trace_cfg);
+
+    eprintln!(
+        "serve_bench: {} requests, {} devices ({} SKUs), {} models, seed {}",
+        requests,
+        skus.len(),
+        {
+            let mut ids: Vec<u32> = skus.iter().map(|s| s.gpu_id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids.len()
+        },
+        models.len(),
+        seed
+    );
+
+    eprintln!("serve_bench: cold pass (empty registry; records on demand)...");
+    let mut cold_fleet = Fleet::new(models.clone(), fleet_cfg.clone());
+    let cold = cold_fleet.run(&trace);
+
+    eprintln!("serve_bench: warm pass (registry carried over)...");
+    let mut registry = cold_fleet.into_registry();
+    registry.reset_stats();
+    let mut warm_fleet = Fleet::with_registry(models, fleet_cfg, registry);
+    let warm = warm_fleet.run(&trace);
+
+    assert_eq!(cold.max_inflight, 1, "job-queue-length-1 invariant");
+    assert_eq!(warm.max_inflight, 1, "job-queue-length-1 invariant");
+    assert!(
+        warm.cold_starts < cold.cold_starts,
+        "a warmed registry must save cold starts ({} vs {})",
+        warm.cold_starts,
+        cold.cold_starts
+    );
+
+    println!("{{");
+    println!(
+        "\"config\": {{\"requests\": {}, \"devices\": {}, \"models\": 6, \"seed\": {seed}, \"mean_interarrival_ms\": 40, \"queue_capacity\": 256}},",
+        requests,
+        skus.len(),
+    );
+    println!("\"cold\": {},", cold.to_json());
+    println!("\"warm\": {}", warm.to_json());
+    println!("}}");
+
+    eprintln!(
+        "serve_bench: cold: {}/{} completed, {} cold starts, p99 {:.1}ms, {:.1} req/s",
+        cold.completed,
+        cold.submitted,
+        cold.cold_starts,
+        cold.total.p99.as_millis_f64(),
+        cold.throughput_rps
+    );
+    eprintln!(
+        "serve_bench: warm: {}/{} completed, {} cold starts, p99 {:.1}ms, {:.1} req/s, hit ratio {:.3}",
+        warm.completed,
+        warm.submitted,
+        warm.cold_starts,
+        warm.total.p99.as_millis_f64(),
+        warm.throughput_rps,
+        warm.cache_hit_ratio
+    );
+}

@@ -28,6 +28,21 @@ pub fn short_name(name: &str) -> &'static str {
     }
 }
 
+/// A heterogeneous serving fleet: six devices spanning all four Mali SKUs
+/// the reproduction models (two each of the common phone parts, one each
+/// of the others). Recordings are SKU-specific (§2.4), so a mixed fleet
+/// exercises the registry's per-SKU cache keys.
+pub fn heterogeneous_fleet() -> Vec<GpuSku> {
+    vec![
+        GpuSku::mali_g71_mp8(),
+        GpuSku::mali_g71_mp8(),
+        GpuSku::mali_g72_mp12(),
+        GpuSku::mali_g72_mp12(),
+        GpuSku::mali_g71_mp4(),
+        GpuSku::mali_g76_mp10(),
+    ]
+}
+
 /// Runs one record experiment: a cold warm-up run to populate the commit
 /// history (the paper's methodology, §7.3), then the measured run.
 ///

@@ -40,4 +40,7 @@ pub use memsync::{MemSync, SyncMode};
 pub use recording::{Event, Recording, RecordingBuilder, SignedRecording};
 pub use replay::{LayeredReplay, ReplayError, Replayer};
 pub use service::ReplayService;
-pub use session::{ClientDevice, RecordError, RecordOutcome, RecordSession, RecorderMode};
+pub use session::{
+    recording_trust_root, ClientDevice, RecordError, RecordOutcome, RecordSession, RecorderMode,
+    PROVISIONING_SECRET,
+};

@@ -297,6 +297,15 @@ impl SignedRecording {
         Recording::from_bytes(&self.bytes)
     }
 
+    /// Serializes to the GP `LOAD_RECORDING` wire form: `body ‖ signature`
+    /// (what a normal-world client passes to the replay service).
+    pub fn wire_blob(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.bytes.len() + 32);
+        out.extend_from_slice(&self.bytes);
+        out.extend_from_slice(self.signature.as_bytes());
+        out
+    }
+
     /// Serializes to the on-disk container: `magic ‖ signature ‖ body`.
     ///
     /// The signature covers the body, so tampering with a stored file is

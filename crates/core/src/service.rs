@@ -30,8 +30,10 @@ pub struct ReplayService {
     replayer: Replayer,
     key: KeyPair,
     recording: Option<SignedRecording>,
+    loaded_workload: Option<String>,
     input: Option<Vec<f32>>,
     weights: Vec<Option<Vec<f32>>>,
+    runs: u64,
 }
 
 impl ReplayService {
@@ -42,9 +44,23 @@ impl ReplayService {
             replayer: Replayer::new(device),
             key,
             recording: None,
+            loaded_workload: None,
             input: None,
             weights: Vec::new(),
+            runs: 0,
         }
+    }
+
+    /// Name of the workload currently staged, if any. Serving-side
+    /// schedulers use this to batch same-model requests so the
+    /// `LOAD_RECORDING`/`SET_WEIGHTS` cost is amortized.
+    pub fn loaded_workload(&self) -> Option<&str> {
+        self.loaded_workload.as_deref()
+    }
+
+    /// Number of successful `RUN` invocations since creation.
+    pub fn runs(&self) -> u64 {
+        self.runs
     }
 
     fn parse_f32s(bytes: &[u8]) -> Result<Vec<f32>, GpStatus> {
@@ -82,6 +98,7 @@ impl TeeModule for ReplayService {
                     .ok_or(GpStatus::AccessDenied)?;
                 self.weights = vec![None; rec.weights.len()];
                 self.input = None;
+                self.loaded_workload = Some(rec.workload.clone());
                 self.recording = Some(signed);
                 Ok(rec.weights.len().to_le_bytes()[..4].to_vec())
             }
@@ -112,6 +129,7 @@ impl TeeModule for ReplayService {
                     .replayer
                     .replay(signed, &self.key, input, &weights)
                     .map_err(|_| GpStatus::Generic)?;
+                self.runs += 1;
                 Ok(out.iter().flat_map(|v| v.to_le_bytes()).collect())
             }
             _ => Err(GpStatus::BadParameters),

@@ -145,6 +145,21 @@ pub struct ClientDevice {
     pub energy: Rc<EnergyMeter>,
 }
 
+/// The provisioning secret shared by the cloud VM and client TEEs after
+/// the attested handshake. Every record session derives its channel and
+/// recording-signing keys from this, so recordings produced by any
+/// session verify under one fleet-wide trust root (see
+/// [`recording_trust_root`]).
+pub const PROVISIONING_SECRET: &[u8] = b"grt-session-handshake";
+
+/// The recording-verification key a client TEE holds: the key every
+/// [`RecordSession`] signs its recordings with. Serving-side components
+/// (the `grt-serve` recording registry, fleet replay services) use this
+/// to verify recordings without holding a live session.
+pub fn recording_trust_root() -> KeyPair {
+    KeyPair::derive(PROVISIONING_SECRET, "recording")
+}
+
 /// Client DRAM size.
 const CLIENT_MEM_BYTES: usize = 96 << 20;
 /// SoC base draw while the device is awake (Figure 9 calibration).
@@ -269,7 +284,7 @@ impl RecordSession {
         let devicetree = image.devicetree_for(sku.gpu_id)?;
         let clock = Clock::new();
         let stats = Stats::new();
-        let secret = b"grt-session-handshake".to_vec();
+        let secret = PROVISIONING_SECRET.to_vec();
         let client = ClientDevice::new(sku, &clock, &stats, &secret);
         let link = Link::new(&clock, &stats, conditions);
         link.attach_energy(&client.energy, RadioPower::default());

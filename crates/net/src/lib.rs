@@ -158,7 +158,7 @@ impl Link {
             stats: Rc::clone(stats),
             conditions: RefCell::new(conditions),
             energy: RefCell::new(None),
-            rng: RefCell::new(grt_sim::Rng::new(0x6e65_746c_696e_6b)),
+            rng: RefCell::new(grt_sim::Rng::new(0x006e_6574_6c69_6e6b)),
         })
     }
 

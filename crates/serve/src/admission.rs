@@ -1,0 +1,163 @@
+//! Admission control: bounded per-device queues, deadlines, backpressure.
+//!
+//! The paper's replayer owns the whole GPU while it runs, so a device can
+//! execute exactly one replay at a time; everything else must wait in a
+//! queue or be turned away. This module models the waiting room: a
+//! bounded FIFO per device. When every eligible queue is full the fleet
+//! *rejects* the request with a retry-after hint (backpressure to the
+//! client) rather than queueing unboundedly, and requests whose deadline
+//! expires before they reach the GPU are *timed out* and accounted, never
+//! silently dropped.
+
+use grt_sim::SimTime;
+use std::collections::VecDeque;
+
+/// One inference request entering the serving system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Unique, monotonically increasing id (also seeds the input data).
+    pub id: u64,
+    /// Index into the fleet's model catalog.
+    pub model: usize,
+    /// Arrival time on the serving timeline.
+    pub arrival: SimTime,
+    /// Latest acceptable service *start*; a request still queued past
+    /// this instant is timed out.
+    pub deadline: SimTime,
+}
+
+/// A rejected request: the backpressure signal the client receives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejection {
+    /// Id of the rejected request.
+    pub id: u64,
+    /// Model the request asked for.
+    pub model: usize,
+    /// When the rejection happened.
+    pub at: SimTime,
+    /// Hint: how long the client should back off before retrying.
+    pub retry_after: SimTime,
+}
+
+/// A bounded FIFO of admitted-but-not-yet-served requests.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    capacity: usize,
+    queue: VecDeque<Request>,
+    peak_depth: usize,
+    admitted: u64,
+}
+
+impl AdmissionQueue {
+    /// Creates a queue holding at most `capacity` waiting requests.
+    pub fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            capacity,
+            queue: VecDeque::new(),
+            peak_depth: 0,
+            admitted: 0,
+        }
+    }
+
+    /// Admits a request, or gives it back if the queue is full.
+    pub fn try_push(&mut self, request: Request) -> Result<(), Request> {
+        if self.queue.len() >= self.capacity {
+            return Err(request);
+        }
+        self.queue.push_back(request);
+        self.admitted += 1;
+        self.peak_depth = self.peak_depth.max(self.queue.len());
+        Ok(())
+    }
+
+    /// The next request to serve, if any.
+    pub fn pop_front(&mut self) -> Option<Request> {
+        self.queue.pop_front()
+    }
+
+    /// Peeks the head of the queue.
+    pub fn front(&self) -> Option<&Request> {
+        self.queue.front()
+    }
+
+    /// Number of waiting requests.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.capacity
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Deepest the queue ever got (for reports).
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
+    }
+
+    /// Total requests ever admitted.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64) -> Request {
+        Request {
+            id,
+            model: 0,
+            arrival: SimTime::from_millis(id),
+            deadline: SimTime::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn bounded_fifo_order() {
+        let mut q = AdmissionQueue::new(2);
+        q.try_push(req(1)).unwrap();
+        q.try_push(req(2)).unwrap();
+        // Full: the third request bounces back intact.
+        let bounced = q.try_push(req(3)).unwrap_err();
+        assert_eq!(bounced.id, 3);
+        assert!(q.is_full());
+        assert_eq!(q.pop_front().unwrap().id, 1);
+        q.try_push(req(4)).unwrap();
+        assert_eq!(q.pop_front().unwrap().id, 2);
+        assert_eq!(q.pop_front().unwrap().id, 4);
+        assert!(q.pop_front().is_none());
+    }
+
+    #[test]
+    fn accounting_counters() {
+        let mut q = AdmissionQueue::new(3);
+        for i in 0..3 {
+            q.try_push(req(i)).unwrap();
+        }
+        assert_eq!(q.peak_depth(), 3);
+        assert_eq!(q.admitted(), 3);
+        q.pop_front();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peak_depth(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut q = AdmissionQueue::new(0);
+        assert!(q.try_push(req(1)).is_err());
+        assert!(q.is_full());
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,579 @@
+//! The fleet scheduler: N client TEE devices serving one request stream.
+//!
+//! Each device is a full [`ClientDevice`] (GPU + TZASC + secure monitor)
+//! hosting a [`ReplayService`] behind the GlobalPlatform protocol, exactly
+//! as a production phone would run it. The scheduler dispatches requests
+//! to devices with **same-model affinity**: a request for the model a
+//! device already has staged skips `LOAD_RECORDING`/`SET_WEIGHTS` and
+//! pays only `SET_INPUT`+`RUN`, so consecutive same-model requests
+//! amortize the staging cost (the serving-side analogue of the paper's
+//! record-once-replay-many economics).
+//!
+//! The paper's replayer assumes the GPU job queue never holds more than
+//! one outstanding job; the fleet preserves that per device — a device
+//! serves exactly one replay at a time, and the scheduler asserts it
+//! (service intervals on one device never overlap; see
+//! [`Fleet::max_inflight`]).
+//!
+//! Time: the fleet clock is the discrete-event serving timeline. Each
+//! device's hardware clock is a private lane measuring service durations
+//! (replay polls, staging, cold-start records); the scheduler re-anchors
+//! those durations onto the serving timeline, so devices serve in
+//! parallel while all timestamps stay deterministic.
+
+use crate::admission::{AdmissionQueue, Rejection, Request};
+use crate::metrics::{
+    DeviceReport, MetricsCollector, ModelReport, Percentiles, RequestSample, ServeReport,
+    TimeoutRecord,
+};
+use crate::registry::{RecordingRegistry, RegistryConfig};
+use grt_core::replay::workload_weights;
+use grt_core::service::cmd;
+use grt_core::session::{recording_trust_root, ClientDevice, PROVISIONING_SECRET};
+use grt_core::ReplayService;
+use grt_gpu::GpuSku;
+use grt_ml::reference::test_input;
+use grt_ml::NetworkSpec;
+use grt_net::NetConditions;
+use grt_sim::{Clock, SimTime, Stats};
+use grt_tee::TeeHost;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Fleet composition and scheduling parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// One entry per device; duplicates are distinct devices.
+    pub skus: Vec<GpuSku>,
+    /// Per-device admission-queue bound.
+    pub queue_capacity: usize,
+    /// How much deeper a same-model device's queue may be than the
+    /// shallowest queue before affinity is abandoned for load balance.
+    pub affinity_slack: usize,
+    /// Recording-registry sizing and cold-start parameters.
+    pub registry: RegistryConfig,
+}
+
+impl FleetConfig {
+    /// A fleet of `skus` with an 8-deep queue per device, slack-2
+    /// affinity, and a 64-entry WiFi registry.
+    pub fn new(skus: Vec<GpuSku>) -> Self {
+        FleetConfig {
+            skus,
+            queue_capacity: 8,
+            affinity_slack: 2,
+            registry: RegistryConfig::new(64),
+        }
+    }
+
+    /// Overrides the registry's cold-start link conditions.
+    pub fn with_conditions(mut self, conditions: NetConditions) -> Self {
+        self.registry.conditions = conditions;
+        self
+    }
+}
+
+/// One client device plus its serving state.
+struct DeviceWorker {
+    device: ClientDevice,
+    host: TeeHost,
+    session: u32,
+    sku: GpuSku,
+    queue: AdmissionQueue,
+    /// When the device finishes its current replay (serving timeline).
+    free_at: SimTime,
+    /// End of the previous service interval; a new interval starting
+    /// before this would mean two concurrent replays on one GPU.
+    last_service_end: SimTime,
+    /// Model currently staged in the replay service.
+    loaded_model: Option<usize>,
+    /// In-flight replays right now (the invariant holds this ≤ 1).
+    inflight: u32,
+    max_inflight: u32,
+    completed: u64,
+    loads: u64,
+    busy: SimTime,
+}
+
+impl DeviceWorker {
+    fn new(sku: GpuSku, queue_capacity: usize, stats: &Rc<Stats>) -> Self {
+        let clock = Clock::new();
+        let device = ClientDevice::new(sku.clone(), &clock, stats, PROVISIONING_SECRET);
+        let host = TeeHost::new(&device.monitor);
+        host.register(Box::new(RefCell::new(ReplayService::new(
+            &device,
+            recording_trust_root(),
+        ))));
+        let session = host
+            .open_session("grt.replay")
+            .expect("replay module just registered");
+        DeviceWorker {
+            device,
+            host,
+            session,
+            sku,
+            queue: AdmissionQueue::new(queue_capacity),
+            free_at: SimTime::ZERO,
+            last_service_end: SimTime::ZERO,
+            loaded_model: None,
+            inflight: 0,
+            max_inflight: 0,
+            completed: 0,
+            loads: 0,
+            busy: SimTime::ZERO,
+        }
+    }
+}
+
+/// The serving fleet: devices + registry + one DES timeline.
+pub struct Fleet {
+    cfg: FleetConfig,
+    models: Vec<NetworkSpec>,
+    workers: Vec<DeviceWorker>,
+    registry: RecordingRegistry,
+    /// Cached replay-time model parameters, one slot per catalog model.
+    weights: Vec<Option<Vec<Vec<f32>>>>,
+    /// The serving timeline.
+    clock: Rc<Clock>,
+    service_time_sum: SimTime,
+    service_count: u64,
+}
+
+/// Retry-after fallback before any request has completed.
+const DEFAULT_SERVICE_ESTIMATE: SimTime = SimTime::from_millis(25);
+
+impl Fleet {
+    /// Builds a fleet serving `models` with a fresh registry.
+    pub fn new(models: Vec<NetworkSpec>, cfg: FleetConfig) -> Self {
+        let registry = RecordingRegistry::new(cfg.registry.clone());
+        Self::with_registry(models, cfg, registry)
+    }
+
+    /// Builds a fleet around an existing registry (e.g. one warmed by a
+    /// previous run), preserving its cache contents and counters.
+    pub fn with_registry(
+        models: Vec<NetworkSpec>,
+        cfg: FleetConfig,
+        registry: RecordingRegistry,
+    ) -> Self {
+        assert!(!cfg.skus.is_empty(), "a fleet needs at least one device");
+        let stats = Stats::new();
+        let workers = cfg
+            .skus
+            .iter()
+            .map(|sku| DeviceWorker::new(sku.clone(), cfg.queue_capacity, &stats))
+            .collect();
+        let n_models = models.len();
+        Fleet {
+            cfg,
+            models,
+            workers,
+            registry,
+            weights: vec![None; n_models],
+            clock: Clock::new(),
+            service_time_sum: SimTime::ZERO,
+            service_count: 0,
+        }
+    }
+
+    /// Releases the registry (to carry a warmed cache into another fleet).
+    pub fn into_registry(self) -> RecordingRegistry {
+        self.registry
+    }
+
+    /// Registry counters (hits/misses/evictions so far).
+    pub fn registry_stats(&self) -> crate::registry::RegistryStats {
+        self.registry.stats()
+    }
+
+    /// Max concurrent replays ever observed on any single device. The
+    /// job-queue-length-1 invariant requires this to be exactly 1 after
+    /// any run that served at least one request.
+    pub fn max_inflight(&self) -> u32 {
+        self.workers
+            .iter()
+            .map(|w| w.max_inflight)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Serves a whole arrival-ordered trace, returning the reduced report.
+    pub fn run(&mut self, trace: &[Request]) -> ServeReport {
+        self.run_detailed(trace).0
+    }
+
+    /// Like [`Fleet::run`] but also returns the raw event log (per-request
+    /// samples, rejections with retry hints, timeout records).
+    pub fn run_detailed(&mut self, trace: &[Request]) -> (ServeReport, MetricsCollector) {
+        let mut metrics = MetricsCollector::default();
+        for req in trace {
+            debug_assert!(
+                req.arrival >= self.clock.now(),
+                "trace must be arrival-ordered"
+            );
+            self.drain_until(req.arrival, &mut metrics);
+            self.clock.advance_to(req.arrival);
+            match self.pick_device(req) {
+                Some(i) => {
+                    self.workers[i]
+                        .queue
+                        .try_push(req.clone())
+                        .expect("pick_device returns only non-full queues");
+                }
+                None => {
+                    let retry_after = self.retry_after_estimate(req.arrival);
+                    metrics.rejections.push(Rejection {
+                        id: req.id,
+                        model: req.model,
+                        at: req.arrival,
+                        retry_after,
+                    });
+                }
+            }
+        }
+        self.drain_until(SimTime::MAX, &mut metrics);
+        let report = self.reduce(trace.len() as u64, &metrics);
+        (report, metrics)
+    }
+
+    /// Serves every queued request whose service would start before `t`.
+    fn drain_until(&mut self, t: SimTime, metrics: &mut MetricsCollector) {
+        let Fleet {
+            workers,
+            registry,
+            models,
+            weights,
+            service_time_sum,
+            service_count,
+            ..
+        } = self;
+        for (wi, worker) in workers.iter_mut().enumerate() {
+            while let Some(head) = worker.queue.front() {
+                let start = worker.free_at.max(head.arrival);
+                if start >= t {
+                    break;
+                }
+                let req = worker.queue.pop_front().expect("front() was Some");
+                if start > req.deadline {
+                    // Deadline expired while queued: accounted, not dropped.
+                    metrics.timeouts.push(TimeoutRecord {
+                        id: req.id,
+                        model: req.model,
+                        expired_at: req.deadline,
+                    });
+                    continue;
+                }
+                if let Some(sample) =
+                    serve_one(worker, wi, &req, start, registry, models, weights, metrics)
+                {
+                    *service_time_sum += sample.service;
+                    *service_count += 1;
+                    metrics.samples.push(sample);
+                }
+            }
+        }
+    }
+
+    /// Picks the device to queue `req` on: same-model affinity first
+    /// (within the configured slack of the shallowest queue), then least
+    /// queue depth, then earliest free, then lowest index. Returns `None`
+    /// when every queue is full — the backpressure case.
+    fn pick_device(&self, req: &Request) -> Option<usize> {
+        let open = |w: &DeviceWorker| !w.queue.is_full();
+        let min_depth = self
+            .workers
+            .iter()
+            .filter(|w| open(w))
+            .map(|w| w.queue.len())
+            .min()?;
+        // Affinity pass: a device already staged with this model, unless
+        // its queue has fallen too far behind the shallowest.
+        let affine = self
+            .workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| {
+                open(w)
+                    && w.loaded_model == Some(req.model)
+                    && w.queue.len() <= min_depth + self.cfg.affinity_slack
+            })
+            .min_by_key(|(i, w)| (w.queue.len(), w.free_at, *i));
+        if let Some((i, _)) = affine {
+            return Some(i);
+        }
+        self.workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| open(w))
+            .min_by_key(|(i, w)| (w.queue.len(), w.free_at, *i))
+            .map(|(i, _)| i)
+    }
+
+    /// How long a rejected client should back off: the soonest any
+    /// device could plausibly reach new work, plus one service time.
+    fn retry_after_estimate(&self, now: SimTime) -> SimTime {
+        let avg = if self.service_count == 0 {
+            DEFAULT_SERVICE_ESTIMATE
+        } else {
+            self.service_time_sum / self.service_count
+        };
+        let soonest = self
+            .workers
+            .iter()
+            .map(|w| w.free_at.saturating_sub(now) + avg * w.queue.len() as u64)
+            .min()
+            .unwrap_or(SimTime::ZERO);
+        soonest + avg
+    }
+
+    /// Reduces the collected events into the export-ready report.
+    fn reduce(&self, submitted: u64, metrics: &MetricsCollector) -> ServeReport {
+        let mut queue_waits: Vec<SimTime> = metrics.samples.iter().map(|s| s.queue_wait).collect();
+        let mut services: Vec<SimTime> = metrics.samples.iter().map(|s| s.service).collect();
+        let mut totals: Vec<SimTime> = metrics.samples.iter().map(|s| s.total).collect();
+        let completed = metrics.samples.len() as u64;
+        let makespan = self
+            .workers
+            .iter()
+            .map(|w| w.last_service_end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .max(self.clock.now());
+        let throughput_rps = if makespan.is_zero() {
+            0.0
+        } else {
+            completed as f64 / makespan.as_secs_f64()
+        };
+        let mean_total = if completed == 0 {
+            SimTime::ZERO
+        } else {
+            metrics
+                .samples
+                .iter()
+                .fold(SimTime::ZERO, |acc, s| acc + s.total)
+                / completed
+        };
+        let per_model = self
+            .models
+            .iter()
+            .enumerate()
+            .map(|(mi, spec)| {
+                let done: Vec<&RequestSample> =
+                    metrics.samples.iter().filter(|s| s.model == mi).collect();
+                let mean = if done.is_empty() {
+                    SimTime::ZERO
+                } else {
+                    done.iter().fold(SimTime::ZERO, |acc, s| acc + s.total) / done.len() as u64
+                };
+                ModelReport {
+                    name: spec.name.to_owned(),
+                    completed: done.len() as u64,
+                    mean_total: mean,
+                }
+            })
+            .collect();
+        let per_device = self
+            .workers
+            .iter()
+            .map(|w| DeviceReport {
+                sku: w.sku.name.to_owned(),
+                completed: w.completed,
+                loads: w.loads,
+                busy: w.busy,
+                peak_queue_depth: w.queue.peak_depth(),
+            })
+            .collect();
+        let cache = self.registry.stats();
+        let cold_starts = metrics.samples.iter().filter(|s| s.cold_start).count() as u64;
+        ServeReport {
+            submitted,
+            completed,
+            rejected: metrics.rejections.len() as u64,
+            timed_out: metrics.timeouts.len() as u64,
+            failed: metrics.failed,
+            makespan,
+            throughput_rps,
+            queue_wait: Percentiles::of(&mut queue_waits),
+            service: Percentiles::of(&mut services),
+            total: Percentiles::of(&mut totals),
+            mean_total,
+            cold_starts,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_hit_ratio: cache.hit_ratio(),
+            record_time: self.registry.record_time(),
+            max_inflight: self.max_inflight(),
+            output_digest: metrics.output_digest,
+            per_model,
+            per_device,
+        }
+    }
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("devices", &self.workers.len())
+            .field("models", &self.models.len())
+            .finish()
+    }
+}
+
+/// Serves one request on one device, starting at `start` on the serving
+/// timeline. Returns `None` (and bumps `metrics.failed`) if the
+/// cold-start record failed.
+#[allow(clippy::too_many_arguments)] // Split borrows of Fleet's fields.
+fn serve_one(
+    worker: &mut DeviceWorker,
+    device_index: usize,
+    req: &Request,
+    start: SimTime,
+    registry: &mut RecordingRegistry,
+    models: &[NetworkSpec],
+    weights: &mut [Option<Vec<Vec<f32>>>],
+    metrics: &mut MetricsCollector,
+) -> Option<RequestSample> {
+    // Job-queue-length-1: service intervals on one device never overlap.
+    assert!(
+        start >= worker.last_service_end,
+        "device {device_index} would run two replays at once"
+    );
+    worker.inflight += 1;
+    worker.max_inflight = worker.max_inflight.max(worker.inflight);
+
+    let spec = &models[req.model];
+    let t0 = worker.device.clock.now();
+    let mut cold_start = false;
+
+    if worker.loaded_model != Some(req.model) {
+        let fetch = match registry.fetch(spec, &worker.sku) {
+            Ok(f) => f,
+            Err(_) => {
+                metrics.failed += 1;
+                worker.inflight -= 1;
+                return None;
+            }
+        };
+        if let Some(delay) = fetch.cold_start_delay {
+            // The cold-start record ran while this request waited; charge
+            // its full delay to this service interval.
+            worker.device.clock.advance(delay);
+            cold_start = true;
+        }
+        let blob = fetch.recording.wire_blob();
+        let n = worker
+            .host
+            .invoke(worker.session, cmd::LOAD_RECORDING, &blob)
+            .expect("registry-vetted recording loads");
+        let slots = u32::from_le_bytes([n[0], n[1], n[2], n[3]]) as usize;
+        let model_weights = weights[req.model].get_or_insert_with(|| workload_weights(spec));
+        assert_eq!(slots, model_weights.len(), "weight slot count mismatch");
+        for (i, w) in model_weights.iter().enumerate() {
+            let mut p = (i as u32).to_le_bytes().to_vec();
+            p.extend(w.iter().flat_map(|v| v.to_le_bytes()));
+            worker
+                .host
+                .invoke(worker.session, cmd::SET_WEIGHTS, &p)
+                .expect("staged weights match recording slots");
+        }
+        worker.loaded_model = Some(req.model);
+        worker.loads += 1;
+    }
+
+    // Per-request cost: input staging + replay only.
+    let input = test_input(spec, req.id);
+    let input_bytes: Vec<u8> = input.iter().flat_map(|v| v.to_le_bytes()).collect();
+    worker
+        .host
+        .invoke(worker.session, cmd::SET_INPUT, &input_bytes)
+        .expect("input matches recording slot");
+    let output = worker
+        .host
+        .invoke(worker.session, cmd::RUN, &[])
+        .expect("replay of vetted recording succeeds");
+    metrics.absorb_output(&output);
+
+    let service = worker.device.clock.now() - t0;
+    let end = start + service;
+    worker.free_at = end;
+    worker.last_service_end = end;
+    worker.busy += service;
+    worker.completed += 1;
+    worker.inflight -= 1;
+    Some(RequestSample {
+        id: req.id,
+        model: req.model,
+        device: device_index,
+        queue_wait: start - req.arrival,
+        service,
+        total: end - req.arrival,
+        cold_start,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{generate_trace, TraceConfig};
+
+    fn small_fleet() -> Fleet {
+        // Deep queues: the test asserts zero rejections, and every request
+        // arriving during a multi-second cold-start record must fit.
+        let cfg = FleetConfig {
+            queue_capacity: 64,
+            ..FleetConfig::new(vec![GpuSku::mali_g71_mp8(), GpuSku::mali_g71_mp4()])
+        };
+        Fleet::new(vec![grt_ml::zoo::mnist()], cfg)
+    }
+
+    #[test]
+    fn serves_a_short_trace_completely() {
+        let mut fleet = small_fleet();
+        let trace = generate_trace(1, &TraceConfig::new(20, 1));
+        let report = fleet.run(&trace);
+        assert_eq!(report.submitted, 20);
+        assert_eq!(report.completed, 20);
+        assert_eq!(report.rejected + report.timed_out + report.failed, 0);
+        assert_eq!(report.max_inflight, 1);
+        assert!(report.throughput_rps > 0.0);
+        // Two SKUs were exercised → at least two cold starts possible,
+        // but a single-model trace needs at most one per SKU.
+        assert!(report.cold_starts as usize <= 2);
+    }
+
+    #[test]
+    fn affinity_amortizes_staging() {
+        // One device, one model: exactly one LOAD_RECORDING for N runs.
+        let cfg = FleetConfig {
+            queue_capacity: 16,
+            ..FleetConfig::new(vec![GpuSku::mali_g71_mp8()])
+        };
+        let mut fleet = Fleet::new(vec![grt_ml::zoo::mnist()], cfg);
+        let trace = generate_trace(1, &TraceConfig::new(12, 3));
+        let report = fleet.run(&trace);
+        assert_eq!(report.completed, 12);
+        assert_eq!(report.per_device[0].loads, 1);
+        assert_eq!(report.cold_starts, 1);
+    }
+
+    #[test]
+    fn queue_wait_reflects_contention() {
+        // One device, arrivals far faster than service: later requests
+        // wait longer than earlier ones.
+        let cfg = FleetConfig {
+            queue_capacity: 64,
+            ..FleetConfig::new(vec![GpuSku::mali_g71_mp8()])
+        };
+        let mut fleet = Fleet::new(vec![grt_ml::zoo::mnist()], cfg);
+        let trace_cfg = TraceConfig {
+            mean_interarrival: SimTime::from_micros(100),
+            ..TraceConfig::new(30, 5)
+        };
+        let trace = generate_trace(1, &trace_cfg);
+        let report = fleet.run(&trace);
+        assert_eq!(report.completed, 30);
+        assert!(report.queue_wait.p99 > report.queue_wait.p50);
+        assert!(report.total.p50 >= report.service.p50);
+    }
+}

@@ -1,0 +1,364 @@
+//! Serving metrics: per-request latency decomposition, percentiles,
+//! throughput, cache statistics — exported as deterministic JSON.
+//!
+//! Every number is derived from DES timestamps, so two runs with the same
+//! seed and fleet produce bit-identical reports (asserted by
+//! `tests/determinism.rs`). The JSON writer is hand-rolled for the same
+//! reason the recording byte format is: no serialization framework in the
+//! dependency tree, and full control over field order and float
+//! formatting so the output is reproducible byte-for-byte.
+
+use crate::admission::Rejection;
+use grt_sim::SimTime;
+
+/// Latency percentiles (nearest-rank over the sampled population).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: SimTime,
+    /// 95th percentile.
+    pub p95: SimTime,
+    /// 99th percentile.
+    pub p99: SimTime,
+}
+
+impl Percentiles {
+    /// Computes nearest-rank percentiles; all-zero when `values` is empty.
+    pub fn of(values: &mut [SimTime]) -> Percentiles {
+        values.sort_unstable();
+        let pick = |p: f64| -> SimTime {
+            if values.is_empty() {
+                return SimTime::ZERO;
+            }
+            let rank = ((p / 100.0) * values.len() as f64).ceil() as usize;
+            values[rank.clamp(1, values.len()) - 1]
+        };
+        Percentiles {
+            p50: pick(50.0),
+            p95: pick(95.0),
+            p99: pick(99.0),
+        }
+    }
+}
+
+/// One served request's latency decomposition.
+#[derive(Debug, Clone)]
+pub struct RequestSample {
+    /// Request id.
+    pub id: u64,
+    /// Model index in the catalog.
+    pub model: usize,
+    /// Device that served it.
+    pub device: usize,
+    /// Time spent queued before service started.
+    pub queue_wait: SimTime,
+    /// Service time (staging + replay, plus any cold-start record).
+    pub service: SimTime,
+    /// End-to-end latency (queue_wait + service).
+    pub total: SimTime,
+    /// Whether this request paid a registry cold-start record.
+    pub cold_start: bool,
+}
+
+/// A request that timed out in the queue (deadline passed before the GPU
+/// was reached).
+#[derive(Debug, Clone)]
+pub struct TimeoutRecord {
+    /// Request id.
+    pub id: u64,
+    /// Model index.
+    pub model: usize,
+    /// The deadline that expired.
+    pub expired_at: SimTime,
+}
+
+/// Raw event log a fleet run accumulates; reduced to a [`ServeReport`] at
+/// the end.
+#[derive(Debug, Default)]
+pub struct MetricsCollector {
+    /// Completed requests.
+    pub samples: Vec<RequestSample>,
+    /// Backpressured requests.
+    pub rejections: Vec<Rejection>,
+    /// Queue-timeout casualties.
+    pub timeouts: Vec<TimeoutRecord>,
+    /// Requests whose service failed outright (cold-start record error).
+    pub failed: u64,
+    /// FNV-1a digest over every replay output, in completion order — an
+    /// end-to-end determinism witness.
+    pub output_digest: u64,
+}
+
+impl MetricsCollector {
+    /// Folds one replay output into the run digest.
+    pub fn absorb_output(&mut self, bytes: &[u8]) {
+        let mut h = if self.output_digest == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.output_digest
+        };
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.output_digest = h;
+    }
+}
+
+/// Per-model serving outcome.
+#[derive(Debug, Clone)]
+pub struct ModelReport {
+    /// Model name.
+    pub name: String,
+    /// Requests completed.
+    pub completed: u64,
+    /// Mean end-to-end latency.
+    pub mean_total: SimTime,
+}
+
+/// Per-device serving outcome.
+#[derive(Debug, Clone)]
+pub struct DeviceReport {
+    /// Device SKU name.
+    pub sku: String,
+    /// Requests completed.
+    pub completed: u64,
+    /// `LOAD_RECORDING` invocations (model switches; lower = better
+    /// affinity batching).
+    pub loads: u64,
+    /// Time spent serving.
+    pub busy: SimTime,
+    /// Deepest queue observed.
+    pub peak_queue_depth: usize,
+}
+
+/// The reduced, export-ready report of one fleet run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Requests offered to the fleet.
+    pub submitted: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests rejected with backpressure.
+    pub rejected: u64,
+    /// Requests that timed out in queue.
+    pub timed_out: u64,
+    /// Requests whose service failed (cold-start record error).
+    pub failed: u64,
+    /// Virtual time from first arrival to last completion.
+    pub makespan: SimTime,
+    /// Completed requests per virtual second.
+    pub throughput_rps: f64,
+    /// Queue-wait percentiles.
+    pub queue_wait: Percentiles,
+    /// Service-time percentiles.
+    pub service: Percentiles,
+    /// End-to-end latency percentiles.
+    pub total: Percentiles,
+    /// Mean end-to-end latency.
+    pub mean_total: SimTime,
+    /// Registry cold starts (record runs triggered by traffic).
+    pub cold_starts: u64,
+    /// Registry hits.
+    pub cache_hits: u64,
+    /// Registry misses.
+    pub cache_misses: u64,
+    /// Registry evictions.
+    pub cache_evictions: u64,
+    /// Registry hit ratio.
+    pub cache_hit_ratio: f64,
+    /// Virtual time spent in cold-start record runs.
+    pub record_time: SimTime,
+    /// Max concurrent replays observed on any one device (the paper's
+    /// job-queue-length-1 invariant requires this to be exactly 1).
+    pub max_inflight: u32,
+    /// Replay-output determinism digest.
+    pub output_digest: u64,
+    /// Per-model breakdown (catalog order).
+    pub per_model: Vec<ModelReport>,
+    /// Per-device breakdown (fleet order).
+    pub per_device: Vec<DeviceReport>,
+}
+
+fn ms(t: SimTime) -> String {
+    format!("{:.6}", t.as_millis_f64())
+}
+
+fn pct(p: &Percentiles) -> String {
+    format!(
+        "{{\"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}}}",
+        ms(p.p50),
+        ms(p.p95),
+        ms(p.p99)
+    )
+}
+
+impl ServeReport {
+    /// Serializes the report as JSON with stable field order and float
+    /// formatting (bit-identical across identically-seeded runs).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(2048);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"submitted\": {},\n", self.submitted));
+        s.push_str(&format!("  \"completed\": {},\n", self.completed));
+        s.push_str(&format!("  \"rejected\": {},\n", self.rejected));
+        s.push_str(&format!("  \"timed_out\": {},\n", self.timed_out));
+        s.push_str(&format!("  \"failed\": {},\n", self.failed));
+        s.push_str(&format!("  \"makespan_ms\": {},\n", ms(self.makespan)));
+        s.push_str(&format!(
+            "  \"throughput_rps\": {:.6},\n",
+            self.throughput_rps
+        ));
+        s.push_str(&format!("  \"queue_wait\": {},\n", pct(&self.queue_wait)));
+        s.push_str(&format!("  \"service\": {},\n", pct(&self.service)));
+        s.push_str(&format!("  \"total\": {},\n", pct(&self.total)));
+        s.push_str(&format!("  \"mean_total_ms\": {},\n", ms(self.mean_total)));
+        s.push_str("  \"recording_cache\": {\n");
+        s.push_str(&format!("    \"cold_starts\": {},\n", self.cold_starts));
+        s.push_str(&format!("    \"hits\": {},\n", self.cache_hits));
+        s.push_str(&format!("    \"misses\": {},\n", self.cache_misses));
+        s.push_str(&format!("    \"evictions\": {},\n", self.cache_evictions));
+        s.push_str(&format!(
+            "    \"hit_ratio\": {:.6},\n",
+            self.cache_hit_ratio
+        ));
+        s.push_str(&format!(
+            "    \"record_time_ms\": {}\n",
+            ms(self.record_time)
+        ));
+        s.push_str("  },\n");
+        s.push_str(&format!("  \"max_inflight\": {},\n", self.max_inflight));
+        s.push_str(&format!(
+            "  \"output_digest\": \"{:016x}\",\n",
+            self.output_digest
+        ));
+        s.push_str("  \"per_model\": [\n");
+        for (i, m) in self.per_model.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"completed\": {}, \"mean_total_ms\": {}}}{}\n",
+                m.name,
+                m.completed,
+                ms(m.mean_total),
+                if i + 1 < self.per_model.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"per_device\": [\n");
+        for (i, d) in self.per_device.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"sku\": \"{}\", \"completed\": {}, \"loads\": {}, \"busy_ms\": {}, \"peak_queue_depth\": {}}}{}\n",
+                d.sku,
+                d.completed,
+                d.loads,
+                ms(d.busy),
+                d.peak_queue_depth,
+                if i + 1 < self.per_device.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n");
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut v: Vec<SimTime> = (1..=100).map(t).collect();
+        let p = Percentiles::of(&mut v);
+        assert_eq!(p.p50, t(50));
+        assert_eq!(p.p95, t(95));
+        assert_eq!(p.p99, t(99));
+    }
+
+    #[test]
+    fn percentiles_small_and_empty() {
+        let mut one = vec![t(7)];
+        let p = Percentiles::of(&mut one);
+        assert_eq!((p.p50, p.p95, p.p99), (t(7), t(7), t(7)));
+        let p = Percentiles::of(&mut []);
+        assert_eq!(p.p50, SimTime::ZERO);
+    }
+
+    #[test]
+    fn output_digest_is_order_sensitive() {
+        let mut a = MetricsCollector::default();
+        a.absorb_output(&[1, 2]);
+        a.absorb_output(&[3]);
+        let mut b = MetricsCollector::default();
+        b.absorb_output(&[3]);
+        b.absorb_output(&[1, 2]);
+        assert_ne!(a.output_digest, b.output_digest);
+        let mut c = MetricsCollector::default();
+        c.absorb_output(&[1, 2]);
+        c.absorb_output(&[3]);
+        assert_eq!(a.output_digest, c.output_digest);
+    }
+
+    #[test]
+    fn json_has_required_fields() {
+        let p = Percentiles {
+            p50: t(1),
+            p95: t(2),
+            p99: t(3),
+        };
+        let r = ServeReport {
+            submitted: 10,
+            completed: 8,
+            rejected: 1,
+            timed_out: 1,
+            failed: 0,
+            makespan: t(1000),
+            throughput_rps: 8.0,
+            queue_wait: p,
+            service: p,
+            total: p,
+            mean_total: t(2),
+            cold_starts: 2,
+            cache_hits: 6,
+            cache_misses: 2,
+            cache_evictions: 0,
+            cache_hit_ratio: 0.75,
+            record_time: t(100),
+            max_inflight: 1,
+            output_digest: 0xabcd,
+            per_model: vec![ModelReport {
+                name: "MNIST".into(),
+                completed: 8,
+                mean_total: t(2),
+            }],
+            per_device: vec![DeviceReport {
+                sku: "Mali-G71 MP8".into(),
+                completed: 8,
+                loads: 2,
+                busy: t(16),
+                peak_queue_depth: 3,
+            }],
+        };
+        let j = r.to_json();
+        for field in [
+            "\"p50_ms\"",
+            "\"p95_ms\"",
+            "\"p99_ms\"",
+            "\"throughput_rps\"",
+            "\"hit_ratio\"",
+            "\"cold_starts\"",
+            "\"max_inflight\"",
+            "\"per_model\"",
+            "\"per_device\"",
+        ] {
+            assert!(j.contains(field), "missing {field} in {j}");
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! The recording registry: record once, replay fleet-wide.
+//!
+//! A recording is only valid for the exact `(network, GPU SKU)` pair it
+//! was dry-run against (§2.4: subtle SKU differences break replay), so
+//! the registry caches signed recordings under that key. On a miss it
+//! *records on demand*: it drives a full [`RecordSession`] over the
+//! configured network link — the serving system's cold-start cost, which
+//! the DES charges to the unlucky first request. Signatures are verified
+//! once, on insert; every later fetch hands out the same shared,
+//! already-vetted recording. Bounded capacity with LRU eviction models a
+//! registry node that cannot hold every model × SKU product.
+
+use grt_core::recording::SignedRecording;
+use grt_core::session::{recording_trust_root, RecordError, RecordSession, RecorderMode};
+use grt_gpu::GpuSku;
+use grt_ml::NetworkSpec;
+use grt_net::NetConditions;
+use grt_sim::SimTime;
+use std::rc::Rc;
+
+/// Registry sizing and cold-start recording parameters.
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Maximum cached recordings; on overflow the least-recently-used
+    /// entry is evicted.
+    pub capacity: usize,
+    /// Link conditions a cold-start record session runs over.
+    pub conditions: NetConditions,
+    /// Recorder build used for cold starts.
+    pub mode: RecorderMode,
+}
+
+impl RegistryConfig {
+    /// A registry of `capacity` entries recording over WiFi with the full
+    /// GR-T recorder.
+    pub fn new(capacity: usize) -> Self {
+        RegistryConfig {
+            capacity,
+            conditions: NetConditions::wifi(),
+            mode: RecorderMode::OursMDS,
+        }
+    }
+}
+
+/// Counters the registry exposes (all monotonic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Fetches served from cache.
+    pub hits: u64,
+    /// Fetches that required a cold-start record.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Recordings signature-verified at insert (once per insert, never
+    /// per fetch).
+    pub verified_inserts: u64,
+}
+
+impl RegistryStats {
+    /// Hit ratio over all fetches (1.0 when nothing was fetched).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// What a fetch returned.
+#[derive(Debug, Clone)]
+pub struct FetchOutcome {
+    /// The verified recording (shared; cloning is cheap).
+    pub recording: Rc<SignedRecording>,
+    /// Number of weight slots the recording stages.
+    pub weight_slots: usize,
+    /// Virtual time the cold-start record run took; `None` on a hit.
+    pub cold_start_delay: Option<SimTime>,
+}
+
+struct Entry {
+    key: (String, u32),
+    recording: Rc<SignedRecording>,
+    weight_slots: usize,
+    last_used: u64,
+}
+
+/// The LRU recording cache plus on-demand recorder.
+pub struct RecordingRegistry {
+    cfg: RegistryConfig,
+    entries: Vec<Entry>,
+    tick: u64,
+    stats: RegistryStats,
+    record_time: SimTime,
+}
+
+impl RecordingRegistry {
+    /// Creates an empty registry.
+    pub fn new(cfg: RegistryConfig) -> Self {
+        assert!(cfg.capacity > 0, "registry capacity must be positive");
+        RecordingRegistry {
+            cfg,
+            entries: Vec::new(),
+            tick: 0,
+            stats: RegistryStats::default(),
+            record_time: SimTime::ZERO,
+        }
+    }
+
+    /// Fetches the recording for `(spec, sku)`, recording it cold first
+    /// if absent. The returned `cold_start_delay` is the virtual time the
+    /// record run took — the caller charges it to whoever waited.
+    pub fn fetch(&mut self, spec: &NetworkSpec, sku: &GpuSku) -> Result<FetchOutcome, RecordError> {
+        self.tick += 1;
+        let key = (spec.name.to_owned(), sku.gpu_id);
+        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
+            e.last_used = self.tick;
+            self.stats.hits += 1;
+            return Ok(FetchOutcome {
+                recording: Rc::clone(&e.recording),
+                weight_slots: e.weight_slots,
+                cold_start_delay: None,
+            });
+        }
+        self.stats.misses += 1;
+        let (recording, weight_slots, delay) = self.record_cold(spec, sku)?;
+        self.insert(key, Rc::clone(&recording), weight_slots);
+        Ok(FetchOutcome {
+            recording,
+            weight_slots,
+            cold_start_delay: Some(delay),
+        })
+    }
+
+    /// Pre-populates the `(spec, sku)` entry without counting a hit or a
+    /// miss (warming a registry ahead of traffic).
+    pub fn warm(&mut self, spec: &NetworkSpec, sku: &GpuSku) -> Result<(), RecordError> {
+        self.tick += 1;
+        let key = (spec.name.to_owned(), sku.gpu_id);
+        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
+            e.last_used = self.tick;
+            return Ok(());
+        }
+        let (recording, weight_slots, _) = self.record_cold(spec, sku)?;
+        self.insert(key, recording, weight_slots);
+        Ok(())
+    }
+
+    /// Whether `(spec, sku)` is currently cached (does not touch LRU
+    /// state or counters).
+    pub fn contains(&self, spec: &NetworkSpec, sku: &GpuSku) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.key.0 == spec.name && e.key.1 == sku.gpu_id)
+    }
+
+    /// Current number of cached recordings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> RegistryStats {
+        self.stats
+    }
+
+    /// Zeroes the counters and record-time accumulator while keeping the
+    /// cached entries — per-pass accounting when a warmed registry is
+    /// reused across runs.
+    pub fn reset_stats(&mut self) {
+        self.stats = RegistryStats::default();
+        self.record_time = SimTime::ZERO;
+    }
+
+    /// Total virtual time spent in cold-start record runs.
+    pub fn record_time(&self) -> SimTime {
+        self.record_time
+    }
+
+    /// Runs the cold-start record session and verifies the result once.
+    fn record_cold(
+        &mut self,
+        spec: &NetworkSpec,
+        sku: &GpuSku,
+    ) -> Result<(Rc<SignedRecording>, usize, SimTime), RecordError> {
+        let mut session = RecordSession::new(sku.clone(), self.cfg.conditions, self.cfg.mode);
+        let out = session.record(spec)?;
+        // Verify-once-on-insert: a recording that fails verification
+        // never enters the cache (and would fail again in every TEE).
+        let parsed = out
+            .recording
+            .verify_and_parse(&recording_trust_root())
+            .ok_or(RecordError::Attestation)?;
+        self.stats.verified_inserts += 1;
+        self.record_time += out.delay;
+        Ok((Rc::new(out.recording), parsed.weights.len(), out.delay))
+    }
+
+    fn insert(&mut self, key: (String, u32), recording: Rc<SignedRecording>, weight_slots: usize) {
+        if self.entries.len() >= self.cfg.capacity {
+            // Evict the least-recently-used entry (deterministic: ticks
+            // are unique).
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("capacity > 0 implies a resident entry");
+            self.entries.remove(lru);
+            self.stats.evictions += 1;
+        }
+        self.entries.push(Entry {
+            key,
+            recording,
+            weight_slots,
+            last_used: self.tick,
+        });
+    }
+}
+
+impl std::fmt::Debug for RecordingRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordingRegistry")
+            .field("entries", &self.entries.len())
+            .field("capacity", &self.cfg.capacity)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry(capacity: usize) -> RecordingRegistry {
+        RecordingRegistry::new(RegistryConfig::new(capacity))
+    }
+
+    #[test]
+    fn miss_records_then_hit_reuses() {
+        let mut r = registry(4);
+        let spec = grt_ml::zoo::mnist();
+        let sku = GpuSku::mali_g71_mp8();
+        let first = r.fetch(&spec, &sku).unwrap();
+        assert!(first.cold_start_delay.is_some());
+        assert!(first.weight_slots > 0);
+        let second = r.fetch(&spec, &sku).unwrap();
+        assert!(second.cold_start_delay.is_none());
+        // Same shared recording, verified exactly once.
+        assert!(Rc::ptr_eq(&first.recording, &second.recording));
+        let s = r.stats();
+        assert_eq!((s.hits, s.misses, s.verified_inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn sku_keys_are_distinct() {
+        let mut r = registry(4);
+        let spec = grt_ml::zoo::mnist();
+        let a = r.fetch(&spec, &GpuSku::mali_g71_mp8()).unwrap();
+        let b = r.fetch(&spec, &GpuSku::mali_g71_mp4()).unwrap();
+        assert!(b.cold_start_delay.is_some(), "different SKU is a miss");
+        let pa = a
+            .recording
+            .verify_and_parse(&recording_trust_root())
+            .unwrap();
+        let pb = b
+            .recording
+            .verify_and_parse(&recording_trust_root())
+            .unwrap();
+        assert_ne!(pa.gpu_id, pb.gpu_id);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_coldest() {
+        let mut r = registry(2);
+        let mnist = grt_ml::zoo::mnist();
+        let sku8 = GpuSku::mali_g71_mp8();
+        let sku4 = GpuSku::mali_g71_mp4();
+        r.fetch(&mnist, &sku8).unwrap(); // entry A
+        r.fetch(&mnist, &sku4).unwrap(); // entry B
+        r.fetch(&mnist, &sku8).unwrap(); // touch A → B is now LRU
+        r.fetch(&mnist, &GpuSku::mali_g72_mp12()).unwrap(); // evicts B
+        assert!(r.contains(&mnist, &sku8));
+        assert!(!r.contains(&mnist, &sku4));
+        assert_eq!(r.stats().evictions, 1);
+        // B misses again.
+        let again = r.fetch(&mnist, &sku4).unwrap();
+        assert!(again.cold_start_delay.is_some());
+    }
+
+    #[test]
+    fn warm_counts_neither_hit_nor_miss() {
+        let mut r = registry(4);
+        let spec = grt_ml::zoo::mnist();
+        let sku = GpuSku::mali_g71_mp8();
+        r.warm(&spec, &sku).unwrap();
+        assert_eq!(r.stats().hits + r.stats().misses, 0);
+        assert_eq!(r.stats().verified_inserts, 1);
+        let f = r.fetch(&spec, &sku).unwrap();
+        assert!(f.cold_start_delay.is_none());
+        assert_eq!(r.stats().hits, 1);
+    }
+}

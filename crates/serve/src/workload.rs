@@ -1,0 +1,155 @@
+//! Request-trace generation: Zipf-distributed model popularity over
+//! exponentially-distributed interarrivals.
+//!
+//! Serving traffic is famously skewed — a few models take most requests
+//! (the paper's §6 one-image-many-devicetrees argument assumes exactly
+//! this reuse). The trace generator draws each request's model from a
+//! Zipf distribution over the catalog and spaces arrivals with an
+//! exponential clock, all from the deterministic [`grt_sim::Rng`] so two
+//! traces from the same seed are identical.
+
+use crate::admission::Request;
+use grt_sim::{Rng, SimTime};
+
+/// A Zipf sampler over ranks `0..n` (rank 0 most popular).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` ranks with the given exponent
+    /// (`s = 0` is uniform; `s ≈ 1` is classic web-traffic skew).
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(exponent)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        ZipfSampler { cdf }
+    }
+
+    /// Draws one rank.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.gen_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// The probability mass of rank `k`.
+    pub fn mass(&self, k: usize) -> f64 {
+        let prev = if k == 0 { 0.0 } else { self.cdf[k - 1] };
+        self.cdf[k] - prev
+    }
+}
+
+/// Parameters of one generated request trace.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Number of requests.
+    pub requests: usize,
+    /// Seed for the trace's private RNG stream.
+    pub seed: u64,
+    /// Zipf exponent over the model catalog (catalog order = popularity
+    /// rank order).
+    pub zipf_exponent: f64,
+    /// Mean interarrival gap (exponentially distributed).
+    pub mean_interarrival: SimTime,
+    /// Per-request deadline, measured from arrival: latest acceptable
+    /// service start.
+    pub timeout: SimTime,
+}
+
+impl TraceConfig {
+    /// A sensible default trace: `requests` requests at ~25 req/s with
+    /// web-like skew and a generous deadline.
+    pub fn new(requests: usize, seed: u64) -> Self {
+        TraceConfig {
+            requests,
+            seed,
+            zipf_exponent: 1.1,
+            mean_interarrival: SimTime::from_millis(40),
+            timeout: SimTime::from_secs(30),
+        }
+    }
+}
+
+/// Generates a trace over a catalog of `n_models` models, sorted by
+/// arrival time (ids follow arrival order).
+pub fn generate_trace(n_models: usize, cfg: &TraceConfig) -> Vec<Request> {
+    let mut rng = Rng::new(cfg.seed);
+    let zipf = ZipfSampler::new(n_models, cfg.zipf_exponent);
+    let mut t = SimTime::ZERO;
+    let mean = cfg.mean_interarrival.as_secs_f64();
+    (0..cfg.requests as u64)
+        .map(|id| {
+            // Exponential interarrival via inverse transform; 1-u avoids ln(0).
+            let gap = -(1.0 - rng.gen_f64()).ln() * mean;
+            t += SimTime::from_secs_f64(gap);
+            Request {
+                id,
+                model: zipf.sample(&mut rng),
+                arrival: t,
+                deadline: t + cfg.timeout,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_normalized() {
+        let z = ZipfSampler::new(6, 1.1);
+        let total: f64 = (0..6).map(|k| z.mass(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.mass(0) > z.mass(1));
+        assert!(z.mass(1) > z.mass(5));
+        // Rank 0 dominates under web-like skew.
+        assert!(z.mass(0) > 0.3, "mass0={}", z.mass(0));
+    }
+
+    #[test]
+    fn zipf_uniform_when_exponent_zero() {
+        let z = ZipfSampler::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.mass(k) - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sample_covers_all_ranks() {
+        let z = ZipfSampler::new(6, 1.0);
+        let mut rng = Rng::new(7);
+        let mut seen = [false; 6];
+        for _ in 0..10_000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_sorted() {
+        let cfg = TraceConfig::new(500, 42);
+        let a = generate_trace(6, &cfg);
+        let b = generate_trace(6, &cfg);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(a.iter().all(|r| r.deadline == r.arrival + cfg.timeout));
+        assert_eq!(a.len(), 500);
+    }
+
+    #[test]
+    fn different_seeds_give_different_traces() {
+        let a = generate_trace(6, &TraceConfig::new(100, 1));
+        let b = generate_trace(6, &TraceConfig::new(100, 2));
+        assert_ne!(a, b);
+    }
+}

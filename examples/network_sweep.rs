@@ -60,7 +60,10 @@ fn main() {
     // and loss on the cellular profile.
     println!();
     println!("== MNIST recording under degraded cellular conditions ==");
-    println!("{:>22} {:>12} {:>14}", "condition", "OursMDS", "retransmits");
+    println!(
+        "{:>22} {:>12} {:>14}",
+        "condition", "OursMDS", "retransmits"
+    );
     let mnist = grt_ml::zoo::mnist();
     let cases = [
         ("clean", NetConditions::cellular()),

@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Offline CI gate: formatting, lints, and the tier-1 verify.
+#
+# Everything here runs without network access — the workspace has no
+# external dependencies, so no registry resolution ever happens.
+#
+# Usage: scripts/ci.sh
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1 verify: cargo build --release"
+cargo build --release
+
+echo "==> tier-1 verify: cargo test -q"
+cargo test -q
+
+echo "==> workspace unit tests: cargo test -q --workspace --lib"
+cargo test -q --workspace --lib
+
+echo "CI gate passed."

@@ -1,5 +1,11 @@
 //! Property-based tests over the reproduction's core data structures and
-//! invariants (proptest).
+//! invariants.
+//!
+//! Cases are generated from the in-tree deterministic [`grt_sim::Rng`]
+//! rather than proptest: the workspace must build and test with zero
+//! network access, so no external dev-dependencies are allowed. Every
+//! property runs a fixed number of seeded random cases; failures print the
+//! case seed so a run can be reproduced exactly.
 
 use grt_compress::{compress, decompress, DeltaCodec};
 use grt_crypto::{hmac_sha256, ChaCha20, SecureChannel, Sha256};
@@ -7,227 +13,299 @@ use grt_driver::{PollCond, RegVal, SymSlot};
 use grt_gpu::job::{JobDescriptor, JobStatus, DESC_SIZE};
 use grt_gpu::mmu::{decode_pte, encode_pte, PteFlags};
 use grt_gpu::shader::{ConvParams, ShaderOp};
-use proptest::prelude::*;
+use grt_sim::Rng;
 
-proptest! {
-    /// The range coder is lossless for arbitrary byte strings.
-    #[test]
-    fn range_coder_round_trips(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
-        let packed = compress(&data);
-        prop_assert_eq!(decompress(&packed).unwrap(), data);
+/// Runs `n` independent cases of a property, each with its own
+/// reproducibly-derived generator.
+fn cases(n: u64, base_seed: u64, mut property: impl FnMut(&mut Rng)) {
+    for case in 0..n {
+        let seed = base_seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = Rng::new(seed);
+        property(&mut rng);
     }
+}
 
-    /// The delta codec reconstructs `new` from `old` for arbitrary pairs
-    /// of arbitrary lengths.
-    #[test]
-    fn delta_codec_round_trips(
-        old in proptest::collection::vec(any::<u8>(), 0..2048),
-        new in proptest::collection::vec(any::<u8>(), 0..2048),
-        page_shift in 4usize..10,
-    ) {
+fn rand_bytes(rng: &mut Rng, min: usize, max: usize) -> Vec<u8> {
+    let len = min + rng.gen_range((max - min + 1) as u64) as usize;
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+fn rand_array<const N: usize>(rng: &mut Rng) -> [u8; N] {
+    let mut a = [0u8; N];
+    rng.fill_bytes(&mut a);
+    a
+}
+
+/// The range coder is lossless for arbitrary byte strings.
+#[test]
+fn range_coder_round_trips() {
+    cases(96, 0xC0DE_0001, |rng| {
+        let data = rand_bytes(rng, 0, 4095);
+        let packed = compress(&data);
+        assert_eq!(decompress(&packed).unwrap(), data);
+    });
+}
+
+/// The delta codec reconstructs `new` from `old` for arbitrary pairs of
+/// arbitrary lengths.
+#[test]
+fn delta_codec_round_trips() {
+    cases(96, 0xC0DE_0002, |rng| {
+        let old = rand_bytes(rng, 0, 2047);
+        let new = rand_bytes(rng, 0, 2047);
+        let page_shift = 4 + rng.gen_range(6) as usize;
         let codec = DeltaCodec::new(1 << page_shift);
         let delta = codec.encode(&old, &new);
-        prop_assert_eq!(codec.decode(&old, &delta).unwrap(), new);
-    }
+        assert_eq!(codec.decode(&old, &delta).unwrap(), new);
+    });
+}
 
-    /// Incremental SHA-256 equals one-shot regardless of chunking.
-    #[test]
-    fn sha256_chunking_invariant(
-        data in proptest::collection::vec(any::<u8>(), 0..1024),
-        cuts in proptest::collection::vec(0usize..1024, 0..6),
-    ) {
-        let mut h = Sha256::new();
-        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c % (data.len() + 1)).collect();
+/// Incremental SHA-256 equals one-shot regardless of chunking.
+#[test]
+fn sha256_chunking_invariant() {
+    cases(128, 0xC0DE_0003, |rng| {
+        let data = rand_bytes(rng, 0, 1023);
+        let n_cuts = rng.gen_range(6) as usize;
+        let mut cuts: Vec<usize> = (0..n_cuts)
+            .map(|_| rng.gen_range(data.len() as u64 + 1) as usize)
+            .collect();
         cuts.sort_unstable();
+        let mut h = Sha256::new();
         let mut prev = 0;
         for c in cuts {
             h.update(&data[prev..c]);
             prev = c;
         }
         h.update(&data[prev..]);
-        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
-    }
+        assert_eq!(h.finalize(), Sha256::digest(&data));
+    });
+}
 
-    /// HMAC differs whenever key or message differ (no trivial collisions
-    /// in the tested domain).
-    #[test]
-    fn hmac_key_separation(key in any::<[u8; 16]>(), msg in any::<[u8; 16]>()) {
+/// HMAC differs whenever the key differs (no trivial collisions in the
+/// tested domain).
+#[test]
+fn hmac_key_separation() {
+    cases(128, 0xC0DE_0004, |rng| {
+        let key: [u8; 16] = rand_array(rng);
+        let msg: [u8; 16] = rand_array(rng);
         let mut key2 = key;
         key2[0] ^= 1;
-        prop_assert_ne!(hmac_sha256(&key, &msg), hmac_sha256(&key2, &msg));
-    }
+        assert_ne!(hmac_sha256(&key, &msg), hmac_sha256(&key2, &msg));
+    });
+}
 
-    /// ChaCha20 decrypts what it encrypts for arbitrary payloads.
-    #[test]
-    fn chacha_round_trips(
-        key in any::<[u8; 32]>(),
-        nonce in any::<[u8; 12]>(),
-        mut data in proptest::collection::vec(any::<u8>(), 0..512),
-    ) {
+/// ChaCha20 decrypts what it encrypts for arbitrary payloads.
+#[test]
+fn chacha_round_trips() {
+    cases(128, 0xC0DE_0005, |rng| {
+        let key: [u8; 32] = rand_array(rng);
+        let nonce: [u8; 12] = rand_array(rng);
+        let mut data = rand_bytes(rng, 0, 511);
         let orig = data.clone();
         ChaCha20::new(&key, &nonce).apply(&mut data);
         ChaCha20::new(&key, &nonce).apply(&mut data);
-        prop_assert_eq!(data, orig);
-    }
+        assert_eq!(data, orig);
+    });
+}
 
-    /// Sealed channel messages round-trip and never leak the plaintext
-    /// verbatim (for plaintexts long enough to not appear by chance).
-    #[test]
-    fn secure_channel_round_trips(data in proptest::collection::vec(any::<u8>(), 16..256)) {
+/// Sealed channel messages round-trip and never leak the plaintext
+/// verbatim (for plaintexts long enough to not appear by chance).
+#[test]
+fn secure_channel_round_trips() {
+    cases(96, 0xC0DE_0006, |rng| {
+        let data = rand_bytes(rng, 16, 256);
         let mut a = SecureChannel::from_secret(b"k");
         let mut b = SecureChannel::from_secret(b"k");
         let wire = a.seal(&data);
-        prop_assert!(!wire.windows(data.len()).any(|w| w == &data[..]) || data.iter().all(|&x| x == data[0]));
-        prop_assert_eq!(b.open(&wire).unwrap(), data);
-    }
+        assert!(
+            !wire.windows(data.len()).any(|w| w == &data[..]) || data.iter().all(|&x| x == data[0])
+        );
+        assert_eq!(b.open(&wire).unwrap(), data);
+    });
+}
 
-    /// Symbolic RegVal expressions evaluate exactly like direct u32
-    /// arithmetic once their symbol is bound.
-    #[test]
-    fn symbolic_regval_matches_concrete(
-        seed in any::<u32>(),
-        and_m in any::<u32>(),
-        or_m in any::<u32>(),
-        xor_m in any::<u32>(),
-        shl in 0u32..32,
-        shr in 0u32..32,
-    ) {
+/// Symbolic RegVal expressions evaluate exactly like direct u32
+/// arithmetic once their symbol is bound.
+#[test]
+fn symbolic_regval_matches_concrete() {
+    cases(256, 0xC0DE_0007, |rng| {
+        let seed = rng.next_u32();
+        let and_m = rng.next_u32();
+        let or_m = rng.next_u32();
+        let xor_m = rng.next_u32();
+        let shl = rng.gen_range(32) as u32;
+        let shr = rng.gen_range(32) as u32;
         let slot = SymSlot::new(1);
-        let sym = ((((RegVal::symbolic(slot.clone()) & and_m) | or_m) ^ xor_m)
-            .shl(shl))
+        let sym = ((((RegVal::symbolic(slot.clone()) & and_m) | or_m) ^ xor_m).shl(shl))
             .shr(shr)
             .not();
-        prop_assert!(sym.is_symbolic());
+        assert!(sym.is_symbolic());
         slot.bind(seed);
         let expected = !((((seed & and_m) | or_m) ^ xor_m).wrapping_shl(shl)).wrapping_shr(shr);
-        prop_assert_eq!(sym.eval(), Some(expected));
-    }
+        assert_eq!(sym.eval(), Some(expected));
+    });
+}
 
-    /// PTE encode/decode round-trips for every quirk and flag combination,
-    /// and decoding under a flag-region-different quirk never yields the
-    /// same permissions.
-    #[test]
-    fn pte_round_trip_and_quirk_separation(
-        pa_page in 0u64..0x1_0000,
-        quirk in any::<u8>(),
-        read in any::<bool>(),
-        write in any::<bool>(),
-        execute in any::<bool>(),
-    ) {
-        let pa = pa_page << 12;
-        let flags = PteFlags { read, write, execute };
+/// PTE encode/decode round-trips for every quirk and flag combination,
+/// and decoding under a flag-region-different quirk never yields the same
+/// permissions.
+#[test]
+fn pte_round_trip_and_quirk_separation() {
+    cases(256, 0xC0DE_0008, |rng| {
+        let pa = rng.gen_range(0x1_0000) << 12;
+        let quirk = rng.next_u32() as u8;
+        let flags = PteFlags {
+            read: rng.chance(0.5),
+            write: rng.chance(0.5),
+            execute: rng.chance(0.5),
+        };
         let e = encode_pte(pa, flags, quirk);
         let (pa2, f2) = decode_pte(e, quirk).unwrap();
-        prop_assert_eq!(pa2, pa);
-        prop_assert_eq!(f2, flags);
+        assert_eq!(pa2, pa);
+        assert_eq!(f2, flags);
         // Flipping a permission-region quirk bit changes the decode.
         let wrong = quirk ^ 0x01;
-        if let Some((_, f3)) = decode_pte(e, wrong) { prop_assert_ne!(f3, flags) }
-    }
+        if let Some((_, f3)) = decode_pte(e, wrong) {
+            assert_ne!(f3, flags);
+        }
+    });
+}
 
-    /// Job descriptors round-trip through their wire format.
-    #[test]
-    fn job_descriptor_round_trips(
-        shader_va in any::<u64>(),
-        n_instrs in any::<u32>(),
-        cost_us in any::<u32>(),
-        next_va in any::<u64>(),
-        status_w in 0u32..3,
-    ) {
+/// Job descriptors round-trip through their wire format.
+#[test]
+fn job_descriptor_round_trips() {
+    cases(256, 0xC0DE_0009, |rng| {
         let d = JobDescriptor {
-            shader_va,
-            n_instrs,
-            cost_us,
-            next_va,
-            status: JobStatus::from_word(status_w),
+            shader_va: rng.next_u64(),
+            n_instrs: rng.next_u32(),
+            cost_us: rng.next_u32(),
+            next_va: rng.next_u64(),
+            status: JobStatus::from_word(rng.gen_range(3) as u32),
         };
         let enc: [u8; DESC_SIZE] = d.encode();
-        prop_assert_eq!(JobDescriptor::decode(&enc), Some(d));
-    }
+        assert_eq!(JobDescriptor::decode(&enc), Some(d));
+    });
+}
 
-    /// Shader instructions round-trip through the 64-byte records.
-    #[test]
-    fn shader_op_round_trips(
-        vas in any::<[u32; 4]>(),
-        in_c in 1u32..64,
-        hw in 1u32..64,
-        out_c in 1u32..64,
-        k in 1u32..8,
-        stride in 1u32..4,
-        pad in 0u32..4,
-        tiles in 1u32..32,
-    ) {
+/// Shader instructions round-trip through the 64-byte records.
+#[test]
+fn shader_op_round_trips() {
+    cases(256, 0xC0DE_000A, |rng| {
         let op = ShaderOp::Conv2d {
-            in_va: vas[0] as u64,
-            w_va: vas[1] as u64,
-            b_va: vas[2] as u64,
-            out_va: vas[3] as u64,
-            p: ConvParams { in_c, in_h: hw, in_w: hw, out_c, k, stride, pad },
-            tiles,
+            in_va: rng.next_u32() as u64,
+            w_va: rng.next_u32() as u64,
+            b_va: rng.next_u32() as u64,
+            out_va: rng.next_u32() as u64,
+            p: ConvParams {
+                in_c: 1 + rng.gen_range(63) as u32,
+                in_h: 1 + rng.gen_range(63) as u32,
+                in_w: 1 + rng.gen_range(63) as u32,
+                out_c: 1 + rng.gen_range(63) as u32,
+                k: 1 + rng.gen_range(7) as u32,
+                stride: 1 + rng.gen_range(3) as u32,
+                pad: rng.gen_range(4) as u32,
+            },
+            tiles: 1 + rng.gen_range(31) as u32,
         };
-        prop_assert_eq!(ShaderOp::decode(&op.encode()), Some(op));
-    }
+        assert_eq!(ShaderOp::decode(&op.encode()), Some(op));
+    });
+}
 
-    /// Poll conditions partition the value space consistently.
-    #[test]
-    fn poll_cond_partition(raw in any::<u32>(), mask in any::<u32>()) {
+/// Poll conditions partition the value space consistently.
+#[test]
+fn poll_cond_partition() {
+    cases(512, 0xC0DE_000B, |rng| {
+        let raw = rng.next_u32();
+        let mask = rng.next_u32();
         let zero = PollCond::MaskedZero.satisfied(raw, mask);
         let nonzero = PollCond::MaskedNonZero.satisfied(raw, mask);
-        prop_assert!(zero != nonzero);
-        prop_assert_eq!(PollCond::MaskedEq(raw & mask).satisfied(raw, mask), true);
-    }
+        assert!(zero != nonzero);
+        assert!(PollCond::MaskedEq(raw & mask).satisfied(raw, mask));
+    });
+}
 
-    /// Recording byte format round-trips arbitrary event mixes.
-    #[test]
-    fn recording_format_round_trips(
-        offsets in proptest::collection::vec(any::<u32>(), 1..40),
-        deltas in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..4),
-    ) {
-        use grt_core::recording::{DataSlot, Event, Recording};
+/// Recording byte format round-trips arbitrary event mixes.
+#[test]
+fn recording_format_round_trips() {
+    use grt_core::recording::{DataSlot, Event, Recording};
+    cases(64, 0xC0DE_000C, |rng| {
+        let n_offsets = 1 + rng.gen_range(39) as usize;
         let mut events = Vec::new();
-        for (i, off) in offsets.iter().enumerate() {
+        for i in 0..n_offsets {
+            let off = rng.next_u32();
             if i % 3 == 0 {
-                events.push(Event::RegWrite { offset: *off, value: off.wrapping_mul(3) });
+                events.push(Event::RegWrite {
+                    offset: off,
+                    value: off.wrapping_mul(3),
+                });
             } else {
-                events.push(Event::RegRead { offset: *off, value: !off, verify: i % 2 == 0 });
+                events.push(Event::RegRead {
+                    offset: off,
+                    value: !off,
+                    verify: i % 2 == 0,
+                });
             }
         }
-        for (i, d) in deltas.into_iter().enumerate() {
-            events.push(Event::LoadMemDelta { pa: i as u64 * 4096, len: 4096, delta: d });
+        for i in 0..rng.gen_range(4) as usize {
+            events.push(Event::LoadMemDelta {
+                pa: i as u64 * 4096,
+                len: 4096,
+                delta: rand_bytes(rng, 0, 63),
+            });
         }
         let rec = Recording {
             workload: "prop".into(),
             gpu_id: 7,
-            input: DataSlot { pa: 1, len_elems: 2 },
-            output: DataSlot { pa: 3, len_elems: 4 },
-            weights: vec![DataSlot { pa: 5, len_elems: 6 }],
+            input: DataSlot {
+                pa: 1,
+                len_elems: 2,
+            },
+            output: DataSlot {
+                pa: 3,
+                len_elems: 4,
+            },
+            weights: vec![DataSlot {
+                pa: 5,
+                len_elems: 6,
+            }],
             events,
         };
-        prop_assert_eq!(Recording::from_bytes(&rec.to_bytes()), Some(rec));
-    }
+        assert_eq!(Recording::from_bytes(&rec.to_bytes()), Some(rec));
+    });
 }
 
 // ---------------------------------------------------------------------
 // Stateful properties: MMU mappings and memory-sync convergence.
 // ---------------------------------------------------------------------
 
-proptest! {
-    /// Arbitrary sets of page mappings translate exactly, enumerate
-    /// exactly, and leave unmapped neighbours faulting.
-    #[test]
-    fn mmu_mappings_are_exact(
-        pages in proptest::collection::btree_set(0u64..512, 1..24),
-        quirk in any::<u8>(),
-    ) {
-        use grt_gpu::mem::Memory;
-        use grt_gpu::mmu::{map_page, AccessKind, PteFlags, Walker};
-        use grt_gpu::PAGE_SIZE;
+/// Arbitrary sets of page mappings translate exactly, enumerate exactly,
+/// and leave unmapped neighbours faulting.
+#[test]
+fn mmu_mappings_are_exact() {
+    use grt_gpu::mem::Memory;
+    use grt_gpu::mmu::{map_page, AccessKind, PteFlags, Walker};
+    use grt_gpu::PAGE_SIZE;
+    use std::collections::BTreeSet;
+
+    cases(24, 0xC0DE_000D, |rng| {
+        let quirk = rng.next_u32() as u8;
+        let n_pages = 1 + rng.gen_range(23) as usize;
+        let mut pages = BTreeSet::new();
+        while pages.len() < n_pages {
+            pages.insert(rng.gen_range(512));
+        }
 
         let mut mem = Memory::new(8 << 20);
         let mut next = 1u64 << 20;
         let root = next;
         next += PAGE_SIZE as u64;
-        let mut alloc = || { let pa = next; next += PAGE_SIZE as u64; pa };
+        let mut alloc = || {
+            let pa = next;
+            next += PAGE_SIZE as u64;
+            pa
+        };
         let va_base = 0x4000_0000u64;
         for &p in &pages {
             map_page(
@@ -241,48 +319,51 @@ proptest! {
             )
             .unwrap();
         }
-        let walker = Walker { root_pa: root, quirk };
+        let walker = Walker {
+            root_pa: root,
+            quirk,
+        };
         for &p in &pages {
             let va = va_base + p * PAGE_SIZE as u64 + 17;
             let pa = walker.translate(&mem, va, AccessKind::Read).unwrap();
-            prop_assert_eq!(pa, 0x10_0000 + p * PAGE_SIZE as u64 + 17);
+            assert_eq!(pa, 0x10_0000 + p * PAGE_SIZE as u64 + 17);
         }
         // A page just outside the mapped set faults.
         let unmapped = (0..513u64).find(|p| !pages.contains(p)).unwrap();
-        prop_assert!(walker
-            .translate(&mem, va_base + unmapped * PAGE_SIZE as u64, AccessKind::Read)
+        assert!(walker
+            .translate(
+                &mem,
+                va_base + unmapped * PAGE_SIZE as u64,
+                AccessKind::Read
+            )
             .is_err());
         // Enumeration returns exactly the mapped set.
-        let mapped: std::collections::BTreeSet<u64> = walker
+        let mapped: BTreeSet<u64> = walker
             .mapped_pages(&mem)
             .into_iter()
             .map(|(va, _, _)| (va - va_base) / PAGE_SIZE as u64)
             .collect();
-        prop_assert_eq!(mapped, pages);
-    }
+        assert_eq!(mapped, pages);
+    });
+}
 
-    /// Memory-sync convergence: after arbitrary cloud-side mutations of
-    /// metastate followed by a down-sync, the client's metastate equals
-    /// the cloud's; after arbitrary GPU-side mutations and an up-sync,
-    /// the cloud's equals the client's. Repeatedly.
-    #[test]
-    fn memsync_converges_under_arbitrary_mutation(
-        rounds in proptest::collection::vec(
-            (proptest::collection::vec((0usize..8192, any::<u8>()), 0..16),
-             proptest::collection::vec((0usize..4096, any::<u8>()), 0..8)),
-            1..5,
-        ),
-    ) {
-        use grt_core::client::GpuShim;
-        use grt_core::memsync::{MemSync, SyncMode};
-        use grt_driver::{Region, RegionTable, Usage};
-        use grt_gpu::mmu::PteFlags;
-        use grt_gpu::{Gpu, GpuSku, Memory, PAGE_SIZE};
-        use grt_sim::{Clock, Stats};
-        use grt_tee::{SecureMonitor, Tzasc};
-        use std::cell::RefCell;
-        use std::rc::Rc;
+/// Memory-sync convergence: after arbitrary cloud-side mutations of
+/// metastate followed by a down-sync, the client's metastate equals the
+/// cloud's; after arbitrary GPU-side mutations and an up-sync, the
+/// cloud's equals the client's. Repeatedly.
+#[test]
+fn memsync_converges_under_arbitrary_mutation() {
+    use grt_core::client::GpuShim;
+    use grt_core::memsync::{MemSync, SyncMode};
+    use grt_driver::{Region, RegionTable, Usage};
+    use grt_gpu::mmu::PteFlags;
+    use grt_gpu::{Gpu, GpuSku, Memory, PAGE_SIZE};
+    use grt_sim::{Clock, Stats};
+    use grt_tee::{SecureMonitor, Tzasc};
+    use std::cell::RefCell;
+    use std::rc::Rc;
 
+    cases(8, 0xC0DE_000E, |rng| {
         let stats = Stats::new();
         let mut sync = MemSync::new(SyncMode::MetaOnly, &stats);
         sync.validation_traps = false; // Mutations here are the test driver, not the stack.
@@ -306,30 +387,39 @@ proptest! {
         });
         let clock = Clock::new();
         let client_mem = Rc::new(RefCell::new(Memory::new(1 << 20)));
-        let gpu = Rc::new(RefCell::new(Gpu::new(GpuSku::mali_g71_mp8(), &clock, &client_mem)));
+        let gpu = Rc::new(RefCell::new(Gpu::new(
+            GpuSku::mali_g71_mp8(),
+            &clock,
+            &client_mem,
+        )));
         let tzasc = Rc::new(Tzasc::new());
         let monitor = SecureMonitor::new(&clock);
         let mut shim = GpuShim::new(&clock, &gpu, &client_mem, &tzasc, &monitor, b"s");
 
-        for (cloud_writes, gpu_writes) in rounds {
+        let rounds = 1 + rng.gen_range(4) as usize;
+        for _ in 0..rounds {
             // Cloud mutates its metastate (shader region), then down-syncs.
-            for (off, val) in cloud_writes {
-                cloud.restore_range(0x4000 + off as u64, &[val]);
+            for _ in 0..rng.gen_range(16) {
+                let off = rng.gen_range(8192);
+                cloud.restore_range(0x4000 + off, &[rng.next_u32() as u8]);
             }
             sync.sync_down(&mut cloud, &regions, &mut shim, 0);
-            prop_assert_eq!(
+            assert_eq!(
                 shim.mem().borrow().dump_range(0x4000, 2 * PAGE_SIZE),
                 cloud.dump_range(0x4000, 2 * PAGE_SIZE)
             );
             // GPU mutates the descriptor region, then up-syncs.
-            for (off, val) in gpu_writes {
-                shim.mem().borrow_mut().restore_range(0x8000 + off as u64, &[val]);
+            for _ in 0..rng.gen_range(8) {
+                let off = rng.gen_range(4096);
+                shim.mem()
+                    .borrow_mut()
+                    .restore_range(0x8000 + off, &[rng.next_u32() as u8]);
             }
             sync.sync_up(&mut shim, &regions, &mut cloud, 0);
-            prop_assert_eq!(
+            assert_eq!(
                 cloud.dump_range(0x8000, PAGE_SIZE),
                 shim.mem().borrow().dump_range(0x8000, PAGE_SIZE)
             );
         }
-    }
+    });
 }
