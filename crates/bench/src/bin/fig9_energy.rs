@@ -27,7 +27,8 @@ fn main() {
         // Replay energy on the same device.
         session.client.energy.reset();
         let key = session.recording_key();
-        let mut replayer = Replayer::new(&session.client);
+        let mut replayer =
+            Replayer::new(&session.client, std::rc::Rc::new(grt_lint::Linter::new()));
         let input = test_input(&spec, 7);
         let weights = workload_weights(&spec);
         replayer

@@ -17,30 +17,36 @@ use grt_bench::{benchmarks, heterogeneous_fleet};
 use grt_serve::{generate_trace, Fleet, FleetConfig, TraceConfig};
 use grt_sim::SimTime;
 
-fn usage() -> ! {
+fn usage() -> std::process::ExitCode {
     eprintln!("usage: serve_bench [REQUESTS] [SEED]");
     eprintln!("  REQUESTS  number of requests to simulate (default 1200)");
     eprintln!("  SEED      trace RNG seed (default 42)");
-    std::process::exit(2);
+    std::process::ExitCode::from(2)
 }
 
-fn parse_arg<T: std::str::FromStr>(arg: &str, name: &str) -> T {
-    arg.parse().unwrap_or_else(|_| {
+fn parse_arg<T: std::str::FromStr>(arg: &str, name: &str) -> Option<T> {
+    let parsed = arg.parse().ok();
+    if parsed.is_none() {
         eprintln!("serve_bench: {name} must be an integer, got {arg:?}");
-        usage()
-    })
+    }
+    parsed
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.len() > 2 || args.iter().any(|a| a == "-h" || a == "--help") {
-        usage();
+        return usage();
     }
-    let requests: usize = args
-        .first()
-        .map(|a| parse_arg(a, "REQUESTS"))
-        .unwrap_or(1200);
-    let seed: u64 = args.get(1).map(|a| parse_arg(a, "SEED")).unwrap_or(42);
+    let requests: usize = match args.first().map(|a| parse_arg(a, "REQUESTS")) {
+        Some(None) => return usage(),
+        Some(Some(n)) => n,
+        None => 1200,
+    };
+    let seed: u64 = match args.get(1).map(|a| parse_arg(a, "SEED")) {
+        Some(None) => return usage(),
+        Some(Some(n)) => n,
+        None => 42,
+    };
 
     let models = benchmarks();
     let skus = heterogeneous_fleet();
@@ -116,4 +122,5 @@ fn main() {
         warm.throughput_rps,
         warm.cache_hit_ratio
     );
+    std::process::ExitCode::SUCCESS
 }

@@ -33,7 +33,8 @@ fn main() {
         // GR-T: record once in the cloud, then replay in the TEE.
         let (session, out) = record_warm(&spec, RecorderMode::OursMDS, NetConditions::wifi());
         let key = session.recording_key();
-        let mut replayer = Replayer::new(&session.client);
+        let mut replayer =
+            Replayer::new(&session.client, std::rc::Rc::new(grt_lint::Linter::new()));
         let weights = workload_weights(&spec);
         let (replay_out, replay_delay) = replayer
             .replay(&out.recording, &key, &input, &weights)

@@ -20,12 +20,17 @@
 //!   encrypted channel, configurable as `Naive` / `OursM` / `OursMD` /
 //!   `OursMDS` (the evaluation's four recorder builds);
 //! - [`replay`] — the in-TEE replayer: a few hundred lines with zero
-//!   dependencies on the GPU stack.
+//!   dependencies on the GPU stack;
+//! - [`gate`] — the ahead-of-replay analysis interface the replayer vets
+//!   every recording through (implemented by the `grt-lint` crate).
+
+#![warn(missing_docs)]
 
 pub mod client;
 pub mod cloud;
 pub mod debug;
 pub mod drivershim;
+pub mod gate;
 pub mod memsync;
 pub mod recording;
 pub mod replay;
@@ -36,6 +41,7 @@ pub use client::GpuShim;
 pub use cloud::{CloudVmImage, UnsupportedGpu};
 pub use debug::{audit_replay, diff_recordings, Divergence};
 pub use drivershim::{CommitCategory, DriverShim, ShimConfig};
+pub use gate::{GateContext, PermissiveGate, RecordingGate, Rejection};
 pub use memsync::{MemSync, SyncMode};
 pub use recording::{Event, Recording, RecordingBuilder, SignedRecording};
 pub use replay::{LayeredReplay, ReplayError, Replayer};

@@ -8,7 +8,8 @@
 //! deltas rebuild the metastate. Before and after a replay the GPU is
 //! reset and the TZASC holds it in the secure world.
 
-use crate::recording::{irq_line_from, Event, SignedRecording};
+use crate::gate::{GateContext, RecordingGate};
+use crate::recording::{irq_line_from, Event, Recording, SignedRecording};
 use crate::session::ClientDevice;
 use grt_compress::DeltaCodec;
 use grt_crypto::KeyPair;
@@ -23,7 +24,9 @@ const REPLAY_EVENT_TIME: SimTime = SimTime::from_nanos(1500);
 
 /// Hard cap on poll iterations regardless of what the recording asks for:
 /// a malicious (or corrupt) recording must not be able to spin the TEE.
-const REPLAY_POLL_ITER_CAP: u32 = 10_000;
+/// Public so the `grt-lint` analyzer can enforce the same bound statically
+/// (rule R3).
+pub const REPLAY_POLL_ITER_CAP: u32 = 10_000;
 
 /// Replay failures.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +60,24 @@ pub enum ReplayError {
     BadInput,
     /// A metastate delta failed to decode.
     CorruptDelta,
+    /// The recording parsed and verified but failed ahead-of-replay static
+    /// analysis (see the `grt-lint` crate and DESIGN.md "Recording
+    /// verification").
+    Rejected {
+        /// The violated rule ("R1".."R6").
+        rule: String,
+        /// The analyzer's first error finding.
+        message: String,
+    },
+    /// An event carried a field outside its defined encoding (e.g. an
+    /// unknown poll condition code). Previously such events were silently
+    /// coerced to a near-miss interpretation; now they are typed failures.
+    MalformedEvent {
+        /// Which event field was malformed.
+        field: &'static str,
+        /// The offending value.
+        value: u32,
+    },
 }
 
 impl std::fmt::Display for ReplayError {
@@ -79,6 +100,15 @@ impl std::fmt::Display for ReplayError {
             ReplayError::IrqHang => write!(f, "recorded interrupt never arrived"),
             ReplayError::BadInput => write!(f, "injected data does not fit recorded slots"),
             ReplayError::CorruptDelta => write!(f, "metastate delta failed to decode"),
+            ReplayError::Rejected { rule, message } => {
+                write!(
+                    f,
+                    "recording rejected by static analysis [{rule}]: {message}"
+                )
+            }
+            ReplayError::MalformedEvent { field, value } => {
+                write!(f, "malformed event: {field} = {value:#x}")
+            }
         }
     }
 }
@@ -111,25 +141,49 @@ pub fn region_pa(regions: &RegionTable, va: u64) -> u64 {
         .expect("compiled VA is always mapped")
 }
 
-/// The replayer, bound to a client device.
+/// The replayer, bound to a client device and a recording gate.
 pub struct Replayer {
     device_gpu: Rc<std::cell::RefCell<grt_gpu::Gpu>>,
     device_mem: Rc<std::cell::RefCell<grt_gpu::Memory>>,
     clock: Rc<grt_sim::Clock>,
     tzasc: Rc<grt_tee::Tzasc>,
     codec: DeltaCodec,
+    gate: Rc<dyn RecordingGate>,
 }
 
 impl Replayer {
     /// Creates a replayer over the client device's hardware.
-    pub fn new(device: &ClientDevice) -> Self {
+    ///
+    /// Every recording must pass `gate` before a single event executes.
+    /// Production callers pass the `grt-lint` analyzer
+    /// (`Rc::new(grt_lint::Linter::new())`); tests that deliberately need
+    /// a known-bad recording past static analysis to exercise runtime
+    /// defenses pass [`crate::gate::PermissiveGate`].
+    pub fn new(device: &ClientDevice, gate: Rc<dyn RecordingGate>) -> Self {
         Replayer {
             device_gpu: Rc::clone(&device.gpu),
             device_mem: Rc::clone(&device.mem),
             clock: Rc::clone(&device.clock),
             tzasc: Rc::clone(&device.tzasc),
             codec: DeltaCodec::new(grt_gpu::PAGE_SIZE),
+            gate,
         }
+    }
+
+    /// Runs the recording through the gate; the whole-recording static
+    /// analysis the runtime checks then only have to complement.
+    fn vet(&self, rec: &Recording) -> Result<(), ReplayError> {
+        let sku = self.device_gpu.borrow().sku().clone();
+        let ctx = GateContext {
+            sku: &sku,
+            carveout_base: 0,
+            carveout_len: self.device_mem.borrow().size() as u64,
+            poll_iter_cap: REPLAY_POLL_ITER_CAP,
+        };
+        self.gate.vet(rec, &ctx).map_err(|r| ReplayError::Rejected {
+            rule: r.rule,
+            message: r.message,
+        })
     }
 
     /// Replays a signed recording with fresh `input` and `weights`,
@@ -151,6 +205,7 @@ impl Replayer {
                 present,
             });
         }
+        self.vet(&rec)?;
         if input.len() != rec.input.len_elems as usize || weights.len() != rec.weights.len() {
             return Err(ReplayError::BadInput);
         }
@@ -235,8 +290,22 @@ impl Replayer {
                 let cond = match cond {
                     0 => PollCond::MaskedZero,
                     1 => PollCond::MaskedNonZero,
-                    _ => PollCond::MaskedEq(*cmp),
+                    2 => PollCond::MaskedEq(*cmp),
+                    // Unknown condition codes used to be silently coerced
+                    // to MaskedEq; a malformed event is now a typed error.
+                    _ => {
+                        return Err(ReplayError::MalformedEvent {
+                            field: "poll.cond",
+                            value: *cond as u32,
+                        })
+                    }
                 };
+                if *max_iters == 0 {
+                    return Err(ReplayError::MalformedEvent {
+                        field: "poll.max_iters",
+                        value: 0,
+                    });
+                }
                 let mut satisfied = false;
                 for _ in 0..(*max_iters).min(REPLAY_POLL_ITER_CAP) {
                     let raw = self.device_gpu.borrow_mut().read_reg(*reg);
@@ -251,7 +320,13 @@ impl Replayer {
                 }
             }
             Event::WaitIrq { line } => {
-                let line = irq_line_from(*line).ok_or(ReplayError::BadRecording)?;
+                // An out-of-range line byte is a malformed event, not a
+                // generic "bad recording": the signature was fine, the
+                // content wasn't.
+                let line = irq_line_from(*line).ok_or(ReplayError::MalformedEvent {
+                    field: "wait_irq.line",
+                    value: *line as u32,
+                })?;
                 let Some(at) = self.device_gpu.borrow_mut().next_irq_at(line) else {
                     return Err(ReplayError::IrqHang);
                 };
@@ -305,6 +380,7 @@ impl Replayer {
                 present,
             });
         }
+        self.vet(&rec)?;
         if input.len() != rec.input.len_elems as usize || weights.len() != rec.weights.len() {
             return Err(ReplayError::BadInput);
         }
@@ -445,12 +521,20 @@ mod tests {
         (s, out)
     }
 
+    /// Unit tests exercise replay mechanics below the gate; the real
+    /// grt-lint gate (a dev-dependency) is covered by this crate's
+    /// integration tests (`tests/lint_gate.rs`), where the dependency
+    /// cycle resolves to a single build of the crate.
+    fn permissive() -> Rc<dyn crate::gate::RecordingGate> {
+        Rc::new(crate::gate::PermissiveGate)
+    }
+
     #[test]
     fn replay_with_real_input_matches_reference() {
         let (s, out) = record_mnist(RecorderMode::OursMDS);
         let spec = grt_ml::zoo::mnist();
         let key = s.recording_key();
-        let mut replayer = Replayer::new(&s.client);
+        let mut replayer = Replayer::new(&s.client, permissive());
         let input = test_input(&spec, 5);
         let weights = workload_weights(&spec);
         let (gpu_out, delay) = replayer
@@ -466,7 +550,7 @@ mod tests {
         let (s, out) = record_mnist(RecorderMode::OursMDS);
         let spec = grt_ml::zoo::mnist();
         let key = s.recording_key();
-        let mut replayer = Replayer::new(&s.client);
+        let mut replayer = Replayer::new(&s.client, permissive());
         let weights = workload_weights(&spec);
         let reference = ReferenceNet::new(spec.clone());
         for variant in [11, 12, 13] {
@@ -486,7 +570,7 @@ mod tests {
         let key = s.recording_key();
         let n = out.recording.bytes.len();
         out.recording.bytes[n / 2] ^= 1;
-        let mut replayer = Replayer::new(&s.client);
+        let mut replayer = Replayer::new(&s.client, permissive());
         let err = replayer
             .replay(
                 &out.recording,
@@ -507,7 +591,7 @@ mod tests {
         let clock = grt_sim::Clock::new();
         let stats = grt_sim::Stats::new();
         let other = crate::session::ClientDevice::new(GpuSku::mali_g71_mp4(), &clock, &stats, b"x");
-        let mut replayer = Replayer::new(&other);
+        let mut replayer = Replayer::new(&other, permissive());
         let err = replayer
             .replay(
                 &out.recording,
@@ -527,12 +611,12 @@ mod tests {
         let input = test_input(&spec, 6);
         let weights = workload_weights(&spec);
 
-        let mut replayer = Replayer::new(&s.client);
+        let mut replayer = Replayer::new(&s.client, permissive());
         let (mono_out, _) = replayer
             .replay(&out.recording, &key, &input, &weights)
             .unwrap();
 
-        let mut replayer = Replayer::new(&s.client);
+        let mut replayer = Replayer::new(&s.client, permissive());
         let mut layered = replayer
             .begin_layered(&out.recording, &key, &input, &weights)
             .unwrap();
@@ -562,7 +646,10 @@ mod tests {
         rec.events
             .retain(|e| !matches!(e, Event::RegWrite { offset, .. } if *offset == js_command));
         out.recording = SignedRecording::sign(&rec, &key);
-        let mut replayer = Replayer::new(&s.client);
+        // The lint gate would refuse this recording outright (R3: waits
+        // with no raiser); a permissive gate lets it through so the
+        // runtime IrqHang defense — the layer below — gets exercised.
+        let mut replayer = Replayer::new(&s.client, permissive());
         let input = test_input(&spec, 0);
         let weights = workload_weights(&spec);
         let mut layered = replayer
@@ -589,7 +676,7 @@ mod tests {
         let (s, out) = record_mnist(RecorderMode::OursMDS);
         let spec = grt_ml::zoo::mnist();
         let key = s.recording_key();
-        let mut replayer = Replayer::new(&s.client);
+        let mut replayer = Replayer::new(&s.client, permissive());
         let err = replayer
             .replay(&out.recording, &key, &[0.0; 3], &workload_weights(&spec))
             .unwrap_err();

@@ -7,11 +7,13 @@
 //! runs the replay, and reads back the output — four commands over
 //! byte-buffer params, like a real GP TA.
 
+use crate::gate::RecordingGate;
 use crate::recording::SignedRecording;
 use crate::replay::Replayer;
 use crate::session::ClientDevice;
 use grt_crypto::{KeyPair, Signature};
 use grt_tee::{GpParam, GpStatus, TeeModule};
+use std::rc::Rc;
 
 /// Command ids of the replay service (the TA's protocol).
 pub mod cmd {
@@ -38,10 +40,11 @@ pub struct ReplayService {
 
 impl ReplayService {
     /// Creates the module over the device's hardware, trusting recordings
-    /// signed under `key`.
-    pub fn new(device: &ClientDevice, key: KeyPair) -> Self {
+    /// signed under `key` and vetted by `gate` (the grt-lint analyzer in
+    /// production).
+    pub fn new(device: &ClientDevice, key: KeyPair, gate: Rc<dyn RecordingGate>) -> Self {
         ReplayService {
-            replayer: Replayer::new(device),
+            replayer: Replayer::new(device, gate),
             key,
             recording: None,
             loaded_workload: None,
@@ -128,7 +131,12 @@ impl TeeModule for ReplayService {
                 let (out, _) = self
                     .replayer
                     .replay(signed, &self.key, input, &weights)
-                    .map_err(|_| GpStatus::Generic)?;
+                    .map_err(|e| match e {
+                        // A lint rejection is a policy refusal, not a
+                        // hardware fault.
+                        crate::replay::ReplayError::Rejected { .. } => GpStatus::AccessDenied,
+                        _ => GpStatus::Generic,
+                    })?;
                 self.runs += 1;
                 Ok(out.iter().flat_map(|v| v.to_le_bytes()).collect())
             }
@@ -202,6 +210,7 @@ mod tests {
         host.register(Box::new(RefCell::new(ReplayService::new(
             &s.client,
             s.recording_key(),
+            Rc::new(crate::gate::PermissiveGate),
         ))));
         let session = host.open_session("grt.replay").unwrap();
         let input = test_input(&spec, 8);
@@ -221,6 +230,7 @@ mod tests {
         host.register(Box::new(RefCell::new(ReplayService::new(
             &s.client,
             s.recording_key(),
+            Rc::new(crate::gate::PermissiveGate),
         ))));
         let session = host.open_session("grt.replay").unwrap();
         out.recording.bytes[10] ^= 1;
@@ -240,6 +250,7 @@ mod tests {
         host.register(Box::new(RefCell::new(ReplayService::new(
             &s.client,
             s.recording_key(),
+            Rc::new(crate::gate::PermissiveGate),
         ))));
         let session = host.open_session("grt.replay").unwrap();
         // Run with nothing loaded.
@@ -269,6 +280,7 @@ mod tests {
         host.register(Box::new(RefCell::new(ReplayService::new(
             &s.client,
             s.recording_key(),
+            Rc::new(crate::gate::PermissiveGate),
         ))));
         let session = host.open_session("grt.replay").unwrap();
         // Too-short load blob.

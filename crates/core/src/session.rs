@@ -105,6 +105,13 @@ pub enum RecordError {
     Driver(DriverError),
     /// The client GPU never raised the expected interrupt.
     ClientHang,
+    /// The recording failed ahead-of-replay static analysis (grt-lint).
+    Rejected {
+        /// The violated rule ("R1".."R6").
+        rule: String,
+        /// What the analyzer found.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for RecordError {
@@ -113,6 +120,12 @@ impl std::fmt::Display for RecordError {
             RecordError::Attestation => write!(f, "cloud VM attestation failed"),
             RecordError::Driver(e) => write!(f, "GPU stack error: {e}"),
             RecordError::ClientHang => write!(f, "client GPU hang during record"),
+            RecordError::Rejected { rule, message } => {
+                write!(
+                    f,
+                    "recording rejected by static analysis [{rule}]: {message}"
+                )
+            }
         }
     }
 }
@@ -160,8 +173,10 @@ pub fn recording_trust_root() -> KeyPair {
     KeyPair::derive(PROVISIONING_SECRET, "recording")
 }
 
-/// Client DRAM size.
-const CLIENT_MEM_BYTES: usize = 96 << 20;
+/// Client DRAM size — the protected carveout recordings may address.
+/// Public because the `grt-lint` analyzer bounds its R2/R4 containment
+/// checks with it.
+pub const CLIENT_MEM_BYTES: usize = 96 << 20;
 /// SoC base draw while the device is awake (Figure 9 calibration).
 const SOC_BASE_WATTS: f64 = 0.22;
 

@@ -13,6 +13,8 @@
 //! These implementations favour clarity and testability over speed; they are
 //! validated against published test vectors in the unit tests.
 
+#![warn(missing_docs)]
+
 pub mod chacha;
 pub mod channel;
 pub mod hmac;

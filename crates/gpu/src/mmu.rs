@@ -187,6 +187,24 @@ pub fn decode_pte(entry: u64, quirk: u8) -> Option<(u64, PteFlags)> {
     ))
 }
 
+/// Number of translation levels in the LPAE-style format (exposed for
+/// external walkers, e.g. the recording linter's shadow-memory walk).
+pub const WALK_LEVELS: u32 = LEVELS;
+
+/// Index bits consumed per translation level.
+pub const WALK_IDX_BITS: u32 = IDX_BITS;
+
+/// Decodes a non-leaf entry: `Some(child_table_pa)` when the entry is a
+/// valid table pointer, `None` otherwise. Table entries are not covered by
+/// the SKU PTE quirk (only leaf flag bits are scrambled).
+pub fn decode_table_entry(entry: u64) -> Option<u64> {
+    if entry & TYPE_MASK == TYPE_TABLE {
+        Some(entry & PA_MASK)
+    } else {
+        None
+    }
+}
+
 /// Maps one 4 KiB page `va -> pa` in the table rooted at `root_pa`.
 ///
 /// Intermediate table pages are allocated through `alloc_table`, which must

@@ -95,6 +95,22 @@ impl GpuSku {
         }
     }
 
+    /// Every SKU this reproduction models.
+    pub fn known() -> Vec<GpuSku> {
+        vec![
+            GpuSku::mali_g71_mp8(),
+            GpuSku::mali_g71_mp4(),
+            GpuSku::mali_g72_mp12(),
+            GpuSku::mali_g76_mp10(),
+        ]
+    }
+
+    /// Resolves a `GPU_ID` register value (as carried in a recording
+    /// header) back to its SKU.
+    pub fn by_gpu_id(gpu_id: u32) -> Option<GpuSku> {
+        GpuSku::known().into_iter().find(|s| s.gpu_id == gpu_id)
+    }
+
     /// Bitmask of present shader cores.
     pub fn shader_present_mask(&self) -> u32 {
         if self.shader_cores >= 32 {
@@ -156,6 +172,14 @@ mod tests {
                 assert_ne!(ids[i], ids[j]);
             }
         }
+    }
+
+    #[test]
+    fn by_gpu_id_round_trips() {
+        for sku in GpuSku::known() {
+            assert_eq!(GpuSku::by_gpu_id(sku.gpu_id), Some(sku));
+        }
+        assert_eq!(GpuSku::by_gpu_id(0xdead_beef), None);
     }
 
     #[test]

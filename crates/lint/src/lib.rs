@@ -1,0 +1,108 @@
+//! grt-lint: an ahead-of-replay static analyzer for GR-T recordings.
+//!
+//! The paper's safety argument (§6) is that the TEE never trusts the GPU
+//! software stack that produced a recording — it trusts only what it can
+//! *check* about the recording. The replayer's runtime checks (register
+//! verify-reads, poll caps, IRQ timeouts) catch divergence while a
+//! recording executes; this crate moves the whole-recording properties
+//! ahead of execution: one forward abstract-interpretation pass over the
+//! event stream proves six rules before the GPU is ever touched.
+//!
+//! | Rule | Property |
+//! |------|----------|
+//! | R1   | every MMIO access is in the SKU's register whitelist, with value constraints on control registers |
+//! | R2   | every GPU-visible mapping lands inside the protected carveout; no writable aliases over the translation tables |
+//! | R3   | polls are bounded and idempotent; every `WaitIrq` has a recorded raiser |
+//! | R4   | data slots are in-bounds, disjoint, and consistent with the network spec |
+//! | R5   | at most one job in flight between sync points |
+//! | R6   | `BeginLayer` markers are dense and monotone |
+//!
+//! The analyzer is wired into [`grt_core::replay::Replayer`] through the
+//! [`grt_core::gate::RecordingGate`] trait, into the serving registry
+//! (verdicts cached per entry), and into the `recording-lint` CLI.
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod shadow;
+pub mod whitelist;
+
+mod pass;
+
+pub use report::{Diagnostic, LintReport, Rule, Severity};
+
+use grt_core::gate::{GateContext, RecordingGate, Rejection};
+use grt_core::recording::Recording;
+use grt_gpu::GpuSku;
+use grt_ml::NetworkSpec;
+
+/// Tunable bounds for a lint run.
+#[derive(Debug, Clone, Copy)]
+pub struct LintConfig {
+    /// Base of the protected carveout (client DRAM base).
+    pub carveout_base: u64,
+    /// Length of the protected carveout in bytes.
+    pub carveout_len: u64,
+    /// Maximum poll budget a recording may ask for (R3); defaults to the
+    /// replayer's own spin cap so lint and replay agree.
+    pub poll_iter_cap: u32,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            carveout_base: 0,
+            carveout_len: grt_core::session::CLIENT_MEM_BYTES as u64,
+            poll_iter_cap: grt_core::replay::REPLAY_POLL_ITER_CAP,
+        }
+    }
+}
+
+/// The analyzer. Stateless between runs; cheap to construct.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Linter {
+    /// Bounds the rules check against.
+    pub cfg: LintConfig,
+}
+
+impl Linter {
+    /// A linter with the default (production replayer) bounds.
+    pub fn new() -> Self {
+        Linter::default()
+    }
+
+    /// A linter with explicit bounds.
+    pub fn with_config(cfg: LintConfig) -> Self {
+        Linter { cfg }
+    }
+
+    /// Runs all six rules over `rec` for `sku`, consulting `spec` for the
+    /// shape checks when one is available (R4/R6 get stricter with it).
+    pub fn lint(&self, rec: &Recording, sku: &GpuSku, spec: Option<&NetworkSpec>) -> LintReport {
+        pass::Pass::new(rec, sku, spec, &self.cfg).run()
+    }
+}
+
+/// Convenience: lint with default bounds.
+pub fn lint_recording(rec: &Recording, sku: &GpuSku, spec: Option<&NetworkSpec>) -> LintReport {
+    Linter::new().lint(rec, sku, spec)
+}
+
+impl RecordingGate for Linter {
+    fn vet(&self, rec: &Recording, ctx: &GateContext<'_>) -> Result<(), Rejection> {
+        let cfg = LintConfig {
+            carveout_base: ctx.carveout_base,
+            carveout_len: ctx.carveout_len,
+            poll_iter_cap: ctx.poll_iter_cap,
+        };
+        let report = Linter { cfg }.lint(rec, ctx.sku, None);
+        match report.first_error() {
+            None => Ok(()),
+            Some(d) => Err(Rejection {
+                rule: d.rule.id().to_owned(),
+                event: d.event,
+                message: d.message.clone(),
+            }),
+        }
+    }
+}

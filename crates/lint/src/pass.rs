@@ -1,0 +1,750 @@
+//! The forward abstract-interpretation pass over a recording's event
+//! stream, plus the header checkers.
+//!
+//! The abstract domain tracks exactly the machine state the safety rules
+//! need and nothing more: a sparse shadow of carveout memory (for the R2
+//! page-table walk), the staged/latched `AS_TRANSTAB` roots and per-slot
+//! `JS_CONFIG` values, an abstract job-queue length (R5), and a pending
+//! counter per interrupt line (R3). One pass, event order, no fixpoints —
+//! recordings are straight-line programs.
+
+use crate::report::{Diagnostic, LintReport, Rule, Severity};
+use crate::shadow::{walk, ShadowMem};
+use crate::whitelist;
+use crate::LintConfig;
+use grt_compress::DeltaCodec;
+use grt_core::recording::{Event, Recording};
+use grt_gpu::regs::{gpu_control as gc, job_control as jc, mmu_control as mc};
+use grt_gpu::{GpuSku, PAGE_SIZE};
+use grt_ml::NetworkSpec;
+use std::collections::BTreeSet;
+
+/// Interrupt-line indices (wire codes from `recording::irq_line_code`).
+const LINE_GPU: usize = 0;
+const LINE_JOB: usize = 1;
+const LINE_MMU: usize = 2;
+
+/// `GPU_COMMAND` values that are defined by the register model.
+const GPU_COMMANDS: &[u32] = &[
+    gc::CMD_NOP,
+    gc::CMD_SOFT_RESET,
+    gc::CMD_HARD_RESET,
+    gc::CMD_PRFCNT_CLEAR,
+    gc::CMD_PRFCNT_SAMPLE,
+    gc::CMD_CLEAN_CACHES,
+    gc::CMD_CLEAN_INV_CACHES,
+];
+
+/// `GPU_COMMAND` values that raise the GPU interrupt line when they
+/// complete (reset, counter sample, cache maintenance).
+const GPU_IRQ_RAISERS: &[u32] = &[
+    gc::CMD_SOFT_RESET,
+    gc::CMD_HARD_RESET,
+    gc::CMD_PRFCNT_SAMPLE,
+    gc::CMD_CLEAN_CACHES,
+    gc::CMD_CLEAN_INV_CACHES,
+];
+
+pub(crate) struct Pass<'a> {
+    rec: &'a Recording,
+    sku: &'a GpuSku,
+    spec: Option<&'a NetworkSpec>,
+    cfg: &'a LintConfig,
+    codec: DeltaCodec,
+    shadow: ShadowMem,
+    diags: Vec<Diagnostic>,
+    /// Staged (written but not latched) TRANSTAB halves, per AS.
+    transtab_lo: [u32; 16],
+    transtab_hi: [u32; 16],
+    /// Roots latched by `AS_COMMAND = UPDATE`; `0` means disabled.
+    latched_root: [u64; 16],
+    /// Last value written to each slot's `JS_CONFIG`.
+    slot_config: [u32; 16],
+    prfcnt_lo: u32,
+    prfcnt_hi: u32,
+    /// Abstract job-queue length (R5: never exceeds 1).
+    queue: u32,
+    /// Pending-interrupt counters per line (R3 raiser discipline).
+    pending: [u32; 3],
+    /// Next expected `BeginLayer` index (R6).
+    next_layer: u32,
+    /// Bumped on every shadow mutation; keys the walk cache.
+    mem_version: u64,
+    /// `(root, mem_version)` of the last completed R2 walk.
+    walk_cache: Option<(u64, u64)>,
+}
+
+impl<'a> Pass<'a> {
+    pub(crate) fn new(
+        rec: &'a Recording,
+        sku: &'a GpuSku,
+        spec: Option<&'a NetworkSpec>,
+        cfg: &'a LintConfig,
+    ) -> Self {
+        Pass {
+            rec,
+            sku,
+            spec,
+            cfg,
+            codec: DeltaCodec::new(PAGE_SIZE),
+            shadow: ShadowMem::new(),
+            diags: Vec::new(),
+            transtab_lo: [0; 16],
+            transtab_hi: [0; 16],
+            latched_root: [0; 16],
+            slot_config: [0; 16],
+            prfcnt_lo: 0,
+            prfcnt_hi: 0,
+            queue: 0,
+            pending: [0; 3],
+            next_layer: 0,
+            mem_version: 0,
+            walk_cache: None,
+        }
+    }
+
+    pub(crate) fn run(mut self) -> LintReport {
+        self.check_header();
+        for i in 0..self.rec.events.len() {
+            // Clone is cheap for everything except LoadMemDelta, whose
+            // bytes we need by reference anyway — so match on a borrow.
+            let event = &self.rec.events[i];
+            match *event {
+                Event::BeginLayer { index } => self.on_begin_layer(i, index),
+                Event::RegWrite { offset, value } => self.on_write(i, offset, value),
+                Event::RegRead { offset, .. } => self.on_read(i, offset),
+                Event::Poll {
+                    reg,
+                    cond,
+                    max_iters,
+                    ..
+                } => self.on_poll(i, reg, cond, max_iters),
+                Event::WaitIrq { line } => self.on_wait_irq(i, line),
+                Event::LoadMemDelta { pa, len, ref delta } => self.on_delta(i, pa, len, delta),
+            }
+        }
+        self.check_footer();
+        LintReport {
+            workload: self.rec.workload.clone(),
+            gpu_id: self.rec.gpu_id,
+            sku: self.sku.name.to_owned(),
+            events: self.rec.events.len(),
+            diagnostics: self.diags,
+        }
+    }
+
+    fn diag(&mut self, rule: Rule, severity: Severity, event: Option<usize>, message: String) {
+        self.diags.push(Diagnostic {
+            rule,
+            severity,
+            event,
+            message,
+        });
+    }
+
+    fn error(&mut self, rule: Rule, event: usize, message: String) {
+        self.diag(rule, Severity::Error, Some(event), message);
+    }
+
+    fn in_carveout(&self, pa: u64, len: u64) -> bool {
+        let base = self.cfg.carveout_base;
+        let end = base + self.cfg.carveout_len;
+        pa >= base && pa.checked_add(len).is_some_and(|e| e <= end)
+    }
+
+    // --- header (R1 identity, R4 slots/shape) ---------------------------
+
+    fn check_header(&mut self) {
+        if self.rec.gpu_id != self.sku.gpu_id {
+            self.diag(
+                Rule::R1RegisterWhitelist,
+                Severity::Error,
+                None,
+                format!(
+                    "recording targets GPU {:#x} but is being vetted for {:#x} ({})",
+                    self.rec.gpu_id, self.sku.gpu_id, self.sku.name
+                ),
+            );
+        }
+        // Every slot in-bounds and non-empty.
+        let mut ranges: Vec<(u64, u64, String)> = Vec::new();
+        let slots = [
+            (self.rec.input, "input".to_owned()),
+            (self.rec.output, "output".to_owned()),
+        ]
+        .into_iter()
+        .chain(
+            self.rec
+                .weights
+                .iter()
+                .enumerate()
+                .map(|(i, w)| (*w, format!("weight[{i}]"))),
+        );
+        for (slot, name) in slots {
+            let bytes = slot.len_elems as u64 * 4;
+            if slot.len_elems == 0 {
+                self.diag(
+                    Rule::R4SlotShape,
+                    Severity::Error,
+                    None,
+                    format!("{name} slot is empty"),
+                );
+                continue;
+            }
+            if !self.in_carveout(slot.pa, bytes) {
+                self.diag(
+                    Rule::R4SlotShape,
+                    Severity::Error,
+                    None,
+                    format!(
+                        "{name} slot [{:#x}, {:#x}) leaves the protected carveout",
+                        slot.pa,
+                        slot.pa + bytes
+                    ),
+                );
+            }
+            ranges.push((slot.pa, slot.pa.saturating_add(bytes), name));
+        }
+        // Pairwise disjoint (sorted sweep).
+        ranges.sort_by_key(|r| (r.0, r.1));
+        for pair in ranges.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            if b.0 < a.1 {
+                self.diag(
+                    Rule::R4SlotShape,
+                    Severity::Error,
+                    None,
+                    format!(
+                        "{} [{:#x}, {:#x}) overlaps {} [{:#x}, {:#x})",
+                        a.2, a.0, a.1, b.2, b.0, b.1
+                    ),
+                );
+            }
+        }
+        self.check_spec();
+    }
+
+    fn check_spec(&mut self) {
+        let Some(spec) = self.spec else { return };
+        if self.rec.workload != spec.name {
+            self.diag(
+                Rule::R4SlotShape,
+                Severity::Error,
+                None,
+                format!(
+                    "recording is for workload {:?}, spec is {:?}",
+                    self.rec.workload, spec.name
+                ),
+            );
+        }
+        if self.rec.input.len_elems != spec.input_len {
+            self.diag(
+                Rule::R4SlotShape,
+                Severity::Error,
+                None,
+                format!(
+                    "input slot holds {} elems, spec wants {}",
+                    self.rec.input.len_elems, spec.input_len
+                ),
+            );
+        }
+        if self.rec.output.len_elems != spec.output_len {
+            self.diag(
+                Rule::R4SlotShape,
+                Severity::Error,
+                None,
+                format!(
+                    "output slot holds {} elems, spec wants {}",
+                    self.rec.output.len_elems, spec.output_len
+                ),
+            );
+        }
+        // Weight slots in layer order: weights then biases, zero-length
+        // buffers omitted — the same order `workload_weights` stages.
+        let mut expected: Vec<u32> = Vec::new();
+        for layer in &spec.layers {
+            let wl = layer.op.weight_len();
+            let bl = layer.op.bias_len();
+            if wl > 0 {
+                expected.push(wl);
+            }
+            if bl > 0 {
+                expected.push(bl);
+            }
+        }
+        let got: Vec<u32> = self.rec.weights.iter().map(|w| w.len_elems).collect();
+        if got != expected {
+            self.diag(
+                Rule::R4SlotShape,
+                Severity::Error,
+                None,
+                format!(
+                    "weight slots {got:?} do not match the spec's parameter shapes {expected:?}"
+                ),
+            );
+        }
+    }
+
+    // --- R6 -------------------------------------------------------------
+
+    fn on_begin_layer(&mut self, i: usize, index: u32) {
+        if index != self.next_layer {
+            self.error(
+                Rule::R6LayerStructure,
+                i,
+                format!(
+                    "BeginLayer {index} out of order (expected {}): layered replay would skew",
+                    self.next_layer
+                ),
+            );
+        }
+        // Resynchronize on the recorded index so one bad marker doesn't
+        // cascade into a diagnostic per layer.
+        self.next_layer = index.saturating_add(1);
+    }
+
+    // --- R1 + write side effects ---------------------------------------
+
+    fn on_write(&mut self, i: usize, offset: u32, value: u32) {
+        let Some(info) = whitelist::lookup(offset, self.sku) else {
+            self.error(
+                Rule::R1RegisterWhitelist,
+                i,
+                format!("write of {value:#x} to non-whitelisted register {offset:#x}"),
+            );
+            return;
+        };
+        if !info.write {
+            self.error(
+                Rule::R1RegisterWhitelist,
+                i,
+                format!("write of {value:#x} to read-only register {offset:#x}"),
+            );
+            return;
+        }
+        // Write-value constraints for control registers, then abstract
+        // side effects.
+        if offset == gc::GPU_COMMAND {
+            if !GPU_COMMANDS.contains(&value) {
+                self.error(
+                    Rule::R1RegisterWhitelist,
+                    i,
+                    format!("undefined GPU_COMMAND value {value:#x}"),
+                );
+                return;
+            }
+            if GPU_IRQ_RAISERS.contains(&value) {
+                self.pending[LINE_GPU] = self.pending[LINE_GPU].saturating_add(1);
+            }
+            return;
+        }
+        if offset == gc::SHADER_PWRON_LO
+            || offset == gc::TILER_PWRON_LO
+            || offset == gc::L2_PWRON_LO
+            || offset == gc::SHADER_PWROFF_LO
+            || offset == gc::TILER_PWROFF_LO
+            || offset == gc::L2_PWROFF_LO
+        {
+            // Power transitions complete with a GPU-line interrupt.
+            self.pending[LINE_GPU] = self.pending[LINE_GPU].saturating_add(1);
+            return;
+        }
+        if offset == gc::PRFCNT_BASE_LO || offset == gc::PRFCNT_BASE_HI {
+            if offset == gc::PRFCNT_BASE_LO {
+                self.prfcnt_lo = value;
+            } else {
+                self.prfcnt_hi = value;
+            }
+            let base = (self.prfcnt_hi as u64) << 32 | self.prfcnt_lo as u64;
+            if base != 0 && !self.in_carveout(base, PAGE_SIZE as u64) {
+                self.error(
+                    Rule::R1RegisterWhitelist,
+                    i,
+                    format!("PRFCNT_BASE {base:#x} points the counter dump outside the carveout"),
+                );
+            }
+            return;
+        }
+        if let Some((slot, reg)) = whitelist::slot_window(offset) {
+            self.on_slot_write(i, slot as usize, reg, value);
+            return;
+        }
+        if let Some((asn, reg)) = whitelist::as_window(offset) {
+            self.on_as_write(i, asn as usize, reg, value);
+        }
+    }
+
+    fn on_slot_write(&mut self, i: usize, slot: usize, reg: u32, value: u32) {
+        if reg == jc::JS_CONFIG {
+            let asn = value & 0x7;
+            if asn >= self.sku.address_spaces {
+                self.error(
+                    Rule::R1RegisterWhitelist,
+                    i,
+                    format!(
+                        "JS_CONFIG selects address space {asn}, SKU has {}",
+                        self.sku.address_spaces
+                    ),
+                );
+            }
+            self.slot_config[slot] = value;
+            return;
+        }
+        if reg == jc::JS_COMMAND {
+            if ![
+                jc::JS_CMD_NOP,
+                jc::JS_CMD_START,
+                jc::JS_CMD_SOFT_STOP,
+                jc::JS_CMD_HARD_STOP,
+            ]
+            .contains(&value)
+            {
+                self.error(
+                    Rule::R1RegisterWhitelist,
+                    i,
+                    format!("undefined JS_COMMAND value {value:#x} on slot {slot}"),
+                );
+                return;
+            }
+            if value == jc::JS_CMD_START {
+                self.on_job_start(i, slot);
+            }
+        }
+    }
+
+    fn on_as_write(&mut self, i: usize, asn: usize, reg: u32, value: u32) {
+        match reg {
+            r if r == mc::AS_TRANSTAB_LO => self.transtab_lo[asn] = value,
+            r if r == mc::AS_TRANSTAB_HI => self.transtab_hi[asn] = value,
+            r if r == mc::AS_COMMAND => {
+                if value > mc::AS_CMD_FLUSH_MEM {
+                    self.error(
+                        Rule::R1RegisterWhitelist,
+                        i,
+                        format!("undefined AS_COMMAND value {value:#x} on AS {asn}"),
+                    );
+                    return;
+                }
+                if value == mc::AS_CMD_UPDATE {
+                    let root = (self.transtab_hi[asn] as u64) << 32 | self.transtab_lo[asn] as u64;
+                    if root != 0
+                        && (!self.in_carveout(root, PAGE_SIZE as u64)
+                            || !root.is_multiple_of(PAGE_SIZE as u64))
+                    {
+                        self.error(
+                            Rule::R2PageTableReachability,
+                            i,
+                            format!("AS {asn} latched page-table root {root:#x} outside the carveout (or unaligned)"),
+                        );
+                    }
+                    self.latched_root[asn] = root;
+                    self.walk_cache = None;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // --- R2 + R5 + R3: job submission ----------------------------------
+
+    fn on_job_start(&mut self, i: usize, slot: usize) {
+        // R5: the paper's replayer assumes the job queue never holds more
+        // than one job between sync points (§5).
+        self.queue += 1;
+        if self.queue > 1 {
+            self.error(
+                Rule::R5JobQueueDiscipline,
+                i,
+                format!(
+                    "second job started on slot {slot} while one is already in flight (queue length {})",
+                    self.queue
+                ),
+            );
+        }
+        // R3: a start is what makes a Job-line wait satisfiable.
+        self.pending[LINE_JOB] = self.pending[LINE_JOB].saturating_add(1);
+        // R2: walk the page tables the GPU would walk for this job.
+        let asn = (self.slot_config[slot] & 0x7) as usize;
+        let root = self.latched_root[asn];
+        if root == 0 {
+            self.error(
+                Rule::R2PageTableReachability,
+                i,
+                format!("job started on slot {slot} with no page-table root latched on AS {asn}"),
+            );
+            return;
+        }
+        if self.walk_cache == Some((root, self.mem_version)) {
+            return; // Tables unchanged since the last walk.
+        }
+        self.walk_tables(i, asn, root);
+        self.walk_cache = Some((root, self.mem_version));
+    }
+
+    fn walk_tables(&mut self, i: usize, asn: usize, root: u64) {
+        let summary = walk(&self.shadow, root, self.sku.pte_quirk);
+        if summary.truncated {
+            self.error(
+                Rule::R2PageTableReachability,
+                i,
+                format!("AS {asn} page-table tree is implausibly large (walk truncated)"),
+            );
+            return;
+        }
+        if summary.leaves.is_empty() {
+            self.error(
+                Rule::R2PageTableReachability,
+                i,
+                format!("AS {asn} maps no pages: the job chain cannot be fetched"),
+            );
+            return;
+        }
+        let tables: BTreeSet<u64> = summary.tables.iter().copied().collect();
+        for &table_pa in &tables {
+            if !self.in_carveout(table_pa, PAGE_SIZE as u64) {
+                self.error(
+                    Rule::R2PageTableReachability,
+                    i,
+                    format!("AS {asn} walks a table page at {table_pa:#x}, outside the carveout"),
+                );
+            }
+        }
+        let mut escapes = 0usize;
+        let mut first_escape = None;
+        let mut aliases = 0usize;
+        let mut first_alias = None;
+        for &(va, pa, flags) in &summary.leaves {
+            if !self.in_carveout(pa, PAGE_SIZE as u64) {
+                escapes += 1;
+                if first_escape.is_none() {
+                    first_escape = Some((va, pa));
+                }
+            }
+            if flags.write && tables.contains(&pa) {
+                aliases += 1;
+                if first_alias.is_none() {
+                    first_alias = Some((va, pa));
+                }
+            }
+        }
+        if let Some((va, pa)) = first_escape {
+            self.error(
+                Rule::R2PageTableReachability,
+                i,
+                format!(
+                    "AS {asn} maps {escapes} page(s) outside the protected carveout (first: va {va:#x} -> pa {pa:#x})"
+                ),
+            );
+        }
+        if let Some((va, pa)) = first_alias {
+            self.error(
+                Rule::R2PageTableReachability,
+                i,
+                format!(
+                    "AS {asn} maps {aliases} GPU-writable page(s) over its own translation tables (first: va {va:#x} -> pa {pa:#x}): a job could rewrite its address space"
+                ),
+            );
+        }
+    }
+
+    // --- R1 reads -------------------------------------------------------
+
+    fn on_read(&mut self, i: usize, offset: u32) {
+        match whitelist::lookup(offset, self.sku) {
+            None => self.error(
+                Rule::R1RegisterWhitelist,
+                i,
+                format!("read of non-whitelisted register {offset:#x}"),
+            ),
+            Some(info) if !info.read => self.error(
+                Rule::R1RegisterWhitelist,
+                i,
+                format!("read of write-only register {offset:#x}"),
+            ),
+            Some(_) => {}
+        }
+    }
+
+    // --- R3 -------------------------------------------------------------
+
+    fn on_poll(&mut self, i: usize, reg: u32, cond: u8, max_iters: u32) {
+        match whitelist::lookup(reg, self.sku) {
+            None => {
+                self.error(
+                    Rule::R1RegisterWhitelist,
+                    i,
+                    format!("poll of non-whitelisted register {reg:#x}"),
+                );
+                return;
+            }
+            Some(info) if !info.status => {
+                self.error(
+                    Rule::R3Termination,
+                    i,
+                    format!(
+                        "poll of {reg:#x}, which is not a read-only-idempotent status register: the loop cannot make progress"
+                    ),
+                );
+            }
+            Some(_) => {}
+        }
+        if cond > 2 {
+            self.error(
+                Rule::R3Termination,
+                i,
+                format!("undefined poll condition code {cond}"),
+            );
+        }
+        if max_iters == 0 {
+            self.error(
+                Rule::R3Termination,
+                i,
+                "poll with a zero iteration budget can never succeed".to_owned(),
+            );
+        } else if max_iters > self.cfg.poll_iter_cap {
+            self.error(
+                Rule::R3Termination,
+                i,
+                format!(
+                    "poll budget {max_iters} exceeds the replayer's spin cap ({})",
+                    self.cfg.poll_iter_cap
+                ),
+            );
+        }
+    }
+
+    fn on_wait_irq(&mut self, i: usize, line: u8) {
+        let idx = match line {
+            0 => LINE_GPU,
+            1 => LINE_JOB,
+            2 => LINE_MMU,
+            _ => {
+                self.error(
+                    Rule::R3Termination,
+                    i,
+                    format!("wait on undefined interrupt line {line}"),
+                );
+                return;
+            }
+        };
+        if self.pending[idx] == 0 {
+            let name = ["GPU", "Job", "MMU"][idx];
+            self.error(
+                Rule::R3Termination,
+                i,
+                format!(
+                    "wait on the {name} interrupt line with no recorded event that can raise it: replay would hang"
+                ),
+            );
+            return;
+        }
+        self.pending[idx] -= 1;
+        if idx == LINE_JOB {
+            // A consumed job interrupt is the sync point that drains the
+            // abstract queue (R5).
+            self.queue = self.queue.saturating_sub(1);
+        }
+    }
+
+    // --- R2/R5: metastate sync ------------------------------------------
+
+    fn on_delta(&mut self, i: usize, pa: u64, len: u32, delta: &[u8]) {
+        if self.queue > 0 {
+            self.error(
+                Rule::R5JobQueueDiscipline,
+                i,
+                "metastate delta applied while a job is in flight: sync points must see an idle queue".to_owned(),
+            );
+        }
+        let len = len as usize;
+        if len == 0 {
+            return;
+        }
+        if !self.in_carveout(pa, len as u64) {
+            self.error(
+                Rule::R2PageTableReachability,
+                i,
+                format!(
+                    "metastate region [{pa:#x}, {:#x}) leaves the protected carveout",
+                    pa as u128 + len as u128
+                ),
+            );
+            return;
+        }
+        let current = self.shadow.dump_range(pa, len);
+        match self.codec.decode_limited(&current, delta, len) {
+            Ok(new) => {
+                self.shadow.restore_range(pa, &new);
+                self.mem_version += 1;
+                self.check_delta_slot_overlap(i, pa, len as u64);
+            }
+            Err(_) => {
+                self.error(
+                    Rule::R2PageTableReachability,
+                    i,
+                    format!("metastate delta at {pa:#x} failed to decode"),
+                );
+            }
+        }
+    }
+
+    fn check_delta_slot_overlap(&mut self, i: usize, pa: u64, len: u64) {
+        let end = pa + len;
+        let slots = [(self.rec.input, "input"), (self.rec.output, "output")]
+            .into_iter()
+            .chain(self.rec.weights.iter().map(|w| (*w, "weight")));
+        for (slot, name) in slots {
+            let s_end = slot.pa + slot.len_elems as u64 * 4;
+            if pa < s_end && slot.pa < end {
+                self.diag(
+                    Rule::R4SlotShape,
+                    Severity::Warning,
+                    Some(i),
+                    format!(
+                        "metastate region [{pa:#x}, {end:#x}) overlaps the {name} slot: recorded data may mask injected data"
+                    ),
+                );
+                return; // One warning per delta event is enough.
+            }
+        }
+    }
+
+    // --- stream-end invariants ------------------------------------------
+
+    fn check_footer(&mut self) {
+        if self.queue != 0 {
+            self.diag(
+                Rule::R5JobQueueDiscipline,
+                Severity::Error,
+                None,
+                format!(
+                    "{} job(s) still in flight at the end of the recording: the final sync point is missing",
+                    self.queue
+                ),
+            );
+        }
+        if self.next_layer == 0 {
+            self.diag(
+                Rule::R6LayerStructure,
+                Severity::Warning,
+                None,
+                "recording has no layer markers; layered replay degenerates to monolithic"
+                    .to_owned(),
+            );
+        }
+        if let Some(spec) = self.spec {
+            if self.next_layer != 0 && self.next_layer as usize != spec.layers.len() {
+                self.diag(
+                    Rule::R6LayerStructure,
+                    Severity::Error,
+                    None,
+                    format!(
+                        "recording has {} layer(s), spec has {}",
+                        self.next_layer,
+                        spec.layers.len()
+                    ),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Diagnostics and the machine-readable lint report.
+//!
+//! The report is the linter's only output: an ordered list of
+//! [`Diagnostic`]s plus a verdict. Serialization is a hand-rolled JSON
+//! writer with a fixed field order (the repo's zero-dependency rule), so
+//! two lint runs over the same recording produce byte-identical reports —
+//! a property `tests/lint.rs` pins.
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Observation only; never affects the verdict.
+    Info,
+    /// Suspicious but replayable; never affects the verdict.
+    Warning,
+    /// A safety-rule violation: the recording must not be replayed.
+    Error,
+}
+
+impl Severity {
+    /// Stable lower-case name used in the JSON report.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// The six recording-safety rules (DESIGN.md "Recording verification").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Register whitelist: every MMIO access hits the SKU's allowed map.
+    R1RegisterWhitelist,
+    /// Page-table reachability: every GPU-visible mapping stays inside the
+    /// protected carveout and never aliases the translation tables.
+    R2PageTableReachability,
+    /// Termination: polls are bounded and idempotent, interrupt waits have
+    /// a recorded raiser.
+    R3Termination,
+    /// Slot/shape safety: data slots are in-bounds, disjoint, and match
+    /// the network spec.
+    R4SlotShape,
+    /// Job-queue discipline: at most one job in flight between sync
+    /// points.
+    R5JobQueueDiscipline,
+    /// Layer structure: `BeginLayer` indices are dense and monotone.
+    R6LayerStructure,
+}
+
+impl Rule {
+    /// Short stable identifier ("R1".."R6").
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::R1RegisterWhitelist => "R1",
+            Rule::R2PageTableReachability => "R2",
+            Rule::R3Termination => "R3",
+            Rule::R4SlotShape => "R4",
+            Rule::R5JobQueueDiscipline => "R5",
+            Rule::R6LayerStructure => "R6",
+        }
+    }
+
+    /// Human-readable rule name.
+    pub fn title(self) -> &'static str {
+        match self {
+            Rule::R1RegisterWhitelist => "register whitelist",
+            Rule::R2PageTableReachability => "page-table reachability",
+            Rule::R3Termination => "loop termination & idempotence",
+            Rule::R4SlotShape => "slot/shape safety",
+            Rule::R5JobQueueDiscipline => "job-queue discipline",
+            Rule::R6LayerStructure => "layer structure",
+        }
+    }
+}
+
+/// One finding, anchored to the event that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Index into `Recording::events`, if the finding is event-anchored
+    /// (slot-shape findings, for example, are properties of the header).
+    pub event: Option<usize>,
+    /// What went wrong, with concrete offsets/values.
+    pub message: String,
+}
+
+/// The complete result of linting one recording.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintReport {
+    /// Workload name from the recording header.
+    pub workload: String,
+    /// GPU_ID the recording targets.
+    pub gpu_id: u32,
+    /// Marketing name of the resolved SKU (empty if unknown).
+    pub sku: String,
+    /// Number of events analyzed.
+    pub events: usize,
+    /// Findings in discovery order (a forward pass, so event order).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Whether the recording may be replayed (no `Error` findings).
+    pub fn passed(&self) -> bool {
+        self.errors() == 0
+    }
+
+    /// Number of `Error`-severity findings.
+    pub fn errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of `Warning`-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// The first `Error` finding, if any — what gatekeepers report.
+    pub fn first_error(&self) -> Option<&Diagnostic> {
+        self.diagnostics
+            .iter()
+            .find(|d| d.severity == Severity::Error)
+    }
+
+    /// Serializes the report as JSON with a fixed field order.
+    ///
+    /// Deterministic by construction: no maps, no timestamps, findings in
+    /// event order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.diagnostics.len() * 96);
+        out.push_str("{\"workload\":");
+        json_string(&mut out, &self.workload);
+        out.push_str(",\"gpu_id\":");
+        out.push_str(&self.gpu_id.to_string());
+        out.push_str(",\"sku\":");
+        json_string(&mut out, &self.sku);
+        out.push_str(",\"events\":");
+        out.push_str(&self.events.to_string());
+        out.push_str(",\"verdict\":");
+        out.push_str(if self.passed() {
+            "\"pass\""
+        } else {
+            "\"fail\""
+        });
+        out.push_str(",\"errors\":");
+        out.push_str(&self.errors().to_string());
+        out.push_str(",\"warnings\":");
+        out.push_str(&self.warnings().to_string());
+        out.push_str(",\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"rule\":\"");
+            out.push_str(d.rule.id());
+            out.push_str("\",\"severity\":\"");
+            out.push_str(d.severity.name());
+            out.push_str("\",\"event\":");
+            match d.event {
+                Some(idx) => out.push_str(&idx.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"message\":");
+            json_string(&mut out, &d.message);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal (escaping quotes, backslashes, and
+/// control characters).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LintReport {
+        LintReport {
+            workload: "MNIST".into(),
+            gpu_id: 0x6000_0011,
+            sku: "Mali-G71 MP8".into(),
+            events: 3,
+            diagnostics: vec![
+                Diagnostic {
+                    rule: Rule::R1RegisterWhitelist,
+                    severity: Severity::Error,
+                    event: Some(1),
+                    message: "write to unknown register 0x4000".into(),
+                },
+                Diagnostic {
+                    rule: Rule::R4SlotShape,
+                    severity: Severity::Warning,
+                    event: None,
+                    message: "note \"quoted\"".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn verdict_follows_error_count() {
+        let mut r = sample();
+        assert!(!r.passed());
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+        r.diagnostics.remove(0);
+        assert!(r.passed());
+    }
+
+    #[test]
+    fn json_is_stable_and_escaped() {
+        let r = sample();
+        let a = r.to_json();
+        let b = r.to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"workload\":\"MNIST\""));
+        assert!(a.contains("\"verdict\":\"fail\""));
+        assert!(a.contains("\\\"quoted\\\""));
+        assert!(a.contains("\"event\":null"));
+    }
+
+    #[test]
+    fn rule_ids_are_unique() {
+        let all = [
+            Rule::R1RegisterWhitelist,
+            Rule::R2PageTableReachability,
+            Rule::R3Termination,
+            Rule::R4SlotShape,
+            Rule::R5JobQueueDiscipline,
+            Rule::R6LayerStructure,
+        ];
+        for i in 0..all.len() {
+            for j in i + 1..all.len() {
+                assert_ne!(all[i].id(), all[j].id());
+            }
+        }
+    }
+}

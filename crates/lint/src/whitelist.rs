@@ -1,0 +1,270 @@
+//! The R1 register whitelist: the MMIO surface a recording may touch.
+//!
+//! Built programmatically from the named register map in `grt_gpu::regs`
+//! and the SKU's resource counts — a job-slot or address-space window only
+//! exists for slots/spaces the SKU actually has. Everything else (holes in
+//! the map, windows beyond the SKU's counts) is off-limits: the real GPU
+//! model ignores such accesses silently, which is exactly the kind of
+//! "looks harmless, is unauditable" surface the paper's §6 verification
+//! argument excludes.
+
+use grt_gpu::regs::{gpu_control as gc, job_control as jc, mmu_control as mc};
+use grt_gpu::GpuSku;
+
+/// What a whitelisted register admits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegInfo {
+    /// Reads allowed.
+    pub read: bool,
+    /// Writes allowed.
+    pub write: bool,
+    /// Status-class register: read-only-idempotent *and* externally
+    /// progressed, so a bounded poll on it can make progress (R3).
+    pub status: bool,
+}
+
+impl RegInfo {
+    const RO: RegInfo = RegInfo {
+        read: true,
+        write: false,
+        status: false,
+    };
+    const WO: RegInfo = RegInfo {
+        read: false,
+        write: true,
+        status: false,
+    };
+    const RW: RegInfo = RegInfo {
+        read: true,
+        write: true,
+        status: false,
+    };
+    /// Read-only status register (pollable).
+    const ST: RegInfo = RegInfo {
+        read: true,
+        write: false,
+        status: true,
+    };
+}
+
+/// Looks up `offset` in the SKU's MMIO map. `None` means the offset is not
+/// part of the allowed surface at all.
+pub fn lookup(offset: u32, sku: &GpuSku) -> Option<RegInfo> {
+    // Job-slot windows: only slots the SKU has.
+    if let Some((slot, reg)) = slot_window(offset) {
+        if slot >= sku.job_slots {
+            return None;
+        }
+        return slot_reg(reg);
+    }
+    // Address-space windows: only spaces the SKU has.
+    if let Some((asn, reg)) = as_window(offset) {
+        if asn >= sku.address_spaces {
+            return None;
+        }
+        return as_reg(reg);
+    }
+    fixed_reg(offset)
+}
+
+/// Decomposes an offset inside the job-slot register file.
+pub fn slot_window(offset: u32) -> Option<(u32, u32)> {
+    let base = jc::slot_base(0);
+    let end = jc::slot_base(16);
+    if (base..end).contains(&offset) {
+        Some(((offset - base) / 0x80, (offset - base) % 0x80))
+    } else {
+        None
+    }
+}
+
+/// Decomposes an offset inside the address-space register file.
+pub fn as_window(offset: u32) -> Option<(u32, u32)> {
+    let base = mc::as_base(0);
+    let end = mc::as_base(16);
+    if (base..end).contains(&offset) {
+        Some(((offset - base) / 0x40, (offset - base) % 0x40))
+    } else {
+        None
+    }
+}
+
+fn slot_reg(reg: u32) -> Option<RegInfo> {
+    match reg {
+        r if r == jc::JS_HEAD_LO
+            || r == jc::JS_HEAD_HI
+            || r == jc::JS_TAIL_LO
+            || r == jc::JS_TAIL_HI
+            || r == jc::JS_AFFINITY_LO
+            || r == jc::JS_AFFINITY_HI
+            || r == jc::JS_CONFIG
+            || r == jc::JS_FLUSH_ID_NEXT =>
+        {
+            Some(RegInfo::RW)
+        }
+        r if r == jc::JS_COMMAND => Some(RegInfo::WO),
+        r if r == jc::JS_STATUS => Some(RegInfo::ST),
+        _ => None,
+    }
+}
+
+fn as_reg(reg: u32) -> Option<RegInfo> {
+    match reg {
+        r if r == mc::AS_TRANSTAB_LO
+            || r == mc::AS_TRANSTAB_HI
+            || r == mc::AS_MEMATTR_LO
+            || r == mc::AS_MEMATTR_HI
+            || r == mc::AS_LOCKADDR_LO
+            || r == mc::AS_LOCKADDR_HI =>
+        {
+            Some(RegInfo::RW)
+        }
+        r if r == mc::AS_COMMAND => Some(RegInfo::WO),
+        r if r == mc::AS_FAULTSTATUS
+            || r == mc::AS_FAULTADDRESS_LO
+            || r == mc::AS_FAULTADDRESS_HI =>
+        {
+            Some(RegInfo::RO)
+        }
+        r if r == mc::AS_STATUS => Some(RegInfo::ST),
+        _ => None,
+    }
+}
+
+fn fixed_reg(offset: u32) -> Option<RegInfo> {
+    // Probe-class identity and feature words (read during discovery).
+    const PROBE: &[u32] = &[
+        gc::GPU_ID,
+        gc::L2_FEATURES,
+        gc::CORE_FEATURES,
+        gc::TILER_FEATURES,
+        gc::MEM_FEATURES,
+        gc::MMU_FEATURES,
+        gc::AS_PRESENT,
+        gc::JS_PRESENT,
+        gc::THREAD_MAX_THREADS,
+        gc::THREAD_MAX_WORKGROUP_SIZE,
+        gc::THREAD_MAX_BARRIER_SIZE,
+        gc::THREAD_FEATURES,
+        gc::SHADER_PRESENT_LO,
+        gc::SHADER_PRESENT_HI,
+        gc::TILER_PRESENT_LO,
+        gc::L2_PRESENT_LO,
+        gc::LATEST_FLUSH,
+    ];
+    if PROBE.contains(&offset) {
+        return Some(RegInfo::RO);
+    }
+    // Texture feature words 0-3 and the 16 per-slot feature words.
+    if (gc::TEXTURE_FEATURES_0..gc::TEXTURE_FEATURES_0 + 16).contains(&offset)
+        && offset.is_multiple_of(4)
+    {
+        return Some(RegInfo::RO);
+    }
+    if (gc::JS0_FEATURES..gc::JS0_FEATURES + 64).contains(&offset) && offset.is_multiple_of(4) {
+        return Some(RegInfo::RO);
+    }
+    match offset {
+        // Interrupt plumbing.
+        o if o == gc::GPU_IRQ_RAWSTAT || o == gc::GPU_IRQ_STATUS => Some(RegInfo::ST),
+        o if o == gc::GPU_IRQ_CLEAR => Some(RegInfo::WO),
+        o if o == gc::GPU_IRQ_MASK => Some(RegInfo::RW),
+        o if o == jc::JOB_IRQ_RAWSTAT || o == jc::JOB_IRQ_STATUS || o == jc::JOB_IRQ_JS_STATE => {
+            Some(RegInfo::ST)
+        }
+        o if o == jc::JOB_IRQ_CLEAR => Some(RegInfo::WO),
+        o if o == jc::JOB_IRQ_MASK => Some(RegInfo::RW),
+        o if o == mc::MMU_IRQ_RAWSTAT || o == mc::MMU_IRQ_STATUS => Some(RegInfo::ST),
+        o if o == mc::MMU_IRQ_CLEAR => Some(RegInfo::WO),
+        o if o == mc::MMU_IRQ_MASK => Some(RegInfo::RW),
+        // Command/status.
+        o if o == gc::GPU_COMMAND => Some(RegInfo::WO),
+        o if o == gc::GPU_STATUS => Some(RegInfo::ST),
+        // Performance counters (base address is value-constrained in the
+        // pass: the GPU writes the dump there).
+        o if o == gc::PRFCNT_BASE_LO
+            || o == gc::PRFCNT_BASE_HI
+            || o == gc::PRFCNT_CONFIG
+            || o == gc::PRFCNT_JM_EN
+            || o == gc::PRFCNT_SHADER_EN
+            || o == gc::PRFCNT_TILER_EN
+            || o == gc::PRFCNT_MMU_L2_EN =>
+        {
+            Some(RegInfo::RW)
+        }
+        // Power management.
+        o if o == gc::SHADER_READY_LO
+            || o == gc::TILER_READY_LO
+            || o == gc::L2_READY_LO
+            || o == gc::SHADER_PWRTRANS_LO
+            || o == gc::TILER_PWRTRANS_LO
+            || o == gc::L2_PWRTRANS_LO =>
+        {
+            Some(RegInfo::ST)
+        }
+        o if o == gc::SHADER_PWRON_LO
+            || o == gc::TILER_PWRON_LO
+            || o == gc::L2_PWRON_LO
+            || o == gc::SHADER_PWROFF_LO
+            || o == gc::TILER_PWROFF_LO
+            || o == gc::L2_PWROFF_LO =>
+        {
+            Some(RegInfo::WO)
+        }
+        // Init-time quirk configuration (read-modify-write).
+        o if o == gc::SHADER_CONFIG || o == gc::TILER_CONFIG || o == gc::L2_MMU_CONFIG => {
+            Some(RegInfo::RW)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sku() -> GpuSku {
+        GpuSku::mali_g71_mp8()
+    }
+
+    #[test]
+    fn probe_registers_are_read_only() {
+        let info = lookup(gc::GPU_ID, &sku()).unwrap();
+        assert!(info.read && !info.write);
+        assert!(lookup(gc::JS0_FEATURES + 60, &sku()).is_some());
+        assert!(lookup(gc::JS0_FEATURES + 2, &sku()).is_none(), "unaligned");
+    }
+
+    #[test]
+    fn holes_are_rejected() {
+        for off in [0x03Cu32, 0x0FF, 0x500, 0x1014, 0x3000, 0xFFFF_FFF0] {
+            assert!(lookup(off, &sku()).is_none(), "offset {off:#x}");
+        }
+    }
+
+    #[test]
+    fn slot_windows_respect_sku_count() {
+        let s = sku(); // 3 job slots
+        assert!(lookup(jc::slot_base(0) + jc::JS_COMMAND, &s).is_some());
+        assert!(lookup(jc::slot_base(2) + jc::JS_HEAD_LO, &s).is_some());
+        assert!(lookup(jc::slot_base(3) + jc::JS_COMMAND, &s).is_none());
+        // Holes inside a valid slot window.
+        assert!(lookup(jc::slot_base(0) + 0x30, &s).is_none());
+    }
+
+    #[test]
+    fn as_windows_respect_sku_count() {
+        let s = sku(); // 8 address spaces
+        assert!(lookup(mc::as_base(7) + mc::AS_COMMAND, &s).is_some());
+        assert!(lookup(mc::as_base(8) + mc::AS_COMMAND, &s).is_none());
+        assert!(lookup(mc::as_base(0) + 0x2C, &s).is_none());
+    }
+
+    #[test]
+    fn status_class_is_pollable_only() {
+        assert!(lookup(gc::GPU_IRQ_RAWSTAT, &sku()).unwrap().status);
+        assert!(lookup(gc::SHADER_READY_LO, &sku()).unwrap().status);
+        assert!(!lookup(gc::GPU_ID, &sku()).unwrap().status);
+        assert!(!lookup(gc::GPU_COMMAND, &sku()).unwrap().status);
+    }
+}

@@ -103,6 +103,7 @@ impl DeviceWorker {
         host.register(Box::new(RefCell::new(ReplayService::new(
             &device,
             recording_trust_root(),
+            Rc::new(grt_lint::Linter::new()),
         ))));
         let session = host
             .open_session("grt.replay")

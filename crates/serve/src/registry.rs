@@ -13,6 +13,7 @@
 use grt_core::recording::SignedRecording;
 use grt_core::session::{recording_trust_root, RecordError, RecordSession, RecorderMode};
 use grt_gpu::GpuSku;
+use grt_lint::{LintReport, Linter};
 use grt_ml::NetworkSpec;
 use grt_net::NetConditions;
 use grt_sim::SimTime;
@@ -54,6 +55,11 @@ pub struct RegistryStats {
     /// Recordings signature-verified at insert (once per insert, never
     /// per fetch).
     pub verified_inserts: u64,
+    /// Recordings statically analyzed at insert (once per insert; the
+    /// verdict is cached with the entry).
+    pub linted_inserts: u64,
+    /// Recordings refused because static analysis found a rule violation.
+    pub lint_rejections: u64,
 }
 
 impl RegistryStats {
@@ -75,6 +81,10 @@ pub struct FetchOutcome {
     pub recording: Rc<SignedRecording>,
     /// Number of weight slots the recording stages.
     pub weight_slots: usize,
+    /// The cached lint verdict: the full report from the insert-time
+    /// static analysis (always `passed()` — failing recordings never
+    /// enter the cache).
+    pub lint: Rc<LintReport>,
     /// Virtual time the cold-start record run took; `None` on a hit.
     pub cold_start_delay: Option<SimTime>,
 }
@@ -83,6 +93,8 @@ struct Entry {
     key: (String, u32),
     recording: Rc<SignedRecording>,
     weight_slots: usize,
+    /// Insert-time lint report, handed out with every fetch.
+    lint: Rc<LintReport>,
     last_used: u64,
 }
 
@@ -120,15 +132,17 @@ impl RecordingRegistry {
             return Ok(FetchOutcome {
                 recording: Rc::clone(&e.recording),
                 weight_slots: e.weight_slots,
+                lint: Rc::clone(&e.lint),
                 cold_start_delay: None,
             });
         }
         self.stats.misses += 1;
-        let (recording, weight_slots, delay) = self.record_cold(spec, sku)?;
-        self.insert(key, Rc::clone(&recording), weight_slots);
+        let (recording, weight_slots, lint, delay) = self.record_cold(spec, sku)?;
+        self.insert(key, Rc::clone(&recording), weight_slots, Rc::clone(&lint));
         Ok(FetchOutcome {
             recording,
             weight_slots,
+            lint,
             cold_start_delay: Some(delay),
         })
     }
@@ -142,8 +156,8 @@ impl RecordingRegistry {
             e.last_used = self.tick;
             return Ok(());
         }
-        let (recording, weight_slots, _) = self.record_cold(spec, sku)?;
-        self.insert(key, recording, weight_slots);
+        let (recording, weight_slots, lint, _) = self.record_cold(spec, sku)?;
+        self.insert(key, recording, weight_slots, lint);
         Ok(())
     }
 
@@ -183,26 +197,71 @@ impl RecordingRegistry {
         self.record_time
     }
 
-    /// Runs the cold-start record session and verifies the result once.
+    /// Runs the cold-start record session, then verifies and lints the
+    /// result once.
     fn record_cold(
         &mut self,
         spec: &NetworkSpec,
         sku: &GpuSku,
-    ) -> Result<(Rc<SignedRecording>, usize, SimTime), RecordError> {
+    ) -> Result<(Rc<SignedRecording>, usize, Rc<LintReport>, SimTime), RecordError> {
         let mut session = RecordSession::new(sku.clone(), self.cfg.conditions, self.cfg.mode);
         let out = session.record(spec)?;
-        // Verify-once-on-insert: a recording that fails verification
-        // never enters the cache (and would fail again in every TEE).
-        let parsed = out
-            .recording
+        let (weight_slots, lint) = self.vet(spec, sku, &out.recording)?;
+        self.record_time += out.delay;
+        Ok((Rc::new(out.recording), weight_slots, lint, out.delay))
+    }
+
+    /// Verify-once-and-lint-once-on-insert: a recording that fails the
+    /// signature or static analysis never enters the cache (and would be
+    /// refused again in every TEE). The registry has the `NetworkSpec` in
+    /// hand, so its lint is *stricter* than the replayer's gate: R4/R6
+    /// also check shapes and layer counts against the spec.
+    fn vet(
+        &mut self,
+        spec: &NetworkSpec,
+        sku: &GpuSku,
+        recording: &SignedRecording,
+    ) -> Result<(usize, Rc<LintReport>), RecordError> {
+        let parsed = recording
             .verify_and_parse(&recording_trust_root())
             .ok_or(RecordError::Attestation)?;
         self.stats.verified_inserts += 1;
-        self.record_time += out.delay;
-        Ok((Rc::new(out.recording), parsed.weights.len(), out.delay))
+        let report = Linter::new().lint(&parsed, sku, Some(spec));
+        self.stats.linted_inserts += 1;
+        if let Some(d) = report.first_error() {
+            self.stats.lint_rejections += 1;
+            return Err(RecordError::Rejected {
+                rule: d.rule.id().to_owned(),
+                message: d.message.clone(),
+            });
+        }
+        Ok((parsed.weights.len(), Rc::new(report)))
     }
 
-    fn insert(&mut self, key: (String, u32), recording: Rc<SignedRecording>, weight_slots: usize) {
+    /// Inserts an externally produced signed recording (e.g. shipped from
+    /// another registry node) under `(spec, sku)`, subject to the same
+    /// verify-and-lint-on-insert policy as cold-start recordings.
+    pub fn insert_signed(
+        &mut self,
+        spec: &NetworkSpec,
+        sku: &GpuSku,
+        recording: SignedRecording,
+    ) -> Result<(), RecordError> {
+        self.tick += 1;
+        let (weight_slots, lint) = self.vet(spec, sku, &recording)?;
+        let key = (spec.name.to_owned(), sku.gpu_id);
+        self.entries.retain(|e| e.key != key);
+        self.insert(key, Rc::new(recording), weight_slots, lint);
+        Ok(())
+    }
+
+    fn insert(
+        &mut self,
+        key: (String, u32),
+        recording: Rc<SignedRecording>,
+        weight_slots: usize,
+        lint: Rc<LintReport>,
+    ) {
         if self.entries.len() >= self.cfg.capacity {
             // Evict the least-recently-used entry (deterministic: ticks
             // are unique).
@@ -220,6 +279,7 @@ impl RecordingRegistry {
             key,
             recording,
             weight_slots,
+            lint,
             last_used: self.tick,
         });
     }
@@ -294,6 +354,60 @@ mod tests {
         // B misses again.
         let again = r.fetch(&mnist, &sku4).unwrap();
         assert!(again.cold_start_delay.is_some());
+    }
+
+    #[test]
+    fn lint_verdict_is_cached_with_the_entry() {
+        let mut r = registry(4);
+        let spec = grt_ml::zoo::mnist();
+        let sku = GpuSku::mali_g71_mp8();
+        let first = r.fetch(&spec, &sku).unwrap();
+        assert!(first.lint.passed());
+        assert_eq!(first.lint.workload, spec.name);
+        let second = r.fetch(&spec, &sku).unwrap();
+        // The verdict is analyzed once and shared, like the recording.
+        assert!(Rc::ptr_eq(&first.lint, &second.lint));
+        assert_eq!(r.stats().linted_inserts, 1);
+        assert_eq!(r.stats().lint_rejections, 0);
+    }
+
+    #[test]
+    fn insert_refuses_recording_that_fails_lint() {
+        use grt_core::recording::Event;
+        let mut r = registry(4);
+        let spec = grt_ml::zoo::mnist();
+        let sku = GpuSku::mali_g71_mp8();
+        // A well-signed recording with one out-of-whitelist register write
+        // appended — exactly what a compromised cloud stack could ship.
+        let good = r.fetch(&spec, &sku).unwrap();
+        let key = recording_trust_root();
+        let mut rec = good.recording.verify_and_parse(&key).unwrap();
+        rec.events.push(Event::RegWrite {
+            offset: 0x4000,
+            value: 0xDEAD,
+        });
+        let evil = grt_core::recording::SignedRecording::sign(&rec, &key);
+        let err = r.insert_signed(&spec, &sku, evil).unwrap_err();
+        match err {
+            RecordError::Rejected { rule, .. } => assert_eq!(rule, "R1"),
+            other => panic!("expected lint rejection, got {other}"),
+        }
+        assert_eq!(r.stats().lint_rejections, 1);
+        // The previously cached good entry is untouched.
+        assert!(r.contains(&spec, &sku));
+        assert!(r.fetch(&spec, &sku).unwrap().lint.passed());
+    }
+
+    #[test]
+    fn insert_signed_accepts_and_replaces_good_recording() {
+        let mut r = registry(4);
+        let spec = grt_ml::zoo::mnist();
+        let sku = GpuSku::mali_g71_mp8();
+        let good = r.fetch(&spec, &sku).unwrap();
+        let shipped = (*good.recording).clone();
+        r.insert_signed(&spec, &sku, shipped).unwrap();
+        assert_eq!(r.len(), 1, "replaced, not duplicated");
+        assert_eq!(r.stats().linted_inserts, 2);
     }
 
     #[test]

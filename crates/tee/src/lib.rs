@@ -8,6 +8,8 @@
 //! privileged adversary cannot touch GPU MMIO or secure memory while the
 //! TEE holds the GPU — run against this crate's enforcement.
 
+#![warn(missing_docs)]
+
 pub mod monitor;
 pub mod session;
 pub mod storage;

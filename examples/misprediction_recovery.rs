@@ -60,7 +60,7 @@ fn main() {
 
         // The recording produced after recovery still replays correctly.
         let key = s.recording_key();
-        let mut replayer = Replayer::new(&s.client);
+        let mut replayer = Replayer::new(&s.client, std::rc::Rc::new(grt_lint::Linter::new()));
         let input = test_input(&spec, 4);
         let weights = workload_weights(&spec);
         let (out, _) = replayer

@@ -36,7 +36,7 @@ fn main() {
     //    signature, inject the app's real input and model parameters, and
     //    drive the GPU straight from the log — no GPU stack, no cloud.
     let key = session.recording_key();
-    let mut replayer = Replayer::new(&session.client);
+    let mut replayer = Replayer::new(&session.client, std::rc::Rc::new(grt_lint::Linter::new()));
     let input = test_input(&spec, 1);
     let weights = workload_weights(&spec);
     let (output, delay) = replayer

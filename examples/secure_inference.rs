@@ -42,7 +42,7 @@ fn main() {
     // Adversary check 1: during record the TZASC denied nothing because
     // nothing probed; probe now while the TEE holds the GPU for replay.
     let key = session.recording_key();
-    let mut replayer = Replayer::new(&session.client);
+    let mut replayer = Replayer::new(&session.client, std::rc::Rc::new(grt_lint::Linter::new()));
     let weights = workload_weights(&spec);
 
     // Serve a batch of inferences from inside the TEE.

@@ -47,7 +47,7 @@ fn main() {
     let weights = workload_weights(&spec);
     let (session, outcome) = &recordings[0];
     let key = session.recording_key();
-    let mut replayer = Replayer::new(&session.client);
+    let mut replayer = Replayer::new(&session.client, std::rc::Rc::new(grt_lint::Linter::new()));
     let (out, _) = replayer
         .replay(&outcome.recording, &key, &input, &weights)
         .expect("matching SKU replays fine");
@@ -61,7 +61,7 @@ fn main() {
         let clock = Clock::new();
         let stats = Stats::new();
         let device = ClientDevice::new(wrong.clone(), &clock, &stats, b"s");
-        let mut r = Replayer::new(&device);
+        let mut r = Replayer::new(&device, std::rc::Rc::new(grt_lint::Linter::new()));
         match r.replay(&outcome.recording, &key, &input, &weights) {
             Err(ReplayError::WrongSku { recorded, present }) => println!(
                 "G71-MP8 recording on {}: rejected (recorded {recorded:#x}, present {present:#x})",
@@ -77,7 +77,7 @@ fn main() {
     let clock = Clock::new();
     let stats = Stats::new();
     let device = ClientDevice::new(GpuSku::mali_g71_mp4(), &clock, &stats, b"s");
-    let mut r = Replayer::new(&device);
+    let mut r = Replayer::new(&device, std::rc::Rc::new(grt_lint::Linter::new()));
     let rec = outcome.recording.verify_and_parse(&key).expect("parse");
     let mut forged = rec.clone();
     forged.gpu_id = GpuSku::mali_g71_mp4().gpu_id; // Lie about the SKU.

@@ -25,4 +25,16 @@ cargo test -q
 echo "==> workspace unit tests: cargo test -q --workspace --lib"
 cargo test -q --workspace --lib
 
+echo "==> doc build: RUSTDOCFLAGS=-Dwarnings cargo doc --workspace --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+# Recording lint gate: record the six zoo networks' golden recordings and
+# run the grt-lint analyzer over them. Any Error-severity finding on a
+# known-good recording is a false positive and fails CI.
+echo "==> recording lint gate: record + lint the golden corpus"
+GOLDEN_DIR="$(mktemp -d)"
+trap 'rm -rf "$GOLDEN_DIR"' EXIT
+cargo run --release -q -p grt-bench --bin recording-lint -- --record-golden "$GOLDEN_DIR"
+cargo run --release -q -p grt-bench --bin recording-lint -- "$GOLDEN_DIR"/*.grt
+
 echo "CI gate passed."

@@ -30,7 +30,7 @@ fn one_image_serves_every_sku_end_to_end() {
         .expect("image supports the catalog");
         let out = s.record(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
         let key = s.recording_key();
-        let mut replayer = Replayer::new(&s.client);
+        let mut replayer = Replayer::new(&s.client, std::rc::Rc::new(grt_lint::Linter::new()));
         let input = test_input(&spec, 13);
         let weights = workload_weights(&spec);
         let (gpu_out, _) = replayer
@@ -75,7 +75,7 @@ fn image_recordings_remain_sku_bound() {
     let clock = grt_sim::Clock::new();
     let stats = grt_sim::Stats::new();
     let g76 = grt_core::session::ClientDevice::new(GpuSku::mali_g76_mp10(), &clock, &stats, b"x");
-    let mut replayer = Replayer::new(&g76);
+    let mut replayer = Replayer::new(&g76, std::rc::Rc::new(grt_lint::Linter::new()));
     let err = replayer
         .replay(
             &out.recording,

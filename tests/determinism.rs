@@ -38,7 +38,7 @@ fn all_modes_produce_equivalent_recordings() {
         let mut s = RecordSession::new(GpuSku::mali_g71_mp8(), NetConditions::wifi(), mode);
         let out = s.record(&spec).expect("record");
         let key = s.recording_key();
-        let mut r = Replayer::new(&s.client);
+        let mut r = Replayer::new(&s.client, std::rc::Rc::new(grt_lint::Linter::new()));
         let (gpu_out, _) = r
             .replay(&out.recording, &key, &input, &weights)
             .expect("replay");
@@ -62,7 +62,7 @@ fn replay_is_deterministic() {
     );
     let out = s.record(&spec).expect("record");
     let key = s.recording_key();
-    let mut r = Replayer::new(&s.client);
+    let mut r = Replayer::new(&s.client, std::rc::Rc::new(grt_lint::Linter::new()));
     let input = test_input(&spec, 5);
     let weights = workload_weights(&spec);
     let (o1, d1) = r.replay(&out.recording, &key, &input, &weights).unwrap();

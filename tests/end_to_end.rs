@@ -22,7 +22,7 @@ fn record_and_replay(spec: &NetworkSpec, mode: RecorderMode, conditions: NetCond
     let mut session = RecordSession::new(GpuSku::mali_g71_mp8(), conditions, mode);
     let out = session.record(spec).expect("record");
     let key = session.recording_key();
-    let mut replayer = Replayer::new(&session.client);
+    let mut replayer = Replayer::new(&session.client, std::rc::Rc::new(grt_lint::Linter::new()));
     let input = test_input(spec, 77);
     let weights = workload_weights(spec);
     let (gpu_out, delay) = replayer
@@ -90,7 +90,7 @@ fn one_recording_serves_many_inferences() {
     );
     let out = session.record(&spec).expect("record");
     let key = session.recording_key();
-    let mut replayer = Replayer::new(&session.client);
+    let mut replayer = Replayer::new(&session.client, std::rc::Rc::new(grt_lint::Linter::new()));
     let weights = workload_weights(&spec);
     let reference = ReferenceNet::new(spec.clone());
     for variant in 0..4 {
@@ -120,7 +120,7 @@ fn recording_survives_serialization_round_trip() {
     let rec2 = grt_core::recording::Recording::from_bytes(&rec.to_bytes()).expect("reparse");
     assert_eq!(rec, rec2);
     let resigned = grt_core::recording::SignedRecording::sign(&rec2, &key);
-    let mut replayer = Replayer::new(&session.client);
+    let mut replayer = Replayer::new(&session.client, std::rc::Rc::new(grt_lint::Linter::new()));
     let input = test_input(&spec, 9);
     let weights = workload_weights(&spec);
     let (gpu_out, _) = replayer
@@ -150,7 +150,7 @@ fn warm_history_reduces_round_trips_without_breaking_replay() {
     );
     // The warm recording is still self-contained.
     let key = session.recording_key();
-    let mut replayer = Replayer::new(&session.client);
+    let mut replayer = Replayer::new(&session.client, std::rc::Rc::new(grt_lint::Linter::new()));
     let input = test_input(&spec, 3);
     let weights = workload_weights(&spec);
     let (gpu_out, _) = replayer
@@ -208,7 +208,7 @@ fn recording_persists_through_sealed_storage() {
     let raw = storage.load("grt/recording/MNIST").expect("unseal");
     let restored = SignedRecording::from_file_bytes(&raw).expect("container");
     let key = session.recording_key();
-    let mut replayer = Replayer::new(&session.client);
+    let mut replayer = Replayer::new(&session.client, std::rc::Rc::new(grt_lint::Linter::new()));
     let input = test_input(&spec, 2);
     let weights = workload_weights(&spec);
     let (gpu_out, _) = replayer
@@ -240,7 +240,7 @@ fn one_session_records_multiple_workloads() {
         recordings.push(session.record(spec).expect("record"));
     }
     // Both recordings replay correctly on the same client afterwards.
-    let mut replayer = Replayer::new(&session.client);
+    let mut replayer = Replayer::new(&session.client, std::rc::Rc::new(grt_lint::Linter::new()));
     for (spec, out) in specs.iter().zip(&recordings) {
         let input = test_input(spec, 31);
         let weights = workload_weights(spec);

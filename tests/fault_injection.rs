@@ -33,7 +33,7 @@ fn injected_mispredictions_always_detected_and_recovered() {
             "injection at {position} not detected"
         );
         let key = s.recording_key();
-        let mut r = Replayer::new(&s.client);
+        let mut r = Replayer::new(&s.client, std::rc::Rc::new(grt_lint::Linter::new()));
         let input = test_input(&spec, 1);
         let (gpu_out, _) = r
             .replay(&out.recording, &key, &input, &weights)
@@ -108,7 +108,7 @@ fn replay_detects_interrupt_hang() {
         .iter()
         .any(|e| matches!(e, Event::WaitIrq { .. })));
     let hung = SignedRecording::sign(&rec, &key);
-    let mut r = Replayer::new(&s.client);
+    let mut r = Replayer::new(&s.client, std::rc::Rc::new(grt_core::gate::PermissiveGate));
     let err = r
         .replay(&hung, &key, &test_input(&spec, 0), &workload_weights(&spec))
         .unwrap_err();
@@ -137,7 +137,7 @@ fn replay_detects_corrupt_delta() {
     }
     assert!(corrupted, "no delta to corrupt");
     let evil = SignedRecording::sign(&rec, &key);
-    let mut r = Replayer::new(&s.client);
+    let mut r = Replayer::new(&s.client, std::rc::Rc::new(grt_core::gate::PermissiveGate));
     let err = r
         .replay(&evil, &key, &test_input(&spec, 0), &workload_weights(&spec))
         .unwrap_err();
@@ -213,7 +213,7 @@ fn replayer_survives_arbitrary_signed_recordings() {
             events,
         };
         let signed = SignedRecording::sign(&rec, &key);
-        let mut replayer = Replayer::new(&device);
+        let mut replayer = Replayer::new(&device, std::rc::Rc::new(grt_core::gate::PermissiveGate));
         // Must terminate with Ok or a clean error; panics/hangs fail the test.
         let _ = replayer.replay(&signed, &key, &[0.0; 4], &[]);
     }

@@ -29,6 +29,7 @@ fn service_host(s: &RecordSession) -> (TeeHost, u32) {
     host.register(Box::new(RefCell::new(ReplayService::new(
         &s.client,
         s.recording_key(),
+        std::rc::Rc::new(grt_lint::Linter::new()),
     ))));
     let session = host.open_session("grt.replay").expect("open session");
     (host, session)

@@ -109,7 +109,7 @@ fn replayer_rejects_unsigned_and_resigned_recordings() {
     let key = s.recording_key();
     let input = test_input(&spec, 0);
     let weights = workload_weights(&spec);
-    let mut replayer = Replayer::new(&s.client);
+    let mut replayer = Replayer::new(&s.client, std::rc::Rc::new(grt_lint::Linter::new()));
 
     // Bit-flip anywhere in the body.
     for pos in [0usize, 100, out.recording.bytes.len() - 1] {
