@@ -11,16 +11,25 @@
 //! cold-start amortization the paper argues for (record once, replay
 //! many) is directly visible in the numbers.
 //!
-//! Usage: `serve_bench [REQUESTS] [SEED]` (defaults: 1200 requests, seed 42).
+//! With `--fault-plan SEED` a third pass serves the same trace against a
+//! fresh registry under a deterministic chaos schedule — link loss
+//! bursts, RTT spikes, and a network partition on the record tunnel,
+//! plus a device crash mid-cold-start — so the retry/checkpoint/failover
+//! counters in the JSON are exercised end to end.
+//!
+//! Usage: `serve_bench [REQUESTS] [SEED] [--fault-plan SEED]`
+//! (defaults: 1200 requests, seed 42, no fault plan).
 
 use grt_bench::{benchmarks, heterogeneous_fleet};
 use grt_serve::{generate_trace, Fleet, FleetConfig, TraceConfig};
-use grt_sim::SimTime;
+use grt_sim::{FaultPlan, FaultPlanConfig, SimTime};
+use std::rc::Rc;
 
 fn usage() -> std::process::ExitCode {
-    eprintln!("usage: serve_bench [REQUESTS] [SEED]");
-    eprintln!("  REQUESTS  number of requests to simulate (default 1200)");
-    eprintln!("  SEED      trace RNG seed (default 42)");
+    eprintln!("usage: serve_bench [REQUESTS] [SEED] [--fault-plan SEED]");
+    eprintln!("  REQUESTS           number of requests to simulate (default 1200)");
+    eprintln!("  SEED               trace RNG seed (default 42)");
+    eprintln!("  --fault-plan SEED  add a faulted pass under a chaos schedule");
     std::process::ExitCode::from(2)
 }
 
@@ -33,8 +42,26 @@ fn parse_arg<T: std::str::FromStr>(arg: &str, name: &str) -> Option<T> {
 }
 
 fn main() -> std::process::ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.len() > 2 || args.iter().any(|a| a == "-h" || a == "--help") {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        return usage();
+    }
+    let fault_seed: Option<u64> = match args.iter().position(|a| a == "--fault-plan") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("serve_bench: --fault-plan requires a SEED");
+                return usage();
+            }
+            let value = args.remove(i + 1);
+            args.remove(i);
+            match parse_arg(&value, "--fault-plan SEED") {
+                Some(n) => Some(n),
+                None => return usage(),
+            }
+        }
+        None => None,
+    };
+    if args.len() > 2 {
         return usage();
     }
     let requests: usize = match args.first().map(|a| parse_arg(a, "REQUESTS")) {
@@ -95,14 +122,61 @@ fn main() -> std::process::ExitCode {
         cold.cold_starts
     );
 
+    // Optional chaos pass: the same trace against a fresh registry whose
+    // record tunnels and serving timeline both run under a deterministic
+    // fault schedule — a generated mix of loss bursts / RTT spikes /
+    // partitions plus one pinned partition over the cold-start window
+    // and one pinned crash inside device 0's first cold start, so the
+    // retry, checkpoint-resume, and failover counters are all nonzero.
+    let faulted = fault_seed.map(|fseed| {
+        eprintln!("serve_bench: faulted pass (fault plan seed {fseed}; fresh registry)...");
+        let plan = Rc::new(
+            FaultPlan::generate(
+                fseed,
+                &FaultPlanConfig {
+                    devices: skus.len(),
+                    ..FaultPlanConfig::default()
+                },
+            )
+            .with_partition(SimTime::from_millis(800), SimTime::from_millis(3000))
+            .with_crash(0, SimTime::from_secs(1), SimTime::from_millis(500)),
+        );
+        let faulted_cfg = FleetConfig {
+            queue_capacity: 256,
+            ..FleetConfig::new(skus.clone())
+        }
+        .with_faults(plan);
+        let mut faulted_fleet = Fleet::new(benchmarks(), faulted_cfg);
+        let report = faulted_fleet.run(&trace);
+        assert!(report.max_inflight <= 1, "job-queue-length-1 invariant");
+        assert!(
+            report.rec_link_retries > 0,
+            "the pinned partition must force record-tunnel retries"
+        );
+        assert!(
+            report.crashes > 0 && report.failovers > 0,
+            "the pinned crash must be processed and force failovers ({} crashes, {} failovers)",
+            report.crashes,
+            report.failovers
+        );
+        report
+    });
+
     println!("{{");
     println!(
-        "\"config\": {{\"requests\": {}, \"devices\": {}, \"models\": 6, \"seed\": {seed}, \"mean_interarrival_ms\": 40, \"queue_capacity\": 256}},",
+        "\"config\": {{\"requests\": {}, \"devices\": {}, \"models\": 6, \"seed\": {seed}, \"fault_plan_seed\": {}, \"mean_interarrival_ms\": 40, \"queue_capacity\": 256}},",
         requests,
         skus.len(),
+        fault_seed.map_or("null".to_string(), |s| s.to_string()),
     );
     println!("\"cold\": {},", cold.to_json());
-    println!("\"warm\": {}", warm.to_json());
+    match &faulted {
+        Some(report) => {
+            println!("\"warm\": {},", warm.to_json());
+            println!("\"faulted\": {}", report.to_json());
+        }
+        None => println!("\"warm\": {}", warm.to_json()),
+    }
     println!("}}");
 
     eprintln!(
@@ -122,5 +196,17 @@ fn main() -> std::process::ExitCode {
         warm.throughput_rps,
         warm.cache_hit_ratio
     );
+    if let Some(f) = &faulted {
+        eprintln!(
+            "serve_bench: faulted: {}/{} completed, {} crashes, {} failovers, {} evictions, {} tunnel retries, {} checkpoint resumes",
+            f.completed,
+            f.submitted,
+            f.crashes,
+            f.failovers,
+            f.evictions,
+            f.rec_link_retries,
+            f.rec_checkpoint_resumes
+        );
+    }
     std::process::ExitCode::SUCCESS
 }

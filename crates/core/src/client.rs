@@ -301,6 +301,16 @@ impl GpuShim {
     pub fn set_up_baseline(&mut self, pa: u64, content: Vec<u8>) {
         self.up_baselines.insert(pa, content);
     }
+
+    /// Copies the up-sync baselines (checkpoint capture).
+    pub fn up_baselines_snapshot(&self) -> HashMap<u64, Vec<u8>> {
+        self.up_baselines.clone()
+    }
+
+    /// Replaces the up-sync baselines (checkpoint rollback).
+    pub fn restore_up_baselines(&mut self, baselines: HashMap<u64, Vec<u8>>) {
+        self.up_baselines = baselines;
+    }
 }
 
 impl std::fmt::Debug for GpuShim {

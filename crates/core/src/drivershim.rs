@@ -175,6 +175,23 @@ pub struct DriverShim {
 /// Sealed-message response size estimate per read (value + framing share).
 const RESP_BYTES_PER_READ: usize = 4;
 
+/// Everything needed to roll a record session back to a committed
+/// deferral-queue boundary (a layer edge): the recording length, both
+/// parties' sync baselines, both parties' region contents, and the client
+/// GPU's full hardware state (its `LATEST_FLUSH` epoch counter advances
+/// on every cache clean, so an un-rolled-back partial attempt would make
+/// the retried layer's recorded reads differ from a zero-fault run).
+#[derive(Debug)]
+pub struct ShimCheckpoint {
+    builder_len: usize,
+    memsync_baselines: HashMap<u64, Vec<u8>>,
+    client_up_baselines: HashMap<u64, Vec<u8>>,
+    cloud_regions: Vec<(u64, Vec<u8>)>,
+    client_regions: Vec<(u64, Vec<u8>)>,
+    gpu_state: grt_gpu::Gpu,
+    jobs_started: u64,
+}
+
 impl DriverShim {
     /// Creates a shim speaking to `client` over `link`.
     pub fn new(
@@ -264,6 +281,94 @@ impl DriverShim {
     /// Marks a layer boundary in the recording.
     pub fn begin_layer(&self, index: u32) {
         self.builder.borrow_mut().push(Event::BeginLayer { index });
+    }
+
+    /// Captures a checkpoint at a committed deferral-queue boundary.
+    ///
+    /// Flushes the queue and joins all speculation first, so the captured
+    /// state is exactly what both parties agree on. The record session
+    /// takes one before every layer; after a link outage it rolls back to
+    /// the last checkpoint and retries the layer instead of restarting the
+    /// whole recording.
+    pub fn checkpoint(&self) -> ShimCheckpoint {
+        self.commit("drivershim:checkpoint");
+        self.join_all_outstanding();
+        let mem_rc = self.cloud_mem.borrow().clone().expect("memory attached");
+        let regions_rc = self.regions.borrow().clone().expect("regions attached");
+        let mem = mem_rc.borrow();
+        let regions = regions_rc.borrow();
+        let client = self.client.borrow();
+        let mut cloud_regions = Vec::new();
+        let mut client_regions = Vec::new();
+        for region in regions.all() {
+            let len = region.len_bytes();
+            cloud_regions.push((region.pa, mem.dump_range(region.pa, len)));
+            client_regions.push((region.pa, client.mem().borrow().dump_range(region.pa, len)));
+        }
+        let gpu_state = client.gpu().borrow().clone();
+        let client_up_baselines = client.up_baselines_snapshot();
+        ShimCheckpoint {
+            builder_len: self.builder.borrow().len(),
+            memsync_baselines: self.memsync.borrow().baselines_snapshot(),
+            client_up_baselines,
+            cloud_regions,
+            client_regions,
+            gpu_state,
+            jobs_started: self.jobs_started.get(),
+        }
+    }
+
+    /// Rolls both parties back to `ckpt` after a link failure: discards
+    /// the partial attempt's recording events and deferral state, restores
+    /// region contents, sync baselines, and the client GPU's hardware
+    /// state. The clock is NOT rewound — the outage's wall time really
+    /// passed; recordings carry no timestamps, so the retried layer still
+    /// produces byte-identical events.
+    pub fn rollback(&self, ckpt: &ShimCheckpoint) {
+        self.queue.borrow_mut().clear();
+        self.outstanding.borrow_mut().clear();
+        self.control_taints.borrow_mut().clear();
+        self.builder.borrow_mut().truncate(ckpt.builder_len);
+        self.jobs_started.set(ckpt.jobs_started);
+        self.memsync
+            .borrow_mut()
+            .restore_baselines(ckpt.memsync_baselines.clone());
+        let mem_rc = self.cloud_mem.borrow().clone().expect("memory attached");
+        let regions_rc = self.regions.borrow().clone().expect("regions attached");
+        {
+            let mut mem = mem_rc.borrow_mut();
+            let regions = regions_rc.borrow();
+            // Lift any mid-layer validation traps; the retry's first
+            // down-sync re-establishes them.
+            for region in regions.all() {
+                mem.set_page_flags(
+                    region.pa,
+                    region.len_bytes(),
+                    grt_gpu::mem::PageFlags::default(),
+                );
+            }
+            for (pa, bytes) in &ckpt.cloud_regions {
+                mem.restore_range(*pa, bytes);
+            }
+        }
+        let mut client = self.client.borrow_mut();
+        client.restore_up_baselines(ckpt.client_up_baselines.clone());
+        {
+            let mut cmem = client.mem().borrow_mut();
+            let regions = regions_rc.borrow();
+            for region in regions.all() {
+                cmem.set_page_flags(
+                    region.pa,
+                    region.len_bytes(),
+                    grt_gpu::mem::PageFlags::default(),
+                );
+            }
+            for (pa, bytes) in &ckpt.client_regions {
+                cmem.restore_range(*pa, bytes);
+            }
+        }
+        *client.gpu().borrow_mut() = ckpt.gpu_state.clone();
+        self.stats.inc("record.rollbacks");
     }
 
     /// Takes the finished recording builder (end of record run).

@@ -210,6 +210,17 @@ impl MemSync {
     pub fn reset(&mut self) {
         self.baselines.clear();
     }
+
+    /// Copies the current baselines (checkpoint capture).
+    pub fn baselines_snapshot(&self) -> HashMap<u64, Vec<u8>> {
+        self.baselines.clone()
+    }
+
+    /// Replaces the baselines (checkpoint rollback): deltas encoded after
+    /// the restore are again relative to the checkpointed agreement.
+    pub fn restore_baselines(&mut self, baselines: HashMap<u64, Vec<u8>>) {
+        self.baselines = baselines;
+    }
 }
 
 impl std::fmt::Debug for MemSync {

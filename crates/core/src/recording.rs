@@ -377,6 +377,13 @@ impl RecordingBuilder {
         self.events.is_empty()
     }
 
+    /// Discards every event past `len` — checkpoint rollback: events
+    /// recorded by a partially failed layer attempt must not reach the
+    /// final recording.
+    pub fn truncate(&mut self, len: usize) {
+        self.events.truncate(len);
+    }
+
     /// Finalizes into a [`Recording`].
     pub fn finish(
         self,

@@ -105,6 +105,9 @@ pub enum RecordError {
     Driver(DriverError),
     /// The client GPU never raised the expected interrupt.
     ClientHang,
+    /// The link failed and stayed failed past the session's checkpoint
+    /// retry budget.
+    Link(grt_net::LinkError),
     /// The recording failed ahead-of-replay static analysis (grt-lint).
     Rejected {
         /// The violated rule ("R1".."R6").
@@ -120,6 +123,7 @@ impl std::fmt::Display for RecordError {
             RecordError::Attestation => write!(f, "cloud VM attestation failed"),
             RecordError::Driver(e) => write!(f, "GPU stack error: {e}"),
             RecordError::ClientHang => write!(f, "client GPU hang during record"),
+            RecordError::Link(e) => write!(f, "record tunnel failed: {e}"),
             RecordError::Rejected { rule, message } => {
                 write!(
                     f,
@@ -220,6 +224,11 @@ pub struct RecordOutcome {
     pub sync_bytes: u64,
     /// Client energy in joules (Figure 9).
     pub energy_j: f64,
+    /// Layer retries that resumed from a checkpoint instead of
+    /// restarting the recording (0 on a healthy link).
+    pub checkpoint_resumes: u64,
+    /// Link-level retransmitted attempts during the run.
+    pub link_retries: u64,
     /// The compiled network (for inspecting slots in tests).
     pub net: CompiledNetwork,
 }
@@ -233,6 +242,17 @@ const CLOUD_CPU_PER_JOB: SimTime = SimTime::from_micros(300);
 /// resets. We count violations instead of resetting, so the Naive
 /// baseline can still be measured end to end (as the paper does).
 const JOB_WATCHDOG: SimTime = SimTime::from_millis(1000);
+
+/// Consecutive checkpoint-resume attempts per layer before the session
+/// gives up with [`RecordError::Link`].
+const MAX_LAYER_ATTEMPTS: u32 = 16;
+
+/// Retries for each preamble/download message before giving up.
+const MAX_MESSAGE_RETRIES: u32 = 8;
+
+/// Pause before re-trying after a timeout that isn't a known partition
+/// (the plan gives no heal time to wait for).
+const TIMEOUT_COOLDOWN: SimTime = SimTime::from_millis(250);
 
 /// One cloud VM + client TEE pairing.
 pub struct RecordSession {
@@ -334,6 +354,101 @@ impl RecordSession {
         Rc::clone(&self.cloud_mem)
     }
 
+    /// Attaches a deterministic fault schedule to the session's link;
+    /// `record()` then checkpoints at every layer boundary and resumes
+    /// across outages.
+    pub fn attach_faults(&self, plan: &Rc<grt_sim::FaultPlan>) {
+        self.link.attach_faults(plan);
+    }
+
+    /// Waits out a link failure: to the partition's heal time when the
+    /// schedule knows one, a fixed cooldown otherwise, then past any
+    /// partition window covering the new instant, and clears the latch.
+    fn wait_out_link_failure(&self, err: grt_net::LinkError) {
+        match err {
+            grt_net::LinkError::Partitioned { healed_at } => {
+                self.clock.advance_to(healed_at);
+            }
+            grt_net::LinkError::TimedOut { .. } => {
+                self.clock.advance(TIMEOUT_COOLDOWN);
+            }
+        }
+        if let Some(plan) = self.link.faults() {
+            self.clock
+                .advance_to(plan.link_available_at(self.clock.now()));
+        }
+        self.link.clear_error();
+    }
+
+    /// A preamble round trip (attestation, key confirmation): idempotent
+    /// handshake traffic, so recovery is simply re-sending after the link
+    /// heals.
+    fn resilient_round_trip(&self, up: usize, down: usize) -> Result<(), RecordError> {
+        let mut last = None;
+        for _ in 0..MAX_MESSAGE_RETRIES {
+            match self.link.try_round_trip(up, down) {
+                Ok(_) => return Ok(()),
+                Err(e) => {
+                    self.stats.inc("record.preamble_retries");
+                    last = Some(e);
+                    self.wait_out_link_failure(e);
+                }
+            }
+        }
+        Err(RecordError::Link(last.expect("loop ran")))
+    }
+
+    /// Checks for a failure latched by infallible traffic (commits,
+    /// sync transfers) during a preamble stage; waits it out. The dropped
+    /// messages are idempotent protocol traffic — both parties re-send
+    /// after the heal, charged as the failed ladder plus the heal wait.
+    fn recover_preamble_stage(&self) {
+        if let Some(e) = self.link.link_error() {
+            self.stats.inc("record.preamble_retries");
+            self.wait_out_link_failure(e);
+        }
+    }
+
+    /// One layer of the dry run: begin marker, power up, jobs, power
+    /// down. Aborts early (after cleanup) when the link latches a
+    /// failure — the caller rolls back to the layer checkpoint.
+    fn run_layer(
+        &mut self,
+        li: u32,
+        layer: &grt_runtime::CompiledLayer,
+    ) -> Result<(), RecordError> {
+        self.shim.begin_layer(li);
+        self.driver.power_up()?;
+        for job in &layer.jobs {
+            if self.link.link_error().is_some() {
+                break;
+            }
+            self.shim.set_job_nominal_bytes(layer.nominal_data_bytes);
+            self.clock.advance(CLOUD_CPU_PER_JOB);
+            let submitted_at = self.clock.now();
+            self.driver.submit_job(job.desc_va)?;
+            loop {
+                if !self.shim.wait_job_irq_remote() {
+                    return Err(RecordError::ClientHang);
+                }
+                match self.driver.handle_job_irq()? {
+                    JobIrqOutcome::Done => break,
+                    JobIrqOutcome::Spurious => continue,
+                    JobIrqOutcome::Failed(code) => {
+                        return Err(RecordError::Driver(DriverError::JobFault(code)))
+                    }
+                }
+            }
+            // §3.3: the stack's implicit timing assumptions. Naive
+            // forwarding routinely blows past the job watchdog.
+            if self.clock.now() - submitted_at > JOB_WATCHDOG {
+                self.stats.inc("driver.watchdog_violations");
+            }
+        }
+        self.driver.power_down()?;
+        Ok(())
+    }
+
     /// §3.1 step 2: the whole record run for one workload.
     pub fn record(&mut self, spec: &NetworkSpec) -> Result<RecordOutcome, RecordError> {
         let t0 = self.clock.now();
@@ -343,16 +458,18 @@ impl RecordSession {
             + self.stats.get("sync.up_meta_bytes")
             + self.stats.get("sync.down_data_bytes")
             + self.stats.get("sync.up_data_bytes");
+        let resumes0 = self.stats.get("record.checkpoint_resumes");
+        let retx0 = self.stats.get("net.retransmissions");
 
         // --- Attestation handshake (§7.1): a couple of RTTs. -----------
         let nonce = [0x5Au8; 16];
-        self.link.round_trip(96, 160);
+        self.resilient_round_trip(96, 160)?;
         let report =
             AttestationReport::generate(&self.provisioning_secret, self.vm_measurement, nonce);
         if !report.verify(&self.provisioning_secret, &self.vm_measurement, &nonce) {
             return Err(RecordError::Attestation);
         }
-        self.link.round_trip(64, 64); // Key confirmation.
+        self.resilient_round_trip(64, 64)?; // Key confirmation.
 
         // --- Client TEE takes the GPU and scrubs all state (§3.2). ------
         self.client.shim.borrow_mut().lock_gpu();
@@ -363,6 +480,7 @@ impl RecordSession {
 
         // --- Cloud boots its GPU stack against the remote GPU. ---------
         self.driver.probe()?;
+        self.recover_preamble_stage();
         let net = compile_network_dry(&mut self.driver, spec)?;
 
         // Dry-run input: zeros (§5 — inputs/parameters are zero-filled).
@@ -370,35 +488,41 @@ impl RecordSession {
         self.driver
             .copy_to_gpu(net.input_va, &zeros)
             .map_err(RecordError::Driver)?;
+        self.recover_preamble_stage();
 
-        // --- Layer-by-layer dry run with per-layer power cycling. ------
-        for (li, layer) in net.layers.iter().enumerate() {
-            self.shim.begin_layer(li as u32);
-            self.driver.power_up()?;
-            for job in &layer.jobs {
-                self.shim.set_job_nominal_bytes(layer.nominal_data_bytes);
-                self.clock.advance(CLOUD_CPU_PER_JOB);
-                let submitted_at = self.clock.now();
-                self.driver.submit_job(job.desc_va)?;
-                loop {
-                    if !self.shim.wait_job_irq_remote() {
-                        return Err(RecordError::ClientHang);
-                    }
-                    match self.driver.handle_job_irq()? {
-                        JobIrqOutcome::Done => break,
-                        JobIrqOutcome::Spurious => continue,
-                        JobIrqOutcome::Failed(code) => {
-                            return Err(RecordError::Driver(DriverError::JobFault(code)))
-                        }
-                    }
+        // --- Layer-by-layer dry run with per-layer power cycling, ------
+        // checkpointing at every layer boundary. A link outage mid-layer
+        // rolls back to the last checkpoint and retries that layer after
+        // the heal, instead of restarting the whole recording.
+        // Checkpointing is skipped on a link that cannot fail (no fault
+        // plan, no base loss): it would be pure overhead.
+        let recoverable = self.link.has_faults() || self.link.conditions().loss_prob > 0.0;
+        let mut li = 0usize;
+        let mut attempts = 0u32;
+        while li < net.layers.len() {
+            let ckpt = if recoverable {
+                Some(self.shim.checkpoint())
+            } else {
+                None
+            };
+            let result = self.run_layer(li as u32, &net.layers[li]);
+            match (self.link.link_error(), ckpt) {
+                (None, _) => {
+                    result?;
+                    li += 1;
+                    attempts = 0;
                 }
-                // §3.3: the stack's implicit timing assumptions. Naive
-                // forwarding routinely blows past the job watchdog.
-                if self.clock.now() - submitted_at > JOB_WATCHDOG {
-                    self.stats.inc("driver.watchdog_violations");
+                (Some(err), Some(ckpt)) => {
+                    attempts += 1;
+                    if attempts >= MAX_LAYER_ATTEMPTS {
+                        return Err(RecordError::Link(err));
+                    }
+                    self.stats.inc("record.checkpoint_resumes");
+                    self.wait_out_link_failure(err);
+                    self.shim.rollback(&ckpt);
                 }
+                (Some(err), None) => return Err(RecordError::Link(err)),
             }
-            self.driver.power_down()?;
         }
 
         // --- Post-process, sign, download (§3.2). -----------------------
@@ -429,7 +553,19 @@ impl RecordSession {
             weights,
         );
         let signed = SignedRecording::sign(&recording, &self.signing_key);
-        self.link.transfer(signed.bytes.len() + 32, Direction::Down);
+        // The download is idempotent (same signed blob every attempt).
+        let mut download_tries = 0;
+        while let Err(e) = self
+            .link
+            .try_transfer(signed.bytes.len() + 32, Direction::Down)
+        {
+            download_tries += 1;
+            if download_tries >= MAX_MESSAGE_RETRIES {
+                return Err(RecordError::Link(e));
+            }
+            self.stats.inc("record.download_retries");
+            self.wait_out_link_failure(e);
+        }
 
         // --- Release the GPU back to the normal world. ------------------
         self.client.shim.borrow_mut().unlock_gpu();
@@ -445,6 +581,8 @@ impl RecordSession {
                 + self.stats.get("sync.up_data_bytes")
                 - sync0,
             energy_j: self.client.energy.total_energy(),
+            checkpoint_resumes: self.stats.get("record.checkpoint_resumes") - resumes0,
+            link_retries: self.stats.get("net.retransmissions") - retx0,
             net,
         })
     }

@@ -127,7 +127,7 @@ struct AsState {
 /// let mut gpu = Gpu::new(GpuSku::mali_g71_mp8(), &clock, &mem);
 /// assert_eq!(gpu.read_reg(gc::GPU_ID), 0x6000_0011);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Gpu {
     sku: GpuSku,
     clock: Rc<Clock>,

@@ -14,9 +14,41 @@
 //!   shared [`grt_sim::Stats`], which is exactly the data behind Table 1;
 //! - optionally, radio energy is charged to a [`grt_sim::EnergyMeter`]
 //!   (Figure 9).
+//!
+//! # Fault tolerance
+//!
+//! Every logical message carries a **sequence number**; a retransmission
+//! reuses its message's sequence number, so the receiver applies each
+//! message at most once (duplicates from a lost *response* are deduped and
+//! answered from the response cache — see `net.dup_suppressed`). Lost or
+//! partitioned sends are retried under a bounded [`RetryPolicy`]
+//! (exponential backoff plus deterministic jitter); when the budget is
+//! exhausted the operation fails with a typed [`LinkError`] instead of
+//! stalling, and the link **latches** the error: subsequent operations
+//! fast-fail with zero cost until [`Link::clear_error`], so a session can
+//! notice the outage at its next checkpoint without paying a retry ladder
+//! per access. Attach a [`grt_sim::FaultPlan`] with [`Link::attach_faults`]
+//! to drive loss bursts, RTT spikes, and partitions from a deterministic
+//! schedule.
+//!
+//! # Stats accounting
+//!
+//! Retransmissions never double-count the Table-1 numbers:
+//!
+//! - `net.messages`, `net.bytes_up`, `net.bytes_down`, `net.blocking_rtts`
+//!   count **logical** messages exactly once, however many attempts each
+//!   took;
+//! - `net.retransmissions` counts retransmitted attempts and
+//!   `net.retx_bytes_up` the request bytes those attempts re-sent;
+//! - `net.dup_suppressed` counts retransmits the receiver deduped by
+//!   sequence number (the request had been applied; only the response was
+//!   lost);
+//! - `net.link_failures` counts messages abandoned after the retry budget,
+//!   and `net.dropped_while_broken` operations skipped while the error
+//!   latch was set.
 
-use grt_sim::{Clock, EnergyMeter, Rail, SimTime, Stats};
-use std::cell::RefCell;
+use grt_sim::{Clock, EnergyMeter, FaultPlan, Rail, Rng, SimTime, Stats};
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 /// Shaped network conditions, NetEm-style.
@@ -30,7 +62,7 @@ pub struct NetConditions {
     /// a deterministic per-link stream, like NetEm's `delay ... jitter`.
     pub jitter_frac: f64,
     /// Probability that a message is lost and must be retransmitted after
-    /// a one-RTT timeout (NetEm's `loss`).
+    /// a timeout (NetEm's `loss`).
     pub loss_prob: f64,
 }
 
@@ -81,7 +113,7 @@ impl NetConditions {
         self
     }
 
-    /// Adds a message-loss probability (retransmit after one RTT timeout).
+    /// Adds a message-loss probability (retransmit after timeout).
     pub fn with_loss(mut self, prob: f64) -> Self {
         self.loss_prob = prob.clamp(0.0, 1.0);
         self
@@ -126,6 +158,82 @@ impl Default for RadioPower {
     }
 }
 
+/// Why a link operation failed after its retry budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkError {
+    /// Every attempt timed out (loss, not a known partition).
+    TimedOut {
+        /// Send attempts made (the policy's full budget).
+        attempts: u32,
+    },
+    /// The fault plan says the link is partitioned; `healed_at` is the
+    /// instant the partition (chain) ends, so a caller can schedule a
+    /// checkpoint resume.
+    Partitioned {
+        /// Virtual time at which the link becomes available again.
+        healed_at: SimTime,
+    },
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::TimedOut { attempts } => {
+                write!(f, "link timed out after {attempts} attempts")
+            }
+            LinkError::Partitioned { healed_at } => {
+                write!(f, "link partitioned (heals at {healed_at})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Bounded retransmission policy: how hard a link tries before surfacing
+/// a [`LinkError`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total send attempts per logical message (first send included).
+    pub max_attempts: u32,
+    /// Initial retransmission timeout, as a multiple of the base RTT.
+    pub rto_rtts: f64,
+    /// RTO multiplier applied per retransmission (exponential backoff).
+    pub backoff: f64,
+    /// Uniform jitter fraction added to each RTO (decorrelates retry
+    /// storms; drawn from the link's deterministic fault stream).
+    pub jitter_frac: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            rto_rtts: 1.5,
+            backoff: 2.0,
+            jitter_frac: 0.1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retransmits (fail on first loss).
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// How a delivery attempt sequence played out (internal).
+struct Schedule {
+    /// Total time spent waiting out retransmission timeouts.
+    wait: SimTime,
+    /// The successful attempt's propagation time (both ways, jittered).
+    leg: SimTime,
+}
+
 /// A cloud↔client link bound to the shared virtual clock.
 ///
 /// # Examples
@@ -147,7 +255,20 @@ pub struct Link {
     stats: Rc<Stats>,
     conditions: RefCell<NetConditions>,
     energy: RefCell<Option<(Rc<EnergyMeter>, RadioPower)>>,
-    rng: RefCell<grt_sim::Rng>,
+    /// Base-shaping stream (legacy jitter/loss draws). Kept separate from
+    /// `fault_rng` so attaching a quiet fault plan leaves zero-fault runs
+    /// byte-identical.
+    rng: RefCell<Rng>,
+    /// Fault-schedule stream: burst-loss draws, RTO jitter, loss-direction
+    /// draws.
+    fault_rng: RefCell<Rng>,
+    faults: RefCell<Option<Rc<FaultPlan>>>,
+    policy: Cell<RetryPolicy>,
+    /// Sequence number of the next logical message.
+    next_seq: Cell<u64>,
+    /// Latched failure: set when a retry budget is exhausted; all later
+    /// operations fast-fail until cleared.
+    error: Cell<Option<LinkError>>,
 }
 
 impl Link {
@@ -158,13 +279,44 @@ impl Link {
             stats: Rc::clone(stats),
             conditions: RefCell::new(conditions),
             energy: RefCell::new(None),
-            rng: RefCell::new(grt_sim::Rng::new(0x006e_6574_6c69_6e6b)),
+            rng: RefCell::new(Rng::new(0x006e_6574_6c69_6e6b)),
+            fault_rng: RefCell::new(Rng::new(0x00fa_756c_7472_6e67)),
+            faults: RefCell::new(None),
+            policy: Cell::new(RetryPolicy::default()),
+            next_seq: Cell::new(0),
+            error: Cell::new(None),
         })
     }
 
     /// Attaches an energy meter; radio energy is charged per transfer.
     pub fn attach_energy(&self, meter: &Rc<EnergyMeter>, power: RadioPower) {
         *self.energy.borrow_mut() = Some((Rc::clone(meter), power));
+    }
+
+    /// Attaches a deterministic fault schedule. Loss bursts, RTT spikes,
+    /// and partitions in the plan shape every subsequent operation.
+    pub fn attach_faults(&self, plan: &Rc<FaultPlan>) {
+        *self.faults.borrow_mut() = Some(Rc::clone(plan));
+    }
+
+    /// The attached fault plan, if any.
+    pub fn faults(&self) -> Option<Rc<FaultPlan>> {
+        self.faults.borrow().clone()
+    }
+
+    /// Whether a fault plan is attached.
+    pub fn has_faults(&self) -> bool {
+        self.faults.borrow().is_some()
+    }
+
+    /// Replaces the retransmission policy.
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        self.policy.set(policy);
+    }
+
+    /// The current retransmission policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.policy.get()
     }
 
     /// Replaces the link conditions (used by the network sweep example).
@@ -177,22 +329,110 @@ impl Link {
         *self.conditions.borrow()
     }
 
-    /// One propagation leg's effective duration: jitter applied, plus any
-    /// loss-retransmission timeouts (each lost attempt costs a full RTT).
-    fn effective_rtt(&self, c: &NetConditions) -> SimTime {
-        let mut rng = self.rng.borrow_mut();
-        let mut total = SimTime::ZERO;
-        while c.loss_prob > 0.0 && rng.chance(c.loss_prob) {
-            // Timeout and retransmit.
-            total += c.rtt;
+    /// The latched link failure, if the retry budget was ever exhausted
+    /// and not yet cleared.
+    pub fn link_error(&self) -> Option<LinkError> {
+        self.error.get()
+    }
+
+    /// Clears the latched failure so traffic flows again (a session does
+    /// this after waiting out a partition before resuming from its
+    /// checkpoint).
+    pub fn clear_error(&self) {
+        self.error.set(None);
+    }
+
+    /// Sequence number of the most recently sent logical message (0 when
+    /// nothing was sent yet). Retransmissions reuse their message's
+    /// number, which is what makes them idempotent at the receiver.
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq.get()
+    }
+
+    /// Runs the bounded retransmission schedule for one logical message
+    /// starting at virtual time `start`, without touching the clock.
+    /// Returns the schedule or a typed error; accounts retransmission
+    /// stats either way.
+    fn schedule(
+        &self,
+        c: &NetConditions,
+        request_bytes: usize,
+        start: SimTime,
+    ) -> Result<Schedule, LinkError> {
+        let policy = self.policy.get();
+        let plan = self.faults.borrow().clone();
+        let mut vnow = start;
+        let mut wait = SimTime::ZERO;
+        let mut rto = c.rtt.mul_f64(policy.rto_rtts.max(0.5));
+        let max_attempts = policy.max_attempts.max(1);
+        for attempt in 1..=max_attempts {
+            // Decide this attempt's fate. Partition ⇒ deterministic loss;
+            // otherwise draw against the combined loss probability, from
+            // the fault stream when a burst is active (so quiet plans
+            // leave the base stream untouched).
+            let partitioned = plan.as_ref().is_some_and(|p| p.partitioned_at(vnow));
+            let lost = if partitioned {
+                true
+            } else {
+                let burst = plan.as_ref().map_or(0.0, |p| p.loss_at(vnow));
+                if burst > 0.0 {
+                    self.fault_rng.borrow_mut().chance(burst.max(c.loss_prob))
+                } else if c.loss_prob > 0.0 {
+                    self.rng.borrow_mut().chance(c.loss_prob)
+                } else {
+                    false
+                }
+            };
+            if !lost {
+                let mult = plan.as_ref().map_or(1.0, |p| p.rtt_multiplier_at(vnow));
+                let jitter = if c.jitter_frac > 0.0 {
+                    c.rtt
+                        .mul_f64(c.jitter_frac * self.rng.borrow_mut().gen_f64())
+                } else {
+                    SimTime::ZERO
+                };
+                return Ok(Schedule {
+                    wait,
+                    leg: c.rtt.mul_f64(mult) + jitter,
+                });
+            }
+            // Lost. If the loss was on the response leg, the receiver did
+            // apply the request; the retransmit below will be deduped by
+            // its sequence number (idempotence).
+            if !partitioned && self.fault_rng.borrow_mut().chance(0.5) {
+                self.stats.inc("net.dup_suppressed");
+            }
+            if attempt == max_attempts {
+                break;
+            }
+            // Wait out the (jittered, exponentially backed-off) RTO, then
+            // retransmit.
+            let rto_jitter = if policy.jitter_frac > 0.0 {
+                1.0 + policy.jitter_frac * self.fault_rng.borrow_mut().gen_f64()
+            } else {
+                1.0
+            };
+            let this_wait = rto.mul_f64(rto_jitter);
+            wait += this_wait;
+            vnow += this_wait;
+            rto = rto.mul_f64(policy.backoff.max(1.0));
             self.stats.inc("net.retransmissions");
+            self.stats.add("net.retx_bytes_up", request_bytes as u64);
         }
-        let jitter = if c.jitter_frac > 0.0 {
-            SimTime::from_secs_f64(c.rtt.as_secs_f64() * c.jitter_frac * rng.gen_f64())
-        } else {
-            SimTime::ZERO
+        self.stats.inc("net.link_failures");
+        let err = match plan.as_ref() {
+            Some(p) if p.partitioned_at(vnow) => LinkError::Partitioned {
+                healed_at: p.link_available_at(vnow),
+            },
+            _ => LinkError::TimedOut {
+                attempts: max_attempts,
+            },
         };
-        total + c.rtt + jitter
+        // The budget-exhaustion wait is real elapsed time; report it via
+        // the schedule the callers advance by.
+        self.error.set(Some(err));
+        self.stats.add("net.failure_wait_ns", wait.as_nanos());
+        Err(err)
     }
 
     fn charge_energy(&self, tx: SimTime, rx: SimTime, idle: SimTime) {
@@ -206,69 +446,155 @@ impl Link {
         }
     }
 
-    /// A blocking request/response exchange: the caller cannot make progress
-    /// until the response arrives. Advances the clock and returns the elapsed
-    /// time.
-    ///
-    /// This is the cost of a synchronous register-access commit (§4.1) or a
-    /// naive per-access forwarding round trip.
-    pub fn round_trip(&self, request_bytes: usize, response_bytes: usize) -> SimTime {
-        let c = self.conditions();
-        let tx = c.tx_time(request_bytes);
-        let rx = c.tx_time(response_bytes);
-        let total = self.effective_rtt(&c) + tx + rx;
-        self.clock.advance(total);
-        self.stats.inc("net.blocking_rtts");
+    /// Books the logical-message counters (exactly once per message,
+    /// regardless of retransmissions).
+    fn account_message(&self, request_bytes: usize, response_bytes: usize) {
+        self.next_seq.set(self.next_seq.get() + 1);
         self.stats.inc("net.messages");
         self.stats.add("net.bytes_up", request_bytes as u64);
         self.stats.add("net.bytes_down", response_bytes as u64);
-        self.charge_energy(tx, rx, c.rtt);
-        total
     }
 
-    /// An asynchronous exchange: computes the absolute virtual time at which
-    /// the response would be fully received, **without advancing the clock**.
+    /// A blocking request/response exchange: the caller cannot make
+    /// progress until the response arrives. Advances the clock and
+    /// returns the elapsed time; on retry-budget exhaustion the elapsed
+    /// timeout ladder still passes, the error latches, and the typed
+    /// error is returned.
     ///
-    /// Speculative commits (§4.2) use this: the cloud continues executing on
-    /// predicted values and joins on the returned completion time only when
-    /// forced to (externalization, speculative commit, validation).
-    pub fn round_trip_async(&self, request_bytes: usize, response_bytes: usize) -> SimTime {
+    /// This is the cost of a synchronous register-access commit (§4.1) or
+    /// a naive per-access forwarding round trip.
+    pub fn try_round_trip(
+        &self,
+        request_bytes: usize,
+        response_bytes: usize,
+    ) -> Result<SimTime, LinkError> {
+        if let Some(e) = self.error.get() {
+            self.stats.inc("net.dropped_while_broken");
+            return Err(e);
+        }
         let c = self.conditions();
         let tx = c.tx_time(request_bytes);
         let rx = c.tx_time(response_bytes);
+        self.account_message(request_bytes, response_bytes);
+        self.stats.inc("net.blocking_rtts");
+        match self.schedule(&c, request_bytes, self.clock.now()) {
+            Ok(s) => {
+                let total = s.wait + s.leg + tx + rx;
+                self.clock.advance(total);
+                self.charge_energy(tx, rx, s.wait + c.rtt);
+                Ok(total)
+            }
+            Err(e) => {
+                // The failed ladder's timeouts still elapsed.
+                let ladder = self.ladder_time(&c);
+                self.clock.advance(ladder);
+                self.charge_energy(tx, SimTime::ZERO, ladder);
+                Err(e)
+            }
+        }
+    }
+
+    /// Infallible wrapper around [`Link::try_round_trip`] for the legacy
+    /// record path: on failure the error stays latched for the session
+    /// layer to observe at its next checkpoint, and the elapsed ladder
+    /// time is returned.
+    pub fn round_trip(&self, request_bytes: usize, response_bytes: usize) -> SimTime {
+        match self.try_round_trip(request_bytes, response_bytes) {
+            Ok(dt) => dt,
+            Err(_) => SimTime::ZERO,
+        }
+    }
+
+    /// Total wall time of a full failed retry ladder under the current
+    /// policy (every attempt timed out).
+    fn ladder_time(&self, c: &NetConditions) -> SimTime {
+        let policy = self.policy.get();
+        let mut rto = c.rtt.mul_f64(policy.rto_rtts.max(0.5));
+        let mut total = SimTime::ZERO;
+        for _ in 1..policy.max_attempts.max(1) {
+            total += rto;
+            rto = rto.mul_f64(policy.backoff.max(1.0));
+        }
+        // The final attempt's timeout also passes before giving up.
+        total + rto
+    }
+
+    /// An asynchronous exchange: computes the absolute virtual time at
+    /// which the response would be fully received, **without advancing
+    /// the clock**.
+    ///
+    /// Speculative commits (§4.2) use this: the cloud continues executing
+    /// on predicted values and joins on the returned completion time only
+    /// when forced to (externalization, speculative commit, validation).
+    /// Under faults the completion time includes retransmission waits; if
+    /// the retry budget is exhausted the error latches (the session sees
+    /// it at the next synchronization point) and the returned completion
+    /// time covers the failed ladder.
+    pub fn round_trip_async(&self, request_bytes: usize, response_bytes: usize) -> SimTime {
+        if self.error.get().is_some() {
+            self.stats.inc("net.dropped_while_broken");
+            return self.clock.now();
+        }
+        let c = self.conditions();
+        let tx = c.tx_time(request_bytes);
+        let rx = c.tx_time(response_bytes);
+        self.account_message(request_bytes, response_bytes);
         self.stats.inc("net.async_rtts");
-        self.stats.inc("net.messages");
-        self.stats.add("net.bytes_up", request_bytes as u64);
-        self.stats.add("net.bytes_down", response_bytes as u64);
         // Overlapped exchanges do not serialize radio idle time; only the
         // actual transmit/receive energy is charged.
         self.charge_energy(tx, rx, SimTime::ZERO);
-        self.clock.now() + self.effective_rtt(&c) + tx + rx
+        match self.schedule(&c, request_bytes, self.clock.now()) {
+            Ok(s) => self.clock.now() + s.wait + s.leg + tx + rx,
+            Err(_) => self.clock.now() + self.ladder_time(&c),
+        }
     }
 
     /// A one-way bulk transfer (memory-dump synchronization, recording
-    /// download). Advances the clock by half an RTT plus serialization time.
-    pub fn transfer(&self, bytes: usize, direction: Direction) -> SimTime {
+    /// download). Advances the clock by half an RTT plus serialization
+    /// time; lost transfers retransmit under the policy like round trips.
+    pub fn try_transfer(&self, bytes: usize, direction: Direction) -> Result<SimTime, LinkError> {
+        if let Some(e) = self.error.get() {
+            self.stats.inc("net.dropped_while_broken");
+            return Err(e);
+        }
         let c = self.conditions();
         let tx = c.tx_time(bytes);
-        let total = self.effective_rtt(&c) / 2 + tx;
-        self.clock.advance(total);
+        self.next_seq.set(self.next_seq.get() + 1);
         self.stats.inc("net.messages");
         // A sync transfer gates forward progress (job start / IRQ
         // forwarding), so it counts toward the blocking round-trip budget.
         self.stats.inc("net.transfers");
         self.stats.inc("net.blocking_rtts");
         match direction {
-            Direction::Up => {
-                self.stats.add("net.bytes_up", bytes as u64);
-                self.charge_energy(tx, SimTime::ZERO, c.rtt / 2);
+            Direction::Up => self.stats.add("net.bytes_up", bytes as u64),
+            Direction::Down => self.stats.add("net.bytes_down", bytes as u64),
+        }
+        match self.schedule(&c, bytes, self.clock.now()) {
+            Ok(s) => {
+                let total = s.wait + s.leg / 2 + tx;
+                self.clock.advance(total);
+                match direction {
+                    Direction::Up => self.charge_energy(tx, SimTime::ZERO, s.wait + c.rtt / 2),
+                    Direction::Down => self.charge_energy(SimTime::ZERO, tx, s.wait + c.rtt / 2),
+                }
+                Ok(total)
             }
-            Direction::Down => {
-                self.stats.add("net.bytes_down", bytes as u64);
-                self.charge_energy(SimTime::ZERO, tx, c.rtt / 2);
+            Err(e) => {
+                let ladder = self.ladder_time(&c);
+                self.clock.advance(ladder);
+                self.charge_energy(SimTime::ZERO, SimTime::ZERO, ladder);
+                Err(e)
             }
         }
-        total
+    }
+
+    /// Infallible wrapper around [`Link::try_transfer`] (legacy callers);
+    /// failures latch for the session layer.
+    pub fn transfer(&self, bytes: usize, direction: Direction) -> SimTime {
+        match self.try_transfer(bytes, direction) {
+            Ok(dt) => dt,
+            Err(_) => SimTime::ZERO,
+        }
     }
 
     /// The shared stats sink (for layered accounting by the session code).
@@ -381,6 +707,16 @@ mod tests {
         // 10 KB at 80 Mbps = 1 ms.
         assert_eq!(c.tx_time(10_000).as_micros(), 1000);
     }
+
+    #[test]
+    fn sequence_numbers_are_per_logical_message() {
+        let (_, _, link) = setup(NetConditions::wifi().with_loss(0.4));
+        assert_eq!(link.last_seq(), 0);
+        for i in 1..=50u64 {
+            link.round_trip(10, 10);
+            assert_eq!(link.last_seq(), i, "one seq per message, not per attempt");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -413,8 +749,8 @@ mod degradation_tests {
         }
         let retx = stats.get("net.retransmissions");
         assert!((20..160).contains(&retx), "retx={retx}");
-        // Each retransmission costs a full extra RTT.
-        assert!(clock.now() >= SimTime::from_millis(20 * 200) + SimTime::from_millis(20) * retx);
+        // Each retransmission waited out at least one RTO (1.5 RTT).
+        assert!(clock.now() >= SimTime::from_millis(20 * 200) + SimTime::from_millis(30) * retx);
     }
 
     #[test]
@@ -431,6 +767,186 @@ mod degradation_tests {
                 link.round_trip(i, 2 * i);
             }
             clock.now()
+        };
+        assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+
+    fn setup(c: NetConditions) -> (Rc<Clock>, Rc<Stats>, Rc<Link>) {
+        let clock = Clock::new();
+        let stats = Stats::new();
+        let link = Link::new(&clock, &stats, c);
+        (clock, stats, link)
+    }
+
+    /// Regression pin (Table-1 accounting): retransmitted messages never
+    /// double-count logical bytes or blocking RTTs. A total-loss burst
+    /// with jitterless policy makes every count exactly computable.
+    #[test]
+    fn retransmissions_do_not_double_count_stats() {
+        let (clock, stats, link) = setup(NetConditions::wifi());
+        link.set_retry_policy(RetryPolicy {
+            max_attempts: 6,
+            rto_rtts: 1.5,
+            backoff: 2.0,
+            jitter_frac: 0.0,
+        });
+        // Total loss for the first 100 ms: the first message's first
+        // attempts (at t=0, 30, 90 ms) are all lost; the attempt at
+        // t=210 ms succeeds. Messages 2..=10 run on a healed link.
+        let plan = Rc::new(FaultPlan::new().with_loss_burst(
+            SimTime::ZERO,
+            SimTime::from_millis(100),
+            1.0,
+        ));
+        link.attach_faults(&plan);
+        for _ in 0..10 {
+            link.try_round_trip(1_000, 500)
+                .expect("budget covers the burst");
+        }
+        assert_eq!(stats.get("net.messages"), 10, "logical messages");
+        assert_eq!(stats.get("net.blocking_rtts"), 10, "one blocking RTT each");
+        assert_eq!(stats.get("net.bytes_up"), 10_000, "payload bytes once");
+        assert_eq!(stats.get("net.bytes_down"), 5_000, "payload bytes once");
+        // Exactly 3 lost attempts (t=0, 30, 90 ms), all on message 1.
+        assert_eq!(stats.get("net.retransmissions"), 3);
+        assert_eq!(stats.get("net.retx_bytes_up"), 3_000);
+        assert_eq!(stats.get("net.link_failures"), 0);
+        // Elapsed: msg1 = 30+60+120 (RTO ladder) + 20 (delivery) = 230 ms,
+        // plus 9 × 20 ms, plus 10 × serialization (1500 B at 80 Mbps =
+        // 150 µs each).
+        let serialization = SimTime::from_micros(150 * 10);
+        assert_eq!(
+            clock.now(),
+            SimTime::from_millis(230 + 9 * 20) + serialization
+        );
+    }
+
+    #[test]
+    fn partition_surfaces_typed_error_with_heal_time() {
+        let (clock, stats, link) = setup(NetConditions::wifi());
+        link.set_retry_policy(RetryPolicy {
+            max_attempts: 3,
+            rto_rtts: 1.0,
+            backoff: 2.0,
+            jitter_frac: 0.0,
+        });
+        let heal = SimTime::from_secs(30);
+        let plan = Rc::new(FaultPlan::new().with_partition(SimTime::ZERO, heal));
+        link.attach_faults(&plan);
+        let err = link.try_round_trip(100, 100).unwrap_err();
+        assert_eq!(err, LinkError::Partitioned { healed_at: heal });
+        assert_eq!(link.link_error(), Some(err));
+        // The failed ladder's timeouts elapsed: 20+40+80 ms.
+        assert_eq!(clock.now(), SimTime::from_millis(140));
+        assert_eq!(stats.get("net.link_failures"), 1);
+        assert_eq!(stats.get("net.retransmissions"), 2);
+    }
+
+    #[test]
+    fn broken_link_fast_fails_until_cleared() {
+        let (clock, stats, link) = setup(NetConditions::wifi());
+        link.set_retry_policy(RetryPolicy {
+            max_attempts: 2,
+            rto_rtts: 1.0,
+            backoff: 2.0,
+            jitter_frac: 0.0,
+        });
+        let plan = Rc::new(FaultPlan::new().with_partition(SimTime::ZERO, SimTime::from_secs(60)));
+        link.attach_faults(&plan);
+        assert!(link.try_round_trip(10, 10).is_err());
+        let t_broken = clock.now();
+        // While latched: zero-cost fast failures, nothing accounted.
+        let msgs = stats.get("net.messages");
+        for _ in 0..5 {
+            assert!(link.try_round_trip(10, 10).is_err());
+            assert!(link.try_transfer(10, Direction::Up).is_err());
+        }
+        assert_eq!(clock.now(), t_broken, "fast-fail costs no virtual time");
+        assert_eq!(stats.get("net.messages"), msgs);
+        assert_eq!(stats.get("net.dropped_while_broken"), 10);
+        // After the heal + clear, traffic flows again.
+        clock.advance_to(SimTime::from_secs(60));
+        link.clear_error();
+        assert!(link.try_round_trip(10, 10).is_ok());
+        assert_eq!(link.link_error(), None);
+    }
+
+    #[test]
+    fn short_partition_is_ridden_out_by_retries() {
+        let (clock, stats, link) = setup(NetConditions::wifi());
+        link.set_retry_policy(RetryPolicy {
+            max_attempts: 6,
+            rto_rtts: 1.5,
+            backoff: 2.0,
+            jitter_frac: 0.0,
+        });
+        // Partition heals at 100 ms; the ladder reaches t=210 ms by
+        // attempt 4, which gets through.
+        let plan =
+            Rc::new(FaultPlan::new().with_partition(SimTime::ZERO, SimTime::from_millis(100)));
+        link.attach_faults(&plan);
+        let dt = link.try_round_trip(0, 0).expect("retries outlast the flap");
+        assert_eq!(dt, SimTime::from_millis(230));
+        assert_eq!(stats.get("net.retransmissions"), 3);
+        assert_eq!(stats.get("net.link_failures"), 0);
+        assert!(clock.now() >= SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn rtt_spike_stretches_delivery() {
+        let (_, _, link) = setup(NetConditions::wifi());
+        let plan =
+            Rc::new(FaultPlan::new().with_rtt_spike(SimTime::ZERO, SimTime::from_secs(1), 5.0));
+        link.attach_faults(&plan);
+        let dt = link.try_round_trip(0, 0).unwrap();
+        assert_eq!(dt, SimTime::from_millis(100), "5× the 20 ms base RTT");
+    }
+
+    #[test]
+    fn quiet_plan_leaves_timing_byte_identical() {
+        // Attaching a plan whose faults never overlap the traffic must
+        // not perturb timing (no extra RNG draws on the base stream).
+        let run = |attach: bool| {
+            let (clock, _, link) = setup(NetConditions::wifi().with_jitter(0.3));
+            if attach {
+                let plan = Rc::new(
+                    FaultPlan::new()
+                        .with_partition(SimTime::from_secs(3600), SimTime::from_secs(3601)),
+                );
+                link.attach_faults(&plan);
+            }
+            for i in 0..50 {
+                link.round_trip(i * 3, i);
+            }
+            clock.now()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn faulted_link_is_deterministic() {
+        let run = || {
+            let (clock, stats, link) = setup(NetConditions::wifi().with_loss(0.05));
+            let plan = Rc::new(FaultPlan::generate(
+                99,
+                &grt_sim::FaultPlanConfig::default(),
+            ));
+            link.attach_faults(&plan);
+            let mut oks = 0u32;
+            for i in 0..300 {
+                if link.try_round_trip(i, 64).is_ok() {
+                    oks += 1;
+                } else {
+                    clock.advance(SimTime::from_millis(250));
+                    link.clear_error();
+                }
+            }
+            (clock.now(), oks, stats.get("net.retransmissions"))
         };
         assert_eq!(run(), run());
     }

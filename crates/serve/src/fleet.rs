@@ -13,7 +13,27 @@
 //! one outstanding job; the fleet preserves that per device — a device
 //! serves exactly one replay at a time, and the scheduler asserts it
 //! (service intervals on one device never overlap; see
-//! [`Fleet::max_inflight`]).
+//! [`Fleet::max_inflight`]) — even across crashes and failovers.
+//!
+//! **Fault tolerance.** When a [`FaultPlan`] is attached
+//! ([`FleetConfig::with_faults`]), the scheduler runs a discrete-event
+//! loop that interleaves plan events with service starts in strict time
+//! order (same-instant ties: crash, then restart, then service, then
+//! device index):
+//!
+//! - a **crash** wipes the device's staged model, marks it down until its
+//!   restart ([`DeviceHealth`] evicts a flapping device for a probation
+//!   period instead), and *fails over* every queued request to a healthy
+//!   peer — same SKU preferred, so the recording stays valid;
+//! - a crash landing **inside a service interval** interrupts it: the
+//!   partial work and its output are discarded (never folded into the
+//!   run digest) and the in-flight request fails over like a queued one;
+//! - **slowdown** windows stretch service time, and a device whose
+//!   latency EWMA drifts past the slow-eviction threshold is evicted the
+//!   same way a flapping one is;
+//! - re-queued requests *re-arrive at the failover instant* — a failed
+//!   over request can never start anywhere before the fault that
+//!   displaced it.
 //!
 //! Time: the fleet clock is the discrete-event serving timeline. Each
 //! device's hardware clock is a private lane measuring service durations
@@ -22,9 +42,10 @@
 //! parallel while all timestamps stay deterministic.
 
 use crate::admission::{AdmissionQueue, Rejection, Request};
+use crate::health::DeviceHealth;
 use crate::metrics::{
-    DeviceReport, MetricsCollector, ModelReport, Percentiles, RequestSample, ServeReport,
-    TimeoutRecord,
+    DeviceReport, FailoverRecord, MetricsCollector, ModelReport, Percentiles, RequestSample,
+    ServeReport, TimeoutRecord,
 };
 use crate::registry::{RecordingRegistry, RegistryConfig};
 use grt_core::replay::workload_weights;
@@ -35,7 +56,7 @@ use grt_gpu::GpuSku;
 use grt_ml::reference::test_input;
 use grt_ml::NetworkSpec;
 use grt_net::NetConditions;
-use grt_sim::{Clock, SimTime, Stats};
+use grt_sim::{Clock, Crash, FaultPlan, SimTime, Stats};
 use grt_tee::TeeHost;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -52,6 +73,9 @@ pub struct FleetConfig {
     pub affinity_slack: usize,
     /// Recording-registry sizing and cold-start parameters.
     pub registry: RegistryConfig,
+    /// Fault schedule for the serving timeline: crash/slowdown device
+    /// indices are worker indices. `None` serves fault-free.
+    pub faults: Option<Rc<FaultPlan>>,
 }
 
 impl FleetConfig {
@@ -63,12 +87,22 @@ impl FleetConfig {
             queue_capacity: 8,
             affinity_slack: 2,
             registry: RegistryConfig::new(64),
+            faults: None,
         }
     }
 
     /// Overrides the registry's cold-start link conditions.
     pub fn with_conditions(mut self, conditions: NetConditions) -> Self {
         self.registry.conditions = conditions;
+        self
+    }
+
+    /// Attaches `plan` to both fault surfaces: the serving timeline
+    /// (device crashes and slowdowns) and the registry's cold-start
+    /// record tunnels (loss bursts, RTT spikes, partitions).
+    pub fn with_faults(mut self, plan: Rc<FaultPlan>) -> Self {
+        self.registry.faults = Some(Rc::clone(&plan));
+        self.faults = Some(plan);
         self
     }
 }
@@ -87,6 +121,8 @@ struct DeviceWorker {
     last_service_end: SimTime,
     /// Model currently staged in the replay service.
     loaded_model: Option<usize>,
+    /// Crash/latency health; gates whether the scheduler dispatches here.
+    health: DeviceHealth,
     /// In-flight replays right now (the invariant holds this ≤ 1).
     inflight: u32,
     max_inflight: u32,
@@ -117,6 +153,7 @@ impl DeviceWorker {
             free_at: SimTime::ZERO,
             last_service_end: SimTime::ZERO,
             loaded_model: None,
+            health: DeviceHealth::new(),
             inflight: 0,
             max_inflight: 0,
             completed: 0,
@@ -136,12 +173,24 @@ pub struct Fleet {
     weights: Vec<Option<Vec<Vec<f32>>>>,
     /// The serving timeline.
     clock: Rc<Clock>,
+    /// Plan crashes targeting real workers, in schedule order.
+    pending_crashes: Vec<Crash>,
+    /// First unprocessed entry in `pending_crashes`.
+    crash_cursor: usize,
+    /// Crash events processed so far.
+    crashes_seen: u64,
     service_time_sum: SimTime,
     service_count: u64,
 }
 
 /// Retry-after fallback before any request has completed.
 const DEFAULT_SERVICE_ESTIMATE: SimTime = SimTime::from_millis(25);
+
+/// Same-instant event ordering: crashes first, then restarts, then
+/// service starts.
+const EV_CRASH: u8 = 0;
+const EV_RESTART: u8 = 1;
+const EV_SERVE: u8 = 2;
 
 impl Fleet {
     /// Builds a fleet serving `models` with a fresh registry.
@@ -159,11 +208,22 @@ impl Fleet {
     ) -> Self {
         assert!(!cfg.skus.is_empty(), "a fleet needs at least one device");
         let stats = Stats::new();
-        let workers = cfg
+        let workers: Vec<DeviceWorker> = cfg
             .skus
             .iter()
             .map(|sku| DeviceWorker::new(sku.clone(), cfg.queue_capacity, &stats))
             .collect();
+        let pending_crashes = cfg
+            .faults
+            .as_ref()
+            .map(|p| {
+                p.crashes()
+                    .iter()
+                    .filter(|c| c.device < workers.len())
+                    .copied()
+                    .collect()
+            })
+            .unwrap_or_default();
         let n_models = models.len();
         Fleet {
             cfg,
@@ -172,6 +232,9 @@ impl Fleet {
             registry,
             weights: vec![None; n_models],
             clock: Clock::new(),
+            pending_crashes,
+            crash_cursor: 0,
+            crashes_seen: 0,
             service_time_sum: SimTime::ZERO,
             service_count: 0,
         }
@@ -204,7 +267,8 @@ impl Fleet {
     }
 
     /// Like [`Fleet::run`] but also returns the raw event log (per-request
-    /// samples, rejections with retry hints, timeout records).
+    /// samples, rejections with retry hints, timeout and failover
+    /// records).
     pub fn run_detailed(&mut self, trace: &[Request]) -> (ServeReport, MetricsCollector) {
         let mut metrics = MetricsCollector::default();
         for req in trace {
@@ -237,39 +301,100 @@ impl Fleet {
         (report, metrics)
     }
 
-    /// Serves every queued request whose service would start before `t`.
+    /// Processes every event due strictly before `t` in deterministic
+    /// earliest-first order: plan crashes, health restarts/re-admissions,
+    /// and service starts, with same-instant ties broken by event kind
+    /// ([`EV_CRASH`] < [`EV_RESTART`] < [`EV_SERVE`]) then device index.
     fn drain_until(&mut self, t: SimTime, metrics: &mut MetricsCollector) {
         let Fleet {
             workers,
             registry,
             models,
             weights,
+            pending_crashes,
+            crash_cursor,
+            crashes_seen,
             service_time_sum,
             service_count,
+            cfg,
             ..
         } = self;
-        for (wi, worker) in workers.iter_mut().enumerate() {
-            while let Some(head) = worker.queue.front() {
-                let start = worker.free_at.max(head.arrival);
-                if start >= t {
-                    break;
+        let plan = cfg.faults.as_deref();
+        loop {
+            let mut best: Option<(SimTime, u8, usize)> = None;
+            if let Some(c) = pending_crashes.get(*crash_cursor) {
+                best = Some((c.at, EV_CRASH, c.device));
+            }
+            for (i, w) in workers.iter().enumerate() {
+                // A worker is either out of service (its pending restart
+                // is an event) or up (its queue head's start is one).
+                let cand = match w.health.next_transition() {
+                    Some(until) => Some((until, EV_RESTART, i)),
+                    None => w
+                        .queue
+                        .front()
+                        .map(|head| (w.free_at.max(head.arrival), EV_SERVE, i)),
+                };
+                if let Some(cand) = cand {
+                    if match best {
+                        Some(b) => cand < b,
+                        None => true,
+                    } {
+                        best = Some(cand);
+                    }
                 }
-                let req = worker.queue.pop_front().expect("front() was Some");
-                if start > req.deadline {
-                    // Deadline expired while queued: accounted, not dropped.
-                    metrics.timeouts.push(TimeoutRecord {
-                        id: req.id,
-                        model: req.model,
-                        expired_at: req.deadline,
-                    });
-                    continue;
+            }
+            let Some((at, kind, idx)) = best else { break };
+            if at >= t {
+                break;
+            }
+            match kind {
+                EV_CRASH => {
+                    let crash = pending_crashes[*crash_cursor];
+                    *crash_cursor += 1;
+                    *crashes_seen += 1;
+                    let w = &mut workers[crash.device];
+                    w.health.on_crash(crash.at, crash.restart_at);
+                    // The crash wipes TEE state: staged model is gone.
+                    w.loaded_model = None;
+                    let avg = avg_service(*service_time_sum, *service_count);
+                    fail_over_queue(workers, crash.device, crash.at, avg, metrics);
                 }
-                if let Some(sample) =
-                    serve_one(worker, wi, &req, start, registry, models, weights, metrics)
-                {
-                    *service_time_sum += sample.service;
-                    *service_count += 1;
-                    metrics.samples.push(sample);
+                EV_RESTART => workers[idx].health.on_restart(),
+                _ => {
+                    let worker = &mut workers[idx];
+                    let req = worker.queue.pop_front().expect("serve event has a head");
+                    if at > req.deadline {
+                        // Deadline expired while queued: accounted, never
+                        // silently dropped.
+                        metrics.timeouts.push(TimeoutRecord {
+                            id: req.id,
+                            model: req.model,
+                            expired_at: req.deadline,
+                        });
+                        continue;
+                    }
+                    match serve_one(
+                        worker, idx, &req, at, plan, registry, models, weights, metrics,
+                    ) {
+                        ServeOutcome::Completed { sample, evicted } => {
+                            *service_time_sum += sample.service;
+                            *service_count += 1;
+                            let end = at + sample.service;
+                            metrics.samples.push(sample);
+                            if evicted {
+                                // Slow device left scheduling: its queue
+                                // must not wait out the probation.
+                                let avg = avg_service(*service_time_sum, *service_count);
+                                fail_over_queue(workers, idx, end, avg, metrics);
+                            }
+                        }
+                        ServeOutcome::Failed => {}
+                        ServeOutcome::Interrupted { req, at } => {
+                            let avg = avg_service(*service_time_sum, *service_count);
+                            fail_over_one(workers, idx, req, at, avg, metrics);
+                        }
+                    }
                 }
             }
         }
@@ -277,10 +402,12 @@ impl Fleet {
 
     /// Picks the device to queue `req` on: same-model affinity first
     /// (within the configured slack of the shallowest queue), then least
-    /// queue depth, then earliest free, then lowest index. Returns `None`
-    /// when every queue is full — the backpressure case.
+    /// queue depth, then earliest free, then lowest index. Down or
+    /// evicted devices are never picked. Returns `None` when every
+    /// healthy queue is full — the backpressure case.
     fn pick_device(&self, req: &Request) -> Option<usize> {
-        let open = |w: &DeviceWorker| !w.queue.is_full();
+        let now = req.arrival;
+        let open = |w: &DeviceWorker| !w.queue.is_full() && w.health.is_up(now);
         let min_depth = self
             .workers
             .iter()
@@ -313,11 +440,7 @@ impl Fleet {
     /// How long a rejected client should back off: the soonest any
     /// device could plausibly reach new work, plus one service time.
     fn retry_after_estimate(&self, now: SimTime) -> SimTime {
-        let avg = if self.service_count == 0 {
-            DEFAULT_SERVICE_ESTIMATE
-        } else {
-            self.service_time_sum / self.service_count
-        };
+        let avg = avg_service(self.service_time_sum, self.service_count);
         let soonest = self
             .workers
             .iter()
@@ -404,6 +527,12 @@ impl Fleet {
             cache_evictions: cache.evictions,
             cache_hit_ratio: cache.hit_ratio(),
             record_time: self.registry.record_time(),
+            crashes: self.crashes_seen,
+            failovers: metrics.failovers.len() as u64,
+            evictions: self.workers.iter().map(|w| w.health.evictions).sum(),
+            readmissions: self.workers.iter().map(|w| w.health.readmissions).sum(),
+            rec_link_retries: cache.record_retries,
+            rec_checkpoint_resumes: cache.checkpoint_resumes,
             max_inflight: self.max_inflight(),
             output_digest: metrics.output_digest,
             per_model,
@@ -421,20 +550,112 @@ impl std::fmt::Debug for Fleet {
     }
 }
 
+/// Mean observed service time, with a fixed estimate before any sample.
+fn avg_service(sum: SimTime, count: u64) -> SimTime {
+    if count == 0 {
+        DEFAULT_SERVICE_ESTIMATE
+    } else {
+        sum / count
+    }
+}
+
+/// Fails over every request queued on `from` at instant `at`.
+fn fail_over_queue(
+    workers: &mut [DeviceWorker],
+    from: usize,
+    at: SimTime,
+    avg: SimTime,
+    metrics: &mut MetricsCollector,
+) {
+    while let Some(req) = workers[from].queue.pop_front() {
+        fail_over_one(workers, from, req, at, avg, metrics);
+    }
+}
+
+/// Re-queues one request displaced from `from` (queued there, or
+/// interrupted mid-service) onto a healthy peer: same-SKU devices first
+/// (the staged recording stays valid for them), then any healthy device,
+/// each by (queue depth, earliest free, index). A request with nowhere
+/// to go is rejected with a retry-after hint. The re-queued copy
+/// re-arrives at `at` — it cannot start anywhere before the fault that
+/// displaced it.
+fn fail_over_one(
+    workers: &mut [DeviceWorker],
+    from: usize,
+    req: Request,
+    at: SimTime,
+    avg: SimTime,
+    metrics: &mut MetricsCollector,
+) {
+    let sku_name = workers[from].sku.name;
+    let pick = |same_sku: bool| {
+        workers
+            .iter()
+            .enumerate()
+            .filter(|(i, w)| {
+                *i != from
+                    && !w.queue.is_full()
+                    && w.health.is_up(at)
+                    && (!same_sku || w.sku.name == sku_name)
+            })
+            .min_by_key(|(i, w)| (w.queue.len(), w.free_at, *i))
+            .map(|(i, _)| i)
+    };
+    match pick(true).or_else(|| pick(false)) {
+        Some(to) => {
+            let moved = Request {
+                arrival: at,
+                ..req.clone()
+            };
+            workers[to]
+                .queue
+                .try_push(moved)
+                .expect("picked an open queue");
+            metrics.failovers.push(FailoverRecord {
+                id: req.id,
+                from,
+                to,
+                at,
+            });
+        }
+        None => metrics.rejections.push(Rejection {
+            id: req.id,
+            model: req.model,
+            at,
+            retry_after: avg,
+        }),
+    }
+}
+
+/// What one service attempt produced.
+enum ServeOutcome {
+    /// Served to completion. `evicted` is set when this completion's
+    /// latency tripped the slow-device EWMA and the worker was evicted.
+    Completed {
+        sample: RequestSample,
+        evicted: bool,
+    },
+    /// Cold-start record failed; the request is accounted as failed.
+    Failed,
+    /// A plan crash landed inside the service interval: the partial work
+    /// is discarded and the request must fail over.
+    Interrupted { req: Request, at: SimTime },
+}
+
 /// Serves one request on one device, starting at `start` on the serving
-/// timeline. Returns `None` (and bumps `metrics.failed`) if the
-/// cold-start record failed.
+/// timeline.
 #[allow(clippy::too_many_arguments)] // Split borrows of Fleet's fields.
 fn serve_one(
     worker: &mut DeviceWorker,
     device_index: usize,
     req: &Request,
     start: SimTime,
+    plan: Option<&FaultPlan>,
     registry: &mut RecordingRegistry,
     models: &[NetworkSpec],
     weights: &mut [Option<Vec<Vec<f32>>>],
     metrics: &mut MetricsCollector,
-) -> Option<RequestSample> {
+) -> ServeOutcome {
     // Job-queue-length-1: service intervals on one device never overlap.
     assert!(
         start >= worker.last_service_end,
@@ -453,7 +674,7 @@ fn serve_one(
             Err(_) => {
                 metrics.failed += 1;
                 worker.inflight -= 1;
-                return None;
+                return ServeOutcome::Failed;
             }
         };
         if let Some(delay) = fetch.cold_start_delay {
@@ -493,24 +714,46 @@ fn serve_one(
         .host
         .invoke(worker.session, cmd::RUN, &[])
         .expect("replay of vetted recording succeeds");
-    metrics.absorb_output(&output);
 
-    let service = worker.device.clock.now() - t0;
+    let mut service = worker.device.clock.now() - t0;
+    if let Some(p) = plan {
+        // Thermal throttling / background contention stretch the interval.
+        service = service.mul_f64(p.slowdown_at(device_index, start));
+    }
     let end = start + service;
+
+    if let Some(crash) = plan.and_then(|p| p.crash_within(device_index, start, end)) {
+        // The device died mid-replay: everything since `start` is lost
+        // and the output never reaches the client (nor the run digest).
+        worker.busy += crash.at - start;
+        worker.free_at = crash.at;
+        worker.last_service_end = crash.at;
+        worker.inflight -= 1;
+        return ServeOutcome::Interrupted {
+            req: req.clone(),
+            at: crash.at,
+        };
+    }
+
+    metrics.absorb_output(&output);
     worker.free_at = end;
     worker.last_service_end = end;
     worker.busy += service;
     worker.completed += 1;
     worker.inflight -= 1;
-    Some(RequestSample {
-        id: req.id,
-        model: req.model,
-        device: device_index,
-        queue_wait: start - req.arrival,
-        service,
-        total: end - req.arrival,
-        cold_start,
-    })
+    let evicted = worker.health.on_success(service, end);
+    ServeOutcome::Completed {
+        sample: RequestSample {
+            id: req.id,
+            model: req.model,
+            device: device_index,
+            queue_wait: start - req.arrival,
+            service,
+            total: end - req.arrival,
+            cold_start,
+        },
+        evicted,
+    }
 }
 
 #[cfg(test)]
@@ -538,6 +781,8 @@ mod tests {
         assert_eq!(report.rejected + report.timed_out + report.failed, 0);
         assert_eq!(report.max_inflight, 1);
         assert!(report.throughput_rps > 0.0);
+        // No fault plan: the fault-tolerance section stays all-zero.
+        assert_eq!(report.crashes + report.failovers + report.evictions, 0);
         // Two SKUs were exercised → at least two cold starts possible,
         // but a single-model trace needs at most one per SKU.
         assert!(report.cold_starts as usize <= 2);
@@ -576,5 +821,90 @@ mod tests {
         assert_eq!(report.completed, 30);
         assert!(report.queue_wait.p99 > report.queue_wait.p50);
         assert!(report.total.p50 >= report.service.p50);
+    }
+
+    #[test]
+    fn crash_fails_over_to_same_sku_peer() {
+        // Two same-SKU devices; device 0 crashes mid-run. Everything the
+        // crash displaces lands on device 1 (same SKU ⇒ the recording is
+        // still valid) and the whole trace is accounted.
+        // Crash lands inside device 0's first service interval (the
+        // multi-second cold-start record), so it interrupts in-flight
+        // work as well as displacing whatever queued behind it.
+        let plan = Rc::new(FaultPlan::new().with_crash(
+            0,
+            SimTime::from_secs(1),
+            SimTime::from_millis(500),
+        ));
+        let cfg = FleetConfig {
+            queue_capacity: 64,
+            ..FleetConfig::new(vec![GpuSku::mali_g71_mp8(), GpuSku::mali_g71_mp8()])
+        }
+        .with_faults(plan);
+        let mut fleet = Fleet::new(vec![grt_ml::zoo::mnist()], cfg);
+        let trace = generate_trace(1, &TraceConfig::new(24, 9));
+        let (report, metrics) = fleet.run_detailed(&trace);
+        assert_eq!(report.crashes, 1);
+        assert!(report.failovers > 0, "crash must displace queued work");
+        assert!(metrics.failovers.iter().all(|f| f.from == 0 && f.to == 1));
+        assert_eq!(report.max_inflight, 1, "invariant holds through failover");
+        assert_eq!(
+            report.completed + report.rejected + report.timed_out + report.failed,
+            report.submitted
+        );
+        // The crash-displaced work completed on the healthy peer.
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.timed_out, 0);
+    }
+
+    #[test]
+    fn flapping_device_is_evicted_and_readmitted() {
+        // Three back-to-back crashes on device 0 (each lands exactly at
+        // the previous restart, so the device never completes a service
+        // in between) cross the failure threshold: eviction, probation,
+        // then a counted re-admission once the run drains past it.
+        let plan = Rc::new(
+            FaultPlan::new()
+                .with_crash(0, SimTime::from_millis(100), SimTime::from_millis(10))
+                .with_crash(0, SimTime::from_millis(110), SimTime::from_millis(10))
+                .with_crash(0, SimTime::from_millis(120), SimTime::from_millis(10)),
+        );
+        let cfg = FleetConfig {
+            queue_capacity: 64,
+            ..FleetConfig::new(vec![GpuSku::mali_g71_mp8(), GpuSku::mali_g71_mp8()])
+        }
+        .with_faults(plan);
+        let mut fleet = Fleet::new(vec![grt_ml::zoo::mnist()], cfg);
+        let trace = generate_trace(1, &TraceConfig::new(10, 4));
+        let report = fleet.run(&trace);
+        assert_eq!(report.crashes, 3);
+        assert_eq!(report.evictions, 1, "third consecutive crash evicts");
+        assert_eq!(report.readmissions, 1, "probation ends during drain");
+        assert_eq!(
+            report.completed + report.rejected + report.timed_out + report.failed,
+            report.submitted
+        );
+    }
+
+    #[test]
+    fn faulted_record_tunnel_counters_surface_in_report() {
+        // A partition over the cold-start record window, long enough to
+        // exhaust the per-message retry ladder, forces the tunnel through
+        // retransmissions and a checkpoint resume; both surface in the
+        // serve report's fault-tolerance section.
+        let plan = Rc::new(
+            FaultPlan::new().with_partition(SimTime::from_millis(800), SimTime::from_millis(3000)),
+        );
+        let cfg = FleetConfig {
+            queue_capacity: 64,
+            ..FleetConfig::new(vec![GpuSku::mali_g71_mp8()])
+        }
+        .with_faults(plan);
+        let mut fleet = Fleet::new(vec![grt_ml::zoo::mnist()], cfg);
+        let trace = generate_trace(1, &TraceConfig::new(6, 2));
+        let report = fleet.run(&trace);
+        assert_eq!(report.completed, 6);
+        assert!(report.rec_link_retries > 0);
+        assert!(report.rec_checkpoint_resumes > 0);
     }
 }

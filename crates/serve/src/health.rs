@@ -1,0 +1,309 @@
+//! Per-device health tracking: crash counting, latency EWMA, eviction.
+//!
+//! The fleet scheduler must not keep routing work to a device that is
+//! down, flapping, or pathologically slow. Each [`DeviceWorker`] carries a
+//! [`DeviceHealth`] that folds two signals:
+//!
+//! - **crashes** — a device that crashes repeatedly without a successful
+//!   service in between (≥ [`FAILURE_THRESHOLD`] consecutive failures) is
+//!   *evicted*: held out of scheduling for a probation period beyond its
+//!   restart, so a flapping device stops absorbing (and then dropping)
+//!   requests;
+//! - **latency** — an exponentially weighted moving average of service
+//!   time; when it drifts past [`SLOW_FACTOR`]× the device's first
+//!   observed baseline (thermal throttling, background contention) the
+//!   device is likewise evicted for probation.
+//!
+//! Re-admission is an explicit, counted event: when probation ends the
+//! scheduler transitions the device back to `Up` and the readmission shows
+//! up in the fleet report, so a chaos run can assert that flapping devices
+//! were both taken out and brought back.
+//!
+//! All transitions are driven by virtual timestamps, never wall time, so
+//! the same fault schedule produces the same eviction/readmission sequence
+//! byte-for-byte.
+//!
+//! [`DeviceWorker`]: crate::fleet::Fleet
+
+use grt_sim::SimTime;
+
+/// Consecutive crash count at which a device is evicted instead of merely
+/// marked down until restart.
+pub const FAILURE_THRESHOLD: u32 = 3;
+
+/// How long past restart (or past the slow-eviction instant) an evicted
+/// device sits out before re-admission.
+pub const PROBATION: SimTime = SimTime::from_secs(2);
+
+/// Latency-EWMA multiple of the baseline service time beyond which a
+/// device is evicted as too slow.
+pub const SLOW_FACTOR: f64 = 3.0;
+
+/// EWMA smoothing weight for the newest service-time observation.
+pub const EWMA_ALPHA: f64 = 0.3;
+
+/// Scheduling availability of one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Healthy: eligible for dispatch.
+    Up,
+    /// Crashed: unavailable until the restart instant.
+    Down {
+        /// When the device restarts and becomes schedulable again.
+        until: SimTime,
+    },
+    /// Evicted (flapping or slow): on probation until re-admission.
+    Evicted {
+        /// When probation ends and the device is re-admitted.
+        until: SimTime,
+    },
+}
+
+/// Health tracker for one fleet device.
+#[derive(Debug, Clone)]
+pub struct DeviceHealth {
+    state: HealthState,
+    consecutive_failures: u32,
+    /// EWMA of observed service latency, in milliseconds.
+    ewma_ms: Option<f64>,
+    /// First observed service latency, in milliseconds — the "healthy"
+    /// reference the slow-eviction threshold is relative to.
+    baseline_ms: Option<f64>,
+    /// Crash outages observed (monotonic).
+    pub crashes: u64,
+    /// Evictions (flapping or slow) observed (monotonic).
+    pub evictions: u64,
+    /// Probation expiries that returned the device to service (monotonic).
+    pub readmissions: u64,
+}
+
+impl Default for DeviceHealth {
+    fn default() -> Self {
+        DeviceHealth::new()
+    }
+}
+
+impl DeviceHealth {
+    /// A fresh, healthy device.
+    pub fn new() -> Self {
+        DeviceHealth {
+            state: HealthState::Up,
+            consecutive_failures: 0,
+            ewma_ms: None,
+            baseline_ms: None,
+            crashes: 0,
+            evictions: 0,
+            readmissions: 0,
+        }
+    }
+
+    /// Current state (transitions happen only via the `on_*` events).
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Whether the device may be dispatched to at `t`. This is a pure
+    /// query: a `Down`/`Evicted` device whose outage has lapsed reads as
+    /// up here even before the scheduler processes its re-admission event.
+    pub fn is_up(&self, t: SimTime) -> bool {
+        match self.state {
+            HealthState::Up => true,
+            HealthState::Down { until } | HealthState::Evicted { until } => t >= until,
+        }
+    }
+
+    /// The pending state-transition instant (restart or probation end),
+    /// if the device is currently out of service.
+    pub fn next_transition(&self) -> Option<SimTime> {
+        match self.state {
+            HealthState::Up => None,
+            HealthState::Down { until } | HealthState::Evicted { until } => Some(until),
+        }
+    }
+
+    /// Records a crash outage `[at, restart_at)`. A device crossing
+    /// [`FAILURE_THRESHOLD`] consecutive failures is evicted for
+    /// [`PROBATION`] beyond its restart instead of merely marked down; a
+    /// device already on probation stays evicted (the episode extends —
+    /// a crash must never *upgrade* an evicted device to merely down, or
+    /// its eventual return would not count as a re-admission).
+    pub fn on_crash(&mut self, _at: SimTime, restart_at: SimTime) {
+        self.crashes += 1;
+        self.consecutive_failures += 1;
+        // Overlapping outages extend, never shorten, the current one.
+        let floor = self.next_transition().unwrap_or(SimTime::ZERO);
+        let already_evicted = matches!(self.state, HealthState::Evicted { .. });
+        if already_evicted || self.consecutive_failures >= FAILURE_THRESHOLD {
+            // One eviction episode, however many crashes land inside it.
+            if !already_evicted {
+                self.evictions += 1;
+            }
+            self.state = HealthState::Evicted {
+                until: (restart_at + PROBATION).max(floor),
+            };
+        } else {
+            self.state = HealthState::Down {
+                until: restart_at.max(floor),
+            };
+        }
+    }
+
+    /// Processes the pending restart / probation-end transition. Evicted
+    /// devices count a re-admission. The failure streak is *not* forgiven
+    /// here — only successful service does that — so a device flapping
+    /// across restarts still accumulates toward eviction.
+    pub fn on_restart(&mut self) {
+        if matches!(self.state, HealthState::Evicted { .. }) {
+            self.readmissions += 1;
+            // A re-admitted device starts its streak fresh; re-evicting
+            // it should take a full new run of failures.
+            self.consecutive_failures = 0;
+        }
+        self.state = HealthState::Up;
+    }
+
+    /// Records a completed service of `latency` ending at `now`. Returns
+    /// `true` when this observation pushed the latency EWMA past
+    /// [`SLOW_FACTOR`]× baseline and the device was evicted.
+    pub fn on_success(&mut self, latency: SimTime, now: SimTime) -> bool {
+        self.consecutive_failures = 0;
+        let obs = latency.as_millis_f64();
+        let baseline = *self.baseline_ms.get_or_insert(obs);
+        let ewma = match self.ewma_ms {
+            Some(prev) => (1.0 - EWMA_ALPHA) * prev + EWMA_ALPHA * obs,
+            None => obs,
+        };
+        if baseline > 0.0 && ewma > SLOW_FACTOR * baseline {
+            // Evict and reset the EWMA to baseline so the device gets a
+            // fresh chance after probation instead of re-evicting on its
+            // first post-probation sample.
+            self.ewma_ms = Some(baseline);
+            self.evictions += 1;
+            self.state = HealthState::Evicted {
+                until: now + PROBATION,
+            };
+            true
+        } else {
+            self.ewma_ms = Some(ewma);
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn crash_marks_down_until_restart() {
+        let mut h = DeviceHealth::new();
+        assert!(h.is_up(ms(0)));
+        h.on_crash(ms(100), ms(150));
+        assert_eq!(h.state(), HealthState::Down { until: ms(150) });
+        assert!(!h.is_up(ms(120)));
+        assert!(h.is_up(ms(150)), "pure query reads up once lapsed");
+        h.on_restart();
+        assert_eq!(h.state(), HealthState::Up);
+        assert_eq!((h.crashes, h.evictions, h.readmissions), (1, 0, 0));
+    }
+
+    #[test]
+    fn flapping_device_is_evicted_then_readmitted() {
+        let mut h = DeviceHealth::new();
+        h.on_crash(ms(100), ms(110));
+        h.on_restart();
+        h.on_crash(ms(200), ms(210));
+        h.on_restart();
+        // Third consecutive crash with no success in between: evicted.
+        h.on_crash(ms(300), ms(310));
+        assert_eq!(
+            h.state(),
+            HealthState::Evicted {
+                until: ms(310) + PROBATION
+            }
+        );
+        assert_eq!(h.evictions, 1);
+        h.on_restart();
+        assert_eq!(h.readmissions, 1);
+        assert_eq!(h.state(), HealthState::Up);
+    }
+
+    #[test]
+    fn success_forgives_the_streak() {
+        let mut h = DeviceHealth::new();
+        h.on_crash(ms(100), ms(110));
+        h.on_restart();
+        h.on_crash(ms(200), ms(210));
+        h.on_restart();
+        assert!(!h.on_success(ms(5), ms(250)));
+        // The streak reset: two more crashes stay below the threshold.
+        h.on_crash(ms(300), ms(310));
+        assert_eq!(h.evictions, 0);
+        assert_eq!(h.state(), HealthState::Down { until: ms(310) });
+    }
+
+    #[test]
+    fn slow_drift_evicts_and_recovers() {
+        let mut h = DeviceHealth::new();
+        assert!(!h.on_success(ms(10), ms(100)), "baseline sample");
+        let mut evicted = false;
+        let mut now = ms(100);
+        for _ in 0..40 {
+            now += ms(100);
+            if h.on_success(ms(100), now) {
+                evicted = true;
+                break;
+            }
+        }
+        assert!(evicted, "10x-baseline latency must trip the EWMA");
+        assert_eq!(h.evictions, 1);
+        assert_eq!(
+            h.state(),
+            HealthState::Evicted {
+                until: now + PROBATION
+            }
+        );
+        h.on_restart();
+        assert_eq!(h.readmissions, 1);
+        // EWMA was reset to baseline: a healthy sample does not re-evict.
+        assert!(!h.on_success(ms(10), now + PROBATION + ms(10)));
+    }
+
+    #[test]
+    fn crash_during_probation_extends_the_eviction() {
+        let mut h = DeviceHealth::new();
+        // Slow-evicted: the streak is zero (the evicting observation was
+        // a *successful* service), so a later crash must not downgrade
+        // the state to merely Down.
+        assert!(!h.on_success(ms(10), ms(100)));
+        for i in 0..40u64 {
+            if h.on_success(ms(100), ms(200 + 100 * i)) {
+                break;
+            }
+        }
+        assert!(matches!(h.state(), HealthState::Evicted { .. }));
+        assert_eq!(h.evictions, 1);
+        h.on_crash(ms(4300), ms(4400));
+        assert!(
+            matches!(h.state(), HealthState::Evicted { .. }),
+            "a crash on probation must keep the device evicted"
+        );
+        assert_eq!(h.evictions, 1, "same episode, not a new eviction");
+        h.on_restart();
+        assert_eq!(h.readmissions, 1);
+        assert_eq!(h.state(), HealthState::Up);
+    }
+
+    #[test]
+    fn overlapping_outages_extend() {
+        let mut h = DeviceHealth::new();
+        h.on_crash(ms(100), ms(500));
+        h.on_crash(ms(200), ms(300));
+        // The second, shorter outage must not shorten the first.
+        assert_eq!(h.state(), HealthState::Down { until: ms(500) });
+    }
+}

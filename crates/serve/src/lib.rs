@@ -39,12 +39,14 @@
 
 pub mod admission;
 pub mod fleet;
+pub mod health;
 pub mod metrics;
 pub mod registry;
 pub mod workload;
 
 pub use admission::{AdmissionQueue, Rejection, Request};
 pub use fleet::{Fleet, FleetConfig};
-pub use metrics::{Percentiles, ServeReport};
+pub use health::{DeviceHealth, HealthState};
+pub use metrics::{FailoverRecord, Percentiles, ServeReport};
 pub use registry::{FetchOutcome, RecordingRegistry, RegistryConfig, RegistryStats};
 pub use workload::{generate_trace, TraceConfig, ZipfSampler};

@@ -72,6 +72,19 @@ pub struct TimeoutRecord {
     pub expired_at: SimTime,
 }
 
+/// One request re-routed off a crashed or evicted device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailoverRecord {
+    /// Request id.
+    pub id: u64,
+    /// Device the request was pulled from.
+    pub from: usize,
+    /// Device the request was re-queued on.
+    pub to: usize,
+    /// When the failover happened (the crash/eviction instant).
+    pub at: SimTime,
+}
+
 /// Raw event log a fleet run accumulates; reduced to a [`ServeReport`] at
 /// the end.
 #[derive(Debug, Default)]
@@ -82,6 +95,10 @@ pub struct MetricsCollector {
     pub rejections: Vec<Rejection>,
     /// Queue-timeout casualties.
     pub timeouts: Vec<TimeoutRecord>,
+    /// Requests re-routed off crashed/evicted devices, in event order —
+    /// the fleet's failover decision log (compared verbatim by the
+    /// determinism suite).
+    pub failovers: Vec<FailoverRecord>,
     /// Requests whose service failed outright (cold-start record error).
     pub failed: u64,
     /// FNV-1a digest over every replay output, in completion order — an
@@ -169,6 +186,18 @@ pub struct ServeReport {
     pub cache_hit_ratio: f64,
     /// Virtual time spent in cold-start record runs.
     pub record_time: SimTime,
+    /// Device crash outages that struck the fleet during the run.
+    pub crashes: u64,
+    /// Requests re-queued onto a healthy peer after a crash or eviction.
+    pub failovers: u64,
+    /// Devices taken out of scheduling (flapping or slow).
+    pub evictions: u64,
+    /// Devices returned to scheduling after probation.
+    pub readmissions: u64,
+    /// Message retransmissions across all cold-start record tunnels.
+    pub rec_link_retries: u64,
+    /// Checkpoint resumes across all cold-start record tunnels.
+    pub rec_checkpoint_resumes: u64,
     /// Max concurrent replays observed on any one device (the paper's
     /// job-queue-length-1 invariant requires this to be exactly 1).
     pub max_inflight: u32,
@@ -225,6 +254,20 @@ impl ServeReport {
         s.push_str(&format!(
             "    \"record_time_ms\": {}\n",
             ms(self.record_time)
+        ));
+        s.push_str("  },\n");
+        s.push_str("  \"fault_tolerance\": {\n");
+        s.push_str(&format!("    \"crashes\": {},\n", self.crashes));
+        s.push_str(&format!("    \"failovers\": {},\n", self.failovers));
+        s.push_str(&format!("    \"evictions\": {},\n", self.evictions));
+        s.push_str(&format!("    \"readmissions\": {},\n", self.readmissions));
+        s.push_str(&format!(
+            "    \"rec_link_retries\": {},\n",
+            self.rec_link_retries
+        ));
+        s.push_str(&format!(
+            "    \"rec_checkpoint_resumes\": {}\n",
+            self.rec_checkpoint_resumes
         ));
         s.push_str("  },\n");
         s.push_str(&format!("  \"max_inflight\": {},\n", self.max_inflight));
@@ -331,6 +374,12 @@ mod tests {
             cache_evictions: 0,
             cache_hit_ratio: 0.75,
             record_time: t(100),
+            crashes: 1,
+            failovers: 2,
+            evictions: 1,
+            readmissions: 1,
+            rec_link_retries: 3,
+            rec_checkpoint_resumes: 1,
             max_inflight: 1,
             output_digest: 0xabcd,
             per_model: vec![ModelReport {
@@ -354,6 +403,13 @@ mod tests {
             "\"throughput_rps\"",
             "\"hit_ratio\"",
             "\"cold_starts\"",
+            "\"fault_tolerance\"",
+            "\"crashes\"",
+            "\"failovers\"",
+            "\"evictions\"",
+            "\"readmissions\"",
+            "\"rec_link_retries\"",
+            "\"rec_checkpoint_resumes\"",
             "\"max_inflight\"",
             "\"per_model\"",
             "\"per_device\"",

@@ -16,7 +16,7 @@ use grt_gpu::GpuSku;
 use grt_lint::{LintReport, Linter};
 use grt_ml::NetworkSpec;
 use grt_net::NetConditions;
-use grt_sim::SimTime;
+use grt_sim::{FaultPlan, SimTime};
 use std::rc::Rc;
 
 /// Registry sizing and cold-start recording parameters.
@@ -29,6 +29,10 @@ pub struct RegistryConfig {
     pub conditions: NetConditions,
     /// Recorder build used for cold starts.
     pub mode: RecorderMode,
+    /// Fault schedule injected into every cold-start record tunnel
+    /// (windows are relative to each session's own timeline). `None`
+    /// records over the shaped-but-fault-free link.
+    pub faults: Option<Rc<FaultPlan>>,
 }
 
 impl RegistryConfig {
@@ -39,6 +43,7 @@ impl RegistryConfig {
             capacity,
             conditions: NetConditions::wifi(),
             mode: RecorderMode::OursMDS,
+            faults: None,
         }
     }
 }
@@ -60,6 +65,11 @@ pub struct RegistryStats {
     pub linted_inserts: u64,
     /// Recordings refused because static analysis found a rule violation.
     pub lint_rejections: u64,
+    /// Message retransmissions across all cold-start record tunnels.
+    pub record_retries: u64,
+    /// Checkpoint-rollback resumes across all cold-start record tunnels
+    /// (layer boundaries replayed after a link failure healed).
+    pub checkpoint_resumes: u64,
 }
 
 impl RegistryStats {
@@ -205,8 +215,13 @@ impl RecordingRegistry {
         sku: &GpuSku,
     ) -> Result<(Rc<SignedRecording>, usize, Rc<LintReport>, SimTime), RecordError> {
         let mut session = RecordSession::new(sku.clone(), self.cfg.conditions, self.cfg.mode);
+        if let Some(plan) = &self.cfg.faults {
+            session.attach_faults(plan);
+        }
         let out = session.record(spec)?;
         let (weight_slots, lint) = self.vet(spec, sku, &out.recording)?;
+        self.stats.record_retries += out.link_retries;
+        self.stats.checkpoint_resumes += out.checkpoint_resumes;
         self.record_time += out.delay;
         Ok((Rc::new(out.recording), weight_slots, lint, out.delay))
     }
@@ -408,6 +423,35 @@ mod tests {
         r.insert_signed(&spec, &sku, shipped).unwrap();
         assert_eq!(r.len(), 1, "replaced, not duplicated");
         assert_eq!(r.stats().linted_inserts, 2);
+    }
+
+    #[test]
+    fn cold_start_survives_fault_plan() {
+        // A partition landing mid-record and outlasting the whole retry
+        // ladder forces retransmissions and a checkpoint resume, but the
+        // fetch still completes and the recording is indistinguishable
+        // from a fault-free one.
+        let mut cfg = RegistryConfig::new(4);
+        cfg.faults = Some(Rc::new(
+            grt_sim::FaultPlan::new()
+                .with_partition(SimTime::from_millis(800), SimTime::from_millis(3000)),
+        ));
+        let mut faulted = RecordingRegistry::new(cfg);
+        let spec = grt_ml::zoo::mnist();
+        let sku = GpuSku::mali_g71_mp8();
+        let out = faulted.fetch(&spec, &sku).unwrap();
+        assert!(out.cold_start_delay.is_some());
+        let s = faulted.stats();
+        assert!(s.record_retries > 0, "partition must cost retransmissions");
+        assert!(s.checkpoint_resumes > 0, "mid-run partition must resume");
+
+        let mut clean = registry(4);
+        let base = clean.fetch(&spec, &sku).unwrap();
+        assert_eq!(
+            base.recording.wire_blob(),
+            out.recording.wire_blob(),
+            "recovered recording must be byte-identical"
+        );
     }
 
     #[test]

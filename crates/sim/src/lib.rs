@@ -18,10 +18,15 @@
 //!   for the paper's digital multimeter (§7.4).
 //! - [`Stats`] — named counters used by the experiment harnesses (blocking
 //!   RTTs, sync bytes, commit counts, ...).
+//! - [`FaultPlan`] — a deterministic, seedable schedule of injectable
+//!   faults (loss bursts, RTT spikes, partitions, device crashes,
+//!   slowdowns) that the network and fleet layers consult on the virtual
+//!   clock during chaos experiments.
 
 pub mod clock;
 pub mod energy;
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -30,6 +35,7 @@ pub mod trace;
 pub use clock::Clock;
 pub use energy::{EnergyMeter, Rail};
 pub use event::EventQueue;
+pub use fault::{Crash, FaultPlan, FaultPlanConfig, LossBurst, RttSpike, Slowdown, Window};
 pub use rng::Rng;
 pub use stats::Stats;
 pub use time::SimTime;

@@ -117,6 +117,13 @@ impl SimTime {
     pub const fn is_zero(self) -> bool {
         self.0 == 0
     }
+
+    /// Scales the duration by a non-negative float factor (RTT spikes,
+    /// retransmission backoff, device slowdowns). NaN and negative
+    /// factors clamp to zero.
+    pub fn mul_f64(self, factor: f64) -> SimTime {
+        SimTime::from_secs_f64(self.as_secs_f64() * factor)
+    }
 }
 
 impl Add for SimTime {

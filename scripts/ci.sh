@@ -37,4 +37,22 @@ trap 'rm -rf "$GOLDEN_DIR"' EXIT
 cargo run --release -q -p grt-bench --bin recording-lint -- --record-golden "$GOLDEN_DIR"
 cargo run --release -q -p grt-bench --bin recording-lint -- "$GOLDEN_DIR"/*.grt
 
+# Chaos gate, part 1: the 200-pinned-seed fault-plan soak (release, so
+# the explicit gate stays cheap; the same tests also run in debug above).
+echo "==> chaos soak: 200 pinned fault-plan seeds"
+cargo test -q --release --test fault_injection chaos_soak
+
+# Chaos gate, part 2: two back-to-back faulted serving benchmarks must
+# emit byte-identical JSON — any nondeterminism in the fault schedule,
+# retry ladder, checkpoint resume, or failover ordering fails CI here.
+echo "==> fault-plan determinism: two identical faulted serve_bench runs"
+cargo run --release -q -p grt-bench --bin serve_bench -- 120 42 --fault-plan 7 \
+    > "$GOLDEN_DIR/faulted_a.json"
+cargo run --release -q -p grt-bench --bin serve_bench -- 120 42 --fault-plan 7 \
+    > "$GOLDEN_DIR/faulted_b.json"
+cmp "$GOLDEN_DIR/faulted_a.json" "$GOLDEN_DIR/faulted_b.json" || {
+    echo "ci: faulted serve_bench output is nondeterministic" >&2
+    exit 1
+}
+
 echo "CI gate passed."

@@ -110,3 +110,48 @@ fn serve_simulation_is_bit_identical() {
     // The digest line proves replay outputs (not just timings) matched.
     assert!(a.contains("output_digest"));
 }
+
+/// A *faulted* serving simulation is just as deterministic: the same
+/// seed and the same fault plan produce a bit-identical metrics JSON and
+/// an identical failover decision log — same requests moved between the
+/// same devices at the same virtual instants.
+#[test]
+fn faulted_serve_simulation_is_bit_identical() {
+    use grt_serve::{generate_trace, Fleet, FleetConfig, TraceConfig};
+    use grt_sim::{FaultPlan, FaultPlanConfig, SimTime};
+    use std::rc::Rc;
+
+    let run = || {
+        // A generated schedule for variety, plus one pinned crash inside
+        // device 0's multi-second cold start so failovers are guaranteed.
+        let plan = Rc::new(
+            FaultPlan::generate(
+                0xC4A05,
+                &FaultPlanConfig {
+                    horizon: SimTime::from_secs(10),
+                    devices: 2,
+                    ..FaultPlanConfig::default()
+                },
+            )
+            .with_crash(0, SimTime::from_secs(1), SimTime::from_millis(500)),
+        );
+        let cfg = FleetConfig {
+            queue_capacity: 64,
+            ..FleetConfig::new(vec![GpuSku::mali_g71_mp8(), GpuSku::mali_g71_mp8()])
+        }
+        .with_faults(plan);
+        let trace = generate_trace(1, &TraceConfig::new(12, 17));
+        let mut fleet = Fleet::new(vec![grt_ml::zoo::mnist()], cfg);
+        let (report, events) = fleet.run_detailed(&trace);
+        (report.to_json(), events.failovers)
+    };
+    let (json_a, failovers_a) = run();
+    let (json_b, failovers_b) = run();
+    assert_eq!(json_a, json_b, "faulted serve reports diverged");
+    assert_eq!(failovers_a, failovers_b, "failover decisions diverged");
+    assert!(
+        !failovers_a.is_empty(),
+        "the pinned crash must force at least one failover"
+    );
+    assert!(json_a.contains("\"fault_tolerance\""));
+}

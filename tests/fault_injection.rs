@@ -144,6 +144,193 @@ fn replay_detects_corrupt_delta() {
     assert_eq!(err, grt_core::replay::ReplayError::CorruptDelta);
 }
 
+// ---------------------------------------------------------------------
+// Chaos soak: the serving fleet under randomized fault schedules.
+// ---------------------------------------------------------------------
+
+/// A two-layer network small enough that one replay costs tens of
+/// wall-milliseconds, so hundreds of chaos cases stay affordable. The
+/// fleet machinery under test (event ordering, failover, health, record
+/// tunnel) is identical regardless of model size.
+fn tiny_spec() -> grt_ml::NetworkSpec {
+    use grt_ml::{LayerOp, LayerSpec, NetworkSpec};
+    NetworkSpec {
+        name: "CHAOS-TINY",
+        input_len: 16,
+        output_len: 10,
+        layers: vec![
+            LayerSpec {
+                name: "fc",
+                op: LayerOp::Fc {
+                    in_dim: 16,
+                    out_dim: 10,
+                    relu: false,
+                },
+                splits: 1,
+                setup_jobs: 1,
+                nominal_macs: 0,
+                nominal_data_bytes: 0,
+                save_skip: false,
+            },
+            LayerSpec {
+                name: "sm",
+                op: LayerOp::Softmax { len: 10 },
+                splits: 1,
+                setup_jobs: 0,
+                nominal_macs: 0,
+                nominal_data_bytes: 0,
+                save_skip: false,
+            },
+        ],
+    }
+}
+
+/// Runs one chaos case per seed in `seeds` and asserts the fleet
+/// invariants hold for every generated fault plan:
+///
+/// - the run terminates (no hang) in success or typed, accounted error;
+/// - job-queue-length-1: no device ever runs two replays concurrently;
+/// - admission conservation: completed + rejected + timed out + failed
+///   equals submitted, nothing silently dropped;
+/// - every planned crash is processed exactly once, and every eviction
+///   is eventually matched by a re-admission once the trace drains;
+/// - the registry never exceeds capacity and never loses the warmed
+///   recording.
+///
+/// A registry warmed once (fault-free) is threaded through the cases —
+/// the serving clock is monotonic, so each case gets a fresh `Fleet` —
+/// except every 8th case, which starts cold so the on-demand record runs
+/// also happen *under the faulted tunnel* (loss bursts, RTT spikes,
+/// partitions exercising the retry ladder and checkpoint resume).
+fn chaos_soak(label: &str, seeds: std::ops::Range<u64>) {
+    use grt_serve::{
+        generate_trace, Fleet, FleetConfig, RecordingRegistry, RegistryConfig, TraceConfig,
+    };
+    use grt_sim::{FaultPlan, FaultPlanConfig, SimTime};
+    use std::rc::Rc;
+
+    const REGISTRY_CAPACITY: usize = 8;
+    let spec = tiny_spec();
+    let models = vec![spec.clone()];
+    let skus = vec![GpuSku::mali_g71_mp8(), GpuSku::mali_g71_mp8()];
+
+    // One fault-free warm-up record; afterwards replays dominate cost.
+    let mut warm = RecordingRegistry::new(RegistryConfig::new(REGISTRY_CAPACITY));
+    warm.warm(&spec, &skus[0])
+        .expect("fault-free warm-up record");
+    let mut shared: Option<RecordingRegistry> = Some(warm);
+
+    let fault_cfg = FaultPlanConfig {
+        horizon: SimTime::from_secs(3),
+        devices: skus.len(),
+        ..FaultPlanConfig::default()
+    };
+    let (mut total_completed, mut total_crashes, mut total_failovers) = (0u64, 0u64, 0u64);
+    for seed in seeds {
+        let plan = Rc::new(FaultPlan::generate(seed, &fault_cfg));
+        let planned_crashes = plan
+            .crashes()
+            .iter()
+            .filter(|c| c.device < skus.len())
+            .count() as u64;
+        let cfg = FleetConfig {
+            queue_capacity: 4,
+            ..FleetConfig::new(skus.clone())
+        }
+        .with_faults(Rc::clone(&plan));
+        let trace_cfg = TraceConfig {
+            mean_interarrival: SimTime::from_millis(30),
+            ..TraceConfig::new(4, seed)
+        };
+        let trace = generate_trace(models.len(), &trace_cfg);
+
+        let cold_case = seed % 8 == 0;
+        let mut fleet = if cold_case {
+            Fleet::new(models.clone(), cfg)
+        } else {
+            Fleet::with_registry(
+                models.clone(),
+                cfg,
+                shared.take().expect("shared registry is threaded through"),
+            )
+        };
+        let report = fleet.run(&trace);
+
+        assert!(
+            report.max_inflight <= 1,
+            "[{label} seed {seed}] queue-length-1 violated: {} concurrent replays",
+            report.max_inflight
+        );
+        assert_eq!(
+            report.completed + report.rejected + report.timed_out + report.failed,
+            report.submitted,
+            "[{label} seed {seed}] requests leaked: {report:?}"
+        );
+        assert_eq!(
+            report.crashes, planned_crashes,
+            "[{label} seed {seed}] crash events lost or duplicated"
+        );
+        assert_eq!(
+            report.readmissions, report.evictions,
+            "[{label} seed {seed}] an evicted device was never re-admitted"
+        );
+
+        let registry = fleet.into_registry();
+        assert!(
+            registry.len() <= REGISTRY_CAPACITY,
+            "[{label} seed {seed}] registry over capacity: {}",
+            registry.len()
+        );
+        if cold_case {
+            // The cold registry is discarded; the shared one was untouched.
+        } else {
+            assert!(
+                registry.contains(&spec, &skus[0]),
+                "[{label} seed {seed}] warmed recording lost from registry"
+            );
+            shared = Some(registry);
+        }
+        total_completed += report.completed;
+        total_crashes += report.crashes;
+        total_failovers += report.failovers;
+    }
+    // The soak must actually exercise the machinery, not vacuously pass.
+    assert!(total_completed > 0, "[{label}] chaos soak served nothing");
+    assert!(total_crashes > 0, "[{label}] no plan generated a crash");
+    assert!(
+        total_failovers > 0,
+        "[{label}] no crash ever forced a failover"
+    );
+}
+
+// 200 pinned seeds, split four ways so the harness runs them on
+// parallel test threads. Every seed is fixed: a failure names the seed
+// and reproduces exactly.
+
+/// Chaos soak, seeds 0–49.
+#[test]
+fn chaos_soak_survives_random_fault_plans_part1() {
+    chaos_soak("part1", 0..50);
+}
+
+/// Chaos soak, seeds 50–99.
+#[test]
+fn chaos_soak_survives_random_fault_plans_part2() {
+    chaos_soak("part2", 50..100);
+}
+
+/// Chaos soak, seeds 100–149.
+#[test]
+fn chaos_soak_survives_random_fault_plans_part3() {
+    chaos_soak("part3", 100..150);
+}
+
+/// Chaos soak, seeds 150–199.
+#[test]
+fn chaos_soak_survives_random_fault_plans_part4() {
+    chaos_soak("part4", 150..200);
+}
+
 /// Robustness fuzz: arbitrary (but correctly signed) event soups must
 /// never panic or wedge the replayer — they either replay or fail with a
 /// clean error. This is the recording-parser/replayer attack surface a
