@@ -1,0 +1,162 @@
+//! Replay-path microbenchmark: interpreted vs compiled replay.
+//!
+//! Replay is GR-T's steady state — each recording is made once and then
+//! replayed indefinitely with fresh inputs — so per-replay overhead is the
+//! number that matters at fleet scale. For each of the six benchmark
+//! networks this harness:
+//!
+//! 1. records once (full `OursMDS` recorder over WiFi, warm methodology);
+//! 2. lowers the signed recording once with `Replayer::compile_signed`,
+//!    measuring the one-time compile cost (DESIGN.md §9);
+//! 3. replays the same input through the interpreted path and the
+//!    compiled path, asserting the outputs are bit-for-bit identical;
+//! 4. reports per-event and per-replay costs for both paths, split into
+//!    replayer *overhead* (decode + validate + delta work — what the
+//!    compiled path attacks) and *total* latency (dominated by hardware
+//!    waits, identical on both paths), plus the measured run's memsync
+//!    traffic from the record side (dirty-page skip counters).
+//!
+//! Everything in the JSON on stdout derives from the deterministic
+//! virtual clock, so two runs of this binary emit byte-identical
+//! documents — `scripts/ci.sh` diffs them and gates on the events/s
+//! aggregate against the checked-in `BENCH_replay.json`. Wall-clock
+//! timing goes to stderr only.
+//!
+//! Usage: `replay_bench` (no arguments).
+
+use grt_bench::{benchmarks, record_warm};
+use grt_core::replay::{workload_weights, Replayer};
+use grt_core::session::RecorderMode;
+use grt_ml::reference::test_input;
+use grt_net::NetConditions;
+use std::rc::Rc;
+
+/// Integer events-per-second over a nanosecond cost: deterministic math,
+/// deterministic formatting.
+fn per_sec(events: u64, ns: u64) -> u64 {
+    if ns == 0 {
+        return 0;
+    }
+    events.saturating_mul(1_000_000_000) / ns
+}
+
+fn main() -> std::process::ExitCode {
+    if std::env::args().len() > 1 {
+        eprintln!("usage: replay_bench");
+        eprintln!("  (no arguments; emits deterministic JSON on stdout)");
+        return std::process::ExitCode::from(2);
+    }
+    let wall = std::time::Instant::now();
+
+    let mut rows = Vec::new();
+    let mut sum_events = 0u64;
+    let mut sum_interp_overhead = 0u64;
+    let mut sum_compiled_overhead = 0u64;
+    for spec in benchmarks() {
+        eprintln!("replay_bench: {}...", spec.name);
+        let (s, out) = record_warm(&spec, RecorderMode::OursMDS, NetConditions::wifi());
+        let key = s.recording_key();
+        let mut replayer = Replayer::new(&s.client, Rc::new(grt_lint::Linter::new()));
+        let input = test_input(&spec, 7);
+        let weights = workload_weights(&spec);
+
+        // One-time lowering (the cold-path cost the warm path amortizes).
+        let t0 = s.clock.now();
+        let compiled = replayer
+            .compile_signed(&out.recording, &key)
+            .expect("vetted recording compiles");
+        let compile_ns = (s.clock.now() - t0).as_nanos();
+
+        let (interp_out, _) = replayer
+            .replay(&out.recording, &key, &input, &weights)
+            .expect("interpreted replay succeeds");
+        let interp = replayer.last_profile();
+
+        let (compiled_out, _) = replayer
+            .replay_compiled(&compiled, &input, &weights)
+            .expect("compiled replay succeeds");
+        let fast = replayer.last_profile();
+
+        assert_eq!(
+            interp_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            compiled_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "{}: compiled replay must be bit-identical to interpreted",
+            spec.name
+        );
+        assert_eq!(interp.events, fast.events, "{}: event counts", spec.name);
+
+        let interp_overhead = interp.overhead.as_nanos();
+        let fast_overhead = fast.overhead.as_nanos();
+        sum_events += interp.events;
+        sum_interp_overhead += interp_overhead;
+        sum_compiled_overhead += fast_overhead;
+
+        // Record-side memsync traffic of the measured run (dirty-page
+        // skip counters land here).
+        let dumped = s.stats.get("sync.down_regions_dumped");
+        let skipped = s.stats.get("sync.down_regions_clean_skipped");
+        let down_bytes = s.stats.get("sync.down_meta_bytes") + s.stats.get("sync.down_data_bytes");
+        let up_bytes = s.stats.get("sync.up_meta_bytes") + s.stats.get("sync.up_data_bytes");
+
+        rows.push(format!(
+            concat!(
+                "{{\"workload\": \"{}\", \"events\": {}, \"delta_wire_bytes\": {}, ",
+                "\"compile_ns\": {}, ",
+                "\"interpreted\": {{\"overhead_ns\": {}, \"total_ns\": {}, \"events_per_sec\": {}}}, ",
+                "\"compiled\": {{\"overhead_ns\": {}, \"total_ns\": {}, \"events_per_sec\": {}}}, ",
+                "\"cold_replay_ns\": {}, \"warm_replay_ns\": {}, \"warm_replays_per_sec\": {:.3}, ",
+                "\"overhead_speedup\": {:.3}, ",
+                "\"sync\": {{\"down_regions_dumped\": {}, \"down_regions_clean_skipped\": {}, ",
+                "\"down_bytes\": {}, \"up_bytes\": {}}}}}"
+            ),
+            spec.name,
+            interp.events,
+            interp.delta_wire_bytes,
+            compile_ns,
+            interp_overhead,
+            interp.total.as_nanos(),
+            per_sec(interp.events, interp_overhead),
+            fast_overhead,
+            fast.total.as_nanos(),
+            per_sec(fast.events, fast_overhead),
+            compile_ns + fast.total.as_nanos(),
+            fast.total.as_nanos(),
+            1e9 / fast.total.as_nanos() as f64,
+            interp_overhead as f64 / fast_overhead as f64,
+            dumped,
+            skipped,
+            down_bytes,
+            up_bytes,
+        ));
+    }
+
+    let interp_eps = per_sec(sum_events, sum_interp_overhead);
+    let compiled_eps = per_sec(sum_events, sum_compiled_overhead);
+    let speedup = sum_interp_overhead as f64 / sum_compiled_overhead as f64;
+    assert!(
+        speedup >= 1.5,
+        "compiled replay must be >= 1.5x events/s over interpreted (got {speedup:.3})"
+    );
+
+    println!("{{");
+    println!("\"networks\": [");
+    println!("{}", rows.join(",\n"));
+    println!("],");
+    println!(
+        "\"aggregate\": {{\"events\": {sum_events}, \
+         \"interpreted_events_per_sec\": {interp_eps}, \
+         \"compiled_events_per_sec\": {compiled_eps}, \
+         \"overhead_speedup\": {speedup:.3}}}"
+    );
+    println!("}}");
+
+    eprintln!(
+        "replay_bench: {} events total, interpreted {} ev/s, compiled {} ev/s ({:.2}x), {:.1}s wall",
+        sum_events,
+        interp_eps,
+        compiled_eps,
+        speedup,
+        wall.elapsed().as_secs_f64()
+    );
+    std::process::ExitCode::SUCCESS
+}

@@ -96,6 +96,27 @@ impl DeltaCodec {
         packed: &[u8],
         max_len: usize,
     ) -> Result<Vec<u8>, CorruptStream> {
+        Ok(self.parse_limited(packed, max_len)?.apply(old))
+    }
+
+    /// Decompresses and fully validates a delta without applying it.
+    ///
+    /// Every structural property the encoder guarantees is enforced here,
+    /// so an accepted [`ParsedDelta`] can be applied (repeatedly) without
+    /// further checks:
+    ///
+    /// - the stated output length is at most `max_len`;
+    /// - every XOR page fits within `page_size` (no cross-page writes);
+    /// - page indices are strictly increasing (no duplicates, canonical
+    ///   order);
+    /// - every page's byte range lies inside the stated output length,
+    ///   computed with checked arithmetic (no offset overflow);
+    /// - the payload has no trailing bytes after the last page.
+    pub fn parse_limited(
+        &self,
+        packed: &[u8],
+        max_len: usize,
+    ) -> Result<ParsedDelta, CorruptStream> {
         // The raw payload is at most header + per-page overhead + pages.
         let raw_bound = max_len
             .saturating_add(max_len / self.page_size.max(1) * 8)
@@ -107,17 +128,87 @@ impl DeltaCodec {
             return Err(CorruptStream);
         }
         let npages = cur.u32()? as usize;
-        let mut out = vec![0u8; new_len];
-        let copy_len = old.len().min(new_len);
-        out[..copy_len].copy_from_slice(&old[..copy_len]);
+        let mut pages: Vec<(u32, Vec<u8>)> = Vec::with_capacity(npages.min(1024));
+        let mut prev: Option<u32> = None;
         for _ in 0..npages {
-            let page = cur.u32()? as usize;
+            let page = cur.u32()?;
             let len = cur.u32()? as usize;
             let xor = cur.bytes(len)?;
-            let start = page
+            if xor.len() > self.page_size {
+                return Err(CorruptStream);
+            }
+            if prev.is_some_and(|p| page <= p) {
+                return Err(CorruptStream);
+            }
+            prev = Some(page);
+            let start = (page as usize)
                 .checked_mul(self.page_size)
-                .filter(|&s| s + xor.len() <= new_len)
                 .ok_or(CorruptStream)?;
+            let end = start.checked_add(xor.len()).ok_or(CorruptStream)?;
+            if end > new_len {
+                return Err(CorruptStream);
+            }
+            pages.push((page, xor.to_vec()));
+        }
+        if !cur.at_end() {
+            return Err(CorruptStream);
+        }
+        Ok(ParsedDelta {
+            page_size: self.page_size,
+            new_len,
+            pages,
+        })
+    }
+
+    /// Encodes the delta of a dump against itself without materialising the
+    /// dump: byte-identical to `encode(d, d)` for any `d` of length `len`.
+    pub fn encode_unchanged(&self, len: usize) -> Vec<u8> {
+        let mut raw = Vec::with_capacity(12);
+        raw.extend_from_slice(&(len as u64).to_le_bytes());
+        raw.extend_from_slice(&0u32.to_le_bytes());
+        compress(&raw)
+    }
+}
+
+/// A decompressed, fully validated page delta ready to be applied.
+///
+/// Produced by [`DeltaCodec::parse_limited`]; validation happens exactly
+/// once, so a parsed delta can be cached and re-applied on every replay
+/// without re-walking the wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedDelta {
+    page_size: usize,
+    new_len: usize,
+    pages: Vec<(u32, Vec<u8>)>,
+}
+
+impl ParsedDelta {
+    /// Stated length of the reconstructed dump.
+    pub fn new_len(&self) -> usize {
+        self.new_len
+    }
+
+    /// Changed pages as `(page_index, xor_bytes)`, strictly increasing by
+    /// index; each XOR slice fits in one page and inside `new_len`.
+    pub fn pages(&self) -> &[(u32, Vec<u8>)] {
+        &self.pages
+    }
+
+    /// Total XOR payload bytes across all changed pages.
+    pub fn changed_bytes(&self) -> usize {
+        self.pages.iter().map(|(_, xor)| xor.len()).sum()
+    }
+
+    /// Reconstructs the new dump from `old`.
+    ///
+    /// Bytes of `old` beyond `new_len` are dropped; bytes past `old`'s end
+    /// are treated as previously zero.
+    pub fn apply(&self, old: &[u8]) -> Vec<u8> {
+        let mut out = vec![0u8; self.new_len];
+        let copy_len = old.len().min(self.new_len);
+        out[..copy_len].copy_from_slice(&old[..copy_len]);
+        for (page, xor) in &self.pages {
+            let start = *page as usize * self.page_size;
             // Rebuild the page: old ^ xor where old existed, else xor.
             for (i, &x) in xor.iter().enumerate() {
                 let o = old.get(start + i).copied().unwrap_or(0);
@@ -126,7 +217,7 @@ impl DeltaCodec {
             // Pages that shrank relative to old are already handled because
             // `out` was truncated to `new_len` up front.
         }
-        Ok(out)
+        out
     }
 }
 
@@ -161,6 +252,10 @@ impl<'a> Cursor<'a> {
         Ok(u64::from_le_bytes([
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.data.len()
     }
 }
 

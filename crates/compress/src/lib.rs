@@ -18,7 +18,7 @@
 pub mod delta;
 pub mod range;
 
-pub use delta::DeltaCodec;
+pub use delta::{DeltaCodec, ParsedDelta};
 pub use range::{range_compress, range_decompress, RangeDecoder, RangeEncoder};
 
 /// Compresses `data` with the adaptive range coder.

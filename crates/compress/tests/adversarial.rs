@@ -1,0 +1,197 @@
+//! Adversarial corpus for the page-delta codec: every malformed stream must
+//! be rejected with `CorruptStream`, and none may panic. The streams are
+//! crafted at the raw-payload layer (before entropy coding) so each case
+//! exercises exactly one structural check in `parse_limited`.
+
+use grt_compress::{compress, DeltaCodec};
+
+/// Builds a compressed delta from raw parts:
+/// `new_len (u64) ‖ npages (u32) ‖ [page (u32) ‖ xor_len (u32) ‖ xor]*`.
+fn craft(new_len: u64, pages: &[(u32, &[u8])], trailing: &[u8]) -> Vec<u8> {
+    let mut raw = Vec::new();
+    raw.extend_from_slice(&new_len.to_le_bytes());
+    raw.extend_from_slice(&(pages.len() as u32).to_le_bytes());
+    for (idx, xor) in pages {
+        raw.extend_from_slice(&idx.to_le_bytes());
+        raw.extend_from_slice(&(xor.len() as u32).to_le_bytes());
+        raw.extend_from_slice(xor);
+    }
+    raw.extend_from_slice(trailing);
+    compress(&raw)
+}
+
+const PS: usize = 4096;
+
+fn codec() -> DeltaCodec {
+    DeltaCodec::new(PS)
+}
+
+#[test]
+fn well_formed_crafted_delta_is_accepted() {
+    // Sanity-check the crafting helper against the real decoder.
+    let old = vec![0u8; 2 * PS];
+    let xor = vec![0xAAu8; PS];
+    let packed = craft(2 * PS as u64, &[(1, &xor)], &[]);
+    let out = codec().decode_limited(&old, &packed, 2 * PS).unwrap();
+    assert_eq!(&out[PS..], &xor[..]);
+    assert!(out[..PS].iter().all(|&b| b == 0));
+}
+
+#[test]
+fn oversized_xor_page_rejected() {
+    // An XOR run one byte longer than the page size would write across the
+    // page boundary into the next page.
+    let old = vec![0u8; 4 * PS];
+    let xor = vec![1u8; PS + 1];
+    let packed = craft(4 * PS as u64, &[(0, &xor)], &[]);
+    assert!(codec().decode_limited(&old, &packed, 4 * PS).is_err());
+}
+
+#[test]
+fn duplicate_page_index_rejected() {
+    let old = vec![0u8; 4 * PS];
+    let a = vec![1u8; 16];
+    let b = vec![2u8; 16];
+    let packed = craft(4 * PS as u64, &[(1, &a), (1, &b)], &[]);
+    assert!(codec().decode_limited(&old, &packed, 4 * PS).is_err());
+}
+
+#[test]
+fn out_of_order_page_indices_rejected() {
+    // The encoder emits pages in strictly increasing order; anything else
+    // is non-canonical and refused.
+    let old = vec![0u8; 4 * PS];
+    let a = vec![1u8; 16];
+    let b = vec![2u8; 16];
+    let packed = craft(4 * PS as u64, &[(2, &a), (1, &b)], &[]);
+    assert!(codec().decode_limited(&old, &packed, 4 * PS).is_err());
+}
+
+#[test]
+fn page_offset_overflow_rejected() {
+    // page_index * page_size overflows usize; the checked multiply must
+    // catch it rather than wrapping into a small in-bounds offset.
+    let old = vec![0u8; 4 * PS];
+    let xor = vec![1u8; 8];
+    let packed = craft(4 * PS as u64, &[(u32::MAX, &xor)], &[]);
+    assert!(codec().decode_limited(&old, &packed, 4 * PS).is_err());
+}
+
+#[test]
+fn page_past_stated_length_rejected() {
+    // In-range multiply, but the page's byte range ends past new_len.
+    let old = vec![0u8; 4 * PS];
+    let xor = vec![1u8; 8];
+    let packed = craft(4 * PS as u64, &[(4, &xor)], &[]);
+    assert!(codec().decode_limited(&old, &packed, 4 * PS).is_err());
+}
+
+#[test]
+fn partial_tail_page_cannot_be_extended() {
+    // new_len leaves a 100-byte tail page; an XOR run of 101 bytes on that
+    // page must be refused even though 101 <= page_size.
+    let new_len = PS + 100;
+    let old = vec![0u8; new_len];
+    let xor = vec![1u8; 101];
+    let packed = craft(new_len as u64, &[(1, &xor)], &[]);
+    assert!(codec().decode_limited(&old, &packed, new_len).is_err());
+}
+
+#[test]
+fn stated_length_above_limit_rejected() {
+    let packed = craft(4 * PS as u64 + 1, &[], &[]);
+    assert!(codec().decode_limited(&[], &packed, 4 * PS).is_err());
+}
+
+#[test]
+fn truncated_page_table_rejected() {
+    // npages promises two entries but only one is present.
+    let mut raw = Vec::new();
+    raw.extend_from_slice(&(PS as u64).to_le_bytes());
+    raw.extend_from_slice(&2u32.to_le_bytes());
+    raw.extend_from_slice(&0u32.to_le_bytes());
+    raw.extend_from_slice(&4u32.to_le_bytes());
+    raw.extend_from_slice(&[1, 2, 3, 4]);
+    let packed = compress(&raw);
+    assert!(codec().decode_limited(&[0u8; PS], &packed, PS).is_err());
+}
+
+#[test]
+fn xor_length_past_payload_end_rejected() {
+    // xor_len claims more bytes than remain in the payload.
+    let mut raw = Vec::new();
+    raw.extend_from_slice(&(PS as u64).to_le_bytes());
+    raw.extend_from_slice(&1u32.to_le_bytes());
+    raw.extend_from_slice(&0u32.to_le_bytes());
+    raw.extend_from_slice(&64u32.to_le_bytes());
+    raw.extend_from_slice(&[0xFF; 8]);
+    let packed = compress(&raw);
+    assert!(codec().decode_limited(&[0u8; PS], &packed, PS).is_err());
+}
+
+#[test]
+fn trailing_garbage_rejected() {
+    let old = vec![0u8; PS];
+    let xor = vec![1u8; 8];
+    let packed = craft(PS as u64, &[(0, &xor)], &[0xEE, 0xEE]);
+    assert!(codec().decode_limited(&old, &packed, PS).is_err());
+}
+
+#[test]
+fn truncated_header_rejected() {
+    for cut in 0..12 {
+        let raw = vec![0u8; cut];
+        let packed = compress(&raw);
+        assert!(
+            codec().decode_limited(&[], &packed, PS).is_err(),
+            "header cut at {cut} bytes accepted"
+        );
+    }
+}
+
+#[test]
+fn garbage_bitstream_rejected() {
+    // Not even a valid entropy-coded stream.
+    assert!(codec()
+        .decode_limited(&[], &[0x13, 0x37, 0xC0], PS)
+        .is_err());
+}
+
+#[test]
+#[should_panic(expected = "page size must be non-zero")]
+fn zero_page_size_guard() {
+    let _ = DeltaCodec::new(0);
+}
+
+#[test]
+fn parsed_delta_is_reusable_and_matches_decode() {
+    // A parsed delta applied twice gives the same bytes as decode_limited,
+    // including against an `old` different from the encoding baseline.
+    let c = codec();
+    let old = vec![0x11u8; 3 * PS];
+    let mut new = old.clone();
+    new[5000] ^= 0x5A;
+    new[2 * PS + 7] = 0xFE;
+    let packed = c.encode(&old, &new);
+    let parsed = c.parse_limited(&packed, 3 * PS).unwrap();
+    assert_eq!(parsed.new_len(), 3 * PS);
+    assert_eq!(parsed.apply(&old), new);
+    assert_eq!(
+        parsed.apply(&old),
+        c.decode_limited(&old, &packed, 3 * PS).unwrap()
+    );
+    let drifted = vec![0x22u8; 3 * PS];
+    assert_eq!(
+        parsed.apply(&drifted),
+        c.decode_limited(&drifted, &packed, 3 * PS).unwrap()
+    );
+}
+
+#[test]
+fn encode_unchanged_matches_encode_of_identical_dumps() {
+    let c = codec();
+    for len in [0usize, 1, PS, 3 * PS + 17] {
+        let dump = vec![0xA7u8; len];
+        assert_eq!(c.encode_unchanged(len), c.encode(&dump, &dump), "len={len}");
+    }
+}

@@ -18,7 +18,7 @@ use grt_gpu::{Gpu, IrqLine};
 use grt_sim::{Clock, EnergyMeter, Rail, SimTime};
 use grt_tee::{SecureMonitor, Tzasc, World};
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 /// Physical base of the GPU MMIO window on the client SoC (HiKey960's
@@ -113,7 +113,12 @@ pub struct GpuShim {
     channel: SecureChannel,
     energy: Option<Rc<EnergyMeter>>,
     /// Last-synced content per up-sync region (for client→cloud deltas).
-    up_baselines: HashMap<u64, Vec<u8>>,
+    /// Reference-counted so the cloud's sync layer can pin a baseline by
+    /// sharing its own buffer instead of cloning it.
+    up_baselines: HashMap<u64, Rc<Vec<u8>>>,
+    /// Regions whose cleared dirty bits are known to match `up_baselines`
+    /// (see `MemSync::dirty_trusted` for the invariant).
+    up_trusted: HashSet<u64>,
     locked: bool,
     /// GPU draw while executing a job, in watts (Figure 9 model).
     pub gpu_active_watts: f64,
@@ -138,6 +143,7 @@ impl GpuShim {
             channel: SecureChannel::from_secret(channel_secret),
             energy: None,
             up_baselines: HashMap::new(),
+            up_trusted: HashSet::new(),
             locked: false,
             gpu_active_watts: 2.0,
         }
@@ -270,46 +276,67 @@ impl GpuShim {
     ) -> Result<(), grt_compress::CorruptStream> {
         let current = self.mem.borrow().dump_range(pa, len);
         // Bounded: a forged delta cannot state a larger output than the
-        // region it claims to cover.
-        let new = codec.decode_limited(&current, delta, len)?;
+        // memory actually backing the region it claims to cover.
+        let new = codec.decode_limited(&current, delta, len.min(current.len()))?;
         self.mem.borrow_mut().restore_range(pa, &new);
         Ok(())
     }
 
     /// Produces a client→cloud delta of the region at `pa` against the
     /// last up-sync, updating the baseline.
+    ///
+    /// If no page of the region was written since the baseline was pinned,
+    /// the unchanged delta is synthesized without dumping the region —
+    /// byte-identical to encoding the dump against itself.
     pub fn dump_up_delta(
         &mut self,
         codec: &grt_compress::DeltaCodec,
         pa: u64,
         len: usize,
     ) -> Vec<u8> {
+        if self.up_trusted.contains(&pa) && !self.mem.borrow().any_dirty(pa, len) {
+            if let Some(baseline) = self.up_baselines.get(&pa) {
+                if baseline.len() == len {
+                    return codec.encode_unchanged(len);
+                }
+            }
+        }
         let current = self.mem.borrow().dump_range(pa, len);
         let baseline = self.up_baselines.entry(pa).or_default();
         let delta = codec.encode(baseline, &current);
-        *baseline = current;
+        *baseline = Rc::new(current);
+        self.mem.borrow_mut().clear_dirty(pa, len);
+        self.up_trusted.insert(pa);
         delta
     }
 
     /// Clears up-sync baselines (new record run).
     pub fn reset_baselines(&mut self) {
         self.up_baselines.clear();
+        self.up_trusted.clear();
     }
 
     /// Pins the up-sync baseline of the region at `pa` to `content` (both
-    /// parties agree on the region right after a down-sync applies).
-    pub fn set_up_baseline(&mut self, pa: u64, content: Vec<u8>) {
+    /// parties agree on the region right after a down-sync applies). The
+    /// buffer is shared with the caller, not cloned.
+    pub fn set_up_baseline(&mut self, pa: u64, content: Rc<Vec<u8>>) {
+        self.mem.borrow_mut().clear_dirty(pa, content.len());
+        self.up_trusted.insert(pa);
         self.up_baselines.insert(pa, content);
     }
 
-    /// Copies the up-sync baselines (checkpoint capture).
-    pub fn up_baselines_snapshot(&self) -> HashMap<u64, Vec<u8>> {
+    /// Copies the up-sync baselines (checkpoint capture); shared buffers,
+    /// O(regions).
+    pub fn up_baselines_snapshot(&self) -> HashMap<u64, Rc<Vec<u8>>> {
         self.up_baselines.clone()
     }
 
-    /// Replaces the up-sync baselines (checkpoint rollback).
-    pub fn restore_up_baselines(&mut self, baselines: HashMap<u64, Vec<u8>>) {
+    /// Replaces the up-sync baselines (checkpoint rollback). Dirty bits
+    /// cannot be rewound, so clean-skip trust is dropped until each region
+    /// is re-dumped.
+    pub fn restore_up_baselines(&mut self, baselines: HashMap<u64, Rc<Vec<u8>>>) {
         self.up_baselines = baselines;
+        self.up_trusted.clear();
     }
 }
 

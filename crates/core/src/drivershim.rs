@@ -26,7 +26,7 @@
 //! the recording in execution order.
 
 use crate::client::{encode_batch, GpuShim, WireAccess};
-use crate::memsync::{MemSync, SyncMode};
+use crate::memsync::{MemSync, SyncError, SyncMode};
 use crate::recording::{poll_event, Event, RecordingBuilder};
 use grt_crypto::SecureChannel;
 use grt_driver::{Loc, LockId, PollResult, PollSpec, RegPort, RegVal, SpecToken, SymSlot};
@@ -170,6 +170,11 @@ pub struct DriverShim {
     cloud_mem: RefCell<Option<Rc<RefCell<Memory>>>>,
     regions: RefCell<Option<Rc<RefCell<grt_driver::RegionTable>>>>,
     current_job_nominal: Cell<u64>,
+    /// First memory-sync fault since the last check. The sync runs inside
+    /// infallible commit paths, so faults latch here (like link errors
+    /// latch on the `Link`) and the session surfaces them at the next
+    /// boundary.
+    sync_fault: Cell<Option<SyncError>>,
 }
 
 /// Sealed-message response size estimate per read (value + framing share).
@@ -184,8 +189,8 @@ const RESP_BYTES_PER_READ: usize = 4;
 #[derive(Debug)]
 pub struct ShimCheckpoint {
     builder_len: usize,
-    memsync_baselines: HashMap<u64, Vec<u8>>,
-    client_up_baselines: HashMap<u64, Vec<u8>>,
+    memsync_baselines: HashMap<u64, Rc<Vec<u8>>>,
+    client_up_baselines: HashMap<u64, Rc<Vec<u8>>>,
     cloud_regions: Vec<(u64, Vec<u8>)>,
     client_regions: Vec<(u64, Vec<u8>)>,
     gpu_state: grt_gpu::Gpu,
@@ -230,6 +235,7 @@ impl DriverShim {
             cloud_mem: RefCell::new(None),
             regions: RefCell::new(None),
             current_job_nominal: Cell::new(0),
+            sync_fault: Cell::new(None),
         })
     }
 
@@ -276,6 +282,17 @@ impl DriverShim {
     /// self-contained for replay on a freshly reset device.
     pub fn reset_sync_state(&self) {
         self.memsync.borrow_mut().reset();
+        self.sync_fault.set(None);
+    }
+
+    /// Takes the first latched memory-sync fault, if any, clearing it.
+    pub fn take_sync_fault(&self) -> Option<SyncError> {
+        self.sync_fault.take()
+    }
+
+    /// Peeks at the latched memory-sync fault without clearing it.
+    pub fn sync_fault(&self) -> Option<SyncError> {
+        self.sync_fault.get()
     }
 
     /// Marks a layer boundary in the recording.
@@ -368,6 +385,7 @@ impl DriverShim {
             }
         }
         *client.gpu().borrow_mut() = ckpt.gpu_state.clone();
+        self.sync_fault.set(None);
         self.stats.inc("record.rollbacks");
     }
 
@@ -712,7 +730,7 @@ impl DriverShim {
         let Some(regions_rc) = self.regions.borrow().clone() else {
             return;
         };
-        let out = {
+        let result = {
             let mut mem = mem_rc.borrow_mut();
             let regions = regions_rc.borrow();
             let mut client = self.client.borrow_mut();
@@ -722,6 +740,18 @@ impl DriverShim {
                 &mut client,
                 self.current_job_nominal.get(),
             )
+        };
+        let out = match result {
+            Ok(out) => out,
+            Err(e) => {
+                // This path has no error channel (it runs inside commit);
+                // latch the fault for the session, mirroring link errors.
+                if self.sync_fault.get().is_none() {
+                    self.sync_fault.set(Some(e));
+                }
+                self.emit_trace(|| format!("sync_down fault latched: {e}"));
+                return;
+            }
         };
         if out.total_bytes() > 0 {
             self.link

@@ -21,6 +21,8 @@
 //!   `OursMDS` (the evaluation's four recorder builds);
 //! - [`replay`] — the in-TEE replayer: a few hundred lines with zero
 //!   dependencies on the GPU stack;
+//! - [`compiled`] — recordings lowered once at load time into a flat,
+//!   pre-validated op arena for fast repeated replay (DESIGN.md §9);
 //! - [`gate`] — the ahead-of-replay analysis interface the replayer vets
 //!   every recording through (implemented by the `grt-lint` crate).
 
@@ -28,6 +30,7 @@
 
 pub mod client;
 pub mod cloud;
+pub mod compiled;
 pub mod debug;
 pub mod drivershim;
 pub mod gate;
@@ -39,12 +42,13 @@ pub mod session;
 
 pub use client::GpuShim;
 pub use cloud::{CloudVmImage, UnsupportedGpu};
+pub use compiled::{CompileError, CompiledRecording};
 pub use debug::{audit_replay, diff_recordings, Divergence};
 pub use drivershim::{CommitCategory, DriverShim, ShimConfig};
 pub use gate::{GateContext, PermissiveGate, RecordingGate, Rejection};
 pub use memsync::{MemSync, SyncMode};
 pub use recording::{Event, Recording, RecordingBuilder, SignedRecording};
-pub use replay::{LayeredReplay, ReplayError, Replayer};
+pub use replay::{LayeredReplay, ReplayError, ReplayProfile, Replayer};
 pub use service::ReplayService;
 pub use session::{
     recording_trust_root, ClientDevice, RecordError, RecordOutcome, RecordSession, RecorderMode,

@@ -26,7 +26,7 @@ use grt_compress::DeltaCodec;
 use grt_driver::RegionTable;
 use grt_gpu::mem::{Memory, PageFlags};
 use grt_sim::Stats;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 
 /// What travels at each sync point.
@@ -49,6 +49,35 @@ pub struct SyncOutcome {
     pub data_bytes: u64,
 }
 
+/// A memory-synchronization fault.
+///
+/// The hot path used to `expect()` on delta application; a divergence
+/// between the cloud's baseline and the client's actual memory now surfaces
+/// as a recoverable fault the session can roll back from, instead of a
+/// panic inside the sync loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncError {
+    /// The client could not apply a delta the cloud encoded against the
+    /// shared baseline for the region at `pa` — the two sides no longer
+    /// agree on the region (e.g. the client cannot back it).
+    BaselineDiverged {
+        /// Base physical address of the faulting region.
+        pa: u64,
+    },
+}
+
+impl std::fmt::Display for SyncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncError::BaselineDiverged { pa } => {
+                write!(f, "memsync baseline diverged for region at {pa:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SyncError {}
+
 impl SyncOutcome {
     /// Total bytes for link accounting.
     pub fn total_bytes(&self) -> u64 {
@@ -61,7 +90,14 @@ pub struct MemSync {
     mode: SyncMode,
     codec: DeltaCodec,
     /// Last agreed content per metastate region (keyed by base PA).
-    baselines: HashMap<u64, Vec<u8>>,
+    /// Reference-counted so pinning the client's up-sync baseline shares
+    /// the buffer instead of cloning a multi-page dump per region per sync.
+    baselines: HashMap<u64, Rc<Vec<u8>>>,
+    /// Regions whose cleared dirty bits are known to match `baselines`:
+    /// for these, "no dirty page" proves "identical to the baseline"
+    /// without dumping. Invalidated wholesale on reset/rollback, because
+    /// dirty bits cannot be rewound.
+    dirty_trusted: HashSet<u64>,
     stats: Rc<Stats>,
     /// Enable the unmap-based continuous validation traps.
     pub validation_traps: bool,
@@ -74,6 +110,7 @@ impl MemSync {
             mode,
             codec: DeltaCodec::new(grt_gpu::PAGE_SIZE),
             baselines: HashMap::new(),
+            dirty_trusted: HashSet::new(),
             stats: Rc::clone(stats),
             validation_traps: true,
         }
@@ -88,26 +125,50 @@ impl MemSync {
     ///
     /// Ships delta-compressed metastate dumps, applies them to the client,
     /// emits the corresponding recording events, and (FullData) accounts
-    /// the job's nominal program-data working set.
+    /// the job's nominal program-data working set. Regions whose pages are
+    /// clean since the last agreement are skipped without being dumped or
+    /// compared (the dirty-page fast path).
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::BaselineDiverged`] if the client cannot apply a delta —
+    /// the session treats this as a recoverable layer fault.
     pub fn sync_down(
         &mut self,
         cloud_mem: &mut Memory,
         regions: &RegionTable,
         client: &mut GpuShim,
         nominal_data_bytes: u64,
-    ) -> SyncOutcome {
+    ) -> Result<SyncOutcome, SyncError> {
         let mut out = SyncOutcome::default();
         for region in regions.metastate() {
             let len = region.len_bytes();
+            if self.dirty_trusted.contains(&region.pa) && !cloud_mem.any_dirty(region.pa, len) {
+                // No page of the region was written since the baseline was
+                // pinned: provably identical, no dump needed.
+                self.stats.inc("sync.down_regions_clean_skipped");
+                continue;
+            }
             let dump = cloud_mem.dump_range(region.pa, len);
+            self.stats.inc("sync.down_regions_dumped");
             let baseline = self.baselines.entry(region.pa).or_default();
-            if *baseline == dump {
-                continue; // Unchanged since last agreement.
+            if **baseline == dump {
+                // Dirty but byte-identical (e.g. rewritten with the same
+                // content): behaves exactly like the unchanged case, and
+                // the clean bits + baseline now agree again.
+                cloud_mem.clear_dirty(region.pa, len);
+                self.dirty_trusted.insert(region.pa);
+                continue;
             }
             let delta = self.codec.encode(baseline, &dump);
-            client
+            let dump = Rc::new(dump);
+            if client
                 .apply_mem_delta(&self.codec, region.pa, len, &delta)
-                .expect("delta produced from matching baseline");
+                .is_err()
+            {
+                self.stats.inc("sync.baseline_divergences");
+                return Err(SyncError::BaselineDiverged { pa: region.pa });
+            }
             out.meta_bytes += delta.len() as u64;
             out.events.push(Event::LoadMemDelta {
                 pa: region.pa,
@@ -116,11 +177,13 @@ impl MemSync {
             });
             // Both parties now agree on the region: pin the client's
             // up-sync baseline so its next delta encodes against what the
-            // cloud actually holds.
+            // cloud actually holds (shared buffer, no clone).
             if region.gpu_flags.write {
-                client.set_up_baseline(region.pa, dump.clone());
+                client.set_up_baseline(region.pa, Rc::clone(&dump));
             }
             *baseline = dump;
+            cloud_mem.clear_dirty(region.pa, len);
+            self.dirty_trusted.insert(region.pa);
         }
         if self.mode == SyncMode::FullData {
             out.data_bytes = nominal_data_bytes;
@@ -150,7 +213,7 @@ impl MemSync {
         self.stats.add("sync.down_meta_bytes", out.meta_bytes);
         self.stats.add("sync.down_data_bytes", out.data_bytes);
         self.stats.inc("sync.down_count");
-        out
+        Ok(out)
     }
 
     /// Client → cloud sync after a job-completion interrupt.
@@ -175,7 +238,9 @@ impl MemSync {
             }
             if let Ok(new) = self.codec.decode(&current, &delta) {
                 cloud_mem.restore_range(region.pa, &new);
-                self.baselines.insert(region.pa, new);
+                cloud_mem.clear_dirty(region.pa, len);
+                self.baselines.insert(region.pa, Rc::new(new));
+                self.dirty_trusted.insert(region.pa);
             }
             out.meta_bytes += delta.len() as u64;
         }
@@ -209,17 +274,23 @@ impl MemSync {
     /// Drops all baselines (new record run).
     pub fn reset(&mut self) {
         self.baselines.clear();
+        self.dirty_trusted.clear();
     }
 
-    /// Copies the current baselines (checkpoint capture).
-    pub fn baselines_snapshot(&self) -> HashMap<u64, Vec<u8>> {
+    /// Copies the current baselines (checkpoint capture). The buffers are
+    /// shared, so this is O(regions), not O(bytes).
+    pub fn baselines_snapshot(&self) -> HashMap<u64, Rc<Vec<u8>>> {
         self.baselines.clone()
     }
 
     /// Replaces the baselines (checkpoint rollback): deltas encoded after
     /// the restore are again relative to the checkpointed agreement.
-    pub fn restore_baselines(&mut self, baselines: HashMap<u64, Vec<u8>>) {
+    ///
+    /// Dirty bits cannot be rewound with the baselines, so the clean-skip
+    /// trust is dropped: the next sync re-dumps every region once.
+    pub fn restore_baselines(&mut self, baselines: HashMap<u64, Rc<Vec<u8>>>) {
         self.baselines = baselines;
+        self.dirty_trusted.clear();
     }
 }
 
@@ -290,7 +361,9 @@ mod tests {
         // Write shader bytes (metastate) and weights (data) on the cloud.
         cloud.restore_range(0x4000, &[0xAA; 64]);
         cloud.restore_range(0xA000, &[0xBB; 64]);
-        let out = sync.sync_down(&mut cloud, &regions, &mut shim, 12345);
+        let out = sync
+            .sync_down(&mut cloud, &regions, &mut shim, 12345)
+            .unwrap();
         assert!(out.meta_bytes > 0);
         assert_eq!(out.data_bytes, 0, "meta-only must not account data");
         // Client received the shader bytes but NOT the weights.
@@ -303,7 +376,9 @@ mod tests {
         let (_, mut cloud, regions, mut shim, stats) = setup();
         let mut sync = MemSync::new(SyncMode::FullData, &stats);
         cloud.restore_range(0x4000, &[1; 8]);
-        let out = sync.sync_down(&mut cloud, &regions, &mut shim, 999_999);
+        let out = sync
+            .sync_down(&mut cloud, &regions, &mut shim, 999_999)
+            .unwrap();
         assert_eq!(out.data_bytes, 999_999);
         assert!(out.total_bytes() > 999_999);
     }
@@ -312,10 +387,10 @@ mod tests {
     fn unchanged_regions_are_skipped() {
         let (mut sync, mut cloud, regions, mut shim, _stats) = setup();
         cloud.restore_range(0x4000, &[0xAA; 64]);
-        let first = sync.sync_down(&mut cloud, &regions, &mut shim, 0);
+        let first = sync.sync_down(&mut cloud, &regions, &mut shim, 0).unwrap();
         // Lift traps for the second round (normally sync_up does this).
         sync.validation_traps = false;
-        let second = sync.sync_down(&mut cloud, &regions, &mut shim, 0);
+        let second = sync.sync_down(&mut cloud, &regions, &mut shim, 0).unwrap();
         assert!(first.meta_bytes > 0);
         assert_eq!(second.meta_bytes, 0, "nothing changed");
         assert!(second.events.is_empty());
@@ -324,7 +399,7 @@ mod tests {
     #[test]
     fn up_sync_brings_back_gpu_writes() {
         let (mut sync, mut cloud, regions, mut shim, _stats) = setup();
-        sync.sync_down(&mut cloud, &regions, &mut shim, 0);
+        sync.sync_down(&mut cloud, &regions, &mut shim, 0).unwrap();
         // GPU writes a status word into the descriptor region (client side).
         shim.mem()
             .borrow_mut()
@@ -337,7 +412,7 @@ mod tests {
     #[test]
     fn continuous_validation_traps_cloud_cpu() {
         let (mut sync, mut cloud, regions, mut shim, _stats) = setup();
-        sync.sync_down(&mut cloud, &regions, &mut shim, 0);
+        sync.sync_down(&mut cloud, &regions, &mut shim, 0).unwrap();
         // The driver spuriously touching shipped metastate must trap (§5).
         let r = cloud.read_u32(0x4000, grt_gpu::mem::Accessor::Cpu);
         assert!(r.is_err(), "expected trap, got {r:?}");
@@ -349,7 +424,7 @@ mod tests {
     #[test]
     fn continuous_validation_traps_idle_gpu() {
         let (mut sync, mut cloud, regions, mut shim, _stats) = setup();
-        sync.sync_down(&mut cloud, &regions, &mut shim, 0);
+        sync.sync_down(&mut cloud, &regions, &mut shim, 0).unwrap();
         sync.sync_up(&mut shim, &regions, &mut cloud, 0);
         // GPU idle: its access window is closed.
         let r = shim
@@ -359,7 +434,7 @@ mod tests {
         assert!(r.is_err(), "expected idle-GPU trap, got {r:?}");
         // Next down-sync reopens it.
         cloud.restore_range(0x4000, &[0xCC; 4]);
-        sync.sync_down(&mut cloud, &regions, &mut shim, 0);
+        sync.sync_down(&mut cloud, &regions, &mut shim, 0).unwrap();
         assert!(shim
             .mem()
             .borrow()
@@ -371,7 +446,7 @@ mod tests {
     fn events_replay_client_state() {
         let (mut sync, mut cloud, regions, mut shim, _stats) = setup();
         cloud.restore_range(0x4000, b"shader-code-v1");
-        let out = sync.sync_down(&mut cloud, &regions, &mut shim, 0);
+        let out = sync.sync_down(&mut cloud, &regions, &mut shim, 0).unwrap();
         // A fresh replayer memory, applying the recorded deltas in order,
         // reconstructs the same metastate.
         let mut replay_mem = Memory::new(1 << 20);
@@ -384,5 +459,125 @@ mod tests {
             }
         }
         assert_eq!(replay_mem.dump_range(0x4000, 14), b"shader-code-v1");
+    }
+
+    #[test]
+    fn clean_regions_skip_the_dump() {
+        let (mut sync, mut cloud, regions, mut shim, stats) = setup();
+        sync.validation_traps = false;
+        cloud.restore_range(0x4000, &[0xAA; 64]);
+        sync.sync_down(&mut cloud, &regions, &mut shim, 0).unwrap();
+        let dumped_after_first = stats.get("sync.down_regions_dumped");
+        assert!(dumped_after_first > 0);
+        assert_eq!(stats.get("sync.down_regions_clean_skipped"), 0);
+        // Nothing written since: every region is proven clean by its dirty
+        // bits, no dump or compare happens at all.
+        let out = sync.sync_down(&mut cloud, &regions, &mut shim, 0).unwrap();
+        assert_eq!(out.meta_bytes, 0);
+        assert!(out.events.is_empty());
+        assert_eq!(stats.get("sync.down_regions_dumped"), dumped_after_first);
+        assert_eq!(stats.get("sync.down_regions_clean_skipped"), 2);
+        // Touching one region re-dumps only that region.
+        cloud.restore_range(0x4000, &[0xBB; 4]);
+        let out = sync.sync_down(&mut cloud, &regions, &mut shim, 0).unwrap();
+        assert_eq!(out.events.len(), 1);
+        assert_eq!(
+            stats.get("sync.down_regions_dumped"),
+            dumped_after_first + 1
+        );
+        assert_eq!(shim.mem().borrow().dump_range(0x4000, 1), vec![0xBB]);
+    }
+
+    #[test]
+    fn dirty_but_identical_rewrite_emits_no_event() {
+        let (mut sync, mut cloud, regions, mut shim, _stats) = setup();
+        sync.validation_traps = false;
+        cloud.restore_range(0x4000, &[0xAA; 64]);
+        sync.sync_down(&mut cloud, &regions, &mut shim, 0).unwrap();
+        // Rewrite the same bytes: pages go dirty, content is unchanged.
+        cloud.restore_range(0x4000, &[0xAA; 64]);
+        let out = sync.sync_down(&mut cloud, &regions, &mut shim, 0).unwrap();
+        assert_eq!(
+            out.meta_bytes, 0,
+            "same-bytes rewrite must not ship a delta"
+        );
+        assert!(out.events.is_empty());
+    }
+
+    #[test]
+    fn rollback_distrusts_dirty_bits() {
+        let (mut sync, mut cloud, regions, mut shim, stats) = setup();
+        sync.validation_traps = false;
+        cloud.restore_range(0x4000, &[0xAA; 64]);
+        sync.sync_down(&mut cloud, &regions, &mut shim, 0).unwrap();
+        let snapshot = sync.baselines_snapshot();
+        cloud.restore_range(0x4000, &[0xCC; 64]);
+        sync.sync_down(&mut cloud, &regions, &mut shim, 0).unwrap();
+        // Roll baselines back to the 0xAA agreement, and the memory too
+        // (as the shim's checkpoint rollback does) — dirty bits now lie.
+        sync.restore_baselines(snapshot);
+        cloud.restore_range(0x4000, &[0xAA; 64]);
+        shim.mem().borrow_mut().restore_range(0x4000, &[0xAA; 64]);
+        cloud.clear_dirty(0x4000, 2 * PAGE_SIZE);
+        let dumped_before = stats.get("sync.down_regions_dumped");
+        let out = sync.sync_down(&mut cloud, &regions, &mut shim, 0).unwrap();
+        // The clean bits are NOT trusted after a rollback: the region is
+        // re-dumped once (and found to match the restored baseline).
+        assert!(stats.get("sync.down_regions_dumped") > dumped_before);
+        assert_eq!(out.meta_bytes, 0);
+        assert_eq!(shim.mem().borrow().dump_range(0x4000, 1), vec![0xAA]);
+    }
+
+    #[test]
+    fn up_sync_clean_skip_is_byte_identical() {
+        let (mut sync, mut cloud, regions, mut shim, _stats) = setup();
+        sync.validation_traps = false;
+        cloud.restore_range(0x8000, &[0x11; 16]);
+        sync.sync_down(&mut cloud, &regions, &mut shim, 0).unwrap();
+        // First up-sync: the GPU wrote nothing; the synthesized unchanged
+        // delta must decode to the unchanged content on the cloud side.
+        let out = sync.sync_up(&mut shim, &regions, &mut cloud, 0);
+        assert!(out.meta_bytes > 0, "unchanged deltas still travel");
+        assert_eq!(cloud.dump_range(0x8000, 1), vec![0x11]);
+        // Second round with a real GPU write still syncs correctly.
+        shim.mem()
+            .borrow_mut()
+            .restore_range(0x8000 + 32, &[7, 0, 0, 0]);
+        sync.sync_up(&mut shim, &regions, &mut cloud, 0);
+        assert_eq!(cloud.dump_range(0x8000 + 32, 1), vec![7]);
+    }
+
+    #[test]
+    fn baseline_divergence_is_a_typed_error_not_a_panic() {
+        let stats = Stats::new();
+        let mut sync = MemSync::new(SyncMode::MetaOnly, &stats);
+        // Cloud has 4 MiB; the client can only back 1 MiB, so a region at
+        // 2 MiB diverges: the client cannot hold what the cloud ships.
+        let mut cloud = Memory::new(4 << 20);
+        let mut regions = RegionTable::new();
+        regions.insert(Region {
+            va: 0x1000,
+            pa: 0x20_0000,
+            pages: 1,
+            gpu_flags: PteFlags::rx(),
+            usage: Usage::Shader,
+            nominal_bytes: PAGE_SIZE as u64,
+        });
+        let clock = Clock::new();
+        let client_mem = Rc::new(RefCell::new(Memory::new(1 << 20)));
+        let gpu = Rc::new(RefCell::new(Gpu::new(
+            GpuSku::mali_g71_mp8(),
+            &clock,
+            &client_mem,
+        )));
+        let tzasc = Rc::new(Tzasc::new());
+        let monitor = SecureMonitor::new(&clock);
+        let mut shim = GpuShim::new(&clock, &gpu, &client_mem, &tzasc, &monitor, b"s");
+        cloud.restore_range(0x20_0000, &[0xEE; 32]);
+        let err = sync
+            .sync_down(&mut cloud, &regions, &mut shim, 0)
+            .unwrap_err();
+        assert_eq!(err, SyncError::BaselineDiverged { pa: 0x20_0000 });
+        assert_eq!(stats.get("sync.baseline_divergences"), 1);
     }
 }

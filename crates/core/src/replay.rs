@@ -8,6 +8,7 @@
 //! deltas rebuild the metastate. Before and after a replay the GPU is
 //! reset and the TZASC holds it in the secure world.
 
+use crate::compiled::{compile, CompileError, CompiledRecording, Op};
 use crate::gate::{GateContext, RecordingGate};
 use crate::recording::{irq_line_from, Event, Recording, SignedRecording};
 use crate::session::ClientDevice;
@@ -19,8 +20,18 @@ use grt_ml::NetworkSpec;
 use grt_sim::SimTime;
 use std::rc::Rc;
 
-/// Per-event replayer overhead (log decode + MMIO issue).
+/// Per-event replayer overhead on the interpreted path (wire-format event
+/// decode + offset resolution + MMIO issue).
 const REPLAY_EVENT_TIME: SimTime = SimTime::from_nanos(1500);
+
+/// Per-op replayer overhead on the compiled path: the op is pre-decoded
+/// and pre-validated, its register offset a dense table read, so only the
+/// MMIO issue itself remains (DESIGN.md §9).
+const COMPILED_EVENT_TIME: SimTime = SimTime::from_nanos(250);
+
+/// One-time per-event cost of lowering a recording into its compiled form
+/// (decode + validate + intern), charged in [`Replayer::compile_signed`].
+const COMPILE_EVENT_TIME: SimTime = SimTime::from_nanos(300);
 
 /// Hard cap on poll iterations regardless of what the recording asks for:
 /// a malicious (or corrupt) recording must not be able to spin the TEE.
@@ -115,6 +126,36 @@ impl std::fmt::Display for ReplayError {
 
 impl std::error::Error for ReplayError {}
 
+/// Cost breakdown of the most recent replay (interpreted or compiled).
+///
+/// `overhead` isolates the replayer's own work — event decode, offset
+/// resolution, delta handling — from hardware waits (polls, interrupts,
+/// GPU execution), which dominate `total` and are identical on both
+/// paths. Throughput comparisons between the paths are only meaningful
+/// over `overhead`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayProfile {
+    /// Events (or compiled ops) executed.
+    pub events: u64,
+    /// Replayer-overhead time: per-event decode/issue plus delta work.
+    pub overhead: SimTime,
+    /// End-to-end replay latency, including hardware waits.
+    pub total: SimTime,
+    /// Wire-format delta bytes decompressed during the replay (zero on
+    /// the compiled path — decompression happened once at compile time).
+    pub delta_wire_bytes: u64,
+}
+
+impl ReplayProfile {
+    /// Events per second of replayer overhead time.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.overhead.is_zero() {
+            return 0.0;
+        }
+        self.events as f64 / self.overhead.as_secs_f64()
+    }
+}
+
 /// Generates the real model parameters for `spec` in recording slot order
 /// (weights then bias per layer, empty buffers omitted) — the data the app
 /// provides inside the TEE at replay time.
@@ -149,6 +190,7 @@ pub struct Replayer {
     tzasc: Rc<grt_tee::Tzasc>,
     codec: DeltaCodec,
     gate: Rc<dyn RecordingGate>,
+    profile: ReplayProfile,
 }
 
 impl Replayer {
@@ -167,7 +209,13 @@ impl Replayer {
             tzasc: Rc::clone(&device.tzasc),
             codec: DeltaCodec::new(grt_gpu::PAGE_SIZE),
             gate,
+            profile: ReplayProfile::default(),
         }
+    }
+
+    /// Cost breakdown of the most recent replay (see [`ReplayProfile`]).
+    pub fn last_profile(&self) -> ReplayProfile {
+        self.profile
     }
 
     /// Runs the recording through the gate; the whole-recording static
@@ -215,6 +263,7 @@ impl Replayer {
             }
         }
 
+        self.profile = ReplayProfile::default();
         let t0 = self.clock.now();
         // TEE isolates and resets the GPU (§3.2).
         self.tzasc.claim(
@@ -254,12 +303,15 @@ impl Replayer {
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
         self.cleanup();
-        Ok((out, self.clock.now() - t0))
+        self.profile.total = self.clock.now() - t0;
+        Ok((out, self.profile.total))
     }
 
     /// Executes one recorded event against the hardware.
     fn exec_event(&mut self, event: &Event) -> Result<(), ReplayError> {
         self.clock.advance(REPLAY_EVENT_TIME);
+        self.profile.events += 1;
+        self.profile.overhead += REPLAY_EVENT_TIME;
         match event {
             Event::BeginLayer { .. } => {}
             Event::RegWrite { offset, value } => {
@@ -344,7 +396,199 @@ impl Replayer {
                     .map_err(|_| ReplayError::CorruptDelta)?;
                 self.device_mem.borrow_mut().restore_range(*pa, &new);
                 // Decompression cost: ~1 µs per KiB.
-                self.clock.advance(SimTime::from_nanos(delta.len() as u64));
+                let decode_time = SimTime::from_nanos(delta.len() as u64);
+                self.clock.advance(decode_time);
+                self.profile.overhead += decode_time;
+                self.profile.delta_wire_bytes += delta.len() as u64;
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies, vets, and lowers a signed recording into its compiled
+    /// form (DESIGN.md §9). The full load-time pipeline — signature check,
+    /// SKU match, gate analysis, event validation, delta decompression —
+    /// runs exactly once here; every subsequent
+    /// [`Replayer::replay_compiled`] call skips all of it.
+    ///
+    /// The returned [`CompiledRecording`] inherits the recording's trust:
+    /// it can only be produced from a signature-verified, gate-vetted
+    /// recording, so the `grt-lint` R1–R6 verdict carries over to every
+    /// compiled replay.
+    pub fn compile_signed(
+        &mut self,
+        signed: &SignedRecording,
+        key: &KeyPair,
+    ) -> Result<CompiledRecording, ReplayError> {
+        let rec = signed
+            .verify_and_parse(key)
+            .ok_or(ReplayError::BadRecording)?;
+        let present = self.device_gpu.borrow().sku().gpu_id;
+        if rec.gpu_id != present {
+            return Err(ReplayError::WrongSku {
+                recorded: rec.gpu_id,
+                present,
+            });
+        }
+        self.vet(&rec)?;
+        let compiled =
+            compile(&rec, grt_gpu::PAGE_SIZE, REPLAY_POLL_ITER_CAP).map_err(|e| match e {
+                CompileError::MalformedEvent { field, value } => {
+                    ReplayError::MalformedEvent { field, value }
+                }
+                CompileError::CorruptDelta { .. } => ReplayError::CorruptDelta,
+                CompileError::TooManyRegisters => ReplayError::BadRecording,
+            })?;
+        // One-time lowering cost: per-event validation plus decompressing
+        // every delta's wire format (the work warm replays no longer do).
+        self.clock.advance(
+            COMPILE_EVENT_TIME * compiled.num_events()
+                + SimTime::from_nanos(compiled.delta_wire_bytes()),
+        );
+        Ok(compiled)
+    }
+
+    /// Replays a compiled recording with fresh `input` and `weights` —
+    /// the warm path. Event-for-event equivalent to [`Replayer::replay`]
+    /// on the recording the compiled form was lowered from, without
+    /// re-parsing, re-verifying, or re-decompressing anything.
+    pub fn replay_compiled(
+        &mut self,
+        compiled: &CompiledRecording,
+        input: &[f32],
+        weights: &[Vec<f32>],
+    ) -> Result<(Vec<f32>, SimTime), ReplayError> {
+        // Re-check the SKU: a compiled recording outlives device handoffs
+        // in the serve registry, and the check is two loads.
+        let present = self.device_gpu.borrow().sku().gpu_id;
+        if compiled.gpu_id != present {
+            return Err(ReplayError::WrongSku {
+                recorded: compiled.gpu_id,
+                present,
+            });
+        }
+        if input.len() != compiled.input.len_elems as usize
+            || weights.len() != compiled.weights.len()
+        {
+            return Err(ReplayError::BadInput);
+        }
+        for (slot, w) in compiled.weights.iter().zip(weights) {
+            if w.len() != slot.len_elems as usize {
+                return Err(ReplayError::BadInput);
+            }
+        }
+
+        self.profile = ReplayProfile::default();
+        let t0 = self.clock.now();
+        self.tzasc.claim(
+            crate::client::GPU_MMIO_BASE,
+            crate::client::GPU_MMIO_LEN,
+            grt_tee::World::Secure,
+        );
+        self.device_gpu.borrow_mut().hard_reset_now();
+        self.device_mem.borrow_mut().wipe();
+        {
+            let mut mem = self.device_mem.borrow_mut();
+            for (slot, w) in compiled.weights.iter().zip(weights) {
+                let bytes: Vec<u8> = w.iter().flat_map(|v| v.to_le_bytes()).collect();
+                mem.restore_range(slot.pa, &bytes);
+            }
+            let bytes: Vec<u8> = input.iter().flat_map(|v| v.to_le_bytes()).collect();
+            mem.restore_range(compiled.input.pa, &bytes);
+        }
+
+        for op in compiled.ops() {
+            if let Err(e) = self.exec_op(compiled, op) {
+                self.cleanup();
+                return Err(e);
+            }
+        }
+
+        let raw = self
+            .device_mem
+            .borrow()
+            .dump_range(compiled.output.pa, compiled.output.len_elems as usize * 4);
+        let out: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        self.cleanup();
+        self.profile.total = self.clock.now() - t0;
+        Ok((out, self.profile.total))
+    }
+
+    /// Executes one compiled op. No decoding, no validation of
+    /// encoding-level invariants — [`compile`] already established them.
+    fn exec_op(&mut self, compiled: &CompiledRecording, op: &Op) -> Result<(), ReplayError> {
+        self.clock.advance(COMPILED_EVENT_TIME);
+        self.profile.events += 1;
+        self.profile.overhead += COMPILED_EVENT_TIME;
+        match op {
+            Op::BeginLayer { .. } => {}
+            Op::RegWrite { reg, value } => {
+                self.device_gpu
+                    .borrow_mut()
+                    .write_reg(compiled.reg_offset(*reg), *value);
+            }
+            Op::RegRead { reg, value, verify } => {
+                let offset = compiled.reg_offset(*reg);
+                let got = self.device_gpu.borrow_mut().read_reg(offset);
+                if *verify && got != *value {
+                    return Err(ReplayError::VerifyMismatch {
+                        offset,
+                        expected: *value,
+                        got,
+                    });
+                }
+            }
+            Op::Poll {
+                reg,
+                mask,
+                cond,
+                max_iters,
+                delay_us,
+            } => {
+                let offset = compiled.reg_offset(*reg);
+                let mut satisfied = false;
+                for _ in 0..*max_iters {
+                    let raw = self.device_gpu.borrow_mut().read_reg(offset);
+                    if cond.satisfied(raw, *mask) {
+                        satisfied = true;
+                        break;
+                    }
+                    self.clock.advance(SimTime::from_micros(*delay_us as u64));
+                }
+                if !satisfied {
+                    return Err(ReplayError::PollTimeout { reg: offset });
+                }
+            }
+            Op::WaitIrq { line } => {
+                let Some(at) = self.device_gpu.borrow_mut().next_irq_at(*line) else {
+                    return Err(ReplayError::IrqHang);
+                };
+                self.clock.advance_to(at);
+            }
+            Op::LoadDelta { index } => {
+                let d = compiled.delta(*index);
+                // Same clamp as the interpreted path: the claimed region
+                // length is bounded by the device's memory, and a delta
+                // whose stated length exceeds that bound is corrupt *for
+                // this device* even though it parsed at compile time.
+                let len = (d.len as usize).min(self.device_mem.borrow().size());
+                if d.parsed.new_len() > len {
+                    return Err(ReplayError::CorruptDelta);
+                }
+                {
+                    let mut mem = self.device_mem.borrow_mut();
+                    for (page, xor) in d.parsed.pages() {
+                        mem.xor_range(d.pa + u64::from(*page) * grt_gpu::PAGE_SIZE as u64, xor);
+                    }
+                }
+                // In-place XOR of pre-parsed pages streams at memory
+                // bandwidth — ~4× the entropy decoder's byte rate.
+                let xor_time = SimTime::from_nanos(d.parsed.changed_bytes() as u64 / 4);
+                self.clock.advance(xor_time);
+                self.profile.overhead += xor_time;
             }
         }
         Ok(())
@@ -389,6 +633,7 @@ impl Replayer {
                 return Err(ReplayError::BadInput);
             }
         }
+        self.profile = ReplayProfile::default();
         self.tzasc.claim(
             crate::client::GPU_MMIO_BASE,
             crate::client::GPU_MMIO_LEN,
@@ -669,6 +914,117 @@ mod tests {
             .tzasc
             .owner_of(crate::client::GPU_MMIO_BASE)
             .is_none());
+    }
+
+    #[test]
+    fn compiled_replay_matches_interpreted_bit_for_bit() {
+        let (s, out) = record_mnist(RecorderMode::OursMDS);
+        let spec = grt_ml::zoo::mnist();
+        let key = s.recording_key();
+        let mut replayer = Replayer::new(&s.client, permissive());
+        let weights = workload_weights(&spec);
+        let compiled = replayer.compile_signed(&out.recording, &key).unwrap();
+        for variant in [3, 7] {
+            let input = test_input(&spec, variant);
+            let (interp, _) = replayer
+                .replay(&out.recording, &key, &input, &weights)
+                .unwrap();
+            let interp_events = replayer.last_profile().events;
+            let (fast, _) = replayer
+                .replay_compiled(&compiled, &input, &weights)
+                .unwrap();
+            let fast_profile = replayer.last_profile();
+            assert_eq!(
+                interp.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "variant {variant}"
+            );
+            assert_eq!(interp_events, fast_profile.events);
+            assert_eq!(fast_profile.delta_wire_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn compiled_replay_is_faster_per_event() {
+        let (s, out) = record_mnist(RecorderMode::OursMDS);
+        let spec = grt_ml::zoo::mnist();
+        let key = s.recording_key();
+        let mut replayer = Replayer::new(&s.client, permissive());
+        let input = test_input(&spec, 1);
+        let weights = workload_weights(&spec);
+        let compiled = replayer.compile_signed(&out.recording, &key).unwrap();
+        replayer
+            .replay(&out.recording, &key, &input, &weights)
+            .unwrap();
+        let interp = replayer.last_profile();
+        replayer
+            .replay_compiled(&compiled, &input, &weights)
+            .unwrap();
+        let fast = replayer.last_profile();
+        assert!(
+            fast.events_per_sec() >= 1.5 * interp.events_per_sec(),
+            "compiled {:.0} ev/s vs interpreted {:.0} ev/s",
+            fast.events_per_sec(),
+            interp.events_per_sec()
+        );
+        assert!(fast.total <= interp.total);
+    }
+
+    #[test]
+    fn compile_rejects_tampered_and_wrong_sku() {
+        let (s, mut out) = record_mnist(RecorderMode::OursMDS);
+        let key = s.recording_key();
+        let mut replayer = Replayer::new(&s.client, permissive());
+        // Wrong SKU.
+        let clock = grt_sim::Clock::new();
+        let stats = grt_sim::Stats::new();
+        let other = crate::session::ClientDevice::new(GpuSku::mali_g71_mp4(), &clock, &stats, b"x");
+        let mut other_replayer = Replayer::new(&other, permissive());
+        assert!(matches!(
+            other_replayer.compile_signed(&out.recording, &key),
+            Err(ReplayError::WrongSku { .. })
+        ));
+        // Tampered bytes.
+        let n = out.recording.bytes.len();
+        out.recording.bytes[n / 2] ^= 1;
+        assert_eq!(
+            replayer.compile_signed(&out.recording, &key).unwrap_err(),
+            ReplayError::BadRecording
+        );
+    }
+
+    #[test]
+    fn compiled_replay_rechecks_sku() {
+        let (s, out) = record_mnist(RecorderMode::OursMDS);
+        let spec = grt_ml::zoo::mnist();
+        let key = s.recording_key();
+        let mut replayer = Replayer::new(&s.client, permissive());
+        let compiled = replayer.compile_signed(&out.recording, &key).unwrap();
+        let clock = grt_sim::Clock::new();
+        let stats = grt_sim::Stats::new();
+        let other = crate::session::ClientDevice::new(GpuSku::mali_g71_mp4(), &clock, &stats, b"x");
+        let mut other_replayer = Replayer::new(&other, permissive());
+        assert!(matches!(
+            other_replayer.replay_compiled(
+                &compiled,
+                &test_input(&spec, 0),
+                &workload_weights(&spec)
+            ),
+            Err(ReplayError::WrongSku { .. })
+        ));
+    }
+
+    #[test]
+    fn compiled_replay_rejects_wrong_shape_input() {
+        let (s, out) = record_mnist(RecorderMode::OursMDS);
+        let spec = grt_ml::zoo::mnist();
+        let key = s.recording_key();
+        let mut replayer = Replayer::new(&s.client, permissive());
+        let compiled = replayer.compile_signed(&out.recording, &key).unwrap();
+        let err = replayer
+            .replay_compiled(&compiled, &[0.0; 3], &workload_weights(&spec))
+            .unwrap_err();
+        assert_eq!(err, ReplayError::BadInput);
     }
 
     #[test]

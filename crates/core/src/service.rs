@@ -7,6 +7,7 @@
 //! runs the replay, and reads back the output — four commands over
 //! byte-buffer params, like a real GP TA.
 
+use crate::compiled::CompiledRecording;
 use crate::gate::RecordingGate;
 use crate::recording::SignedRecording;
 use crate::replay::Replayer;
@@ -28,10 +29,15 @@ pub mod cmd {
 }
 
 /// The trusted replay module.
+///
+/// `LOAD_RECORDING` runs the whole trust pipeline — signature, SKU,
+/// gate analysis — and lowers the recording into a [`CompiledRecording`]
+/// (DESIGN.md §9). Every `RUN` then takes the warm path: no re-verify,
+/// no re-parse, no re-lint, no delta decompression.
 pub struct ReplayService {
     replayer: Replayer,
     key: KeyPair,
-    recording: Option<SignedRecording>,
+    compiled: Option<Rc<CompiledRecording>>,
     loaded_workload: Option<String>,
     input: Option<Vec<f32>>,
     weights: Vec<Option<Vec<f32>>>,
@@ -46,7 +52,7 @@ impl ReplayService {
         ReplayService {
             replayer: Replayer::new(device, gate),
             key,
-            recording: None,
+            compiled: None,
             loaded_workload: None,
             input: None,
             weights: Vec::new(),
@@ -95,18 +101,26 @@ impl TeeModule for ReplayService {
                     bytes: body.to_vec(),
                     signature: Signature::from_bytes(raw),
                 };
-                // Verify *now*: a bad recording never occupies TEE state.
-                let rec = signed
-                    .verify_and_parse(&self.key)
-                    .ok_or(GpStatus::AccessDenied)?;
-                self.weights = vec![None; rec.weights.len()];
+                // Verify, vet, and compile *now*: a bad recording never
+                // occupies TEE state, and a good one is lowered exactly
+                // once — `RUN` replays the compiled form.
+                let compiled =
+                    self.replayer
+                        .compile_signed(&signed, &self.key)
+                        .map_err(|e| match e {
+                            crate::replay::ReplayError::BadRecording
+                            | crate::replay::ReplayError::Rejected { .. } => GpStatus::AccessDenied,
+                            _ => GpStatus::Generic,
+                        })?;
+                self.weights = vec![None; compiled.weights.len()];
                 self.input = None;
-                self.loaded_workload = Some(rec.workload.clone());
-                self.recording = Some(signed);
-                Ok(rec.weights.len().to_le_bytes()[..4].to_vec())
+                self.loaded_workload = Some(compiled.workload.clone());
+                let slots = compiled.weights.len();
+                self.compiled = Some(Rc::new(compiled));
+                Ok(slots.to_le_bytes()[..4].to_vec())
             }
             cmd::SET_INPUT => {
-                if self.recording.is_none() {
+                if self.compiled.is_none() {
                     return Err(GpStatus::BadParameters);
                 }
                 self.input = Some(Self::parse_f32s(input)?);
@@ -124,13 +138,13 @@ impl TeeModule for ReplayService {
                 Ok(Vec::new())
             }
             cmd::RUN => {
-                let signed = self.recording.as_ref().ok_or(GpStatus::BadParameters)?;
+                let compiled = self.compiled.clone().ok_or(GpStatus::BadParameters)?;
                 let input = self.input.as_ref().ok_or(GpStatus::BadParameters)?;
                 let weights: Option<Vec<Vec<f32>>> = self.weights.iter().cloned().collect();
                 let weights = weights.ok_or(GpStatus::BadParameters)?;
                 let (out, _) = self
                     .replayer
-                    .replay(signed, &self.key, input, &weights)
+                    .replay_compiled(&compiled, input, &weights)
                     .map_err(|e| match e {
                         // A lint rejection is a policy refusal, not a
                         // hardware fault.
@@ -148,7 +162,7 @@ impl TeeModule for ReplayService {
 impl std::fmt::Debug for ReplayService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReplayService")
-            .field("loaded", &self.recording.is_some())
+            .field("loaded", &self.compiled.is_some())
             .finish()
     }
 }

@@ -108,6 +108,9 @@ pub enum RecordError {
     /// The link failed and stayed failed past the session's checkpoint
     /// retry budget.
     Link(grt_net::LinkError),
+    /// Memory synchronization latched a baseline divergence (§5): the
+    /// cloud and client no longer agree on a metastate region.
+    Sync(crate::memsync::SyncError),
     /// The recording failed ahead-of-replay static analysis (grt-lint).
     Rejected {
         /// The violated rule ("R1".."R6").
@@ -124,6 +127,7 @@ impl std::fmt::Display for RecordError {
             RecordError::Driver(e) => write!(f, "GPU stack error: {e}"),
             RecordError::ClientHang => write!(f, "client GPU hang during record"),
             RecordError::Link(e) => write!(f, "record tunnel failed: {e}"),
+            RecordError::Sync(e) => write!(f, "memory synchronization failed: {e}"),
             RecordError::Rejected { rule, message } => {
                 write!(
                     f,
@@ -423,6 +427,13 @@ impl RecordSession {
             if self.link.link_error().is_some() {
                 break;
             }
+            if let Some(e) = self.shim.sync_fault() {
+                // A down-sync diverged: abort the layer cleanly (the
+                // recording rolls back to the last checkpoint or fails
+                // with a typed error, never a panic mid-commit).
+                self.driver.power_down()?;
+                return Err(RecordError::Sync(self.shim.take_sync_fault().unwrap_or(e)));
+            }
             self.shim.set_job_nominal_bytes(layer.nominal_data_bytes);
             self.clock.advance(CLOUD_CPU_PER_JOB);
             let submitted_at = self.clock.now();
@@ -446,6 +457,9 @@ impl RecordSession {
             }
         }
         self.driver.power_down()?;
+        if let Some(e) = self.shim.take_sync_fault() {
+            return Err(RecordError::Sync(e));
+        }
         Ok(())
     }
 

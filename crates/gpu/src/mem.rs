@@ -79,6 +79,10 @@ impl std::error::Error for MemFault {}
 pub struct Memory {
     bytes: Vec<u8>,
     flags: Vec<PageFlags>,
+    /// One bit per page, set by any mutation since the last
+    /// [`Memory::clear_dirty`] on that page. Lets the memsync layer skip
+    /// dumping and comparing regions nothing wrote to.
+    dirty: Vec<u64>,
 }
 
 impl fmt::Debug for Memory {
@@ -93,9 +97,23 @@ impl Memory {
     /// Creates a zeroed memory of `size` bytes (rounded up to a page).
     pub fn new(size: usize) -> Self {
         let size = size.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let pages = size / PAGE_SIZE;
         Memory {
             bytes: vec![0; size],
-            flags: vec![PageFlags::default(); size / PAGE_SIZE],
+            flags: vec![PageFlags::default(); pages],
+            dirty: vec![0; pages.div_ceil(64)],
+        }
+    }
+
+    /// Marks the pages overlapping `[start, end)` (byte offsets) dirty.
+    fn mark_dirty(&mut self, start: usize, end: usize) {
+        if end <= start {
+            return;
+        }
+        let first = start / PAGE_SIZE;
+        let last = ((end - 1) / PAGE_SIZE).min(self.flags.len().saturating_sub(1));
+        for page in first..=last {
+            self.dirty[page / 64] |= 1u64 << (page % 64);
         }
     }
 
@@ -144,6 +162,7 @@ impl Memory {
     pub fn write(&mut self, pa: u64, buf: &[u8], accessor: Accessor) -> Result<(), MemFault> {
         let start = self.check(pa, buf.len(), accessor)?;
         self.bytes[start..start + buf.len()].copy_from_slice(buf);
+        self.mark_dirty(start, start + buf.len());
         Ok(())
     }
 
@@ -195,6 +214,67 @@ impl Memory {
         let start = (pa as usize).min(self.bytes.len());
         let end = start.saturating_add(data.len()).min(self.bytes.len());
         self.bytes[start..end].copy_from_slice(&data[..end - start]);
+        self.mark_dirty(start, end);
+    }
+
+    /// XORs `xor` into the bytes at `pa`, ignoring trap flags and clamping
+    /// at the end of memory (like [`Memory::restore_range`]).
+    ///
+    /// This is the in-place fast path for applying a pre-validated page
+    /// delta: equivalent to dump + XOR-decode + restore of the same range.
+    pub fn xor_range(&mut self, pa: u64, xor: &[u8]) {
+        let start = (pa as usize).min(self.bytes.len());
+        let end = start.saturating_add(xor.len()).min(self.bytes.len());
+        for (b, &x) in self.bytes[start..end].iter_mut().zip(xor) {
+            *b ^= x;
+        }
+        self.mark_dirty(start, end);
+    }
+
+    /// Whether any page overlapping `[pa, pa + len)` has been written since
+    /// the last [`Memory::clear_dirty`] covering it. Ranges past the end of
+    /// memory are clamped.
+    pub fn any_dirty(&self, pa: u64, len: usize) -> bool {
+        let start = (pa as usize).min(self.bytes.len());
+        let end = start.saturating_add(len).min(self.bytes.len());
+        if end <= start {
+            return false;
+        }
+        let first = start / PAGE_SIZE;
+        let last = (end - 1) / PAGE_SIZE;
+        (first..=last).any(|p| self.dirty[p / 64] & (1u64 << (p % 64)) != 0)
+    }
+
+    /// Number of dirty pages overlapping `[pa, pa + len)`.
+    pub fn count_dirty_pages(&self, pa: u64, len: usize) -> usize {
+        let start = (pa as usize).min(self.bytes.len());
+        let end = start.saturating_add(len).min(self.bytes.len());
+        if end <= start {
+            return 0;
+        }
+        let first = start / PAGE_SIZE;
+        let last = (end - 1) / PAGE_SIZE;
+        (first..=last)
+            .filter(|p| self.dirty[p / 64] & (1u64 << (p % 64)) != 0)
+            .count()
+    }
+
+    /// Clears the dirty bits of every page overlapping `[pa, pa + len)`.
+    ///
+    /// Called by the memsync layer once a region's content has been
+    /// captured in a baseline, so the next sync can prove "nothing wrote
+    /// here" without dumping.
+    pub fn clear_dirty(&mut self, pa: u64, len: usize) {
+        let start = (pa as usize).min(self.bytes.len());
+        let end = start.saturating_add(len).min(self.bytes.len());
+        if end <= start {
+            return;
+        }
+        let first = start / PAGE_SIZE;
+        let last = (end - 1) / PAGE_SIZE;
+        for p in first..=last {
+            self.dirty[p / 64] &= !(1u64 << (p % 64));
+        }
     }
 
     /// Sets the trap flags on a page range.
@@ -218,9 +298,13 @@ impl Memory {
     }
 
     /// Zeroes all bytes and clears all trap flags (GPU reset / TEE cleanup).
+    ///
+    /// Every page is marked dirty: the wipe changed (or may have changed)
+    /// its contents relative to any baseline taken before it.
     pub fn wipe(&mut self) {
         self.bytes.fill(0);
         self.flags.fill(PageFlags::default());
+        self.dirty.fill(u64::MAX);
     }
 }
 
@@ -331,6 +415,74 @@ mod tests {
         let m = Memory::new(PAGE_SIZE);
         assert_eq!(m.dump_range(0, 10 * PAGE_SIZE).len(), PAGE_SIZE);
         assert!(m.dump_range(100 * PAGE_SIZE as u64, 8).is_empty());
+    }
+
+    #[test]
+    fn dirty_bits_track_writes_per_page() {
+        let mut m = Memory::new(4 * PAGE_SIZE);
+        assert!(!m.any_dirty(0, 4 * PAGE_SIZE));
+        m.write_u32(PAGE_SIZE as u64 + 8, 7, Accessor::Cpu).unwrap();
+        assert!(m.any_dirty(0, 4 * PAGE_SIZE));
+        assert!(!m.any_dirty(0, PAGE_SIZE));
+        assert!(m.any_dirty(PAGE_SIZE as u64, PAGE_SIZE));
+        assert_eq!(m.count_dirty_pages(0, 4 * PAGE_SIZE), 1);
+        m.clear_dirty(PAGE_SIZE as u64, PAGE_SIZE);
+        assert!(!m.any_dirty(0, 4 * PAGE_SIZE));
+    }
+
+    #[test]
+    fn dirty_bits_track_restore_and_xor() {
+        let mut m = Memory::new(4 * PAGE_SIZE);
+        m.restore_range(2 * PAGE_SIZE as u64, &[1, 2, 3]);
+        assert!(m.any_dirty(2 * PAGE_SIZE as u64, PAGE_SIZE));
+        m.clear_dirty(0, 4 * PAGE_SIZE);
+        m.xor_range(3 * PAGE_SIZE as u64, &[0xFF; 8]);
+        assert!(m.any_dirty(3 * PAGE_SIZE as u64, PAGE_SIZE));
+        assert!(!m.any_dirty(0, 3 * PAGE_SIZE));
+    }
+
+    #[test]
+    fn straddling_write_dirties_both_pages() {
+        let mut m = Memory::new(2 * PAGE_SIZE);
+        m.write_u64(PAGE_SIZE as u64 - 4, 0xFFFF_FFFF_FFFF_FFFF, Accessor::Cpu)
+            .unwrap();
+        assert_eq!(m.count_dirty_pages(0, 2 * PAGE_SIZE), 2);
+    }
+
+    #[test]
+    fn dirty_queries_clamp_out_of_range() {
+        let m = Memory::new(PAGE_SIZE);
+        assert!(!m.any_dirty(100 * PAGE_SIZE as u64, PAGE_SIZE));
+        assert_eq!(m.count_dirty_pages(100 * PAGE_SIZE as u64, 8), 0);
+    }
+
+    #[test]
+    fn xor_range_matches_dump_decode_restore() {
+        let mut a = Memory::new(2 * PAGE_SIZE);
+        a.write(0, &[0x5A; 2 * PAGE_SIZE], Accessor::Cpu).unwrap();
+        let mut b = Memory::new(2 * PAGE_SIZE);
+        b.write(0, &[0x5A; 2 * PAGE_SIZE], Accessor::Cpu).unwrap();
+        let xor = [0x0Fu8; 100];
+        // Fast path on `a`.
+        a.xor_range(PAGE_SIZE as u64, &xor);
+        // Slow path on `b`.
+        let mut page = b.dump_range(PAGE_SIZE as u64, 100);
+        for (p, x) in page.iter_mut().zip(xor) {
+            *p ^= x;
+        }
+        b.restore_range(PAGE_SIZE as u64, &page);
+        assert_eq!(
+            a.dump_range(0, 2 * PAGE_SIZE),
+            b.dump_range(0, 2 * PAGE_SIZE)
+        );
+    }
+
+    #[test]
+    fn wipe_marks_everything_dirty() {
+        let mut m = Memory::new(2 * PAGE_SIZE);
+        m.clear_dirty(0, 2 * PAGE_SIZE);
+        m.wipe();
+        assert_eq!(m.count_dirty_pages(0, 2 * PAGE_SIZE), 2);
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! registry node that cannot hold every model × SKU product.
 
 use grt_core::recording::SignedRecording;
+use grt_core::replay::REPLAY_POLL_ITER_CAP;
 use grt_core::session::{recording_trust_root, RecordError, RecordSession, RecorderMode};
+use grt_core::CompiledRecording;
 use grt_gpu::GpuSku;
 use grt_lint::{LintReport, Linter};
 use grt_ml::NetworkSpec;
@@ -63,6 +65,10 @@ pub struct RegistryStats {
     /// Recordings statically analyzed at insert (once per insert; the
     /// verdict is cached with the entry).
     pub linted_inserts: u64,
+    /// Recordings lowered into their compiled replay form at insert (once
+    /// per insert; the compiled form is cached with the entry, so fetches
+    /// never pay parse/validate/decompress again — DESIGN.md §9).
+    pub compiled_inserts: u64,
     /// Recordings refused because static analysis found a rule violation.
     pub lint_rejections: u64,
     /// Message retransmissions across all cold-start record tunnels.
@@ -84,6 +90,17 @@ impl RegistryStats {
     }
 }
 
+/// Everything a cold-start record run produces for one cache insert:
+/// the signed recording, its weight-slot count, the lint verdict, the
+/// compiled replay form, and the virtual time the run took.
+type ColdRecord = (
+    Rc<SignedRecording>,
+    usize,
+    Rc<LintReport>,
+    Rc<CompiledRecording>,
+    SimTime,
+);
+
 /// What a fetch returned.
 #[derive(Debug, Clone)]
 pub struct FetchOutcome {
@@ -95,6 +112,9 @@ pub struct FetchOutcome {
     /// static analysis (always `passed()` — failing recordings never
     /// enter the cache).
     pub lint: Rc<LintReport>,
+    /// The recording lowered once at insert for the fast replay path
+    /// (shared; warm replays use this directly).
+    pub compiled: Rc<CompiledRecording>,
     /// Virtual time the cold-start record run took; `None` on a hit.
     pub cold_start_delay: Option<SimTime>,
 }
@@ -105,6 +125,8 @@ struct Entry {
     weight_slots: usize,
     /// Insert-time lint report, handed out with every fetch.
     lint: Rc<LintReport>,
+    /// Insert-time compiled form, handed out with every fetch.
+    compiled: Rc<CompiledRecording>,
     last_used: u64,
 }
 
@@ -143,16 +165,24 @@ impl RecordingRegistry {
                 recording: Rc::clone(&e.recording),
                 weight_slots: e.weight_slots,
                 lint: Rc::clone(&e.lint),
+                compiled: Rc::clone(&e.compiled),
                 cold_start_delay: None,
             });
         }
         self.stats.misses += 1;
-        let (recording, weight_slots, lint, delay) = self.record_cold(spec, sku)?;
-        self.insert(key, Rc::clone(&recording), weight_slots, Rc::clone(&lint));
+        let (recording, weight_slots, lint, compiled, delay) = self.record_cold(spec, sku)?;
+        self.insert(
+            key,
+            Rc::clone(&recording),
+            weight_slots,
+            Rc::clone(&lint),
+            Rc::clone(&compiled),
+        );
         Ok(FetchOutcome {
             recording,
             weight_slots,
             lint,
+            compiled,
             cold_start_delay: Some(delay),
         })
     }
@@ -166,8 +196,8 @@ impl RecordingRegistry {
             e.last_used = self.tick;
             return Ok(());
         }
-        let (recording, weight_slots, lint, _) = self.record_cold(spec, sku)?;
-        self.insert(key, recording, weight_slots, lint);
+        let (recording, weight_slots, lint, compiled, _) = self.record_cold(spec, sku)?;
+        self.insert(key, recording, weight_slots, lint, compiled);
         Ok(())
     }
 
@@ -209,21 +239,23 @@ impl RecordingRegistry {
 
     /// Runs the cold-start record session, then verifies and lints the
     /// result once.
-    fn record_cold(
-        &mut self,
-        spec: &NetworkSpec,
-        sku: &GpuSku,
-    ) -> Result<(Rc<SignedRecording>, usize, Rc<LintReport>, SimTime), RecordError> {
+    fn record_cold(&mut self, spec: &NetworkSpec, sku: &GpuSku) -> Result<ColdRecord, RecordError> {
         let mut session = RecordSession::new(sku.clone(), self.cfg.conditions, self.cfg.mode);
         if let Some(plan) = &self.cfg.faults {
             session.attach_faults(plan);
         }
         let out = session.record(spec)?;
-        let (weight_slots, lint) = self.vet(spec, sku, &out.recording)?;
+        let (weight_slots, lint, compiled) = self.vet(spec, sku, &out.recording)?;
         self.stats.record_retries += out.link_retries;
         self.stats.checkpoint_resumes += out.checkpoint_resumes;
         self.record_time += out.delay;
-        Ok((Rc::new(out.recording), weight_slots, lint, out.delay))
+        Ok((
+            Rc::new(out.recording),
+            weight_slots,
+            lint,
+            compiled,
+            out.delay,
+        ))
     }
 
     /// Verify-once-and-lint-once-on-insert: a recording that fails the
@@ -236,7 +268,7 @@ impl RecordingRegistry {
         spec: &NetworkSpec,
         sku: &GpuSku,
         recording: &SignedRecording,
-    ) -> Result<(usize, Rc<LintReport>), RecordError> {
+    ) -> Result<(usize, Rc<LintReport>, Rc<CompiledRecording>), RecordError> {
         let parsed = recording
             .verify_and_parse(&recording_trust_root())
             .ok_or(RecordError::Attestation)?;
@@ -250,7 +282,17 @@ impl RecordingRegistry {
                 message: d.message.clone(),
             });
         }
-        Ok((parsed.weights.len(), Rc::new(report)))
+        // Lower once, cache beside the verdict: the compiled form
+        // reproduces the linted recording event-for-event, so the R1-R6
+        // verdict carries over to every replay of it.
+        let compiled =
+            grt_core::compiled::compile(&parsed, grt_gpu::PAGE_SIZE, REPLAY_POLL_ITER_CAP)
+                .map_err(|e| RecordError::Rejected {
+                    rule: "compile".to_owned(),
+                    message: e.to_string(),
+                })?;
+        self.stats.compiled_inserts += 1;
+        Ok((parsed.weights.len(), Rc::new(report), Rc::new(compiled)))
     }
 
     /// Inserts an externally produced signed recording (e.g. shipped from
@@ -263,10 +305,10 @@ impl RecordingRegistry {
         recording: SignedRecording,
     ) -> Result<(), RecordError> {
         self.tick += 1;
-        let (weight_slots, lint) = self.vet(spec, sku, &recording)?;
+        let (weight_slots, lint, compiled) = self.vet(spec, sku, &recording)?;
         let key = (spec.name.to_owned(), sku.gpu_id);
         self.entries.retain(|e| e.key != key);
-        self.insert(key, Rc::new(recording), weight_slots, lint);
+        self.insert(key, Rc::new(recording), weight_slots, lint, compiled);
         Ok(())
     }
 
@@ -276,6 +318,7 @@ impl RecordingRegistry {
         recording: Rc<SignedRecording>,
         weight_slots: usize,
         lint: Rc<LintReport>,
+        compiled: Rc<CompiledRecording>,
     ) {
         if self.entries.len() >= self.cfg.capacity {
             // Evict the least-recently-used entry (deterministic: ticks
@@ -295,6 +338,7 @@ impl RecordingRegistry {
             recording,
             weight_slots,
             lint,
+            compiled,
             last_used: self.tick,
         });
     }
@@ -384,6 +428,20 @@ mod tests {
         assert!(Rc::ptr_eq(&first.lint, &second.lint));
         assert_eq!(r.stats().linted_inserts, 1);
         assert_eq!(r.stats().lint_rejections, 0);
+    }
+
+    #[test]
+    fn compiled_form_is_cached_with_the_entry() {
+        let mut r = registry(4);
+        let spec = grt_ml::zoo::mnist();
+        let sku = GpuSku::mali_g71_mp8();
+        let first = r.fetch(&spec, &sku).unwrap();
+        assert!(first.compiled.num_events() > 0);
+        assert_eq!(first.compiled.workload, spec.name);
+        let second = r.fetch(&spec, &sku).unwrap();
+        // Lowered once and shared, like the recording and the verdict.
+        assert!(Rc::ptr_eq(&first.compiled, &second.compiled));
+        assert_eq!(r.stats().compiled_inserts, 1);
     }
 
     #[test]

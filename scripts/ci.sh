@@ -55,4 +55,31 @@ cmp "$GOLDEN_DIR/faulted_a.json" "$GOLDEN_DIR/faulted_b.json" || {
     exit 1
 }
 
+# Replay perf gate: two back-to-back replay benchmark runs must emit
+# byte-identical JSON (all numbers derive from the virtual clock), and
+# the compiled path's aggregate events/s must not regress more than 10%
+# below the checked-in BENCH_replay.json baseline.
+echo "==> replay perf gate: determinism + events/s regression check"
+cargo run --release -q -p grt-bench --bin replay_bench > "$GOLDEN_DIR/replay_a.json"
+cargo run --release -q -p grt-bench --bin replay_bench > "$GOLDEN_DIR/replay_b.json"
+cmp "$GOLDEN_DIR/replay_a.json" "$GOLDEN_DIR/replay_b.json" || {
+    echo "ci: replay_bench output is nondeterministic" >&2
+    exit 1
+}
+extract_eps() {
+    sed -n 's/.*"compiled_events_per_sec": \([0-9][0-9]*\).*/\1/p' "$1"
+}
+BASE_EPS="$(extract_eps BENCH_replay.json)"
+NEW_EPS="$(extract_eps "$GOLDEN_DIR/replay_a.json")"
+if [ -z "$BASE_EPS" ] || [ -z "$NEW_EPS" ]; then
+    echo "ci: could not extract compiled_events_per_sec" >&2
+    exit 1
+fi
+# Fail if NEW < 90% of BASE (integer math: 10*NEW < 9*BASE).
+if [ "$((10 * NEW_EPS))" -lt "$((9 * BASE_EPS))" ]; then
+    echo "ci: compiled replay events/s regressed >10%: $NEW_EPS vs baseline $BASE_EPS" >&2
+    exit 1
+fi
+echo "    compiled events/s: $NEW_EPS (baseline $BASE_EPS)"
+
 echo "CI gate passed."

@@ -479,7 +479,7 @@ fn memsync_converges_under_arbitrary_mutation() {
                 let off = rng.gen_range(8192);
                 cloud.restore_range(0x4000 + off, &[rng.next_u32() as u8]);
             }
-            sync.sync_down(&mut cloud, &regions, &mut shim, 0);
+            sync.sync_down(&mut cloud, &regions, &mut shim, 0).unwrap();
             assert_eq!(
                 shim.mem().borrow().dump_range(0x4000, 2 * PAGE_SIZE),
                 cloud.dump_range(0x4000, 2 * PAGE_SIZE)
@@ -498,4 +498,52 @@ fn memsync_converges_under_arbitrary_mutation() {
             );
         }
     });
+}
+
+/// The compiled replay path is event-for-event identical to the
+/// interpreted path: for every zoo network and arbitrary inputs, both
+/// paths execute the same number of events and produce bit-identical
+/// outputs (DESIGN.md §9 — compilation is semantics-preserving).
+#[test]
+fn compiled_replay_equals_interpreted_on_all_networks() {
+    use grt_core::replay::{workload_weights, Replayer};
+    use grt_core::session::{RecordSession, RecorderMode};
+    use grt_ml::reference::test_input;
+
+    for spec in grt_ml::zoo::all_benchmarks() {
+        let mut s = RecordSession::new(
+            grt_gpu::GpuSku::mali_g71_mp8(),
+            grt_net::NetConditions::wifi(),
+            RecorderMode::OursMDS,
+        );
+        let out = s.record(&spec).expect("record");
+        let key = s.recording_key();
+        let mut replayer = Replayer::new(&s.client, std::rc::Rc::new(grt_lint::Linter::new()));
+        let weights = workload_weights(&spec);
+        let compiled = replayer
+            .compile_signed(&out.recording, &key)
+            .expect("vetted recording compiles");
+        cases(3, 0xC0DE_0011 ^ spec.name.len() as u64, |rng| {
+            let input = test_input(&spec, rng.next_u64());
+            let (interp, _) = replayer
+                .replay(&out.recording, &key, &input, &weights)
+                .unwrap();
+            let interp_events = replayer.last_profile().events;
+            let (fast, _) = replayer
+                .replay_compiled(&compiled, &input, &weights)
+                .unwrap();
+            assert_eq!(
+                interp.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{}: outputs must be bit-identical",
+                spec.name
+            );
+            assert_eq!(
+                interp_events,
+                replayer.last_profile().events,
+                "{}: event counts must match",
+                spec.name
+            );
+        });
+    }
 }
