@@ -98,6 +98,26 @@ fn main() -> std::process::ExitCode {
         let down_bytes = s.stats.get("sync.down_meta_bytes") + s.stats.get("sync.down_data_bytes");
         let up_bytes = s.stats.get("sync.up_meta_bytes") + s.stats.get("sync.up_data_bytes");
 
+        // Execution fast-path counters from the warm (compiled) replay:
+        // software-TLB effectiveness and where the GPU's modeled time went,
+        // by op kind. Kinds the network never issued are omitted.
+        let ops_json = grt_gpu::OpKind::ALL
+            .iter()
+            .map(|k| (k, fast.exec.per_kind[k.index()]))
+            .filter(|(_, st)| st.events > 0)
+            .map(|(k, st)| {
+                format!(
+                    "{{\"kind\": \"{}\", \"events\": {}, \"macs\": {}, \"ns\": {}, \"macs_per_sec\": {}}}",
+                    k.name(),
+                    st.events,
+                    st.macs,
+                    st.ns,
+                    per_sec(st.macs, st.ns),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+
         rows.push(format!(
             concat!(
                 "{{\"workload\": \"{}\", \"events\": {}, \"delta_wire_bytes\": {}, ",
@@ -106,6 +126,8 @@ fn main() -> std::process::ExitCode {
                 "\"compiled\": {{\"overhead_ns\": {}, \"total_ns\": {}, \"events_per_sec\": {}}}, ",
                 "\"cold_replay_ns\": {}, \"warm_replay_ns\": {}, \"warm_replays_per_sec\": {:.3}, ",
                 "\"overhead_speedup\": {:.3}, ",
+                "\"tlb\": {{\"hits\": {}, \"misses\": {}}}, ",
+                "\"ops\": [{}], ",
                 "\"sync\": {{\"down_regions_dumped\": {}, \"down_regions_clean_skipped\": {}, ",
                 "\"down_bytes\": {}, \"up_bytes\": {}}}}}"
             ),
@@ -123,6 +145,9 @@ fn main() -> std::process::ExitCode {
             fast.total.as_nanos(),
             1e9 / fast.total.as_nanos() as f64,
             interp_overhead as f64 / fast_overhead as f64,
+            fast.exec.tlb.hits,
+            fast.exec.tlb.misses,
+            ops_json,
             dumped,
             skipped,
             down_bytes,

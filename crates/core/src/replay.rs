@@ -144,6 +144,10 @@ pub struct ReplayProfile {
     /// Wire-format delta bytes decompressed during the replay (zero on
     /// the compiled path — decompression happened once at compile time).
     pub delta_wire_bytes: u64,
+    /// Execution fast-path counters accumulated inside the GPU during
+    /// this replay: software-TLB hits/misses and the per-op-kind
+    /// events/MACs/time breakdown (see [`grt_gpu::ExecStats`]).
+    pub exec: grt_gpu::ExecStats,
 }
 
 impl ReplayProfile {
@@ -265,6 +269,7 @@ impl Replayer {
 
         self.profile = ReplayProfile::default();
         let t0 = self.clock.now();
+        let exec0 = self.device_gpu.borrow().exec_stats();
         // TEE isolates and resets the GPU (§3.2).
         self.tzasc.claim(
             crate::client::GPU_MMIO_BASE,
@@ -303,6 +308,7 @@ impl Replayer {
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
         self.cleanup();
+        self.profile.exec = self.device_gpu.borrow().exec_stats().delta_since(&exec0);
         self.profile.total = self.clock.now() - t0;
         Ok((out, self.profile.total))
     }
@@ -480,6 +486,7 @@ impl Replayer {
 
         self.profile = ReplayProfile::default();
         let t0 = self.clock.now();
+        let exec0 = self.device_gpu.borrow().exec_stats();
         self.tzasc.claim(
             crate::client::GPU_MMIO_BASE,
             crate::client::GPU_MMIO_LEN,
@@ -513,6 +520,7 @@ impl Replayer {
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect();
         self.cleanup();
+        self.profile.exec = self.device_gpu.borrow().exec_stats().delta_since(&exec0);
         self.profile.total = self.clock.now() - t0;
         Ok((out, self.profile.total))
     }

@@ -10,9 +10,11 @@
 
 use crate::job::{JobDescriptor, JobStatus};
 use crate::mem::Memory;
-use crate::mmu::{AddressSpace, Walker};
+use crate::mmu::{AddressSpace, Tlb, TlbStats, Walker};
 use crate::regs::{gpu_control as gc, job_control as jc, mmu_control as mc};
-use crate::shader::{execute_program, ShaderFault};
+use crate::shader::{
+    execute_program, ExecReport, ExecScratch, OpKindStats, ShaderFault, OP_KIND_COUNT,
+};
 use crate::sku::GpuSku;
 use grt_sim::{Clock, SimTime};
 use std::cell::RefCell;
@@ -28,6 +30,80 @@ const FLUSH_TIME: SimTime = SimTime::from_micros(25);
 const AS_CMD_TIME: SimTime = SimTime::from_micros(8);
 /// Fixed per-job overhead on top of the descriptor's cost.
 const JOB_BASE_TIME: SimTime = SimTime::from_micros(30);
+
+/// Fraction of a descriptor's modeled cost that is pure compute (1/N).
+///
+/// The remaining (N-1)/N is memory-stall time that scales with the measured
+/// TLB-miss-per-access ratio: the old per-element-walk engine had one walk
+/// per access (full stall cost), the fast path amortizes walks over page
+/// runs and pays only the fraction it actually misses.
+const COMPUTE_FRACTION_DIV: u128 = 8;
+
+/// Cumulative execution fast-path statistics (observability for the replay
+/// profiler and benches). Counters survive reset, like [`Gpu::macs_executed`],
+/// so callers can diff before/after snapshots across a replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Software-TLB hit/miss/flush counters.
+    pub tlb: TlbStats,
+    /// Element accesses (f32 loads/stores plus instruction bytes) issued by
+    /// shader programs.
+    pub element_accesses: u64,
+    /// Contiguous page runs translated (one walk-or-hit per run).
+    pub bulk_runs: u64,
+    /// Per-op-kind event/mac/time breakdown, indexed by `OpKind::index()`.
+    pub per_kind: [OpKindStats; OP_KIND_COUNT],
+}
+
+impl ExecStats {
+    /// Counter-wise difference `self - before`.
+    ///
+    /// Both snapshots must come from the same [`Gpu`]; the counters are
+    /// monotonic (they survive reset), so the difference isolates exactly
+    /// the work done between the two snapshots.
+    pub fn delta_since(&self, before: &ExecStats) -> ExecStats {
+        let mut per_kind = [OpKindStats::default(); OP_KIND_COUNT];
+        for (d, (a, b)) in per_kind
+            .iter_mut()
+            .zip(self.per_kind.iter().zip(before.per_kind.iter()))
+        {
+            d.events = a.events - b.events;
+            d.macs = a.macs - b.macs;
+            d.ns = a.ns - b.ns;
+        }
+        ExecStats {
+            tlb: TlbStats {
+                hits: self.tlb.hits - before.tlb.hits,
+                misses: self.tlb.misses - before.tlb.misses,
+                flushes: self.tlb.flushes - before.tlb.flushes,
+            },
+            element_accesses: self.element_accesses - before.element_accesses,
+            bulk_runs: self.bulk_runs - before.bulk_runs,
+            per_kind,
+        }
+    }
+}
+
+/// Models a descriptor's execution time from its JIT cost and the measured
+/// walk amortization.
+///
+/// `cost_us` was calibrated against the old engine, where every access did a
+/// full page-table walk (`walks == accesses` reproduces `cost_us` exactly).
+/// We split that budget into a compute fraction (1/8) that is irreducible and
+/// a stall fraction (7/8) scaled by the walk-per-access ratio the TLB + bulk
+/// path actually achieved. A job with no accesses (e.g. a watchdog sleep job
+/// with `n_instrs == 0`) keeps its full modeled cost.
+fn job_exec_time(cost_us: u32, accesses: u64, walks: u64) -> SimTime {
+    let cost_ns = cost_us as u128 * 1_000;
+    if accesses == 0 {
+        return SimTime::from_nanos(cost_ns as u64);
+    }
+    let walks = walks.min(accesses) as u128;
+    let accesses = accesses as u128;
+    let stall_div = COMPUTE_FRACTION_DIV - 1;
+    let ns = cost_ns * (accesses + stall_div * walks) / (COMPUTE_FRACTION_DIV * accesses);
+    SimTime::from_nanos(ns as u64)
+}
 
 /// The three interrupt lines a Mali exposes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,6 +237,17 @@ pub struct Gpu {
     macs_executed: u64,
     /// Total jobs completed successfully.
     jobs_done: u64,
+    /// Software TLB shared by descriptor fetch and shader execution.
+    /// Flushed at descriptor boundaries, AS commands, and reset.
+    tlb: Tlb,
+    /// Reusable kernel scratch buffers (kills per-op Vec churn).
+    scratch: ExecScratch,
+    /// Cumulative element accesses by shader programs (survives reset).
+    exec_element_accesses: u64,
+    /// Cumulative page runs translated (survives reset).
+    exec_bulk_runs: u64,
+    /// Cumulative per-op-kind breakdown (survives reset).
+    exec_per_kind: [OpKindStats; OP_KIND_COUNT],
 
     // Performance-counter block.
     prfcnt_base_lo: u32,
@@ -204,6 +291,11 @@ impl Gpu {
             address_spaces,
             macs_executed: 0,
             jobs_done: 0,
+            tlb: Tlb::new(),
+            scratch: ExecScratch::default(),
+            exec_element_accesses: 0,
+            exec_bulk_runs: 0,
+            exec_per_kind: [OpKindStats::default(); OP_KIND_COUNT],
             prfcnt_base_lo: 0,
             prfcnt_base_hi: 0,
             prfcnt_config: 0,
@@ -228,6 +320,51 @@ impl Gpu {
     /// Total successfully completed jobs (test observability).
     pub fn jobs_done(&self) -> u64 {
         self.jobs_done
+    }
+
+    /// Cumulative execution fast-path statistics.
+    ///
+    /// Like [`Gpu::macs_executed`], these survive reset so the replayer can
+    /// diff snapshots taken before and after a replay.
+    pub fn exec_stats(&self) -> ExecStats {
+        ExecStats {
+            tlb: self.tlb.stats(),
+            element_accesses: self.exec_element_accesses,
+            bulk_runs: self.exec_bulk_runs,
+            per_kind: self.exec_per_kind,
+        }
+    }
+
+    /// Folds a descriptor's [`ExecReport`] into the cumulative per-kind
+    /// breakdown, attributing the descriptor's modeled nanoseconds across
+    /// kinds proportionally to their MAC counts (remainder to the largest
+    /// kind; a MAC-free report charges the first kind that ran anything).
+    fn accumulate_per_kind(&mut self, rep: &ExecReport, dur_ns: u64) {
+        let total_macs: u64 = rep.per_kind.iter().map(|k| k.macs).sum();
+        for (acc, k) in self.exec_per_kind.iter_mut().zip(rep.per_kind.iter()) {
+            acc.events += k.events;
+            acc.macs += k.macs;
+        }
+        if dur_ns == 0 {
+            return;
+        }
+        if total_macs == 0 {
+            if let Some(i) = rep.per_kind.iter().position(|k| k.events > 0) {
+                self.exec_per_kind[i].ns += dur_ns;
+            }
+            return;
+        }
+        let mut assigned = 0u64;
+        let mut max_i = 0usize;
+        for (i, k) in rep.per_kind.iter().enumerate() {
+            if k.macs > rep.per_kind[max_i].macs {
+                max_i = i;
+            }
+            let share = ((dur_ns as u128) * (k.macs as u128) / (total_macs as u128)) as u64;
+            self.exec_per_kind[i].ns += share;
+            assigned += share;
+        }
+        self.exec_per_kind[max_i].ns += dur_ns - assigned;
     }
 
     /// Moves due timed IRQ bits into the raw status registers.
@@ -481,6 +618,9 @@ impl Gpu {
                             enabled: a.transtab_lo != 0 || a.transtab_hi != 0,
                         };
                     }
+                    // Any AS command (UPDATE/LOCK/FLUSH) invalidates cached
+                    // translations, exactly like a real MMU TLB maintenance op.
+                    self.tlb.invalidate_all();
                 }
                 _ => {}
             }
@@ -610,6 +750,9 @@ impl Gpu {
 
     fn begin_reset(&mut self, now: SimTime) {
         // Architectural state is cleared; the completion IRQ fires later.
+        // The TLB is flushed (its hit/miss counters survive, like
+        // `macs_executed`, so replay-profile deltas stay meaningful).
+        self.tlb.invalidate_all();
         self.reset_until = now + RESET_TIME;
         self.flush_until = SimTime::ZERO;
         self.gpu_rawstat = 0;
@@ -689,7 +832,11 @@ impl Gpu {
                 status = jc::JS_STATUS_BAD_DESCRIPTOR;
                 break;
             }
-            let desc = match JobDescriptor::read_via_mmu(&mem, &walker, va) {
+            // Descriptor boundary: drop cached translations so a chain can
+            // never execute through translations from a previous descriptor
+            // (memsync/rollback rewrite tables between jobs).
+            self.tlb.invalidate_all();
+            let desc = match JobDescriptor::read_via_mmu_cached(&mem, &walker, &mut self.tlb, va) {
                 Ok(Some(d)) => d,
                 Ok(None) => {
                     status = jc::JS_STATUS_BAD_DESCRIPTOR;
@@ -701,24 +848,39 @@ impl Gpu {
                     break;
                 }
             };
+            // Walks during this descriptor's execution = TLB-miss delta.
+            let misses_before = self.tlb.stats().misses;
             match execute_program(
                 &mut mem,
                 &walker,
+                &mut self.tlb,
+                &mut self.scratch,
                 desc.shader_va,
                 desc.n_instrs,
                 self.sku.shader_cores,
             ) {
-                Ok(macs) => {
-                    self.macs_executed += macs;
+                Ok(rep) => {
+                    self.macs_executed += rep.macs;
                     self.jobs_done += 1;
-                    total += SimTime::from_micros(desc.cost_us as u64);
-                    let _ =
-                        JobDescriptor::write_status_via_mmu(&mut mem, &walker, va, JobStatus::Done);
-                }
-                Err(ShaderFault::TileMismatch { .. }) => {
-                    let _ = JobDescriptor::write_status_via_mmu(
+                    self.exec_element_accesses += rep.element_accesses;
+                    self.exec_bulk_runs += rep.bulk_runs;
+                    let walks = self.tlb.stats().misses - misses_before;
+                    let dur = job_exec_time(desc.cost_us, rep.element_accesses, walks);
+                    self.accumulate_per_kind(&rep, dur.as_nanos());
+                    total += dur;
+                    let _ = JobDescriptor::write_status_via_mmu_cached(
                         &mut mem,
                         &walker,
+                        &mut self.tlb,
+                        va,
+                        JobStatus::Done,
+                    );
+                }
+                Err(ShaderFault::TileMismatch { .. }) => {
+                    let _ = JobDescriptor::write_status_via_mmu_cached(
+                        &mut mem,
+                        &walker,
+                        &mut self.tlb,
                         va,
                         JobStatus::Fault(jc::JS_STATUS_CONFIG_FAULT),
                     );

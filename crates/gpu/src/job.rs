@@ -6,7 +6,7 @@
 //! dumps and are classified as metastate by the §5 synchronizer.
 
 use crate::mem::{Accessor, Memory};
-use crate::mmu::{AccessKind, MmuFault, Walker};
+use crate::mmu::{AccessKind, MmuFault, Tlb, Walker};
 
 /// Size of one encoded job descriptor.
 pub const DESC_SIZE: usize = 64;
@@ -106,6 +106,34 @@ impl JobDescriptor {
         Ok(JobDescriptor::decode(&raw))
     }
 
+    /// Reads a descriptor at `va` through the GPU MMU using the software TLB.
+    ///
+    /// Translates in contiguous page runs instead of once per byte: a
+    /// descriptor spans at most two pages, so this costs at most two
+    /// `translate_run` calls (usually one) instead of 64 full walks.
+    pub fn read_via_mmu_cached(
+        mem: &Memory,
+        walker: &Walker,
+        tlb: &mut Tlb,
+        va: u64,
+    ) -> Result<Option<Self>, MmuFault> {
+        let mut raw = [0u8; DESC_SIZE];
+        let mut done = 0usize;
+        while done < DESC_SIZE {
+            let (pa, run) = walker.translate_run(
+                mem,
+                tlb,
+                va + done as u64,
+                DESC_SIZE - done,
+                AccessKind::Read,
+            )?;
+            mem.read(pa, &mut raw[done..done + run], Accessor::Gpu)
+                .map_err(|fault| MmuFault::WalkError { fault })?;
+            done += run;
+        }
+        Ok(JobDescriptor::decode(&raw))
+    }
+
     /// Writes this descriptor's status word back at `va` through the MMU.
     pub fn write_status_via_mmu(
         mem: &mut Memory,
@@ -118,6 +146,35 @@ impl JobDescriptor {
             let pa = walker.translate(mem, va + 32 + i as u64, AccessKind::Write)?;
             mem.write(pa, &[*byte], Accessor::Gpu)
                 .map_err(|fault| MmuFault::WalkError { fault })?;
+        }
+        Ok(())
+    }
+
+    /// Writes this descriptor's status word back via the software TLB.
+    ///
+    /// The store is reported to the TLB (`note_store`) so a descriptor that
+    /// aliases a walked page-table page cannot leave stale translations.
+    pub fn write_status_via_mmu_cached(
+        mem: &mut Memory,
+        walker: &Walker,
+        tlb: &mut Tlb,
+        va: u64,
+        status: JobStatus,
+    ) -> Result<(), MmuFault> {
+        let word = status.to_word().to_le_bytes();
+        let mut done = 0usize;
+        while done < word.len() {
+            let (pa, run) = walker.translate_run(
+                mem,
+                tlb,
+                va + 32 + done as u64,
+                word.len() - done,
+                AccessKind::Write,
+            )?;
+            mem.write(pa, &word[done..done + run], Accessor::Gpu)
+                .map_err(|fault| MmuFault::WalkError { fault })?;
+            tlb.note_store(pa, run);
+            done += run;
         }
         Ok(())
     }

@@ -30,9 +30,9 @@ pub mod regs;
 pub mod shader;
 pub mod sku;
 
-pub use gpu::{Gpu, IrqLine};
+pub use gpu::{ExecStats, Gpu, IrqLine};
 pub use job::{JobDescriptor, JobStatus};
 pub use mem::{Memory, PageFlags, PAGE_SIZE};
-pub use mmu::{AddressSpace, PteFlags};
-pub use shader::{ConvParams, PoolKind, ShaderOp};
+pub use mmu::{AddressSpace, PteFlags, Tlb, TlbStats};
+pub use shader::{ConvParams, OpKind, OpKindStats, PoolKind, ShaderOp, OP_KIND_COUNT};
 pub use sku::GpuSku;

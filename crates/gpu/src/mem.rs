@@ -200,6 +200,41 @@ impl Memory {
         self.write_u32(pa, v.to_bits(), accessor)
     }
 
+    /// Reads `out.len()` little-endian `f32`s starting at `pa` in one
+    /// trap-checked pass — the bulk half of the page-run fast path. One
+    /// permission check covers the whole range instead of one per element.
+    pub fn read_bulk(&self, pa: u64, out: &mut [f32], accessor: Accessor) -> Result<(), MemFault> {
+        let len = out.len() * 4;
+        let start = self.check(pa, len, accessor)?;
+        for (v, b) in out
+            .iter_mut()
+            .zip(self.bytes[start..start + len].chunks_exact(4))
+        {
+            *v = f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+        }
+        Ok(())
+    }
+
+    /// Writes `vals` as little-endian `f32`s starting at `pa` in one
+    /// trap-checked pass, marking the whole range dirty once.
+    pub fn write_bulk(
+        &mut self,
+        pa: u64,
+        vals: &[f32],
+        accessor: Accessor,
+    ) -> Result<(), MemFault> {
+        let len = vals.len() * 4;
+        let start = self.check(pa, len, accessor)?;
+        for (v, b) in vals
+            .iter()
+            .zip(self.bytes[start..start + len].chunks_exact_mut(4))
+        {
+            b.copy_from_slice(&v.to_le_bytes());
+        }
+        self.mark_dirty(start, start + len);
+        Ok(())
+    }
+
     /// Copies out a byte range (dump), ignoring trap flags — dumps are taken
     /// by the shims at synchronization points, when traps are being
     /// (re)configured anyway.
@@ -454,6 +489,71 @@ mod tests {
         let m = Memory::new(PAGE_SIZE);
         assert!(!m.any_dirty(100 * PAGE_SIZE as u64, PAGE_SIZE));
         assert_eq!(m.count_dirty_pages(100 * PAGE_SIZE as u64, 8), 0);
+    }
+
+    #[test]
+    fn bulk_f32_round_trips_bit_exactly() {
+        let mut m = Memory::new(2 * PAGE_SIZE);
+        // Include a signalling-NaN pattern and -0.0: bulk copies must be
+        // bit-transparent, not value-transparent.
+        let vals = [
+            1.5f32,
+            -0.0,
+            f32::from_bits(0x7FA0_0001),
+            f32::MIN_POSITIVE,
+            -3.25,
+        ];
+        m.write_bulk(PAGE_SIZE as u64 - 8, &vals, Accessor::Gpu)
+            .unwrap();
+        let mut back = [0.0f32; 5];
+        m.read_bulk(PAGE_SIZE as u64 - 8, &mut back, Accessor::Gpu)
+            .unwrap();
+        assert_eq!(
+            vals.map(f32::to_bits),
+            back.map(f32::to_bits),
+            "bulk copy must preserve exact bit patterns"
+        );
+        // Matches the scalar path byte-for-byte.
+        for (i, v) in vals.iter().enumerate() {
+            let pa = PAGE_SIZE as u64 - 8 + 4 * i as u64;
+            assert_eq!(
+                m.read_f32(pa, Accessor::Cpu).unwrap().to_bits(),
+                v.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_access_respects_traps_and_bounds() {
+        let mut m = Memory::new(2 * PAGE_SIZE);
+        m.set_page_flags(
+            PAGE_SIZE as u64,
+            PAGE_SIZE,
+            PageFlags {
+                cpu_unmapped: false,
+                gpu_unmapped: true,
+            },
+        );
+        let mut buf = [0.0f32; 4];
+        // A straddling bulk read must trap on the protected second page.
+        assert!(m
+            .read_bulk(PAGE_SIZE as u64 - 8, &mut buf, Accessor::Gpu)
+            .is_err());
+        assert!(m
+            .read_bulk(PAGE_SIZE as u64 - 8, &mut buf, Accessor::Cpu)
+            .is_ok());
+        assert!(m
+            .write_bulk(2 * PAGE_SIZE as u64 - 4, &buf, Accessor::Cpu)
+            .is_err());
+    }
+
+    #[test]
+    fn bulk_write_marks_dirty() {
+        let mut m = Memory::new(2 * PAGE_SIZE);
+        m.clear_dirty(0, 2 * PAGE_SIZE);
+        m.write_bulk(PAGE_SIZE as u64 - 4, &[1.0, 2.0], Accessor::Gpu)
+            .unwrap();
+        assert_eq!(m.count_dirty_pages(0, 2 * PAGE_SIZE), 2);
     }
 
     #[test]

@@ -261,6 +261,118 @@ pub fn unmap_page(mem: &mut Memory, root_pa: u64, va: u64) -> Result<bool, MemFa
     Ok(true)
 }
 
+/// Number of entries in the software TLB. Direct-mapped, so this must be
+/// a power of two; 256 entries cover 1 MiB of working set per fill.
+pub const TLB_ENTRIES: usize = 256;
+
+/// One direct-mapped TLB slot: a cached leaf translation.
+#[derive(Debug, Clone, Copy, Default)]
+struct TlbEntry {
+    valid: bool,
+    /// Virtual page number (`va >> 12`) this slot caches.
+    vpn: u64,
+    /// Physical base of the mapped page.
+    pa_base: u64,
+    /// Leaf permissions, re-checked on every lookup (permission faults are
+    /// never served stale from the cache).
+    flags: PteFlags,
+}
+
+/// Cumulative TLB counters, exported into replay profiles and benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups served from a cached translation (no table walk).
+    pub hits: u64,
+    /// Lookups that required a full multi-level walk.
+    pub misses: u64,
+    /// Whole-TLB invalidations (job boundaries, AS updates, resets,
+    /// stores that overlap a walked table page).
+    pub flushes: u64,
+}
+
+/// A software TLB for one GPU address space.
+///
+/// The cache is *per job*: the GPU flushes it at every descriptor boundary
+/// and whenever the address-space registers are rewritten, so CPU-side
+/// page-table updates between jobs (memsync sync-down, rollback restores,
+/// driver remaps) can never be observed through a stale translation.
+/// Within a job, [`Tlb::note_store`] detects GPU stores that land on a
+/// table page consulted by a cached walk and flushes, keeping even
+/// self-modifying page tables coherent.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<TlbEntry>,
+    stats: TlbStats,
+    /// Page-aligned PAs of every table page consulted by a walk that
+    /// filled a currently-live entry. Sorted, deduplicated.
+    table_pages: Vec<u64>,
+}
+
+impl Default for Tlb {
+    fn default() -> Self {
+        Tlb::new()
+    }
+}
+
+impl Tlb {
+    /// An empty TLB with zeroed counters.
+    pub fn new() -> Self {
+        Tlb {
+            entries: vec![TlbEntry::default(); TLB_ENTRIES],
+            stats: TlbStats::default(),
+            table_pages: Vec::new(),
+        }
+    }
+
+    /// Drops every cached translation (counted as one flush).
+    pub fn invalidate_all(&mut self) {
+        self.stats.flushes += 1;
+        for e in &mut self.entries {
+            e.valid = false;
+        }
+        self.table_pages.clear();
+    }
+
+    /// Reports a store to physical range `[pa, pa + len)`. If it overlaps
+    /// any table page a live entry was walked through, the whole TLB is
+    /// flushed: the store may have rewritten a PTE backing a cached
+    /// translation.
+    pub fn note_store(&mut self, pa: u64, len: usize) {
+        if self.table_pages.is_empty() || len == 0 {
+            return;
+        }
+        let first = pa & !(PAGE_SIZE as u64 - 1);
+        let last = (pa + len as u64 - 1) & !(PAGE_SIZE as u64 - 1);
+        let mut page = first;
+        loop {
+            if self.table_pages.binary_search(&page).is_ok() {
+                self.invalidate_all();
+                return;
+            }
+            if page >= last {
+                break;
+            }
+            page += PAGE_SIZE as u64;
+        }
+    }
+
+    /// Cumulative hit/miss/flush counters.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Resets the counters (entries are left alone).
+    pub fn reset_stats(&mut self) {
+        self.stats = TlbStats::default();
+    }
+
+    fn remember_table_page(&mut self, pa: u64) {
+        if let Err(at) = self.table_pages.binary_search(&pa) {
+            self.table_pages.insert(at, pa);
+        }
+    }
+}
+
 /// The hardware page-table walker for one address space.
 #[derive(Debug, Clone, Copy)]
 pub struct Walker {
@@ -271,10 +383,18 @@ pub struct Walker {
 }
 
 impl Walker {
-    /// Translates `va`, checking `kind` against the page permissions.
-    pub fn translate(&self, mem: &Memory, va: u64, kind: AccessKind) -> Result<u64, MmuFault> {
+    /// One full multi-level walk to the leaf for `va`. Returns the mapped
+    /// page's physical base and flags; reports every table page consulted
+    /// through `touched`.
+    fn walk_leaf(
+        &self,
+        mem: &Memory,
+        va: u64,
+        mut touched: impl FnMut(u64),
+    ) -> Result<(u64, PteFlags), MmuFault> {
         let mut table_pa = self.root_pa;
         for level in 0..LEVELS - 1 {
+            touched(table_pa);
             let idx = level_index(va, level);
             let entry = mem
                 .read_u64(table_pa + idx * 8, Accessor::Gpu)
@@ -284,6 +404,7 @@ impl Walker {
             }
             table_pa = entry & PA_MASK;
         }
+        touched(table_pa);
         let idx = level_index(va, LEVELS - 1);
         let entry = mem
             .read_u64(table_pa + idx * 8, Accessor::Gpu)
@@ -292,15 +413,95 @@ impl Walker {
             va,
             level: LEVELS - 1,
         })?;
+        Ok((pa, flags))
+    }
+
+    fn check_kind(va: u64, flags: PteFlags, kind: AccessKind) -> Result<(), MmuFault> {
         let allowed = match kind {
             AccessKind::Read => flags.read,
             AccessKind::Write => flags.write,
             AccessKind::Execute => flags.execute,
         };
-        if !allowed {
-            return Err(MmuFault::Permission { va });
+        if allowed {
+            Ok(())
+        } else {
+            Err(MmuFault::Permission { va })
         }
+    }
+
+    /// Translates `va`, checking `kind` against the page permissions.
+    pub fn translate(&self, mem: &Memory, va: u64, kind: AccessKind) -> Result<u64, MmuFault> {
+        let (pa, flags) = self.walk_leaf(mem, va, |_| {})?;
+        Self::check_kind(va, flags, kind)?;
         Ok(pa + (va & (PAGE_SIZE as u64 - 1)))
+    }
+
+    /// Translates `va` through the software TLB: a hit skips the table
+    /// walk entirely; a miss walks once and caches the leaf. Permission
+    /// bits are checked on every lookup, hit or miss.
+    pub fn translate_cached(
+        &self,
+        mem: &Memory,
+        tlb: &mut Tlb,
+        va: u64,
+        kind: AccessKind,
+    ) -> Result<u64, MmuFault> {
+        let vpn = va >> 12;
+        let slot = (vpn as usize) & (TLB_ENTRIES - 1);
+        let e = tlb.entries[slot];
+        if e.valid && e.vpn == vpn {
+            tlb.stats.hits += 1;
+            Self::check_kind(va, e.flags, kind)?;
+            return Ok(e.pa_base + (va & (PAGE_SIZE as u64 - 1)));
+        }
+        tlb.stats.misses += 1;
+        let mut touched = [0u64; LEVELS as usize];
+        let mut n = 0usize;
+        let (pa_base, flags) = self.walk_leaf(mem, va, |p| {
+            touched[n] = p;
+            n += 1;
+        })?;
+        Self::check_kind(va, flags, kind)?;
+        for &p in &touched[..n] {
+            tlb.remember_table_page(p);
+        }
+        tlb.entries[slot] = TlbEntry {
+            valid: true,
+            vpn,
+            pa_base,
+            flags,
+        };
+        Ok(pa_base + (va & (PAGE_SIZE as u64 - 1)))
+    }
+
+    /// Translates the start of `[va, va + max_len)` and extends the
+    /// translation over every following virtually-contiguous page that is
+    /// also *physically* contiguous with the same permissions. Returns the
+    /// starting PA and the byte length of the run (`1 ..= max_len`).
+    ///
+    /// This is the page-run primitive behind bulk memory access: one call
+    /// per run replaces a translation per element.
+    pub fn translate_run(
+        &self,
+        mem: &Memory,
+        tlb: &mut Tlb,
+        va: u64,
+        max_len: usize,
+        kind: AccessKind,
+    ) -> Result<(u64, usize), MmuFault> {
+        debug_assert!(max_len > 0);
+        let pa0 = self.translate_cached(mem, tlb, va, kind)?;
+        let in_page = PAGE_SIZE - (va as usize & (PAGE_SIZE - 1));
+        let mut run = in_page.min(max_len);
+        while run < max_len {
+            let next_va = va + run as u64;
+            let next_pa = self.translate_cached(mem, tlb, next_va, kind)?;
+            if next_pa != pa0 + run as u64 {
+                break;
+            }
+            run += PAGE_SIZE.min(max_len - run);
+        }
+        Ok((pa0, run))
     }
 
     /// Enumerates all mapped pages as `(va, pa, flags)` triples.
@@ -554,6 +755,225 @@ mod tests {
                 .unwrap(),
             0x2_0008
         );
+    }
+
+    #[test]
+    fn tlb_hit_skips_the_walk_and_matches_translate() {
+        let (mut mem, root, mut alloc) = setup();
+        map_page(
+            &mut mem,
+            root,
+            0x4000_0000,
+            0x8_0000,
+            PteFlags::rw(),
+            0,
+            &mut || alloc.alloc(),
+        )
+        .unwrap();
+        let w = Walker {
+            root_pa: root,
+            quirk: 0,
+        };
+        let mut tlb = Tlb::new();
+        let slow = w.translate(&mem, 0x4000_0123, AccessKind::Read).unwrap();
+        let first = w
+            .translate_cached(&mem, &mut tlb, 0x4000_0123, AccessKind::Read)
+            .unwrap();
+        let second = w
+            .translate_cached(&mem, &mut tlb, 0x4000_0FFF, AccessKind::Write)
+            .unwrap();
+        assert_eq!(first, slow);
+        assert_eq!(second, 0x8_0FFF);
+        let s = tlb.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn tlb_permission_checked_on_every_hit() {
+        let (mut mem, root, mut alloc) = setup();
+        map_page(
+            &mut mem,
+            root,
+            0x1000,
+            0x9000,
+            PteFlags::ro(),
+            0,
+            &mut || alloc.alloc(),
+        )
+        .unwrap();
+        let w = Walker {
+            root_pa: root,
+            quirk: 0,
+        };
+        let mut tlb = Tlb::new();
+        assert!(w
+            .translate_cached(&mem, &mut tlb, 0x1000, AccessKind::Read)
+            .is_ok());
+        // The translation is now cached; a write through the hit path must
+        // still take the permission fault.
+        assert!(matches!(
+            w.translate_cached(&mem, &mut tlb, 0x1004, AccessKind::Write),
+            Err(MmuFault::Permission { .. })
+        ));
+    }
+
+    #[test]
+    fn tlb_direct_mapped_slots_evict() {
+        let (mut mem, root, mut alloc) = setup();
+        let mut a = || alloc.alloc();
+        // Two VAs whose VPNs collide in the direct-mapped array.
+        let va_a = 0x1000u64;
+        let va_b = va_a + (TLB_ENTRIES as u64) * PAGE_SIZE as u64;
+        map_page(&mut mem, root, va_a, 0x9000, PteFlags::rw(), 0, &mut a).unwrap();
+        map_page(&mut mem, root, va_b, 0xA000, PteFlags::rw(), 0, &mut a).unwrap();
+        let w = Walker {
+            root_pa: root,
+            quirk: 0,
+        };
+        let mut tlb = Tlb::new();
+        for _ in 0..3 {
+            assert_eq!(
+                w.translate_cached(&mem, &mut tlb, va_a, AccessKind::Read)
+                    .unwrap(),
+                0x9000
+            );
+            assert_eq!(
+                w.translate_cached(&mem, &mut tlb, va_b, AccessKind::Read)
+                    .unwrap(),
+                0xA000
+            );
+        }
+        let s = tlb.stats();
+        assert_eq!(s.hits, 0, "colliding VPNs must evict each other");
+        assert_eq!(s.misses, 6);
+    }
+
+    #[test]
+    fn tlb_invalidate_all_drops_stale_translations() {
+        let (mut mem, root, mut alloc) = setup();
+        let mut a = || alloc.alloc();
+        map_page(&mut mem, root, 0x1000, 0x9000, PteFlags::rw(), 0, &mut a).unwrap();
+        let w = Walker {
+            root_pa: root,
+            quirk: 0,
+        };
+        let mut tlb = Tlb::new();
+        assert_eq!(
+            w.translate_cached(&mem, &mut tlb, 0x1000, AccessKind::Read)
+                .unwrap(),
+            0x9000
+        );
+        // CPU rewrites the mapping. Without an invalidation the cache is
+        // (by design) allowed to serve the stale PA...
+        map_page(&mut mem, root, 0x1000, 0xB000, PteFlags::rw(), 0, &mut a).unwrap();
+        assert_eq!(
+            w.translate_cached(&mem, &mut tlb, 0x1000, AccessKind::Read)
+                .unwrap(),
+            0x9000
+        );
+        // ...which is exactly why every job boundary flushes.
+        tlb.invalidate_all();
+        assert_eq!(
+            w.translate_cached(&mem, &mut tlb, 0x1000, AccessKind::Read)
+                .unwrap(),
+            0xB000
+        );
+        assert_eq!(tlb.stats().flushes, 1);
+    }
+
+    #[test]
+    fn tlb_note_store_on_walked_table_page_flushes() {
+        let (mut mem, root, mut alloc) = setup();
+        let mut a = || alloc.alloc();
+        map_page(&mut mem, root, 0x1000, 0x9000, PteFlags::rw(), 0, &mut a).unwrap();
+        let w = Walker {
+            root_pa: root,
+            quirk: 0,
+        };
+        let mut tlb = Tlb::new();
+        w.translate_cached(&mem, &mut tlb, 0x1000, AccessKind::Read)
+            .unwrap();
+        // A store to unrelated memory leaves the cache alone.
+        tlb.note_store(0xF_0000, 64);
+        assert_eq!(tlb.stats().flushes, 0);
+        // A store overlapping the leaf table page (the last level the walk
+        // consulted) must flush. The leaf table is an alloc'd table page;
+        // rewrite the PTE in place and poke the same PA.
+        map_page(&mut mem, root, 0x1000, 0xB000, PteFlags::rw(), 0, &mut a).unwrap();
+        let leaf_table = {
+            // Walk CPU-side to find the leaf table page.
+            let mut t = root;
+            for level in 0..LEVELS - 1 {
+                let idx = level_index(0x1000, level);
+                t = mem.read_u64(t + idx * 8, Accessor::Cpu).unwrap() & PA_MASK;
+            }
+            t
+        };
+        tlb.note_store(leaf_table + 8, 8);
+        assert_eq!(tlb.stats().flushes, 1);
+        assert_eq!(
+            w.translate_cached(&mem, &mut tlb, 0x1000, AccessKind::Read)
+                .unwrap(),
+            0xB000
+        );
+    }
+
+    #[test]
+    fn translate_run_merges_contiguous_pages_and_stops_at_gaps() {
+        let (mut mem, root, mut alloc) = setup();
+        let mut a = || alloc.alloc();
+        // Three virtually-consecutive pages; the first two are physically
+        // contiguous, the third is not.
+        map_page(
+            &mut mem,
+            root,
+            0x10_0000,
+            0x4_0000,
+            PteFlags::rw(),
+            0,
+            &mut a,
+        )
+        .unwrap();
+        map_page(
+            &mut mem,
+            root,
+            0x10_1000,
+            0x4_1000,
+            PteFlags::rw(),
+            0,
+            &mut a,
+        )
+        .unwrap();
+        map_page(
+            &mut mem,
+            root,
+            0x10_2000,
+            0x9_0000,
+            PteFlags::rw(),
+            0,
+            &mut a,
+        )
+        .unwrap();
+        let w = Walker {
+            root_pa: root,
+            quirk: 0,
+        };
+        let mut tlb = Tlb::new();
+        let (pa, run) = w
+            .translate_run(&mem, &mut tlb, 0x10_0000, 3 * PAGE_SIZE, AccessKind::Read)
+            .unwrap();
+        assert_eq!((pa, run), (0x4_0000, 2 * PAGE_SIZE));
+        // Unaligned start: the run begins mid-page and still merges into
+        // the physically-contiguous neighbour.
+        let (pa, run) = w
+            .translate_run(&mem, &mut tlb, 0x10_0800, 0x1000, AccessKind::Read)
+            .unwrap();
+        assert_eq!((pa, run), (0x4_0800, 0x1000));
+        // Length is always capped by the request.
+        let (pa, run) = w
+            .translate_run(&mem, &mut tlb, 0x10_2000, 16, AccessKind::Read)
+            .unwrap();
+        assert_eq!((pa, run), (0x9_0000, 16));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! recordings SKU-specific (§2.4).
 
 use crate::mem::Memory;
-use crate::mmu::{AccessKind, MmuFault, Walker};
+use crate::mmu::{AccessKind, MmuFault, Tlb, Walker};
 
 /// Size of one encoded instruction record.
 pub const INSTR_SIZE: usize = 64;
@@ -411,56 +411,277 @@ impl From<MmuFault> for ShaderFault {
     }
 }
 
-/// Reads `n` f32 elements at `va` through the walker.
-fn read_f32s(mem: &Memory, w: &Walker, va: u64, n: usize) -> Result<Vec<f32>, MmuFault> {
-    let mut out = Vec::with_capacity(n);
-    for i in 0..n {
-        let pa = w.translate(mem, va + (i * 4) as u64, AccessKind::Read)?;
-        let v = mem
-            .read_f32(pa, crate::mem::Accessor::Gpu)
-            .map_err(|fault| MmuFault::WalkError { fault })?;
-        out.push(v);
-    }
-    Ok(out)
+/// Number of [`OpKind`] variants (array size for per-kind stats).
+pub const OP_KIND_COUNT: usize = 7;
+
+/// The kind of a shader instruction, used to key per-op-kind execution
+/// statistics in replay profiles and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// 2-D convolution.
+    Conv2d,
+    /// Dense matmul.
+    MatMul,
+    /// Spatial pooling.
+    Pool,
+    /// Elementwise ReLU.
+    Relu,
+    /// Elementwise add.
+    Add,
+    /// Softmax.
+    Softmax,
+    /// Bulk copy.
+    Copy,
 }
 
-/// Writes f32 elements at `va` through the walker.
-fn write_f32s(mem: &mut Memory, w: &Walker, va: u64, data: &[f32]) -> Result<(), MmuFault> {
-    for (i, &v) in data.iter().enumerate() {
-        let pa = w.translate(mem, va + (i * 4) as u64, AccessKind::Write)?;
-        mem.write_f32(pa, v, crate::mem::Accessor::Gpu)
+impl OpKind {
+    /// All kinds, in stable display order (indexes match [`OpKind::index`]).
+    pub const ALL: [OpKind; OP_KIND_COUNT] = [
+        OpKind::Conv2d,
+        OpKind::MatMul,
+        OpKind::Pool,
+        OpKind::Relu,
+        OpKind::Add,
+        OpKind::Softmax,
+        OpKind::Copy,
+    ];
+
+    /// The kind of `op`.
+    pub fn of(op: &ShaderOp) -> OpKind {
+        match op {
+            ShaderOp::Conv2d { .. } => OpKind::Conv2d,
+            ShaderOp::MatMul { .. } => OpKind::MatMul,
+            ShaderOp::Pool { .. } => OpKind::Pool,
+            ShaderOp::Relu { .. } => OpKind::Relu,
+            ShaderOp::Add { .. } => OpKind::Add,
+            ShaderOp::Softmax { .. } => OpKind::Softmax,
+            ShaderOp::Copy { .. } => OpKind::Copy,
+        }
+    }
+
+    /// Stable index into per-kind stat arrays.
+    pub fn index(self) -> usize {
+        match self {
+            OpKind::Conv2d => 0,
+            OpKind::MatMul => 1,
+            OpKind::Pool => 2,
+            OpKind::Relu => 3,
+            OpKind::Add => 4,
+            OpKind::Softmax => 5,
+            OpKind::Copy => 6,
+        }
+    }
+
+    /// Display name (used in bench JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Conv2d => "conv2d",
+            OpKind::MatMul => "matmul",
+            OpKind::Pool => "pool",
+            OpKind::Relu => "relu",
+            OpKind::Add => "add",
+            OpKind::Softmax => "softmax",
+            OpKind::Copy => "copy",
+        }
+    }
+}
+
+/// Per-op-kind execution counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpKindStats {
+    /// Instructions of this kind executed.
+    pub events: u64,
+    /// MACs attributed to this kind.
+    pub macs: u64,
+    /// Modeled execution nanoseconds attributed to this kind (filled by
+    /// the GPU's job cost model, zero at the shader layer).
+    pub ns: u64,
+}
+
+/// What one `execute_program` call did, as seen by the memory system:
+/// feeds the GPU's job duration model and the replay profile counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecReport {
+    /// Total MACs executed.
+    pub macs: u64,
+    /// Scalar accesses the walk-per-element engine would have made
+    /// (elements moved + instruction bytes fetched). The denominator of
+    /// the stall model: `tlb misses / element_accesses` is the fraction
+    /// of accesses that still paid for a full table walk.
+    pub element_accesses: u64,
+    /// Contiguous page runs the bulk path translated once and copied.
+    pub bulk_runs: u64,
+    /// Per-kind breakdown (indexed by [`OpKind::index`]).
+    pub per_kind: [OpKindStats; OP_KIND_COUNT],
+}
+
+impl ExecReport {
+    /// Accumulates `other` into `self` (per-kind arrays add elementwise).
+    pub fn add(&mut self, other: &ExecReport) {
+        self.macs += other.macs;
+        self.element_accesses += other.element_accesses;
+        self.bulk_runs += other.bulk_runs;
+        for (a, b) in self.per_kind.iter_mut().zip(other.per_kind.iter()) {
+            a.events += b.events;
+            a.macs += b.macs;
+            a.ns += b.ns;
+        }
+    }
+}
+
+/// Reusable execution buffers: one set per GPU, so per-op `Vec` churn is
+/// gone from the hot replay loop. Buffers only ever grow.
+#[derive(Debug, Clone, Default)]
+pub struct ExecScratch {
+    /// First input operand (conv input / matmul A / elementwise A).
+    a: Vec<f32>,
+    /// Second input operand (conv weights / matmul B / elementwise B).
+    b: Vec<f32>,
+    /// Bias operand.
+    bias: Vec<f32>,
+    /// Kernel output, staged before the bulk write-back.
+    out: Vec<f32>,
+}
+
+/// Reads `n` f32 elements at `va` through the TLB'd page-run path into
+/// `out` (cleared and resized). Falls back to element-at-a-time for
+/// non-4-byte-aligned `va` (never produced by the JIT, but legal).
+fn read_f32s_bulk(
+    mem: &Memory,
+    w: &Walker,
+    tlb: &mut Tlb,
+    rep: &mut ExecReport,
+    va: u64,
+    n: usize,
+    out: &mut Vec<f32>,
+) -> Result<(), MmuFault> {
+    out.clear();
+    out.resize(n, 0.0);
+    rep.element_accesses += n as u64;
+    if n == 0 {
+        return Ok(());
+    }
+    if !va.is_multiple_of(4) {
+        for (i, v) in out.iter_mut().enumerate() {
+            let pa = w.translate_cached(mem, tlb, va + (i * 4) as u64, AccessKind::Read)?;
+            *v = mem
+                .read_f32(pa, crate::mem::Accessor::Gpu)
+                .map_err(|fault| MmuFault::WalkError { fault })?;
+        }
+        return Ok(());
+    }
+    let mut done = 0usize;
+    while done < n {
+        let want = (n - done) * 4;
+        let (pa, run) =
+            w.translate_run(mem, tlb, va + (done * 4) as u64, want, AccessKind::Read)?;
+        let elems = run / 4;
+        mem.read_bulk(pa, &mut out[done..done + elems], crate::mem::Accessor::Gpu)
             .map_err(|fault| MmuFault::WalkError { fault })?;
+        rep.bulk_runs += 1;
+        done += elems;
     }
     Ok(())
+}
+
+/// Writes `data` as f32 elements at `va` through the TLB'd page-run path.
+/// Every physical run written is reported to the TLB so a store that lands
+/// on a walked table page flushes stale translations.
+fn write_f32s_bulk(
+    mem: &mut Memory,
+    w: &Walker,
+    tlb: &mut Tlb,
+    rep: &mut ExecReport,
+    va: u64,
+    data: &[f32],
+) -> Result<(), MmuFault> {
+    rep.element_accesses += data.len() as u64;
+    if data.is_empty() {
+        return Ok(());
+    }
+    if !va.is_multiple_of(4) {
+        for (i, &v) in data.iter().enumerate() {
+            let pa = w.translate_cached(mem, tlb, va + (i * 4) as u64, AccessKind::Write)?;
+            mem.write_f32(pa, v, crate::mem::Accessor::Gpu)
+                .map_err(|fault| MmuFault::WalkError { fault })?;
+            tlb.note_store(pa, 4);
+        }
+        return Ok(());
+    }
+    let mut done = 0usize;
+    while done < data.len() {
+        let want = (data.len() - done) * 4;
+        let (pa, run) =
+            w.translate_run(mem, tlb, va + (done * 4) as u64, want, AccessKind::Write)?;
+        let elems = run / 4;
+        mem.write_bulk(pa, &data[done..done + elems], crate::mem::Accessor::Gpu)
+            .map_err(|fault| MmuFault::WalkError { fault })?;
+        tlb.note_store(pa, run);
+        rep.bulk_runs += 1;
+        done += elems;
+    }
+    Ok(())
+}
+
+/// Fetches one 64-byte instruction record through the bulk path.
+///
+/// Fetching per record (not the whole program up front) preserves the old
+/// engine's visibility semantics: an op that overwrites a later record is
+/// observed, exactly as with the byte-at-a-time fetch.
+fn fetch_record(
+    mem: &Memory,
+    w: &Walker,
+    tlb: &mut Tlb,
+    rep: &mut ExecReport,
+    va: u64,
+) -> Result<[u8; INSTR_SIZE], ShaderFault> {
+    let mut rec = [0u8; INSTR_SIZE];
+    rep.element_accesses += INSTR_SIZE as u64;
+    let mut done = 0usize;
+    while done < INSTR_SIZE {
+        let (pa, run) = w.translate_run(
+            mem,
+            tlb,
+            va + done as u64,
+            INSTR_SIZE - done,
+            AccessKind::Execute,
+        )?;
+        mem.read(pa, &mut rec[done..done + run], crate::mem::Accessor::Gpu)
+            .map_err(|fault| MmuFault::WalkError { fault })?;
+        rep.bulk_runs += 1;
+        done += run;
+    }
+    Ok(rec)
 }
 
 /// Executes a shader program of `n_instrs` records at `shader_va`.
 ///
 /// `present_cores` is the executing SKU's core count; tiled kernels
-/// compiled for another count fault. Returns the total MACs executed.
+/// compiled for another count fault. Translations go through `tlb` (the
+/// GPU flushes it at job boundaries); tensors are staged in `scratch`.
+/// Returns the execution report (MACs, access counters, per-kind stats).
 pub fn execute_program(
     mem: &mut Memory,
     walker: &Walker,
+    tlb: &mut Tlb,
+    scratch: &mut ExecScratch,
     shader_va: u64,
     n_instrs: u32,
     present_cores: u32,
-) -> Result<u64, ShaderFault> {
-    let mut total_macs = 0u64;
+) -> Result<ExecReport, ShaderFault> {
+    let mut rep = ExecReport::default();
     for i in 0..n_instrs {
         let va = shader_va + (i as usize * INSTR_SIZE) as u64;
-        let mut rec = [0u8; INSTR_SIZE];
-        for (j, byte) in rec.iter_mut().enumerate() {
-            let pa = walker.translate(mem, va + j as u64, AccessKind::Execute)?;
-            let mut one = [0u8];
-            mem.read(pa, &mut one, crate::mem::Accessor::Gpu)
-                .map_err(|fault| MmuFault::WalkError { fault })?;
-            *byte = one[0];
-        }
+        let rec = fetch_record(mem, walker, tlb, &mut rep, va)?;
         let op = ShaderOp::decode(&rec).ok_or(ShaderFault::BadInstruction)?;
-        total_macs += op.macs();
-        execute_op(mem, walker, &op, present_cores)?;
+        let macs = op.macs();
+        rep.macs += macs;
+        let slot = &mut rep.per_kind[OpKind::of(&op).index()];
+        slot.events += 1;
+        slot.macs += macs;
+        execute_op(mem, walker, tlb, scratch, &op, present_cores, &mut rep)?;
     }
-    Ok(total_macs)
+    Ok(rep)
 }
 
 fn check_tiles(tiles: u32, present: u32) -> Result<(), ShaderFault> {
@@ -474,11 +695,153 @@ fn check_tiles(tiles: u32, present: u32) -> Result<(), ShaderFault> {
     }
 }
 
+/// For one output axis, the `[lo, hi)` range of output coordinates whose
+/// full k-window lies inside the input (no clamping needed) — the
+/// interior of the interior/border split.
+fn interior_range(
+    out_dim: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    in_dim: usize,
+) -> (usize, usize) {
+    // Smallest o with o*stride - pad >= 0.
+    let lo = pad.div_ceil(stride);
+    // Largest o with o*stride - pad + k <= in_dim, plus one.
+    let hi = if in_dim + pad >= k {
+        (in_dim + pad - k) / stride + 1
+    } else {
+        0
+    };
+    let lo = lo.min(out_dim);
+    (lo, hi.clamp(lo, out_dim))
+}
+
+/// Clamped kernel-coordinate range for output coordinate `o`: exactly the
+/// iterations the scalar engine's bounds check would not `continue` past.
+fn kernel_range(o: usize, k: usize, stride: usize, pad: usize, in_dim: usize) -> (usize, usize) {
+    let base = o as i64 * stride as i64 - pad as i64;
+    let lo = (-base).clamp(0, k as i64) as usize;
+    let hi = (in_dim as i64 - base).clamp(0, k as i64) as usize;
+    (lo, hi.max(lo))
+}
+
+/// Blocked conv kernel with hoisted bounds checks.
+///
+/// Bit-identical to the scalar reference: per output element the
+/// accumulator starts at the bias and adds contributions in ic → ky → kx
+/// order; the hoisted `kernel_range` skips exactly the out-of-bounds
+/// terms the scalar loop `continue`d past (which contribute nothing), so
+/// the FP addition sequence is unchanged.
+fn conv2d_blocked(
+    input: &[f32],
+    weights: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+    p: &ConvParams,
+) {
+    let (ic_n, ih, iw) = (p.in_c as usize, p.in_h as usize, p.in_w as usize);
+    let (oc_n, k, s, pad) = (
+        p.out_c as usize,
+        p.k as usize,
+        p.stride as usize,
+        p.pad as usize,
+    );
+    let (oh, ow) = (p.out_h() as usize, p.out_w() as usize);
+    let (ox_lo, ox_hi) = interior_range(ow, k, s, pad, iw);
+    for oc in 0..oc_n {
+        let w_oc = &weights[oc * ic_n * k * k..(oc + 1) * ic_n * k * k];
+        let b0 = bias.map_or(0.0, |b| b[oc]);
+        let out_oc = &mut out[oc * oh * ow..(oc + 1) * oh * ow];
+        for oy in 0..oh {
+            let (ky_lo, ky_hi) = kernel_range(oy, k, s, pad, ih);
+            let iy_base = oy as i64 * s as i64 - pad as i64;
+            let row = &mut out_oc[oy * ow..(oy + 1) * ow];
+            let mut px = |ox: usize, kx_lo: usize, kx_hi: usize| {
+                let ix_base = (ox * s) as i64 - pad as i64;
+                let mut acc = b0;
+                for ic in 0..ic_n {
+                    let in_ch = &input[ic * ih * iw..(ic + 1) * ih * iw];
+                    let w_ic = &w_oc[ic * k * k..(ic + 1) * k * k];
+                    for ky in ky_lo..ky_hi {
+                        let iy = (iy_base + ky as i64) as usize;
+                        let in_row = &in_ch[iy * iw..(iy + 1) * iw];
+                        let w_row = &w_ic[ky * k..(ky + 1) * k];
+                        for kx in kx_lo..kx_hi {
+                            acc += in_row[(ix_base + kx as i64) as usize] * w_row[kx];
+                        }
+                    }
+                }
+                row[ox] = acc;
+            };
+            // Left border: clamped kx ranges, computed per pixel.
+            for ox in 0..ox_lo {
+                let (kx_lo, kx_hi) = kernel_range(ox, k, s, pad, iw);
+                px(ox, kx_lo, kx_hi);
+            }
+            // Interior: the full kx window is in bounds, no per-pixel work.
+            for ox in ox_lo..ox_hi {
+                px(ox, 0, k);
+            }
+            // Right border.
+            for ox in ox_hi..ow {
+                let (kx_lo, kx_hi) = kernel_range(ox, k, s, pad, iw);
+                px(ox, kx_lo, kx_hi);
+            }
+        }
+    }
+}
+
+/// Cache-blocked matmul (i-k-j loop order with k blocking).
+///
+/// Bit-identical to the scalar reference: each `out[i][j]` starts at the
+/// bias and accumulates `a[i][kk] * b[kk][j]` in ascending `kk`, the same
+/// FP addition sequence as the j-inner scalar loop — only the traversal
+/// is reordered so `b` rows stream through cache.
+fn matmul_blocked(
+    a: &[f32],
+    b: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    const KB: usize = 64;
+    for i in 0..m {
+        let row = &mut out[i * n..(i + 1) * n];
+        match bias {
+            Some(bias) => row.copy_from_slice(&bias[..n]),
+            None => row.fill(0.0),
+        }
+    }
+    let mut kb = 0;
+    while kb < k {
+        let kend = (kb + KB).min(k);
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for kk in kb..kend {
+                let aik = arow[kk];
+                let brow = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += aik * bv;
+                }
+            }
+        }
+        kb = kend;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn execute_op(
     mem: &mut Memory,
     w: &Walker,
+    tlb: &mut Tlb,
+    scratch: &mut ExecScratch,
     op: &ShaderOp,
     present_cores: u32,
+    rep: &mut ExecReport,
 ) -> Result<(), ShaderFault> {
     match *op {
         ShaderOp::Conv2d {
@@ -490,47 +853,37 @@ fn execute_op(
             tiles,
         } => {
             check_tiles(tiles, present_cores)?;
-            let input = read_f32s(mem, w, in_va, (p.in_c * p.in_h * p.in_w) as usize)?;
-            let weights = read_f32s(mem, w, w_va, (p.out_c * p.in_c * p.k * p.k) as usize)?;
+            read_f32s_bulk(
+                mem,
+                w,
+                tlb,
+                rep,
+                in_va,
+                (p.in_c * p.in_h * p.in_w) as usize,
+                &mut scratch.a,
+            )?;
+            read_f32s_bulk(
+                mem,
+                w,
+                tlb,
+                rep,
+                w_va,
+                (p.out_c * p.in_c * p.k * p.k) as usize,
+                &mut scratch.b,
+            )?;
+            // No allocation when the op carries no bias: the kernel seeds
+            // the accumulator with 0.0 directly.
             let bias = if b_va != 0 {
-                read_f32s(mem, w, b_va, p.out_c as usize)?
+                read_f32s_bulk(mem, w, tlb, rep, b_va, p.out_c as usize, &mut scratch.bias)?;
+                Some(scratch.bias.as_slice())
             } else {
-                vec![0.0; p.out_c as usize]
+                None
             };
             let (oh, ow) = (p.out_h() as usize, p.out_w() as usize);
-            let mut out = vec![0.0f32; p.out_c as usize * oh * ow];
-            for oc in 0..p.out_c as usize {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut acc = bias[oc];
-                        for ic in 0..p.in_c as usize {
-                            for ky in 0..p.k as usize {
-                                for kx in 0..p.k as usize {
-                                    let iy = oy as i64 * p.stride as i64 + ky as i64 - p.pad as i64;
-                                    let ix = ox as i64 * p.stride as i64 + kx as i64 - p.pad as i64;
-                                    if iy < 0
-                                        || ix < 0
-                                        || iy >= p.in_h as i64
-                                        || ix >= p.in_w as i64
-                                    {
-                                        continue;
-                                    }
-                                    let iv = input[ic * (p.in_h * p.in_w) as usize
-                                        + iy as usize * p.in_w as usize
-                                        + ix as usize];
-                                    let wv = weights[oc * (p.in_c * p.k * p.k) as usize
-                                        + ic * (p.k * p.k) as usize
-                                        + ky * p.k as usize
-                                        + kx];
-                                    acc += iv * wv;
-                                }
-                            }
-                        }
-                        out[oc * oh * ow + oy * ow + ox] = acc;
-                    }
-                }
-            }
-            write_f32s(mem, w, out_va, &out)?;
+            scratch.out.clear();
+            scratch.out.resize(p.out_c as usize * oh * ow, 0.0);
+            conv2d_blocked(&scratch.a, &scratch.b, bias, &mut scratch.out, &p);
+            write_f32s_bulk(mem, w, tlb, rep, out_va, &scratch.out)?;
         }
         ShaderOp::MatMul {
             a_va,
@@ -543,24 +896,26 @@ fn execute_op(
             tiles,
         } => {
             check_tiles(tiles, present_cores)?;
-            let a = read_f32s(mem, w, a_va, (m * k) as usize)?;
-            let b = read_f32s(mem, w, b_va, (k * n) as usize)?;
+            read_f32s_bulk(mem, w, tlb, rep, a_va, (m * k) as usize, &mut scratch.a)?;
+            read_f32s_bulk(mem, w, tlb, rep, b_va, (k * n) as usize, &mut scratch.b)?;
             let bias = if bias_va != 0 {
-                read_f32s(mem, w, bias_va, n as usize)?
+                read_f32s_bulk(mem, w, tlb, rep, bias_va, n as usize, &mut scratch.bias)?;
+                Some(scratch.bias.as_slice())
             } else {
-                vec![0.0; n as usize]
+                None
             };
-            let mut out = vec![0.0f32; (m * n) as usize];
-            for i in 0..m as usize {
-                for j in 0..n as usize {
-                    let mut acc = bias[j];
-                    for kk in 0..k as usize {
-                        acc += a[i * k as usize + kk] * b[kk * n as usize + j];
-                    }
-                    out[i * n as usize + j] = acc;
-                }
-            }
-            write_f32s(mem, w, out_va, &out)?;
+            scratch.out.clear();
+            scratch.out.resize((m * n) as usize, 0.0);
+            matmul_blocked(
+                &scratch.a,
+                &scratch.b,
+                bias,
+                &mut scratch.out,
+                m as usize,
+                k as usize,
+                n as usize,
+            );
+            write_f32s_bulk(mem, w, tlb, rep, out_va, &scratch.out)?;
         }
         ShaderOp::Pool {
             in_va,
@@ -572,37 +927,73 @@ fn execute_op(
             k,
             stride,
         } => {
-            let input = read_f32s(mem, w, in_va, (c * h * width) as usize)?;
+            read_f32s_bulk(
+                mem,
+                w,
+                tlb,
+                rep,
+                in_va,
+                (c * h * width) as usize,
+                &mut scratch.a,
+            )?;
+            let input = &scratch.a;
             let oh = ((h - k) / stride + 1) as usize;
             let ow = ((width - k) / stride + 1) as usize;
-            let mut out = vec![0.0f32; c as usize * oh * ow];
-            for ch in 0..c as usize {
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut best = f32::NEG_INFINITY;
-                        let mut sum = 0.0f32;
-                        for ky in 0..k as usize {
-                            for kx in 0..k as usize {
-                                let iy = oy * stride as usize + ky;
-                                let ix = ox * stride as usize + kx;
-                                let v = input[ch * (h * width) as usize + iy * width as usize + ix];
-                                best = best.max(v);
-                                sum += v;
+            let (hw, wd, ks, ss) = (
+                (h * width) as usize,
+                width as usize,
+                k as usize,
+                stride as usize,
+            );
+            scratch.out.clear();
+            scratch.out.resize(c as usize * oh * ow, 0.0);
+            // One loop nest per flavour: max pooling no longer pays for a
+            // running sum it discards (and vice versa). The per-window
+            // fold order is unchanged, so results stay bit-identical.
+            match kind {
+                PoolKind::Max => {
+                    for ch in 0..c as usize {
+                        let in_ch = &input[ch * hw..(ch + 1) * hw];
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let mut best = f32::NEG_INFINITY;
+                                for ky in 0..ks {
+                                    let row = &in_ch[(oy * ss + ky) * wd + ox * ss..];
+                                    for &v in &row[..ks] {
+                                        best = best.max(v);
+                                    }
+                                }
+                                scratch.out[ch * oh * ow + oy * ow + ox] = best;
                             }
                         }
-                        out[ch * oh * ow + oy * ow + ox] = match kind {
-                            PoolKind::Max => best,
-                            PoolKind::Avg => sum / (k * k) as f32,
-                        };
+                    }
+                }
+                PoolKind::Avg => {
+                    let denom = (k * k) as f32;
+                    for ch in 0..c as usize {
+                        let in_ch = &input[ch * hw..(ch + 1) * hw];
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let mut sum = 0.0f32;
+                                for ky in 0..ks {
+                                    let row = &in_ch[(oy * ss + ky) * wd + ox * ss..];
+                                    for &v in &row[..ks] {
+                                        sum += v;
+                                    }
+                                }
+                                scratch.out[ch * oh * ow + oy * ow + ox] = sum / denom;
+                            }
+                        }
                     }
                 }
             }
-            write_f32s(mem, w, out_va, &out)?;
+            write_f32s_bulk(mem, w, tlb, rep, out_va, &scratch.out)?;
         }
         ShaderOp::Relu { in_va, out_va, len } => {
-            let data = read_f32s(mem, w, in_va, len as usize)?;
-            let out: Vec<f32> = data.iter().map(|&v| v.max(0.0)).collect();
-            write_f32s(mem, w, out_va, &out)?;
+            read_f32s_bulk(mem, w, tlb, rep, in_va, len as usize, &mut scratch.a)?;
+            scratch.out.clear();
+            scratch.out.extend(scratch.a.iter().map(|&v| v.max(0.0)));
+            write_f32s_bulk(mem, w, tlb, rep, out_va, &scratch.out)?;
         }
         ShaderOp::Add {
             a_va,
@@ -610,29 +1001,148 @@ fn execute_op(
             out_va,
             len,
         } => {
-            let a = read_f32s(mem, w, a_va, len as usize)?;
-            let b = read_f32s(mem, w, b_va, len as usize)?;
-            let out: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
-            write_f32s(mem, w, out_va, &out)?;
+            read_f32s_bulk(mem, w, tlb, rep, a_va, len as usize, &mut scratch.a)?;
+            read_f32s_bulk(mem, w, tlb, rep, b_va, len as usize, &mut scratch.b)?;
+            scratch.out.clear();
+            scratch
+                .out
+                .extend(scratch.a.iter().zip(&scratch.b).map(|(x, y)| x + y));
+            write_f32s_bulk(mem, w, tlb, rep, out_va, &scratch.out)?;
         }
         ShaderOp::Softmax { in_va, out_va, len } => {
-            let data = read_f32s(mem, w, in_va, len as usize)?;
-            let max = data.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let exps: Vec<f32> = data.iter().map(|&v| (v - max).exp()).collect();
-            let sum: f32 = exps.iter().sum();
-            let out: Vec<f32> = exps.iter().map(|&e| e / sum).collect();
-            write_f32s(mem, w, out_va, &out)?;
+            read_f32s_bulk(mem, w, tlb, rep, in_va, len as usize, &mut scratch.a)?;
+            let max = scratch.a.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            scratch.out.clear();
+            scratch
+                .out
+                .extend(scratch.a.iter().map(|&v| (v - max).exp()));
+            let sum: f32 = scratch.out.iter().sum();
+            for e in &mut scratch.out {
+                *e /= sum;
+            }
+            write_f32s_bulk(mem, w, tlb, rep, out_va, &scratch.out)?;
         }
         ShaderOp::Copy {
             src_va,
             dst_va,
             len,
         } => {
-            let data = read_f32s(mem, w, src_va, len as usize)?;
-            write_f32s(mem, w, dst_va, &data)?;
+            read_f32s_bulk(mem, w, tlb, rep, src_va, len as usize, &mut scratch.a)?;
+            write_f32s_bulk(mem, w, tlb, rep, dst_va, &scratch.a)?;
         }
     }
     Ok(())
+}
+
+/// The original unblocked element-at-a-time kernels, kept verbatim as the
+/// bit-exactness oracle for the fast path: property tests pin every fast
+/// kernel to these, bit for bit, across the zoo networks and randomized
+/// geometries.
+pub mod reference {
+    use super::{ConvParams, PoolKind};
+
+    /// Scalar 2-D convolution + bias (the pre-fast-path loop, verbatim).
+    pub fn conv2d(input: &[f32], weights: &[f32], bias: &[f32], p: &ConvParams) -> Vec<f32> {
+        let (oh, ow) = (p.out_h() as usize, p.out_w() as usize);
+        let mut out = vec![0.0f32; p.out_c as usize * oh * ow];
+        for oc in 0..p.out_c as usize {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias[oc];
+                    for ic in 0..p.in_c as usize {
+                        for ky in 0..p.k as usize {
+                            for kx in 0..p.k as usize {
+                                let iy = oy as i64 * p.stride as i64 + ky as i64 - p.pad as i64;
+                                let ix = ox as i64 * p.stride as i64 + kx as i64 - p.pad as i64;
+                                if iy < 0 || ix < 0 || iy >= p.in_h as i64 || ix >= p.in_w as i64 {
+                                    continue;
+                                }
+                                let iv = input[ic * (p.in_h * p.in_w) as usize
+                                    + iy as usize * p.in_w as usize
+                                    + ix as usize];
+                                let wv = weights[oc * (p.in_c * p.k * p.k) as usize
+                                    + ic * (p.k * p.k) as usize
+                                    + ky * p.k as usize
+                                    + kx];
+                                acc += iv * wv;
+                            }
+                        }
+                    }
+                    out[oc * oh * ow + oy * ow + ox] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    /// Scalar dense matmul + bias (j-inner loop, verbatim).
+    pub fn matmul(a: &[f32], b: &[f32], bias: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = bias[j];
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[kk * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Scalar pooling computing both max and sum per window (verbatim).
+    #[allow(clippy::too_many_arguments)]
+    pub fn pool(
+        input: &[f32],
+        kind: PoolKind,
+        c: usize,
+        h: usize,
+        w: usize,
+        k: usize,
+        stride: usize,
+    ) -> Vec<f32> {
+        let oh = (h - k) / stride + 1;
+        let ow = (w - k) / stride + 1;
+        let mut out = vec![0.0f32; c * oh * ow];
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut sum = 0.0f32;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let v = input[ch * h * w + (oy * stride + ky) * w + ox * stride + kx];
+                            best = best.max(v);
+                            sum += v;
+                        }
+                    }
+                    out[ch * oh * ow + oy * ow + ox] = match kind {
+                        PoolKind::Max => best,
+                        PoolKind::Avg => sum / (k * k) as f32,
+                    };
+                }
+            }
+        }
+        out
+    }
+
+    /// Scalar ReLU.
+    pub fn relu(x: &[f32]) -> Vec<f32> {
+        x.iter().map(|&v| v.max(0.0)).collect()
+    }
+
+    /// Scalar elementwise add.
+    pub fn add(a: &[f32], b: &[f32]) -> Vec<f32> {
+        a.iter().zip(b).map(|(x, y)| x + y).collect()
+    }
+
+    /// Scalar softmax (max-subtracted, verbatim).
+    pub fn softmax(x: &[f32]) -> Vec<f32> {
+        let max = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = x.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        exps.iter().map(|&e| e / sum).collect()
+    }
 }
 
 #[cfg(test)]
@@ -640,6 +1150,33 @@ mod tests {
     use super::*;
     use crate::mem::PAGE_SIZE;
     use crate::mmu::{map_page, PteFlags};
+
+    /// Executes one op with a fresh TLB and scratch (test convenience).
+    fn exec(mem: &mut Memory, w: &Walker, op: &ShaderOp, cores: u32) -> Result<(), ShaderFault> {
+        let mut tlb = Tlb::new();
+        let mut scratch = ExecScratch::default();
+        let mut rep = ExecReport::default();
+        execute_op(mem, w, &mut tlb, &mut scratch, op, cores, &mut rep)
+    }
+
+    /// Deterministic pseudo-random f32 stream in roughly [-2, 2).
+    fn lcg(seed: u64) -> impl FnMut() -> f32 {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 40) as i32 - (1 << 23)) as f32 / (1 << 22) as f32
+        }
+    }
+
+    fn fill(n: usize, rng: &mut impl FnMut() -> f32) -> Vec<f32> {
+        (0..n).map(|_| rng()).collect()
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
 
     fn all_ops() -> Vec<ShaderOp> {
         vec![
@@ -780,7 +1317,7 @@ mod tests {
             n: 2,
             tiles: 8,
         };
-        execute_op(&mut mem, &w, &op, 8).unwrap();
+        exec(&mut mem, &w, &op, 8).unwrap();
         let expect = [29.0f32, 42.0, 53.0, 70.0]; // a*b + bias
         for (i, e) in expect.iter().enumerate() {
             let pa = w
@@ -820,7 +1357,7 @@ mod tests {
             },
             tiles: 4,
         };
-        execute_op(&mut mem, &w, &op, 4).unwrap();
+        exec(&mut mem, &w, &op, 4).unwrap();
         for i in 0..16 {
             let pa = w.translate(&mem, out_va + i * 4, AccessKind::Read).unwrap();
             assert_eq!(
@@ -843,7 +1380,7 @@ mod tests {
             n: 1,
             tiles: 8,
         };
-        let r = execute_op(&mut mem, &w, &op, 4);
+        let r = exec(&mut mem, &w, &op, 4);
         assert_eq!(
             r,
             Err(ShaderFault::TileMismatch {
@@ -873,7 +1410,7 @@ mod tests {
             k: 2,
             stride: 2,
         };
-        execute_op(&mut mem, &w, &max_op, 8).unwrap();
+        exec(&mut mem, &w, &max_op, 8).unwrap();
         let pa = w.translate(&mem, 0x1100, AccessKind::Read).unwrap();
         assert_eq!(mem.read_f32(pa, crate::mem::Accessor::Gpu).unwrap(), 4.0);
 
@@ -887,7 +1424,7 @@ mod tests {
             k: 2,
             stride: 2,
         };
-        execute_op(&mut mem, &w, &avg_op, 8).unwrap();
+        exec(&mut mem, &w, &avg_op, 8).unwrap();
         let pa = w.translate(&mem, 0x1200, AccessKind::Read).unwrap();
         assert_eq!(mem.read_f32(pa, crate::mem::Accessor::Gpu).unwrap(), 2.5);
     }
@@ -906,7 +1443,7 @@ mod tests {
             out_va: 0x1100,
             len: 3,
         };
-        execute_op(&mut mem, &w, &op, 8).unwrap();
+        exec(&mut mem, &w, &op, 8).unwrap();
         let mut sum = 0.0f32;
         let mut vals = [0.0f32; 3];
         for (i, v) in vals.iter_mut().enumerate() {
@@ -929,7 +1466,7 @@ mod tests {
                 .unwrap();
             mem.write_f32(pa, *v, crate::mem::Accessor::Gpu).unwrap();
         }
-        execute_op(
+        exec(
             &mut mem,
             &w,
             &ShaderOp::Relu {
@@ -973,14 +1510,147 @@ mod tests {
             mem.write_f32(pa, (i * 10) as f32, crate::mem::Accessor::Gpu)
                 .unwrap();
         }
-        let macs = execute_program(&mut mem, &w, shader_va, 1, 8).unwrap();
-        assert_eq!(macs, 2);
+        let mut tlb = Tlb::new();
+        let mut scratch = ExecScratch::default();
+        let rep = execute_program(&mut mem, &w, &mut tlb, &mut scratch, shader_va, 1, 8).unwrap();
+        assert_eq!(rep.macs, 2);
+        assert_eq!(rep.per_kind[OpKind::Copy.index()].events, 1);
+        assert_eq!(rep.per_kind[OpKind::Conv2d.index()].events, 0);
+        let ts = tlb.stats();
+        assert!(
+            ts.hits + ts.misses >= rep.bulk_runs,
+            "every bulk run translates at least once"
+        );
+        assert!(
+            (ts.misses as usize) < INSTR_SIZE,
+            "bulk fetch must not walk once per byte (misses={})",
+            ts.misses
+        );
         for i in 0..4 {
             let pa = w.translate(&mem, 0x3000 + i * 4, AccessKind::Read).unwrap();
             assert_eq!(
                 mem.read_f32(pa, crate::mem::Accessor::Gpu).unwrap(),
                 (i * 10) as f32
             );
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_matches_reference_bitwise() {
+        let mut rng = lcg(1);
+        for &(m, k, n) in &[(1, 1, 1), (2, 3, 4), (7, 5, 9), (16, 64, 10), (33, 129, 17)] {
+            let a = fill(m * k, &mut rng);
+            let b = fill(k * n, &mut rng);
+            let bias = fill(n, &mut rng);
+            let mut fast = vec![0.0; m * n];
+            matmul_blocked(&a, &b, Some(&bias), &mut fast, m, k, n);
+            assert_eq!(
+                bits(&fast),
+                bits(&reference::matmul(&a, &b, &bias, m, k, n)),
+                "matmul {m}x{k}x{n}"
+            );
+            // The no-bias fast path seeds 0.0 — identical to the reference
+            // fed the zero bias vector the old engine allocated.
+            let zero = vec![0.0; n];
+            let mut fast0 = vec![0.0; m * n];
+            matmul_blocked(&a, &b, None, &mut fast0, m, k, n);
+            assert_eq!(
+                bits(&fast0),
+                bits(&reference::matmul(&a, &b, &zero, m, k, n)),
+                "matmul-nobias {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_conv_matches_reference_bitwise() {
+        let mut rng = lcg(2);
+        // Geometries covering k=1, pad=0, pad>0, stride>1, k=stride,
+        // non-square inputs, and pad up to k-1.
+        let geoms: [(u32, u32, u32, u32, u32, u32, u32); 7] = [
+            (1, 5, 5, 1, 3, 1, 1),
+            (3, 8, 8, 4, 3, 1, 0),
+            (2, 9, 7, 3, 3, 2, 1),
+            (4, 16, 16, 8, 5, 2, 2),
+            (1, 4, 4, 2, 4, 4, 0),
+            (3, 7, 7, 5, 1, 1, 0),
+            (2, 6, 6, 3, 3, 3, 2),
+        ];
+        for &(in_c, in_h, in_w, out_c, k, stride, pad) in &geoms {
+            let p = ConvParams {
+                in_c,
+                in_h,
+                in_w,
+                out_c,
+                k,
+                stride,
+                pad,
+            };
+            let input = fill((in_c * in_h * in_w) as usize, &mut rng);
+            let weights = fill((out_c * in_c * k * k) as usize, &mut rng);
+            let bias = fill(out_c as usize, &mut rng);
+            let mut fast = vec![0.0; (out_c * p.out_h() * p.out_w()) as usize];
+            conv2d_blocked(&input, &weights, Some(&bias), &mut fast, &p);
+            assert_eq!(
+                bits(&fast),
+                bits(&reference::conv2d(&input, &weights, &bias, &p)),
+                "conv {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_pool_matches_reference_bitwise() {
+        let mut rng = lcg(3);
+        let geoms: [(u32, u32, u32, u32, u32); 4] = [
+            (1, 4, 4, 2, 2),
+            (3, 8, 8, 2, 2),
+            (2, 9, 9, 3, 2),
+            (4, 7, 7, 3, 1),
+        ];
+        for &(c, h, w, k, stride) in &geoms {
+            let input = fill((c * h * w) as usize, &mut rng);
+            for kind in [PoolKind::Max, PoolKind::Avg] {
+                let (mut mem, walker) = setup_mapped(8);
+                let in_va = 0x1000u64;
+                let out_va = 0x3000u64;
+                for (i, v) in input.iter().enumerate() {
+                    let pa = walker
+                        .translate(&mem, in_va + (i * 4) as u64, AccessKind::Write)
+                        .unwrap();
+                    mem.write_f32(pa, *v, crate::mem::Accessor::Gpu).unwrap();
+                }
+                let op = ShaderOp::Pool {
+                    in_va,
+                    out_va,
+                    kind,
+                    c,
+                    h,
+                    w,
+                    k,
+                    stride,
+                };
+                exec(&mut mem, &walker, &op, 8).unwrap();
+                let oh = ((h - k) / stride + 1) as usize;
+                let ow = ((w - k) / stride + 1) as usize;
+                let expect = reference::pool(
+                    &input,
+                    kind,
+                    c as usize,
+                    h as usize,
+                    w as usize,
+                    k as usize,
+                    stride as usize,
+                );
+                assert_eq!(expect.len(), c as usize * oh * ow);
+                for (i, e) in expect.iter().enumerate() {
+                    let pa = walker
+                        .translate(&mem, out_va + (i * 4) as u64, AccessKind::Read)
+                        .unwrap();
+                    let got = mem.read_f32(pa, crate::mem::Accessor::Gpu).unwrap();
+                    assert_eq!(got.to_bits(), e.to_bits(), "{kind:?} elem {i}");
+                }
+            }
         }
     }
 

@@ -33,6 +33,15 @@ pub trait ExecHooks {
     fn post_layer(&mut self, _layer_idx: usize) {}
 }
 
+/// Reusable byte-staging buffer for the f32 → wire conversion on input
+/// upload. One inference allocates it; every subsequent inference on the
+/// same stack reuses the capacity — the executor-side analogue of the
+/// GPU's kernel scratch buffers on the fleet-serving hot path.
+#[derive(Debug, Clone, Default)]
+pub struct UploadScratch {
+    bytes: Vec<u8>,
+}
+
 /// Runs one inference through the driver.
 pub fn run_inference<P: RegPort>(
     driver: &mut KbaseDriver<P>,
@@ -40,9 +49,26 @@ pub fn run_inference<P: RegPort>(
     input: &[f32],
     hooks: &mut dyn ExecHooks,
 ) -> Result<Vec<f32>, DriverError> {
+    let mut scratch = UploadScratch::default();
+    run_inference_with_scratch(driver, net, input, hooks, &mut scratch)
+}
+
+/// [`run_inference`] with a caller-owned staging buffer, for callers that
+/// run many inferences back to back (see [`UploadScratch`]).
+pub fn run_inference_with_scratch<P: RegPort>(
+    driver: &mut KbaseDriver<P>,
+    net: &CompiledNetwork,
+    input: &[f32],
+    hooks: &mut dyn ExecHooks,
+    scratch: &mut UploadScratch,
+) -> Result<Vec<f32>, DriverError> {
     assert_eq!(input.len(), net.input_len as usize, "input length");
-    let bytes: Vec<u8> = input.iter().flat_map(|v| v.to_le_bytes()).collect();
-    driver.copy_to_gpu(net.input_va, &bytes)?;
+    scratch.bytes.clear();
+    scratch.bytes.reserve(input.len() * 4);
+    for v in input {
+        scratch.bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    driver.copy_to_gpu(net.input_va, &scratch.bytes)?;
 
     for (li, layer) in net.layers.iter().enumerate() {
         hooks.pre_layer(li);
@@ -129,6 +155,8 @@ pub struct NativeStack {
     pub gpu: Rc<RefCell<Gpu>>,
     /// The kernel driver over the native port.
     pub driver: KbaseDriver<grt_driver::DirectPort>,
+    /// Reused input-staging buffer (see [`UploadScratch`]).
+    upload: UploadScratch,
 }
 
 /// Default device memory size for native stacks.
@@ -151,6 +179,7 @@ impl NativeStack {
             mem,
             gpu,
             driver,
+            upload: UploadScratch::default(),
         })
     }
 
@@ -163,7 +192,7 @@ impl NativeStack {
     /// the native end-to-end delay.
     pub fn infer(&mut self, net: &CompiledNetwork, input: &[f32]) -> Result<Vec<f32>, DriverError> {
         let mut hooks = NativeHooks::new(&self.gpu, &self.clock);
-        run_inference(&mut self.driver, net, input, &mut hooks)
+        run_inference_with_scratch(&mut self.driver, net, input, &mut hooks, &mut self.upload)
     }
 
     /// Like [`NativeStack::infer`] but also returns the inference delay.

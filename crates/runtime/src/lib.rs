@@ -15,7 +15,9 @@ pub mod executor;
 pub mod jit;
 pub mod network;
 
-pub use executor::{run_inference, ExecHooks, NativeHooks, NativeStack};
+pub use executor::{
+    run_inference, run_inference_with_scratch, ExecHooks, NativeHooks, NativeStack, UploadScratch,
+};
 pub use jit::{Jit, JitJob, JobKind};
 pub use network::{
     compile_network, compile_network_dry, CompiledJob, CompiledLayer, CompiledNetwork,

@@ -82,4 +82,27 @@ if [ "$((10 * NEW_EPS))" -lt "$((9 * BASE_EPS))" ]; then
 fi
 echo "    compiled events/s: $NEW_EPS (baseline $BASE_EPS)"
 
+# Warm-replay throughput gate: the execution fast path (software TLB +
+# page-run bulk access + blocked kernels) is what makes fleet serving
+# viable, so each workload's end-to-end warm_replays_per_sec must not
+# drop more than 10% below the checked-in baseline either.
+echo "==> warm replay throughput gate (per workload)"
+extract_wrps() {
+    sed -n "s/.*\"workload\": \"$2\".*\"warm_replays_per_sec\": \([0-9.][0-9.]*\).*/\1/p" "$1"
+}
+for W in MNIST AlexNet MobileNet SqueezeNet ResNet12 VGG16; do
+    BASE_W="$(extract_wrps BENCH_replay.json "$W")"
+    NEW_W="$(extract_wrps "$GOLDEN_DIR/replay_a.json" "$W")"
+    if [ -z "$BASE_W" ] || [ -z "$NEW_W" ]; then
+        echo "ci: could not extract warm_replays_per_sec for $W" >&2
+        exit 1
+    fi
+    # Fail if NEW < 90% of BASE (floats, so compare in awk).
+    if awk -v n="$NEW_W" -v b="$BASE_W" 'BEGIN { exit !(10 * n < 9 * b) }'; then
+        echo "ci: $W warm replays/s regressed >10%: $NEW_W vs baseline $BASE_W" >&2
+        exit 1
+    fi
+    echo "    $W warm replays/s: $NEW_W (baseline $BASE_W)"
+done
+
 echo "CI gate passed."

@@ -79,9 +79,13 @@ fn native_delay_ordering_matches_network_sizes() {
     assert!(delays["MNIST"] < delays["AlexNet"]);
     assert!(delays["AlexNet"] < delays["ResNet12"]);
     assert!(delays["MobileNet"] < delays["VGG16"]);
-    // The two compute-heavy networks dominate, as in Table 2.
-    assert!(delays["VGG16"] > delays["SqueezeNet"] * 3);
-    assert!(delays["ResNet12"] > delays["MobileNet"] * 3);
+    // The two compute-heavy networks still dominate, as in Table 2. The
+    // execution fast path (software TLB + page-run bulk access) compresses
+    // shader time across the board, so fixed per-job launch overhead is now
+    // a larger share of the many-small-jobs networks' delay and the gap is
+    // narrower than the old walk-per-access engine's 3×.
+    assert!(delays["VGG16"] > delays["SqueezeNet"].mul_f64(1.4));
+    assert!(delays["ResNet12"] > delays["MobileNet"].mul_f64(1.4));
 }
 
 /// The GPU's performance counters cross-check the executed computation:
