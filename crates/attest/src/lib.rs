@@ -1,0 +1,907 @@
+//! `grt-attest`: signed provenance records and per-replay receipts.
+//!
+//! The recording-time checks (signature verification + grt-lint vetting)
+//! establish that a recording is *safe to replay*, but nothing binds a
+//! specific replay's inputs and outputs to the vetted recording. This
+//! crate closes that gap with two artifact types:
+//!
+//! - a [`ProvenanceRecord`], attached when a recording enters the serving
+//!   registry: recorder identity, target SKU, digest of the canonical
+//!   recording bytes, digest of the lint report JSON, all signed by the
+//!   provenance key derived from the provisioning secret;
+//! - a [`ReplayReceipt`], emitted by every replay: input digest → output
+//!   digest → recording digest → replay profile counters, chained to the
+//!   provenance record by its digest and signed by the replaying device's
+//!   per-SKU receipt key.
+//!
+//! Together they let an auditor who holds the provisioning secret and a
+//! registry export ([`AttestationExport`]) check *offline* that an output
+//! digest was produced by replaying exactly the recording the registry
+//! vetted, on the SKU it was vetted for, with a known lint verdict — see
+//! [`verify_chain`] for the check order and [`VerifyError`] for the typed
+//! failure modes.
+//!
+//! Every encoding here is deterministic fixed-field-order binary (the
+//! same discipline as the recording codec and grt-lint's JSON), so the
+//! artifacts are byte-identical across runs and can be diffed in CI.
+
+use grt_crypto::{KeyPair, Sha256, Signature};
+
+/// Magic prefix of a serialized [`ProvenanceRecord`].
+pub const PROVENANCE_MAGIC: &[u8; 8] = b"GRTPROV1";
+/// Magic prefix of a serialized [`ReplayReceipt`].
+pub const RECEIPT_MAGIC: &[u8; 8] = b"GRTRCPT1";
+/// Magic prefix of a serialized [`AttestationExport`].
+pub const EXPORT_MAGIC: &[u8; 8] = b"GRTEXP01";
+
+/// Longest string field accepted by the bounded decoder.
+const MAX_STR: usize = 4096;
+/// Longest lint-report JSON accepted by the bounded decoder.
+const MAX_LINT_JSON: usize = 1 << 20;
+
+/// Derives the provenance signing key from the provisioning secret.
+///
+/// The key is held by whoever vets recordings (the serving registry in
+/// this reproduction); devices only need it to *verify* provenance.
+pub fn provenance_key(secret: &[u8]) -> KeyPair {
+    KeyPair::derive(secret, "provenance")
+}
+
+/// Derives the per-SKU receipt signing key for the device with `gpu_id`.
+///
+/// Each GPU SKU signs receipts under its own key so a receipt replayed
+/// from a different SKU fails the chain check even if the secret leaks
+/// laterally between devices of the same fleet.
+pub fn receipt_key(secret: &[u8], gpu_id: u32) -> KeyPair {
+    KeyPair::derive(secret, &format!("receipt-{gpu_id:08x}"))
+}
+
+/// Typed failure modes of receipt/provenance decoding and verification.
+///
+/// Every variant has a stable [`code`](VerifyError::code) string so CLI
+/// output and metrics bucketing stay deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The byte buffer ended before the field `what` could be read.
+    Truncated {
+        /// Which field was being decoded when the bytes ran out.
+        what: &'static str,
+    },
+    /// A structural invariant of the encoding was violated.
+    Malformed {
+        /// Which invariant failed (magic, length bound, trailing bytes).
+        what: &'static str,
+    },
+    /// No provenance record accompanies the recording.
+    MissingProvenance,
+    /// The provenance record's signature does not verify.
+    ProvenanceSignature,
+    /// The receipt was issued by a different SKU than the provenance
+    /// record covers.
+    SkuMismatch {
+        /// GPU_ID the receipt claims.
+        receipt: u32,
+        /// GPU_ID the provenance record was vetted for.
+        provenance: u32,
+    },
+    /// The receipt's signature does not verify under the claimed SKU's
+    /// receipt key.
+    ReceiptSignature,
+    /// The receipt's recording digest differs from the vetted recording.
+    RecordingDigestMismatch,
+    /// The receipt chains to a different provenance record.
+    ChainMismatch,
+    /// The lint report JSON does not hash to the vetted lint digest.
+    LintDigestMismatch,
+    /// The receipt's input digest does not match the staged input bytes.
+    InputDigestMismatch,
+    /// The receipt's output digest does not match the returned output.
+    OutputDigestMismatch,
+    /// No registry export entry covers this (workload, GPU_ID) pair.
+    UnknownRecording {
+        /// Workload named by the receipt.
+        workload: String,
+        /// GPU_ID named by the receipt.
+        gpu_id: u32,
+    },
+}
+
+impl VerifyError {
+    /// Stable machine-readable rule code for metrics and CLI output.
+    pub fn code(&self) -> &'static str {
+        match self {
+            VerifyError::Truncated { .. } => "truncated",
+            VerifyError::Malformed { .. } => "malformed",
+            VerifyError::MissingProvenance => "missing-provenance",
+            VerifyError::ProvenanceSignature => "provenance-signature",
+            VerifyError::SkuMismatch { .. } => "sku-mismatch",
+            VerifyError::ReceiptSignature => "receipt-signature",
+            VerifyError::RecordingDigestMismatch => "recording-digest-mismatch",
+            VerifyError::ChainMismatch => "chain-mismatch",
+            VerifyError::LintDigestMismatch => "lint-digest-mismatch",
+            VerifyError::InputDigestMismatch => "input-digest-mismatch",
+            VerifyError::OutputDigestMismatch => "output-digest-mismatch",
+            VerifyError::UnknownRecording { .. } => "unknown-recording",
+        }
+    }
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Truncated { what } => write!(f, "truncated while reading {what}"),
+            VerifyError::Malformed { what } => write!(f, "malformed encoding: {what}"),
+            VerifyError::MissingProvenance => write!(f, "no provenance record attached"),
+            VerifyError::ProvenanceSignature => {
+                write!(f, "provenance record signature does not verify")
+            }
+            VerifyError::SkuMismatch {
+                receipt,
+                provenance,
+            } => write!(
+                f,
+                "receipt issued by GPU_ID {receipt:#x} but provenance covers {provenance:#x}"
+            ),
+            VerifyError::ReceiptSignature => write!(f, "receipt signature does not verify"),
+            VerifyError::RecordingDigestMismatch => {
+                write!(
+                    f,
+                    "receipt recording digest does not match vetted recording"
+                )
+            }
+            VerifyError::ChainMismatch => {
+                write!(f, "receipt chains to a different provenance record")
+            }
+            VerifyError::LintDigestMismatch => {
+                write!(f, "lint report does not hash to the vetted lint digest")
+            }
+            VerifyError::InputDigestMismatch => {
+                write!(f, "receipt input digest does not match staged input")
+            }
+            VerifyError::OutputDigestMismatch => {
+                write!(f, "receipt output digest does not match returned output")
+            }
+            VerifyError::UnknownRecording { workload, gpu_id } => {
+                write!(f, "no export entry for ({workload}, {gpu_id:#x})")
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic byte codec (same idiom as the recording codec in grt-core).
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounded little-endian reader over an untrusted byte buffer.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], VerifyError> {
+        if self.buf.len() - self.pos < n {
+            return Err(VerifyError::Truncated { what });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, VerifyError> {
+        let b = self.bytes(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, VerifyError> {
+        let b = self.bytes(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn digest(&mut self, what: &'static str) -> Result<[u8; 32], VerifyError> {
+        let b = self.bytes(32, what)?;
+        let mut d = [0u8; 32];
+        d.copy_from_slice(b);
+        Ok(d)
+    }
+
+    fn string(&mut self, max: usize, what: &'static str) -> Result<String, VerifyError> {
+        let len = self.u32(what)? as usize;
+        if len > max {
+            return Err(VerifyError::Malformed { what });
+        }
+        let b = self.bytes(len, what)?;
+        String::from_utf8(b.to_vec()).map_err(|_| VerifyError::Malformed { what })
+    }
+
+    fn finish(&self, what: &'static str) -> Result<(), VerifyError> {
+        if self.pos != self.buf.len() {
+            return Err(VerifyError::Malformed { what });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ProvenanceRecord
+// ---------------------------------------------------------------------------
+
+/// Recording-time provenance: who vetted which recording for which SKU,
+/// with what lint verdict — signed under the provenance key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProvenanceRecord {
+    /// Identity of the vetting party (e.g. `"registry"`).
+    pub recorder: String,
+    /// Workload the recording computes (e.g. `"ResNet12"`).
+    pub workload: String,
+    /// GPU_ID of the SKU the recording was captured on and vetted for.
+    pub gpu_id: u32,
+    /// SHA-256 over the canonical recording bytes.
+    pub recording_digest: [u8; 32],
+    /// SHA-256 over the lint report's deterministic JSON.
+    pub lint_digest: [u8; 32],
+    /// HMAC signature over [`signing_bytes`](Self::signing_bytes).
+    pub signature: Signature,
+}
+
+impl ProvenanceRecord {
+    /// Builds and signs a provenance record under the provenance key
+    /// derived from `secret`.
+    pub fn build(
+        recorder: &str,
+        workload: &str,
+        gpu_id: u32,
+        recording_digest: [u8; 32],
+        lint_digest: [u8; 32],
+        secret: &[u8],
+    ) -> Self {
+        let mut rec = ProvenanceRecord {
+            recorder: recorder.to_string(),
+            workload: workload.to_string(),
+            gpu_id,
+            recording_digest,
+            lint_digest,
+            signature: Signature::from_bytes([0u8; 32]),
+        };
+        rec.signature = provenance_key(secret).sign(&rec.signing_bytes());
+        rec
+    }
+
+    /// Canonical signed byte encoding (everything but the signature).
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128);
+        out.extend_from_slice(PROVENANCE_MAGIC);
+        put_str(&mut out, &self.recorder);
+        put_str(&mut out, &self.workload);
+        put_u32(&mut out, self.gpu_id);
+        out.extend_from_slice(&self.recording_digest);
+        out.extend_from_slice(&self.lint_digest);
+        out
+    }
+
+    /// Full wire encoding: signing bytes followed by the 32-byte signature.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.signing_bytes();
+        out.extend_from_slice(self.signature.as_bytes());
+        out
+    }
+
+    /// Decodes a record, enforcing magic, length bounds, and exact size.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, VerifyError> {
+        let mut r = Reader::new(buf);
+        if r.bytes(8, "provenance magic")? != PROVENANCE_MAGIC {
+            return Err(VerifyError::Malformed {
+                what: "provenance magic",
+            });
+        }
+        let recorder = r.string(MAX_STR, "provenance recorder")?;
+        let workload = r.string(MAX_STR, "provenance workload")?;
+        let gpu_id = r.u32("provenance gpu_id")?;
+        let recording_digest = r.digest("provenance recording digest")?;
+        let lint_digest = r.digest("provenance lint digest")?;
+        let signature = Signature::from_bytes(r.digest("provenance signature")?);
+        r.finish("provenance trailing bytes")?;
+        Ok(ProvenanceRecord {
+            recorder,
+            workload,
+            gpu_id,
+            recording_digest,
+            lint_digest,
+            signature,
+        })
+    }
+
+    /// Verifies the signature under the provenance key from `secret`.
+    pub fn verify(&self, secret: &[u8]) -> bool {
+        provenance_key(secret).verify(&self.signing_bytes(), &self.signature)
+    }
+
+    /// Digest of the full encoding — what receipts chain to.
+    pub fn digest(&self) -> [u8; 32] {
+        Sha256::digest(&self.to_bytes())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReplayReceipt
+// ---------------------------------------------------------------------------
+
+/// Replay profile counters embedded in a receipt.
+///
+/// All values derive from the deterministic simulation (virtual clock,
+/// exact event counts), so two replays of the same recording with the
+/// same input produce byte-identical counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReceiptCounters {
+    /// Recorded events replayed.
+    pub events: u64,
+    /// Replayer-attributable overhead, nanoseconds of virtual time.
+    pub overhead_ns: u64,
+    /// End-to-end replay duration, nanoseconds of virtual time.
+    pub total_ns: u64,
+    /// Bytes of delta-compressed register traffic on the wire.
+    pub delta_wire_bytes: u64,
+    /// Software TLB hits during kernel execution.
+    pub tlb_hits: u64,
+    /// Software TLB misses (page-table walks) during kernel execution.
+    pub tlb_misses: u64,
+}
+
+/// Per-replay receipt: binds one replay's input and output digests to
+/// the vetted recording and its provenance record, signed by the
+/// replaying device's per-SKU receipt key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayReceipt {
+    /// Workload that was replayed.
+    pub workload: String,
+    /// GPU_ID of the replaying device.
+    pub gpu_id: u32,
+    /// SHA-256 over the canonical recording bytes that were replayed.
+    pub recording_digest: [u8; 32],
+    /// Digest of the chained [`ProvenanceRecord`]; all-zero when the
+    /// replay ran without an attached provenance record.
+    pub provenance_digest: [u8; 32],
+    /// SHA-256 over the staged input bytes (f32 little-endian).
+    pub input_digest: [u8; 32],
+    /// SHA-256 over the raw output bytes read back from device memory.
+    pub output_digest: [u8; 32],
+    /// Deterministic replay profile counters.
+    pub counters: ReceiptCounters,
+    /// HMAC signature over [`signing_bytes`](Self::signing_bytes).
+    pub signature: Signature,
+}
+
+impl ReplayReceipt {
+    /// Builds and signs a receipt under the per-SKU receipt key derived
+    /// from `secret` and `gpu_id`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        workload: &str,
+        gpu_id: u32,
+        recording_digest: [u8; 32],
+        provenance_digest: [u8; 32],
+        input_digest: [u8; 32],
+        output_digest: [u8; 32],
+        counters: ReceiptCounters,
+        secret: &[u8],
+    ) -> Self {
+        let mut rcpt = ReplayReceipt {
+            workload: workload.to_string(),
+            gpu_id,
+            recording_digest,
+            provenance_digest,
+            input_digest,
+            output_digest,
+            counters,
+            signature: Signature::from_bytes([0u8; 32]),
+        };
+        rcpt.signature = receipt_key(secret, gpu_id).sign(&rcpt.signing_bytes());
+        rcpt
+    }
+
+    /// Canonical signed byte encoding (everything but the signature).
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(RECEIPT_MAGIC);
+        put_str(&mut out, &self.workload);
+        put_u32(&mut out, self.gpu_id);
+        out.extend_from_slice(&self.recording_digest);
+        out.extend_from_slice(&self.provenance_digest);
+        out.extend_from_slice(&self.input_digest);
+        out.extend_from_slice(&self.output_digest);
+        put_u64(&mut out, self.counters.events);
+        put_u64(&mut out, self.counters.overhead_ns);
+        put_u64(&mut out, self.counters.total_ns);
+        put_u64(&mut out, self.counters.delta_wire_bytes);
+        put_u64(&mut out, self.counters.tlb_hits);
+        put_u64(&mut out, self.counters.tlb_misses);
+        out
+    }
+
+    /// Full wire encoding: signing bytes followed by the 32-byte signature.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.signing_bytes();
+        out.extend_from_slice(self.signature.as_bytes());
+        out
+    }
+
+    /// Decodes a receipt, enforcing magic, length bounds, and exact size.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, VerifyError> {
+        let mut r = Reader::new(buf);
+        if r.bytes(8, "receipt magic")? != RECEIPT_MAGIC {
+            return Err(VerifyError::Malformed {
+                what: "receipt magic",
+            });
+        }
+        let workload = r.string(MAX_STR, "receipt workload")?;
+        let gpu_id = r.u32("receipt gpu_id")?;
+        let recording_digest = r.digest("receipt recording digest")?;
+        let provenance_digest = r.digest("receipt provenance digest")?;
+        let input_digest = r.digest("receipt input digest")?;
+        let output_digest = r.digest("receipt output digest")?;
+        let counters = ReceiptCounters {
+            events: r.u64("receipt events")?,
+            overhead_ns: r.u64("receipt overhead_ns")?,
+            total_ns: r.u64("receipt total_ns")?,
+            delta_wire_bytes: r.u64("receipt delta_wire_bytes")?,
+            tlb_hits: r.u64("receipt tlb_hits")?,
+            tlb_misses: r.u64("receipt tlb_misses")?,
+        };
+        let signature = Signature::from_bytes(r.digest("receipt signature")?);
+        r.finish("receipt trailing bytes")?;
+        Ok(ReplayReceipt {
+            workload,
+            gpu_id,
+            recording_digest,
+            provenance_digest,
+            input_digest,
+            output_digest,
+            counters,
+            signature,
+        })
+    }
+
+    /// Verifies the signature under the claimed SKU's receipt key.
+    pub fn verify(&self, secret: &[u8]) -> bool {
+        receipt_key(secret, self.gpu_id).verify(&self.signing_bytes(), &self.signature)
+    }
+
+    /// Digest of the full encoding.
+    pub fn digest(&self) -> [u8; 32] {
+        Sha256::digest(&self.to_bytes())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chain verification
+// ---------------------------------------------------------------------------
+
+/// Verifies the full receipt → provenance → lint chain.
+///
+/// Check order is fixed so each tamper mode yields a distinct error:
+///
+/// 1. provenance signature → [`VerifyError::ProvenanceSignature`]
+/// 2. receipt SKU matches provenance SKU → [`VerifyError::SkuMismatch`]
+/// 3. receipt signature under the claimed SKU's key →
+///    [`VerifyError::ReceiptSignature`] (any in-place field flip lands
+///    here, since the signature covers every field)
+/// 4. recording digests agree → [`VerifyError::RecordingDigestMismatch`]
+/// 5. receipt chains to *this* provenance record →
+///    [`VerifyError::ChainMismatch`]
+/// 6. `lint_json` hashes to the vetted lint digest →
+///    [`VerifyError::LintDigestMismatch`]
+pub fn verify_chain(
+    receipt: &ReplayReceipt,
+    provenance: &ProvenanceRecord,
+    lint_json: &str,
+    secret: &[u8],
+) -> Result<(), VerifyError> {
+    if !provenance.verify(secret) {
+        return Err(VerifyError::ProvenanceSignature);
+    }
+    if receipt.gpu_id != provenance.gpu_id {
+        return Err(VerifyError::SkuMismatch {
+            receipt: receipt.gpu_id,
+            provenance: provenance.gpu_id,
+        });
+    }
+    if !receipt.verify(secret) {
+        return Err(VerifyError::ReceiptSignature);
+    }
+    if receipt.recording_digest != provenance.recording_digest {
+        return Err(VerifyError::RecordingDigestMismatch);
+    }
+    if receipt.provenance_digest != provenance.digest() {
+        return Err(VerifyError::ChainMismatch);
+    }
+    if Sha256::digest(lint_json.as_bytes()) != provenance.lint_digest {
+        return Err(VerifyError::LintDigestMismatch);
+    }
+    Ok(())
+}
+
+/// Checks a verified receipt's input/output digests against the actual
+/// bytes the caller staged and received.
+pub fn verify_receipt_data(
+    receipt: &ReplayReceipt,
+    input_bytes: &[u8],
+    output_bytes: &[u8],
+) -> Result<(), VerifyError> {
+    if Sha256::digest(input_bytes) != receipt.input_digest {
+        return Err(VerifyError::InputDigestMismatch);
+    }
+    if Sha256::digest(output_bytes) != receipt.output_digest {
+        return Err(VerifyError::OutputDigestMismatch);
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Registry export
+// ---------------------------------------------------------------------------
+
+/// One vetted recording's audit data in a registry export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportEntry {
+    /// Workload the recording computes.
+    pub workload: String,
+    /// GPU_ID the recording was vetted for.
+    pub gpu_id: u32,
+    /// SHA-256 over the canonical recording bytes.
+    pub recording_digest: [u8; 32],
+    /// The lint report's deterministic JSON, verbatim.
+    pub lint_json: String,
+    /// The signed provenance record.
+    pub provenance: ProvenanceRecord,
+}
+
+/// Deterministic registry export an auditor verifies receipts against
+/// offline: every vetted recording's digest, lint report, and signed
+/// provenance record, sorted by `(workload, gpu_id)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AttestationExport {
+    entries: Vec<ExportEntry>,
+}
+
+impl AttestationExport {
+    /// Builds an export; entries are sorted by `(workload, gpu_id)` so
+    /// the encoding is independent of insertion order.
+    pub fn new(mut entries: Vec<ExportEntry>) -> Self {
+        entries.sort_by(|a, b| {
+            a.workload
+                .cmp(&b.workload)
+                .then_with(|| a.gpu_id.cmp(&b.gpu_id))
+        });
+        AttestationExport { entries }
+    }
+
+    /// The sorted entries.
+    pub fn entries(&self) -> &[ExportEntry] {
+        &self.entries
+    }
+
+    /// Looks up the entry covering `(workload, gpu_id)`.
+    pub fn find(&self, workload: &str, gpu_id: u32) -> Option<&ExportEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.workload == workload && e.gpu_id == gpu_id)
+    }
+
+    /// Deterministic wire encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1024);
+        out.extend_from_slice(EXPORT_MAGIC);
+        put_u32(&mut out, self.entries.len() as u32);
+        for e in &self.entries {
+            put_str(&mut out, &e.workload);
+            put_u32(&mut out, e.gpu_id);
+            out.extend_from_slice(&e.recording_digest);
+            put_str(&mut out, &e.lint_json);
+            let prov = e.provenance.to_bytes();
+            put_u32(&mut out, prov.len() as u32);
+            out.extend_from_slice(&prov);
+        }
+        out
+    }
+
+    /// Decodes an export, enforcing magic, bounds, and exact size.
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, VerifyError> {
+        let mut r = Reader::new(buf);
+        if r.bytes(8, "export magic")? != EXPORT_MAGIC {
+            return Err(VerifyError::Malformed {
+                what: "export magic",
+            });
+        }
+        let count = r.u32("export entry count")? as usize;
+        if count > 65_536 {
+            return Err(VerifyError::Malformed {
+                what: "export entry count",
+            });
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let workload = r.string(MAX_STR, "export workload")?;
+            let gpu_id = r.u32("export gpu_id")?;
+            let recording_digest = r.digest("export recording digest")?;
+            let lint_json = r.string(MAX_LINT_JSON, "export lint json")?;
+            let prov_len = r.u32("export provenance length")? as usize;
+            if prov_len > MAX_STR + 256 {
+                return Err(VerifyError::Malformed {
+                    what: "export provenance length",
+                });
+            }
+            let prov_bytes = r.bytes(prov_len, "export provenance bytes")?;
+            let provenance = ProvenanceRecord::from_bytes(prov_bytes)?;
+            entries.push(ExportEntry {
+                workload,
+                gpu_id,
+                recording_digest,
+                lint_json,
+                provenance,
+            });
+        }
+        r.finish("export trailing bytes")?;
+        Ok(AttestationExport { entries })
+    }
+
+    /// Verifies `receipt` against this export: finds the covering entry,
+    /// then runs the full [`verify_chain`].
+    pub fn verify_receipt(
+        &self,
+        receipt: &ReplayReceipt,
+        secret: &[u8],
+    ) -> Result<(), VerifyError> {
+        let entry = self
+            .find(&receipt.workload, receipt.gpu_id)
+            .ok_or_else(|| VerifyError::UnknownRecording {
+                workload: receipt.workload.clone(),
+                gpu_id: receipt.gpu_id,
+            })?;
+        verify_chain(receipt, &entry.provenance, &entry.lint_json, secret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SECRET: &[u8] = b"attest-test-secret";
+
+    fn sample_provenance() -> ProvenanceRecord {
+        ProvenanceRecord::build(
+            "registry",
+            "MNIST",
+            0x6071_0008,
+            Sha256::digest(b"recording bytes"),
+            Sha256::digest(b"{\"verdict\":\"accept\"}"),
+            SECRET,
+        )
+    }
+
+    fn sample_receipt(prov: &ProvenanceRecord) -> ReplayReceipt {
+        ReplayReceipt::build(
+            &prov.workload,
+            prov.gpu_id,
+            prov.recording_digest,
+            prov.digest(),
+            Sha256::digest(b"input"),
+            Sha256::digest(b"output"),
+            ReceiptCounters {
+                events: 100,
+                overhead_ns: 7,
+                total_ns: 1_000,
+                delta_wire_bytes: 64,
+                tlb_hits: 40,
+                tlb_misses: 10,
+            },
+            SECRET,
+        )
+    }
+
+    #[test]
+    fn provenance_round_trip_and_verify() {
+        let p = sample_provenance();
+        let restored = ProvenanceRecord::from_bytes(&p.to_bytes()).unwrap();
+        assert_eq!(p, restored);
+        assert!(restored.verify(SECRET));
+        assert!(!restored.verify(b"wrong secret"));
+    }
+
+    #[test]
+    fn receipt_round_trip_and_verify() {
+        let p = sample_provenance();
+        let r = sample_receipt(&p);
+        let restored = ReplayReceipt::from_bytes(&r.to_bytes()).unwrap();
+        assert_eq!(r, restored);
+        assert!(restored.verify(SECRET));
+    }
+
+    #[test]
+    fn chain_accepts_well_formed_receipt() {
+        let p = sample_provenance();
+        let r = sample_receipt(&p);
+        verify_chain(&r, &p, "{\"verdict\":\"accept\"}", SECRET).unwrap();
+    }
+
+    #[test]
+    fn encodings_are_deterministic() {
+        let a = sample_provenance();
+        let b = sample_provenance();
+        assert_eq!(a.to_bytes(), b.to_bytes());
+        assert_eq!(sample_receipt(&a).to_bytes(), sample_receipt(&b).to_bytes());
+    }
+
+    // --- tamper mutation corpus: each mutation yields a distinct typed
+    // --- error (satellite: receipt tamper detection).
+
+    #[test]
+    fn tamper_flipped_input_digest_fails_receipt_signature() {
+        let p = sample_provenance();
+        let mut r = sample_receipt(&p);
+        r.input_digest[0] ^= 0xff;
+        assert_eq!(
+            verify_chain(&r, &p, "{\"verdict\":\"accept\"}", SECRET),
+            Err(VerifyError::ReceiptSignature)
+        );
+    }
+
+    #[test]
+    fn tamper_swapped_recording_digest_fails_recording_digest() {
+        // A validly signed receipt for a *different* recording on the
+        // same SKU, presented against this provenance record.
+        let p = sample_provenance();
+        let mut other = sample_provenance();
+        other.recording_digest = Sha256::digest(b"some other recording");
+        other.signature = provenance_key(SECRET).sign(&other.signing_bytes());
+        let mut r = sample_receipt(&other);
+        // Chain it to the target provenance record so the digest check
+        // is the first one that can fail.
+        r.provenance_digest = p.digest();
+        r.signature = receipt_key(SECRET, r.gpu_id).sign(&r.signing_bytes());
+        assert_eq!(
+            verify_chain(&r, &p, "{\"verdict\":\"accept\"}", SECRET),
+            Err(VerifyError::RecordingDigestMismatch)
+        );
+    }
+
+    #[test]
+    fn tamper_truncated_signature_fails_typed_truncation() {
+        let p = sample_provenance();
+        let r = sample_receipt(&p);
+        let mut bytes = r.to_bytes();
+        bytes.truncate(bytes.len() - 5);
+        assert_eq!(
+            ReplayReceipt::from_bytes(&bytes),
+            Err(VerifyError::Truncated {
+                what: "receipt signature"
+            })
+        );
+    }
+
+    #[test]
+    fn tamper_cross_sku_receipt_fails_sku_mismatch() {
+        let p = sample_provenance();
+        let mut other = sample_provenance();
+        other.gpu_id = 0x6071_0004;
+        other.signature = provenance_key(SECRET).sign(&other.signing_bytes());
+        let r = sample_receipt(&other);
+        assert_eq!(
+            verify_chain(&r, &p, "{\"verdict\":\"accept\"}", SECRET),
+            Err(VerifyError::SkuMismatch {
+                receipt: 0x6071_0004,
+                provenance: 0x6071_0008
+            })
+        );
+    }
+
+    #[test]
+    fn chain_rejects_unchained_receipt() {
+        let p = sample_provenance();
+        let mut r = sample_receipt(&p);
+        r.provenance_digest = [0u8; 32];
+        r.signature = receipt_key(SECRET, r.gpu_id).sign(&r.signing_bytes());
+        assert_eq!(
+            verify_chain(&r, &p, "{\"verdict\":\"accept\"}", SECRET),
+            Err(VerifyError::ChainMismatch)
+        );
+    }
+
+    #[test]
+    fn chain_rejects_tampered_lint_json() {
+        let p = sample_provenance();
+        let r = sample_receipt(&p);
+        assert_eq!(
+            verify_chain(&r, &p, "{\"verdict\":\"reject\"}", SECRET),
+            Err(VerifyError::LintDigestMismatch)
+        );
+    }
+
+    #[test]
+    fn chain_rejects_forged_provenance() {
+        let mut p = sample_provenance();
+        p.recorder = "mallory".to_string();
+        let r = sample_receipt(&p);
+        assert_eq!(
+            verify_chain(&r, &p, "{\"verdict\":\"accept\"}", SECRET),
+            Err(VerifyError::ProvenanceSignature)
+        );
+    }
+
+    #[test]
+    fn receipt_data_check_catches_digest_mismatch() {
+        let p = sample_provenance();
+        let r = sample_receipt(&p);
+        verify_receipt_data(&r, b"input", b"output").unwrap();
+        assert_eq!(
+            verify_receipt_data(&r, b"inpux", b"output"),
+            Err(VerifyError::InputDigestMismatch)
+        );
+        assert_eq!(
+            verify_receipt_data(&r, b"input", b"outpux"),
+            Err(VerifyError::OutputDigestMismatch)
+        );
+    }
+
+    #[test]
+    fn export_round_trip_and_lookup() {
+        let p = sample_provenance();
+        let export = AttestationExport::new(vec![ExportEntry {
+            workload: p.workload.clone(),
+            gpu_id: p.gpu_id,
+            recording_digest: p.recording_digest,
+            lint_json: "{\"verdict\":\"accept\"}".to_string(),
+            provenance: p.clone(),
+        }]);
+        let restored = AttestationExport::from_bytes(&export.to_bytes()).unwrap();
+        assert_eq!(export, restored);
+        let r = sample_receipt(&p);
+        restored.verify_receipt(&r, SECRET).unwrap();
+        let mut foreign = r.clone();
+        foreign.workload = "Unknown".to_string();
+        assert_eq!(
+            restored.verify_receipt(&foreign, SECRET),
+            Err(VerifyError::UnknownRecording {
+                workload: "Unknown".to_string(),
+                gpu_id: p.gpu_id
+            })
+        );
+    }
+
+    #[test]
+    fn export_sorted_regardless_of_insertion_order() {
+        let mut a = sample_provenance();
+        a.workload = "VGG16".to_string();
+        a.signature = provenance_key(SECRET).sign(&a.signing_bytes());
+        let b = sample_provenance();
+        let entry = |p: &ProvenanceRecord| ExportEntry {
+            workload: p.workload.clone(),
+            gpu_id: p.gpu_id,
+            recording_digest: p.recording_digest,
+            lint_json: "{}".to_string(),
+            provenance: p.clone(),
+        };
+        let e1 = AttestationExport::new(vec![entry(&a), entry(&b)]);
+        let e2 = AttestationExport::new(vec![entry(&b), entry(&a)]);
+        assert_eq!(e1.to_bytes(), e2.to_bytes());
+        assert_eq!(e1.entries()[0].workload, "MNIST");
+    }
+}

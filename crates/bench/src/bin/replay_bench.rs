@@ -84,6 +84,18 @@ fn main() -> std::process::ExitCode {
             spec.name
         );
         assert_eq!(interp.events, fast.events, "{}: event counts", spec.name);
+        // Software-TLB regression gate: warm replays must be hit-dominated.
+        // Before ranged AS_LOCKADDR invalidation the per-job FLUSH_MEM
+        // full-flushed the TLB and inverted this ratio (~3x more misses
+        // than hits on ResNet12); keep it from regressing.
+        assert!(
+            fast.exec.tlb.hits > fast.exec.tlb.misses,
+            "{}: software TLB must be hit-dominated on warm replay \
+             (got {} hits / {} misses)",
+            spec.name,
+            fast.exec.tlb.hits,
+            fast.exec.tlb.misses
+        );
 
         let interp_overhead = interp.overhead.as_nanos();
         let fast_overhead = fast.overhead.as_nanos();
@@ -126,7 +138,7 @@ fn main() -> std::process::ExitCode {
                 "\"compiled\": {{\"overhead_ns\": {}, \"total_ns\": {}, \"events_per_sec\": {}}}, ",
                 "\"cold_replay_ns\": {}, \"warm_replay_ns\": {}, \"warm_replays_per_sec\": {:.3}, ",
                 "\"overhead_speedup\": {:.3}, ",
-                "\"tlb\": {{\"hits\": {}, \"misses\": {}}}, ",
+                "\"tlb\": {{\"hits\": {}, \"misses\": {}, \"flushes\": {}}}, ",
                 "\"ops\": [{}], ",
                 "\"sync\": {{\"down_regions_dumped\": {}, \"down_regions_clean_skipped\": {}, ",
                 "\"down_bytes\": {}, \"up_bytes\": {}}}}}"
@@ -147,6 +159,7 @@ fn main() -> std::process::ExitCode {
             interp_overhead as f64 / fast_overhead as f64,
             fast.exec.tlb.hits,
             fast.exec.tlb.misses,
+            fast.exec.tlb.flushes,
             ops_json,
             dumped,
             skipped,

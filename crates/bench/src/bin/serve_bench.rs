@@ -20,9 +20,14 @@
 //! Usage: `serve_bench [REQUESTS] [SEED] [--fault-plan SEED]`
 //! (defaults: 1200 requests, seed 42, no fault plan).
 
+use grt_attest::ReplayReceipt;
 use grt_bench::{benchmarks, heterogeneous_fleet};
-use grt_serve::{generate_trace, Fleet, FleetConfig, TraceConfig};
-use grt_sim::{FaultPlan, FaultPlanConfig, SimTime};
+use grt_core::replay::{workload_weights, Replayer};
+use grt_core::session::{ClientDevice, PROVISIONING_SECRET};
+use grt_gpu::GpuSku;
+use grt_ml::reference::test_input;
+use grt_serve::{generate_trace, Fleet, FleetConfig, ServeReport, TraceConfig};
+use grt_sim::{Clock, FaultPlan, FaultPlanConfig, SimTime, Stats};
 use std::rc::Rc;
 
 fn usage() -> std::process::ExitCode {
@@ -39,6 +44,116 @@ fn parse_arg<T: std::str::FromStr>(arg: &str, name: &str) -> Option<T> {
         eprintln!("serve_bench: {name} must be an integer, got {arg:?}");
     }
     parsed
+}
+
+/// Every completed serve must have produced a receipt that verified
+/// against the provenance chain; honest devices never yield rejections.
+fn assert_receipts(pass: &str, report: &ServeReport) {
+    assert_eq!(
+        report.receipts_issued, report.completed,
+        "{pass}: every completed serve issues exactly one receipt"
+    );
+    assert_eq!(
+        report.receipts_verified, report.receipts_issued,
+        "{pass}: every issued receipt verifies on an honest fleet"
+    );
+    assert!(
+        report.receipts_rejected.is_empty(),
+        "{pass}: honest fleet produced rejected receipts: {:?}",
+        report.receipts_rejected
+    );
+}
+
+/// Offline attestation spot-check over the Zipf-warmed registry: one
+/// genuine receipt chains end to end, and tampered variants are rejected
+/// with the intended typed codes. Returns a deterministic JSON fragment.
+fn attestation_spotcheck(registry: &mut grt_serve::RecordingRegistry) -> String {
+    let sku = GpuSku::mali_g71_mp8();
+    let spec = &benchmarks()[0];
+    let fetch = registry
+        .fetch(spec, &sku)
+        .expect("warmed registry serves the spot-check model");
+    let clock = Clock::new();
+    let stats = Rc::new(Stats::new());
+    let device = ClientDevice::new(sku, &clock, &stats, PROVISIONING_SECRET);
+    let mut replayer = Replayer::new(&device, Rc::new(grt_lint::Linter::new()));
+    replayer.attach_provenance(fetch.provenance.digest());
+    replayer
+        .replay_compiled(
+            &fetch.compiled,
+            &test_input(spec, 7),
+            &workload_weights(spec),
+        )
+        .expect("spot-check replay succeeds");
+    let receipt = replayer
+        .last_receipt()
+        .expect("successful replay emits a receipt");
+    let export = registry.export_attestation();
+    export
+        .verify_receipt(receipt, PROVISIONING_SECRET)
+        .expect("genuine receipt verifies offline");
+
+    // A flipped signature byte parses but fails the HMAC check.
+    let mut forged_bytes = receipt.to_bytes();
+    *forged_bytes.last_mut().expect("receipts are nonempty") ^= 0xFF;
+    let forged = ReplayReceipt::from_bytes(&forged_bytes).expect("forgery still parses");
+    let sig_code = export
+        .verify_receipt(&forged, PROVISIONING_SECRET)
+        .expect_err("forged signature must be rejected")
+        .code();
+    assert_eq!(sig_code, "receipt-signature");
+
+    // A validly-signed receipt for a workload the registry never vetted.
+    let orphan = ReplayReceipt::build(
+        "phantom",
+        receipt.gpu_id,
+        receipt.recording_digest,
+        receipt.provenance_digest,
+        receipt.input_digest,
+        receipt.output_digest,
+        receipt.counters,
+        PROVISIONING_SECRET,
+    );
+    let orphan_code = export
+        .verify_receipt(&orphan, PROVISIONING_SECRET)
+        .expect_err("orphaned receipt must be rejected")
+        .code();
+    assert_eq!(orphan_code, "unknown-recording");
+
+    // A validly-signed receipt claiming a different recording than the one
+    // the registry's provenance covers: the chain check catches it even
+    // though the device's own signature is genuine.
+    let swapped = ReplayReceipt::build(
+        &receipt.workload,
+        receipt.gpu_id,
+        {
+            let mut d = receipt.recording_digest;
+            d[0] ^= 0xFF;
+            d
+        },
+        receipt.provenance_digest,
+        receipt.input_digest,
+        receipt.output_digest,
+        receipt.counters,
+        PROVISIONING_SECRET,
+    );
+    let swap_code = export
+        .verify_receipt(&swapped, PROVISIONING_SECRET)
+        .expect_err("recording-digest swap must be rejected")
+        .code();
+    assert_eq!(swap_code, "recording-digest-mismatch");
+
+    // Truncation is a typed parse error, never a panic.
+    let trunc_code = ReplayReceipt::from_bytes(&receipt.to_bytes()[..40])
+        .expect_err("truncated receipt must be rejected")
+        .code();
+    assert_eq!(trunc_code, "truncated");
+
+    format!(
+        "{{\"genuine\": \"verified\", \"tampered_signature\": \"{sig_code}\", \
+         \"unknown_recording\": \"{orphan_code}\", \
+         \"recording_digest_swap\": \"{swap_code}\", \"truncated\": \"{trunc_code}\"}}"
+    )
 }
 
 fn main() -> std::process::ExitCode {
@@ -121,6 +236,13 @@ fn main() -> std::process::ExitCode {
         warm.cold_starts,
         cold.cold_starts
     );
+    assert_receipts("cold", &cold);
+    assert_receipts("warm", &warm);
+
+    // Close the attestation loop offline against the registry both passes
+    // warmed, including tampered-receipt rejection with typed codes.
+    let mut registry = warm_fleet.into_registry();
+    let spotcheck = attestation_spotcheck(&mut registry);
 
     // Optional chaos pass: the same trace against a fresh registry whose
     // record tunnels and serving timeline both run under a deterministic
@@ -159,6 +281,9 @@ fn main() -> std::process::ExitCode {
             report.crashes,
             report.failovers
         );
+        // Crash-interrupted serves never complete, so even the chaos pass
+        // keeps the one-receipt-per-completion invariant.
+        assert_receipts("faulted", &report);
         report
     });
 
@@ -169,6 +294,7 @@ fn main() -> std::process::ExitCode {
         skus.len(),
         fault_seed.map_or("null".to_string(), |s| s.to_string()),
     );
+    println!("\"attestation_spotcheck\": {spotcheck},");
     println!("\"cold\": {},", cold.to_json());
     match &faulted {
         Some(report) => {

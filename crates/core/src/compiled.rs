@@ -165,6 +165,9 @@ pub struct CompiledRecording {
     /// Total wire-format bytes of all deltas (decompression the compiled
     /// path pays once instead of per replay).
     delta_wire_bytes: u64,
+    /// SHA-256 over the canonical recording bytes this was lowered from;
+    /// replay receipts carry it so the audit chain survives compilation.
+    recording_digest: [u8; 32],
 }
 
 impl CompiledRecording {
@@ -203,6 +206,11 @@ impl CompiledRecording {
     /// Total wire-format delta bytes decompressed at compile time.
     pub fn delta_wire_bytes(&self) -> u64 {
         self.delta_wire_bytes
+    }
+
+    /// SHA-256 over the canonical bytes of the source recording.
+    pub fn recording_digest(&self) -> [u8; 32] {
+        self.recording_digest
     }
 }
 
@@ -324,6 +332,7 @@ pub fn compile(
         ops,
         deltas,
         delta_wire_bytes,
+        recording_digest: grt_crypto::Sha256::digest(&rec.to_bytes()),
     })
 }
 

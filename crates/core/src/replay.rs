@@ -12,8 +12,9 @@ use crate::compiled::{compile, CompileError, CompiledRecording, Op};
 use crate::gate::{GateContext, RecordingGate};
 use crate::recording::{irq_line_from, Event, Recording, SignedRecording};
 use crate::session::ClientDevice;
+use grt_attest::{ReceiptCounters, ReplayReceipt};
 use grt_compress::DeltaCodec;
-use grt_crypto::KeyPair;
+use grt_crypto::{KeyPair, Sha256};
 use grt_driver::{PollCond, RegionTable};
 use grt_ml::reference::{biases_for_layer, weights_for_layer};
 use grt_ml::NetworkSpec;
@@ -195,6 +196,12 @@ pub struct Replayer {
     codec: DeltaCodec,
     gate: Rc<dyn RecordingGate>,
     profile: ReplayProfile,
+    /// Digest of the provenance record replays chain their receipts to;
+    /// `None` until the host attaches one (receipts then carry an all-zero
+    /// chain field and fail offline chain verification by design).
+    provenance_digest: Option<[u8; 32]>,
+    /// Receipt of the most recent successful replay.
+    last_receipt: Option<ReplayReceipt>,
 }
 
 impl Replayer {
@@ -214,12 +221,62 @@ impl Replayer {
             codec: DeltaCodec::new(grt_gpu::PAGE_SIZE),
             gate,
             profile: ReplayProfile::default(),
+            provenance_digest: None,
+            last_receipt: None,
         }
     }
 
     /// Cost breakdown of the most recent replay (see [`ReplayProfile`]).
     pub fn last_profile(&self) -> ReplayProfile {
         self.profile
+    }
+
+    /// Chains subsequent replay receipts to the provenance record with
+    /// this digest (see `grt_attest::ProvenanceRecord::digest`).
+    pub fn attach_provenance(&mut self, digest: [u8; 32]) {
+        self.provenance_digest = Some(digest);
+    }
+
+    /// Detaches any chained provenance record; subsequent receipts carry
+    /// an all-zero chain field again.
+    pub fn detach_provenance(&mut self) {
+        self.provenance_digest = None;
+    }
+
+    /// The signed receipt of the most recent successful replay, if any.
+    pub fn last_receipt(&self) -> Option<&ReplayReceipt> {
+        self.last_receipt.as_ref()
+    }
+
+    /// Builds and signs the receipt for the replay that just completed;
+    /// the profile must be fully populated before this runs.
+    fn emit_receipt(
+        &mut self,
+        workload: &str,
+        recording_digest: [u8; 32],
+        input: &[f32],
+        raw_output: &[u8],
+    ) {
+        let gpu_id = self.device_gpu.borrow().sku().gpu_id;
+        let input_bytes: Vec<u8> = input.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let counters = ReceiptCounters {
+            events: self.profile.events,
+            overhead_ns: self.profile.overhead.as_nanos(),
+            total_ns: self.profile.total.as_nanos(),
+            delta_wire_bytes: self.profile.delta_wire_bytes,
+            tlb_hits: self.profile.exec.tlb.hits,
+            tlb_misses: self.profile.exec.tlb.misses,
+        };
+        self.last_receipt = Some(ReplayReceipt::build(
+            workload,
+            gpu_id,
+            recording_digest,
+            self.provenance_digest.unwrap_or([0u8; 32]),
+            Sha256::digest(&input_bytes),
+            Sha256::digest(raw_output),
+            counters,
+            crate::session::PROVISIONING_SECRET,
+        ));
     }
 
     /// Runs the recording through the gate; the whole-recording static
@@ -310,6 +367,7 @@ impl Replayer {
         self.cleanup();
         self.profile.exec = self.device_gpu.borrow().exec_stats().delta_since(&exec0);
         self.profile.total = self.clock.now() - t0;
+        self.emit_receipt(&rec.workload, Sha256::digest(&signed.bytes), input, &raw);
         Ok((out, self.profile.total))
     }
 
@@ -522,6 +580,7 @@ impl Replayer {
         self.cleanup();
         self.profile.exec = self.device_gpu.borrow().exec_stats().delta_since(&exec0);
         self.profile.total = self.clock.now() - t0;
+        self.emit_receipt(&compiled.workload, compiled.recording_digest(), input, &raw);
         Ok((out, self.profile.total))
     }
 
@@ -1033,6 +1092,50 @@ mod tests {
             .replay_compiled(&compiled, &[0.0; 3], &workload_weights(&spec))
             .unwrap_err();
         assert_eq!(err, ReplayError::BadInput);
+    }
+
+    #[test]
+    fn replay_emits_signed_deterministic_receipt() {
+        let (s, out) = record_mnist(RecorderMode::OursMDS);
+        let spec = grt_ml::zoo::mnist();
+        let key = s.recording_key();
+        let mut replayer = Replayer::new(&s.client, permissive());
+        let input = test_input(&spec, 9);
+        let weights = workload_weights(&spec);
+        assert!(replayer.last_receipt().is_none());
+        replayer
+            .replay(&out.recording, &key, &input, &weights)
+            .unwrap();
+        let interp = replayer.last_receipt().unwrap().clone();
+        assert_eq!(interp.workload, "MNIST");
+        assert!(interp.verify(crate::session::PROVISIONING_SECRET));
+        assert_eq!(
+            interp.recording_digest,
+            Sha256::digest(&out.recording.bytes)
+        );
+        // Unchained until a provenance record is attached.
+        assert_eq!(interp.provenance_digest, [0u8; 32]);
+
+        // The compiled path binds to the same recording digest, and with
+        // a chained provenance digest the receipt carries it.
+        let compiled = replayer.compile_signed(&out.recording, &key).unwrap();
+        replayer.attach_provenance([7u8; 32]);
+        replayer
+            .replay_compiled(&compiled, &input, &weights)
+            .unwrap();
+        let fast = replayer.last_receipt().unwrap().clone();
+        assert_eq!(fast.recording_digest, interp.recording_digest);
+        assert_eq!(fast.input_digest, interp.input_digest);
+        assert_eq!(fast.output_digest, interp.output_digest);
+        assert_eq!(fast.provenance_digest, [7u8; 32]);
+        assert!(fast.verify(crate::session::PROVISIONING_SECRET));
+
+        // Same replay again → byte-identical receipt.
+        replayer
+            .replay_compiled(&compiled, &input, &weights)
+            .unwrap();
+        let again = replayer.last_receipt().unwrap().clone();
+        assert_eq!(again.to_bytes(), fast.to_bytes());
     }
 
     #[test]

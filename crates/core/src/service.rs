@@ -26,6 +26,12 @@ pub mod cmd {
     pub const SET_WEIGHTS: u32 = 3;
     /// params: none. Replays; returns `f32-LE output bytes`.
     pub const RUN: u32 = 4;
+    /// params: serialized `grt_attest::ProvenanceRecord`. Verifies it
+    /// against the loaded recording and chains subsequent receipts to it.
+    pub const SET_PROVENANCE: u32 = 5;
+    /// params: none. Returns the serialized `grt_attest::ReplayReceipt`
+    /// of the most recent successful `RUN`.
+    pub const RECEIPT: u32 = 6;
 }
 
 /// The trusted replay module.
@@ -114,6 +120,9 @@ impl TeeModule for ReplayService {
                         })?;
                 self.weights = vec![None; compiled.weights.len()];
                 self.input = None;
+                // Any previously chained provenance record covered the old
+                // recording; receipts must not chain across a model switch.
+                self.replayer.detach_provenance();
                 self.loaded_workload = Some(compiled.workload.clone());
                 let slots = compiled.weights.len();
                 self.compiled = Some(Rc::new(compiled));
@@ -153,6 +162,28 @@ impl TeeModule for ReplayService {
                     })?;
                 self.runs += 1;
                 Ok(out.iter().flat_map(|v| v.to_le_bytes()).collect())
+            }
+            cmd::SET_PROVENANCE => {
+                let compiled = self.compiled.as_ref().ok_or(GpStatus::BadParameters)?;
+                let prov = grt_attest::ProvenanceRecord::from_bytes(input)
+                    .map_err(|_| GpStatus::BadParameters)?;
+                // The record must be authentic and must cover *this*
+                // recording on *this* SKU; anything else is a refusal.
+                if !prov.verify(crate::session::PROVISIONING_SECRET)
+                    || prov.recording_digest != compiled.recording_digest()
+                    || prov.gpu_id != compiled.gpu_id
+                {
+                    return Err(GpStatus::AccessDenied);
+                }
+                self.replayer.attach_provenance(prov.digest());
+                Ok(Vec::new())
+            }
+            cmd::RECEIPT => {
+                let receipt = self
+                    .replayer
+                    .last_receipt()
+                    .ok_or(GpStatus::BadParameters)?;
+                Ok(receipt.to_bytes())
             }
             _ => Err(GpStatus::BadParameters),
         }
@@ -285,6 +316,74 @@ mod tests {
             host.invoke(session, cmd::RUN, &[]),
             Err(GpStatus::BadParameters)
         );
+    }
+
+    #[test]
+    fn provenance_and_receipt_commands_round_trip() {
+        let (s, out) = recorded();
+        let spec = grt_ml::zoo::mnist();
+        let host = TeeHost::new(&s.client.monitor);
+        host.register(Box::new(RefCell::new(ReplayService::new(
+            &s.client,
+            s.recording_key(),
+            Rc::new(crate::gate::PermissiveGate),
+        ))));
+        let session = host.open_session("grt.replay").unwrap();
+        // No recording loaded yet: both commands refuse.
+        assert_eq!(
+            host.invoke(session, cmd::SET_PROVENANCE, &[]),
+            Err(GpStatus::BadParameters)
+        );
+        assert_eq!(
+            host.invoke(session, cmd::RECEIPT, &[]),
+            Err(GpStatus::BadParameters)
+        );
+
+        let mut blob = out.recording.bytes.clone();
+        blob.extend_from_slice(out.recording.signature.as_bytes());
+        host.invoke(session, cmd::LOAD_RECORDING, &blob).unwrap();
+
+        let secret = crate::session::PROVISIONING_SECRET;
+        let gpu_id = s.client.gpu.borrow().sku().gpu_id;
+        let recording_digest = grt_crypto::Sha256::digest(&out.recording.bytes);
+        let lint_digest = grt_crypto::Sha256::digest(b"{}");
+        // A provenance record for a *different* recording is refused.
+        let wrong = grt_attest::ProvenanceRecord::build(
+            "registry",
+            "MNIST",
+            gpu_id,
+            grt_crypto::Sha256::digest(b"other recording"),
+            lint_digest,
+            secret,
+        );
+        assert_eq!(
+            host.invoke(session, cmd::SET_PROVENANCE, &wrong.to_bytes()),
+            Err(GpStatus::AccessDenied)
+        );
+        // The matching record is accepted and receipts chain to it.
+        let prov = grt_attest::ProvenanceRecord::build(
+            "registry",
+            "MNIST",
+            gpu_id,
+            recording_digest,
+            lint_digest,
+            secret,
+        );
+        host.invoke(session, cmd::SET_PROVENANCE, &prov.to_bytes())
+            .unwrap();
+
+        let input = test_input(&spec, 8);
+        let weights = workload_weights(&spec);
+        gp_run(&host, session, &out, &input, &weights).unwrap();
+        // gp_run re-issues LOAD_RECORDING, which detaches provenance —
+        // re-attach, run again, and fetch the chained receipt.
+        host.invoke(session, cmd::SET_PROVENANCE, &prov.to_bytes())
+            .unwrap();
+        host.invoke(session, cmd::RUN, &[]).unwrap();
+        let raw = host.invoke(session, cmd::RECEIPT, &[]).unwrap();
+        let receipt = grt_attest::ReplayReceipt::from_bytes(&raw).unwrap();
+        assert_eq!(receipt.provenance_digest, prov.digest());
+        grt_attest::verify_chain(&receipt, &prov, "{}", secret).unwrap();
     }
 
     #[test]

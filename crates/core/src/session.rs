@@ -118,6 +118,14 @@ pub enum RecordError {
         /// What the analyzer found.
         message: String,
     },
+    /// The recording's provenance record is missing, unsigned, or does
+    /// not match the recording/lint verdict it claims to cover.
+    Provenance {
+        /// Stable rule code (`grt_attest::VerifyError::code`).
+        code: String,
+        /// What the provenance check found.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for RecordError {
@@ -133,6 +141,9 @@ impl std::fmt::Display for RecordError {
                     f,
                     "recording rejected by static analysis [{rule}]: {message}"
                 )
+            }
+            RecordError::Provenance { code, message } => {
+                write!(f, "provenance check failed [{code}]: {message}")
             }
         }
     }

@@ -238,8 +238,17 @@ pub struct Gpu {
     /// Total jobs completed successfully.
     jobs_done: u64,
     /// Software TLB shared by descriptor fetch and shader execution.
-    /// Flushed at descriptor boundaries, AS commands, and reset.
+    /// Flushed at AS commands, reset, and any descriptor boundary where
+    /// the CPU wrote memory or the translation root changed since the
+    /// last flush (see `tlb_ctx`).
     tlb: Tlb,
+    /// Page-table root (`root_pa`) the cached translations were walked
+    /// through. `None` forces the next descriptor boundary to flush.
+    /// Combined with draining the memory's CPU-write log through
+    /// `Tlb::note_store`, this lets translations survive descriptor
+    /// boundaries: a boundary flushes only when the latched root changed
+    /// or a CPU write actually landed on a walked table page.
+    tlb_root: Option<u64>,
     /// Reusable kernel scratch buffers (kills per-op Vec churn).
     scratch: ExecScratch,
     /// Cumulative element accesses by shader programs (survives reset).
@@ -292,6 +301,7 @@ impl Gpu {
             macs_executed: 0,
             jobs_done: 0,
             tlb: Tlb::new(),
+            tlb_root: None,
             scratch: ExecScratch::default(),
             exec_element_accesses: 0,
             exec_bulk_runs: 0,
@@ -618,9 +628,28 @@ impl Gpu {
                             enabled: a.transtab_lo != 0 || a.transtab_hi != 0,
                         };
                     }
-                    // Any AS command (UPDATE/LOCK/FLUSH) invalidates cached
-                    // translations, exactly like a real MMU TLB maintenance op.
-                    self.tlb.invalidate_all();
+                    // TLB maintenance follows real Mali semantics instead
+                    // of flushing on every command: UPDATE latches a new
+                    // root and drops everything; FLUSH_PT/FLUSH_MEM
+                    // invalidate only the VA region bracketed by
+                    // AS_LOCKADDR (address | log2-size in the low bits);
+                    // LOCK/UNLOCK touch no cached translation. The
+                    // Listing-2 lock/flush/unlock sequence thus costs one
+                    // ranged invalidation, not three full flushes.
+                    match value {
+                        mc::AS_CMD_UPDATE => {
+                            self.tlb.invalidate_all();
+                            self.tlb_root = None;
+                        }
+                        mc::AS_CMD_FLUSH_PT | mc::AS_CMD_FLUSH_MEM => {
+                            let lockaddr = ((a.lockaddr_hi as u64) << 32) | a.lockaddr_lo as u64;
+                            let log2 = (lockaddr & 0x3F).clamp(12, 48) as u32;
+                            let size = 1u64 << log2;
+                            let base = lockaddr & !(size - 1);
+                            self.tlb.invalidate_va_range(base, size);
+                        }
+                        _ => {}
+                    }
                 }
                 _ => {}
             }
@@ -753,6 +782,7 @@ impl Gpu {
         // The TLB is flushed (its hit/miss counters survive, like
         // `macs_executed`, so replay-profile deltas stay meaningful).
         self.tlb.invalidate_all();
+        self.tlb_root = None;
         self.reset_until = now + RESET_TIME;
         self.flush_until = SimTime::ZERO;
         self.gpu_rawstat = 0;
@@ -832,10 +862,25 @@ impl Gpu {
                 status = jc::JS_STATUS_BAD_DESCRIPTOR;
                 break;
             }
-            // Descriptor boundary: drop cached translations so a chain can
-            // never execute through translations from a previous descriptor
-            // (memsync/rollback rewrite tables between jobs).
-            self.tlb.invalidate_all();
+            // Descriptor boundary: reconcile CPU-side writes with the
+            // TLB instead of flushing unconditionally. Draining the
+            // memory's write log through `note_store` flushes exactly
+            // when a CPU write (memsync restore, rollback, driver remap)
+            // landed on a walked table page; data-page writes — input
+            // staging, delta application — leave cached translations
+            // alone, so warm replays stop re-walking every descriptor.
+            // A changed translation root or an overflowed log still
+            // flushes; GPU stores are caught by `note_store` at the
+            // store site.
+            let (cpu_writes, overflowed) = mem.take_cpu_writes();
+            if overflowed || self.tlb_root != Some(walker.root_pa) {
+                self.tlb.invalidate_all();
+                self.tlb_root = Some(walker.root_pa);
+            } else {
+                for (start, end) in cpu_writes {
+                    self.tlb.note_store(start, (end - start) as usize);
+                }
+            }
             let desc = match JobDescriptor::read_via_mmu_cached(&mem, &walker, &mut self.tlb, va) {
                 Ok(Some(d)) => d,
                 Ok(None) => {

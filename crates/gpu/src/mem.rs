@@ -16,6 +16,12 @@ use std::fmt;
 /// The page size used throughout the model (matches the Mali's 4 KiB).
 pub const PAGE_SIZE: usize = 4096;
 
+/// Cap on distinct (non-mergeable) entries in the CPU-write log before it
+/// degrades to the conservative overflow flag. CPU writes between GPU jobs
+/// are region-shaped (input staging, delta restores), so the merged log
+/// stays tiny in practice.
+const CPU_WRITE_LOG_CAP: usize = 64;
+
 /// Per-page accessibility flags for continuous validation (§5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PageFlags {
@@ -79,6 +85,18 @@ impl std::error::Error for MemFault {}
 pub struct Memory {
     bytes: Vec<u8>,
     flags: Vec<PageFlags>,
+    /// Page ranges `[start, end)` (byte offsets, page-aligned) written by
+    /// the CPU since the GPU last drained the log
+    /// ([`Memory::take_cpu_writes`]). The GPU reconciles these against its
+    /// software TLB at descriptor boundaries: a CPU write that landed on a
+    /// walked table page flushes, anything else (input staging, delta
+    /// application to data pages) leaves cached translations alone.
+    /// Adjacent writes merge in place; GPU-side stores are covered
+    /// separately by `Tlb::note_store`.
+    cpu_writes: Vec<(u64, u64)>,
+    /// Set when the log hit its cap (or the memory was wiped): the GPU
+    /// must treat the whole address space as potentially rewritten.
+    cpu_writes_overflowed: bool,
     /// One bit per page, set by any mutation since the last
     /// [`Memory::clear_dirty`] on that page. Lets the memsync layer skip
     /// dumping and comparing regions nothing wrote to.
@@ -101,8 +119,47 @@ impl Memory {
         Memory {
             bytes: vec![0; size],
             flags: vec![PageFlags::default(); pages],
+            cpu_writes: Vec::new(),
+            cpu_writes_overflowed: false,
             dirty: vec![0; pages.div_ceil(64)],
         }
+    }
+
+    /// Appends `[start, end)` to the CPU-write log (page-rounded), merging
+    /// with the previous entry when they touch. Past the cap the log
+    /// degrades to the overflow flag — the conservative "flush everything"
+    /// signal — so it can never grow without bound between drains.
+    fn log_cpu_write(&mut self, start: usize, end: usize) {
+        if end <= start || self.cpu_writes_overflowed {
+            return;
+        }
+        let s = (start / PAGE_SIZE * PAGE_SIZE) as u64;
+        let e = (end.div_ceil(PAGE_SIZE) * PAGE_SIZE) as u64;
+        if let Some(last) = self.cpu_writes.last_mut() {
+            if s <= last.1 && e >= last.0 {
+                last.0 = last.0.min(s);
+                last.1 = last.1.max(e);
+                return;
+            }
+        }
+        if self.cpu_writes.len() >= CPU_WRITE_LOG_CAP {
+            self.cpu_writes.clear();
+            self.cpu_writes_overflowed = true;
+            return;
+        }
+        self.cpu_writes.push((s, e));
+    }
+
+    /// Drains the CPU-write log: every page range the CPU has written
+    /// since the previous drain, plus whether the log overflowed (treat as
+    /// "anything may have been written"). The GPU calls this at descriptor
+    /// boundaries and feeds the ranges to `Tlb::note_store`, so cached
+    /// translations survive CPU writes that never touched a walked table
+    /// page — the common case between warm-replay jobs.
+    pub fn take_cpu_writes(&mut self) -> (Vec<(u64, u64)>, bool) {
+        let overflowed = self.cpu_writes_overflowed;
+        self.cpu_writes_overflowed = false;
+        (std::mem::take(&mut self.cpu_writes), overflowed)
     }
 
     /// Marks the pages overlapping `[start, end)` (byte offsets) dirty.
@@ -163,6 +220,9 @@ impl Memory {
         let start = self.check(pa, buf.len(), accessor)?;
         self.bytes[start..start + buf.len()].copy_from_slice(buf);
         self.mark_dirty(start, start + buf.len());
+        if matches!(accessor, Accessor::Cpu) {
+            self.log_cpu_write(start, start + buf.len());
+        }
         Ok(())
     }
 
@@ -232,6 +292,31 @@ impl Memory {
             b.copy_from_slice(&v.to_le_bytes());
         }
         self.mark_dirty(start, start + len);
+        if matches!(accessor, Accessor::Cpu) {
+            self.log_cpu_write(start, start + len);
+        }
+        Ok(())
+    }
+
+    /// Copies `len` bytes from `src_pa` to `dst_pa` without staging them
+    /// through a caller buffer — the memmove half of the page-run fast
+    /// path for `Copy` kernels. Both ranges are trap-checked (source as a
+    /// read, destination as a write) and the destination is marked dirty
+    /// once. Overlapping ranges copy as a single `memmove`.
+    pub fn copy_within(
+        &mut self,
+        src_pa: u64,
+        dst_pa: u64,
+        len: usize,
+        accessor: Accessor,
+    ) -> Result<(), MemFault> {
+        let src = self.check(src_pa, len, accessor)?;
+        let dst = self.check(dst_pa, len, accessor)?;
+        self.bytes.copy_within(src..src + len, dst);
+        self.mark_dirty(dst, dst + len);
+        if matches!(accessor, Accessor::Cpu) {
+            self.log_cpu_write(dst, dst + len);
+        }
         Ok(())
     }
 
@@ -250,6 +335,7 @@ impl Memory {
         let end = start.saturating_add(data.len()).min(self.bytes.len());
         self.bytes[start..end].copy_from_slice(&data[..end - start]);
         self.mark_dirty(start, end);
+        self.log_cpu_write(start, end);
     }
 
     /// XORs `xor` into the bytes at `pa`, ignoring trap flags and clamping
@@ -264,6 +350,7 @@ impl Memory {
             *b ^= x;
         }
         self.mark_dirty(start, end);
+        self.log_cpu_write(start, end);
     }
 
     /// Whether any page overlapping `[pa, pa + len)` has been written since
@@ -340,6 +427,8 @@ impl Memory {
         self.bytes.fill(0);
         self.flags.fill(PageFlags::default());
         self.dirty.fill(u64::MAX);
+        self.cpu_writes.clear();
+        self.cpu_writes_overflowed = true;
     }
 }
 
@@ -371,6 +460,54 @@ mod tests {
             Err(MemFault::OutOfBounds { .. })
         ));
         assert!(m.write_u32(u64::MAX - 1, 0, Accessor::Cpu).is_err());
+    }
+
+    #[test]
+    fn copy_within_moves_bytes_and_marks_dirty() {
+        let mut m = Memory::new(4 * PAGE_SIZE);
+        let data: Vec<u8> = (0..=255).collect();
+        m.write(100, &data, Accessor::Cpu).unwrap();
+        m.clear_dirty(0, 4 * PAGE_SIZE);
+        let dst = (2 * PAGE_SIZE + 10) as u64;
+        m.copy_within(100, dst, data.len(), Accessor::Gpu).unwrap();
+        let mut back = vec![0u8; data.len()];
+        m.read(dst, &mut back, Accessor::Gpu).unwrap();
+        assert_eq!(back, data);
+        // Only the destination pages are dirty; the source stays clean.
+        assert!(m.any_dirty(dst, data.len()));
+        assert!(!m.any_dirty(100, data.len()));
+        // Overlapping forward copy behaves as one memmove.
+        m.copy_within(100, 104, 16, Accessor::Cpu).unwrap();
+        let mut moved = vec![0u8; 16];
+        m.read(104, &mut moved, Accessor::Cpu).unwrap();
+        assert_eq!(moved, data[..16]);
+    }
+
+    #[test]
+    fn copy_within_is_trap_checked_both_ends() {
+        let mut m = Memory::new(2 * PAGE_SIZE);
+        m.set_page_flags(
+            PAGE_SIZE as u64,
+            PAGE_SIZE,
+            PageFlags {
+                cpu_unmapped: false,
+                gpu_unmapped: true,
+            },
+        );
+        // Destination trapped.
+        assert!(matches!(
+            m.copy_within(0, PAGE_SIZE as u64, 8, Accessor::Gpu),
+            Err(MemFault::Trapped { .. })
+        ));
+        // Source trapped.
+        assert!(matches!(
+            m.copy_within(PAGE_SIZE as u64, 0, 8, Accessor::Gpu),
+            Err(MemFault::Trapped { .. })
+        ));
+        // Out of bounds.
+        assert!(m
+            .copy_within(0, (2 * PAGE_SIZE - 4) as u64, 8, Accessor::Cpu)
+            .is_err());
     }
 
     #[test]

@@ -333,6 +333,26 @@ impl Tlb {
         self.table_pages.clear();
     }
 
+    /// Drops cached translations for virtual pages in `[va, va + len)` —
+    /// the ranged TLB maintenance op behind `AS_CMD_FLUSH_MEM` /
+    /// `AS_CMD_FLUSH_PT`, which on real Mali invalidate only the region
+    /// bracketed by `AS_LOCKADDR`. Walked-table-page bookkeeping is left
+    /// in place (a later store there still flushes — conservative, never
+    /// unsafe). Not counted in `TlbStats::flushes`, which tracks
+    /// whole-TLB invalidations.
+    pub fn invalidate_va_range(&mut self, va: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first_vpn = va >> 12;
+        let last_vpn = (va + len - 1) >> 12;
+        for e in &mut self.entries {
+            if e.valid && e.vpn >= first_vpn && e.vpn <= last_vpn {
+                e.valid = false;
+            }
+        }
+    }
+
     /// Reports a store to physical range `[pa, pa + len)`. If it overlaps
     /// any table page a live entry was walked through, the whole TLB is
     /// flushed: the store may have rewritten a PTE backing a cached

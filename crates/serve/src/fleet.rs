@@ -48,6 +48,7 @@ use crate::metrics::{
     ServeReport, TimeoutRecord,
 };
 use crate::registry::{RecordingRegistry, RegistryConfig};
+use grt_attest::{verify_chain, verify_receipt_data, ProvenanceRecord, ReplayReceipt};
 use grt_core::replay::workload_weights;
 use grt_core::service::cmd;
 use grt_core::session::{recording_trust_root, ClientDevice, PROVISIONING_SECRET};
@@ -121,6 +122,11 @@ struct DeviceWorker {
     last_service_end: SimTime,
     /// Model currently staged in the replay service.
     loaded_model: Option<usize>,
+    /// Provenance record of the staged model; replay receipts chain to it.
+    provenance: Option<Rc<ProvenanceRecord>>,
+    /// Canonical lint-report JSON of the staged model, cached for
+    /// receipt-chain verification (its digest is covered by provenance).
+    lint_json: Option<String>,
     /// Crash/latency health; gates whether the scheduler dispatches here.
     health: DeviceHealth,
     /// In-flight replays right now (the invariant holds this ≤ 1).
@@ -153,6 +159,8 @@ impl DeviceWorker {
             free_at: SimTime::ZERO,
             last_service_end: SimTime::ZERO,
             loaded_model: None,
+            provenance: None,
+            lint_json: None,
             health: DeviceHealth::new(),
             inflight: 0,
             max_inflight: 0,
@@ -355,8 +363,11 @@ impl Fleet {
                     *crashes_seen += 1;
                     let w = &mut workers[crash.device];
                     w.health.on_crash(crash.at, crash.restart_at);
-                    // The crash wipes TEE state: staged model is gone.
+                    // The crash wipes TEE state: staged model is gone,
+                    // and with it the attestation context receipts chain to.
                     w.loaded_model = None;
+                    w.provenance = None;
+                    w.lint_json = None;
                     let avg = avg_service(*service_time_sum, *service_count);
                     fail_over_queue(workers, crash.device, crash.at, avg, metrics);
                 }
@@ -534,6 +545,9 @@ impl Fleet {
             rec_link_retries: cache.record_retries,
             rec_checkpoint_resumes: cache.checkpoint_resumes,
             max_inflight: self.max_inflight(),
+            receipts_issued: metrics.receipts_issued,
+            receipts_verified: metrics.receipts_verified,
+            receipts_rejected: metrics.receipts_rejected.clone(),
             output_digest: metrics.output_digest,
             per_model,
             per_device,
@@ -699,6 +713,19 @@ fn serve_one(
                 .invoke(worker.session, cmd::SET_WEIGHTS, &p)
                 .expect("staged weights match recording slots");
         }
+        // Attach the registry's provenance record to the staged model so
+        // every replay receipt chains to it; the service refuses records
+        // that are unsigned or don't match the loaded recording.
+        worker
+            .host
+            .invoke(
+                worker.session,
+                cmd::SET_PROVENANCE,
+                &fetch.provenance.to_bytes(),
+            )
+            .expect("registry provenance matches the recording it vetted");
+        worker.provenance = Some(Rc::clone(&fetch.provenance));
+        worker.lint_json = Some(fetch.lint.to_json());
         worker.loaded_model = Some(req.model);
         worker.loads += 1;
     }
@@ -736,6 +763,33 @@ fn serve_one(
     }
 
     metrics.absorb_output(&output);
+    // The replay is committed: pull its signed receipt and verify the
+    // full chain (receipt → provenance → recording/lint digests) plus the
+    // request's own input/output bytes. Failures are counted by rule,
+    // never silently dropped.
+    let receipt_bytes = worker
+        .host
+        .invoke(worker.session, cmd::RECEIPT, &[])
+        .expect("completed replay has a receipt");
+    metrics.receipts_issued += 1;
+    let verdict = ReplayReceipt::from_bytes(&receipt_bytes).and_then(|receipt| {
+        let provenance = worker
+            .provenance
+            .as_deref()
+            .ok_or(grt_attest::VerifyError::MissingProvenance)?;
+        let lint_json = worker.lint_json.as_deref().unwrap_or_default();
+        verify_chain(&receipt, provenance, lint_json, PROVISIONING_SECRET)?;
+        verify_receipt_data(&receipt, &input_bytes, &output)
+    });
+    match verdict {
+        Ok(()) => metrics.receipts_verified += 1,
+        Err(e) => {
+            *metrics
+                .receipts_rejected
+                .entry(e.code().to_owned())
+                .or_insert(0) += 1;
+        }
+    }
     worker.free_at = end;
     worker.last_service_end = end;
     worker.busy += service;
@@ -786,6 +840,11 @@ mod tests {
         // Two SKUs were exercised → at least two cold starts possible,
         // but a single-model trace needs at most one per SKU.
         assert!(report.cold_starts as usize <= 2);
+        // Every completed replay produced a receipt and every receipt's
+        // full chain verified against the registry provenance.
+        assert_eq!(report.receipts_issued, report.completed);
+        assert_eq!(report.receipts_verified, report.receipts_issued);
+        assert!(report.receipts_rejected.is_empty());
     }
 
     #[test]
@@ -855,6 +914,11 @@ mod tests {
         // The crash-displaced work completed on the healthy peer.
         assert_eq!(report.failed, 0);
         assert_eq!(report.timed_out, 0);
+        // Interrupted work never yields a receipt: issuance tracks
+        // completions exactly, and every issued receipt verified.
+        assert_eq!(report.receipts_issued, report.completed);
+        assert_eq!(report.receipts_verified, report.completed);
+        assert!(report.receipts_rejected.is_empty());
     }
 
     #[test]

@@ -104,6 +104,16 @@ pub struct MetricsCollector {
     /// FNV-1a digest over every replay output, in completion order — an
     /// end-to-end determinism witness.
     pub output_digest: u64,
+    /// Replay receipts fetched from devices (one per completed request
+    /// once the attestation chain is active).
+    pub receipts_issued: u64,
+    /// Receipts that passed full chain verification against the entry's
+    /// provenance record (signatures, digests, lint digest, output bytes).
+    pub receipts_verified: u64,
+    /// Receipts rejected, bucketed by the stable
+    /// `grt_attest::VerifyError::code` string (sorted map so the JSON
+    /// export stays deterministic).
+    pub receipts_rejected: std::collections::BTreeMap<String, u64>,
 }
 
 impl MetricsCollector {
@@ -198,6 +208,12 @@ pub struct ServeReport {
     pub rec_link_retries: u64,
     /// Checkpoint resumes across all cold-start record tunnels.
     pub rec_checkpoint_resumes: u64,
+    /// Replay receipts fetched from devices.
+    pub receipts_issued: u64,
+    /// Receipts that passed full chain verification.
+    pub receipts_verified: u64,
+    /// Receipts rejected, bucketed by rule code (sorted; deterministic).
+    pub receipts_rejected: std::collections::BTreeMap<String, u64>,
     /// Max concurrent replays observed on any one device (the paper's
     /// job-queue-length-1 invariant requires this to be exactly 1).
     pub max_inflight: u32,
@@ -269,6 +285,24 @@ impl ServeReport {
             "    \"rec_checkpoint_resumes\": {}\n",
             self.rec_checkpoint_resumes
         ));
+        s.push_str("  },\n");
+        s.push_str("  \"attestation\": {\n");
+        s.push_str(&format!(
+            "    \"receipts_issued\": {},\n",
+            self.receipts_issued
+        ));
+        s.push_str(&format!(
+            "    \"receipts_verified\": {},\n",
+            self.receipts_verified
+        ));
+        s.push_str("    \"receipts_rejected\": {");
+        for (i, (code, n)) in self.receipts_rejected.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{code}\": {n}"));
+        }
+        s.push_str("}\n");
         s.push_str("  },\n");
         s.push_str(&format!("  \"max_inflight\": {},\n", self.max_inflight));
         s.push_str(&format!(
@@ -380,6 +414,12 @@ mod tests {
             readmissions: 1,
             rec_link_retries: 3,
             rec_checkpoint_resumes: 1,
+            receipts_issued: 8,
+            receipts_verified: 8,
+            receipts_rejected: std::collections::BTreeMap::from([(
+                "receipt-signature".to_string(),
+                1,
+            )]),
             max_inflight: 1,
             output_digest: 0xabcd,
             per_model: vec![ModelReport {
@@ -410,6 +450,11 @@ mod tests {
             "\"readmissions\"",
             "\"rec_link_retries\"",
             "\"rec_checkpoint_resumes\"",
+            "\"attestation\"",
+            "\"receipts_issued\"",
+            "\"receipts_verified\"",
+            "\"receipts_rejected\"",
+            "\"receipt-signature\": 1",
             "\"max_inflight\"",
             "\"per_model\"",
             "\"per_device\"",

@@ -10,10 +10,14 @@
 //! already-vetted recording. Bounded capacity with LRU eviction models a
 //! registry node that cannot hold every model × SKU product.
 
+use grt_attest::{AttestationExport, ExportEntry, ProvenanceRecord, VerifyError};
 use grt_core::recording::SignedRecording;
 use grt_core::replay::REPLAY_POLL_ITER_CAP;
-use grt_core::session::{recording_trust_root, RecordError, RecordSession, RecorderMode};
+use grt_core::session::{
+    recording_trust_root, RecordError, RecordSession, RecorderMode, PROVISIONING_SECRET,
+};
 use grt_core::CompiledRecording;
+use grt_crypto::Sha256;
 use grt_gpu::GpuSku;
 use grt_lint::{LintReport, Linter};
 use grt_ml::NetworkSpec;
@@ -71,6 +75,11 @@ pub struct RegistryStats {
     pub compiled_inserts: u64,
     /// Recordings refused because static analysis found a rule violation.
     pub lint_rejections: u64,
+    /// Provenance records built and signed at insert (one per entry).
+    pub provenance_records: u64,
+    /// Externally shipped recordings refused because their provenance
+    /// record was missing, unsigned, or mismatched.
+    pub provenance_rejections: u64,
     /// Message retransmissions across all cold-start record tunnels.
     pub record_retries: u64,
     /// Checkpoint-rollback resumes across all cold-start record tunnels
@@ -92,13 +101,23 @@ impl RegistryStats {
 
 /// Everything a cold-start record run produces for one cache insert:
 /// the signed recording, its weight-slot count, the lint verdict, the
-/// compiled replay form, and the virtual time the run took.
+/// compiled replay form, the signed provenance record, and the virtual
+/// time the run took.
 type ColdRecord = (
     Rc<SignedRecording>,
     usize,
     Rc<LintReport>,
     Rc<CompiledRecording>,
+    Rc<ProvenanceRecord>,
     SimTime,
+);
+
+/// What insert-time vetting produces for one entry.
+type Vetted = (
+    usize,
+    Rc<LintReport>,
+    Rc<CompiledRecording>,
+    Rc<ProvenanceRecord>,
 );
 
 /// What a fetch returned.
@@ -115,6 +134,9 @@ pub struct FetchOutcome {
     /// The recording lowered once at insert for the fast replay path
     /// (shared; warm replays use this directly).
     pub compiled: Rc<CompiledRecording>,
+    /// The signed provenance record built (or accepted) at insert; fleet
+    /// devices chain their replay receipts to it.
+    pub provenance: Rc<ProvenanceRecord>,
     /// Virtual time the cold-start record run took; `None` on a hit.
     pub cold_start_delay: Option<SimTime>,
 }
@@ -127,6 +149,8 @@ struct Entry {
     lint: Rc<LintReport>,
     /// Insert-time compiled form, handed out with every fetch.
     compiled: Rc<CompiledRecording>,
+    /// Insert-time signed provenance record, handed out with every fetch.
+    provenance: Rc<ProvenanceRecord>,
     last_used: u64,
 }
 
@@ -166,23 +190,27 @@ impl RecordingRegistry {
                 weight_slots: e.weight_slots,
                 lint: Rc::clone(&e.lint),
                 compiled: Rc::clone(&e.compiled),
+                provenance: Rc::clone(&e.provenance),
                 cold_start_delay: None,
             });
         }
         self.stats.misses += 1;
-        let (recording, weight_slots, lint, compiled, delay) = self.record_cold(spec, sku)?;
+        let (recording, weight_slots, lint, compiled, provenance, delay) =
+            self.record_cold(spec, sku)?;
         self.insert(
             key,
             Rc::clone(&recording),
             weight_slots,
             Rc::clone(&lint),
             Rc::clone(&compiled),
+            Rc::clone(&provenance),
         );
         Ok(FetchOutcome {
             recording,
             weight_slots,
             lint,
             compiled,
+            provenance,
             cold_start_delay: Some(delay),
         })
     }
@@ -196,8 +224,9 @@ impl RecordingRegistry {
             e.last_used = self.tick;
             return Ok(());
         }
-        let (recording, weight_slots, lint, compiled, _) = self.record_cold(spec, sku)?;
-        self.insert(key, recording, weight_slots, lint, compiled);
+        let (recording, weight_slots, lint, compiled, provenance, _) =
+            self.record_cold(spec, sku)?;
+        self.insert(key, recording, weight_slots, lint, compiled, provenance);
         Ok(())
     }
 
@@ -245,7 +274,7 @@ impl RecordingRegistry {
             session.attach_faults(plan);
         }
         let out = session.record(spec)?;
-        let (weight_slots, lint, compiled) = self.vet(spec, sku, &out.recording)?;
+        let (weight_slots, lint, compiled, provenance) = self.vet(spec, sku, &out.recording)?;
         self.stats.record_retries += out.link_retries;
         self.stats.checkpoint_resumes += out.checkpoint_resumes;
         self.record_time += out.delay;
@@ -254,6 +283,7 @@ impl RecordingRegistry {
             weight_slots,
             lint,
             compiled,
+            provenance,
             out.delay,
         ))
     }
@@ -268,7 +298,7 @@ impl RecordingRegistry {
         spec: &NetworkSpec,
         sku: &GpuSku,
         recording: &SignedRecording,
-    ) -> Result<(usize, Rc<LintReport>, Rc<CompiledRecording>), RecordError> {
+    ) -> Result<Vetted, RecordError> {
         let parsed = recording
             .verify_and_parse(&recording_trust_root())
             .ok_or(RecordError::Attestation)?;
@@ -292,24 +322,80 @@ impl RecordingRegistry {
                     message: e.to_string(),
                 })?;
         self.stats.compiled_inserts += 1;
-        Ok((parsed.weights.len(), Rc::new(report), Rc::new(compiled)))
+        // Sign the provenance record binding the recording bytes, the SKU,
+        // and the lint verdict together; fleet devices chain their replay
+        // receipts to it and auditors verify against the registry export.
+        let provenance = ProvenanceRecord::build(
+            "registry",
+            spec.name,
+            sku.gpu_id,
+            Sha256::digest(&recording.bytes),
+            Sha256::digest(report.to_json().as_bytes()),
+            PROVISIONING_SECRET,
+        );
+        self.stats.provenance_records += 1;
+        Ok((
+            parsed.weights.len(),
+            Rc::new(report),
+            Rc::new(compiled),
+            Rc::new(provenance),
+        ))
     }
 
     /// Inserts an externally produced signed recording (e.g. shipped from
     /// another registry node) under `(spec, sku)`, subject to the same
-    /// verify-and-lint-on-insert policy as cold-start recordings.
+    /// verify-and-lint-on-insert policy as cold-start recordings — plus
+    /// the provenance policy: the shipper must present a signed
+    /// [`ProvenanceRecord`] whose recording digest, SKU, and lint digest
+    /// all match what this registry recomputes locally. A recording with
+    /// missing, unsigned, or mismatched provenance is refused with
+    /// [`RecordError::Provenance`].
     pub fn insert_signed(
         &mut self,
         spec: &NetworkSpec,
         sku: &GpuSku,
         recording: SignedRecording,
+        provenance: Option<ProvenanceRecord>,
     ) -> Result<(), RecordError> {
         self.tick += 1;
-        let (weight_slots, lint, compiled) = self.vet(spec, sku, &recording)?;
+        let Some(prov) = provenance else {
+            self.stats.provenance_rejections += 1;
+            return Err(provenance_err(VerifyError::MissingProvenance));
+        };
+        let (weight_slots, lint, compiled, _local) = self.vet(spec, sku, &recording)?;
+        if let Err(e) = check_shipped_provenance(&prov, spec, sku, &recording, &lint) {
+            self.stats.provenance_rejections += 1;
+            return Err(provenance_err(e));
+        }
         let key = (spec.name.to_owned(), sku.gpu_id);
         self.entries.retain(|e| e.key != key);
-        self.insert(key, Rc::new(recording), weight_slots, lint, compiled);
+        self.insert(
+            key,
+            Rc::new(recording),
+            weight_slots,
+            lint,
+            compiled,
+            Rc::new(prov),
+        );
         Ok(())
+    }
+
+    /// Exports every cached entry's audit data — recording digest, lint
+    /// report JSON, signed provenance record — as the deterministic
+    /// container the offline `receipt-verify` tool consumes.
+    pub fn export_attestation(&self) -> AttestationExport {
+        AttestationExport::new(
+            self.entries
+                .iter()
+                .map(|e| ExportEntry {
+                    workload: e.key.0.clone(),
+                    gpu_id: e.key.1,
+                    recording_digest: e.provenance.recording_digest,
+                    lint_json: e.lint.to_json(),
+                    provenance: (*e.provenance).clone(),
+                })
+                .collect(),
+        )
     }
 
     fn insert(
@@ -319,6 +405,7 @@ impl RecordingRegistry {
         weight_slots: usize,
         lint: Rc<LintReport>,
         compiled: Rc<CompiledRecording>,
+        provenance: Rc<ProvenanceRecord>,
     ) {
         if self.entries.len() >= self.cfg.capacity {
             // Evict the least-recently-used entry (deterministic: ticks
@@ -339,9 +426,52 @@ impl RecordingRegistry {
             weight_slots,
             lint,
             compiled,
+            provenance,
             last_used: self.tick,
         });
     }
+}
+
+/// Maps a provenance verification failure into the registry's typed
+/// refusal, preserving the stable rule code for metrics bucketing.
+fn provenance_err(e: VerifyError) -> RecordError {
+    RecordError::Provenance {
+        code: e.code().to_owned(),
+        message: e.to_string(),
+    }
+}
+
+/// Checks a shipped provenance record against what the registry just
+/// recomputed locally: authentic signature, matching SKU and workload,
+/// matching recording digest, matching lint digest.
+fn check_shipped_provenance(
+    prov: &ProvenanceRecord,
+    spec: &NetworkSpec,
+    sku: &GpuSku,
+    recording: &SignedRecording,
+    lint: &LintReport,
+) -> Result<(), VerifyError> {
+    if !prov.verify(PROVISIONING_SECRET) {
+        return Err(VerifyError::ProvenanceSignature);
+    }
+    if prov.gpu_id != sku.gpu_id {
+        return Err(VerifyError::SkuMismatch {
+            receipt: sku.gpu_id,
+            provenance: prov.gpu_id,
+        });
+    }
+    if prov.workload != spec.name {
+        return Err(VerifyError::Malformed {
+            what: "provenance workload",
+        });
+    }
+    if prov.recording_digest != Sha256::digest(&recording.bytes) {
+        return Err(VerifyError::RecordingDigestMismatch);
+    }
+    if prov.lint_digest != Sha256::digest(lint.to_json().as_bytes()) {
+        return Err(VerifyError::LintDigestMismatch);
+    }
+    Ok(())
 }
 
 impl std::fmt::Debug for RecordingRegistry {
@@ -460,7 +590,17 @@ mod tests {
             value: 0xDEAD,
         });
         let evil = grt_core::recording::SignedRecording::sign(&rec, &key);
-        let err = r.insert_signed(&spec, &sku, evil).unwrap_err();
+        // Ship it with a formally valid provenance record: the lint gate
+        // still refuses it first.
+        let prov = ProvenanceRecord::build(
+            "other-registry",
+            spec.name,
+            sku.gpu_id,
+            Sha256::digest(&evil.bytes),
+            [0u8; 32],
+            PROVISIONING_SECRET,
+        );
+        let err = r.insert_signed(&spec, &sku, evil, Some(prov)).unwrap_err();
         match err {
             RecordError::Rejected { rule, .. } => assert_eq!(rule, "R1"),
             other => panic!("expected lint rejection, got {other}"),
@@ -478,9 +618,114 @@ mod tests {
         let sku = GpuSku::mali_g71_mp8();
         let good = r.fetch(&spec, &sku).unwrap();
         let shipped = (*good.recording).clone();
-        r.insert_signed(&spec, &sku, shipped).unwrap();
+        let prov = (*good.provenance).clone();
+        r.insert_signed(&spec, &sku, shipped, Some(prov)).unwrap();
         assert_eq!(r.len(), 1, "replaced, not duplicated");
         assert_eq!(r.stats().linted_inserts, 2);
+    }
+
+    #[test]
+    fn insert_signed_refuses_missing_provenance() {
+        let mut r = registry(4);
+        let spec = grt_ml::zoo::mnist();
+        let sku = GpuSku::mali_g71_mp8();
+        let good = r.fetch(&spec, &sku).unwrap();
+        let shipped = (*good.recording).clone();
+        let err = r.insert_signed(&spec, &sku, shipped, None).unwrap_err();
+        match err {
+            RecordError::Provenance { code, .. } => assert_eq!(code, "missing-provenance"),
+            other => panic!("expected provenance refusal, got {other}"),
+        }
+        assert_eq!(r.stats().provenance_rejections, 1);
+    }
+
+    #[test]
+    fn insert_signed_refuses_mismatched_lint_digest() {
+        let mut r = registry(4);
+        let spec = grt_ml::zoo::mnist();
+        let sku = GpuSku::mali_g71_mp8();
+        let good = r.fetch(&spec, &sku).unwrap();
+        let shipped = (*good.recording).clone();
+        // A provenance record claiming a different lint verdict.
+        let prov = ProvenanceRecord::build(
+            "other-registry",
+            spec.name,
+            sku.gpu_id,
+            Sha256::digest(&shipped.bytes),
+            Sha256::digest(b"forged lint report"),
+            PROVISIONING_SECRET,
+        );
+        let err = r
+            .insert_signed(&spec, &sku, shipped, Some(prov))
+            .unwrap_err();
+        match err {
+            RecordError::Provenance { code, .. } => assert_eq!(code, "lint-digest-mismatch"),
+            other => panic!("expected provenance refusal, got {other}"),
+        }
+        assert_eq!(r.stats().provenance_rejections, 1);
+        // The previously cached good entry is untouched.
+        assert!(r.contains(&spec, &sku));
+    }
+
+    #[test]
+    fn insert_signed_refuses_unsigned_provenance() {
+        let mut r = registry(4);
+        let spec = grt_ml::zoo::mnist();
+        let sku = GpuSku::mali_g71_mp8();
+        let good = r.fetch(&spec, &sku).unwrap();
+        let shipped = (*good.recording).clone();
+        let mut prov = (*good.provenance).clone();
+        prov.recorder = "mallory".to_string(); // invalidates the signature
+        let err = r
+            .insert_signed(&spec, &sku, shipped, Some(prov))
+            .unwrap_err();
+        match err {
+            RecordError::Provenance { code, .. } => assert_eq!(code, "provenance-signature"),
+            other => panic!("expected provenance refusal, got {other}"),
+        }
+    }
+
+    #[test]
+    fn provenance_covers_recording_and_lint_verdict() {
+        let mut r = registry(4);
+        let spec = grt_ml::zoo::mnist();
+        let sku = GpuSku::mali_g71_mp8();
+        let f = r.fetch(&spec, &sku).unwrap();
+        assert!(f.provenance.verify(PROVISIONING_SECRET));
+        assert_eq!(f.provenance.recorder, "registry");
+        assert_eq!(f.provenance.workload, spec.name);
+        assert_eq!(f.provenance.gpu_id, sku.gpu_id);
+        assert_eq!(
+            f.provenance.recording_digest,
+            Sha256::digest(&f.recording.bytes)
+        );
+        assert_eq!(
+            f.provenance.lint_digest,
+            Sha256::digest(f.lint.to_json().as_bytes())
+        );
+        // The compiled form carries the same digest the receipts will.
+        assert_eq!(f.compiled.recording_digest(), f.provenance.recording_digest);
+        assert_eq!(r.stats().provenance_records, 1);
+    }
+
+    #[test]
+    fn attestation_export_round_trips_deterministically() {
+        let mut r = registry(4);
+        let mnist = grt_ml::zoo::mnist();
+        let sku8 = GpuSku::mali_g71_mp8();
+        let sku4 = GpuSku::mali_g71_mp4();
+        r.warm(&mnist, &sku8).unwrap();
+        r.warm(&mnist, &sku4).unwrap();
+        let export = r.export_attestation();
+        assert_eq!(export.entries().len(), 2);
+        let restored = AttestationExport::from_bytes(&export.to_bytes()).unwrap();
+        assert_eq!(export, restored);
+        // Insertion order does not leak into the encoding: a registry
+        // warmed in the opposite order exports identical bytes.
+        let mut r2 = registry(4);
+        r2.warm(&mnist, &sku4).unwrap();
+        r2.warm(&mnist, &sku8).unwrap();
+        assert_eq!(r2.export_attestation().to_bytes(), export.to_bytes());
     }
 
     #[test]

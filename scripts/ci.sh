@@ -105,4 +105,37 @@ for W in MNIST AlexNet MobileNet SqueezeNet ResNet12 VGG16; do
     echo "    $W warm replays/s: $NEW_W (baseline $BASE_W)"
 done
 
+# Attestation gate: replay receipts are deterministic audit evidence.
+# Emit the six-network receipt corpus twice (must be byte-identical),
+# verify the first corpus offline against the registry's attestation
+# export, and confirm that a tampered receipt is rejected.
+echo "==> attestation gate: receipt round-trip + tamper rejection"
+cargo run --release -q -p grt-bench --bin receipt-verify -- --emit "$GOLDEN_DIR/rcpt_a"
+cargo run --release -q -p grt-bench --bin receipt-verify -- --emit "$GOLDEN_DIR/rcpt_b"
+diff -r "$GOLDEN_DIR/rcpt_a" "$GOLDEN_DIR/rcpt_b" || {
+    echo "ci: receipt emission is nondeterministic" >&2
+    exit 1
+}
+cargo run --release -q -p grt-bench --bin receipt-verify -- \
+    --export "$GOLDEN_DIR/rcpt_a/export.bin" "$GOLDEN_DIR/rcpt_a"/*.receipt
+# Corrupt one signature byte: offline verification must reject it.
+cp "$GOLDEN_DIR/rcpt_a/mnist.receipt" "$GOLDEN_DIR/tampered.receipt"
+printf '\377' | dd of="$GOLDEN_DIR/tampered.receipt" bs=1 \
+    seek="$(($(wc -c < "$GOLDEN_DIR/tampered.receipt") - 1))" \
+    count=1 conv=notrunc 2>/dev/null
+if cargo run --release -q -p grt-bench --bin receipt-verify -- \
+    --export "$GOLDEN_DIR/rcpt_a/export.bin" "$GOLDEN_DIR/tampered.receipt" \
+    >/dev/null 2>&1; then
+    echo "ci: tampered receipt passed offline verification" >&2
+    exit 1
+fi
+# Truncated receipts must also fail, with a typed error rather than a panic.
+head -c 40 "$GOLDEN_DIR/rcpt_a/mnist.receipt" > "$GOLDEN_DIR/truncated.receipt"
+if cargo run --release -q -p grt-bench --bin receipt-verify -- \
+    --export "$GOLDEN_DIR/rcpt_a/export.bin" "$GOLDEN_DIR/truncated.receipt" \
+    >/dev/null 2>&1; then
+    echo "ci: truncated receipt passed offline verification" >&2
+    exit 1
+fi
+
 echo "CI gate passed."

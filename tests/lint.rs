@@ -238,7 +238,19 @@ fn registry_refuses_what_the_analyzer_rejects() {
         value: 0xDEAD,
     });
     let evil = SignedRecording::sign(&rec, &key);
-    let err = registry.insert_signed(&spec, &sku, evil).unwrap_err();
+    // Ship it with a well-formed provenance record: the refusal below must
+    // come from static analysis, not from the provenance gate.
+    let prov = grt_attest::ProvenanceRecord::build(
+        "external",
+        spec.name,
+        sku.gpu_id,
+        grt_crypto::Sha256::digest(&evil.bytes),
+        [0u8; 32],
+        grt_core::session::PROVISIONING_SECRET,
+    );
+    let err = registry
+        .insert_signed(&spec, &sku, evil, Some(prov))
+        .unwrap_err();
     assert!(matches!(err, RecordError::Rejected { ref rule, .. } if rule == "R1"));
 }
 
