@@ -25,6 +25,8 @@
 //! same discipline as the recording codec and grt-lint's JSON), so the
 //! artifacts are byte-identical across runs and can be diffed in CI.
 
+#![warn(missing_docs)]
+
 use grt_crypto::{KeyPair, Sha256, Signature};
 
 /// Magic prefix of a serialized [`ProvenanceRecord`].

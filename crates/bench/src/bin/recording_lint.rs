@@ -2,8 +2,8 @@
 //!
 //! The CLI front-end for the `grt-lint` analyzer. Each file is verified
 //! against the fleet trust root, its SKU is resolved from the recording
-//! header, and all six safety rules (R1–R6, see DESIGN.md "Recording
-//! verification") run over the event stream. One JSON report per file goes
+//! header, and all nine safety rules (R1–R9, see DESIGN.md "Recording
+//! verification" and §12) run over the lifted semantics IR. One JSON report per file goes
 //! to stdout; the process exits non-zero if any file fails to load or has
 //! an `Error`-severity finding.
 //!
@@ -19,36 +19,13 @@
 //! golden corpus, then lints it, asserting the analyzer has no false
 //! positives on known-good recordings.
 
-use grt_bench::{benchmarks, record_warm};
-use grt_core::recording::SignedRecording;
+use grt_bench::{benchmarks, record_warm, signed_from_blob, signed_to_blob};
 use grt_core::session::{recording_trust_root, RecorderMode};
-use grt_crypto::Signature;
 use grt_gpu::GpuSku;
 use grt_lint::Linter;
 use grt_net::NetConditions;
 use std::path::Path;
 use std::process::ExitCode;
-
-/// Serializes a signed recording for the `.grt` on-disk format:
-/// `recording bytes ‖ 32-byte signature` (the GP LOAD_RECORDING blob).
-fn to_blob(signed: &SignedRecording) -> Vec<u8> {
-    let mut blob = signed.bytes.clone();
-    blob.extend_from_slice(signed.signature.as_bytes());
-    blob
-}
-
-fn from_blob(blob: &[u8]) -> Option<SignedRecording> {
-    if blob.len() < 33 {
-        return None;
-    }
-    let (body, sig) = blob.split_at(blob.len() - 32);
-    let mut raw = [0u8; 32];
-    raw.copy_from_slice(sig);
-    Some(SignedRecording {
-        bytes: body.to_vec(),
-        signature: Signature::from_bytes(raw),
-    })
-}
 
 fn sanitize(name: &str) -> String {
     name.chars()
@@ -70,7 +47,7 @@ fn record_golden(dir: &str) -> ExitCode {
     for spec in benchmarks() {
         let (_session, out) = record_warm(&spec, RecorderMode::OursMDS, NetConditions::wifi());
         let path = Path::new(dir).join(format!("{}.grt", sanitize(spec.name)));
-        let blob = to_blob(&out.recording);
+        let blob = signed_to_blob(&out.recording);
         if let Err(e) = std::fs::write(&path, &blob) {
             eprintln!("recording-lint: cannot write {}: {e}", path.display());
             return ExitCode::FAILURE;
@@ -98,7 +75,7 @@ fn lint_files(paths: &[String]) -> ExitCode {
                 continue;
             }
         };
-        let Some(signed) = from_blob(&blob) else {
+        let Some(signed) = signed_from_blob(&blob) else {
             eprintln!("recording-lint: {path}: too short to be a recording");
             failed = true;
             continue;

@@ -5,6 +5,8 @@
 //! running warm record sessions (the paper retains register-access history
 //! between runs, §7.3), formatting tables, and drawing ASCII bar charts.
 
+#![warn(missing_docs)]
+
 use grt_core::session::{RecordOutcome, RecordSession, RecorderMode};
 use grt_gpu::GpuSku;
 use grt_ml::NetworkSpec;
@@ -68,6 +70,30 @@ pub fn record_cold(
     let mut session = RecordSession::new(GpuSku::mali_g71_mp8(), conditions, mode);
     let outcome = session.record(spec).expect("record run succeeds");
     (session, outcome)
+}
+
+/// Serializes a signed recording for the `.grt` on-disk format:
+/// `recording bytes ‖ 32-byte signature` (the GP LOAD_RECORDING blob).
+/// Shared by the `recording-lint` and `ir-dump` CLI front-ends.
+pub fn signed_to_blob(signed: &grt_core::recording::SignedRecording) -> Vec<u8> {
+    let mut blob = signed.bytes.clone();
+    blob.extend_from_slice(signed.signature.as_bytes());
+    blob
+}
+
+/// Parses a `.grt` blob back into a signed recording (`None` when too
+/// short to carry a signature).
+pub fn signed_from_blob(blob: &[u8]) -> Option<grt_core::recording::SignedRecording> {
+    if blob.len() < 33 {
+        return None;
+    }
+    let (body, sig) = blob.split_at(blob.len() - 32);
+    let mut raw = [0u8; 32];
+    raw.copy_from_slice(sig);
+    Some(grt_core::recording::SignedRecording {
+        bytes: body.to_vec(),
+        signature: grt_crypto::Signature::from_bytes(raw),
+    })
 }
 
 /// Renders a horizontal ASCII bar scaled to `max`.

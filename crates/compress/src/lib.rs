@@ -15,6 +15,8 @@
 //! [`compress`] / [`decompress`] combine the two behind a one-call API used
 //! by both shims.
 
+#![warn(missing_docs)]
+
 pub mod delta;
 pub mod range;
 

@@ -25,14 +25,24 @@
 //! Compilation is semantics-preserving by construction: every check the
 //! interpreted path performs per event is performed either here (on
 //! content fixed at signing time) or in the compiled executor (on content
-//! that depends on the device). The `grt-lint` R1–R6 verdict attaches to
+//! that depends on the device). The `grt-lint` R1–R9 verdict attaches to
 //! the *recording*, which the compiled form reproduces event-for-event, so
 //! a vetted recording's verdict carries over to its compiled form.
+//!
+//! Since the semantics-IR rework, lowering consumes the
+//! [`grt_ir::IrProgram`] lifted by [`crate::ir`] instead of re-decoding
+//! the event stream itself: the typed [`grt_ir::program::Step`] arena maps
+//! 1:1 onto [`Op`]s, and the deltas the lifter already parsed move into
+//! the compiled delta arena without a second wire-format walk. The same
+//! lift feeds `grt-lint`, so the vetted semantics and the replayed
+//! semantics are one decode, not two.
 
-use crate::recording::{irq_line_from, DataSlot, Event, Recording};
-use grt_compress::{DeltaCodec, ParsedDelta};
+use crate::recording::{irq_line_from, DataSlot, Recording};
+use grt_compress::ParsedDelta;
 use grt_driver::PollCond;
 use grt_gpu::IrqLine;
+use grt_ir::program::Step;
+use grt_ir::IrProgram;
 
 /// A compile-time rejection: the recording's events carry a field outside
 /// its defined encoding, or a delta fails structural validation. These are
@@ -225,14 +235,31 @@ impl CompiledRecording {
 /// [`CompileError`] on exactly the encoding-level conditions the
 /// interpreted path would reject at run time: unknown poll condition
 /// codes, zero iteration budgets, out-of-range IRQ line bytes, and deltas
-/// that fail [`DeltaCodec::parse_limited`] against the region length the
+/// that fail [`grt_compress::DeltaCodec::parse_limited`] against the
+/// region length the
 /// event claims.
 pub fn compile(
     rec: &Recording,
     page_size: usize,
     poll_iter_cap: u32,
 ) -> Result<CompiledRecording, CompileError> {
-    let codec = DeltaCodec::new(page_size);
+    let quirk = grt_gpu::GpuSku::by_gpu_id(rec.gpu_id)
+        .map(|s| s.pte_quirk)
+        .unwrap_or(0);
+    let ir = grt_ir::lift(&crate::ir::lift_input(rec), quirk, page_size);
+    compile_from_ir(rec, ir, poll_iter_cap)
+}
+
+/// Lowers an already-lifted recording, consuming the IR's parsed deltas
+/// so the wire format is walked exactly once end-to-end.
+///
+/// `ir` must be the lift of `rec` (same event stream); steps are
+/// index-aligned with the recording's events.
+pub fn compile_from_ir(
+    rec: &Recording,
+    mut ir: IrProgram,
+    poll_iter_cap: u32,
+) -> Result<CompiledRecording, CompileError> {
     let mut regs: Vec<u32> = Vec::new();
     let mut intern = std::collections::HashMap::new();
     let intern_reg = |offset: u32,
@@ -247,26 +274,26 @@ pub fn compile(
         intern.insert(offset, idx);
         Ok(idx)
     };
-    let mut ops = Vec::with_capacity(rec.events.len());
+    let mut ops = Vec::with_capacity(ir.steps.len());
     let mut deltas = Vec::new();
     let mut delta_wire_bytes = 0u64;
-    for (event_index, event) in rec.events.iter().enumerate() {
-        let op = match event {
-            Event::BeginLayer { index } => Op::BeginLayer { index: *index },
-            Event::RegWrite { offset, value } => Op::RegWrite {
-                reg: intern_reg(*offset, &mut regs, &mut intern)?,
-                value: *value,
+    for step in &ir.steps {
+        let op = match *step {
+            Step::BeginLayer { index } => Op::BeginLayer { index },
+            Step::RegWrite { offset, value, .. } => Op::RegWrite {
+                reg: intern_reg(offset, &mut regs, &mut intern)?,
+                value,
             },
-            Event::RegRead {
+            Step::RegRead {
                 offset,
                 value,
                 verify,
             } => Op::RegRead {
-                reg: intern_reg(*offset, &mut regs, &mut intern)?,
-                value: *value,
-                verify: *verify,
+                reg: intern_reg(offset, &mut regs, &mut intern)?,
+                value,
+                verify,
             },
-            Event::Poll {
+            Step::Poll {
                 reg,
                 mask,
                 cond,
@@ -277,47 +304,48 @@ pub fn compile(
                 let cond = match cond {
                     0 => PollCond::MaskedZero,
                     1 => PollCond::MaskedNonZero,
-                    2 => PollCond::MaskedEq(*cmp),
+                    2 => PollCond::MaskedEq(cmp),
                     _ => {
                         return Err(CompileError::MalformedEvent {
                             field: "poll.cond",
-                            value: *cond as u32,
+                            value: cond as u32,
                         })
                     }
                 };
-                if *max_iters == 0 {
+                if max_iters == 0 {
                     return Err(CompileError::MalformedEvent {
                         field: "poll.max_iters",
                         value: 0,
                     });
                 }
                 Op::Poll {
-                    reg: intern_reg(*reg, &mut regs, &mut intern)?,
-                    mask: *mask,
+                    reg: intern_reg(reg, &mut regs, &mut intern)?,
+                    mask,
                     cond,
-                    max_iters: (*max_iters).min(poll_iter_cap),
-                    delay_us: *delay_us,
+                    max_iters: max_iters.min(poll_iter_cap),
+                    delay_us,
                 }
             }
-            Event::WaitIrq { line } => Op::WaitIrq {
-                line: irq_line_from(*line).ok_or(CompileError::MalformedEvent {
+            Step::WaitIrq { line } => Op::WaitIrq {
+                line: irq_line_from(line).ok_or(CompileError::MalformedEvent {
                     field: "wait_irq.line",
-                    value: *line as u32,
+                    value: line as u32,
                 })?,
             },
-            Event::LoadMemDelta { pa, len, delta } => {
-                let parsed = codec
-                    .parse_limited(delta, *len as usize)
-                    .map_err(|_| CompileError::CorruptDelta { event_index })?;
-                delta_wire_bytes += delta.len() as u64;
-                let index = deltas.len() as u32;
+            Step::LoadDelta { index } => {
+                let d = &mut ir.deltas[index as usize];
+                let parsed = d.parsed.take().ok_or(CompileError::CorruptDelta {
+                    event_index: d.event,
+                })?;
+                delta_wire_bytes += d.wire_len as u64;
+                let arena_index = deltas.len() as u32;
                 deltas.push(PreparedDelta {
-                    pa: *pa,
-                    len: *len,
+                    pa: d.pa,
+                    len: d.len,
                     parsed,
-                    wire_len: delta.len() as u32,
+                    wire_len: d.wire_len as u32,
                 });
-                Op::LoadDelta { index }
+                Op::LoadDelta { index: arena_index }
             }
         };
         ops.push(op);
@@ -339,6 +367,7 @@ pub fn compile(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::recording::Event;
 
     fn base_recording(events: Vec<Event>) -> Recording {
         Recording {

@@ -34,6 +34,7 @@ pub mod compiled;
 pub mod debug;
 pub mod drivershim;
 pub mod gate;
+pub mod ir;
 pub mod memsync;
 pub mod recording;
 pub mod replay;

@@ -14,6 +14,8 @@
 //! - [`regions`] — GPU memory regions with usage classification for the §5
 //!   metastate synchronizer.
 
+#![warn(missing_docs)]
+
 pub mod direct;
 pub mod kbase;
 pub mod port;

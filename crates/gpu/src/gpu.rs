@@ -93,15 +93,21 @@ impl ExecStats {
 /// a stall fraction (7/8) scaled by the walk-per-access ratio the TLB + bulk
 /// path actually achieved. A job with no accesses (e.g. a watchdog sleep job
 /// with `n_instrs == 0`) keeps its full modeled cost.
-fn job_exec_time(cost_us: u32, accesses: u64, walks: u64) -> SimTime {
+///
+/// `charged` is the accesses actually billed at element granularity: bulk
+/// copies move whole page runs per transaction, so their elements are
+/// replaced by their run count (`accesses - copy_elems + copy_runs`) while
+/// the calibration denominator stays the full element count.
+fn job_exec_time(cost_us: u32, accesses: u64, charged: u64, walks: u64) -> SimTime {
     let cost_ns = cost_us as u128 * 1_000;
     if accesses == 0 {
         return SimTime::from_nanos(cost_ns as u64);
     }
     let walks = walks.min(accesses) as u128;
+    let charged = charged.min(accesses) as u128;
     let accesses = accesses as u128;
     let stall_div = COMPUTE_FRACTION_DIV - 1;
-    let ns = cost_ns * (accesses + stall_div * walks) / (COMPUTE_FRACTION_DIV * accesses);
+    let ns = cost_ns * (charged + stall_div * walks) / (COMPUTE_FRACTION_DIV * accesses);
     SimTime::from_nanos(ns as u64)
 }
 
@@ -910,7 +916,8 @@ impl Gpu {
                     self.exec_element_accesses += rep.element_accesses;
                     self.exec_bulk_runs += rep.bulk_runs;
                     let walks = self.tlb.stats().misses - misses_before;
-                    let dur = job_exec_time(desc.cost_us, rep.element_accesses, walks);
+                    let charged = rep.element_accesses - rep.copy_elems + rep.copy_runs;
+                    let dur = job_exec_time(desc.cost_us, rep.element_accesses, charged, walks);
                     self.accumulate_per_kind(&rep, dur.as_nanos());
                     total += dur;
                     let _ = JobDescriptor::write_status_via_mmu_cached(

@@ -21,6 +21,8 @@
 //! - a GPU SKU catalog ([`sku`], [`catalog`]) reproducing the diversity
 //!   argument of Figure 3 and making JIT output genuinely SKU-specific.
 
+#![warn(missing_docs)]
+
 pub mod catalog;
 pub mod gpu;
 pub mod job;
@@ -35,4 +37,4 @@ pub use job::{JobDescriptor, JobStatus};
 pub use mem::{Memory, PageFlags, PAGE_SIZE};
 pub use mmu::{AddressSpace, PteFlags, Tlb, TlbStats};
 pub use shader::{ConvParams, OpKind, OpKindStats, PoolKind, ShaderOp, OP_KIND_COUNT};
-pub use sku::GpuSku;
+pub use sku::{CostEnvelope, GpuSku};

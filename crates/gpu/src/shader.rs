@@ -511,6 +511,14 @@ pub struct ExecReport {
     pub element_accesses: u64,
     /// Contiguous page runs the bulk path translated once and copied.
     pub bulk_runs: u64,
+    /// The subset of [`element_accesses`](Self::element_accesses) made by
+    /// `Copy` instructions (their fetch plus the elements moved). A DMA
+    /// engine pays per *run* for these, not per element, so the cost model
+    /// recharges them at [`copy_runs`](Self::copy_runs) granularity.
+    pub copy_elems: u64,
+    /// The subset of [`bulk_runs`](Self::bulk_runs) made by `Copy`
+    /// instructions: what a bulk copy actually costs.
+    pub copy_runs: u64,
     /// Per-kind breakdown (indexed by [`OpKind::index`]).
     pub per_kind: [OpKindStats; OP_KIND_COUNT],
 }
@@ -521,6 +529,8 @@ impl ExecReport {
         self.macs += other.macs;
         self.element_accesses += other.element_accesses;
         self.bulk_runs += other.bulk_runs;
+        self.copy_elems += other.copy_elems;
+        self.copy_runs += other.copy_runs;
         for (a, b) in self.per_kind.iter_mut().zip(other.per_kind.iter()) {
             a.events += b.events;
             a.macs += b.macs;
@@ -719,6 +729,8 @@ pub fn execute_program(
     let mut rep = ExecReport::default();
     for i in 0..n_instrs {
         let va = shader_va + (i as usize * INSTR_SIZE) as u64;
+        let elems_before = rep.element_accesses;
+        let runs_before = rep.bulk_runs;
         let rec = fetch_record(mem, walker, tlb, &mut rep, va)?;
         let op = ShaderOp::decode(&rec).ok_or(ShaderFault::BadInstruction)?;
         let macs = op.macs();
@@ -727,6 +739,10 @@ pub fn execute_program(
         slot.events += 1;
         slot.macs += macs;
         execute_op(mem, walker, tlb, scratch, &op, present_cores, &mut rep)?;
+        if matches!(op, ShaderOp::Copy { .. }) {
+            rep.copy_elems += rep.element_accesses - elems_before;
+            rep.copy_runs += rep.bulk_runs - runs_before;
+        }
     }
     Ok(rep)
 }

@@ -8,6 +8,19 @@
 //! them: the JIT tiles by `shader_cores`, the MMU honours `pte_quirk`, and
 //! job timing scales with core count and clock.
 
+/// The static cost budget one replay of a vetted recording may consume on
+/// a SKU: the ceiling `grt-lint`'s R9 certifies recordings against before
+/// the replayer ever runs them. Both bounds are *worst-case* totals
+/// computable from the recording alone — MACs from the decoded shader
+/// programs, poll iterations as `Σ min(max_iters, replay cap)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostEnvelope {
+    /// Upper bound on total multiply-accumulates per replay.
+    pub max_macs: u64,
+    /// Upper bound on total worst-case polling-loop iterations per replay.
+    pub max_poll_iters: u64,
+}
+
 /// Identity and capabilities of one GPU hardware model.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GpuSku {
@@ -138,6 +151,23 @@ impl GpuSku {
     /// MAC throughput per microsecond, the denominator of the job cost model.
     pub fn macs_per_us(&self) -> u64 {
         self.clock_mhz as u64 * self.shader_cores as u64 * self.macs_per_core_per_cycle as u64
+    }
+
+    /// The per-replay cost ceiling this SKU certifies recordings against.
+    ///
+    /// The MAC budget is ten virtual milliseconds of full-throughput
+    /// compute — roughly 20x the heaviest zoo network (ResNet12, 26.5M
+    /// MACs on the G71 MP8) and scaled to the SKU, so a slower part
+    /// certifies a proportionally smaller program. The poll budget bounds
+    /// the worst-case busy-wait work a replay can be asked to do
+    /// (`Σ min(max_iters, replay cap)`; the densest zoo recording totals
+    /// ~117k); it is a per-recording *total*, complementing R3's per-poll
+    /// iteration cap.
+    pub fn cost_envelope(&self) -> CostEnvelope {
+        CostEnvelope {
+            max_macs: self.macs_per_us() * 10_000,
+            max_poll_iters: 1_000_000,
+        }
     }
 }
 

@@ -1,0 +1,212 @@
+//! Def-use analysis over tensor slots: the engine behind grt-lint's R7.
+//!
+//! Works in the carveout's physical address space, where operand page runs
+//! land after MMU resolution. Definitions come from three sources — the
+//! injected input slot, the injected weight slots, and synced-down
+//! metastate deltas — plus every earlier shader write. One forward pass
+//! checks that reads are defined and operands don't partially alias; one
+//! reverse pass finds writes no later instruction (and no sync-up) can
+//! observe. Identity copies (`src == dst`, the JIT's staging no-ops) are
+//! exempt everywhere: they move no information.
+
+use crate::iset::IntervalSet;
+use crate::program::{Dir, IrProgram, JobChain, SemInstr};
+
+/// What a dataflow finding is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingKind {
+    /// A shader read reaches bytes no definition covers.
+    UndefinedRead,
+    /// A read and a write operand of one instruction overlap without being
+    /// the exact same range (partial aliasing: element order changes the
+    /// result).
+    OperandOverlap,
+    /// A shader write lands inside the injected input or weight slots,
+    /// masking injected data with recorded data.
+    SlotClobber,
+    /// A shader write that no later read and no sync-up can observe.
+    DeadWrite,
+}
+
+/// One dataflow defect, anchored to the job-chain submission event.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Event index of the chain's `JS_COMMAND = START`.
+    pub event: usize,
+    /// Defect category.
+    pub kind: FindingKind,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Runs the forward def-use pass and the reverse liveness pass.
+pub fn analyze(prog: &IrProgram) -> Vec<Finding> {
+    let mut findings = forward(prog);
+    findings.extend(reverse(prog));
+    findings
+}
+
+fn slot_sets(prog: &IrProgram) -> (IntervalSet, IntervalSet) {
+    let mut injected = IntervalSet::new();
+    let (s, e) = prog.input.range();
+    injected.insert(s, e);
+    for w in &prog.weights {
+        let (s, e) = w.range();
+        injected.insert(s, e);
+    }
+    let mut output = IntervalSet::new();
+    let (s, e) = prog.output.range();
+    output.insert(s, e);
+    (injected, output)
+}
+
+fn forward(prog: &IrProgram) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let (injected, _) = slot_sets(prog);
+    let mut defined = injected.clone();
+
+    // Merge deltas and chains back into event order.
+    let mut di = 0usize;
+    for chain in &prog.jobs {
+        while di < prog.deltas.len() && prog.deltas[di].event < chain.event {
+            let d = &prog.deltas[di];
+            if d.parsed.is_some() && d.len > 0 {
+                defined.insert(d.pa, d.pa + d.len as u64);
+            }
+            di += 1;
+        }
+        check_chain(chain, &mut defined, &injected, &mut findings);
+    }
+    findings
+}
+
+fn check_chain(
+    chain: &JobChain,
+    defined: &mut IntervalSet,
+    injected: &IntervalSet,
+    findings: &mut Vec<Finding>,
+) {
+    for desc in &chain.descs {
+        for instr in &desc.instrs {
+            if instr.is_identity_copy() {
+                continue;
+            }
+            // Reads must be covered by a definition.
+            for opnd in instr.operands.iter().filter(|o| o.dir == Dir::Read) {
+                let gap = opnd
+                    .pa_runs
+                    .iter()
+                    .find(|&&(s, len)| !defined.covers(s, s + len))
+                    .map(|&(s, len)| (s, s + len));
+                if let Some((s, e)) = gap {
+                    findings.push(Finding {
+                        event: chain.event,
+                        kind: FindingKind::UndefinedRead,
+                        message: format!(
+                            "{} reads {} operand at va {:#x} ({} elems) through pa [{s:#x}, {e:#x}) \
+                             with no preceding write, injected slot or synced-down delta covering it",
+                            instr.kind.name(),
+                            opnd.name,
+                            opnd.va,
+                            opnd.elems,
+                        ),
+                    });
+                }
+            }
+            overlap_check(chain.event, instr, findings);
+            // Writes define their bytes — and must not land in the
+            // injected slots, whose recorded content is replaced at
+            // replay start.
+            for opnd in instr.operands.iter().filter(|o| o.dir == Dir::Write) {
+                for &(s, len) in &opnd.pa_runs {
+                    if injected.intersects(s, s + len) {
+                        findings.push(Finding {
+                            event: chain.event,
+                            kind: FindingKind::SlotClobber,
+                            message: format!(
+                                "{} writes {} operand at va {:#x} over an injected input/weight \
+                                 slot (pa run [{s:#x}, {:#x}))",
+                                instr.kind.name(),
+                                opnd.name,
+                                opnd.va,
+                                s + len,
+                            ),
+                        });
+                        break;
+                    }
+                }
+                for &(s, len) in &opnd.pa_runs {
+                    defined.insert(s, s + len);
+                }
+            }
+        }
+    }
+}
+
+fn overlap_check(event: usize, instr: &SemInstr, findings: &mut Vec<Finding>) {
+    for r in instr.operands.iter().filter(|o| o.dir == Dir::Read) {
+        for w in instr.operands.iter().filter(|o| o.dir == Dir::Write) {
+            let (rs, re) = r.va_range();
+            let (ws, we) = w.va_range();
+            let exact = rs == ws && re == we;
+            let overlap = rs < we && ws < re;
+            if overlap && !exact {
+                findings.push(Finding {
+                    event,
+                    kind: FindingKind::OperandOverlap,
+                    message: format!(
+                        "{} operands {} [va {rs:#x}, {re:#x}) and {} [va {ws:#x}, {we:#x}) \
+                         partially overlap: element order would change the result",
+                        instr.kind.name(),
+                        r.name,
+                        w.name,
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn reverse(prog: &IrProgram) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let (_, output) = slot_sets(prog);
+    // The output slot is synced up after replay: writes into it are live.
+    let mut future_reads = output;
+    for chain in prog.jobs.iter().rev() {
+        for desc in chain.descs.iter().rev() {
+            for instr in desc.instrs.iter().rev() {
+                if instr.is_identity_copy() {
+                    continue;
+                }
+                for opnd in instr.operands.iter().filter(|o| o.dir == Dir::Write) {
+                    let live = opnd
+                        .pa_runs
+                        .iter()
+                        .any(|&(s, len)| future_reads.intersects(s, s + len));
+                    if !live && !opnd.pa_runs.is_empty() {
+                        findings.push(Finding {
+                            event: chain.event,
+                            kind: FindingKind::DeadWrite,
+                            message: format!(
+                                "{} writes {} operand at va {:#x} ({} elems) that no later \
+                                 read observes and that is never synced up: dead output",
+                                instr.kind.name(),
+                                opnd.name,
+                                opnd.va,
+                                opnd.elems,
+                            ),
+                        });
+                    }
+                }
+                for opnd in instr.operands.iter().filter(|o| o.dir == Dir::Read) {
+                    for &(s, len) in &opnd.pa_runs {
+                        future_reads.insert(s, s + len);
+                    }
+                }
+            }
+        }
+    }
+    // Report in program order.
+    findings.reverse();
+    findings
+}

@@ -1,0 +1,231 @@
+//! Interval sets and interval maps over physical-address ranges.
+//!
+//! The dataflow rules reason about byte ranges of carveout memory: which
+//! ranges a shader instruction reads and writes, which ranges are defined
+//! by injected slots or synced-down deltas, and which writer last touched
+//! a range. Both containers keep their ranges sorted and disjoint, so
+//! every query is a binary search plus a linear scan over the overlap.
+
+/// A half-open byte range `[start, end)`.
+pub type Range = (u64, u64);
+
+/// A set of disjoint, sorted, half-open `u64` ranges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    ranges: Vec<Range>,
+}
+
+impl IntervalSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        IntervalSet::default()
+    }
+
+    /// The disjoint ranges, in ascending order.
+    pub fn ranges(&self) -> &[Range] {
+        &self.ranges
+    }
+
+    /// True when the set holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Total bytes covered.
+    pub fn len_bytes(&self) -> u64 {
+        self.ranges.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Inserts `[start, end)`, merging with any overlapping or adjacent
+    /// ranges. Empty ranges are ignored.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        // First range whose end could touch `start`.
+        let i = self.ranges.partition_point(|&(_, e)| e < start);
+        let mut new = (start, end);
+        let mut j = i;
+        while j < self.ranges.len() && self.ranges[j].0 <= new.1 {
+            new.0 = new.0.min(self.ranges[j].0);
+            new.1 = new.1.max(self.ranges[j].1);
+            j += 1;
+        }
+        self.ranges.splice(i..j, std::iter::once(new));
+    }
+
+    /// True when every byte of `[start, end)` is in the set.
+    pub fn covers(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return true;
+        }
+        let i = self.ranges.partition_point(|&(_, e)| e <= start);
+        match self.ranges.get(i) {
+            Some(&(s, e)) => s <= start && end <= e,
+            None => false,
+        }
+    }
+
+    /// True when any byte of `[start, end)` is in the set.
+    pub fn intersects(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return false;
+        }
+        let i = self.ranges.partition_point(|&(_, e)| e <= start);
+        match self.ranges.get(i) {
+            Some(&(s, _)) => s < end,
+            None => false,
+        }
+    }
+}
+
+/// A map from disjoint, sorted byte ranges to copyable tags (the last
+/// writer wins on overlap, like memory).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalMap<T: Copy + PartialEq> {
+    entries: Vec<(u64, u64, T)>,
+}
+
+impl<T: Copy + PartialEq> IntervalMap<T> {
+    /// An empty map.
+    pub fn new() -> Self {
+        IntervalMap {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The entries, ascending and disjoint.
+    pub fn entries(&self) -> &[(u64, u64, T)] {
+        &self.entries
+    }
+
+    /// Writes `tag` over `[start, end)`, truncating or splitting whatever
+    /// was there before (last writer wins).
+    pub fn insert(&mut self, start: u64, end: u64, tag: T) {
+        if start >= end {
+            return;
+        }
+        let mut out: Vec<(u64, u64, T)> = Vec::with_capacity(self.entries.len() + 2);
+        let mut placed = false;
+        for &(s, e, t) in &self.entries {
+            if e <= start || s >= end {
+                // Disjoint from the new range; place the new range once we
+                // pass its position.
+                if s >= end && !placed {
+                    out.push((start, end, tag));
+                    placed = true;
+                }
+                out.push((s, e, t));
+                continue;
+            }
+            // Overlap: keep the non-overlapping left/right pieces.
+            if s < start {
+                out.push((s, start, t));
+            }
+            if !placed {
+                out.push((start, end, tag));
+                placed = true;
+            }
+            if e > end {
+                out.push((end, e, t));
+            }
+        }
+        if !placed {
+            out.push((start, end, tag));
+        }
+        self.entries = out;
+    }
+
+    /// Decomposes the query range into maximal segments, each labelled
+    /// with the covering tag or `None` where nothing is mapped.
+    pub fn query(&self, start: u64, end: u64) -> Vec<(u64, u64, Option<T>)> {
+        let mut out = Vec::new();
+        if start >= end {
+            return out;
+        }
+        let mut cur = start;
+        let i = self.entries.partition_point(|&(_, e, _)| e <= start);
+        for &(s, e, t) in &self.entries[i..] {
+            if s >= end {
+                break;
+            }
+            if s > cur {
+                out.push((cur, s.min(end), None));
+            }
+            let seg_s = s.max(cur);
+            let seg_e = e.min(end);
+            if seg_s < seg_e {
+                out.push((seg_s, seg_e, Some(t)));
+            }
+            cur = seg_e.max(cur);
+        }
+        if cur < end {
+            out.push((cur, end, None));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_merges_overlaps_and_adjacency() {
+        let mut s = IntervalSet::new();
+        s.insert(10, 20);
+        s.insert(30, 40);
+        assert_eq!(s.ranges(), &[(10, 20), (30, 40)]);
+        s.insert(20, 30); // Adjacent to both: one range remains.
+        assert_eq!(s.ranges(), &[(10, 40)]);
+        s.insert(5, 12);
+        assert_eq!(s.ranges(), &[(5, 40)]);
+        s.insert(50, 50); // Empty: ignored.
+        assert_eq!(s.len_bytes(), 35);
+    }
+
+    #[test]
+    fn covers_and_intersects() {
+        let mut s = IntervalSet::new();
+        s.insert(0x1000, 0x2000);
+        s.insert(0x3000, 0x4000);
+        assert!(s.covers(0x1000, 0x2000));
+        assert!(s.covers(0x1800, 0x1900));
+        assert!(!s.covers(0x1800, 0x2001));
+        assert!(!s.covers(0x2800, 0x2900));
+        assert!(s.intersects(0x1FFF, 0x2800));
+        assert!(!s.intersects(0x2000, 0x3000));
+        assert!(s.intersects(0x2000, 0x3001));
+        assert!(s.covers(5, 5), "empty range is vacuously covered");
+    }
+
+    #[test]
+    fn map_last_writer_wins() {
+        let mut m = IntervalMap::new();
+        m.insert(0, 100, 'a');
+        m.insert(40, 60, 'b');
+        assert_eq!(m.entries(), &[(0, 40, 'a'), (40, 60, 'b'), (60, 100, 'a')]);
+        m.insert(0, 100, 'c');
+        assert_eq!(m.entries(), &[(0, 100, 'c')]);
+    }
+
+    #[test]
+    fn map_query_reports_gaps() {
+        let mut m = IntervalMap::new();
+        m.insert(10, 20, 1u32);
+        m.insert(30, 40, 2u32);
+        let q = m.query(0, 50);
+        assert_eq!(
+            q,
+            vec![
+                (0, 10, None),
+                (10, 20, Some(1)),
+                (20, 30, None),
+                (30, 40, Some(2)),
+                (40, 50, None),
+            ]
+        );
+        assert_eq!(m.query(12, 18), vec![(12, 18, Some(1))]);
+        assert!(m.query(5, 5).is_empty());
+    }
+}

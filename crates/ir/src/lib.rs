@@ -1,0 +1,31 @@
+//! grt-ir: a typed semantics IR for vetted GPU recordings.
+//!
+//! The paper's safety story vets a recording *before* replay; the deeper
+//! the vetting, the stronger the story. This crate decodes a recording
+//! once — MMIO events, metastate deltas, job descriptors, and the
+//! `ShaderOp` bytecode those descriptors point at — into one analyzable
+//! structure, [`program::IrProgram`]:
+//!
+//! * every event becomes a typed [`program::Step`];
+//! * every `JS_COMMAND = START` becomes a [`program::JobChain`] whose
+//!   shader instructions carry shape metadata and page-resolved operand
+//!   tensors;
+//! * [`dataflow`] computes the def-use relation over those operands;
+//! * [`dump`] renders it all as deterministic text.
+//!
+//! grt-lint proves R1–R9 over this IR, and grt-core lowers
+//! `CompiledRecording` from it, so the two never disagree about what the
+//! bytes mean. Lifting is total: malformed input becomes
+//! [`program::Anomaly`] annotations, never a lifter error.
+
+#![warn(missing_docs)]
+
+pub mod dataflow;
+pub mod dump;
+pub mod iset;
+pub mod lift;
+pub mod program;
+pub mod shadow;
+
+pub use lift::{lift, EventView, LiftInput};
+pub use program::IrProgram;

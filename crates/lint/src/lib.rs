@@ -5,8 +5,11 @@
 //! *check* about the recording. The replayer's runtime checks (register
 //! verify-reads, poll caps, IRQ timeouts) catch divergence while a
 //! recording executes; this crate moves the whole-recording properties
-//! ahead of execution: one forward abstract-interpretation pass over the
-//! event stream proves six rules before the GPU is ever touched.
+//! ahead of execution. The recording is first lifted once into the typed
+//! semantics IR (`grt-ir`): every event becomes a typed step, every job
+//! submission a fully decoded descriptor chain with page-resolved operand
+//! tensors. One pass over that IR proves nine rules before the GPU is
+//! ever touched.
 //!
 //! | Rule | Property |
 //! |------|----------|
@@ -16,10 +19,19 @@
 //! | R4   | data slots are in-bounds, disjoint, and consistent with the network spec |
 //! | R5   | at most one job in flight between sync points |
 //! | R6   | `BeginLayer` markers are dense and monotone |
+//! | R7   | tensor dataflow integrity: every shader read is covered by an injected slot, a synced-down delta, or an earlier write; no partial operand aliasing; no writes over injected slots |
+//! | R8   | address-interval soundness: descriptors, shader programs and operand tensors resolve completely through the page tables, within the analyzable bounds |
+//! | R9   | static cost certification: worst-case MAC and poll-iteration totals fit the SKU's replay envelope; the certified budget is stored beside the verdict |
+//!
+//! R1–R6 are structural and always run. R7–R9 are semantic: they only run
+//! once the structural rules are clean (R8 first — dataflow and cost are
+//! meaningless over chains that could not be resolved). A passing report
+//! carries the [`report::CertifiedBudget`] R9 measured.
 //!
 //! The analyzer is wired into [`grt_core::replay::Replayer`] through the
 //! [`grt_core::gate::RecordingGate`] trait, into the serving registry
-//! (verdicts cached per entry), and into the `recording-lint` CLI.
+//! (verdicts and budgets cached per entry), and into the `recording-lint`
+//! CLI.
 
 #![warn(missing_docs)]
 
@@ -29,11 +41,12 @@ pub mod whitelist;
 
 mod pass;
 
-pub use report::{Diagnostic, LintReport, Rule, Severity};
+pub use report::{CertifiedBudget, Diagnostic, LintReport, Rule, Severity};
 
 use grt_core::gate::{GateContext, RecordingGate, Rejection};
 use grt_core::recording::Recording;
 use grt_gpu::GpuSku;
+use grt_ir::IrProgram;
 use grt_ml::NetworkSpec;
 
 /// Tunable bounds for a lint run.
@@ -76,10 +89,21 @@ impl Linter {
         Linter { cfg }
     }
 
-    /// Runs all six rules over `rec` for `sku`, consulting `spec` for the
+    /// Runs all nine rules over `rec` for `sku`, consulting `spec` for the
     /// shape checks when one is available (R4/R6 get stricter with it).
+    /// Lifts the recording to the semantics IR internally; callers that
+    /// already hold a lift (the serving registry lifts once for lint *and*
+    /// compile) should use [`Linter::lint_ir`].
     pub fn lint(&self, rec: &Recording, sku: &GpuSku, spec: Option<&NetworkSpec>) -> LintReport {
-        pass::Pass::new(rec, sku, spec, &self.cfg).run()
+        let ir = grt_core::ir::lift_recording(rec, sku.pte_quirk);
+        self.lint_ir(&ir, sku, spec)
+    }
+
+    /// Runs all nine rules over an already-lifted recording. The lift must
+    /// have used `sku`'s PTE quirk (page-table walks must match the GPU
+    /// being vetted for) — [`grt_core::ir::lift_recording`] does.
+    pub fn lint_ir(&self, ir: &IrProgram, sku: &GpuSku, spec: Option<&NetworkSpec>) -> LintReport {
+        pass::Pass::new(ir, sku, spec, &self.cfg).run()
     }
 }
 

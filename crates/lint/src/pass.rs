@@ -1,21 +1,28 @@
-//! The forward abstract-interpretation pass over a recording's event
-//! stream, plus the header checkers.
+//! The rule pass over a recording's lifted semantics IR.
 //!
-//! The abstract domain tracks exactly the machine state the safety rules
-//! need and nothing more: a sparse shadow of carveout memory (for the R2
-//! page-table walk), the staged/latched `AS_TRANSTAB` roots and per-slot
-//! `JS_CONFIG` values, an abstract job-queue length (R5), and a pending
-//! counter per interrupt line (R3). One pass, event order, no fixpoints —
-//! recordings are straight-line programs.
+//! Since the IR landed, the pass no longer re-derives machine state from
+//! raw events: the lifter (`grt_ir::lift`) already decoded register
+//! windows, TRANSTAB latching, page-table walks, job chains and shader
+//! operands, all index-aligned with the event stream. What remains here is
+//! *policy*: the whitelist and value constraints (R1), the carveout bounds
+//! (R2), the termination discipline (R3), slot/shape consistency (R4),
+//! queue discipline (R5), layer structure (R6) — and, once those are
+//! clean, the three IR-level rules: address-interval soundness (R8),
+//! tensor dataflow integrity (R7) and static cost certification (R9).
+//!
+//! R7–R9 only run on a structurally clean recording (no R1–R6 error), and
+//! R7/R9 additionally require R8 clean: a chain whose descriptors could
+//! not be resolved has no dataflow or cost to reason about.
 
-use crate::report::{Diagnostic, LintReport, Rule, Severity};
-use crate::shadow::{walk, ShadowMem};
+use crate::report::{CertifiedBudget, Diagnostic, LintReport, Rule, Severity};
 use crate::whitelist;
 use crate::LintConfig;
-use grt_compress::DeltaCodec;
-use grt_core::recording::{Event, Recording};
 use grt_gpu::regs::{gpu_control as gc, job_control as jc, mmu_control as mc};
 use grt_gpu::{GpuSku, PAGE_SIZE};
+use grt_ir::dataflow::{self, FindingKind};
+use grt_ir::program::{Dir, JobChain, RegClass, Step};
+use grt_ir::shadow::WalkSummary;
+use grt_ir::IrProgram;
 use grt_ml::NetworkSpec;
 use std::collections::BTreeSet;
 
@@ -46,20 +53,11 @@ const GPU_IRQ_RAISERS: &[u32] = &[
 ];
 
 pub(crate) struct Pass<'a> {
-    rec: &'a Recording,
+    ir: &'a IrProgram,
     sku: &'a GpuSku,
     spec: Option<&'a NetworkSpec>,
     cfg: &'a LintConfig,
-    codec: DeltaCodec,
-    shadow: ShadowMem,
     diags: Vec<Diagnostic>,
-    /// Staged (written but not latched) TRANSTAB halves, per AS.
-    transtab_lo: [u32; 16],
-    transtab_hi: [u32; 16],
-    /// Roots latched by `AS_COMMAND = UPDATE`; `0` means disabled.
-    latched_root: [u64; 16],
-    /// Last value written to each slot's `JS_CONFIG`.
-    slot_config: [u32; 16],
     prfcnt_lo: u32,
     prfcnt_hi: u32,
     /// Abstract job-queue length (R5: never exceeds 1).
@@ -68,69 +66,84 @@ pub(crate) struct Pass<'a> {
     pending: [u32; 3],
     /// Next expected `BeginLayer` index (R6).
     next_layer: u32,
-    /// Bumped on every shadow mutation; keys the walk cache.
-    mem_version: u64,
-    /// `(root, mem_version)` of the last completed R2 walk.
-    walk_cache: Option<(u64, u64)>,
+    /// Next unconsumed entry of `ir.jobs` (chains are in event order).
+    next_job: usize,
 }
 
 impl<'a> Pass<'a> {
     pub(crate) fn new(
-        rec: &'a Recording,
+        ir: &'a IrProgram,
         sku: &'a GpuSku,
         spec: Option<&'a NetworkSpec>,
         cfg: &'a LintConfig,
     ) -> Self {
         Pass {
-            rec,
+            ir,
             sku,
             spec,
             cfg,
-            codec: DeltaCodec::new(PAGE_SIZE),
-            shadow: ShadowMem::new(),
             diags: Vec::new(),
-            transtab_lo: [0; 16],
-            transtab_hi: [0; 16],
-            latched_root: [0; 16],
-            slot_config: [0; 16],
             prfcnt_lo: 0,
             prfcnt_hi: 0,
             queue: 0,
             pending: [0; 3],
             next_layer: 0,
-            mem_version: 0,
-            walk_cache: None,
+            next_job: 0,
         }
     }
 
     pub(crate) fn run(mut self) -> LintReport {
         self.check_header();
-        for i in 0..self.rec.events.len() {
-            // Clone is cheap for everything except LoadMemDelta, whose
-            // bytes we need by reference anyway — so match on a borrow.
-            let event = &self.rec.events[i];
-            match *event {
-                Event::BeginLayer { index } => self.on_begin_layer(i, index),
-                Event::RegWrite { offset, value } => self.on_write(i, offset, value),
-                Event::RegRead { offset, .. } => self.on_read(i, offset),
-                Event::Poll {
+        for i in 0..self.ir.steps.len() {
+            match self.ir.steps[i] {
+                Step::BeginLayer { index } => self.on_begin_layer(i, index),
+                Step::RegWrite {
+                    offset,
+                    value,
+                    class,
+                    root_latched,
+                } => self.on_write(i, offset, value, class, root_latched),
+                Step::RegRead { offset, .. } => self.on_read(i, offset),
+                Step::Poll {
                     reg,
                     cond,
                     max_iters,
                     ..
                 } => self.on_poll(i, reg, cond, max_iters),
-                Event::WaitIrq { line } => self.on_wait_irq(i, line),
-                Event::LoadMemDelta { pa, len, ref delta } => self.on_delta(i, pa, len, delta),
+                Step::WaitIrq { line } => self.on_wait_irq(i, line),
+                Step::LoadDelta { index } => self.on_delta(i, index as usize),
             }
         }
         self.check_footer();
+        // The IR-level rules presuppose a structurally sound recording:
+        // only analyze semantics the event pass could make sense of.
+        let mut budget = None;
+        if self.errors() == 0 {
+            self.check_intervals(); // R8
+            if self.errors() == 0 {
+                self.check_dataflow(); // R7
+                budget = self.check_envelope(); // R9
+            }
+        }
+        if self.errors() != 0 {
+            // A failing recording is not certified, whatever R9 measured.
+            budget = None;
+        }
         LintReport {
-            workload: self.rec.workload.clone(),
-            gpu_id: self.rec.gpu_id,
+            workload: self.ir.workload.clone(),
+            gpu_id: self.ir.gpu_id,
             sku: self.sku.name.to_owned(),
-            events: self.rec.events.len(),
+            events: self.ir.steps.len(),
+            budget,
             diagnostics: self.diags,
         }
+    }
+
+    fn errors(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
     }
 
     fn diag(&mut self, rule: Rule, severity: Severity, event: Option<usize>, message: String) {
@@ -155,33 +168,33 @@ impl<'a> Pass<'a> {
     // --- header (R1 identity, R4 slots/shape) ---------------------------
 
     fn check_header(&mut self) {
-        if self.rec.gpu_id != self.sku.gpu_id {
+        if self.ir.gpu_id != self.sku.gpu_id {
             self.diag(
                 Rule::R1RegisterWhitelist,
                 Severity::Error,
                 None,
                 format!(
                     "recording targets GPU {:#x} but is being vetted for {:#x} ({})",
-                    self.rec.gpu_id, self.sku.gpu_id, self.sku.name
+                    self.ir.gpu_id, self.sku.gpu_id, self.sku.name
                 ),
             );
         }
         // Every slot in-bounds and non-empty.
         let mut ranges: Vec<(u64, u64, String)> = Vec::new();
         let slots = [
-            (self.rec.input, "input".to_owned()),
-            (self.rec.output, "output".to_owned()),
+            (self.ir.input, "input".to_owned()),
+            (self.ir.output, "output".to_owned()),
         ]
         .into_iter()
         .chain(
-            self.rec
+            self.ir
                 .weights
                 .iter()
                 .enumerate()
                 .map(|(i, w)| (*w, format!("weight[{i}]"))),
         );
         for (slot, name) in slots {
-            let bytes = slot.len_elems as u64 * 4;
+            let bytes = slot.bytes();
             if slot.len_elems == 0 {
                 self.diag(
                     Rule::R4SlotShape,
@@ -226,36 +239,36 @@ impl<'a> Pass<'a> {
 
     fn check_spec(&mut self) {
         let Some(spec) = self.spec else { return };
-        if self.rec.workload != spec.name {
+        if self.ir.workload != spec.name {
             self.diag(
                 Rule::R4SlotShape,
                 Severity::Error,
                 None,
                 format!(
                     "recording is for workload {:?}, spec is {:?}",
-                    self.rec.workload, spec.name
+                    self.ir.workload, spec.name
                 ),
             );
         }
-        if self.rec.input.len_elems != spec.input_len {
+        if self.ir.input.len_elems != spec.input_len {
             self.diag(
                 Rule::R4SlotShape,
                 Severity::Error,
                 None,
                 format!(
                     "input slot holds {} elems, spec wants {}",
-                    self.rec.input.len_elems, spec.input_len
+                    self.ir.input.len_elems, spec.input_len
                 ),
             );
         }
-        if self.rec.output.len_elems != spec.output_len {
+        if self.ir.output.len_elems != spec.output_len {
             self.diag(
                 Rule::R4SlotShape,
                 Severity::Error,
                 None,
                 format!(
                     "output slot holds {} elems, spec wants {}",
-                    self.rec.output.len_elems, spec.output_len
+                    self.ir.output.len_elems, spec.output_len
                 ),
             );
         }
@@ -272,7 +285,7 @@ impl<'a> Pass<'a> {
                 expected.push(bl);
             }
         }
-        let got: Vec<u32> = self.rec.weights.iter().map(|w| w.len_elems).collect();
+        let got: Vec<u32> = self.ir.weights.iter().map(|w| w.len_elems).collect();
         if got != expected {
             self.diag(
                 Rule::R4SlotShape,
@@ -305,7 +318,23 @@ impl<'a> Pass<'a> {
 
     // --- R1 + write side effects ---------------------------------------
 
-    fn on_write(&mut self, i: usize, offset: u32, value: u32) {
+    fn on_write(
+        &mut self,
+        i: usize,
+        offset: u32,
+        value: u32,
+        class: RegClass,
+        root_latched: Option<u64>,
+    ) {
+        // The lifter created a chain at this event iff the write decodes
+        // as `JS_COMMAND = START`. Consume it before the R1 checks so the
+        // chain cursor stays aligned even when the write is rejected.
+        let ir = self.ir;
+        let chain =
+            (self.next_job < ir.jobs.len() && ir.jobs[self.next_job].event == i).then(|| {
+                self.next_job += 1;
+                &ir.jobs[self.next_job - 1]
+            });
         let Some(info) = whitelist::lookup(offset, self.sku) else {
             self.error(
                 Rule::R1RegisterWhitelist,
@@ -324,130 +353,117 @@ impl<'a> Pass<'a> {
         }
         // Write-value constraints for control registers, then abstract
         // side effects.
-        if offset == gc::GPU_COMMAND {
-            if !GPU_COMMANDS.contains(&value) {
-                self.error(
-                    Rule::R1RegisterWhitelist,
-                    i,
-                    format!("undefined GPU_COMMAND value {value:#x}"),
-                );
-                return;
-            }
-            if GPU_IRQ_RAISERS.contains(&value) {
-                self.pending[LINE_GPU] = self.pending[LINE_GPU].saturating_add(1);
-            }
-            return;
-        }
-        if offset == gc::SHADER_PWRON_LO
-            || offset == gc::TILER_PWRON_LO
-            || offset == gc::L2_PWRON_LO
-            || offset == gc::SHADER_PWROFF_LO
-            || offset == gc::TILER_PWROFF_LO
-            || offset == gc::L2_PWROFF_LO
-        {
-            // Power transitions complete with a GPU-line interrupt.
-            self.pending[LINE_GPU] = self.pending[LINE_GPU].saturating_add(1);
-            return;
-        }
-        if offset == gc::PRFCNT_BASE_LO || offset == gc::PRFCNT_BASE_HI {
-            if offset == gc::PRFCNT_BASE_LO {
-                self.prfcnt_lo = value;
-            } else {
-                self.prfcnt_hi = value;
-            }
-            let base = (self.prfcnt_hi as u64) << 32 | self.prfcnt_lo as u64;
-            if base != 0 && !self.in_carveout(base, PAGE_SIZE as u64) {
-                self.error(
-                    Rule::R1RegisterWhitelist,
-                    i,
-                    format!("PRFCNT_BASE {base:#x} points the counter dump outside the carveout"),
-                );
-            }
-            return;
-        }
-        if let Some((slot, reg)) = whitelist::slot_window(offset) {
-            self.on_slot_write(i, slot as usize, reg, value);
-            return;
-        }
-        if let Some((asn, reg)) = whitelist::as_window(offset) {
-            self.on_as_write(i, asn as usize, reg, value);
-        }
-    }
-
-    fn on_slot_write(&mut self, i: usize, slot: usize, reg: u32, value: u32) {
-        if reg == jc::JS_CONFIG {
-            let asn = value & 0x7;
-            if asn >= self.sku.address_spaces {
-                self.error(
-                    Rule::R1RegisterWhitelist,
-                    i,
-                    format!(
-                        "JS_CONFIG selects address space {asn}, SKU has {}",
-                        self.sku.address_spaces
-                    ),
-                );
-            }
-            self.slot_config[slot] = value;
-            return;
-        }
-        if reg == jc::JS_COMMAND {
-            if ![
-                jc::JS_CMD_NOP,
-                jc::JS_CMD_START,
-                jc::JS_CMD_SOFT_STOP,
-                jc::JS_CMD_HARD_STOP,
-            ]
-            .contains(&value)
-            {
-                self.error(
-                    Rule::R1RegisterWhitelist,
-                    i,
-                    format!("undefined JS_COMMAND value {value:#x} on slot {slot}"),
-                );
-                return;
-            }
-            if value == jc::JS_CMD_START {
-                self.on_job_start(i, slot);
-            }
-        }
-    }
-
-    fn on_as_write(&mut self, i: usize, asn: usize, reg: u32, value: u32) {
-        match reg {
-            r if r == mc::AS_TRANSTAB_LO => self.transtab_lo[asn] = value,
-            r if r == mc::AS_TRANSTAB_HI => self.transtab_hi[asn] = value,
-            r if r == mc::AS_COMMAND => {
-                if value > mc::AS_CMD_FLUSH_MEM {
-                    self.error(
-                        Rule::R1RegisterWhitelist,
-                        i,
-                        format!("undefined AS_COMMAND value {value:#x} on AS {asn}"),
-                    );
+        match class {
+            RegClass::GpuCtrl => {
+                if offset == gc::GPU_COMMAND {
+                    if !GPU_COMMANDS.contains(&value) {
+                        self.error(
+                            Rule::R1RegisterWhitelist,
+                            i,
+                            format!("undefined GPU_COMMAND value {value:#x}"),
+                        );
+                        return;
+                    }
+                    if GPU_IRQ_RAISERS.contains(&value) {
+                        self.pending[LINE_GPU] = self.pending[LINE_GPU].saturating_add(1);
+                    }
                     return;
                 }
-                if value == mc::AS_CMD_UPDATE {
-                    let root = (self.transtab_hi[asn] as u64) << 32 | self.transtab_lo[asn] as u64;
-                    if root != 0
-                        && (!self.in_carveout(root, PAGE_SIZE as u64)
-                            || !root.is_multiple_of(PAGE_SIZE as u64))
-                    {
+                if offset == gc::SHADER_PWRON_LO
+                    || offset == gc::TILER_PWRON_LO
+                    || offset == gc::L2_PWRON_LO
+                    || offset == gc::SHADER_PWROFF_LO
+                    || offset == gc::TILER_PWROFF_LO
+                    || offset == gc::L2_PWROFF_LO
+                {
+                    // Power transitions complete with a GPU-line interrupt.
+                    self.pending[LINE_GPU] = self.pending[LINE_GPU].saturating_add(1);
+                    return;
+                }
+                if offset == gc::PRFCNT_BASE_LO || offset == gc::PRFCNT_BASE_HI {
+                    if offset == gc::PRFCNT_BASE_LO {
+                        self.prfcnt_lo = value;
+                    } else {
+                        self.prfcnt_hi = value;
+                    }
+                    let base = (self.prfcnt_hi as u64) << 32 | self.prfcnt_lo as u64;
+                    if base != 0 && !self.in_carveout(base, PAGE_SIZE as u64) {
                         self.error(
-                            Rule::R2PageTableReachability,
+                            Rule::R1RegisterWhitelist,
                             i,
-                            format!("AS {asn} latched page-table root {root:#x} outside the carveout (or unaligned)"),
+                            format!(
+                                "PRFCNT_BASE {base:#x} points the counter dump outside the carveout"
+                            ),
                         );
                     }
-                    self.latched_root[asn] = root;
-                    self.walk_cache = None;
                 }
             }
-            _ => {}
+            RegClass::JobSlot { slot, reg } => {
+                if reg == jc::JS_CONFIG {
+                    let asn = value & 0x7;
+                    if asn >= self.sku.address_spaces {
+                        self.error(
+                            Rule::R1RegisterWhitelist,
+                            i,
+                            format!(
+                                "JS_CONFIG selects address space {asn}, SKU has {}",
+                                self.sku.address_spaces
+                            ),
+                        );
+                    }
+                    return;
+                }
+                if reg == jc::JS_COMMAND {
+                    if ![
+                        jc::JS_CMD_NOP,
+                        jc::JS_CMD_START,
+                        jc::JS_CMD_SOFT_STOP,
+                        jc::JS_CMD_HARD_STOP,
+                    ]
+                    .contains(&value)
+                    {
+                        self.error(
+                            Rule::R1RegisterWhitelist,
+                            i,
+                            format!("undefined JS_COMMAND value {value:#x} on slot {slot}"),
+                        );
+                        return;
+                    }
+                    if let Some(chain) = chain {
+                        self.on_job_start(i, chain);
+                    }
+                }
+            }
+            RegClass::AsWindow { asn, reg } => {
+                if reg == mc::AS_COMMAND {
+                    if value > mc::AS_CMD_FLUSH_MEM {
+                        self.error(
+                            Rule::R1RegisterWhitelist,
+                            i,
+                            format!("undefined AS_COMMAND value {value:#x} on AS {asn}"),
+                        );
+                        return;
+                    }
+                    if let Some(root) = root_latched {
+                        if root != 0
+                            && (!self.in_carveout(root, PAGE_SIZE as u64)
+                                || !root.is_multiple_of(PAGE_SIZE as u64))
+                        {
+                            self.error(
+                                Rule::R2PageTableReachability,
+                                i,
+                                format!("AS {asn} latched page-table root {root:#x} outside the carveout (or unaligned)"),
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 
     // --- R2 + R5 + R3: job submission ----------------------------------
 
-    fn on_job_start(&mut self, i: usize, slot: usize) {
+    fn on_job_start(&mut self, i: usize, chain: &JobChain) {
         // R5: the paper's replayer assumes the job queue never holds more
         // than one job between sync points (§5).
         self.queue += 1;
@@ -456,33 +472,34 @@ impl<'a> Pass<'a> {
                 Rule::R5JobQueueDiscipline,
                 i,
                 format!(
-                    "second job started on slot {slot} while one is already in flight (queue length {})",
-                    self.queue
+                    "second job started on slot {} while one is already in flight (queue length {})",
+                    chain.slot, self.queue
                 ),
             );
         }
         // R3: a start is what makes a Job-line wait satisfiable.
         self.pending[LINE_JOB] = self.pending[LINE_JOB].saturating_add(1);
-        // R2: walk the page tables the GPU would walk for this job.
-        let asn = (self.slot_config[slot] & 0x7) as usize;
-        let root = self.latched_root[asn];
-        if root == 0 {
+        // R2: check the page tables the GPU would walk for this job. The
+        // lifter walked them once per (root, memory version) — exactly the
+        // replayer's own cache discipline — so walk-level findings are
+        // emitted once per fresh walk.
+        if chain.root == 0 {
             self.error(
                 Rule::R2PageTableReachability,
                 i,
-                format!("job started on slot {slot} with no page-table root latched on AS {asn}"),
+                format!(
+                    "job started on slot {} with no page-table root latched on AS {}",
+                    chain.slot, chain.asn
+                ),
             );
             return;
         }
-        if self.walk_cache == Some((root, self.mem_version)) {
-            return; // Tables unchanged since the last walk.
+        if chain.walk_fresh {
+            self.check_walk(i, chain.asn as usize, &chain.walk);
         }
-        self.walk_tables(i, asn, root);
-        self.walk_cache = Some((root, self.mem_version));
     }
 
-    fn walk_tables(&mut self, i: usize, asn: usize, root: u64) {
-        let summary = walk(&self.shadow, root, self.sku.pte_quirk);
+    fn check_walk(&mut self, i: usize, asn: usize, summary: &WalkSummary) {
         if summary.truncated {
             self.error(
                 Rule::R2PageTableReachability,
@@ -648,7 +665,7 @@ impl<'a> Pass<'a> {
 
     // --- R2/R5: metastate sync ------------------------------------------
 
-    fn on_delta(&mut self, i: usize, pa: u64, len: u32, delta: &[u8]) {
+    fn on_delta(&mut self, i: usize, index: usize) {
         if self.queue > 0 {
             self.error(
                 Rule::R5JobQueueDiscipline,
@@ -656,11 +673,12 @@ impl<'a> Pass<'a> {
                 "metastate delta applied while a job is in flight: sync points must see an idle queue".to_owned(),
             );
         }
-        let len = len as usize;
+        let d = &self.ir.deltas[index];
+        let (pa, len) = (d.pa, d.len as u64);
         if len == 0 {
             return;
         }
-        if !self.in_carveout(pa, len as u64) {
+        if !self.in_carveout(pa, len) {
             self.error(
                 Rule::R2PageTableReachability,
                 i,
@@ -671,31 +689,25 @@ impl<'a> Pass<'a> {
             );
             return;
         }
-        let current = self.shadow.dump_range(pa, len);
-        match self.codec.decode_limited(&current, delta, len) {
-            Ok(new) => {
-                self.shadow.restore_range(pa, &new);
-                self.mem_version += 1;
-                self.check_delta_slot_overlap(i, pa, len as u64);
-            }
-            Err(_) => {
-                self.error(
-                    Rule::R2PageTableReachability,
-                    i,
-                    format!("metastate delta at {pa:#x} failed to decode"),
-                );
-            }
+        if self.ir.deltas[index].parsed.is_none() {
+            self.error(
+                Rule::R2PageTableReachability,
+                i,
+                format!("metastate delta at {pa:#x} failed to decode"),
+            );
+            return;
         }
+        self.check_delta_slot_overlap(i, pa, len);
     }
 
     fn check_delta_slot_overlap(&mut self, i: usize, pa: u64, len: u64) {
         let end = pa + len;
-        let slots = [(self.rec.input, "input"), (self.rec.output, "output")]
+        let slots = [(self.ir.input, "input"), (self.ir.output, "output")]
             .into_iter()
-            .chain(self.rec.weights.iter().map(|w| (*w, "weight")));
+            .chain(self.ir.weights.iter().map(|w| (*w, "weight")));
         for (slot, name) in slots {
-            let s_end = slot.pa + slot.len_elems as u64 * 4;
-            if pa < s_end && slot.pa < end {
+            let (s_start, s_end) = slot.range();
+            if pa < s_end && s_start < end {
                 self.diag(
                     Rule::R4SlotShape,
                     Severity::Warning,
@@ -745,6 +757,142 @@ impl<'a> Pass<'a> {
                     ),
                 );
             }
+        }
+    }
+
+    // --- R8: address-interval soundness ---------------------------------
+
+    /// Every structure the lifter resolved through the page tables must
+    /// have resolved completely: descriptors readable, chains bounded,
+    /// programs decodable, operand intervals fully mapped with the right
+    /// permission. Lift anomalies are exactly these defects.
+    fn check_intervals(&mut self) {
+        for chain in &self.ir.jobs {
+            for a in &chain.anomalies {
+                self.diags.push(Diagnostic {
+                    rule: Rule::R8AddressIntervals,
+                    severity: Severity::Error,
+                    event: Some(chain.event),
+                    message: format!("job chain on slot {}: {a}", chain.slot),
+                });
+            }
+            for desc in &chain.descs {
+                for a in &desc.anomalies {
+                    self.diags.push(Diagnostic {
+                        rule: Rule::R8AddressIntervals,
+                        severity: Severity::Error,
+                        event: Some(chain.event),
+                        message: format!("descriptor at va {:#x}: {a}", desc.va),
+                    });
+                }
+                for instr in &desc.instrs {
+                    for opnd in instr.operands.iter().filter(|o| o.unmapped > 0) {
+                        let need = match opnd.dir {
+                            Dir::Read => "readable",
+                            Dir::Write => "writable",
+                        };
+                        self.diags.push(Diagnostic {
+                            rule: Rule::R8AddressIntervals,
+                            severity: Severity::Error,
+                            event: Some(chain.event),
+                            message: format!(
+                                "{} {} operand [va {:#x}, {:#x}) has {} byte(s) with no {need} mapping",
+                                instr.kind.name(),
+                                opnd.name,
+                                opnd.va,
+                                opnd.va_range().1,
+                                opnd.unmapped,
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // --- R7: tensor dataflow integrity ----------------------------------
+
+    /// Def-use findings from the IR's dataflow engine. Dead writes are
+    /// warnings (wasteful, not unsafe); everything else is an error — an
+    /// undefined read or a clobbered injected slot means replay output
+    /// depends on recorded bytes the client never vetted.
+    fn check_dataflow(&mut self) {
+        for f in dataflow::analyze(self.ir) {
+            let severity = match f.kind {
+                FindingKind::DeadWrite => Severity::Warning,
+                _ => Severity::Error,
+            };
+            self.diags.push(Diagnostic {
+                rule: Rule::R7DataflowIntegrity,
+                severity,
+                event: Some(f.event),
+                message: f.message,
+            });
+        }
+    }
+
+    // --- R9: static cost certification ----------------------------------
+
+    /// Certifies the recording's worst-case replay cost against the SKU's
+    /// envelope. Errors anchor at the event where the running total first
+    /// crosses the ceiling. Returns the certified budget when within it.
+    fn check_envelope(&mut self) -> Option<CertifiedBudget> {
+        let env = self.sku.cost_envelope();
+        let cap = self.cfg.poll_iter_cap as u64;
+
+        let mut poll_total = 0u64;
+        let mut poll_excess_at = None;
+        for (i, step) in self.ir.steps.iter().enumerate() {
+            if let Step::Poll { max_iters, .. } = *step {
+                poll_total = poll_total.saturating_add((max_iters as u64).min(cap));
+                if poll_total > env.max_poll_iters && poll_excess_at.is_none() {
+                    poll_excess_at = Some(i);
+                }
+            }
+        }
+        if let Some(i) = poll_excess_at {
+            self.error(
+                Rule::R9CostEnvelope,
+                i,
+                format!(
+                    "worst-case poll total {poll_total} iterations exceeds the {} replay envelope ({})",
+                    self.sku.name, env.max_poll_iters
+                ),
+            );
+        }
+
+        let mut mac_total = 0u64;
+        let mut mac_excess_at = None;
+        for chain in &self.ir.jobs {
+            let chain_macs: u64 = chain
+                .descs
+                .iter()
+                .flat_map(|d| d.instrs.iter())
+                .map(|ins| ins.macs)
+                .sum();
+            mac_total = mac_total.saturating_add(chain_macs);
+            if mac_total > env.max_macs && mac_excess_at.is_none() {
+                mac_excess_at = Some(chain.event);
+            }
+        }
+        if let Some(i) = mac_excess_at {
+            self.error(
+                Rule::R9CostEnvelope,
+                i,
+                format!(
+                    "total shader cost {mac_total} MACs exceeds the {} replay envelope ({})",
+                    self.sku.name, env.max_macs
+                ),
+            );
+        }
+
+        if poll_excess_at.is_none() && mac_excess_at.is_none() {
+            Some(CertifiedBudget {
+                macs: mac_total,
+                poll_iters: poll_total,
+            })
+        } else {
+            None
         }
     }
 }

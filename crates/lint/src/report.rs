@@ -28,7 +28,11 @@ impl Severity {
     }
 }
 
-/// The six recording-safety rules (DESIGN.md "Recording verification").
+/// The nine recording-safety rules (DESIGN.md "Recording verification" and
+/// §12). R1–R6 are proved by the forward event pass; R7–R9 are proved over
+/// the lifted semantics IR and only run once R1–R6 are clean (a recording
+/// that already fails the structural rules has no well-defined semantics
+/// to analyze).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
     /// Register whitelist: every MMIO access hits the SKU's allowed map.
@@ -47,10 +51,21 @@ pub enum Rule {
     R5JobQueueDiscipline,
     /// Layer structure: `BeginLayer` indices are dense and monotone.
     R6LayerStructure,
+    /// Tensor dataflow integrity: every shader read is covered by an
+    /// injected slot, a synced-down delta, or an earlier shader write;
+    /// no partial operand aliasing; no writes over injected slots.
+    R7DataflowIntegrity,
+    /// Address intervals: every descriptor, shader program and resolved
+    /// operand run lands on readable (or writable) mapped memory and the
+    /// decoded structures stay inside the analyzable bounds.
+    R8AddressIntervals,
+    /// Cost envelope: the recording's worst-case MAC and poll-iteration
+    /// totals fit the SKU's static replay budget.
+    R9CostEnvelope,
 }
 
 impl Rule {
-    /// Short stable identifier ("R1".."R6").
+    /// Short stable identifier ("R1".."R9").
     pub fn id(self) -> &'static str {
         match self {
             Rule::R1RegisterWhitelist => "R1",
@@ -59,6 +74,9 @@ impl Rule {
             Rule::R4SlotShape => "R4",
             Rule::R5JobQueueDiscipline => "R5",
             Rule::R6LayerStructure => "R6",
+            Rule::R7DataflowIntegrity => "R7",
+            Rule::R8AddressIntervals => "R8",
+            Rule::R9CostEnvelope => "R9",
         }
     }
 
@@ -71,6 +89,9 @@ impl Rule {
             Rule::R4SlotShape => "slot/shape safety",
             Rule::R5JobQueueDiscipline => "job-queue discipline",
             Rule::R6LayerStructure => "layer structure",
+            Rule::R7DataflowIntegrity => "tensor dataflow integrity",
+            Rule::R8AddressIntervals => "address-interval soundness",
+            Rule::R9CostEnvelope => "static cost certification",
         }
     }
 }
@@ -89,6 +110,16 @@ pub struct Diagnostic {
     pub message: String,
 }
 
+/// The worst-case replay cost R9 certified, stored beside the verdict:
+/// what a passing recording may consume, computed statically from the IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CertifiedBudget {
+    /// Total MACs across every decoded shader instruction.
+    pub macs: u64,
+    /// Worst-case total poll iterations (`Σ min(max_iters, replay cap)`).
+    pub poll_iters: u64,
+}
+
 /// The complete result of linting one recording.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LintReport {
@@ -100,6 +131,9 @@ pub struct LintReport {
     pub sku: String,
     /// Number of events analyzed.
     pub events: usize,
+    /// The replay budget R9 certified; `None` when the recording failed
+    /// (an uncertified recording has no meaningful budget).
+    pub budget: Option<CertifiedBudget>,
     /// Findings in discovery order (a forward pass, so event order).
     pub diagnostics: Vec<Diagnostic>,
 }
@@ -157,6 +191,17 @@ impl LintReport {
         out.push_str(&self.errors().to_string());
         out.push_str(",\"warnings\":");
         out.push_str(&self.warnings().to_string());
+        out.push_str(",\"budget\":");
+        match self.budget {
+            Some(b) => {
+                out.push_str("{\"macs\":");
+                out.push_str(&b.macs.to_string());
+                out.push_str(",\"poll_iters\":");
+                out.push_str(&b.poll_iters.to_string());
+                out.push('}');
+            }
+            None => out.push_str("null"),
+        }
         out.push_str(",\"diagnostics\":[");
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
@@ -210,6 +255,7 @@ mod tests {
             gpu_id: 0x6000_0011,
             sku: "Mali-G71 MP8".into(),
             events: 3,
+            budget: None,
             diagnostics: vec![
                 Diagnostic {
                     rule: Rule::R1RegisterWhitelist,
@@ -247,6 +293,20 @@ mod tests {
         assert!(a.contains("\"verdict\":\"fail\""));
         assert!(a.contains("\\\"quoted\\\""));
         assert!(a.contains("\"event\":null"));
+        assert!(a.contains("\"budget\":null"));
+    }
+
+    #[test]
+    fn budget_serializes_with_fixed_fields() {
+        let mut r = sample();
+        r.diagnostics.clear();
+        r.budget = Some(CertifiedBudget {
+            macs: 290_929,
+            poll_iters: 29_700,
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"budget\":{\"macs\":290929,\"poll_iters\":29700}"));
+        assert!(j.contains("\"verdict\":\"pass\""));
     }
 
     #[test]
@@ -258,6 +318,9 @@ mod tests {
             Rule::R4SlotShape,
             Rule::R5JobQueueDiscipline,
             Rule::R6LayerStructure,
+            Rule::R7DataflowIntegrity,
+            Rule::R8AddressIntervals,
+            Rule::R9CostEnvelope,
         ];
         for i in 0..all.len() {
             for j in i + 1..all.len() {

@@ -14,6 +14,8 @@
 //!   magnitudes into the DES cost model and the §5 traffic accounting, so
 //!   recording/replay delays and MemSync MB land near the paper's numbers.
 
+#![warn(missing_docs)]
+
 pub mod reference;
 pub mod spec;
 pub mod zoo;

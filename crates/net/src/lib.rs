@@ -47,6 +47,8 @@
 //!   and `net.dropped_while_broken` operations skipped while the error
 //!   latch was set.
 
+#![warn(missing_docs)]
+
 use grt_sim::{Clock, EnergyMeter, FaultPlan, Rail, Rng, SimTime, Stats};
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;

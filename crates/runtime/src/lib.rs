@@ -11,6 +11,8 @@
 //! hence every recording made from them — are genuinely SKU-specific,
 //! which is the paper's central motivation for cloud-side recording.
 
+#![warn(missing_docs)]
+
 pub mod executor;
 pub mod jit;
 pub mod network;

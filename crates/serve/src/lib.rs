@@ -37,6 +37,8 @@
 //! popularity, exponential interarrivals) the `serve_bench` binary and
 //! the tests drive the subsystem with.
 
+#![warn(missing_docs)]
+
 pub mod admission;
 pub mod fleet;
 pub mod health;

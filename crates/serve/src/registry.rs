@@ -141,6 +141,16 @@ pub struct FetchOutcome {
     pub cold_start_delay: Option<SimTime>,
 }
 
+impl FetchOutcome {
+    /// The replay cost budget R9 certified at insert time. Cached entries
+    /// always passed the analyzer, so this is `Some` for every fetch; the
+    /// scheduler can admission-control replays against it without touching
+    /// the recording.
+    pub fn certified_budget(&self) -> Option<grt_lint::CertifiedBudget> {
+        self.lint.budget
+    }
+}
+
 struct Entry {
     key: (String, u32),
     recording: Rc<SignedRecording>,
@@ -303,7 +313,11 @@ impl RecordingRegistry {
             .verify_and_parse(&recording_trust_root())
             .ok_or(RecordError::Attestation)?;
         self.stats.verified_inserts += 1;
-        let report = Linter::new().lint(&parsed, sku, Some(spec));
+        // Lift the recording to the semantics IR exactly once: the static
+        // analysis proves R1-R9 over it, and the compiled form lowers from
+        // it — both consume the same decode of the same bytes.
+        let ir = grt_core::ir::lift_recording(&parsed, sku.pte_quirk);
+        let report = Linter::new().lint_ir(&ir, sku, Some(spec));
         self.stats.linted_inserts += 1;
         if let Some(d) = report.first_error() {
             self.stats.lint_rejections += 1;
@@ -312,15 +326,15 @@ impl RecordingRegistry {
                 message: d.message.clone(),
             });
         }
-        // Lower once, cache beside the verdict: the compiled form
-        // reproduces the linted recording event-for-event, so the R1-R6
-        // verdict carries over to every replay of it.
-        let compiled =
-            grt_core::compiled::compile(&parsed, grt_gpu::PAGE_SIZE, REPLAY_POLL_ITER_CAP)
-                .map_err(|e| RecordError::Rejected {
-                    rule: "compile".to_owned(),
-                    message: e.to_string(),
-                })?;
+        // Lower once, cache beside the verdict (which carries the R9
+        // certified budget): the compiled form reproduces the linted
+        // recording event-for-event, so the R1-R9 verdict carries over to
+        // every replay of it.
+        let compiled = grt_core::compiled::compile_from_ir(&parsed, ir, REPLAY_POLL_ITER_CAP)
+            .map_err(|e| RecordError::Rejected {
+                rule: "compile".to_owned(),
+                message: e.to_string(),
+            })?;
         self.stats.compiled_inserts += 1;
         // Sign the provenance record binding the recording bytes, the SKU,
         // and the lint verdict together; fleet devices chain their replay
@@ -506,6 +520,21 @@ mod tests {
         assert!(Rc::ptr_eq(&first.recording, &second.recording));
         let s = r.stats();
         assert_eq!((s.hits, s.misses, s.verified_inserts), (1, 1, 1));
+    }
+
+    #[test]
+    fn fetch_carries_the_certified_budget() {
+        let mut r = registry(4);
+        let spec = grt_ml::zoo::mnist();
+        let sku = GpuSku::mali_g71_mp8();
+        let cold = r.fetch(&spec, &sku).unwrap();
+        let budget = cold.certified_budget().expect("insert-time R9 budget");
+        assert!(budget.macs > 0 && budget.poll_iters > 0);
+        let env = sku.cost_envelope();
+        assert!(budget.macs <= env.max_macs && budget.poll_iters <= env.max_poll_iters);
+        // The hit hands out the same cached report, budget included.
+        let warm = r.fetch(&spec, &sku).unwrap();
+        assert_eq!(warm.certified_budget(), Some(budget));
     }
 
     #[test]

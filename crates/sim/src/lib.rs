@@ -23,6 +23,8 @@
 //!   slowdowns) that the network and fleet layers consult on the virtual
 //!   clock during chaos experiments.
 
+#![warn(missing_docs)]
+
 pub mod clock;
 pub mod energy;
 pub mod event;

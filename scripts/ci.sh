@@ -35,7 +35,30 @@ echo "==> recording lint gate: record + lint the golden corpus"
 GOLDEN_DIR="$(mktemp -d)"
 trap 'rm -rf "$GOLDEN_DIR"' EXIT
 cargo run --release -q -p grt-bench --bin recording-lint -- --record-golden "$GOLDEN_DIR"
-cargo run --release -q -p grt-bench --bin recording-lint -- "$GOLDEN_DIR"/*.grt
+cargo run --release -q -p grt-bench --bin recording-lint -- "$GOLDEN_DIR"/*.grt \
+    > "$GOLDEN_DIR/lint_a.json"
+
+# Lint verdicts are audit evidence (DESIGN.md §6): a second run over the
+# same corpus must emit byte-identical JSON reports.
+echo "==> lint report determinism: two identical lint runs"
+cargo run --release -q -p grt-bench --bin recording-lint -- "$GOLDEN_DIR"/*.grt \
+    > "$GOLDEN_DIR/lint_b.json"
+cmp "$GOLDEN_DIR/lint_a.json" "$GOLDEN_DIR/lint_b.json" || {
+    echo "ci: recording-lint output is nondeterministic" >&2
+    exit 1
+}
+
+# Semantics-IR gate (DESIGN.md §12): the lift is deterministic, so the
+# textual IR of the golden corpus must be byte-identical across runs.
+echo "==> ir-dump determinism: two identical IR emissions"
+cargo run --release -q -p grt-bench --bin ir-dump -- "$GOLDEN_DIR"/*.grt \
+    > "$GOLDEN_DIR/ir_a.txt"
+cargo run --release -q -p grt-bench --bin ir-dump -- "$GOLDEN_DIR"/*.grt \
+    > "$GOLDEN_DIR/ir_b.txt"
+cmp "$GOLDEN_DIR/ir_a.txt" "$GOLDEN_DIR/ir_b.txt" || {
+    echo "ci: ir-dump output is nondeterministic" >&2
+    exit 1
+}
 
 # Chaos gate, part 1: the 200-pinned-seed fault-plan soak (release, so
 # the explicit gate stays cheap; the same tests also run in debug above).

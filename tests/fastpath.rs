@@ -495,6 +495,171 @@ impl DeviceRig {
     }
 }
 
+/// Static layer-name pool for randomized specs (`LayerSpec::name` is
+/// `&'static str`).
+const RAND_LAYER_NAMES: [&str; 12] = [
+    "rl0", "rl1", "rl2", "rl3", "rl4", "rl5", "rl6", "rl7", "rl8", "rl9", "rl10", "rl11",
+];
+
+/// Builds a random but shape-consistent network: a conv/pool chain over a
+/// square feature map, flattened into an FC head and a softmax. Every
+/// layer's input length equals the previous layer's output length, so the
+/// recorder, the lifter, and both replay paths all see a well-formed
+/// workload — the randomness is in geometry, splits, and setup jobs.
+fn random_spec(seed: u64) -> grt_ml::NetworkSpec {
+    use grt_ml::{LayerOp, LayerSpec, NetworkSpec};
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut pick = move |lo: u32, hi: u32| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        lo + (state >> 33) as u32 % (hi - lo + 1)
+    };
+    let mut c = pick(1, 3);
+    let mut h = pick(8, 14);
+    let input_len = c * h * h;
+    let mut layers = Vec::new();
+    let name = |layers: &Vec<LayerSpec>| RAND_LAYER_NAMES[layers.len()];
+    for _ in 0..pick(1, 3) {
+        let k = pick(1, 3).min(h);
+        let pad = pick(0, 1);
+        let out_c = pick(1, 6);
+        let p = ConvParams {
+            in_c: c,
+            in_h: h,
+            in_w: h,
+            out_c,
+            k,
+            stride: 1,
+            pad,
+        };
+        let op = LayerOp::Conv {
+            p,
+            relu: pick(0, 1) == 1,
+        };
+        let macs = op.actual_macs();
+        layers.push(LayerSpec {
+            name: name(&layers),
+            op,
+            splits: pick(1, 3),
+            setup_jobs: pick(0, 2),
+            nominal_macs: macs * 50,
+            nominal_data_bytes: 10_000,
+            save_skip: false,
+        });
+        c = out_c;
+        h = p.out_h();
+        if h >= 2 && pick(0, 1) == 1 {
+            let kind = if pick(0, 1) == 1 {
+                PoolKind::Max
+            } else {
+                PoolKind::Avg
+            };
+            let op = LayerOp::Pool {
+                kind,
+                c,
+                h,
+                w: h,
+                k: 2,
+                stride: 2,
+            };
+            let macs = op.actual_macs();
+            layers.push(LayerSpec {
+                name: name(&layers),
+                op,
+                splits: 1,
+                setup_jobs: pick(0, 1),
+                nominal_macs: macs * 50,
+                nominal_data_bytes: 10_000,
+                save_skip: false,
+            });
+            h = (h - 2) / 2 + 1;
+        }
+    }
+    let out_dim = pick(2, 10);
+    let fc = LayerOp::Fc {
+        in_dim: c * h * h,
+        out_dim,
+        relu: pick(0, 1) == 1,
+    };
+    let fc_macs = fc.actual_macs();
+    layers.push(LayerSpec {
+        name: name(&layers),
+        op: fc,
+        splits: pick(1, 2),
+        setup_jobs: pick(0, 1),
+        nominal_macs: fc_macs * 50,
+        nominal_data_bytes: 10_000,
+        save_skip: false,
+    });
+    layers.push(LayerSpec {
+        name: name(&layers),
+        op: LayerOp::Softmax { len: out_dim },
+        splits: 1,
+        setup_jobs: 0,
+        nominal_macs: out_dim as u64 * 4,
+        nominal_data_bytes: 1_000,
+        save_skip: false,
+    });
+    NetworkSpec {
+        name: "RandomNet",
+        input_len,
+        output_len: out_dim,
+        layers,
+    }
+}
+
+/// Property: lowering a recording through the semantics IR
+/// (`lift_recording` → `compile_from_ir`) yields a `CompiledRecording`
+/// whose replay is bit-identical to interpreting the recording event by
+/// event — on every zoo network and on randomized shape-consistent
+/// networks the zoo never exercises. This pins the tentpole invariant
+/// that the IR is a faithful semantics carrier: the same lift that
+/// grt-lint proves R1–R9 over is the one the fast path executes.
+#[test]
+fn ir_lowered_compiled_replay_bit_identical_to_interpreted() {
+    use grt_core::replay::{workload_weights, Replayer, REPLAY_POLL_ITER_CAP};
+    use grt_core::session::{RecordSession, RecorderMode};
+    use grt_ml::reference::test_input;
+
+    let mut specs = grt_ml::zoo::all_benchmarks();
+    for i in 0..6u64 {
+        specs.push(random_spec(0x1A5C_0FFE ^ (i * 0x9E37)));
+    }
+    for (i, spec) in specs.iter().enumerate() {
+        let sku = GpuSku::mali_g71_mp8();
+        let quirk = sku.pte_quirk;
+        let mut s = RecordSession::new(sku, grt_net::NetConditions::wifi(), RecorderMode::OursMDS);
+        let out = s.record(spec).expect("record");
+        let key = s.recording_key();
+        let rec = out
+            .recording
+            .verify_and_parse(&key)
+            .expect("recording verifies");
+        // The explicit tentpole path: lift once, lower the lift.
+        let ir = grt_core::ir::lift_recording(&rec, quirk);
+        let compiled = grt_core::compiled::compile_from_ir(&rec, ir, REPLAY_POLL_ITER_CAP)
+            .expect("well-formed recording lowers");
+        let weights = workload_weights(spec);
+        let mut replayer = Replayer::new(&s.client, Rc::new(grt_lint::Linter::new()));
+        for round in 0..3u64 {
+            let input = test_input(spec, (i as u64) << 8 | round);
+            let (interp, _) = replayer
+                .replay(&out.recording, &key, &input, &weights)
+                .expect("interpreted replay");
+            let (fast, _) = replayer
+                .replay_compiled(&compiled, &input, &weights)
+                .expect("compiled replay");
+            assert_eq!(
+                bits(&interp),
+                bits(&fast),
+                "{} (case {i}, round {round}): IR-lowered replay diverged",
+                spec.name
+            );
+        }
+    }
+}
+
 /// A page-table rewrite between two jobs is visible to the second job
 /// even without an AS command: the descriptor-boundary TLB flush forbids
 /// stale translations from the first job's walk.

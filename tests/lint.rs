@@ -195,6 +195,56 @@ fn r6_shuffled_layer_indices() {
     assert_trips_exactly(&rec, Rule::R6LayerStructure);
 }
 
+/// R7: displacing the input slot elsewhere in the carveout keeps every
+/// structural rule happy (in-bounds, disjoint, spec-consistent length) but
+/// leaves the first layer's reads uncovered by any definition — the
+/// recorded program would consume bytes the client never injected.
+#[test]
+fn r7_displaced_input_slot_breaks_dataflow() {
+    let mut rec = mnist_recording();
+    rec.input.pa = 0x0580_0000;
+    assert_trips_exactly(&rec, Rule::R7DataflowIntegrity);
+}
+
+/// R8: repointing the first chain head into unmapped VA space. The write
+/// itself is whitelisted (JS_HEAD values are unconstrained) and the page
+/// tables are untouched, so R1/R2 stay silent — only the interval analysis
+/// sees that the descriptor fetch cannot resolve.
+#[test]
+fn r8_chain_head_into_unmapped_va() {
+    let mut rec = mnist_recording();
+    let span = jc::slot_base(1) - jc::slot_base(0);
+    let head = rec
+        .events
+        .iter_mut()
+        .find_map(|e| match e {
+            Event::RegWrite { offset, value }
+                if (jc::slot_base(0)..jc::slot_base(16)).contains(offset)
+                    && (*offset - jc::slot_base(0)) % span == jc::JS_HEAD_LO =>
+            {
+                Some(value)
+            }
+            _ => None,
+        })
+        .expect("a JS_HEAD_LO write");
+    *head = 0x3FF0_0000; // far outside every mapped VA region
+    assert_trips_exactly(&rec, Rule::R8AddressIntervals);
+}
+
+/// R9: every poll individually respects R3's per-poll spin cap, but the
+/// recording's worst-case total blows the SKU envelope — the attack R3
+/// cannot see and R9 exists for.
+#[test]
+fn r9_poll_total_exceeds_envelope() {
+    let mut rec = mnist_recording();
+    for e in &mut rec.events {
+        if let Event::Poll { max_iters, .. } = e {
+            *max_iters = 9_999; // under the 10k per-poll cap
+        }
+    }
+    assert_trips_exactly(&rec, Rule::R9CostEnvelope);
+}
+
 /// The replayer front-door enforces the same verdict: a recording the
 /// analyzer rejects never reaches event execution.
 #[test]
@@ -268,6 +318,11 @@ fn all_zoo_recordings_lint_clean() {
             spec.name,
             report.to_json()
         );
+        // A passing recording is cost-certified: R9 publishes the budget.
+        let budget = report
+            .budget
+            .unwrap_or_else(|| panic!("{} passed but carries no certified budget", spec.name));
+        assert!(budget.macs > 0 && budget.poll_iters > 0);
     }
 }
 

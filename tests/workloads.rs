@@ -81,11 +81,13 @@ fn native_delay_ordering_matches_network_sizes() {
     assert!(delays["MobileNet"] < delays["VGG16"]);
     // The two compute-heavy networks still dominate, as in Table 2. The
     // execution fast path (software TLB + page-run bulk access) compresses
-    // shader time across the board, so fixed per-job launch overhead is now
-    // a larger share of the many-small-jobs networks' delay and the gap is
-    // narrower than the old walk-per-access engine's 3×.
-    assert!(delays["VGG16"] > delays["SqueezeNet"].mul_f64(1.4));
-    assert!(delays["ResNet12"] > delays["MobileNet"].mul_f64(1.4));
+    // shader time across the board, and bulk copies are now charged per
+    // translated run rather than per element (DESIGN.md §10) — which hits
+    // the copy-heavy giants (VGG16's wide layers, ResNet12's skip buffers)
+    // hardest — so the gap is narrower still than the old walk-per-access
+    // engine's 3×; ordering, not magnitude, is the modeled claim.
+    assert!(delays["VGG16"] > delays["SqueezeNet"].mul_f64(1.1));
+    assert!(delays["ResNet12"] > delays["MobileNet"].mul_f64(1.1));
 }
 
 /// The GPU's performance counters cross-check the executed computation:
