@@ -17,24 +17,47 @@
 //! plus a device crash mid-cold-start — so the retry/checkpoint/failover
 //! counters in the JSON are exercised end to end.
 //!
+//! With `--fleet N` the binary instead runs the *fleet-scale* scenario:
+//! `N` devices cycling the four-SKU pattern serve `--requests M` Zipf
+//! requests through the event-indexed scheduler with profiled service
+//! times, an 8-way sharded registry, and streaming-sketch metrics. The
+//! per-(model, SKU) cold records and one replay probe per pair still run
+//! for real; everything after is modeled, so a million requests over a
+//! thousand devices completes in CI time while keeping every invariant
+//! (job-queue-length-1, one receipt per completion, accounting
+//! conservation, bounded metrics memory) machine-checked. Output is a
+//! deterministic JSON document — two runs are byte-identical.
+//!
 //! Usage: `serve_bench [REQUESTS] [SEED] [--fault-plan SEED]`
-//! (defaults: 1200 requests, seed 42, no fault plan).
+//!    or: `serve_bench --fleet N [--requests M] [--shards S]
+//!         [--interarrival-us U] [SEED]`
+//! (defaults: 1200 requests, seed 42, no fault plan; fleet mode: 100000
+//! requests, 8 shards, 50 µs mean interarrival).
 
 use grt_attest::ReplayReceipt;
-use grt_bench::{benchmarks, heterogeneous_fleet};
+use grt_bench::{benchmarks, fleet_of, heterogeneous_fleet};
 use grt_core::replay::{workload_weights, Replayer};
 use grt_core::session::{ClientDevice, PROVISIONING_SECRET};
 use grt_gpu::GpuSku;
 use grt_ml::reference::test_input;
-use grt_serve::{generate_trace, Fleet, FleetConfig, ServeReport, TraceConfig};
+use grt_serve::{
+    generate_trace, Fleet, FleetConfig, SchedulerKind, ServeReport, ServiceMode, TraceConfig,
+};
 use grt_sim::{Clock, FaultPlan, FaultPlanConfig, SimTime, Stats};
 use std::rc::Rc;
 
 fn usage() -> std::process::ExitCode {
     eprintln!("usage: serve_bench [REQUESTS] [SEED] [--fault-plan SEED]");
-    eprintln!("  REQUESTS           number of requests to simulate (default 1200)");
-    eprintln!("  SEED               trace RNG seed (default 42)");
-    eprintln!("  --fault-plan SEED  add a faulted pass under a chaos schedule");
+    eprintln!(
+        "       serve_bench --fleet N [--requests M] [--shards S] [--interarrival-us U] [SEED]"
+    );
+    eprintln!("  REQUESTS            number of requests to simulate (default 1200)");
+    eprintln!("  SEED                trace RNG seed (default 42)");
+    eprintln!("  --fault-plan SEED   add a faulted pass under a chaos schedule");
+    eprintln!("  --fleet N           fleet-scale scenario over N devices (profiled service)");
+    eprintln!("  --requests M        fleet-mode request count (default 100000)");
+    eprintln!("  --shards S          fleet-mode registry shard count (default 8)");
+    eprintln!("  --interarrival-us U fleet-mode mean interarrival in µs (default 50)");
     std::process::ExitCode::from(2)
 }
 
@@ -44,6 +67,24 @@ fn parse_arg<T: std::str::FromStr>(arg: &str, name: &str) -> Option<T> {
         eprintln!("serve_bench: {name} must be an integer, got {arg:?}");
     }
     parsed
+}
+
+/// Removes `name VALUE` from `args` and parses the value; `Ok(None)` when
+/// the flag is absent, `Err(())` when present but malformed.
+fn take_value_flag<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    name: &str,
+) -> Result<Option<T>, ()> {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        eprintln!("serve_bench: {name} requires a value");
+        return Err(());
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    parse_arg(&value, name).map(Some).ok_or(())
 }
 
 /// Every completed serve must have produced a receipt that verified
@@ -156,26 +197,158 @@ fn attestation_spotcheck(registry: &mut grt_serve::RecordingRegistry) -> String 
     )
 }
 
+/// The `--fleet` scenario: `devices` profiled devices, an event-indexed
+/// scheduler, a sharded registry, and a Zipf trace of `requests`
+/// requests. Cold records and one replay probe per `(model, SKU)` pair
+/// run for real; the rest of the timeline is pure discrete-event
+/// simulation, so this scales to 10⁶ requests in CI time.
+fn run_fleet_scale(
+    devices: usize,
+    requests: usize,
+    seed: u64,
+    shards: usize,
+    interarrival_us: u64,
+) -> std::process::ExitCode {
+    let models = benchmarks();
+    let distinct_skus = {
+        let mut ids: Vec<u32> = heterogeneous_fleet().iter().map(|s| s.gpu_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    };
+    eprintln!(
+        "serve_bench: fleet-scale: {requests} requests over {devices} devices \
+         ({distinct_skus} SKUs), {} models, seed {seed}, {shards} registry shards, \
+         mean interarrival {interarrival_us} µs",
+        models.len()
+    );
+
+    let trace = generate_trace(
+        models.len(),
+        &TraceConfig::fleet_scale(requests, seed, interarrival_us),
+    );
+    let mut cfg = FleetConfig {
+        queue_capacity: 32,
+        ..FleetConfig::new(fleet_of(devices))
+    }
+    .with_scheduler(SchedulerKind::EventIndexed)
+    .with_service_mode(ServiceMode::Profiled)
+    .with_event_log_cap(1024);
+    // Every (model, SKU) pair must stay resident: a single eviction would
+    // re-run a real multi-second cold record. Sizing each shard for the
+    // whole key universe makes eviction impossible however FNV balances.
+    cfg.registry.capacity = models.len() * distinct_skus * shards;
+    cfg.registry = cfg.registry.with_shards(shards);
+
+    let wall_start = std::time::Instant::now();
+    let mut fleet = Fleet::new(models.clone(), cfg);
+    let (report, metrics) = fleet.run_detailed(&trace);
+    let wall = wall_start.elapsed();
+
+    assert_eq!(report.max_inflight, 1, "job-queue-length-1 invariant");
+    assert_receipts("fleet", &report);
+    assert_eq!(
+        report.completed + report.rejected + report.timed_out + report.failed,
+        report.submitted,
+        "accounting conservation: every request ends in exactly one bucket"
+    );
+    let footprint = metrics.approx_bytes();
+    assert!(
+        footprint < 4 << 20,
+        "metrics memory must stay bounded regardless of request count \
+         ({footprint} bytes for {requests} requests)"
+    );
+
+    let shard_stats = fleet.registry_shard_stats();
+    let shard_json: Vec<String> = shard_stats
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}}}",
+                s.hits, s.misses, s.evictions
+            )
+        })
+        .collect();
+
+    println!("{{");
+    println!(
+        "\"config\": {{\"devices\": {devices}, \"requests\": {requests}, \"models\": {}, \
+         \"seed\": {seed}, \"registry_shards\": {shards}, \"queue_capacity\": 32, \
+         \"mean_interarrival_us\": {interarrival_us}, \"scheduler\": \"event-indexed\", \
+         \"service\": \"profiled\"}},",
+        models.len()
+    );
+    println!("\"registry_shards\": [{}],", shard_json.join(", "));
+    println!("\"metrics_bytes\": {footprint},");
+    println!("\"report\": {}", report.to_json());
+    println!("}}");
+
+    let wall_secs = wall.as_secs_f64();
+    eprintln!(
+        "serve_bench: fleet: {}/{} completed, {} rejected, {} timed out, \
+         {} cold starts, p99 {:.1}ms, {:.1} virtual req/s",
+        report.completed,
+        report.submitted,
+        report.rejected,
+        report.timed_out,
+        report.cold_starts,
+        report.total.p99.as_millis_f64(),
+        report.throughput_rps
+    );
+    eprintln!(
+        "serve_bench: fleet: wall {:.1}s ({:.0} req/s wall), metrics footprint {} KiB",
+        wall_secs,
+        requests as f64 / wall_secs.max(1e-9),
+        footprint / 1024
+    );
+    std::process::ExitCode::SUCCESS
+}
+
 fn main() -> std::process::ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "-h" || a == "--help") {
         return usage();
     }
-    let fault_seed: Option<u64> = match args.iter().position(|a| a == "--fault-plan") {
-        Some(i) => {
-            if i + 1 >= args.len() {
-                eprintln!("serve_bench: --fault-plan requires a SEED");
-                return usage();
-            }
-            let value = args.remove(i + 1);
-            args.remove(i);
-            match parse_arg(&value, "--fault-plan SEED") {
-                Some(n) => Some(n),
-                None => return usage(),
-            }
-        }
-        None => None,
+    let Ok(fault_seed) = take_value_flag::<u64>(&mut args, "--fault-plan") else {
+        return usage();
     };
+    let Ok(fleet_devices) = take_value_flag::<usize>(&mut args, "--fleet") else {
+        return usage();
+    };
+    let Ok(fleet_requests) = take_value_flag::<usize>(&mut args, "--requests") else {
+        return usage();
+    };
+    let Ok(fleet_shards) = take_value_flag::<usize>(&mut args, "--shards") else {
+        return usage();
+    };
+    let Ok(fleet_interarrival) = take_value_flag::<u64>(&mut args, "--interarrival-us") else {
+        return usage();
+    };
+    if let Some(devices) = fleet_devices {
+        if fault_seed.is_some() {
+            eprintln!("serve_bench: --fleet and --fault-plan are separate scenarios");
+            return usage();
+        }
+        if devices == 0 || args.len() > 1 {
+            return usage();
+        }
+        let seed: u64 = match args.first().map(|a| parse_arg(a, "SEED")) {
+            Some(None) => return usage(),
+            Some(Some(n)) => n,
+            None => 42,
+        };
+        return run_fleet_scale(
+            devices,
+            fleet_requests.unwrap_or(100_000),
+            seed,
+            fleet_shards.unwrap_or(8).max(1),
+            fleet_interarrival.unwrap_or(50).max(1),
+        );
+    }
+    if fleet_requests.is_some() || fleet_shards.is_some() || fleet_interarrival.is_some() {
+        eprintln!("serve_bench: --requests/--shards/--interarrival-us require --fleet");
+        return usage();
+    }
     if args.len() > 2 {
         return usage();
     }

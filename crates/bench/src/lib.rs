@@ -45,6 +45,15 @@ pub fn heterogeneous_fleet() -> Vec<GpuSku> {
     ]
 }
 
+/// A fleet of `n` devices cycling the [`heterogeneous_fleet`] SKU
+/// pattern, so any size fleet spans all four Mali SKUs in a fixed,
+/// deterministic order. Used by the fleet-scale `serve_bench` scenario
+/// (e.g. `fleet_of(1000)`).
+pub fn fleet_of(n: usize) -> Vec<GpuSku> {
+    let pattern = heterogeneous_fleet();
+    (0..n).map(|i| pattern[i % pattern.len()].clone()).collect()
+}
+
 /// Runs one record experiment: a cold warm-up run to populate the commit
 /// history (the paper's methodology, §7.3), then the measured run.
 ///

@@ -80,6 +80,14 @@ impl AdmissionQueue {
         self.queue.front()
     }
 
+    /// When the head request could start on a device free at `free_at`
+    /// (the later of the device freeing up and the request arriving), or
+    /// `None` when the queue is empty. Both fleet schedulers derive their
+    /// service events from this one rule, so they cannot diverge on it.
+    pub fn next_service_start(&self, free_at: SimTime) -> Option<SimTime> {
+        self.queue.front().map(|head| free_at.max(head.arrival))
+    }
+
     /// Number of waiting requests.
     pub fn len(&self) -> usize {
         self.queue.len()

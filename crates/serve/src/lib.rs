@@ -25,7 +25,19 @@
 //!   request;
 //! - [`metrics`] — per-request queue-wait/service/total latency,
 //!   p50/p95/p99, throughput, and cache statistics from DES timestamps,
-//!   exported as deterministic JSON.
+//!   exported as deterministic JSON — accumulated into fixed-size
+//!   [`sketch`] streaming quantile sketches so a 10⁶-request run costs
+//!   O(1) memory per request.
+//!
+//! Fleet scale: the scheduler is **event-indexed** (a binary heap of
+//! `(due_time, device)` entries wakes only devices with due events;
+//! [`fleet::SchedulerKind::LegacySweep`] retains the original per-event
+//! full-device sweep as a differential-test oracle), the registry is
+//! **sharded** by an FNV hash of `(network, GPU_ID)`
+//! ([`RegistryConfig::with_shards`]), and
+//! [`fleet::ServiceMode::Profiled`] models per-request service from
+//! measured per-`(model, SKU)` replay profiles so million-request runs
+//! don't pay a real replay per request.
 //!
 //! Time: the fleet advances one discrete-event serving timeline
 //! ([`fleet::Fleet`]'s clock). Each device's own hardware clock is a
@@ -44,11 +56,13 @@ pub mod fleet;
 pub mod health;
 pub mod metrics;
 pub mod registry;
+pub mod sketch;
 pub mod workload;
 
 pub use admission::{AdmissionQueue, Rejection, Request};
-pub use fleet::{Fleet, FleetConfig};
+pub use fleet::{Fleet, FleetConfig, SchedulerKind, ServiceMode};
 pub use health::{DeviceHealth, HealthState};
-pub use metrics::{FailoverRecord, Percentiles, ServeReport};
+pub use metrics::{FailoverRecord, LatencySketches, MetricsCollector, Percentiles, ServeReport};
 pub use registry::{FetchOutcome, RecordingRegistry, RegistryConfig, RegistryStats};
+pub use sketch::{QuantileSketch, SketchSummary};
 pub use workload::{generate_trace, TraceConfig, ZipfSampler};

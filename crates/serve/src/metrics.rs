@@ -7,8 +7,20 @@
 //! reason the recording byte format is: no serialization framework in the
 //! dependency tree, and full control over field order and float
 //! formatting so the output is reproducible byte-for-byte.
+//!
+//! **Memory.** The collector is streaming: latency distributions go into
+//! fixed-size [`QuantileSketch`]es and per-model means into incremental
+//! accumulators, so cost per completed request is O(1) with no
+//! allocation. Rejection/timeout/failover *event logs* (kept because the
+//! determinism suite compares failover decisions verbatim and tests
+//! inspect retry hints) are bounded by
+//! [`MetricsCollector::with_log_cap`]; their counters (`rejected`,
+//! `timed_out`, `failover_count`) always count every event regardless of
+//! the cap, and fleet-scale runs cap the logs so memory stays bounded at
+//! 10⁶ requests ([`MetricsCollector::approx_bytes`] asserts it).
 
 use crate::admission::Rejection;
+use crate::sketch::{QuantileSketch, SketchSummary};
 use grt_sim::SimTime;
 
 /// Latency percentiles (nearest-rank over the sampled population).
@@ -23,7 +35,9 @@ pub struct Percentiles {
 }
 
 impl Percentiles {
-    /// Computes nearest-rank percentiles; all-zero when `values` is empty.
+    /// Computes exact nearest-rank percentiles by sorting; all-zero when
+    /// `values` is empty. O(n log n) — this is the *oracle* the streaming
+    /// sketch is property-tested against, not the serving path.
     pub fn of(values: &mut [SimTime]) -> Percentiles {
         values.sort_unstable();
         let pick = |p: f64| -> SimTime {
@@ -37,6 +51,16 @@ impl Percentiles {
             p50: pick(50.0),
             p95: pick(95.0),
             p99: pick(99.0),
+        }
+    }
+
+    /// Reads the streaming sketch's p50/p95/p99 (within the sketch's
+    /// documented <1.6% rank-error bound of the exact values).
+    pub fn from_sketch(sketch: &QuantileSketch) -> Percentiles {
+        Percentiles {
+            p50: sketch.quantile_permille(500),
+            p95: sketch.quantile_permille(950),
+            p99: sketch.quantile_permille(990),
         }
     }
 }
@@ -62,7 +86,7 @@ pub struct RequestSample {
 
 /// A request that timed out in the queue (deadline passed before the GPU
 /// was reached).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimeoutRecord {
     /// Request id.
     pub id: u64,
@@ -85,19 +109,47 @@ pub struct FailoverRecord {
     pub at: SimTime,
 }
 
-/// Raw event log a fleet run accumulates; reduced to a [`ServeReport`] at
-/// the end.
-#[derive(Debug, Default)]
+/// Streaming per-model accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ModelAccum {
+    /// Requests completed for this model.
+    pub completed: u64,
+    /// Sum of end-to-end latencies (for the mean).
+    pub sum_total: SimTime,
+}
+
+/// Streaming event accumulator a fleet run feeds; reduced to a
+/// [`ServeReport`] at the end. O(1) per completed request.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricsCollector {
+    /// Queue-wait latency sketch.
+    pub queue_wait: QuantileSketch,
+    /// Service-time latency sketch.
+    pub service: QuantileSketch,
+    /// End-to-end latency sketch.
+    pub total: QuantileSketch,
     /// Completed requests.
-    pub samples: Vec<RequestSample>,
-    /// Backpressured requests.
+    pub completed: u64,
+    /// Completed requests that paid a registry cold-start record.
+    pub cold_starts: u64,
+    /// Sum of end-to-end latencies (for the mean).
+    pub sum_total: SimTime,
+    /// Per-model accumulators, indexed by catalog position (grown on
+    /// first completion for a model; bounded by the catalog size).
+    pub per_model: Vec<ModelAccum>,
+    /// Every backpressure rejection, counted even when the log is capped.
+    pub rejected: u64,
+    /// Every queue timeout, counted even when the log is capped.
+    pub timed_out: u64,
+    /// Every failover, counted even when the log is capped.
+    pub failover_count: u64,
+    /// Backpressured requests (log; first `log_cap` events).
     pub rejections: Vec<Rejection>,
-    /// Queue-timeout casualties.
+    /// Queue-timeout casualties (log; first `log_cap` events).
     pub timeouts: Vec<TimeoutRecord>,
     /// Requests re-routed off crashed/evicted devices, in event order —
     /// the fleet's failover decision log (compared verbatim by the
-    /// determinism suite).
+    /// determinism suite; first `log_cap` events).
     pub failovers: Vec<FailoverRecord>,
     /// Requests whose service failed outright (cold-start record error).
     pub failed: u64,
@@ -114,9 +166,88 @@ pub struct MetricsCollector {
     /// `grt_attest::VerifyError::code` string (sorted map so the JSON
     /// export stays deterministic).
     pub receipts_rejected: std::collections::BTreeMap<String, u64>,
+    /// Per-log event cap (counters above are exact regardless).
+    log_cap: usize,
+}
+
+impl Default for MetricsCollector {
+    fn default() -> Self {
+        MetricsCollector::with_log_cap(usize::MAX)
+    }
 }
 
 impl MetricsCollector {
+    /// A collector whose rejection/timeout/failover logs keep at most
+    /// `log_cap` events each (all *counters* stay exact). Fleet-scale
+    /// runs use a small cap so memory stays bounded; tests use
+    /// `usize::MAX` (the [`Default`]) to inspect every event.
+    pub fn with_log_cap(log_cap: usize) -> Self {
+        MetricsCollector {
+            queue_wait: QuantileSketch::new(),
+            service: QuantileSketch::new(),
+            total: QuantileSketch::new(),
+            completed: 0,
+            cold_starts: 0,
+            sum_total: SimTime::ZERO,
+            per_model: Vec::new(),
+            rejected: 0,
+            timed_out: 0,
+            failover_count: 0,
+            rejections: Vec::new(),
+            timeouts: Vec::new(),
+            failovers: Vec::new(),
+            failed: 0,
+            output_digest: 0,
+            receipts_issued: 0,
+            receipts_verified: 0,
+            receipts_rejected: std::collections::BTreeMap::new(),
+            log_cap,
+        }
+    }
+
+    /// Folds one completed request into the sketches and accumulators.
+    /// O(1), no allocation beyond the one-time per-model table growth.
+    pub fn record_sample(&mut self, s: &RequestSample) {
+        self.queue_wait.record(s.queue_wait);
+        self.service.record(s.service);
+        self.total.record(s.total);
+        self.completed += 1;
+        self.sum_total += s.total;
+        if s.cold_start {
+            self.cold_starts += 1;
+        }
+        if self.per_model.len() <= s.model {
+            self.per_model.resize(s.model + 1, ModelAccum::default());
+        }
+        let acc = &mut self.per_model[s.model];
+        acc.completed += 1;
+        acc.sum_total += s.total;
+    }
+
+    /// Counts a rejection; logs it if the log is below the cap.
+    pub fn record_rejection(&mut self, r: Rejection) {
+        self.rejected += 1;
+        if self.rejections.len() < self.log_cap {
+            self.rejections.push(r);
+        }
+    }
+
+    /// Counts a timeout; logs it if the log is below the cap.
+    pub fn record_timeout(&mut self, t: TimeoutRecord) {
+        self.timed_out += 1;
+        if self.timeouts.len() < self.log_cap {
+            self.timeouts.push(t);
+        }
+    }
+
+    /// Counts a failover; logs it if the log is below the cap.
+    pub fn record_failover(&mut self, f: FailoverRecord) {
+        self.failover_count += 1;
+        if self.failovers.len() < self.log_cap {
+            self.failovers.push(f);
+        }
+    }
+
     /// Folds one replay output into the run digest.
     pub fn absorb_output(&mut self, bytes: &[u8]) {
         let mut h = if self.output_digest == 0 {
@@ -129,6 +260,26 @@ impl MetricsCollector {
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
         self.output_digest = h;
+    }
+
+    /// Resident size of the collector: three fixed sketches, the
+    /// per-model table (bounded by the catalog), and the capped event
+    /// logs. Independent of how many requests were served — the
+    /// bounded-memory property the 10⁶-request bench asserts.
+    pub fn approx_bytes(&self) -> usize {
+        self.queue_wait.approx_bytes()
+            + self.service.approx_bytes()
+            + self.total.approx_bytes()
+            + self.per_model.capacity() * std::mem::size_of::<ModelAccum>()
+            + self.rejections.capacity() * std::mem::size_of::<Rejection>()
+            + self.timeouts.capacity() * std::mem::size_of::<TimeoutRecord>()
+            + self.failovers.capacity() * std::mem::size_of::<FailoverRecord>()
+            + self
+                .receipts_rejected
+                .keys()
+                .map(|k| k.len() + std::mem::size_of::<u64>())
+                .sum::<usize>()
+            + std::mem::size_of::<Self>()
     }
 }
 
@@ -159,6 +310,29 @@ pub struct DeviceReport {
     pub peak_queue_depth: usize,
 }
 
+/// The three latency-distribution sketch summaries of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySketches {
+    /// Queue-wait distribution.
+    pub queue_wait: SketchSummary,
+    /// Service-time distribution.
+    pub service: SketchSummary,
+    /// End-to-end distribution.
+    pub total: SketchSummary,
+}
+
+impl LatencySketches {
+    /// Serializes with stable field order (byte-identical across runs).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"queue_wait\": {}, \"service\": {}, \"total\": {}}}",
+            self.queue_wait.to_json(),
+            self.service.to_json(),
+            self.total.to_json()
+        )
+    }
+}
+
 /// The reduced, export-ready report of one fleet run.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
@@ -176,14 +350,17 @@ pub struct ServeReport {
     pub makespan: SimTime,
     /// Completed requests per virtual second.
     pub throughput_rps: f64,
-    /// Queue-wait percentiles.
+    /// Queue-wait percentiles (from the streaming sketch).
     pub queue_wait: Percentiles,
-    /// Service-time percentiles.
+    /// Service-time percentiles (from the streaming sketch).
     pub service: Percentiles,
-    /// End-to-end latency percentiles.
+    /// End-to-end latency percentiles (from the streaming sketch).
     pub total: Percentiles,
     /// Mean end-to-end latency.
     pub mean_total: SimTime,
+    /// Full latency-distribution summaries (count/min/mean/p50…p99.9/max
+    /// per dimension).
+    pub sketches: LatencySketches,
     /// Registry cold starts (record runs triggered by traffic).
     pub cold_starts: u64,
     /// Registry hits.
@@ -258,6 +435,10 @@ impl ServeReport {
         s.push_str(&format!("  \"service\": {},\n", pct(&self.service)));
         s.push_str(&format!("  \"total\": {},\n", pct(&self.total)));
         s.push_str(&format!("  \"mean_total_ms\": {},\n", ms(self.mean_total)));
+        s.push_str(&format!(
+            "  \"latency_sketch\": {},\n",
+            self.sketches.to_json()
+        ));
         s.push_str("  \"recording_cache\": {\n");
         s.push_str(&format!("    \"cold_starts\": {},\n", self.cold_starts));
         s.push_str(&format!("    \"hits\": {},\n", self.cache_hits));
@@ -384,12 +565,120 @@ mod tests {
     }
 
     #[test]
+    fn collector_streams_samples_into_sketches() {
+        let mut m = MetricsCollector::default();
+        for i in 1..=100u64 {
+            m.record_sample(&RequestSample {
+                id: i,
+                model: (i % 3) as usize,
+                device: 0,
+                queue_wait: t(i),
+                service: t(2 * i),
+                total: t(3 * i),
+                cold_start: i == 1,
+            });
+        }
+        assert_eq!(m.completed, 100);
+        assert_eq!(m.cold_starts, 1);
+        assert_eq!(m.total.count(), 100);
+        assert_eq!(m.per_model.len(), 3);
+        assert_eq!(m.per_model.iter().map(|a| a.completed).sum::<u64>(), 100);
+        // Aggregate mean matches the per-model decomposition.
+        let per_model_sum = m
+            .per_model
+            .iter()
+            .fold(SimTime::ZERO, |acc, a| acc + a.sum_total);
+        assert_eq!(per_model_sum, m.sum_total);
+    }
+
+    #[test]
+    fn log_cap_bounds_logs_but_not_counters() {
+        let mut m = MetricsCollector::with_log_cap(2);
+        for i in 0..10u64 {
+            m.record_rejection(Rejection {
+                id: i,
+                model: 0,
+                at: t(i),
+                retry_after: t(1),
+            });
+            m.record_timeout(TimeoutRecord {
+                id: i,
+                model: 0,
+                expired_at: t(i),
+            });
+            m.record_failover(FailoverRecord {
+                id: i,
+                from: 0,
+                to: 1,
+                at: t(i),
+            });
+        }
+        assert_eq!((m.rejected, m.timed_out, m.failover_count), (10, 10, 10));
+        assert_eq!(m.rejections.len(), 2);
+        assert_eq!(m.timeouts.len(), 2);
+        assert_eq!(m.failovers.len(), 2);
+        // The first events are kept, so capped logs stay deterministic.
+        assert_eq!(m.failovers[0].id, 0);
+        assert_eq!(m.failovers[1].id, 1);
+    }
+
+    #[test]
+    fn approx_bytes_is_bounded_under_load() {
+        let mut m = MetricsCollector::with_log_cap(8);
+        let sample = RequestSample {
+            id: 0,
+            model: 1,
+            device: 0,
+            queue_wait: t(1),
+            service: t(2),
+            total: t(3),
+            cold_start: false,
+        };
+        // Saturate the capped logs and the per-model table once…
+        for i in 0..100u64 {
+            m.record_sample(&RequestSample {
+                id: i,
+                ..sample.clone()
+            });
+            m.record_rejection(Rejection {
+                id: i,
+                model: 0,
+                at: t(1),
+                retry_after: t(1),
+            });
+        }
+        let saturated = m.approx_bytes();
+        // …then 50k more requests must not move the footprint at all.
+        for i in 0..50_000u64 {
+            m.record_sample(&RequestSample {
+                id: i,
+                ..sample.clone()
+            });
+            m.record_rejection(Rejection {
+                id: i,
+                model: 0,
+                at: t(1),
+                retry_after: t(1),
+            });
+        }
+        assert_eq!(
+            m.approx_bytes(),
+            saturated,
+            "footprint must not grow with request count"
+        );
+        assert!(m.approx_bytes() < 256 * 1024, "collector stays small");
+    }
+
+    #[test]
     fn json_has_required_fields() {
         let p = Percentiles {
             p50: t(1),
             p95: t(2),
             p99: t(3),
         };
+        let mut sk = QuantileSketch::new();
+        sk.record(t(1));
+        let summary = sk.summary();
         let r = ServeReport {
             submitted: 10,
             completed: 8,
@@ -402,6 +691,11 @@ mod tests {
             service: p,
             total: p,
             mean_total: t(2),
+            sketches: LatencySketches {
+                queue_wait: summary,
+                service: summary,
+                total: summary,
+            },
             cold_starts: 2,
             cache_hits: 6,
             cache_misses: 2,
@@ -443,6 +737,10 @@ mod tests {
             "\"throughput_rps\"",
             "\"hit_ratio\"",
             "\"cold_starts\"",
+            "\"latency_sketch\"",
+            "\"p90_ms\"",
+            "\"p999_ms\"",
+            "\"mean_ms\"",
             "\"fault_tolerance\"",
             "\"crashes\"",
             "\"failovers\"",

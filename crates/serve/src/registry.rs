@@ -9,6 +9,17 @@
 //! once, on insert; every later fetch hands out the same shared,
 //! already-vetted recording. Bounded capacity with LRU eviction models a
 //! registry node that cannot hold every model × SKU product.
+//!
+//! **Sharding.** The registry is split into independent shards addressed
+//! by an FNV-1a hash of the `(network, GPU_ID)` key
+//! ([`RegistryConfig::with_shards`]; the default of one shard preserves
+//! the single-LRU behaviour). Each shard owns its own entry list, LRU
+//! clock, stats counters, and record-time accumulator, so a fleet-scale
+//! run's hot keys don't contend on one list and per-shard load is
+//! observable ([`RecordingRegistry::shard_stats`]). The aggregate
+//! counters ([`RecordingRegistry::stats`]) are the sum over shards, and
+//! the attestation export is shard-order independent (entries are sorted
+//! by key).
 
 use grt_attest::{AttestationExport, ExportEntry, ProvenanceRecord, VerifyError};
 use grt_core::recording::SignedRecording;
@@ -28,8 +39,8 @@ use std::rc::Rc;
 /// Registry sizing and cold-start recording parameters.
 #[derive(Debug, Clone)]
 pub struct RegistryConfig {
-    /// Maximum cached recordings; on overflow the least-recently-used
-    /// entry is evicted.
+    /// Maximum cached recordings across all shards; on overflow a shard
+    /// evicts its least-recently-used entry.
     pub capacity: usize,
     /// Link conditions a cold-start record session runs over.
     pub conditions: NetConditions,
@@ -39,18 +50,29 @@ pub struct RegistryConfig {
     /// (windows are relative to each session's own timeline). `None`
     /// records over the shaped-but-fault-free link.
     pub faults: Option<Rc<FaultPlan>>,
+    /// Number of independent shards the `(network, GPU_ID)` key space is
+    /// hashed over. 1 (the default) is a single global LRU.
+    pub shards: usize,
 }
 
 impl RegistryConfig {
     /// A registry of `capacity` entries recording over WiFi with the full
-    /// GR-T recorder.
+    /// GR-T recorder, unsharded.
     pub fn new(capacity: usize) -> Self {
         RegistryConfig {
             capacity,
             conditions: NetConditions::wifi(),
             mode: RecorderMode::OursMDS,
             faults: None,
+            shards: 1,
         }
+    }
+
+    /// Splits the key space over `shards` independent LRUs (the total
+    /// capacity is divided evenly, each shard getting at least one slot).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 }
 
@@ -96,6 +118,21 @@ impl RegistryStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Adds `other`'s counters into `self` (for cross-shard aggregation).
+    pub fn absorb(&mut self, other: &RegistryStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.verified_inserts += other.verified_inserts;
+        self.linted_inserts += other.linted_inserts;
+        self.compiled_inserts += other.compiled_inserts;
+        self.lint_rejections += other.lint_rejections;
+        self.provenance_records += other.provenance_records;
+        self.provenance_rejections += other.provenance_rejections;
+        self.record_retries += other.record_retries;
+        self.checkpoint_resumes += other.checkpoint_resumes;
     }
 }
 
@@ -151,6 +188,7 @@ impl FetchOutcome {
     }
 }
 
+#[derive(Clone)]
 struct Entry {
     key: (String, u32),
     recording: Rc<SignedRecording>,
@@ -164,252 +202,38 @@ struct Entry {
     last_used: u64,
 }
 
-/// The LRU recording cache plus on-demand recorder.
-pub struct RecordingRegistry {
-    cfg: RegistryConfig,
+impl Entry {
+    fn outcome(&self, cold_start_delay: Option<SimTime>) -> FetchOutcome {
+        FetchOutcome {
+            recording: Rc::clone(&self.recording),
+            weight_slots: self.weight_slots,
+            lint: Rc::clone(&self.lint),
+            compiled: Rc::clone(&self.compiled),
+            provenance: Rc::clone(&self.provenance),
+            cold_start_delay,
+        }
+    }
+}
+
+/// One independent slice of the key space: entries, LRU clock, stats.
+#[derive(Clone)]
+struct Shard {
     entries: Vec<Entry>,
+    capacity: usize,
     tick: u64,
     stats: RegistryStats,
     record_time: SimTime,
 }
 
-impl RecordingRegistry {
-    /// Creates an empty registry.
-    pub fn new(cfg: RegistryConfig) -> Self {
-        assert!(cfg.capacity > 0, "registry capacity must be positive");
-        RecordingRegistry {
-            cfg,
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Shard {
             entries: Vec::new(),
+            capacity,
             tick: 0,
             stats: RegistryStats::default(),
             record_time: SimTime::ZERO,
         }
-    }
-
-    /// Fetches the recording for `(spec, sku)`, recording it cold first
-    /// if absent. The returned `cold_start_delay` is the virtual time the
-    /// record run took — the caller charges it to whoever waited.
-    pub fn fetch(&mut self, spec: &NetworkSpec, sku: &GpuSku) -> Result<FetchOutcome, RecordError> {
-        self.tick += 1;
-        let key = (spec.name.to_owned(), sku.gpu_id);
-        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
-            e.last_used = self.tick;
-            self.stats.hits += 1;
-            return Ok(FetchOutcome {
-                recording: Rc::clone(&e.recording),
-                weight_slots: e.weight_slots,
-                lint: Rc::clone(&e.lint),
-                compiled: Rc::clone(&e.compiled),
-                provenance: Rc::clone(&e.provenance),
-                cold_start_delay: None,
-            });
-        }
-        self.stats.misses += 1;
-        let (recording, weight_slots, lint, compiled, provenance, delay) =
-            self.record_cold(spec, sku)?;
-        self.insert(
-            key,
-            Rc::clone(&recording),
-            weight_slots,
-            Rc::clone(&lint),
-            Rc::clone(&compiled),
-            Rc::clone(&provenance),
-        );
-        Ok(FetchOutcome {
-            recording,
-            weight_slots,
-            lint,
-            compiled,
-            provenance,
-            cold_start_delay: Some(delay),
-        })
-    }
-
-    /// Pre-populates the `(spec, sku)` entry without counting a hit or a
-    /// miss (warming a registry ahead of traffic).
-    pub fn warm(&mut self, spec: &NetworkSpec, sku: &GpuSku) -> Result<(), RecordError> {
-        self.tick += 1;
-        let key = (spec.name.to_owned(), sku.gpu_id);
-        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
-            e.last_used = self.tick;
-            return Ok(());
-        }
-        let (recording, weight_slots, lint, compiled, provenance, _) =
-            self.record_cold(spec, sku)?;
-        self.insert(key, recording, weight_slots, lint, compiled, provenance);
-        Ok(())
-    }
-
-    /// Whether `(spec, sku)` is currently cached (does not touch LRU
-    /// state or counters).
-    pub fn contains(&self, spec: &NetworkSpec, sku: &GpuSku) -> bool {
-        self.entries
-            .iter()
-            .any(|e| e.key.0 == spec.name && e.key.1 == sku.gpu_id)
-    }
-
-    /// Current number of cached recordings.
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// Whether the cache is empty.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-
-    /// Counter snapshot.
-    pub fn stats(&self) -> RegistryStats {
-        self.stats
-    }
-
-    /// Zeroes the counters and record-time accumulator while keeping the
-    /// cached entries — per-pass accounting when a warmed registry is
-    /// reused across runs.
-    pub fn reset_stats(&mut self) {
-        self.stats = RegistryStats::default();
-        self.record_time = SimTime::ZERO;
-    }
-
-    /// Total virtual time spent in cold-start record runs.
-    pub fn record_time(&self) -> SimTime {
-        self.record_time
-    }
-
-    /// Runs the cold-start record session, then verifies and lints the
-    /// result once.
-    fn record_cold(&mut self, spec: &NetworkSpec, sku: &GpuSku) -> Result<ColdRecord, RecordError> {
-        let mut session = RecordSession::new(sku.clone(), self.cfg.conditions, self.cfg.mode);
-        if let Some(plan) = &self.cfg.faults {
-            session.attach_faults(plan);
-        }
-        let out = session.record(spec)?;
-        let (weight_slots, lint, compiled, provenance) = self.vet(spec, sku, &out.recording)?;
-        self.stats.record_retries += out.link_retries;
-        self.stats.checkpoint_resumes += out.checkpoint_resumes;
-        self.record_time += out.delay;
-        Ok((
-            Rc::new(out.recording),
-            weight_slots,
-            lint,
-            compiled,
-            provenance,
-            out.delay,
-        ))
-    }
-
-    /// Verify-once-and-lint-once-on-insert: a recording that fails the
-    /// signature or static analysis never enters the cache (and would be
-    /// refused again in every TEE). The registry has the `NetworkSpec` in
-    /// hand, so its lint is *stricter* than the replayer's gate: R4/R6
-    /// also check shapes and layer counts against the spec.
-    fn vet(
-        &mut self,
-        spec: &NetworkSpec,
-        sku: &GpuSku,
-        recording: &SignedRecording,
-    ) -> Result<Vetted, RecordError> {
-        let parsed = recording
-            .verify_and_parse(&recording_trust_root())
-            .ok_or(RecordError::Attestation)?;
-        self.stats.verified_inserts += 1;
-        // Lift the recording to the semantics IR exactly once: the static
-        // analysis proves R1-R9 over it, and the compiled form lowers from
-        // it — both consume the same decode of the same bytes.
-        let ir = grt_core::ir::lift_recording(&parsed, sku.pte_quirk);
-        let report = Linter::new().lint_ir(&ir, sku, Some(spec));
-        self.stats.linted_inserts += 1;
-        if let Some(d) = report.first_error() {
-            self.stats.lint_rejections += 1;
-            return Err(RecordError::Rejected {
-                rule: d.rule.id().to_owned(),
-                message: d.message.clone(),
-            });
-        }
-        // Lower once, cache beside the verdict (which carries the R9
-        // certified budget): the compiled form reproduces the linted
-        // recording event-for-event, so the R1-R9 verdict carries over to
-        // every replay of it.
-        let compiled = grt_core::compiled::compile_from_ir(&parsed, ir, REPLAY_POLL_ITER_CAP)
-            .map_err(|e| RecordError::Rejected {
-                rule: "compile".to_owned(),
-                message: e.to_string(),
-            })?;
-        self.stats.compiled_inserts += 1;
-        // Sign the provenance record binding the recording bytes, the SKU,
-        // and the lint verdict together; fleet devices chain their replay
-        // receipts to it and auditors verify against the registry export.
-        let provenance = ProvenanceRecord::build(
-            "registry",
-            spec.name,
-            sku.gpu_id,
-            Sha256::digest(&recording.bytes),
-            Sha256::digest(report.to_json().as_bytes()),
-            PROVISIONING_SECRET,
-        );
-        self.stats.provenance_records += 1;
-        Ok((
-            parsed.weights.len(),
-            Rc::new(report),
-            Rc::new(compiled),
-            Rc::new(provenance),
-        ))
-    }
-
-    /// Inserts an externally produced signed recording (e.g. shipped from
-    /// another registry node) under `(spec, sku)`, subject to the same
-    /// verify-and-lint-on-insert policy as cold-start recordings — plus
-    /// the provenance policy: the shipper must present a signed
-    /// [`ProvenanceRecord`] whose recording digest, SKU, and lint digest
-    /// all match what this registry recomputes locally. A recording with
-    /// missing, unsigned, or mismatched provenance is refused with
-    /// [`RecordError::Provenance`].
-    pub fn insert_signed(
-        &mut self,
-        spec: &NetworkSpec,
-        sku: &GpuSku,
-        recording: SignedRecording,
-        provenance: Option<ProvenanceRecord>,
-    ) -> Result<(), RecordError> {
-        self.tick += 1;
-        let Some(prov) = provenance else {
-            self.stats.provenance_rejections += 1;
-            return Err(provenance_err(VerifyError::MissingProvenance));
-        };
-        let (weight_slots, lint, compiled, _local) = self.vet(spec, sku, &recording)?;
-        if let Err(e) = check_shipped_provenance(&prov, spec, sku, &recording, &lint) {
-            self.stats.provenance_rejections += 1;
-            return Err(provenance_err(e));
-        }
-        let key = (spec.name.to_owned(), sku.gpu_id);
-        self.entries.retain(|e| e.key != key);
-        self.insert(
-            key,
-            Rc::new(recording),
-            weight_slots,
-            lint,
-            compiled,
-            Rc::new(prov),
-        );
-        Ok(())
-    }
-
-    /// Exports every cached entry's audit data — recording digest, lint
-    /// report JSON, signed provenance record — as the deterministic
-    /// container the offline `receipt-verify` tool consumes.
-    pub fn export_attestation(&self) -> AttestationExport {
-        AttestationExport::new(
-            self.entries
-                .iter()
-                .map(|e| ExportEntry {
-                    workload: e.key.0.clone(),
-                    gpu_id: e.key.1,
-                    recording_digest: e.provenance.recording_digest,
-                    lint_json: e.lint.to_json(),
-                    provenance: (*e.provenance).clone(),
-                })
-                .collect(),
-        )
     }
 
     fn insert(
@@ -421,9 +245,9 @@ impl RecordingRegistry {
         compiled: Rc<CompiledRecording>,
         provenance: Rc<ProvenanceRecord>,
     ) {
-        if self.entries.len() >= self.cfg.capacity {
-            // Evict the least-recently-used entry (deterministic: ticks
-            // are unique).
+        if self.entries.len() >= self.capacity {
+            // Evict the shard's least-recently-used entry (deterministic:
+            // ticks are unique within a shard).
             let lru = self
                 .entries
                 .iter()
@@ -444,6 +268,312 @@ impl RecordingRegistry {
             last_used: self.tick,
         });
     }
+}
+
+/// The sharded LRU recording cache plus on-demand recorder.
+#[derive(Clone)]
+pub struct RecordingRegistry {
+    cfg: RegistryConfig,
+    shards: Vec<Shard>,
+}
+
+/// FNV-1a over the `(network, GPU_ID)` key — a stable, dependency-free
+/// shard router.
+fn shard_hash(name: &str, gpu_id: u32) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in name.as_bytes().iter().chain(gpu_id.to_le_bytes().iter()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl RecordingRegistry {
+    /// Creates an empty registry.
+    pub fn new(cfg: RegistryConfig) -> Self {
+        assert!(cfg.capacity > 0, "registry capacity must be positive");
+        let n = cfg.shards.max(1);
+        let per_shard = (cfg.capacity / n).max(1);
+        let shards = (0..n).map(|_| Shard::new(per_shard)).collect();
+        RecordingRegistry { cfg, shards }
+    }
+
+    /// Shard index the `(spec, sku)` key routes to.
+    pub fn shard_of(&self, spec: &NetworkSpec, sku: &GpuSku) -> usize {
+        (shard_hash(spec.name, sku.gpu_id) % self.shards.len() as u64) as usize
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard counter snapshots, in shard order.
+    pub fn shard_stats(&self) -> Vec<RegistryStats> {
+        self.shards.iter().map(|s| s.stats).collect()
+    }
+
+    /// Per-shard resident entry counts, in shard order.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.entries.len()).collect()
+    }
+
+    /// Fetches the recording for `(spec, sku)`, recording it cold first
+    /// if absent. The returned `cold_start_delay` is the virtual time the
+    /// record run took — the caller charges it to whoever waited.
+    pub fn fetch(&mut self, spec: &NetworkSpec, sku: &GpuSku) -> Result<FetchOutcome, RecordError> {
+        let si = self.shard_of(spec, sku);
+        let shard = &mut self.shards[si];
+        shard.tick += 1;
+        let key = (spec.name.to_owned(), sku.gpu_id);
+        if let Some(e) = shard.entries.iter_mut().find(|e| e.key == key) {
+            e.last_used = shard.tick;
+            shard.stats.hits += 1;
+            return Ok(e.outcome(None));
+        }
+        shard.stats.misses += 1;
+        let (recording, weight_slots, lint, compiled, provenance, delay) = record_cold(
+            &self.cfg,
+            &mut shard.stats,
+            &mut shard.record_time,
+            spec,
+            sku,
+        )?;
+        shard.insert(
+            key,
+            Rc::clone(&recording),
+            weight_slots,
+            Rc::clone(&lint),
+            Rc::clone(&compiled),
+            Rc::clone(&provenance),
+        );
+        Ok(FetchOutcome {
+            recording,
+            weight_slots,
+            lint,
+            compiled,
+            provenance,
+            cold_start_delay: Some(delay),
+        })
+    }
+
+    /// Pre-populates the `(spec, sku)` entry without counting a hit or a
+    /// miss (warming a registry ahead of traffic).
+    pub fn warm(&mut self, spec: &NetworkSpec, sku: &GpuSku) -> Result<(), RecordError> {
+        let si = self.shard_of(spec, sku);
+        let shard = &mut self.shards[si];
+        shard.tick += 1;
+        let key = (spec.name.to_owned(), sku.gpu_id);
+        if let Some(e) = shard.entries.iter_mut().find(|e| e.key == key) {
+            e.last_used = shard.tick;
+            return Ok(());
+        }
+        let mut warm_stats = shard.stats;
+        let (recording, weight_slots, lint, compiled, provenance, _) = record_cold(
+            &self.cfg,
+            &mut warm_stats,
+            &mut shard.record_time,
+            spec,
+            sku,
+        )?;
+        shard.stats = warm_stats;
+        shard.insert(key, recording, weight_slots, lint, compiled, provenance);
+        Ok(())
+    }
+
+    /// Whether `(spec, sku)` is currently cached (does not touch LRU
+    /// state or counters).
+    pub fn contains(&self, spec: &NetworkSpec, sku: &GpuSku) -> bool {
+        self.shards[self.shard_of(spec, sku)]
+            .entries
+            .iter()
+            .any(|e| e.key.0 == spec.name && e.key.1 == sku.gpu_id)
+    }
+
+    /// Current number of cached recordings across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.entries.len()).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot, aggregated over all shards.
+    pub fn stats(&self) -> RegistryStats {
+        let mut total = RegistryStats::default();
+        for s in &self.shards {
+            total.absorb(&s.stats);
+        }
+        total
+    }
+
+    /// Zeroes the counters and record-time accumulators while keeping the
+    /// cached entries — per-pass accounting when a warmed registry is
+    /// reused across runs.
+    pub fn reset_stats(&mut self) {
+        for s in &mut self.shards {
+            s.stats = RegistryStats::default();
+            s.record_time = SimTime::ZERO;
+        }
+    }
+
+    /// Total virtual time spent in cold-start record runs.
+    pub fn record_time(&self) -> SimTime {
+        self.shards
+            .iter()
+            .fold(SimTime::ZERO, |acc, s| acc + s.record_time)
+    }
+
+    /// Inserts an externally produced signed recording (e.g. shipped from
+    /// another registry node) under `(spec, sku)`, subject to the same
+    /// verify-and-lint-on-insert policy as cold-start recordings — plus
+    /// the provenance policy: the shipper must present a signed
+    /// [`ProvenanceRecord`] whose recording digest, SKU, and lint digest
+    /// all match what this registry recomputes locally. A recording with
+    /// missing, unsigned, or mismatched provenance is refused with
+    /// [`RecordError::Provenance`].
+    pub fn insert_signed(
+        &mut self,
+        spec: &NetworkSpec,
+        sku: &GpuSku,
+        recording: SignedRecording,
+        provenance: Option<ProvenanceRecord>,
+    ) -> Result<(), RecordError> {
+        let si = self.shard_of(spec, sku);
+        let shard = &mut self.shards[si];
+        shard.tick += 1;
+        let Some(prov) = provenance else {
+            shard.stats.provenance_rejections += 1;
+            return Err(provenance_err(VerifyError::MissingProvenance));
+        };
+        let (weight_slots, lint, compiled, _local) = vet(&mut shard.stats, spec, sku, &recording)?;
+        if let Err(e) = check_shipped_provenance(&prov, spec, sku, &recording, &lint) {
+            shard.stats.provenance_rejections += 1;
+            return Err(provenance_err(e));
+        }
+        let key = (spec.name.to_owned(), sku.gpu_id);
+        shard.entries.retain(|e| e.key != key);
+        shard.insert(
+            key,
+            Rc::new(recording),
+            weight_slots,
+            lint,
+            compiled,
+            Rc::new(prov),
+        );
+        Ok(())
+    }
+
+    /// Exports every cached entry's audit data — recording digest, lint
+    /// report JSON, signed provenance record — as the deterministic
+    /// container the offline `receipt-verify` tool consumes. Entries are
+    /// sorted by key inside the export, so the shard layout never leaks
+    /// into the encoding.
+    pub fn export_attestation(&self) -> AttestationExport {
+        AttestationExport::new(
+            self.shards
+                .iter()
+                .flat_map(|s| s.entries.iter())
+                .map(|e| ExportEntry {
+                    workload: e.key.0.clone(),
+                    gpu_id: e.key.1,
+                    recording_digest: e.provenance.recording_digest,
+                    lint_json: e.lint.to_json(),
+                    provenance: (*e.provenance).clone(),
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Runs the cold-start record session, then verifies and lints the
+/// result once, charging counters to the owning shard.
+fn record_cold(
+    cfg: &RegistryConfig,
+    stats: &mut RegistryStats,
+    record_time: &mut SimTime,
+    spec: &NetworkSpec,
+    sku: &GpuSku,
+) -> Result<ColdRecord, RecordError> {
+    let mut session = RecordSession::new(sku.clone(), cfg.conditions, cfg.mode);
+    if let Some(plan) = &cfg.faults {
+        session.attach_faults(plan);
+    }
+    let out = session.record(spec)?;
+    let (weight_slots, lint, compiled, provenance) = vet(stats, spec, sku, &out.recording)?;
+    stats.record_retries += out.link_retries;
+    stats.checkpoint_resumes += out.checkpoint_resumes;
+    *record_time += out.delay;
+    Ok((
+        Rc::new(out.recording),
+        weight_slots,
+        lint,
+        compiled,
+        provenance,
+        out.delay,
+    ))
+}
+
+/// Verify-once-and-lint-once-on-insert: a recording that fails the
+/// signature or static analysis never enters the cache (and would be
+/// refused again in every TEE). The registry has the `NetworkSpec` in
+/// hand, so its lint is *stricter* than the replayer's gate: R4/R6
+/// also check shapes and layer counts against the spec.
+fn vet(
+    stats: &mut RegistryStats,
+    spec: &NetworkSpec,
+    sku: &GpuSku,
+    recording: &SignedRecording,
+) -> Result<Vetted, RecordError> {
+    let parsed = recording
+        .verify_and_parse(&recording_trust_root())
+        .ok_or(RecordError::Attestation)?;
+    stats.verified_inserts += 1;
+    // Lift the recording to the semantics IR exactly once: the static
+    // analysis proves R1-R9 over it, and the compiled form lowers from
+    // it — both consume the same decode of the same bytes.
+    let ir = grt_core::ir::lift_recording(&parsed, sku.pte_quirk);
+    let report = Linter::new().lint_ir(&ir, sku, Some(spec));
+    stats.linted_inserts += 1;
+    if let Some(d) = report.first_error() {
+        stats.lint_rejections += 1;
+        return Err(RecordError::Rejected {
+            rule: d.rule.id().to_owned(),
+            message: d.message.clone(),
+        });
+    }
+    // Lower once, cache beside the verdict (which carries the R9
+    // certified budget): the compiled form reproduces the linted
+    // recording event-for-event, so the R1-R9 verdict carries over to
+    // every replay of it.
+    let compiled =
+        grt_core::compiled::compile_from_ir(&parsed, ir, REPLAY_POLL_ITER_CAP).map_err(|e| {
+            RecordError::Rejected {
+                rule: "compile".to_owned(),
+                message: e.to_string(),
+            }
+        })?;
+    stats.compiled_inserts += 1;
+    // Sign the provenance record binding the recording bytes, the SKU,
+    // and the lint verdict together; fleet devices chain their replay
+    // receipts to it and auditors verify against the registry export.
+    let provenance = ProvenanceRecord::build(
+        "registry",
+        spec.name,
+        sku.gpu_id,
+        Sha256::digest(&recording.bytes),
+        Sha256::digest(report.to_json().as_bytes()),
+        PROVISIONING_SECRET,
+    );
+    stats.provenance_records += 1;
+    Ok((
+        parsed.weights.len(),
+        Rc::new(report),
+        Rc::new(compiled),
+        Rc::new(provenance),
+    ))
 }
 
 /// Maps a provenance verification failure into the registry's typed
@@ -491,9 +621,10 @@ fn check_shipped_provenance(
 impl std::fmt::Debug for RecordingRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RecordingRegistry")
-            .field("entries", &self.entries.len())
+            .field("entries", &self.len())
             .field("capacity", &self.cfg.capacity)
-            .field("stats", &self.stats)
+            .field("shards", &self.shards.len())
+            .field("stats", &self.stats())
             .finish()
     }
 }
@@ -572,6 +703,84 @@ mod tests {
         // B misses again.
         let again = r.fetch(&mnist, &sku4).unwrap();
         assert!(again.cold_start_delay.is_some());
+    }
+
+    #[test]
+    fn sharded_registry_partitions_keys_and_stats() {
+        let mnist = grt_ml::zoo::mnist();
+        let skus = [
+            GpuSku::mali_g71_mp8(),
+            GpuSku::mali_g71_mp4(),
+            GpuSku::mali_g72_mp12(),
+            GpuSku::mali_g76_mp10(),
+        ];
+        let mut r = RecordingRegistry::new(RegistryConfig::new(16).with_shards(4));
+        assert_eq!(r.shard_count(), 4);
+        for sku in &skus {
+            r.fetch(&mnist, sku).unwrap();
+            r.fetch(&mnist, sku).unwrap(); // hit on the same shard
+        }
+        assert_eq!(r.len(), 4);
+        // Aggregates are exactly the sum of the shard-local counters.
+        let agg = r.stats();
+        let mut summed = RegistryStats::default();
+        for s in r.shard_stats() {
+            summed.absorb(&s);
+        }
+        assert_eq!(agg, summed);
+        assert_eq!((agg.hits, agg.misses), (4, 4));
+        // Every entry lives on exactly the shard its key hashes to.
+        for sku in &skus {
+            assert!(r.contains(&mnist, sku));
+            let si = r.shard_of(&mnist, sku);
+            assert!(r.shard_lens()[si] > 0, "entry must live on its shard");
+        }
+        assert_eq!(r.shard_lens().iter().sum::<usize>(), r.len());
+    }
+
+    #[test]
+    fn shard_routing_is_deterministic_and_eviction_is_shard_local() {
+        let mnist = grt_ml::zoo::mnist();
+        let sku8 = GpuSku::mali_g71_mp8();
+        // Per-shard capacity 1 (capacity 2 over 2 shards): a second entry
+        // on the *same* shard evicts, entries on other shards never do.
+        let mut r = RecordingRegistry::new(RegistryConfig::new(2).with_shards(2));
+        let si = r.shard_of(&mnist, &sku8);
+        assert_eq!(si, r.shard_of(&mnist, &sku8), "routing is stable");
+        r.fetch(&mnist, &sku8).unwrap();
+        // Find a SKU on the same shard and one on the other shard.
+        let pool = [
+            GpuSku::mali_g71_mp4(),
+            GpuSku::mali_g72_mp12(),
+            GpuSku::mali_g76_mp10(),
+        ];
+        let same = pool.iter().find(|s| r.shard_of(&mnist, s) == si);
+        let other = pool.iter().find(|s| r.shard_of(&mnist, s) != si);
+        if let Some(other) = other {
+            r.fetch(&mnist, other).unwrap();
+            assert_eq!(r.stats().evictions, 0, "cross-shard insert must not evict");
+            assert!(r.contains(&mnist, &sku8));
+        }
+        if let Some(same) = same {
+            r.fetch(&mnist, same).unwrap();
+            assert_eq!(r.stats().evictions, 1, "same-shard overflow evicts");
+            assert!(!r.contains(&mnist, &sku8), "LRU entry left its shard");
+        }
+    }
+
+    #[test]
+    fn cloned_registry_shares_entries_but_forks_state() {
+        let mut r = registry(4);
+        let mnist = grt_ml::zoo::mnist();
+        let sku = GpuSku::mali_g71_mp8();
+        r.warm(&mnist, &sku).unwrap();
+        let mut fork = r.clone();
+        // The clone serves the warmed entry without re-recording…
+        let f = fork.fetch(&mnist, &sku).unwrap();
+        assert!(f.cold_start_delay.is_none());
+        // …and its counters are independent of the original's.
+        assert_eq!(fork.stats().hits, 1);
+        assert_eq!(r.stats().hits, 0);
     }
 
     #[test]
@@ -755,6 +964,12 @@ mod tests {
         r2.warm(&mnist, &sku4).unwrap();
         r2.warm(&mnist, &sku8).unwrap();
         assert_eq!(r2.export_attestation().to_bytes(), export.to_bytes());
+        // Neither does the shard layout: a sharded registry over the same
+        // entries exports the same bytes.
+        let mut r4 = RecordingRegistry::new(RegistryConfig::new(4).with_shards(3));
+        r4.warm(&mnist, &sku8).unwrap();
+        r4.warm(&mnist, &sku4).unwrap();
+        assert_eq!(r4.export_attestation().to_bytes(), export.to_bytes());
     }
 
     #[test]

@@ -77,6 +77,18 @@ impl TraceConfig {
             timeout: SimTime::from_secs(30),
         }
     }
+
+    /// A fleet-scale trace: the same web-like Zipf skew at an aggregate
+    /// arrival rate sized for a ~1000-device fleet (mean interarrival
+    /// `interarrival_us` µs, so 50 µs ≈ 20k req/s), with a deadline
+    /// generous enough that queueing, not the clock, is the bottleneck.
+    pub fn fleet_scale(requests: usize, seed: u64, interarrival_us: u64) -> Self {
+        TraceConfig {
+            mean_interarrival: SimTime::from_micros(interarrival_us),
+            timeout: SimTime::from_secs(60),
+            ..TraceConfig::new(requests, seed)
+        }
+    }
 }
 
 /// Generates a trace over a catalog of `n_models` models, sorted by

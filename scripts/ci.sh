@@ -78,6 +78,32 @@ cmp "$GOLDEN_DIR/faulted_a.json" "$GOLDEN_DIR/faulted_b.json" || {
     exit 1
 }
 
+# Fleet-scale gate: a thousand profiled devices serve a million Zipf
+# requests through the event-indexed scheduler and sharded registry.
+# The run must (a) hold a wall-clock throughput floor — the event-indexed
+# scheduler plus streaming-sketch metrics is what makes this feasible at
+# all; a regression to per-tick sweeps or per-request buffers blows the
+# budget — and (b) emit byte-identical JSON across two back-to-back runs.
+echo "==> fleet-scale gate: 1000 devices / 10^6 requests, determinism + throughput floor"
+FLEET_START="$(date +%s)"
+cargo run --release -q -p grt-bench --bin serve_bench -- --fleet 1000 --requests 1000000 \
+    > "$GOLDEN_DIR/fleet_a.json"
+FLEET_ELAPSED="$(($(date +%s) - FLEET_START))"
+# Measured ~23s on the reference machine; 150s leaves slack for slow CI
+# hosts while still catching an order-of-magnitude regression such as a
+# return to O(devices)-per-event scanning or per-request sample buffers.
+if [ "$FLEET_ELAPSED" -gt 150 ]; then
+    echo "ci: fleet-scale bench too slow: ${FLEET_ELAPSED}s for 10^6 requests (floor 150s)" >&2
+    exit 1
+fi
+echo "    fleet-scale pass: ${FLEET_ELAPSED}s for 10^6 requests over 1000 devices"
+cargo run --release -q -p grt-bench --bin serve_bench -- --fleet 1000 --requests 1000000 \
+    > "$GOLDEN_DIR/fleet_b.json"
+cmp "$GOLDEN_DIR/fleet_a.json" "$GOLDEN_DIR/fleet_b.json" || {
+    echo "ci: fleet-scale serve_bench output is nondeterministic" >&2
+    exit 1
+}
+
 # Replay perf gate: two back-to-back replay benchmark runs must emit
 # byte-identical JSON (all numbers derive from the virtual clock), and
 # the compiled path's aggregate events/s must not regress more than 10%

@@ -1,10 +1,16 @@
 //! Integration tests of the serving subsystem (`grt-serve`): fleet
-//! invariants, admission accounting, affinity batching, and registry
-//! warm-up economics, end-to-end through the real GP replay protocol.
+//! invariants, admission accounting, affinity batching, registry warm-up
+//! economics, and the differential harness pinning the event-indexed
+//! scheduler to the legacy full-sweep oracle, end-to-end through the
+//! real GP replay protocol.
 
 use grt_gpu::GpuSku;
-use grt_serve::{generate_trace, Fleet, FleetConfig, TraceConfig};
-use grt_sim::SimTime;
+use grt_serve::{
+    generate_trace, Fleet, FleetConfig, RecordingRegistry, Request, SchedulerKind, ServiceMode,
+    TraceConfig,
+};
+use grt_sim::{FaultPlan, FaultPlanConfig, Rng, SimTime};
+use std::rc::Rc;
 
 fn mnist_fleet(skus: Vec<GpuSku>, queue_capacity: usize) -> Fleet {
     let cfg = FleetConfig {
@@ -106,6 +112,332 @@ fn warm_registry_beats_cold() {
     // delays reshuffle scheduling, so cold and warm digests may differ
     // even though per-request outputs match. Run-to-run bit-identity is
     // asserted in tests/determinism.rs instead.
+}
+
+// ---------------------------------------------------------------------
+// Differential harness: the event-indexed scheduler against the legacy
+// full-sweep oracle. The two drivers share the candidate rule and all
+// request-processing code, so any divergence is an event-ordering bug;
+// these tests pin byte-identical reports AND identical metrics state
+// across nominal traces, warm/cold registries, and randomized fleets.
+// ---------------------------------------------------------------------
+
+/// Runs `trace` through both scheduler kinds over otherwise-identical
+/// fleets and asserts the full `ServeReport` JSON and the complete
+/// `MetricsCollector` state (sketches, capped logs, counters, digests)
+/// are identical.
+fn assert_schedulers_agree(
+    label: &str,
+    models: &[grt_ml::NetworkSpec],
+    cfg: &FleetConfig,
+    trace: &[Request],
+    registry: Option<&RecordingRegistry>,
+) {
+    let mut runs = Vec::new();
+    for kind in [SchedulerKind::LegacySweep, SchedulerKind::EventIndexed] {
+        let cfg = cfg.clone().with_scheduler(kind);
+        let mut fleet = match registry {
+            Some(r) => Fleet::with_registry(models.to_vec(), cfg, r.clone()),
+            None => Fleet::new(models.to_vec(), cfg),
+        };
+        let (report, metrics) = fleet.run_detailed(trace);
+        runs.push((report.to_json(), metrics));
+    }
+    assert_eq!(
+        runs[0].0, runs[1].0,
+        "[{label}] sweep and event-indexed reports diverge"
+    );
+    assert_eq!(
+        runs[0].1, runs[1].1,
+        "[{label}] sweep and event-indexed metrics diverge"
+    );
+}
+
+/// The two-layer CHAOS-TINY network: one replay costs wall-milliseconds,
+/// so the randomized differential sweep stays affordable while the fleet
+/// machinery under test is identical to the full-size models'.
+fn tiny_spec() -> grt_ml::NetworkSpec {
+    use grt_ml::{LayerOp, LayerSpec, NetworkSpec};
+    NetworkSpec {
+        name: "DIFF-TINY",
+        input_len: 16,
+        output_len: 10,
+        layers: vec![
+            LayerSpec {
+                name: "fc",
+                op: LayerOp::Fc {
+                    in_dim: 16,
+                    out_dim: 10,
+                    relu: false,
+                },
+                splits: 1,
+                setup_jobs: 1,
+                nominal_macs: 0,
+                nominal_data_bytes: 0,
+                save_skip: false,
+            },
+            LayerSpec {
+                name: "sm",
+                op: LayerOp::Softmax { len: 10 },
+                splits: 1,
+                setup_jobs: 0,
+                nominal_macs: 0,
+                nominal_data_bytes: 0,
+                save_skip: false,
+            },
+        ],
+    }
+}
+
+/// The four modeled Mali SKUs, indexable for randomized fleet mixes.
+fn sku_pool() -> Vec<GpuSku> {
+    vec![
+        GpuSku::mali_g71_mp8(),
+        GpuSku::mali_g72_mp12(),
+        GpuSku::mali_g71_mp4(),
+        GpuSku::mali_g76_mp10(),
+    ]
+}
+
+/// Both schedulers agree on the nominal traces the rest of this suite
+/// exercises: a saturated fleet, a bursty overload with rejections and
+/// timeouts, and a two-model mix over a cold and then a warmed registry.
+#[test]
+fn schedulers_agree_on_nominal_traces() {
+    // Saturated single-model fleet (the queue-length-1 workload).
+    let cfg = FleetConfig {
+        queue_capacity: 128,
+        ..FleetConfig::new(vec![GpuSku::mali_g71_mp8(), GpuSku::mali_g71_mp4()])
+    };
+    let trace = generate_trace(
+        1,
+        &TraceConfig {
+            mean_interarrival: SimTime::from_micros(200),
+            ..TraceConfig::new(40, 11)
+        },
+    );
+    assert_schedulers_agree("saturated", &[grt_ml::zoo::mnist()], &cfg, &trace, None);
+
+    // Bursty overload: rejections and deadline timeouts on both sides.
+    let cfg = FleetConfig {
+        queue_capacity: 4,
+        ..FleetConfig::new(vec![GpuSku::mali_g71_mp8()])
+    };
+    let trace = generate_trace(
+        1,
+        &TraceConfig {
+            mean_interarrival: SimTime::from_millis(5),
+            timeout: SimTime::from_secs(2),
+            ..TraceConfig::new(50, 7)
+        },
+    );
+    assert_schedulers_agree("burst", &[grt_ml::zoo::mnist()], &cfg, &trace, None);
+
+    // Two models over two SKUs, cold registry then a warmed clone.
+    let models = vec![grt_ml::zoo::mnist(), grt_ml::zoo::alexnet()];
+    let cfg = FleetConfig {
+        queue_capacity: 64,
+        ..FleetConfig::new(vec![GpuSku::mali_g71_mp8(), GpuSku::mali_g72_mp12()])
+    };
+    let trace = generate_trace(models.len(), &TraceConfig::new(24, 9));
+    assert_schedulers_agree("two-model cold", &models, &cfg, &trace, None);
+
+    let mut warmer = Fleet::new(models.clone(), cfg.clone());
+    warmer.run(&trace);
+    let mut warmed = warmer.into_registry();
+    warmed.reset_stats();
+    assert_schedulers_agree("two-model warm", &models, &cfg, &trace, Some(&warmed));
+}
+
+/// Fifty seeded random fleet configurations — mixed SKU fleets, queue
+/// depths, affinity slack, service modes, fault plans, cold and warmed
+/// registries — all produce byte-identical reports from both schedulers.
+/// Any seed that fails reproduces exactly from its printed label.
+#[test]
+fn schedulers_agree_on_random_configs() {
+    let spec = tiny_spec();
+    let models = vec![spec.clone()];
+    let pool = sku_pool();
+
+    // One warmed registry covering every SKU; cloned per case per side so
+    // cold-start records never repeat for warm cases.
+    let mut warmed = RecordingRegistry::new(grt_serve::RegistryConfig::new(8));
+    for sku in &pool {
+        warmed.warm(&spec, sku).expect("fault-free warm-up record");
+    }
+    warmed.reset_stats();
+
+    for seed in 0..50u64 {
+        let mut rng = Rng::new(0xD1FF_0000 + seed);
+        let cold_case = seed % 8 == 0;
+        // Cold cases pay real on-demand records on both sides; keep those
+        // fleets single-SKU so the sweep stays affordable.
+        let devices = if cold_case {
+            1 + (rng.next_u64() % 2) as usize
+        } else {
+            1 + (rng.next_u64() % 5) as usize
+        };
+        let skus: Vec<GpuSku> = (0..devices)
+            .map(|_| {
+                if cold_case {
+                    pool[0].clone()
+                } else {
+                    pool[(rng.next_u64() % pool.len() as u64) as usize].clone()
+                }
+            })
+            .collect();
+        let mut cfg = FleetConfig {
+            queue_capacity: (rng.next_u64() % 8) as usize,
+            affinity_slack: (rng.next_u64() % 3) as usize,
+            ..FleetConfig::new(skus)
+        };
+        if rng.chance(0.5) {
+            cfg = cfg.with_service_mode(ServiceMode::Profiled);
+        }
+        if rng.chance(0.6) {
+            let plan = FaultPlan::generate(
+                seed,
+                &FaultPlanConfig {
+                    horizon: SimTime::from_secs(3),
+                    devices,
+                    ..FaultPlanConfig::default()
+                },
+            );
+            cfg = cfg.with_faults(Rc::new(plan));
+        }
+        let trace = generate_trace(
+            models.len(),
+            &TraceConfig {
+                mean_interarrival: SimTime::from_millis(1 + rng.next_u64() % 40),
+                timeout: if rng.chance(0.3) {
+                    SimTime::from_secs(1)
+                } else {
+                    SimTime::from_secs(30)
+                },
+                ..TraceConfig::new(3 + (rng.next_u64() % 6) as usize, seed)
+            },
+        );
+        let label = format!(
+            "seed {seed}: {devices} devices, q{}, slack {}, {:?}, {}, {} requests",
+            cfg.queue_capacity,
+            cfg.affinity_slack,
+            cfg.service,
+            if cfg.faults.is_some() {
+                "faulted"
+            } else {
+                "fault-free"
+            },
+            trace.len()
+        );
+        let registry = if cold_case { None } else { Some(&warmed) };
+        assert_schedulers_agree(&label, &models, &cfg, &trace, registry);
+    }
+}
+
+/// 200-device chaos soak at the event-indexed scheduler: a generated
+/// fault schedule plus a pinned rapid triple crash on device 0 (three
+/// consecutive failures with no success in between, forcing an eviction
+/// and queue failover). The run must keep every invariant and be
+/// bit-identical when repeated.
+#[test]
+fn event_indexed_chaos_soak_200_devices() {
+    let spec = tiny_spec();
+    let pool = sku_pool();
+    let skus: Vec<GpuSku> = (0..200).map(|i| pool[i % pool.len()].clone()).collect();
+    let plan = Rc::new(
+        FaultPlan::generate(
+            0xC4A0_5E20,
+            &FaultPlanConfig {
+                horizon: SimTime::from_secs(5),
+                devices: skus.len(),
+                ..FaultPlanConfig::default()
+            },
+        )
+        // Overlapping crashes: the second and third land while device 0
+        // is already down, so no success can reset the failure streak.
+        .with_crash(0, SimTime::from_millis(500), SimTime::from_millis(200))
+        .with_crash(0, SimTime::from_millis(520), SimTime::from_millis(200))
+        .with_crash(0, SimTime::from_millis(540), SimTime::from_millis(200)),
+    );
+    let cfg = FleetConfig {
+        queue_capacity: 4,
+        ..FleetConfig::new(skus)
+    }
+    .with_scheduler(SchedulerKind::EventIndexed)
+    .with_service_mode(ServiceMode::Profiled)
+    .with_faults(plan);
+    let trace = generate_trace(
+        1,
+        &TraceConfig {
+            mean_interarrival: SimTime::from_millis(2),
+            ..TraceConfig::new(600, 17)
+        },
+    );
+
+    let run = |label: &str| {
+        let mut fleet = Fleet::new(vec![spec.clone()], cfg.clone());
+        let (report, metrics) = fleet.run_detailed(&trace);
+        assert!(
+            report.max_inflight <= 1,
+            "[{label}] queue-length-1 violated"
+        );
+        assert_eq!(
+            report.completed + report.rejected + report.timed_out + report.failed,
+            report.submitted,
+            "[{label}] requests leaked"
+        );
+        assert!(report.crashes > 0, "[{label}] no crash was processed");
+        assert!(
+            report.evictions > 0,
+            "[{label}] the pinned triple crash must evict device 0"
+        );
+        assert!(
+            report.failovers > 0,
+            "[{label}] crashes must force failovers"
+        );
+        assert_eq!(
+            report.receipts_issued, report.completed,
+            "[{label}] every completed serve issues exactly one receipt"
+        );
+        assert_eq!(
+            report.receipts_verified, report.receipts_issued,
+            "[{label}] every issued receipt verifies"
+        );
+        (report.to_json(), metrics)
+    };
+    let (json_a, metrics_a) = run("soak A");
+    let (json_b, metrics_b) = run("soak B");
+    assert_eq!(json_a, json_b, "chaos soak is not deterministic");
+    assert_eq!(metrics_a, metrics_b, "chaos metrics are not deterministic");
+}
+
+/// The metrics collector's footprint is a function of its configuration,
+/// not of how many requests flow through it: once the capped event logs
+/// saturate, serving 4x the traffic leaves `approx_bytes()` unchanged.
+#[test]
+fn metrics_memory_is_bounded_by_log_cap() {
+    // Zero-capacity queues reject everything instantly, so this measures
+    // pure metrics behavior without any replay cost.
+    let footprint = |requests: usize| {
+        let cfg = FleetConfig {
+            queue_capacity: 0,
+            ..FleetConfig::new(vec![GpuSku::mali_g71_mp8()])
+        }
+        .with_event_log_cap(64);
+        let mut fleet = Fleet::new(vec![grt_ml::zoo::mnist()], cfg);
+        let trace = generate_trace(1, &TraceConfig::new(requests, 5));
+        let (report, metrics) = fleet.run_detailed(&trace);
+        assert_eq!(report.rejected, requests as u64);
+        assert_eq!(metrics.rejections.len(), 64, "log must cap at 64 entries");
+        metrics.approx_bytes()
+    };
+    let small = footprint(100);
+    let large = footprint(400);
+    assert_eq!(
+        small, large,
+        "metrics footprint must not grow with request count"
+    );
+    assert!(small < 256 * 1024, "footprint unexpectedly large: {small}");
 }
 
 /// Rejections carry a positive retry-after hint (the backpressure signal
