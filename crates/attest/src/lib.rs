@@ -557,6 +557,56 @@ pub fn verify_receipt_data(
     Ok(())
 }
 
+/// Domain-separation tag for batched-replay input-digest commitments.
+const BATCH_INPUT_MAGIC: &[u8; 8] = b"GRTBATIN";
+
+/// Commits a batch of per-input digests to the single `input_digest` slot
+/// of a [`ReplayReceipt`] (DESIGN.md §14).
+///
+/// A batch of one commits to the input directly — `batch_input_digest(&[d])
+/// == d` — so a B=1 batched replay emits a receipt byte-identical to the
+/// scalar replay's. Wider batches hash a domain-separated vector (tag,
+/// count, then each 32-byte digest in lane order), which cannot collide
+/// with a plain `Sha256::digest(input_bytes)` of any staged input because
+/// the replayer's input digests are computed over f32 payload bytes, not
+/// over this tagged encoding.
+pub fn batch_input_digest(digests: &[[u8; 32]]) -> [u8; 32] {
+    match digests {
+        [single] => *single,
+        many => {
+            let mut buf = Vec::with_capacity(8 + 4 + many.len() * 32);
+            buf.extend_from_slice(BATCH_INPUT_MAGIC);
+            put_u32(&mut buf, many.len() as u32);
+            for d in many {
+                buf.extend_from_slice(d);
+            }
+            Sha256::digest(&buf)
+        }
+    }
+}
+
+/// Checks a verified batch receipt's digests against the actual per-lane
+/// input byte vectors staged and the concatenated output bytes received.
+///
+/// The batched counterpart of [`verify_receipt_data`]: the receipt's
+/// `input_digest` must equal [`batch_input_digest`] over the per-lane
+/// input digests, and `output_digest` must cover the lane outputs
+/// concatenated in lane order.
+pub fn verify_batch_receipt_data(
+    receipt: &ReplayReceipt,
+    input_lanes: &[Vec<u8>],
+    output_bytes: &[u8],
+) -> Result<(), VerifyError> {
+    let digests: Vec<[u8; 32]> = input_lanes.iter().map(|b| Sha256::digest(b)).collect();
+    if batch_input_digest(&digests) != receipt.input_digest {
+        return Err(VerifyError::InputDigestMismatch);
+    }
+    if Sha256::digest(output_bytes) != receipt.output_digest {
+        return Err(VerifyError::OutputDigestMismatch);
+    }
+    Ok(())
+}
+
 // ---------------------------------------------------------------------------
 // Registry export
 // ---------------------------------------------------------------------------

@@ -22,7 +22,14 @@
 //! aggregate against the checked-in `BENCH_replay.json`. Wall-clock
 //! timing goes to stderr only.
 //!
-//! Usage: `replay_bench` (no arguments).
+//! With `--batch B` (B ≥ 2) each network additionally runs one B-way
+//! batched replay (`Replayer::replay_compiled_batch`, DESIGN.md §14):
+//! lane 0 carries the same input as the scalar warm replay — asserted
+//! bit-identical, the in-bench oracle — and the row gains a `batched`
+//! block with `warm_inferences_per_sec`, the number the batched-replay
+//! CI gate holds at ≥ 3× `warm_replays_per_sec` on ResNet12 and VGG16.
+//!
+//! Usage: `replay_bench [--batch B]`
 
 use grt_bench::{benchmarks, record_warm};
 use grt_core::replay::{workload_weights, Replayer};
@@ -41,11 +48,25 @@ fn per_sec(events: u64, ns: u64) -> u64 {
 }
 
 fn main() -> std::process::ExitCode {
-    if std::env::args().len() > 1 {
-        eprintln!("usage: replay_bench");
-        eprintln!("  (no arguments; emits deterministic JSON on stdout)");
-        return std::process::ExitCode::from(2);
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let batch = match args.as_slice() {
+        [] => None,
+        [flag, b] if flag == "--batch" => match b.parse::<usize>() {
+            Ok(b) if (2..=grt_core::compiled::MAX_BATCH).contains(&b) => Some(b),
+            _ => {
+                eprintln!(
+                    "replay_bench: --batch must be in 2..={}",
+                    grt_core::compiled::MAX_BATCH
+                );
+                return std::process::ExitCode::from(2);
+            }
+        },
+        _ => {
+            eprintln!("usage: replay_bench [--batch B]");
+            eprintln!("  (emits deterministic JSON on stdout)");
+            return std::process::ExitCode::from(2);
+        }
+    };
     let wall = std::time::Instant::now();
 
     let mut rows = Vec::new();
@@ -97,6 +118,40 @@ fn main() -> std::process::ExitCode {
             fast.exec.tlb.misses
         );
 
+        // Optional B-way batched replay: one compiled-arena pass serving
+        // B inputs. Lane 0 reuses the scalar input so the batch has an
+        // in-run oracle; the other lanes get fresh randomized inputs.
+        let batched_json = batch.map(|b| {
+            let mut inputs: Vec<Vec<f32>> = Vec::with_capacity(b);
+            inputs.push(input.clone());
+            for lane in 1..b {
+                inputs.push(test_input(&spec, 7000 + lane as u64));
+            }
+            let (outs, batch_total) = replayer
+                .replay_compiled_batch(&compiled, &inputs, &weights)
+                .expect("batched replay succeeds");
+            assert_eq!(
+                compiled_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                outs[0].iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{}: batched lane 0 must be bit-identical to the scalar warm replay",
+                spec.name
+            );
+            let total_ns = batch_total.as_nanos();
+            let per_inference = total_ns / b as u64;
+            format!(
+                concat!(
+                    "\"batched\": {{\"batch\": {}, \"total_ns\": {}, ",
+                    "\"ns_per_inference\": {}, \"warm_inferences_per_sec\": {:.3}, ",
+                    "\"speedup_vs_scalar\": {:.3}}}, "
+                ),
+                b,
+                total_ns,
+                per_inference,
+                b as f64 * 1e9 / total_ns as f64,
+                b as f64 * fast.total.as_nanos() as f64 / total_ns as f64,
+            )
+        });
+
         let interp_overhead = interp.overhead.as_nanos();
         let fast_overhead = fast.overhead.as_nanos();
         sum_events += interp.events;
@@ -137,6 +192,7 @@ fn main() -> std::process::ExitCode {
                 "\"interpreted\": {{\"overhead_ns\": {}, \"total_ns\": {}, \"events_per_sec\": {}}}, ",
                 "\"compiled\": {{\"overhead_ns\": {}, \"total_ns\": {}, \"events_per_sec\": {}}}, ",
                 "\"cold_replay_ns\": {}, \"warm_replay_ns\": {}, \"warm_replays_per_sec\": {:.3}, ",
+                "{}",
                 "\"overhead_speedup\": {:.3}, ",
                 "\"tlb\": {{\"hits\": {}, \"misses\": {}, \"flushes\": {}}}, ",
                 "\"ops\": [{}], ",
@@ -156,6 +212,7 @@ fn main() -> std::process::ExitCode {
             compile_ns + fast.total.as_nanos(),
             fast.total.as_nanos(),
             1e9 / fast.total.as_nanos() as f64,
+            batched_json.unwrap_or_default(),
             interp_overhead as f64 / fast_overhead as f64,
             fast.exec.tlb.hits,
             fast.exec.tlb.misses,

@@ -28,11 +28,16 @@
 //! conservation, bounded metrics memory) machine-checked. Output is a
 //! deterministic JSON document — two runs are byte-identical.
 //!
-//! Usage: `serve_bench [REQUESTS] [SEED] [--fault-plan SEED]`
+//! With `--batch B` every pass serves up to `B` consecutive same-model
+//! requests per device through one batched replay (`RUN_BATCH`,
+//! DESIGN.md §14) instead of `B` sequential scalar serves; the report's
+//! `batching` section shows how many intervals actually batched.
+//!
+//! Usage: `serve_bench [REQUESTS] [SEED] [--fault-plan SEED] [--batch B]`
 //!    or: `serve_bench --fleet N [--requests M] [--shards S]
-//!         [--interarrival-us U] [SEED]`
-//! (defaults: 1200 requests, seed 42, no fault plan; fleet mode: 100000
-//! requests, 8 shards, 50 µs mean interarrival).
+//!         [--interarrival-us U] [--batch B] [SEED]`
+//! (defaults: 1200 requests, seed 42, no fault plan, batch 1; fleet
+//! mode: 100000 requests, 8 shards, 50 µs mean interarrival).
 
 use grt_attest::ReplayReceipt;
 use grt_bench::{benchmarks, fleet_of, heterogeneous_fleet};
@@ -47,13 +52,15 @@ use grt_sim::{Clock, FaultPlan, FaultPlanConfig, SimTime, Stats};
 use std::rc::Rc;
 
 fn usage() -> std::process::ExitCode {
-    eprintln!("usage: serve_bench [REQUESTS] [SEED] [--fault-plan SEED]");
+    eprintln!("usage: serve_bench [REQUESTS] [SEED] [--fault-plan SEED] [--batch B]");
     eprintln!(
-        "       serve_bench --fleet N [--requests M] [--shards S] [--interarrival-us U] [SEED]"
+        "       serve_bench --fleet N [--requests M] [--shards S] [--interarrival-us U] \
+         [--batch B] [SEED]"
     );
     eprintln!("  REQUESTS            number of requests to simulate (default 1200)");
     eprintln!("  SEED                trace RNG seed (default 42)");
     eprintln!("  --fault-plan SEED   add a faulted pass under a chaos schedule");
+    eprintln!("  --batch B           serve up to B same-model requests per replay (default 1)");
     eprintln!("  --fleet N           fleet-scale scenario over N devices (profiled service)");
     eprintln!("  --requests M        fleet-mode request count (default 100000)");
     eprintln!("  --shards S          fleet-mode registry shard count (default 8)");
@@ -87,12 +94,16 @@ fn take_value_flag<T: std::str::FromStr>(
     parse_arg(&value, name).map(Some).ok_or(())
 }
 
-/// Every completed serve must have produced a receipt that verified
+/// Every service interval must have produced a receipt that verified
 /// against the provenance chain; honest devices never yield rejections.
+/// A batched interval issues exactly one receipt covering all of its
+/// requests, so `receipts == completed - (batched_requests - batches)`;
+/// with `max_batch = 1` this is the classic one-receipt-per-completion.
 fn assert_receipts(pass: &str, report: &ServeReport) {
     assert_eq!(
-        report.receipts_issued, report.completed,
-        "{pass}: every completed serve issues exactly one receipt"
+        report.receipts_issued + report.batched_requests - report.batches,
+        report.completed,
+        "{pass}: every service interval issues exactly one receipt"
     );
     assert_eq!(
         report.receipts_verified, report.receipts_issued,
@@ -208,6 +219,7 @@ fn run_fleet_scale(
     seed: u64,
     shards: usize,
     interarrival_us: u64,
+    max_batch: usize,
 ) -> std::process::ExitCode {
     let models = benchmarks();
     let distinct_skus = {
@@ -233,6 +245,7 @@ fn run_fleet_scale(
     }
     .with_scheduler(SchedulerKind::EventIndexed)
     .with_service_mode(ServiceMode::Profiled)
+    .with_max_batch(max_batch)
     .with_event_log_cap(1024);
     // Every (model, SKU) pair must stay resident: a single eviction would
     // re-run a real multi-second cold record. Sizing each shard for the
@@ -274,8 +287,8 @@ fn run_fleet_scale(
     println!(
         "\"config\": {{\"devices\": {devices}, \"requests\": {requests}, \"models\": {}, \
          \"seed\": {seed}, \"registry_shards\": {shards}, \"queue_capacity\": 32, \
-         \"mean_interarrival_us\": {interarrival_us}, \"scheduler\": \"event-indexed\", \
-         \"service\": \"profiled\"}},",
+         \"mean_interarrival_us\": {interarrival_us}, \"max_batch\": {max_batch}, \
+         \"scheduler\": \"event-indexed\", \"service\": \"profiled\"}},",
         models.len()
     );
     println!("\"registry_shards\": [{}],", shard_json.join(", "));
@@ -324,6 +337,17 @@ fn main() -> std::process::ExitCode {
     let Ok(fleet_interarrival) = take_value_flag::<u64>(&mut args, "--interarrival-us") else {
         return usage();
     };
+    let Ok(max_batch) = take_value_flag::<usize>(&mut args, "--batch") else {
+        return usage();
+    };
+    let max_batch = max_batch.unwrap_or(1);
+    if !(1..=grt_core::compiled::MAX_BATCH).contains(&max_batch) {
+        eprintln!(
+            "serve_bench: --batch must be in 1..={}",
+            grt_core::compiled::MAX_BATCH
+        );
+        return usage();
+    }
     if let Some(devices) = fleet_devices {
         if fault_seed.is_some() {
             eprintln!("serve_bench: --fleet and --fault-plan are separate scenarios");
@@ -343,6 +367,7 @@ fn main() -> std::process::ExitCode {
             seed,
             fleet_shards.unwrap_or(8).max(1),
             fleet_interarrival.unwrap_or(50).max(1),
+            max_batch,
         );
     }
     if fleet_requests.is_some() || fleet_shards.is_some() || fleet_interarrival.is_some() {
@@ -374,7 +399,8 @@ fn main() -> std::process::ExitCode {
     let fleet_cfg = FleetConfig {
         queue_capacity: 256,
         ..FleetConfig::new(skus.clone())
-    };
+    }
+    .with_max_batch(max_batch);
     let trace = generate_trace(models.len(), &trace_cfg);
 
     eprintln!(
@@ -440,6 +466,7 @@ fn main() -> std::process::ExitCode {
             queue_capacity: 256,
             ..FleetConfig::new(skus.clone())
         }
+        .with_max_batch(max_batch)
         .with_faults(plan);
         let mut faulted_fleet = Fleet::new(benchmarks(), faulted_cfg);
         let report = faulted_fleet.run(&trace);
@@ -462,7 +489,7 @@ fn main() -> std::process::ExitCode {
 
     println!("{{");
     println!(
-        "\"config\": {{\"requests\": {}, \"devices\": {}, \"models\": 6, \"seed\": {seed}, \"fault_plan_seed\": {}, \"mean_interarrival_ms\": 40, \"queue_capacity\": 256}},",
+        "\"config\": {{\"requests\": {}, \"devices\": {}, \"models\": 6, \"seed\": {seed}, \"fault_plan_seed\": {}, \"mean_interarrival_ms\": 40, \"queue_capacity\": 256, \"max_batch\": {max_batch}}},",
         requests,
         skus.len(),
         fault_seed.map_or("null".to_string(), |s| s.to_string()),

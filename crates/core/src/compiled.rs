@@ -222,6 +222,96 @@ impl CompiledRecording {
     pub fn recording_digest(&self) -> [u8; 32] {
         self.recording_digest
     }
+
+    /// Derives the batch execution plan for a `batch`-way replay
+    /// (DESIGN.md §14): one pass over the op arena serving `batch` inputs,
+    /// with `batch - 1` extra memory lanes whose data pages carry the
+    /// non-primary inputs. Validation happens here so the batched executor
+    /// can treat the plan as well-formed by construction.
+    pub fn batch_plan(&self, batch: usize) -> Result<BatchPlan, BatchPlanError> {
+        if batch == 0 {
+            return Err(BatchPlanError::EmptyBatch);
+        }
+        if batch > MAX_BATCH {
+            return Err(BatchPlanError::BatchTooLarge {
+                batch,
+                max: MAX_BATCH,
+            });
+        }
+        Ok(BatchPlan {
+            batch,
+            input: self.input,
+            output: self.output,
+        })
+    }
+}
+
+/// Upper bound on batched-replay width: each extra lane clones the
+/// device's memory image, so the bound keeps a hostile `RUN_BATCH` from
+/// driving unbounded allocation inside the TA.
+pub const MAX_BATCH: usize = 64;
+
+/// A rejected batch geometry (see [`CompiledRecording::batch_plan`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPlanError {
+    /// A batch must carry at least one input.
+    EmptyBatch,
+    /// The requested width exceeds [`MAX_BATCH`].
+    BatchTooLarge {
+        /// Requested width.
+        batch: usize,
+        /// The enforced bound.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for BatchPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchPlanError::EmptyBatch => write!(f, "empty batch"),
+            BatchPlanError::BatchTooLarge { batch, max } => {
+                write!(f, "batch {batch} exceeds the bound of {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchPlanError {}
+
+/// The execution plan for one batched replay: `batch` inputs staged into
+/// per-lane copies of [`BatchPlan::input`], one op-arena pass, `batch`
+/// output regions committed from per-lane copies of [`BatchPlan::output`].
+///
+/// Lane 0 is the device's primary memory; lanes `1..batch` are full memory
+/// images cloned after reset/wipe/weight/input restore with the input slot
+/// overwritten, so each lane starts byte-identical to the memory a scalar
+/// replay of that input would see — the basis for the bitwise-equality
+/// oracle against sequential replays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPlan {
+    /// Number of inputs served by the single arena pass (≥ 1).
+    pub batch: usize,
+    /// The recording's input slot; every lane stages its image here.
+    pub input: DataSlot,
+    /// The recording's output slot; every lane's region is committed.
+    pub output: DataSlot,
+}
+
+impl BatchPlan {
+    /// Number of extra memory lanes beyond the primary (`batch - 1`).
+    pub fn extra_lanes(&self) -> usize {
+        self.batch - 1
+    }
+
+    /// Bytes of input staged per lane.
+    pub fn input_bytes(&self) -> usize {
+        self.input.len_elems as usize * 4
+    }
+
+    /// Bytes of output committed per lane.
+    pub fn output_bytes(&self) -> usize {
+        self.output.len_elems as usize * 4
+    }
 }
 
 /// Lowers a parsed recording into its compiled form.

@@ -202,6 +202,13 @@ pub struct Replayer {
     provenance_digest: Option<[u8; 32]>,
     /// Receipt of the most recent successful replay.
     last_receipt: Option<ReplayReceipt>,
+    /// Extra memory lanes of an in-flight batched replay (DESIGN.md §14):
+    /// the same images attached to the GPU via `set_batch_lanes`, held
+    /// here so metastate deltas ([`Op::LoadDelta`]) apply to every lane.
+    /// Empty outside [`Replayer::replay_compiled_batch`].
+    batch_lanes: Vec<Rc<std::cell::RefCell<grt_gpu::Memory>>>,
+    /// Reused f32 → wire staging buffer for batch input lanes.
+    upload: grt_runtime::UploadScratch,
 }
 
 impl Replayer {
@@ -223,6 +230,8 @@ impl Replayer {
             profile: ReplayProfile::default(),
             provenance_digest: None,
             last_receipt: None,
+            batch_lanes: Vec::new(),
+            upload: grt_runtime::UploadScratch::default(),
         }
     }
 
@@ -257,8 +266,25 @@ impl Replayer {
         input: &[f32],
         raw_output: &[u8],
     ) {
-        let gpu_id = self.device_gpu.borrow().sku().gpu_id;
         let input_bytes: Vec<u8> = input.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.emit_receipt_digested(
+            workload,
+            recording_digest,
+            Sha256::digest(&input_bytes),
+            raw_output,
+        );
+    }
+
+    /// Receipt emission core shared by scalar and batched replays: the
+    /// caller supplies the (possibly batch-committed) input digest.
+    fn emit_receipt_digested(
+        &mut self,
+        workload: &str,
+        recording_digest: [u8; 32],
+        input_digest: [u8; 32],
+        raw_output: &[u8],
+    ) {
+        let gpu_id = self.device_gpu.borrow().sku().gpu_id;
         let counters = ReceiptCounters {
             events: self.profile.events,
             overhead_ns: self.profile.overhead.as_nanos(),
@@ -272,7 +298,7 @@ impl Replayer {
             gpu_id,
             recording_digest,
             self.provenance_digest.unwrap_or([0u8; 32]),
-            Sha256::digest(&input_bytes),
+            input_digest,
             Sha256::digest(raw_output),
             counters,
             crate::session::PROVISIONING_SECRET,
@@ -584,6 +610,142 @@ impl Replayer {
         Ok((out, self.profile.total))
     }
 
+    /// Replays a compiled recording once for a whole batch of inputs
+    /// (DESIGN.md §14): one pass over the op arena serves `inputs.len()`
+    /// inference inputs, sharing the control dialog (register writes,
+    /// polls, interrupt waits, metastate deltas, reset/wipe/restore) and
+    /// the batch-resident operand traffic across the batch.
+    ///
+    /// Lane 0 runs on the device's primary memory exactly as
+    /// [`Replayer::replay_compiled`] would; each extra input gets a full
+    /// memory lane cloned after restore with only the input slot rewritten,
+    /// so every lane's bytes evolve exactly as a scalar replay of that
+    /// input — batched outputs are bitwise identical to sequential ones,
+    /// property-tested across the zoo. With a single input this *is* the
+    /// scalar path: no lanes are attached and the emitted receipt is
+    /// byte-identical to [`Replayer::replay_compiled`]'s.
+    ///
+    /// One [`ReplayReceipt`] covers the batch: its input digest commits to
+    /// the per-lane input-digest vector via
+    /// [`grt_attest::batch_input_digest`] and its output digest covers the
+    /// lane outputs concatenated in lane order (verify with
+    /// [`grt_attest::verify_batch_receipt_data`]).
+    pub fn replay_compiled_batch(
+        &mut self,
+        compiled: &CompiledRecording,
+        inputs: &[Vec<f32>],
+        weights: &[Vec<f32>],
+    ) -> Result<(Vec<Vec<f32>>, SimTime), ReplayError> {
+        let plan = compiled
+            .batch_plan(inputs.len())
+            .map_err(|_| ReplayError::BadInput)?;
+        let present = self.device_gpu.borrow().sku().gpu_id;
+        if compiled.gpu_id != present {
+            return Err(ReplayError::WrongSku {
+                recorded: compiled.gpu_id,
+                present,
+            });
+        }
+        if weights.len() != compiled.weights.len() {
+            return Err(ReplayError::BadInput);
+        }
+        for input in inputs {
+            if input.len() != compiled.input.len_elems as usize {
+                return Err(ReplayError::BadInput);
+            }
+        }
+        for (slot, w) in compiled.weights.iter().zip(weights) {
+            if w.len() != slot.len_elems as usize {
+                return Err(ReplayError::BadInput);
+            }
+        }
+
+        self.profile = ReplayProfile::default();
+        let t0 = self.clock.now();
+        let exec0 = self.device_gpu.borrow().exec_stats();
+        self.tzasc.claim(
+            crate::client::GPU_MMIO_BASE,
+            crate::client::GPU_MMIO_LEN,
+            grt_tee::World::Secure,
+        );
+        self.device_gpu.borrow_mut().hard_reset_now();
+        self.device_mem.borrow_mut().wipe();
+        {
+            let mut mem = self.device_mem.borrow_mut();
+            for (slot, w) in compiled.weights.iter().zip(weights) {
+                let bytes: Vec<u8> = w.iter().flat_map(|v| v.to_le_bytes()).collect();
+                mem.restore_range(slot.pa, &bytes);
+            }
+            let bytes: Vec<u8> = inputs[0].iter().flat_map(|v| v.to_le_bytes()).collect();
+            mem.restore_range(compiled.input.pa, &bytes);
+        }
+        // Lane images: clone the restored primary, then overwrite the
+        // input slot. The clone covers the whole address space — page
+        // tables, descriptors, weight pages — so lane b starts
+        // byte-identical to what `replay_compiled(inputs[b], ...)` would
+        // stage.
+        for input in &inputs[1..] {
+            let mut lane = self.device_mem.borrow().clone();
+            lane.restore_range(plan.input.pa, self.upload.stage(input));
+            self.batch_lanes
+                .push(Rc::new(std::cell::RefCell::new(lane)));
+        }
+        self.device_gpu
+            .borrow_mut()
+            .set_batch_lanes(self.batch_lanes.clone());
+
+        for op in compiled.ops() {
+            if let Err(e) = self.exec_op(compiled, op) {
+                self.detach_lanes();
+                self.cleanup();
+                return Err(e);
+            }
+        }
+
+        // Commit the batch: lane 0 from the primary memory, then each
+        // extra lane's output region, concatenated in lane order for the
+        // batch receipt.
+        let out_len = plan.output_bytes();
+        let mut raws: Vec<Vec<u8>> = Vec::with_capacity(plan.batch);
+        raws.push(self.device_mem.borrow().dump_range(plan.output.pa, out_len));
+        for lane in &self.batch_lanes {
+            raws.push(lane.borrow().dump_range(plan.output.pa, out_len));
+        }
+        self.detach_lanes();
+        let outs: Vec<Vec<f32>> = raws
+            .iter()
+            .map(|raw| {
+                raw.chunks_exact(4)
+                    .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect()
+            })
+            .collect();
+        self.cleanup();
+        self.profile.exec = self.device_gpu.borrow().exec_stats().delta_since(&exec0);
+        self.profile.total = self.clock.now() - t0;
+        let input_digests: Vec<[u8; 32]> = inputs
+            .iter()
+            .map(|input| {
+                let bytes: Vec<u8> = input.iter().flat_map(|v| v.to_le_bytes()).collect();
+                Sha256::digest(&bytes)
+            })
+            .collect();
+        let concat: Vec<u8> = raws.concat();
+        self.emit_receipt_digested(
+            &compiled.workload,
+            compiled.recording_digest(),
+            grt_attest::batch_input_digest(&input_digests),
+            &concat,
+        );
+        Ok((outs, self.profile.total))
+    }
+
+    /// Detaches batch lanes from the GPU and drops the replayer's copies.
+    fn detach_lanes(&mut self) {
+        self.device_gpu.borrow_mut().take_batch_lanes();
+        self.batch_lanes.clear();
+    }
+
     /// Executes one compiled op. No decoding, no validation of
     /// encoding-level invariants — [`compile`] already established them.
     fn exec_op(&mut self, compiled: &CompiledRecording, op: &Op) -> Result<(), ReplayError> {
@@ -649,6 +811,17 @@ impl Replayer {
                     let mut mem = self.device_mem.borrow_mut();
                     for (page, xor) in d.parsed.pages() {
                         mem.xor_range(d.pa + u64::from(*page) * grt_gpu::PAGE_SIZE as u64, xor);
+                    }
+                }
+                // Batched replay: metastate evolves identically across
+                // lanes (the delta targets control pages, not per-input
+                // data), so the same XOR lands on every lane. The time is
+                // charged once per batch below — one stream of pre-parsed
+                // pages fans out to all images.
+                for lane in &self.batch_lanes {
+                    let mut lmem = lane.borrow_mut();
+                    for (page, xor) in d.parsed.pages() {
+                        lmem.xor_range(d.pa + u64::from(*page) * grt_gpu::PAGE_SIZE as u64, xor);
                     }
                 }
                 // In-place XOR of pre-parsed pages streams at memory

@@ -32,6 +32,11 @@ pub mod cmd {
     /// params: none. Returns the serialized `grt_attest::ReplayReceipt`
     /// of the most recent successful `RUN`.
     pub const RECEIPT: u32 = 6;
+    /// params: `u32-LE batch count B ‖ B × f32-LE input images`. Runs one
+    /// batched replay over the staged recording and weights (DESIGN.md
+    /// §14); returns `B × f32-LE output vectors` concatenated in lane
+    /// order. Staged `SET_INPUT` state is untouched.
+    pub const RUN_BATCH: u32 = 7;
 }
 
 /// The trusted replay module.
@@ -162,6 +167,39 @@ impl TeeModule for ReplayService {
                     })?;
                 self.runs += 1;
                 Ok(out.iter().flat_map(|v| v.to_le_bytes()).collect())
+            }
+            cmd::RUN_BATCH => {
+                let compiled = self.compiled.clone().ok_or(GpStatus::BadParameters)?;
+                let weights: Option<Vec<Vec<f32>>> = self.weights.iter().cloned().collect();
+                let weights = weights.ok_or(GpStatus::BadParameters)?;
+                if input.len() < 4 {
+                    return Err(GpStatus::BadParameters);
+                }
+                let batch = u32::from_le_bytes([input[0], input[1], input[2], input[3]]) as usize;
+                let elems = compiled.input.len_elems as usize;
+                // The payload must carry exactly B images of the recorded
+                // input shape; the replayer re-validates against its
+                // batch-plan bound.
+                if batch == 0
+                    || batch > crate::compiled::MAX_BATCH
+                    || input.len() - 4 != batch * elems * 4
+                {
+                    return Err(GpStatus::BadParameters);
+                }
+                let all = Self::parse_f32s(&input[4..])?;
+                let inputs: Vec<Vec<f32>> = all.chunks_exact(elems).map(|c| c.to_vec()).collect();
+                let (outs, _) = self
+                    .replayer
+                    .replay_compiled_batch(&compiled, &inputs, &weights)
+                    .map_err(|e| match e {
+                        crate::replay::ReplayError::Rejected { .. } => GpStatus::AccessDenied,
+                        _ => GpStatus::Generic,
+                    })?;
+                self.runs += 1;
+                Ok(outs
+                    .iter()
+                    .flat_map(|out| out.iter().flat_map(|v| v.to_le_bytes()))
+                    .collect())
             }
             cmd::SET_PROVENANCE => {
                 let compiled = self.compiled.as_ref().ok_or(GpStatus::BadParameters)?;

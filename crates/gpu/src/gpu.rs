@@ -275,6 +275,17 @@ pub struct Gpu {
     prfcnt_clear_at: SimTime,
     /// GPU-busy time accumulated for the cycle counter.
     busy_until: SimTime,
+
+    /// Batched-replay lanes: additional memory images whose control state
+    /// (page tables, descriptors, metastate) is byte-identical to the
+    /// primary memory and whose data pages hold a different inference
+    /// input each. While attached, every job descriptor's shader program
+    /// re-executes once per lane against the lane's memory: descriptor
+    /// fetch, page walks, and batch-resident operand reads
+    /// ([`crate::shader::ExecReport::resident_elems`]) are paid once per
+    /// batch, marginal lanes pay only their data streaming cost. Empty in
+    /// scalar operation.
+    batch_lanes: Vec<Rc<RefCell<Memory>>>,
 }
 
 impl Gpu {
@@ -320,7 +331,22 @@ impl Gpu {
             prfcnt_clear_jobs: 0,
             prfcnt_clear_at: SimTime::ZERO,
             busy_until: SimTime::ZERO,
+            batch_lanes: Vec::new(),
         }
+    }
+
+    /// Attaches batch lanes for a batched replay. Each lane must be a full
+    /// memory image whose control state matches the primary memory (in
+    /// practice: a clone of the primary taken after reset/wipe/weight/input
+    /// restore, with the input slot overwritten by that lane's input).
+    /// Lanes stay attached until [`Gpu::take_batch_lanes`].
+    pub fn set_batch_lanes(&mut self, lanes: Vec<Rc<RefCell<Memory>>>) {
+        self.batch_lanes = lanes;
+    }
+
+    /// Detaches and returns the batch lanes, restoring scalar operation.
+    pub fn take_batch_lanes(&mut self) -> Vec<Rc<RefCell<Memory>>> {
+        std::mem::take(&mut self.batch_lanes)
     }
 
     /// The SKU this device instantiates.
@@ -858,11 +884,15 @@ impl Gpu {
 
         let mem_rc = Rc::clone(&self.mem);
         let mut mem = mem_rc.borrow_mut();
+        // Detach batch lanes for the duration of the chain so the lane loop
+        // below can run while `self` is mutably borrowed for TLB/stat
+        // bookkeeping. Restored before `finish_job`.
+        let lanes = std::mem::take(&mut self.batch_lanes);
         let mut total = JOB_BASE_TIME;
         let mut va = head;
         let mut status = jc::JS_STATUS_DONE;
         let mut hops = 0;
-        while va != 0 {
+        'chain: while va != 0 {
             hops += 1;
             if hops > 1024 {
                 status = jc::JS_STATUS_BAD_DESCRIPTOR;
@@ -927,6 +957,75 @@ impl Gpu {
                         va,
                         JobStatus::Done,
                     );
+                    // Batched replay: re-execute this descriptor's shader
+                    // program against every attached lane. Control state
+                    // (descriptor, page tables) is byte-identical across
+                    // lanes, so the descriptor fetched above is reused and
+                    // cached translations stay valid; only data pages
+                    // differ. Marginal lanes are charged their streamed
+                    // data accesses — batch-resident operands (weights,
+                    // biases, instruction fetches) and the run-granular
+                    // copy footprint are fetched once per batch and
+                    // subtracted from the charge.
+                    for lane in &lanes {
+                        let mut lmem = lane.borrow_mut();
+                        let lane_misses = self.tlb.stats().misses;
+                        match execute_program(
+                            &mut lmem,
+                            &walker,
+                            &mut self.tlb,
+                            &mut self.scratch,
+                            desc.shader_va,
+                            desc.n_instrs,
+                            self.sku.shader_cores,
+                        ) {
+                            Ok(lrep) => {
+                                self.macs_executed += lrep.macs;
+                                self.jobs_done += 1;
+                                self.exec_element_accesses += lrep.element_accesses;
+                                self.exec_bulk_runs += lrep.bulk_runs;
+                                let lwalks = self.tlb.stats().misses - lane_misses;
+                                let lcharged = (lrep.element_accesses - lrep.copy_elems
+                                    + lrep.copy_runs)
+                                    .saturating_sub(lrep.resident_elems);
+                                let ldur = job_exec_time(
+                                    desc.cost_us,
+                                    lrep.element_accesses,
+                                    lcharged,
+                                    lwalks,
+                                );
+                                self.accumulate_per_kind(&lrep, ldur.as_nanos());
+                                total += ldur;
+                                let _ = JobDescriptor::write_status_via_mmu_cached(
+                                    &mut lmem,
+                                    &walker,
+                                    &mut self.tlb,
+                                    va,
+                                    JobStatus::Done,
+                                );
+                            }
+                            Err(ShaderFault::TileMismatch { .. }) => {
+                                let _ = JobDescriptor::write_status_via_mmu_cached(
+                                    &mut lmem,
+                                    &walker,
+                                    &mut self.tlb,
+                                    va,
+                                    JobStatus::Fault(jc::JS_STATUS_CONFIG_FAULT),
+                                );
+                                status = jc::JS_STATUS_CONFIG_FAULT;
+                                break 'chain;
+                            }
+                            Err(ShaderFault::BadInstruction) => {
+                                status = jc::JS_STATUS_BAD_DESCRIPTOR;
+                                break 'chain;
+                            }
+                            Err(ShaderFault::Mmu(fault)) => {
+                                self.raise_mmu_fault(asn, desc.shader_va, &fault);
+                                status = jc::JS_STATUS_JOB_BUS_FAULT;
+                                break 'chain;
+                            }
+                        }
+                    }
                 }
                 Err(ShaderFault::TileMismatch { .. }) => {
                     let _ = JobDescriptor::write_status_via_mmu_cached(
@@ -952,6 +1051,7 @@ impl Gpu {
             va = desc.next_va;
         }
         drop(mem);
+        self.batch_lanes = lanes;
         self.finish_job(slot, now + total, status);
     }
 

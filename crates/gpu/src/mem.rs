@@ -82,6 +82,7 @@ impl std::error::Error for MemFault {}
 /// mem.write_u32(0x100, 0xDEADBEEF, Accessor::Cpu).unwrap();
 /// assert_eq!(mem.read_u32(0x100, Accessor::Gpu).unwrap(), 0xDEADBEEF);
 /// ```
+#[derive(Clone)]
 pub struct Memory {
     bytes: Vec<u8>,
     flags: Vec<PageFlags>,

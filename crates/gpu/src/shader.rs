@@ -519,6 +519,14 @@ pub struct ExecReport {
     /// The subset of [`bulk_runs`](Self::bulk_runs) made by `Copy`
     /// instructions: what a bulk copy actually costs.
     pub copy_runs: u64,
+    /// The subset of [`element_accesses`](Self::element_accesses) that is
+    /// *batch-resident*: instruction-record fetches and read-only operand
+    /// reads (conv weights/bias, matmul B/bias) whose bytes are identical
+    /// for every input in a batched replay. A batch executor fetches these
+    /// once and streams them to every lane, so marginal batch lanes are
+    /// charged `element_accesses - resident_elems` (copy-op fetches are
+    /// excluded — copies are already recharged at run granularity).
+    pub resident_elems: u64,
     /// Per-kind breakdown (indexed by [`OpKind::index`]).
     pub per_kind: [OpKindStats; OP_KIND_COUNT],
 }
@@ -531,6 +539,7 @@ impl ExecReport {
         self.bulk_runs += other.bulk_runs;
         self.copy_elems += other.copy_elems;
         self.copy_runs += other.copy_runs;
+        self.resident_elems += other.resident_elems;
         for (a, b) in self.per_kind.iter_mut().zip(other.per_kind.iter()) {
             a.events += b.events;
             a.macs += b.macs;
@@ -733,6 +742,13 @@ pub fn execute_program(
         let runs_before = rep.bulk_runs;
         let rec = fetch_record(mem, walker, tlb, &mut rep, va)?;
         let op = ShaderOp::decode(&rec).ok_or(ShaderFault::BadInstruction)?;
+        // Instruction records are input-independent, so a batch executor
+        // fetches them once per batch. Copy ops are excluded: their whole
+        // access footprint (fetch included) is already recharged at run
+        // granularity via `copy_elems`/`copy_runs`.
+        if !matches!(op, ShaderOp::Copy { .. }) {
+            rep.resident_elems += INSTR_SIZE as u64;
+        }
         let macs = op.macs();
         rep.macs += macs;
         let slot = &mut rep.per_kind[OpKind::of(&op).index()];
@@ -925,19 +941,16 @@ fn execute_op(
                 (p.in_c * p.in_h * p.in_w) as usize,
                 &mut scratch.a,
             )?;
-            read_f32s_bulk(
-                mem,
-                w,
-                tlb,
-                rep,
-                w_va,
-                (p.out_c * p.in_c * p.k * p.k) as usize,
-                &mut scratch.b,
-            )?;
+            // Weights and bias are read-only and identical for every lane
+            // of a batched replay: resident across the batch loop.
+            let w_elems = (p.out_c * p.in_c * p.k * p.k) as usize;
+            read_f32s_bulk(mem, w, tlb, rep, w_va, w_elems, &mut scratch.b)?;
+            rep.resident_elems += w_elems as u64;
             // No allocation when the op carries no bias: the kernel seeds
             // the accumulator with 0.0 directly.
             let bias = if b_va != 0 {
                 read_f32s_bulk(mem, w, tlb, rep, b_va, p.out_c as usize, &mut scratch.bias)?;
+                rep.resident_elems += p.out_c as u64;
                 Some(scratch.bias.as_slice())
             } else {
                 None
@@ -960,9 +973,13 @@ fn execute_op(
         } => {
             check_tiles(tiles, present_cores)?;
             read_f32s_bulk(mem, w, tlb, rep, a_va, (m * k) as usize, &mut scratch.a)?;
+            // The B matrix (model parameters) and bias are batch-resident,
+            // like conv weights.
             read_f32s_bulk(mem, w, tlb, rep, b_va, (k * n) as usize, &mut scratch.b)?;
+            rep.resident_elems += (k * n) as u64;
             let bias = if bias_va != 0 {
                 read_f32s_bulk(mem, w, tlb, rep, bias_va, n as usize, &mut scratch.bias)?;
+                rep.resident_elems += n as u64;
                 Some(scratch.bias.as_slice())
             } else {
                 None

@@ -42,6 +42,20 @@ pub struct UploadScratch {
     bytes: Vec<u8>,
 }
 
+impl UploadScratch {
+    /// Stages one f32 slice as its little-endian wire bytes, reusing the
+    /// buffer's capacity across calls (the batched-replay input lanes
+    /// and the executor's input upload share this conversion).
+    pub fn stage(&mut self, input: &[f32]) -> &[u8] {
+        self.bytes.clear();
+        self.bytes.reserve(input.len() * 4);
+        for v in input {
+            self.bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        &self.bytes
+    }
+}
+
 /// Runs one inference through the driver.
 pub fn run_inference<P: RegPort>(
     driver: &mut KbaseDriver<P>,
@@ -63,12 +77,7 @@ pub fn run_inference_with_scratch<P: RegPort>(
     scratch: &mut UploadScratch,
 ) -> Result<Vec<f32>, DriverError> {
     assert_eq!(input.len(), net.input_len as usize, "input length");
-    scratch.bytes.clear();
-    scratch.bytes.reserve(input.len() * 4);
-    for v in input {
-        scratch.bytes.extend_from_slice(&v.to_le_bytes());
-    }
-    driver.copy_to_gpu(net.input_va, &scratch.bytes)?;
+    driver.copy_to_gpu(net.input_va, scratch.stage(input))?;
 
     for (li, layer) in net.layers.iter().enumerate() {
         hooks.pre_layer(li);

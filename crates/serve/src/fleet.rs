@@ -138,6 +138,11 @@ pub struct FleetConfig {
     pub scheduler: SchedulerKind,
     /// Real replays per request, or modeled from measured profiles.
     pub service: ServiceMode,
+    /// Max same-model requests one service interval may serve through a
+    /// single batched replay (`RUN_BATCH`, DESIGN.md §14). `1` (the
+    /// default) keeps every interval on the scalar `SET_INPUT`+`RUN`
+    /// path, byte-identical to a fleet without batching.
+    pub max_batch: usize,
     /// Cap on the rejection/timeout/failover *event logs* the collector
     /// keeps (their counters stay exact regardless). `usize::MAX` keeps
     /// every event; fleet-scale runs set a small cap to bound memory.
@@ -156,6 +161,7 @@ impl FleetConfig {
             faults: None,
             scheduler: SchedulerKind::default(),
             service: ServiceMode::default(),
+            max_batch: 1,
             event_log_cap: usize::MAX,
         }
     }
@@ -184,6 +190,18 @@ impl FleetConfig {
     /// Selects real vs profiled service.
     pub fn with_service_mode(mut self, service: ServiceMode) -> Self {
         self.service = service;
+        self
+    }
+
+    /// Caps how many same-model requests one replay may batch
+    /// (`1..=grt_core::compiled::MAX_BATCH`).
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        assert!(
+            (1..=grt_core::compiled::MAX_BATCH).contains(&max_batch),
+            "max_batch must be in 1..={}",
+            grt_core::compiled::MAX_BATCH
+        );
+        self.max_batch = max_batch;
         self
     }
 
@@ -318,6 +336,9 @@ pub struct Fleet {
     heap: BinaryHeap<Reverse<(SimTime, u8, usize, u64)>>,
     /// Measured `(model, GPU_ID)` profiles for [`ServiceMode::Profiled`].
     profiles: BTreeMap<(usize, u32), ServiceProfile>,
+    /// Measured warm `(model, GPU_ID, B)` batched-replay durations for
+    /// [`ServiceMode::Profiled`] with `max_batch > 1`.
+    batch_profiles: BTreeMap<(usize, u32, usize), SimTime>,
 }
 
 /// Retry-after fallback before any request has completed.
@@ -383,6 +404,7 @@ impl Fleet {
             service_count: 0,
             heap: BinaryHeap::new(),
             profiles: BTreeMap::new(),
+            batch_profiles: BTreeMap::new(),
         }
     }
 
@@ -612,7 +634,9 @@ impl Fleet {
     }
 
     /// Serves worker `idx`'s queue head at instant `at` (or times it
-    /// out). Returns how far the side effects reached.
+    /// out), batching up to `max_batch` consecutive already-arrived
+    /// same-model followers into the same replay (DESIGN.md §14).
+    /// Returns how far the side effects reached.
     fn process_serve(&mut self, idx: usize, at: SimTime, metrics: &mut MetricsCollector) -> Ripple {
         let Fleet {
             workers,
@@ -623,6 +647,7 @@ impl Fleet {
             service_time_sum,
             service_count,
             profiles,
+            batch_profiles,
             ..
         } = self;
         let plan = cfg.faults.as_deref();
@@ -638,10 +663,24 @@ impl Fleet {
             });
             return Ripple::One;
         }
-        match serve_one(
+        // Same-SKU affinity queues naturally run same-model streaks; pull
+        // the head's streak (already arrived, deadline still live) into
+        // one batched replay. An expired follower stays queued and times
+        // out at its own serve event, exactly as without batching.
+        let mut batch = vec![req];
+        while batch.len() < cfg.max_batch {
+            match worker.queue.front() {
+                Some(r) if r.model == batch[0].model && r.arrival <= at && r.deadline >= at => {
+                    let r = worker.queue.pop_front().expect("front was just peeked");
+                    batch.push(r);
+                }
+                _ => break,
+            }
+        }
+        match serve_batch(
             worker,
             idx,
-            &req,
+            &batch,
             at,
             plan,
             registry,
@@ -649,13 +688,21 @@ impl Fleet {
             weights,
             cfg.service,
             profiles,
+            batch_profiles,
             metrics,
         ) {
-            ServeOutcome::Completed { sample, evicted } => {
-                *service_time_sum += sample.service;
+            ServeOutcome::Completed {
+                samples,
+                batch_service,
+                evicted,
+            } => {
+                *service_time_sum += batch_service;
                 *service_count += 1;
-                let end = at + sample.service;
-                metrics.record_sample(&sample);
+                let end = at + batch_service;
+                metrics.record_batch(samples.len());
+                for sample in &samples {
+                    metrics.record_sample(sample);
+                }
                 if evicted {
                     // Slow device left scheduling: its queue must not
                     // wait out the probation.
@@ -667,9 +714,11 @@ impl Fleet {
                 }
             }
             ServeOutcome::Failed => Ripple::One,
-            ServeOutcome::Interrupted { req, at } => {
+            ServeOutcome::Interrupted { reqs, at } => {
                 let avg = avg_service(*service_time_sum, *service_count);
-                fail_over_one(workers, idx, req, at, avg, metrics);
+                for req in reqs {
+                    fail_over_one(workers, idx, req, at, avg, metrics);
+                }
                 Ripple::All
             }
         }
@@ -818,6 +867,9 @@ impl Fleet {
             receipts_issued: metrics.receipts_issued,
             receipts_verified: metrics.receipts_verified,
             receipts_rejected: metrics.receipts_rejected.clone(),
+            batches: metrics.batches,
+            batched_requests: metrics.batched_requests,
+            max_batch_served: metrics.max_batch_served,
             output_digest: metrics.output_digest,
             per_model,
             per_device,
@@ -915,24 +967,28 @@ fn fail_over_one(
 
 /// What one service attempt produced.
 enum ServeOutcome {
-    /// Served to completion. `evicted` is set when this completion's
-    /// latency tripped the slow-device EWMA and the worker was evicted.
+    /// Served to completion (one sample per batched request). `evicted`
+    /// is set when this completion's latency tripped the slow-device
+    /// EWMA and the worker was evicted.
     Completed {
-        sample: RequestSample,
+        samples: Vec<RequestSample>,
+        batch_service: SimTime,
         evicted: bool,
     },
-    /// Cold-start record failed; the request is accounted as failed.
+    /// Cold-start record failed; every batched request is accounted as
+    /// failed.
     Failed,
     /// A plan crash landed inside the service interval: the partial work
-    /// is discarded and the request must fail over.
-    Interrupted { req: Request, at: SimTime },
+    /// is discarded and every batched request must fail over.
+    Interrupted { reqs: Vec<Request>, at: SimTime },
 }
 
 /// What the service phase produced besides its duration: real replay
-/// bytes to verify a receipt over, or nothing (modeled service).
+/// bytes to verify a receipt over (one input lane per batched request,
+/// outputs concatenated in lane order), or nothing (modeled service).
 enum Payload {
     Real {
-        input_bytes: Vec<u8>,
+        input_lanes: Vec<Vec<u8>>,
         output: Vec<u8>,
     },
     Modeled,
@@ -1027,13 +1083,57 @@ fn measure_profile(
     }
 }
 
-/// Serves one request on one device, starting at `start` on the serving
-/// timeline.
+/// Measures one warm `(model, SKU, B)` batched-replay duration on a
+/// throwaway probe stack: stage, one scalar warm-up replay (so the timed
+/// batch runs against the warm TLB/page state it models), then one
+/// `RUN_BATCH` interval over `b` lanes.
+fn measure_batch_profile(
+    spec: &NetworkSpec,
+    sku: &GpuSku,
+    fetch: &FetchOutcome,
+    model_weights: &[Vec<f32>],
+    b: usize,
+) -> SimTime {
+    let stats = Stats::new();
+    let stack = TeeStack::new(sku.clone(), &stats);
+    stage_model(&stack, fetch, model_weights);
+    let input = test_input(spec, 0);
+    let input_bytes: Vec<u8> = input.iter().flat_map(|v| v.to_le_bytes()).collect();
+    stack
+        .host
+        .invoke(stack.session, cmd::SET_INPUT, &input_bytes)
+        .expect("input matches recording slot");
+    stack
+        .host
+        .invoke(stack.session, cmd::RUN, &[])
+        .expect("replay of vetted recording succeeds");
+    let mut payload = (b as u32).to_le_bytes().to_vec();
+    for lane in 0..b {
+        payload.extend(
+            test_input(spec, lane as u64)
+                .iter()
+                .flat_map(|v| v.to_le_bytes()),
+        );
+    }
+    let t0 = stack.device.clock.now();
+    stack
+        .host
+        .invoke(stack.session, cmd::RUN_BATCH, &payload)
+        .expect("batched replay of vetted recording succeeds");
+    stack.device.clock.now() - t0
+}
+
+/// Serves one same-model batch of requests on one device through a
+/// single replay, starting at `start` on the serving timeline. A batch
+/// of one takes exactly the scalar `SET_INPUT`+`RUN` path (so
+/// `max_batch = 1` fleets are byte-identical to pre-batching ones);
+/// larger batches drive one `RUN_BATCH` interval and verify its single
+/// batch receipt against every staged input lane (DESIGN.md §14).
 #[allow(clippy::too_many_arguments)] // Split borrows of Fleet's fields.
-fn serve_one(
+fn serve_batch(
     worker: &mut DeviceWorker,
     device_index: usize,
-    req: &Request,
+    reqs: &[Request],
     start: SimTime,
     plan: Option<&FaultPlan>,
     registry: &mut RecordingRegistry,
@@ -1041,6 +1141,7 @@ fn serve_one(
     weights: &mut [Option<Vec<Vec<f32>>>],
     mode: ServiceMode,
     profiles: &mut BTreeMap<(usize, u32), ServiceProfile>,
+    batch_profiles: &mut BTreeMap<(usize, u32, usize), SimTime>,
     metrics: &mut MetricsCollector,
 ) -> ServeOutcome {
     // Job-queue-length-1: service intervals on one device never overlap.
@@ -1051,7 +1152,9 @@ fn serve_one(
     worker.inflight += 1;
     worker.max_inflight = worker.max_inflight.max(worker.inflight);
 
-    let spec = &models[req.model];
+    let head = &reqs[0];
+    let b = reqs.len();
+    let spec = &models[head.model];
     let mut cold_start = false;
 
     let (raw_service, payload) = match mode {
@@ -1061,11 +1164,11 @@ fn serve_one(
                 .as_ref()
                 .expect("replay-mode workers own a TEE stack");
             let t0 = stack.device.clock.now();
-            if worker.loaded_model != Some(req.model) {
+            if worker.loaded_model != Some(head.model) {
                 let fetch = match registry.fetch(spec, &worker.sku) {
                     Ok(f) => f,
                     Err(_) => {
-                        metrics.failed += 1;
+                        metrics.failed += b as u64;
                         worker.inflight -= 1;
                         return ServeOutcome::Failed;
                     }
@@ -1077,65 +1180,121 @@ fn serve_one(
                     cold_start = true;
                 }
                 let model_weights =
-                    weights[req.model].get_or_insert_with(|| workload_weights(spec));
+                    weights[head.model].get_or_insert_with(|| workload_weights(spec));
                 stage_model(stack, &fetch, model_weights);
                 worker.provenance = Some(Rc::clone(&fetch.provenance));
                 worker.lint_json = Some(fetch.lint.to_json());
-                worker.loaded_model = Some(req.model);
+                worker.loaded_model = Some(head.model);
                 worker.loads += 1;
             }
             // Per-request cost: input staging + replay only.
-            let input = test_input(spec, req.id);
-            let input_bytes: Vec<u8> = input.iter().flat_map(|v| v.to_le_bytes()).collect();
-            stack
-                .host
-                .invoke(stack.session, cmd::SET_INPUT, &input_bytes)
-                .expect("input matches recording slot");
-            let output = stack
-                .host
-                .invoke(stack.session, cmd::RUN, &[])
-                .expect("replay of vetted recording succeeds");
+            let input_lanes: Vec<Vec<u8>> = reqs
+                .iter()
+                .map(|r| {
+                    test_input(spec, r.id)
+                        .iter()
+                        .flat_map(|v| v.to_le_bytes())
+                        .collect()
+                })
+                .collect();
+            let output = if b == 1 {
+                stack
+                    .host
+                    .invoke(stack.session, cmd::SET_INPUT, &input_lanes[0])
+                    .expect("input matches recording slot");
+                stack
+                    .host
+                    .invoke(stack.session, cmd::RUN, &[])
+                    .expect("replay of vetted recording succeeds")
+            } else {
+                let mut run_payload = (b as u32).to_le_bytes().to_vec();
+                for lane in &input_lanes {
+                    run_payload.extend_from_slice(lane);
+                }
+                stack
+                    .host
+                    .invoke(stack.session, cmd::RUN_BATCH, &run_payload)
+                    .expect("batched replay of vetted recording succeeds")
+            };
             (
                 stack.device.clock.now() - t0,
                 Payload::Real {
-                    input_bytes,
+                    input_lanes,
                     output,
                 },
             )
         }
         ServiceMode::Profiled => {
-            let svc = if worker.loaded_model != Some(req.model) {
+            let svc = if b == 1 {
+                if worker.loaded_model != Some(head.model) {
+                    let fetch = match registry.fetch(spec, &worker.sku) {
+                        Ok(f) => f,
+                        Err(_) => {
+                            metrics.failed += 1;
+                            worker.inflight -= 1;
+                            return ServeOutcome::Failed;
+                        }
+                    };
+                    let profile = *profiles
+                        .entry((head.model, worker.sku.gpu_id))
+                        .or_insert_with(|| {
+                            let mw =
+                                weights[head.model].get_or_insert_with(|| workload_weights(spec));
+                            measure_profile(spec, &worker.sku, &fetch, mw)
+                        });
+                    let mut svc = profile.load + profile.first_replay;
+                    if let Some(delay) = fetch.cold_start_delay {
+                        // Cold-start record delays are always real (the
+                        // registry actually recorded), never modeled.
+                        svc += delay;
+                        cold_start = true;
+                    }
+                    worker.provenance = Some(Rc::clone(&fetch.provenance));
+                    worker.lint_json = Some(fetch.lint.to_json());
+                    worker.loaded_model = Some(head.model);
+                    worker.loads += 1;
+                    svc
+                } else {
+                    profiles
+                        .get(&(head.model, worker.sku.gpu_id))
+                        .expect("staged model was profiled at load")
+                        .warm_replay
+                }
+            } else {
+                // The batch probe needs the recording either way; for a
+                // staged model the fetch is a registry hit (unless the
+                // entry was evicted, in which case the re-record is real
+                // and charged below like any cold start).
+                let switch = worker.loaded_model != Some(head.model);
                 let fetch = match registry.fetch(spec, &worker.sku) {
                     Ok(f) => f,
                     Err(_) => {
-                        metrics.failed += 1;
+                        metrics.failed += b as u64;
                         worker.inflight -= 1;
                         return ServeOutcome::Failed;
                     }
                 };
+                let mw = weights[head.model].get_or_insert_with(|| workload_weights(spec));
                 let profile = *profiles
-                    .entry((req.model, worker.sku.gpu_id))
-                    .or_insert_with(|| {
-                        let mw = weights[req.model].get_or_insert_with(|| workload_weights(spec));
-                        measure_profile(spec, &worker.sku, &fetch, mw)
-                    });
-                let mut svc = profile.load + profile.first_replay;
+                    .entry((head.model, worker.sku.gpu_id))
+                    .or_insert_with(|| measure_profile(spec, &worker.sku, &fetch, mw));
+                let mut svc = *batch_profiles
+                    .entry((head.model, worker.sku.gpu_id, b))
+                    .or_insert_with(|| measure_batch_profile(spec, &worker.sku, &fetch, mw, b));
+                if switch {
+                    // Staging plus the cold-first-replay penalty, on top
+                    // of the warm batched-replay duration.
+                    svc += profile.load + profile.first_replay.saturating_sub(profile.warm_replay);
+                    worker.loads += 1;
+                }
                 if let Some(delay) = fetch.cold_start_delay {
-                    // Cold-start record delays are always real (the
-                    // registry actually recorded), never modeled.
                     svc += delay;
                     cold_start = true;
                 }
                 worker.provenance = Some(Rc::clone(&fetch.provenance));
                 worker.lint_json = Some(fetch.lint.to_json());
-                worker.loaded_model = Some(req.model);
-                worker.loads += 1;
+                worker.loaded_model = Some(head.model);
                 svc
-            } else {
-                profiles
-                    .get(&(req.model, worker.sku.gpu_id))
-                    .expect("staged model was profiled at load")
-                    .warm_replay
             };
             (svc, Payload::Modeled)
         }
@@ -1150,27 +1309,31 @@ fn serve_one(
 
     if let Some(crash) = plan.and_then(|p| p.crash_within(device_index, start, end)) {
         // The device died mid-replay: everything since `start` is lost
-        // and the output never reaches the client (nor the run digest).
+        // and no lane's output ever reaches a client (nor the run
+        // digest). Every batched request fails over.
         worker.busy += crash.at - start;
         worker.free_at = crash.at;
         worker.last_service_end = crash.at;
         worker.inflight -= 1;
         return ServeOutcome::Interrupted {
-            req: req.clone(),
+            reqs: reqs.to_vec(),
             at: crash.at,
         };
     }
 
     match payload {
         Payload::Real {
-            input_bytes,
+            input_lanes,
             output,
         } => {
             metrics.absorb_output(&output);
             // The replay is committed: pull its signed receipt and verify
             // the full chain (receipt → provenance → recording/lint
-            // digests) plus the request's own input/output bytes.
-            // Failures are counted by rule, never silently dropped.
+            // digests) plus the interval's own input/output bytes — one
+            // receipt covers the whole batch (its input digest commits to
+            // the lane vector, its output digest to the concatenated lane
+            // outputs). Failures are counted by rule, never silently
+            // dropped.
             let stack = worker
                 .stack
                 .as_ref()
@@ -1187,7 +1350,11 @@ fn serve_one(
                     .ok_or(grt_attest::VerifyError::MissingProvenance)?;
                 let lint_json = worker.lint_json.as_deref().unwrap_or_default();
                 verify_chain(&receipt, provenance, lint_json, PROVISIONING_SECRET)?;
-                verify_receipt_data(&receipt, &input_bytes, &output)
+                if input_lanes.len() == 1 {
+                    verify_receipt_data(&receipt, &input_lanes[0], &output)
+                } else {
+                    grt_attest::verify_batch_receipt_data(&receipt, &input_lanes, &output)
+                }
             });
             match verdict {
                 Ok(()) => metrics.receipts_verified += 1,
@@ -1201,12 +1368,15 @@ fn serve_one(
         }
         Payload::Modeled => {
             // The modeled replay's deterministic stand-in for its output
-            // bytes; the receipt itself was issued and verified for real
-            // on this (model, SKU)'s probe run.
-            let mut token = req.id.to_le_bytes().to_vec();
-            token.extend((req.model as u64).to_le_bytes());
-            token.extend(worker.sku.gpu_id.to_le_bytes());
-            metrics.absorb_output(&token);
+            // bytes (one token per lane, in lane order); the receipt
+            // itself was issued and verified for real on this
+            // (model, SKU)'s probe run.
+            for req in reqs {
+                let mut token = req.id.to_le_bytes().to_vec();
+                token.extend((req.model as u64).to_le_bytes());
+                token.extend(worker.sku.gpu_id.to_le_bytes());
+                metrics.absorb_output(&token);
+            }
             metrics.receipts_issued += 1;
             metrics.receipts_verified += 1;
         }
@@ -1215,19 +1385,23 @@ fn serve_one(
     worker.free_at = end;
     worker.last_service_end = end;
     worker.busy += service;
-    worker.completed += 1;
+    worker.completed += b as u64;
     worker.inflight -= 1;
     let evicted = worker.health.on_success(service, end);
     ServeOutcome::Completed {
-        sample: RequestSample {
-            id: req.id,
-            model: req.model,
-            device: device_index,
-            queue_wait: start - req.arrival,
-            service,
-            total: end - req.arrival,
-            cold_start,
-        },
+        samples: reqs
+            .iter()
+            .map(|req| RequestSample {
+                id: req.id,
+                model: req.model,
+                device: device_index,
+                queue_wait: start - req.arrival,
+                service,
+                total: end - req.arrival,
+                cold_start,
+            })
+            .collect(),
+        batch_service: service,
         evicted,
     }
 }

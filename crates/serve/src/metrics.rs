@@ -166,6 +166,13 @@ pub struct MetricsCollector {
     /// `grt_attest::VerifyError::code` string (sorted map so the JSON
     /// export stays deterministic).
     pub receipts_rejected: std::collections::BTreeMap<String, u64>,
+    /// Multi-request service intervals (one batched replay serving ≥ 2
+    /// same-model requests; single-request intervals are not counted).
+    pub batches: u64,
+    /// Requests served inside those multi-request intervals.
+    pub batched_requests: u64,
+    /// Largest batch any single replay served.
+    pub max_batch_served: usize,
     /// Per-log event cap (counters above are exact regardless).
     log_cap: usize,
 }
@@ -201,7 +208,21 @@ impl MetricsCollector {
             receipts_issued: 0,
             receipts_verified: 0,
             receipts_rejected: std::collections::BTreeMap::new(),
+            batches: 0,
+            batched_requests: 0,
+            max_batch_served: 0,
             log_cap,
+        }
+    }
+
+    /// Counts one service interval that served `size` requests through a
+    /// single replay. Single-request intervals only update
+    /// `max_batch_served`; multi-request intervals are real batches.
+    pub fn record_batch(&mut self, size: usize) {
+        self.max_batch_served = self.max_batch_served.max(size);
+        if size >= 2 {
+            self.batches += 1;
+            self.batched_requests += size as u64;
         }
     }
 
@@ -391,6 +412,12 @@ pub struct ServeReport {
     pub receipts_verified: u64,
     /// Receipts rejected, bucketed by rule code (sorted; deterministic).
     pub receipts_rejected: std::collections::BTreeMap<String, u64>,
+    /// Multi-request service intervals (one batched replay, ≥ 2 requests).
+    pub batches: u64,
+    /// Requests served inside multi-request intervals.
+    pub batched_requests: u64,
+    /// Largest batch any single replay served.
+    pub max_batch_served: usize,
     /// Max concurrent replays observed on any one device (the paper's
     /// job-queue-length-1 invariant requires this to be exactly 1).
     pub max_inflight: u32,
@@ -484,6 +511,17 @@ impl ServeReport {
             s.push_str(&format!("\"{code}\": {n}"));
         }
         s.push_str("}\n");
+        s.push_str("  },\n");
+        s.push_str("  \"batching\": {\n");
+        s.push_str(&format!("    \"batches\": {},\n", self.batches));
+        s.push_str(&format!(
+            "    \"batched_requests\": {},\n",
+            self.batched_requests
+        ));
+        s.push_str(&format!(
+            "    \"max_batch_served\": {}\n",
+            self.max_batch_served
+        ));
         s.push_str("  },\n");
         s.push_str(&format!("  \"max_inflight\": {},\n", self.max_inflight));
         s.push_str(&format!(
@@ -714,6 +752,9 @@ mod tests {
                 "receipt-signature".to_string(),
                 1,
             )]),
+            batches: 2,
+            batched_requests: 5,
+            max_batch_served: 3,
             max_inflight: 1,
             output_digest: 0xabcd,
             per_model: vec![ModelReport {
@@ -753,6 +794,10 @@ mod tests {
             "\"receipts_verified\"",
             "\"receipts_rejected\"",
             "\"receipt-signature\": 1",
+            "\"batching\"",
+            "\"batches\": 2",
+            "\"batched_requests\": 5",
+            "\"max_batch_served\": 3",
             "\"max_inflight\"",
             "\"per_model\"",
             "\"per_device\"",

@@ -68,8 +68,11 @@ impl RegistryConfig {
         }
     }
 
-    /// Splits the key space over `shards` independent LRUs (the total
-    /// capacity is divided evenly, each shard getting at least one slot).
+    /// Splits the key space over `shards` independent LRUs. The total
+    /// capacity is divided as evenly as possible — the first
+    /// `capacity % shards` shards take one extra slot so the per-shard
+    /// capacities sum exactly to `capacity` — and each shard keeps at
+    /// least one slot.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
         self
@@ -293,9 +296,23 @@ impl RecordingRegistry {
     pub fn new(cfg: RegistryConfig) -> Self {
         assert!(cfg.capacity > 0, "registry capacity must be positive");
         let n = cfg.shards.max(1);
-        let per_shard = (cfg.capacity / n).max(1);
-        let shards = (0..n).map(|_| Shard::new(per_shard)).collect();
+        // Distribute the configured capacity exactly: the first
+        // `capacity % n` shards take one extra slot, so the per-shard
+        // capacities sum to `capacity` (never silently rounded down to
+        // `n * floor(capacity / n)`), with every shard keeping at least
+        // one slot even when `capacity < n`.
+        let base = cfg.capacity / n;
+        let rem = cfg.capacity % n;
+        let shards = (0..n)
+            .map(|i| Shard::new((base + usize::from(i < rem)).max(1)))
+            .collect();
         RecordingRegistry { cfg, shards }
+    }
+
+    /// Per-shard entry capacities, in shard order. They sum to the
+    /// configured capacity whenever `capacity >= shards`.
+    pub fn shard_capacities(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.capacity).collect()
     }
 
     /// Shard index the `(spec, sku)` key routes to.
@@ -736,6 +753,40 @@ mod tests {
             assert!(r.shard_lens()[si] > 0, "entry must live on its shard");
         }
         assert_eq!(r.shard_lens().iter().sum::<usize>(), r.len());
+    }
+
+    #[test]
+    fn shard_capacities_sum_exactly_to_configured_capacity() {
+        // Regression: `capacity / shards` used to round every shard down,
+        // so capacity 10 over 4 shards yielded 8 usable slots — two
+        // entries' worth of LRU headroom silently gone. The remainder now
+        // lands on the first shards.
+        for (capacity, shards) in [
+            (10usize, 4usize),
+            (7, 3),
+            (5, 2),
+            (9, 8),
+            (13, 5),
+            (64, 7),
+            (12, 4), // divisible: unchanged
+            (1, 1),
+        ] {
+            let r = RecordingRegistry::new(RegistryConfig::new(capacity).with_shards(shards));
+            let caps = r.shard_capacities();
+            assert_eq!(caps.len(), shards);
+            assert_eq!(
+                caps.iter().sum::<usize>(),
+                capacity,
+                "capacity {capacity} over {shards} shards must not shrink (got {caps:?})"
+            );
+            assert!(caps.iter().all(|&c| c >= 1));
+            // Even split: no shard more than one slot above another.
+            let (min, max) = (caps.iter().min().unwrap(), caps.iter().max().unwrap());
+            assert!(max - min <= 1, "uneven split {caps:?}");
+        }
+        // Degenerate case capacity < shards: every shard keeps one slot.
+        let r = RecordingRegistry::new(RegistryConfig::new(3).with_shards(5));
+        assert_eq!(r.shard_capacities(), vec![1, 1, 1, 1, 1]);
     }
 
     #[test]

@@ -147,19 +147,31 @@ impl QuantileSketch {
     /// 999 = p99.9): the representative of the bucket containing the
     /// rank-`ceil(permille·n/1000)` value. Zero when empty.
     ///
-    /// Within the documented bound: `result <= exact quantile <= result +
-    /// result/64 + 1` ns.
+    /// The extremes round-trip exactly: `quantile_permille(0)` returns
+    /// the tracked [`QuantileSketch::min`] and any rank landing on the
+    /// last sample returns the tracked [`QuantileSketch::max`]. Interior
+    /// ranks are within the documented bound: `result <= exact quantile
+    /// <= result + result/64 + 1` ns.
     pub fn quantile_permille(&self, permille: u32) -> SimTime {
         if self.count == 0 {
             return SimTime::ZERO;
         }
         let rank =
             ((permille as u128 * self.count as u128).div_ceil(1000) as u64).clamp(1, self.count);
+        // The maximum is tracked exactly; returning the bucket floor here
+        // used to report q=1.0 on an all-`u64::MAX` stream short by almost
+        // a full sub-bucket width (2^57 - 1 ns).
+        if rank == self.count {
+            return self.max();
+        }
         let mut cum = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             cum += c;
             if cum >= rank {
-                return SimTime::from_nanos(bucket_floor(i));
+                // `min` lives in the first non-empty bucket, so clamping
+                // the representative up to it is exact at rank 1 and never
+                // overshoots the true rank-`rank` value.
+                return SimTime::from_nanos(bucket_floor(i).max(self.min));
             }
         }
         // Counts always sum to `count >= rank`; unreachable.
@@ -260,11 +272,11 @@ mod tests {
         }
         let mut sorted = values.to_vec();
         sorted.sort_unstable();
-        for permille in [1, 10, 100, 250, 500, 750, 900, 950, 990, 999, 1000] {
+        for permille in [0, 1, 10, 100, 250, 500, 750, 900, 950, 990, 999, 1000] {
             let s = sketch.quantile_permille(permille).as_nanos();
             let e = exact_quantile(&sorted, permille);
             assert!(
-                s <= e && e <= s + s / 64 + 1,
+                s <= e && e <= s.saturating_add(s / 64).saturating_add(1),
                 "{label}: p{permille} sketch={s} exact={e} violates bound"
             );
         }
@@ -369,6 +381,90 @@ mod tests {
         }
         assert_eq!(one.min(), SimTime::from_millis(7));
         assert_eq!(one.max(), SimTime::from_millis(7));
+    }
+
+    #[test]
+    fn edge_quantiles_round_trip_zero_and_max() {
+        // Regression: q=1.0 used to report the bucket *floor* of the last
+        // non-empty bucket, so an all-`u64::MAX` stream came back short by
+        // 2^57 - 1 ns, and q=0.0 floored below the tracked minimum.
+        let mut zeros = QuantileSketch::new();
+        for _ in 0..100 {
+            zeros.record(SimTime::ZERO);
+        }
+        let mut maxed = QuantileSketch::new();
+        for _ in 0..100 {
+            maxed.record(SimTime::from_nanos(u64::MAX));
+        }
+        for permille in [0, 1, 500, 999, 1000] {
+            assert_eq!(
+                zeros.quantile_permille(permille).as_nanos(),
+                0,
+                "all-zero stream at p{permille}"
+            );
+            assert_eq!(
+                maxed.quantile_permille(permille).as_nanos(),
+                u64::MAX,
+                "all-max stream at p{permille}"
+            );
+        }
+        assert_eq!(zeros.min().as_nanos(), 0);
+        assert_eq!(zeros.max().as_nanos(), 0);
+        assert_eq!(maxed.min().as_nanos(), u64::MAX);
+        assert_eq!(maxed.max().as_nanos(), u64::MAX);
+    }
+
+    #[test]
+    fn single_sample_is_exact_at_every_quantile() {
+        // One recorded value *is* every quantile; the sketch must return
+        // it bit-exactly, not its bucket representative.
+        for v in [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            4_095,
+            123_456_789,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut s = QuantileSketch::new();
+            s.record(SimTime::from_nanos(v));
+            for permille in [0, 1, 250, 500, 750, 999, 1000] {
+                assert_eq!(
+                    s.quantile_permille(permille).as_nanos(),
+                    v,
+                    "single sample {v} at p{permille}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_quantiles_match_exact_sort_oracle() {
+        // On an arbitrary stream the extremes agree with a full sort, not
+        // just to within the bucket bound.
+        let mut rng = Rng::new(2024);
+        let values: Vec<u64> = (0..2500)
+            .map(|i| match i % 50 {
+                0 => 0,
+                1 => u64::MAX,
+                _ => rng.next_u64() % 30_000_000_000,
+            })
+            .collect();
+        let mut sketch = QuantileSketch::new();
+        for &v in &values {
+            sketch.record(SimTime::from_nanos(v));
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        assert_eq!(sketch.quantile_permille(0).as_nanos(), sorted[0]);
+        assert_eq!(
+            sketch.quantile_permille(1000).as_nanos(),
+            *sorted.last().unwrap()
+        );
+        assert_within_bound(&values, "extremes");
     }
 
     #[test]

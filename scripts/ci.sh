@@ -104,13 +104,14 @@ cmp "$GOLDEN_DIR/fleet_a.json" "$GOLDEN_DIR/fleet_b.json" || {
     exit 1
 }
 
-# Replay perf gate: two back-to-back replay benchmark runs must emit
-# byte-identical JSON (all numbers derive from the virtual clock), and
-# the compiled path's aggregate events/s must not regress more than 10%
-# below the checked-in BENCH_replay.json baseline.
+# Replay perf gate: two back-to-back replay benchmark runs (batched
+# replay included, --batch 8) must emit byte-identical JSON (all numbers
+# derive from the virtual clock), and the compiled path's aggregate
+# events/s must not regress more than 10% below the checked-in
+# BENCH_replay.json baseline.
 echo "==> replay perf gate: determinism + events/s regression check"
-cargo run --release -q -p grt-bench --bin replay_bench > "$GOLDEN_DIR/replay_a.json"
-cargo run --release -q -p grt-bench --bin replay_bench > "$GOLDEN_DIR/replay_b.json"
+cargo run --release -q -p grt-bench --bin replay_bench -- --batch 8 > "$GOLDEN_DIR/replay_a.json"
+cargo run --release -q -p grt-bench --bin replay_bench -- --batch 8 > "$GOLDEN_DIR/replay_b.json"
 cmp "$GOLDEN_DIR/replay_a.json" "$GOLDEN_DIR/replay_b.json" || {
     echo "ci: replay_bench output is nondeterministic" >&2
     exit 1
@@ -152,6 +153,30 @@ for W in MNIST AlexNet MobileNet SqueezeNet ResNet12 VGG16; do
         exit 1
     fi
     echo "    $W warm replays/s: $NEW_W (baseline $BASE_W)"
+done
+
+# Batched-replay gate (DESIGN.md §14): one compiled-arena pass over an
+# 8-way batch must amortize the control dialog and batch-resident operand
+# traffic into >= 3x warm inferences/s over scalar warm replays/s on the
+# two largest networks. The double-run byte-identity of the --batch 8
+# output is already enforced by the cmp above; lane-0 bitwise equality
+# with the scalar replay is asserted inside replay_bench itself.
+echo "==> batched replay gate: >= 3x warm inferences/s at B=8"
+extract_wips() {
+    sed -n "s/.*\"workload\": \"$2\".*\"warm_inferences_per_sec\": \([0-9.][0-9.]*\).*/\1/p" "$1"
+}
+for W in ResNet12 VGG16; do
+    WRPS="$(extract_wrps "$GOLDEN_DIR/replay_a.json" "$W")"
+    WIPS="$(extract_wips "$GOLDEN_DIR/replay_a.json" "$W")"
+    if [ -z "$WRPS" ] || [ -z "$WIPS" ]; then
+        echo "ci: could not extract batched throughput for $W" >&2
+        exit 1
+    fi
+    if awk -v i="$WIPS" -v r="$WRPS" 'BEGIN { exit !(i < 3 * r) }'; then
+        echo "ci: $W batched replay below 3x floor: $WIPS inferences/s vs $WRPS replays/s" >&2
+        exit 1
+    fi
+    echo "    $W B=8: $WIPS inferences/s vs $WRPS replays/s scalar"
 done
 
 # Attestation gate: replay receipts are deterministic audit evidence.

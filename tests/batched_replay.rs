@@ -1,0 +1,163 @@
+//! Batched replay oracle (DESIGN.md §14): scalar warm replay is the
+//! ground truth, batching is purely an amortization.
+//!
+//! - B=1 batched replay must be *byte-identical* to the scalar warm path:
+//!   same output bits, same `ReplayProfile` counters, same receipt bytes
+//!   (so the receipt chain is indistinguishable).
+//! - B-way batched replay must be bitwise identical to B sequential warm
+//!   replays of the same inputs, across every zoo network, with the batch
+//!   receipt committing to the per-lane inputs and concatenated outputs.
+
+use grt_core::replay::{workload_weights, Replayer};
+use grt_core::session::{RecordSession, RecorderMode};
+use grt_ml::reference::test_input;
+use std::rc::Rc;
+
+fn rig(spec: &grt_ml::NetworkSpec) -> (RecordSession, grt_core::session::RecordOutcome) {
+    let mut s = RecordSession::new(
+        grt_gpu::GpuSku::mali_g71_mp8(),
+        grt_net::NetConditions::wifi(),
+        RecorderMode::OursMDS,
+    );
+    let out = s.record(spec).expect("record");
+    (s, out)
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn f32_bytes(v: &[f32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+/// A batch of one *is* the scalar warm path: outputs, profile counters,
+/// and the emitted receipt must all be byte-identical on every network.
+#[test]
+fn batch_of_one_is_byte_identical_to_scalar_warm_replay() {
+    for spec in grt_ml::zoo::all_benchmarks() {
+        let (s, out) = rig(&spec);
+        let key = s.recording_key();
+        let mut replayer = Replayer::new(&s.client, Rc::new(grt_lint::Linter::new()));
+        let weights = workload_weights(&spec);
+        let compiled = replayer.compile_signed(&out.recording, &key).unwrap();
+        let input = test_input(&spec, 0xB1);
+
+        // Warm both paths once so neither pays the first-replay TLB cold
+        // misses the other skipped.
+        replayer
+            .replay_compiled(&compiled, &input, &weights)
+            .unwrap();
+        let (scalar, _) = replayer
+            .replay_compiled(&compiled, &input, &weights)
+            .unwrap();
+        let scalar_profile = replayer.last_profile();
+        let scalar_receipt = replayer.last_receipt().unwrap().to_bytes();
+
+        let (batched, _) = replayer
+            .replay_compiled_batch(&compiled, std::slice::from_ref(&input), &weights)
+            .unwrap();
+        let batch_profile = replayer.last_profile();
+        let batch_receipt = replayer.last_receipt().unwrap().to_bytes();
+
+        assert_eq!(batched.len(), 1, "{}: one input, one output", spec.name);
+        assert_eq!(
+            bits(&scalar),
+            bits(&batched[0]),
+            "{}: B=1 output bits",
+            spec.name
+        );
+        assert_eq!(
+            scalar_profile, batch_profile,
+            "{}: B=1 ReplayProfile",
+            spec.name
+        );
+        assert_eq!(
+            scalar_receipt, batch_receipt,
+            "{}: B=1 receipt bytes",
+            spec.name
+        );
+    }
+}
+
+/// B-way batched replay is bitwise identical to B sequential warm
+/// replays, for a per-network randomized B ∈ {2, 4, 8}, and the single
+/// batch receipt verifies against the staged inputs and the concatenated
+/// outputs.
+#[test]
+fn batched_replay_matches_sequential_warm_replays() {
+    for (i, spec) in grt_ml::zoo::all_benchmarks().into_iter().enumerate() {
+        let b = [2usize, 4, 8][(i + spec.name.len()) % 3];
+        let (s, out) = rig(&spec);
+        let key = s.recording_key();
+        let mut replayer = Replayer::new(&s.client, Rc::new(grt_lint::Linter::new()));
+        let weights = workload_weights(&spec);
+        let compiled = replayer.compile_signed(&out.recording, &key).unwrap();
+        let inputs: Vec<Vec<f32>> = (0..b)
+            .map(|j| test_input(&spec, 0xBA7C_0000 ^ (i as u64) << 8 ^ j as u64))
+            .collect();
+
+        let sequential: Vec<Vec<f32>> = inputs
+            .iter()
+            .map(|input| {
+                replayer
+                    .replay_compiled(&compiled, input, &weights)
+                    .unwrap()
+                    .0
+            })
+            .collect();
+
+        let (batched, _) = replayer
+            .replay_compiled_batch(&compiled, &inputs, &weights)
+            .unwrap();
+        assert_eq!(batched.len(), b, "{}: lane count", spec.name);
+        for (lane, (seq, bat)) in sequential.iter().zip(&batched).enumerate() {
+            assert_eq!(
+                bits(seq),
+                bits(bat),
+                "{}: lane {lane} of B={b} must match its sequential replay",
+                spec.name
+            );
+        }
+
+        // One receipt covers the batch: input digest commits to the lane
+        // vector, output digest to the lane outputs in order.
+        let receipt = replayer.last_receipt().unwrap().clone();
+        assert!(receipt.verify(grt_core::session::PROVISIONING_SECRET));
+        let input_lanes: Vec<Vec<u8>> = inputs.iter().map(|v| f32_bytes(v)).collect();
+        let concat: Vec<u8> = batched.iter().flat_map(|v| f32_bytes(v)).collect();
+        grt_attest::verify_batch_receipt_data(&receipt, &input_lanes, &concat)
+            .expect("batch receipt data");
+    }
+}
+
+/// Batch geometry violations are rejected before any device state is
+/// touched: empty batches, oversized batches, and mis-shaped lanes.
+#[test]
+fn bad_batch_geometry_is_rejected() {
+    let spec = grt_ml::zoo::mnist();
+    let (s, out) = rig(&spec);
+    let key = s.recording_key();
+    let mut replayer = Replayer::new(&s.client, Rc::new(grt_lint::Linter::new()));
+    let weights = workload_weights(&spec);
+    let compiled = replayer.compile_signed(&out.recording, &key).unwrap();
+
+    let empty: Vec<Vec<f32>> = Vec::new();
+    assert!(matches!(
+        replayer.replay_compiled_batch(&compiled, &empty, &weights),
+        Err(grt_core::replay::ReplayError::BadInput)
+    ));
+
+    let too_many: Vec<Vec<f32>> = vec![test_input(&spec, 1); grt_core::compiled::MAX_BATCH + 1];
+    assert!(matches!(
+        replayer.replay_compiled_batch(&compiled, &too_many, &weights),
+        Err(grt_core::replay::ReplayError::BadInput)
+    ));
+
+    let mut lanes = vec![test_input(&spec, 1), test_input(&spec, 2)];
+    lanes[1].pop();
+    assert!(matches!(
+        replayer.replay_compiled_batch(&compiled, &lanes, &weights),
+        Err(grt_core::replay::ReplayError::BadInput)
+    ));
+}

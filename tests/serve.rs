@@ -334,6 +334,77 @@ fn schedulers_agree_on_random_configs() {
     }
 }
 
+/// Satellite regression: an eviction landing **exactly** at another
+/// pending event's due tick. Three overlapping crashes on device 0 —
+/// each landing exactly at the previous crash's restart transition, so
+/// the failure streak never resets and the third crash evicts — while
+/// hand-placed arrivals put a serve event on the healthy device due at
+/// the very same instants. The indexed scheduler's heap holds entries
+/// for those ticks when the eviction's failover rewrites the queues; a
+/// stale entry served after the rewrite would diverge from the
+/// full-sweep oracle. Both drivers must stay byte-identical, and the
+/// trace must actually exercise the eviction.
+#[test]
+fn schedulers_agree_when_eviction_lands_on_a_due_tick() {
+    let plan = Rc::new(
+        FaultPlan::new()
+            .with_crash(0, SimTime::from_millis(100), SimTime::from_millis(10))
+            .with_crash(0, SimTime::from_millis(110), SimTime::from_millis(10))
+            .with_crash(0, SimTime::from_millis(120), SimTime::from_millis(10)),
+    );
+    let cfg = FleetConfig {
+        queue_capacity: 64,
+        ..FleetConfig::new(vec![GpuSku::mali_g71_mp8(), GpuSku::mali_g71_mp8()])
+    }
+    .with_faults(plan);
+    // A steady stream keeps both queues non-empty across the crash
+    // window, and the pinned arrivals at 100/110/120 ms coincide exactly
+    // with the crash / restart / eviction ticks.
+    let mut trace: Vec<Request> = (0..30)
+        .map(|i| Request {
+            id: i,
+            model: 0,
+            arrival: SimTime::from_millis(8 * i),
+            deadline: SimTime::from_millis(8 * i) + SimTime::from_secs(30),
+        })
+        .collect();
+    for (k, at_ms) in [100u64, 110, 120].into_iter().enumerate() {
+        trace.push(Request {
+            id: 1000 + k as u64,
+            model: 0,
+            arrival: SimTime::from_millis(at_ms),
+            deadline: SimTime::from_millis(at_ms) + SimTime::from_secs(30),
+        });
+    }
+    trace.sort_by_key(|r| (r.arrival, r.id));
+    for (i, r) in trace.iter_mut().enumerate() {
+        r.id = i as u64; // keep ids unique and arrival-ordered
+    }
+
+    assert_schedulers_agree(
+        "eviction-on-due-tick",
+        &[grt_ml::zoo::mnist()],
+        &cfg,
+        &trace,
+        None,
+    );
+
+    // The scenario must genuinely hit the path under test: the third
+    // same-tick crash evicts and its failover displaces queued work.
+    let mut fleet = Fleet::new(
+        vec![grt_ml::zoo::mnist()],
+        cfg.clone().with_scheduler(SchedulerKind::EventIndexed),
+    );
+    let report = fleet.run(&trace);
+    assert_eq!(report.crashes, 3, "all three pinned crashes processed");
+    assert_eq!(report.evictions, 1, "third consecutive crash evicts");
+    assert!(report.failovers > 0, "eviction failover displaces work");
+    assert_eq!(
+        report.completed + report.rejected + report.timed_out + report.failed,
+        report.submitted
+    );
+}
+
 /// 200-device chaos soak at the event-indexed scheduler: a generated
 /// fault schedule plus a pinned rapid triple crash on device 0 (three
 /// consecutive failures with no success in between, forcing an eviction
@@ -458,4 +529,112 @@ fn rejections_carry_retry_hints() {
             r.id
         );
     }
+}
+
+/// Batched serving (DESIGN.md §14): with `max_batch > 1` a saturated
+/// same-model queue is served in multi-request `RUN_BATCH` intervals.
+/// Batching is an amortization, not a semantic change: the same requests
+/// complete, the replay-output digest is byte-identical to the scalar
+/// fleet's (same outputs in the same completion order on one device),
+/// and the one receipt per interval verifies against every input lane.
+#[test]
+fn batched_serving_matches_scalar_outputs() {
+    let trace = generate_trace(
+        1,
+        &TraceConfig {
+            mean_interarrival: SimTime::from_micros(200),
+            ..TraceConfig::new(40, 11)
+        },
+    );
+    let run = |max_batch: usize| {
+        let cfg = FleetConfig {
+            queue_capacity: 128,
+            ..FleetConfig::new(vec![GpuSku::mali_g71_mp8()])
+        }
+        .with_max_batch(max_batch);
+        let mut fleet = Fleet::new(vec![grt_ml::zoo::mnist()], cfg);
+        fleet.run(&trace)
+    };
+    let scalar = run(1);
+    let batched = run(8);
+    assert_eq!(scalar.completed, 40);
+    assert_eq!(batched.completed, 40);
+    // max_batch = 1 keeps the batching section all-zero/one.
+    assert_eq!((scalar.batches, scalar.batched_requests), (0, 0));
+    assert_eq!(scalar.max_batch_served, 1);
+    assert!(
+        batched.batches > 0,
+        "a saturated single-model queue must form real batches"
+    );
+    assert!((2..=8).contains(&batched.max_batch_served));
+    assert_eq!(
+        batched.output_digest, scalar.output_digest,
+        "batching must not change any replay output or the completion order"
+    );
+    // One receipt per service interval, every one verified.
+    assert_eq!(
+        batched.receipts_issued + batched.batched_requests - batched.batches,
+        batched.completed
+    );
+    assert_eq!(batched.receipts_verified, batched.receipts_issued);
+    assert!(batched.receipts_rejected.is_empty());
+    // Fewer, amortized intervals for the same work: batching never loses.
+    assert!(
+        batched.makespan <= scalar.makespan,
+        "batched makespan {:?} worse than scalar {:?}",
+        batched.makespan,
+        scalar.makespan
+    );
+}
+
+/// Profiled service batches too: warm `(model, SKU, B)` intervals are
+/// measured once on a probe and reused, with the same accounting
+/// invariants as real-replay batching.
+#[test]
+fn batched_serving_in_profiled_mode() {
+    let cfg = FleetConfig {
+        queue_capacity: 128,
+        ..FleetConfig::new(vec![GpuSku::mali_g71_mp8()])
+    }
+    .with_service_mode(ServiceMode::Profiled)
+    .with_max_batch(4);
+    let trace = generate_trace(
+        1,
+        &TraceConfig {
+            mean_interarrival: SimTime::from_micros(200),
+            ..TraceConfig::new(30, 13)
+        },
+    );
+    let mut fleet = Fleet::new(vec![grt_ml::zoo::mnist()], cfg);
+    let report = fleet.run(&trace);
+    assert_eq!(report.completed, 30);
+    assert!(report.batches > 0, "profiled fleet must batch under load");
+    assert!(report.max_batch_served <= 4);
+    assert_eq!(
+        report.receipts_issued + report.batched_requests - report.batches,
+        report.completed
+    );
+    assert_eq!(report.receipts_verified, report.receipts_issued);
+    assert_eq!(report.max_inflight, 1);
+}
+
+/// The event-indexed scheduler and the legacy sweep stay byte-identical
+/// with batching enabled — batch formation happens in the shared
+/// `process_serve`, so the differential oracle covers it by construction,
+/// and this pins that.
+#[test]
+fn schedulers_agree_with_batching() {
+    let cfg = FleetConfig {
+        queue_capacity: 128,
+        ..FleetConfig::new(vec![GpuSku::mali_g71_mp8(), GpuSku::mali_g71_mp4()])
+    }
+    .with_max_batch(4);
+    let trace = generate_trace(
+        1,
+        &TraceConfig {
+            mean_interarrival: SimTime::from_micros(200),
+            ..TraceConfig::new(40, 11)
+        },
+    );
+    assert_schedulers_agree("batched", &[grt_ml::zoo::mnist()], &cfg, &trace, None);
 }
