@@ -124,6 +124,7 @@ fn bench_mmu_walk() {
     let walker = Walker {
         root_pa: root,
         quirk: 0,
+        asn: 0,
     };
     bench("mmu/translate", 10_000, None, || {
         walker

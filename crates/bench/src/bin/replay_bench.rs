@@ -27,7 +27,13 @@
 //! lane 0 carries the same input as the scalar warm replay — asserted
 //! bit-identical, the in-bench oracle — and the row gains a `batched`
 //! block with `warm_inferences_per_sec`, the number the batched-replay
-//! CI gate holds at ≥ 3× `warm_replays_per_sec` on ResNet12 and VGG16.
+//! CI gate holds at ≥ 2× `warm_replays_per_sec` on ResNet12 and VGG16
+//! (superinstruction fusion, DESIGN.md §15, sped up the scalar
+//! baseline, compressing the ratio). Each row also carries a `fusion`
+//! block (chains fused, jobs/steps elided, bytes never materialized),
+//! and the compiled warm replay is additionally checked bit-identical
+//! to an unfused compile of the same recording — the fusion oracle the
+//! ≥ 1.15× fused-throughput CI gate rests on.
 //!
 //! Usage: `replay_bench [--batch B]`
 
@@ -98,24 +104,48 @@ fn main() -> std::process::ExitCode {
             .expect("compiled replay succeeds");
         let fast = replayer.last_profile();
 
+        // The interpreted path never fuses, so this is also the in-run
+        // fused-vs-unfused oracle: a fusion miscompile fails the bench.
         assert_eq!(
             interp_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             compiled_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             "{}: compiled replay must be bit-identical to interpreted",
             spec.name
         );
-        assert_eq!(interp.events, fast.events, "{}: event counts", spec.name);
+        // Fusion elides whole dialog windows from the compiled walk: it
+        // may execute strictly fewer ops than the interpreted path has
+        // events, never more.
+        assert!(
+            fast.events <= interp.events,
+            "{}: compiled executed {} ops vs {} interpreted events",
+            spec.name,
+            fast.events,
+            interp.events
+        );
         // Software-TLB regression gate: warm replays must be hit-dominated.
         // Before ranged AS_LOCKADDR invalidation the per-job FLUSH_MEM
         // full-flushed the TLB and inverted this ratio (~3x more misses
         // than hits on ResNet12); keep it from regressing.
+        // The pre-ranged-invalidation regression this guards against
+        // (per-job FLUSH_MEM full-flushing the TLB) showed ~3x more
+        // misses than hits and a full flush per job. Fusion elides the
+        // staging copies, which were the most hit-heavy accesses, so
+        // strict hit-domination no longer holds on every net; misses
+        // outnumbering hits 2:1 — or full flushes scaling with job count
+        // — still marks the regression.
         assert!(
-            fast.exec.tlb.hits > fast.exec.tlb.misses,
-            "{}: software TLB must be hit-dominated on warm replay \
+            2 * fast.exec.tlb.hits > fast.exec.tlb.misses,
+            "{}: software TLB miss-dominated on warm replay \
              (got {} hits / {} misses)",
             spec.name,
             fast.exec.tlb.hits,
             fast.exec.tlb.misses
+        );
+        assert!(
+            fast.exec.tlb.flushes < 20,
+            "{}: {} full TLB flushes on one warm replay",
+            spec.name,
+            fast.exec.tlb.flushes
         );
 
         // Optional B-way batched replay: one compiled-arena pass serving
@@ -185,15 +215,36 @@ fn main() -> std::process::ExitCode {
             .collect::<Vec<_>>()
             .join(", ");
 
+        // What superinstruction fusion removed from the warm walk
+        // (DESIGN.md §15); all zero when nothing fused.
+        let fu = fast.fusion;
+        let fusion_json = format!(
+            concat!(
+                "{{\"chains_fused\": {}, \"instrs_eliminated\": {}, ",
+                "\"instrs_fused\": {}, \"copies_elided\": {}, ",
+                "\"jobs_elided\": {}, \"steps_elided\": {}, ",
+                "\"bytes_not_materialized\": {}}}"
+            ),
+            fu.chains_fused,
+            fu.instrs_eliminated(),
+            fu.instrs_fused,
+            fu.copies_elided,
+            fu.jobs_elided,
+            fu.steps_elided,
+            fu.bytes_not_materialized,
+        );
+
         rows.push(format!(
             concat!(
-                "{{\"workload\": \"{}\", \"events\": {}, \"delta_wire_bytes\": {}, ",
+                "{{\"workload\": \"{}\", \"events\": {}, \"compiled_ops\": {}, ",
+                "\"delta_wire_bytes\": {}, ",
                 "\"compile_ns\": {}, ",
                 "\"interpreted\": {{\"overhead_ns\": {}, \"total_ns\": {}, \"events_per_sec\": {}}}, ",
                 "\"compiled\": {{\"overhead_ns\": {}, \"total_ns\": {}, \"events_per_sec\": {}}}, ",
                 "\"cold_replay_ns\": {}, \"warm_replay_ns\": {}, \"warm_replays_per_sec\": {:.3}, ",
                 "{}",
                 "\"overhead_speedup\": {:.3}, ",
+                "\"fusion\": {}, ",
                 "\"tlb\": {{\"hits\": {}, \"misses\": {}, \"flushes\": {}}}, ",
                 "\"ops\": [{}], ",
                 "\"sync\": {{\"down_regions_dumped\": {}, \"down_regions_clean_skipped\": {}, ",
@@ -201,6 +252,7 @@ fn main() -> std::process::ExitCode {
             ),
             spec.name,
             interp.events,
+            fast.events,
             interp.delta_wire_bytes,
             compile_ns,
             interp_overhead,
@@ -214,6 +266,7 @@ fn main() -> std::process::ExitCode {
             1e9 / fast.total.as_nanos() as f64,
             batched_json.unwrap_or_default(),
             interp_overhead as f64 / fast_overhead as f64,
+            fusion_json,
             fast.exec.tlb.hits,
             fast.exec.tlb.misses,
             fast.exec.tlb.flushes,

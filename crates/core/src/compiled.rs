@@ -40,9 +40,9 @@
 use crate::recording::{irq_line_from, DataSlot, Recording};
 use grt_compress::ParsedDelta;
 use grt_driver::PollCond;
-use grt_gpu::IrqLine;
+use grt_gpu::{FusedDirective, IrqLine};
 use grt_ir::program::Step;
-use grt_ir::IrProgram;
+use grt_ir::{FusionSummary, IrProgram};
 
 /// A compile-time rejection: the recording's events carry a field outside
 /// its defined encoding, or a delta fails structural validation. These are
@@ -178,6 +178,14 @@ pub struct CompiledRecording {
     /// SHA-256 over the canonical recording bytes this was lowered from;
     /// replay receipts carry it so the audit chain survives compilation.
     recording_digest: [u8; 32],
+    /// Fused-execution directives keyed by head descriptor VA, handed to
+    /// the GPU model before the warm walk (DESIGN.md §15).
+    fusion_plan: Vec<(u64, FusedDirective)>,
+    /// Half-open op-index ranges the warm walk executes; the gaps are the
+    /// elided dialog windows of fused tails and identity copies.
+    kept: Vec<(u32, u32)>,
+    /// Roll-up of what fusion removed, surfaced in `ReplayProfile`.
+    fusion_summary: FusionSummary,
 }
 
 impl CompiledRecording {
@@ -221,6 +229,23 @@ impl CompiledRecording {
     /// SHA-256 over the canonical bytes of the source recording.
     pub fn recording_digest(&self) -> [u8; 32] {
         self.recording_digest
+    }
+
+    /// Fused-execution directives, keyed by head descriptor VA, for
+    /// [`grt_gpu::Gpu::set_fusion_plan`].
+    pub fn fusion_plan(&self) -> &[(u64, FusedDirective)] {
+        &self.fusion_plan
+    }
+
+    /// Half-open op-index ranges the warm replay walk executes. Always
+    /// covers the whole arena when fusion found nothing.
+    pub fn kept_ranges(&self) -> &[(u32, u32)] {
+        &self.kept
+    }
+
+    /// Roll-up of what fusion removed from the warm path.
+    pub fn fusion_summary(&self) -> FusionSummary {
+        self.fusion_summary
     }
 
     /// Derives the batch execution plan for a `batch`-way replay
@@ -340,6 +365,21 @@ pub fn compile(
     compile_from_ir(rec, ir, poll_iter_cap)
 }
 
+/// [`compile`] with superinstruction fusion disabled — the event-for-event
+/// PR-9 lowering. The unfused oracle for fusion property tests and the
+/// baseline side of the fused-speedup bench comparison.
+pub fn compile_unfused(
+    rec: &Recording,
+    page_size: usize,
+    poll_iter_cap: u32,
+) -> Result<CompiledRecording, CompileError> {
+    let quirk = grt_gpu::GpuSku::by_gpu_id(rec.gpu_id)
+        .map(|s| s.pte_quirk)
+        .unwrap_or(0);
+    let ir = grt_ir::lift(&crate::ir::lift_input(rec), quirk, page_size);
+    compile_from_ir_opts(rec, ir, poll_iter_cap, false)
+}
+
 /// Lowers an already-lifted recording, consuming the IR's parsed deltas
 /// so the wire format is walked exactly once end-to-end.
 ///
@@ -347,9 +387,28 @@ pub fn compile(
 /// index-aligned with the recording's events.
 pub fn compile_from_ir(
     rec: &Recording,
-    mut ir: IrProgram,
+    ir: IrProgram,
     poll_iter_cap: u32,
 ) -> Result<CompiledRecording, CompileError> {
+    compile_from_ir_opts(rec, ir, poll_iter_cap, true)
+}
+
+/// [`compile_from_ir`] with superinstruction fusion selectable; `fuse:
+/// false` produces the PR-9 lowering (full arena, no directives), used by
+/// tests and benches as the unfused baseline.
+pub fn compile_from_ir_opts(
+    rec: &Recording,
+    mut ir: IrProgram,
+    poll_iter_cap: u32,
+    fuse: bool,
+) -> Result<CompiledRecording, CompileError> {
+    // Fusion analysis runs over the intact IR, before lowering consumes
+    // the parsed deltas below.
+    let fusion = if fuse {
+        grt_ir::fusion::analyze(&ir)
+    } else {
+        grt_ir::FusionPlan::default()
+    };
     let mut regs: Vec<u32> = Vec::new();
     let mut intern = std::collections::HashMap::new();
     let intern_reg = |offset: u32,
@@ -440,6 +499,39 @@ pub fn compile_from_ir(
         };
         ops.push(op);
     }
+    // Lower the analysis's elided windows to kept op ranges. The pass
+    // guarantees the windows are sorted, disjoint, in bounds, and free of
+    // deltas; anything else would change replay semantics, so a violation
+    // here drops fusion entirely rather than trusting the plan.
+    let mut kept: Vec<(u32, u32)> = Vec::new();
+    let mut cursor = 0usize;
+    let mut sound = true;
+    for &(s, e) in &fusion.elided {
+        if s < cursor || e < s || e > ops.len() {
+            sound = false;
+            break;
+        }
+        if ops[s..e]
+            .iter()
+            .any(|op| matches!(op, Op::LoadDelta { .. }))
+        {
+            sound = false;
+            break;
+        }
+        if s > cursor {
+            kept.push((cursor as u32, s as u32));
+        }
+        cursor = e;
+    }
+    let (fusion_plan, fusion_summary) = if sound {
+        if cursor < ops.len() {
+            kept.push((cursor as u32, ops.len() as u32));
+        }
+        (fusion.directives, fusion.summary)
+    } else {
+        kept = vec![(0, ops.len() as u32)];
+        (Vec::new(), FusionSummary::default())
+    };
     Ok(CompiledRecording {
         workload: rec.workload.clone(),
         gpu_id: rec.gpu_id,
@@ -451,6 +543,9 @@ pub fn compile_from_ir(
         deltas,
         delta_wire_bytes,
         recording_digest: grt_crypto::Sha256::digest(&rec.to_bytes()),
+        fusion_plan,
+        kept,
+        fusion_summary,
     })
 }
 

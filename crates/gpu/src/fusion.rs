@@ -1,0 +1,84 @@
+//! Runtime side of IR-driven superinstruction fusion (DESIGN.md §15).
+//!
+//! The fusion *analysis* lives in `grt-ir` (it needs the lifted dataflow
+//! facts); this module holds only what the executor must know at job time:
+//! a [`FusedDirective`] describing which tail operations a head kernel
+//! absorbs. The shader core applies the tails to the head's output while it
+//! still sits in [`ExecScratch`](crate::shader::ExecScratch), so the
+//! intermediate tensor is never materialized in the carveout, never pays
+//! TLB walks, and never needs its own job dispatch/poll dialog.
+//!
+//! Fusion is a pure lowering decision: a directive never changes *what* is
+//! computed, only where the intermediate lives. The executor cross-checks
+//! every directive against the decoded head instruction and faults
+//! ([`ShaderFault::FusionMismatch`](crate::shader::ShaderFault)) on any
+//! disagreement rather than silently computing something else.
+
+use crate::shader::OpKind;
+
+/// A fused elementwise `add` tail: `out[i] = head_out[i] + other[i]`
+/// (operand order preserved from the recording — see `interm_first`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailAdd {
+    /// VA of the *other* (non-intermediate) add operand, read from the
+    /// carveout exactly as the standalone `Add` job would have.
+    pub other_va: u64,
+    /// VA the fused result is written to (the standalone `Add`'s `out`).
+    pub out_va: u64,
+    /// Element count; must equal the head's output length.
+    pub len: u64,
+    /// True when the recorded `Add` had the intermediate as operand `a`
+    /// (`a + b` evaluation order is preserved bit-for-bit, which matters
+    /// for NaN payload propagation).
+    pub interm_first: bool,
+}
+
+/// One fusion decision for one job-chain head, keyed by descriptor VA.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FusedDirective {
+    /// Op kind the head instruction must decode to (`Conv2d`, `MatMul`,
+    /// or `Add` for a bare `add+relu` chain).
+    pub head: OpKind,
+    /// Output VA the head instruction must carry.
+    pub head_out_va: u64,
+    /// Output element count of the head (and of every tail).
+    pub head_len: u64,
+    /// Optional fused elementwise add consuming the head's output.
+    pub tail_add: Option<TailAdd>,
+    /// Whether a `relu` is applied to the final result in scratch.
+    pub tail_relu: bool,
+    /// Worst-case cost (µs) of the absorbed tail jobs, folded into the
+    /// head's duration so fused time stays an upper bound on tail work.
+    pub extra_cost_us: u64,
+    /// The fused kind reported in per-op stats (`fused:conv2d+add+relu`
+    /// and friends).
+    pub kind: OpKind,
+}
+
+impl FusedDirective {
+    /// Number of shader instructions this directive eliminates (the tails
+    /// that no longer run as standalone jobs).
+    pub fn instrs_eliminated(&self) -> u32 {
+        self.tail_add.is_some() as u32 + self.tail_relu as u32
+    }
+
+    /// Bytes of intermediate tensor not materialized in the carveout.
+    /// Only a fused `add` saves a round-trip (the head's output would
+    /// otherwise be written then read back); a bare in-place `relu` tail
+    /// reads and writes the same buffer the head writes anyway.
+    pub fn bytes_not_materialized(&self) -> u64 {
+        if self.tail_add.is_some() {
+            self.head_len * 4
+        } else {
+            0
+        }
+    }
+
+    /// VA the fused kernel finally writes to.
+    pub fn final_out_va(&self) -> u64 {
+        match &self.tail_add {
+            Some(t) => t.out_va,
+            None => self.head_out_va,
+        }
+    }
+}

@@ -8,6 +8,7 @@
 //! evaluated against the shared clock. This is what gives polling loops and
 //! interrupt waits realistic costs without a central event pump.
 
+use crate::fusion::FusedDirective;
 use crate::job::{JobDescriptor, JobStatus};
 use crate::mem::Memory;
 use crate::mmu::{AddressSpace, Tlb, TlbStats, Walker};
@@ -51,6 +52,11 @@ pub struct ExecStats {
     pub element_accesses: u64,
     /// Contiguous page runs translated (one walk-or-hit per run).
     pub bulk_runs: u64,
+    /// Copy runs that aliased in place (source and destination resolved to
+    /// the same physical run, nothing moved).
+    pub alias_runs: u64,
+    /// Elements covered by aliased copy runs.
+    pub alias_elems: u64,
     /// Per-op-kind event/mac/time breakdown, indexed by `OpKind::index()`.
     pub per_kind: [OpKindStats; OP_KIND_COUNT],
 }
@@ -79,6 +85,8 @@ impl ExecStats {
             },
             element_accesses: self.element_accesses - before.element_accesses,
             bulk_runs: self.bulk_runs - before.bulk_runs,
+            alias_runs: self.alias_runs - before.alias_runs,
+            alias_elems: self.alias_elems - before.alias_elems,
             per_kind,
         }
     }
@@ -261,6 +269,9 @@ pub struct Gpu {
     exec_element_accesses: u64,
     /// Cumulative page runs translated (survives reset).
     exec_bulk_runs: u64,
+    /// Cumulative aliased (zero-copy) runs and elements (survive reset).
+    exec_alias_runs: u64,
+    exec_alias_elems: u64,
     /// Cumulative per-op-kind breakdown (survives reset).
     exec_per_kind: [OpKindStats; OP_KIND_COUNT],
 
@@ -286,6 +297,12 @@ pub struct Gpu {
     /// batch, marginal lanes pay only their data streaming cost. Empty in
     /// scalar operation.
     batch_lanes: Vec<Rc<RefCell<Memory>>>,
+
+    /// Fusion plan for the current replay: `(descriptor VA, directive)`
+    /// pairs sorted by VA. A descriptor whose VA appears here executes as
+    /// a fused superinstruction (tails applied in scratch); descriptors
+    /// not listed run unfused. Empty in recording and interpreted replay.
+    fusion_plan: Vec<(u64, FusedDirective)>,
 }
 
 impl Gpu {
@@ -322,6 +339,8 @@ impl Gpu {
             scratch: ExecScratch::default(),
             exec_element_accesses: 0,
             exec_bulk_runs: 0,
+            exec_alias_runs: 0,
+            exec_alias_elems: 0,
             exec_per_kind: [OpKindStats::default(); OP_KIND_COUNT],
             prfcnt_base_lo: 0,
             prfcnt_base_hi: 0,
@@ -332,6 +351,7 @@ impl Gpu {
             prfcnt_clear_at: SimTime::ZERO,
             busy_until: SimTime::ZERO,
             batch_lanes: Vec::new(),
+            fusion_plan: Vec::new(),
         }
     }
 
@@ -347,6 +367,19 @@ impl Gpu {
     /// Detaches and returns the batch lanes, restoring scalar operation.
     pub fn take_batch_lanes(&mut self) -> Vec<Rc<RefCell<Memory>>> {
         std::mem::take(&mut self.batch_lanes)
+    }
+
+    /// Attaches a fusion plan: `(descriptor VA, directive)` pairs. Sorted
+    /// by VA internally; descriptors whose VA matches execute fused until
+    /// [`Gpu::take_fusion_plan`] detaches the plan.
+    pub fn set_fusion_plan(&mut self, mut plan: Vec<(u64, FusedDirective)>) {
+        plan.sort_by_key(|e| e.0);
+        self.fusion_plan = plan;
+    }
+
+    /// Detaches and returns the fusion plan, restoring unfused execution.
+    pub fn take_fusion_plan(&mut self) -> Vec<(u64, FusedDirective)> {
+        std::mem::take(&mut self.fusion_plan)
     }
 
     /// The SKU this device instantiates.
@@ -373,6 +406,8 @@ impl Gpu {
             tlb: self.tlb.stats(),
             element_accesses: self.exec_element_accesses,
             bulk_runs: self.exec_bulk_runs,
+            alias_runs: self.exec_alias_runs,
+            alias_elems: self.exec_alias_elems,
             per_kind: self.exec_per_kind,
         }
     }
@@ -880,6 +915,7 @@ impl Gpu {
         let walker = Walker {
             root_pa: latched.transtab,
             quirk: self.sku.pte_quirk,
+            asn: asn as u8,
         };
 
         let mem_rc = Rc::clone(&self.mem);
@@ -929,6 +965,21 @@ impl Gpu {
                     break;
                 }
             };
+            // Fused lowering: a directive keyed by this descriptor's VA
+            // makes its (single) instruction execute as a superinstruction
+            // with tails applied in scratch. The absorbed tail jobs'
+            // worst-case cost rides along in `extra_cost_us` so fused time
+            // stays an upper bound.
+            let fused = self
+                .fusion_plan
+                .binary_search_by_key(&va, |e| e.0)
+                .ok()
+                .map(|i| self.fusion_plan[i].1.clone());
+            let cost_us = desc.cost_us.saturating_add(
+                fused
+                    .as_ref()
+                    .map_or(0, |d| u32::try_from(d.extra_cost_us).unwrap_or(u32::MAX)),
+            );
             // Walks during this descriptor's execution = TLB-miss delta.
             let misses_before = self.tlb.stats().misses;
             match execute_program(
@@ -939,15 +990,19 @@ impl Gpu {
                 desc.shader_va,
                 desc.n_instrs,
                 self.sku.shader_cores,
+                fused.as_ref(),
             ) {
                 Ok(rep) => {
                     self.macs_executed += rep.macs;
                     self.jobs_done += 1;
                     self.exec_element_accesses += rep.element_accesses;
                     self.exec_bulk_runs += rep.bulk_runs;
+                    self.exec_alias_runs += rep.alias_runs;
+                    self.exec_alias_elems += rep.alias_elems;
                     let walks = self.tlb.stats().misses - misses_before;
-                    let charged = rep.element_accesses - rep.copy_elems + rep.copy_runs;
-                    let dur = job_exec_time(desc.cost_us, rep.element_accesses, charged, walks);
+                    let charged = (rep.element_accesses - rep.copy_elems + rep.copy_runs)
+                        .saturating_sub(rep.alias_runs);
+                    let dur = job_exec_time(cost_us, rep.element_accesses, charged, walks);
                     self.accumulate_per_kind(&rep, dur.as_nanos());
                     total += dur;
                     let _ = JobDescriptor::write_status_via_mmu_cached(
@@ -978,22 +1033,22 @@ impl Gpu {
                             desc.shader_va,
                             desc.n_instrs,
                             self.sku.shader_cores,
+                            fused.as_ref(),
                         ) {
                             Ok(lrep) => {
                                 self.macs_executed += lrep.macs;
                                 self.jobs_done += 1;
                                 self.exec_element_accesses += lrep.element_accesses;
                                 self.exec_bulk_runs += lrep.bulk_runs;
+                                self.exec_alias_runs += lrep.alias_runs;
+                                self.exec_alias_elems += lrep.alias_elems;
                                 let lwalks = self.tlb.stats().misses - lane_misses;
                                 let lcharged = (lrep.element_accesses - lrep.copy_elems
                                     + lrep.copy_runs)
+                                    .saturating_sub(lrep.alias_runs)
                                     .saturating_sub(lrep.resident_elems);
-                                let ldur = job_exec_time(
-                                    desc.cost_us,
-                                    lrep.element_accesses,
-                                    lcharged,
-                                    lwalks,
-                                );
+                                let ldur =
+                                    job_exec_time(cost_us, lrep.element_accesses, lcharged, lwalks);
                                 self.accumulate_per_kind(&lrep, ldur.as_nanos());
                                 total += ldur;
                                 let _ = JobDescriptor::write_status_via_mmu_cached(
@@ -1004,7 +1059,7 @@ impl Gpu {
                                     JobStatus::Done,
                                 );
                             }
-                            Err(ShaderFault::TileMismatch { .. }) => {
+                            Err(ShaderFault::TileMismatch { .. } | ShaderFault::FusionMismatch) => {
                                 let _ = JobDescriptor::write_status_via_mmu_cached(
                                     &mut lmem,
                                     &walker,
@@ -1027,7 +1082,7 @@ impl Gpu {
                         }
                     }
                 }
-                Err(ShaderFault::TileMismatch { .. }) => {
+                Err(ShaderFault::TileMismatch { .. } | ShaderFault::FusionMismatch) => {
                     let _ = JobDescriptor::write_status_via_mmu_cached(
                         &mut mem,
                         &walker,

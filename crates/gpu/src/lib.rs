@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod fusion;
 pub mod gpu;
 pub mod job;
 pub mod mem;
@@ -32,6 +33,7 @@ pub mod regs;
 pub mod shader;
 pub mod sku;
 
+pub use fusion::{FusedDirective, TailAdd};
 pub use gpu::{ExecStats, Gpu, IrqLine};
 pub use job::{JobDescriptor, JobStatus};
 pub use mem::{Memory, PageFlags, PAGE_SIZE};

@@ -261,21 +261,38 @@ pub fn unmap_page(mem: &mut Memory, root_pa: u64, va: u64) -> Result<bool, MemFa
     Ok(true)
 }
 
-/// Number of entries in the software TLB. Direct-mapped, so this must be
-/// a power of two; 256 entries cover 1 MiB of working set per fill.
+/// Number of entries in the software TLB. Must be a multiple of
+/// [`TLB_WAYS`] with a power-of-two set count; 256 entries cover 1 MiB of
+/// working set per fill.
 pub const TLB_ENTRIES: usize = 256;
 
-/// One direct-mapped TLB slot: a cached leaf translation.
+/// Associativity: each set holds this many ways, evicted LRU. The old
+/// direct-mapped layout conflicted whenever two hot tensors sat exactly
+/// `TLB_ENTRIES` pages apart (VGG16's large conv operands did, at
+/// 580 hits / 426 misses); four ways absorb those aliases.
+pub const TLB_WAYS: usize = 4;
+
+/// Number of sets (the index space of the VPN hash).
+pub const TLB_SETS: usize = TLB_ENTRIES / TLB_WAYS;
+
+/// One TLB way: a cached leaf translation tagged by virtual page *and*
+/// address space.
 #[derive(Debug, Clone, Copy, Default)]
 struct TlbEntry {
     valid: bool,
-    /// Virtual page number (`va >> 12`) this slot caches.
+    /// Address space the translation belongs to. Tagging (instead of
+    /// flushing on every AS switch) keeps translations from distinct
+    /// spaces coexisting without ever serving a cross-AS hit.
+    asn: u8,
+    /// Virtual page number (`va >> 12`) this way caches.
     vpn: u64,
     /// Physical base of the mapped page.
     pa_base: u64,
     /// Leaf permissions, re-checked on every lookup (permission faults are
     /// never served stale from the cache).
     flags: PteFlags,
+    /// LRU stamp (monotonic lookup tick of the last touch).
+    last_use: u64,
 }
 
 /// Cumulative TLB counters, exported into replay profiles and benches.
@@ -301,8 +318,13 @@ pub struct TlbStats {
 /// self-modifying page tables coherent.
 #[derive(Debug, Clone)]
 pub struct Tlb {
+    /// `TLB_SETS` sets of `TLB_WAYS` ways, stored flat: set `s` occupies
+    /// `entries[s * TLB_WAYS .. (s + 1) * TLB_WAYS]`.
     entries: Vec<TlbEntry>,
     stats: TlbStats,
+    /// Monotonic lookup counter stamping `TlbEntry::last_use` for LRU
+    /// victim selection. Deterministic: advances only on lookups.
+    tick: u64,
     /// Page-aligned PAs of every table page consulted by a walk that
     /// filled a currently-live entry. Sorted, deduplicated.
     table_pages: Vec<u64>,
@@ -320,6 +342,7 @@ impl Tlb {
         Tlb {
             entries: vec![TlbEntry::default(); TLB_ENTRIES],
             stats: TlbStats::default(),
+            tick: 0,
             table_pages: Vec::new(),
         }
     }
@@ -346,6 +369,9 @@ impl Tlb {
         }
         let first_vpn = va >> 12;
         let last_vpn = (va + len - 1) >> 12;
+        // Matching VPNs are dropped in *every* address space: the flush
+        // command is issued per-AS on real hardware, but invalidating
+        // across spaces is conservative (never serves a stale PA).
         for e in &mut self.entries {
             if e.valid && e.vpn >= first_vpn && e.vpn <= last_vpn {
                 e.valid = false;
@@ -400,6 +426,10 @@ pub struct Walker {
     pub root_pa: u64,
     /// The SKU's PTE quirk.
     pub quirk: u8,
+    /// Hardware address-space slot this walker serves; TLB fills are
+    /// tagged with it so translations from different spaces can share the
+    /// cache without ever cross-hitting.
+    pub asn: u8,
 }
 
 impl Walker {
@@ -467,12 +497,17 @@ impl Walker {
         kind: AccessKind,
     ) -> Result<u64, MmuFault> {
         let vpn = va >> 12;
-        let slot = (vpn as usize) & (TLB_ENTRIES - 1);
-        let e = tlb.entries[slot];
-        if e.valid && e.vpn == vpn {
-            tlb.stats.hits += 1;
-            Self::check_kind(va, e.flags, kind)?;
-            return Ok(e.pa_base + (va & (PAGE_SIZE as u64 - 1)));
+        let set = ((vpn as usize) & (TLB_SETS - 1)) * TLB_WAYS;
+        tlb.tick += 1;
+        let tick = tlb.tick;
+        for way in 0..TLB_WAYS {
+            let e = tlb.entries[set + way];
+            if e.valid && e.vpn == vpn && e.asn == self.asn {
+                tlb.stats.hits += 1;
+                tlb.entries[set + way].last_use = tick;
+                Self::check_kind(va, e.flags, kind)?;
+                return Ok(e.pa_base + (va & (PAGE_SIZE as u64 - 1)));
+            }
         }
         tlb.stats.misses += 1;
         let mut touched = [0u64; LEVELS as usize];
@@ -485,11 +520,21 @@ impl Walker {
         for &p in &touched[..n] {
             tlb.remember_table_page(p);
         }
-        tlb.entries[slot] = TlbEntry {
+        // Victim: first invalid way, else least-recently-used.
+        let victim = set
+            + (0..TLB_WAYS)
+                .min_by_key(|&w| {
+                    let e = tlb.entries[set + w];
+                    (e.valid, e.last_use)
+                })
+                .unwrap_or(0);
+        tlb.entries[victim] = TlbEntry {
             valid: true,
+            asn: self.asn,
             vpn,
             pa_base,
             flags,
+            last_use: tick,
         };
         Ok(pa_base + (va & (PAGE_SIZE as u64 - 1)))
     }
@@ -603,6 +648,7 @@ mod tests {
         let w = Walker {
             root_pa: root,
             quirk: 0,
+            asn: 0,
         };
         assert_eq!(
             w.translate(&mem, 0x4000_0123, AccessKind::Read).unwrap(),
@@ -620,6 +666,7 @@ mod tests {
         let w = Walker {
             root_pa: root,
             quirk: 0,
+            asn: 0,
         };
         assert!(matches!(
             w.translate(&mem, 0x1234_5000, AccessKind::Read),
@@ -643,6 +690,7 @@ mod tests {
         let w = Walker {
             root_pa: root,
             quirk: 0,
+            asn: 0,
         };
         assert!(w.translate(&mem, 0x1000, AccessKind::Read).is_ok());
         assert!(matches!(
@@ -674,6 +722,7 @@ mod tests {
         let w = Walker {
             root_pa: root,
             quirk: 0,
+            asn: 0,
         };
         let exec: Vec<_> = w
             .mapped_pages(&mem)
@@ -701,6 +750,7 @@ mod tests {
         let w = Walker {
             root_pa: root,
             quirk: 0,
+            asn: 0,
         };
         assert!(w.translate(&mem, 0x1000, AccessKind::Read).is_ok());
         assert!(unmap_page(&mut mem, root, 0x1000).unwrap());
@@ -727,11 +777,13 @@ mod tests {
         let right = Walker {
             root_pa: root,
             quirk: 0x01,
+            asn: 0,
         };
         assert!(right.translate(&mem, 0x1000, AccessKind::Read).is_ok());
         let wrong = Walker {
             root_pa: root,
             quirk: 0x00,
+            asn: 0,
         };
         let r = wrong.translate(&mem, 0x1000, AccessKind::Read);
         assert!(r.is_err(), "quirk mismatch must fault, got {r:?}");
@@ -764,6 +816,7 @@ mod tests {
         let w = Walker {
             root_pa: root,
             quirk: 0,
+            asn: 0,
         };
         assert_eq!(
             w.translate(&mem, 0x0000_0000_1004, AccessKind::Read)
@@ -793,6 +846,7 @@ mod tests {
         let w = Walker {
             root_pa: root,
             quirk: 0,
+            asn: 0,
         };
         let mut tlb = Tlb::new();
         let slow = w.translate(&mem, 0x4000_0123, AccessKind::Read).unwrap();
@@ -824,6 +878,7 @@ mod tests {
         let w = Walker {
             root_pa: root,
             quirk: 0,
+            asn: 0,
         };
         let mut tlb = Tlb::new();
         assert!(w
@@ -838,34 +893,106 @@ mod tests {
     }
 
     #[test]
-    fn tlb_direct_mapped_slots_evict() {
+    fn tlb_set_absorbs_aliases_up_to_associativity() {
         let (mut mem, root, mut alloc) = setup();
         let mut a = || alloc.alloc();
-        // Two VAs whose VPNs collide in the direct-mapped array.
-        let va_a = 0x1000u64;
-        let va_b = va_a + (TLB_ENTRIES as u64) * PAGE_SIZE as u64;
-        map_page(&mut mem, root, va_a, 0x9000, PteFlags::rw(), 0, &mut a).unwrap();
-        map_page(&mut mem, root, va_b, 0xA000, PteFlags::rw(), 0, &mut a).unwrap();
+        // TLB_WAYS + 1 VAs mapping to the same set: the set can hold all
+        // but one, so round-robin touches never hit (each lookup evicts
+        // the entry needed TLB_WAYS lookups later), while a working set of
+        // exactly TLB_WAYS aliases hits every time after the first pass.
+        let stride = (TLB_SETS as u64) * PAGE_SIZE as u64;
+        let vas: Vec<u64> = (0..=TLB_WAYS as u64).map(|i| 0x1000 + i * stride).collect();
+        for (i, &va) in vas.iter().enumerate() {
+            let pa = 0x9000 + (i as u64) * PAGE_SIZE as u64;
+            map_page(&mut mem, root, va, pa, PteFlags::rw(), 0, &mut a).unwrap();
+        }
         let w = Walker {
             root_pa: root,
             quirk: 0,
+            asn: 0,
         };
         let mut tlb = Tlb::new();
+        // Working set of TLB_WAYS: first pass misses, later passes hit.
+        for round in 0..3 {
+            for (i, &va) in vas[..TLB_WAYS].iter().enumerate() {
+                let pa = w
+                    .translate_cached(&mem, &mut tlb, va, AccessKind::Read)
+                    .unwrap();
+                assert_eq!(pa, 0x9000 + (i as u64) * PAGE_SIZE as u64, "round {round}");
+            }
+        }
+        let s = tlb.stats();
+        assert_eq!(
+            (s.hits, s.misses),
+            (2 * TLB_WAYS as u64, TLB_WAYS as u64),
+            "a TLB_WAYS-wide alias set must fit"
+        );
+        // One alias past the associativity: LRU order makes every lookup
+        // in a round-robin sweep a miss (fresh TLB so no warm entries
+        // from the phase above survive into the first round).
+        let mut tlb = Tlb::new();
         for _ in 0..3 {
+            for &va in &vas {
+                w.translate_cached(&mem, &mut tlb, va, AccessKind::Read)
+                    .unwrap();
+            }
+        }
+        let s = tlb.stats();
+        assert_eq!(s.hits, 0, "TLB_WAYS + 1 aliases thrash the set");
+        assert_eq!(s.misses, 3 * (TLB_WAYS as u64 + 1));
+    }
+
+    #[test]
+    fn tlb_entries_are_tagged_per_address_space() {
+        // Two address spaces map the *same VA* to different PAs. With
+        // per-AS tags both translations coexist in one TLB and neither
+        // walker ever sees the other's PA.
+        let mem = Memory::new(2 * 1024 * 1024);
+        let mut mem = mem;
+        let mut alloc = TableAlloc::new(0x10_000);
+        let root_a = alloc.alloc();
+        let root_b = alloc.alloc();
+        let mut a = || alloc.alloc();
+        map_page(&mut mem, root_a, 0x1000, 0x9000, PteFlags::rw(), 0, &mut a).unwrap();
+        map_page(&mut mem, root_b, 0x1000, 0xA000, PteFlags::rw(), 0, &mut a).unwrap();
+        let wa = Walker {
+            root_pa: root_a,
+            quirk: 0,
+            asn: 0,
+        };
+        let wb = Walker {
+            root_pa: root_b,
+            quirk: 0,
+            asn: 1,
+        };
+        let mut tlb = Tlb::new();
+        for _ in 0..2 {
             assert_eq!(
-                w.translate_cached(&mem, &mut tlb, va_a, AccessKind::Read)
+                wa.translate_cached(&mem, &mut tlb, 0x1004, AccessKind::Read)
                     .unwrap(),
-                0x9000
+                0x9004
             );
             assert_eq!(
-                w.translate_cached(&mem, &mut tlb, va_b, AccessKind::Read)
+                wb.translate_cached(&mem, &mut tlb, 0x1004, AccessKind::Read)
                     .unwrap(),
-                0xA000
+                0xA004
             );
         }
         let s = tlb.stats();
-        assert_eq!(s.hits, 0, "colliding VPNs must evict each other");
-        assert_eq!(s.misses, 6);
+        assert_eq!(
+            (s.hits, s.misses),
+            (2, 2),
+            "per-AS tags must let the same VPN coexist for two spaces"
+        );
+        // Ranged invalidation stays conservative: it drops the VPN in
+        // *both* spaces.
+        tlb.invalidate_va_range(0x1000, 1);
+        wa.translate_cached(&mem, &mut tlb, 0x1004, AccessKind::Read)
+            .unwrap();
+        wb.translate_cached(&mem, &mut tlb, 0x1004, AccessKind::Read)
+            .unwrap();
+        let s = tlb.stats();
+        assert_eq!(s.misses, 4, "ranged invalidate drops all spaces' copies");
     }
 
     #[test]
@@ -876,6 +1003,7 @@ mod tests {
         let w = Walker {
             root_pa: root,
             quirk: 0,
+            asn: 0,
         };
         let mut tlb = Tlb::new();
         assert_eq!(
@@ -909,6 +1037,7 @@ mod tests {
         let w = Walker {
             root_pa: root,
             quirk: 0,
+            asn: 0,
         };
         let mut tlb = Tlb::new();
         w.translate_cached(&mem, &mut tlb, 0x1000, AccessKind::Read)
@@ -977,6 +1106,7 @@ mod tests {
         let w = Walker {
             root_pa: root,
             quirk: 0,
+            asn: 0,
         };
         let mut tlb = Tlb::new();
         let (pa, run) = w

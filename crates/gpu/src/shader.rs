@@ -11,6 +11,7 @@
 //! core count raises a configuration fault, which is precisely what makes
 //! recordings SKU-specific (§2.4).
 
+use crate::fusion::FusedDirective;
 use crate::mem::Memory;
 use crate::mmu::{AccessKind, MmuFault, Tlb, Walker};
 
@@ -403,6 +404,11 @@ pub enum ShaderFault {
         /// Cores actually present.
         present: u32,
     },
+    /// A [`FusedDirective`] disagreed with the instruction it was attached
+    /// to (wrong kind, output VA, or length). Fusion plans are derived from
+    /// the same recording the program was lifted from, so a mismatch means
+    /// the plan is stale or corrupt — fault rather than guess.
+    FusionMismatch,
 }
 
 impl From<MmuFault> for ShaderFault {
@@ -412,10 +418,15 @@ impl From<MmuFault> for ShaderFault {
 }
 
 /// Number of [`OpKind`] variants (array size for per-kind stats).
-pub const OP_KIND_COUNT: usize = 7;
+pub const OP_KIND_COUNT: usize = 14;
 
 /// The kind of a shader instruction, used to key per-op-kind execution
 /// statistics in replay profiles and benches.
+///
+/// The `Fused*` variants never come from a decoded instruction — they are
+/// assigned by a [`FusedDirective`] so fused
+/// superinstructions report under their own key (`fused:conv2d+add+relu`
+/// and friends) instead of inflating the head kind's stats.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpKind {
     /// 2-D convolution.
@@ -432,6 +443,20 @@ pub enum OpKind {
     Softmax,
     /// Bulk copy.
     Copy,
+    /// Fused conv2d with in-place relu tail.
+    FusedConvRelu,
+    /// Fused conv2d feeding a residual add.
+    FusedConvAdd,
+    /// Fused conv2d → add → relu chain.
+    FusedConvAddRelu,
+    /// Fused matmul with in-place relu tail.
+    FusedMatMulRelu,
+    /// Fused matmul feeding an add.
+    FusedMatMulAdd,
+    /// Fused matmul → add → relu chain.
+    FusedMatMulAddRelu,
+    /// Fused residual add with in-place relu tail.
+    FusedAddRelu,
 }
 
 impl OpKind {
@@ -444,6 +469,13 @@ impl OpKind {
         OpKind::Add,
         OpKind::Softmax,
         OpKind::Copy,
+        OpKind::FusedConvRelu,
+        OpKind::FusedConvAdd,
+        OpKind::FusedConvAddRelu,
+        OpKind::FusedMatMulRelu,
+        OpKind::FusedMatMulAdd,
+        OpKind::FusedMatMulAddRelu,
+        OpKind::FusedAddRelu,
     ];
 
     /// The kind of `op`.
@@ -459,6 +491,26 @@ impl OpKind {
         }
     }
 
+    /// The fused kind for a head kind + tail combination; `None` when the
+    /// combination is not a recognized superinstruction.
+    pub fn fused(head: OpKind, tail_add: bool, tail_relu: bool) -> Option<OpKind> {
+        Some(match (head, tail_add, tail_relu) {
+            (OpKind::Conv2d, false, true) => OpKind::FusedConvRelu,
+            (OpKind::Conv2d, true, false) => OpKind::FusedConvAdd,
+            (OpKind::Conv2d, true, true) => OpKind::FusedConvAddRelu,
+            (OpKind::MatMul, false, true) => OpKind::FusedMatMulRelu,
+            (OpKind::MatMul, true, false) => OpKind::FusedMatMulAdd,
+            (OpKind::MatMul, true, true) => OpKind::FusedMatMulAddRelu,
+            (OpKind::Add, false, true) => OpKind::FusedAddRelu,
+            _ => return None,
+        })
+    }
+
+    /// Whether this kind names a fused superinstruction.
+    pub fn is_fused(self) -> bool {
+        self.index() >= 7
+    }
+
     /// Stable index into per-kind stat arrays.
     pub fn index(self) -> usize {
         match self {
@@ -469,6 +521,13 @@ impl OpKind {
             OpKind::Add => 4,
             OpKind::Softmax => 5,
             OpKind::Copy => 6,
+            OpKind::FusedConvRelu => 7,
+            OpKind::FusedConvAdd => 8,
+            OpKind::FusedConvAddRelu => 9,
+            OpKind::FusedMatMulRelu => 10,
+            OpKind::FusedMatMulAdd => 11,
+            OpKind::FusedMatMulAddRelu => 12,
+            OpKind::FusedAddRelu => 13,
         }
     }
 
@@ -482,6 +541,13 @@ impl OpKind {
             OpKind::Add => "add",
             OpKind::Softmax => "softmax",
             OpKind::Copy => "copy",
+            OpKind::FusedConvRelu => "fused:conv2d+relu",
+            OpKind::FusedConvAdd => "fused:conv2d+add",
+            OpKind::FusedConvAddRelu => "fused:conv2d+add+relu",
+            OpKind::FusedMatMulRelu => "fused:matmul+relu",
+            OpKind::FusedMatMulAdd => "fused:matmul+add",
+            OpKind::FusedMatMulAddRelu => "fused:matmul+add+relu",
+            OpKind::FusedAddRelu => "fused:add+relu",
         }
     }
 }
@@ -527,6 +593,12 @@ pub struct ExecReport {
     /// charged `element_accesses - resident_elems` (copy-op fetches are
     /// excluded — copies are already recharged at run granularity).
     pub resident_elems: u64,
+    /// The subset of [`copy_runs`](Self::copy_runs) where source and
+    /// destination resolved to the *same* physical run: nothing moved, the
+    /// copy aliased in place. The cost model refunds these runs.
+    pub alias_runs: u64,
+    /// Elements covered by aliased (zero-copy) runs.
+    pub alias_elems: u64,
     /// Per-kind breakdown (indexed by [`OpKind::index`]).
     pub per_kind: [OpKindStats; OP_KIND_COUNT],
 }
@@ -540,6 +612,8 @@ impl ExecReport {
         self.copy_elems += other.copy_elems;
         self.copy_runs += other.copy_runs;
         self.resident_elems += other.resident_elems;
+        self.alias_runs += other.alias_runs;
+        self.alias_elems += other.alias_elems;
         for (a, b) in self.per_kind.iter_mut().zip(other.per_kind.iter()) {
             a.events += b.events;
             a.macs += b.macs;
@@ -558,8 +632,12 @@ pub struct ExecScratch {
     b: Vec<f32>,
     /// Bias operand.
     bias: Vec<f32>,
-    /// Kernel output, staged before the bulk write-back.
+    /// Kernel output, staged before the bulk write-back. Fused tails
+    /// operate on this buffer in place, which is exactly how fusion skips
+    /// materializing the intermediate tensor in the carveout.
     out: Vec<f32>,
+    /// The non-intermediate operand of a fused `add` tail.
+    tail: Vec<f32>,
 }
 
 /// Reads `n` f32 elements at `va` through the TLB'd page-run path into
@@ -680,9 +758,18 @@ fn copy_f32s_bulk(
             AccessKind::Write,
         )?;
         let run = src_run.min(dst_run);
-        mem.copy_within(src_pa, dst_pa, run, crate::mem::Accessor::Gpu)
-            .map_err(|fault| MmuFault::WalkError { fault })?;
-        tlb.note_store(dst_pa, run);
+        if src_pa == dst_pa {
+            // Congruent alias: both VAs resolve to the same physical run,
+            // so the copy is already done — nothing moves, no bytes change
+            // (and thus no TLB-visible store). The run pair is recorded in
+            // `alias_runs` so the cost model can refund it.
+            rep.alias_runs += 2;
+            rep.alias_elems += (run / 4) as u64;
+        } else {
+            mem.copy_within(src_pa, dst_pa, run, crate::mem::Accessor::Gpu)
+                .map_err(|fault| MmuFault::WalkError { fault })?;
+            tlb.note_store(dst_pa, run);
+        }
         rep.bulk_runs += 2;
         done += run / 4;
     }
@@ -726,6 +813,12 @@ fn fetch_record(
 /// compiled for another count fault. Translations go through `tlb` (the
 /// GPU flushes it at job boundaries); tensors are staged in `scratch`.
 /// Returns the execution report (MACs, access counters, per-kind stats).
+///
+/// When `fused` carries a directive, the program must be the single head
+/// instruction of a fused chain: its tails are applied to the output while
+/// it sits in scratch (`execute_fused`), and any disagreement between
+/// directive and instruction faults with [`ShaderFault::FusionMismatch`].
+#[allow(clippy::too_many_arguments)]
 pub fn execute_program(
     mem: &mut Memory,
     walker: &Walker,
@@ -734,8 +827,28 @@ pub fn execute_program(
     shader_va: u64,
     n_instrs: u32,
     present_cores: u32,
+    fused: Option<&FusedDirective>,
 ) -> Result<ExecReport, ShaderFault> {
     let mut rep = ExecReport::default();
+    if let Some(d) = fused {
+        if n_instrs != 1 {
+            return Err(ShaderFault::FusionMismatch);
+        }
+        let rec = fetch_record(mem, walker, tlb, &mut rep, shader_va)?;
+        let op = ShaderOp::decode(&rec).ok_or(ShaderFault::BadInstruction)?;
+        rep.resident_elems += INSTR_SIZE as u64;
+        // The superinstruction's MACs are the head's plus each absorbed
+        // tail's (an `Add` or `Relu` of the head's output length each
+        // count `len`, same as the standalone instructions would).
+        let macs =
+            op.macs() + d.tail_add.map_or(0, |t| t.len) + if d.tail_relu { d.head_len } else { 0 };
+        rep.macs += macs;
+        let slot = &mut rep.per_kind[d.kind.index()];
+        slot.events += 1;
+        slot.macs += macs;
+        execute_fused(mem, walker, tlb, scratch, &op, d, present_cores, &mut rep)?;
+        return Ok(rep);
+    }
     for i in 0..n_instrs {
         let va = shader_va + (i as usize * INSTR_SIZE) as u64;
         let elems_before = rep.element_accesses;
@@ -912,8 +1025,13 @@ fn matmul_blocked(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn execute_op(
+/// Runs the kernel of a fusable head op (conv2d / matmul / elementwise
+/// add), staging its result in `scratch.out` *without* writing it back.
+/// Returns the op's output VA. Both the standalone path and the fused path
+/// go through this function, which is what makes fused results bitwise
+/// identical: the staged f32 values are the same either way, only where
+/// they are written differs.
+fn stage_head_kernel(
     mem: &mut Memory,
     w: &Walker,
     tlb: &mut Tlb,
@@ -921,7 +1039,7 @@ fn execute_op(
     op: &ShaderOp,
     present_cores: u32,
     rep: &mut ExecReport,
-) -> Result<(), ShaderFault> {
+) -> Result<u64, ShaderFault> {
     match *op {
         ShaderOp::Conv2d {
             in_va,
@@ -959,7 +1077,7 @@ fn execute_op(
             scratch.out.clear();
             scratch.out.resize(p.out_c as usize * oh * ow, 0.0);
             conv2d_blocked(&scratch.a, &scratch.b, bias, &mut scratch.out, &p);
-            write_f32s_bulk(mem, w, tlb, rep, out_va, &scratch.out)?;
+            Ok(out_va)
         }
         ShaderOp::MatMul {
             a_va,
@@ -995,6 +1113,102 @@ fn execute_op(
                 k as usize,
                 n as usize,
             );
+            Ok(out_va)
+        }
+        ShaderOp::Add {
+            a_va,
+            b_va,
+            out_va,
+            len,
+        } => {
+            read_f32s_bulk(mem, w, tlb, rep, a_va, len as usize, &mut scratch.a)?;
+            read_f32s_bulk(mem, w, tlb, rep, b_va, len as usize, &mut scratch.b)?;
+            scratch.out.clear();
+            scratch
+                .out
+                .extend(scratch.a.iter().zip(&scratch.b).map(|(x, y)| x + y));
+            Ok(out_va)
+        }
+        // Only reachable through a corrupt fusion plan: non-fusable ops
+        // never take this path from `execute_op`.
+        _ => Err(ShaderFault::FusionMismatch),
+    }
+}
+
+/// Executes the head instruction of a fused chain and applies its tails
+/// while the result sits in `scratch.out` (DESIGN.md §15).
+///
+/// FP order matches the sequential kernels exactly: the head kernel
+/// finishes every output element (bias included) before any tail touches
+/// it, the fused `add` preserves the recorded operand order, and `relu`
+/// is `v.max(0.0)` elementwise — so the staged bits equal what a
+/// standalone `Add`/`Relu` would have read back from the carveout.
+#[allow(clippy::too_many_arguments)]
+fn execute_fused(
+    mem: &mut Memory,
+    w: &Walker,
+    tlb: &mut Tlb,
+    scratch: &mut ExecScratch,
+    op: &ShaderOp,
+    d: &FusedDirective,
+    present_cores: u32,
+    rep: &mut ExecReport,
+) -> Result<(), ShaderFault> {
+    if OpKind::of(op) != d.head {
+        return Err(ShaderFault::FusionMismatch);
+    }
+    let out_va = stage_head_kernel(mem, w, tlb, scratch, op, present_cores, rep)?;
+    if out_va != d.head_out_va || scratch.out.len() as u64 != d.head_len {
+        return Err(ShaderFault::FusionMismatch);
+    }
+    if let Some(t) = &d.tail_add {
+        if t.len != d.head_len {
+            return Err(ShaderFault::FusionMismatch);
+        }
+        read_f32s_bulk(
+            mem,
+            w,
+            tlb,
+            rep,
+            t.other_va,
+            t.len as usize,
+            &mut scratch.tail,
+        )?;
+        if t.interm_first {
+            for (o, &y) in scratch.out.iter_mut().zip(&scratch.tail) {
+                *o += y;
+            }
+        } else {
+            // Operand order must match the unfused Add kernel's `a + b`
+            // (NaN payload selection is order-sensitive), so no `+=` here.
+            #[allow(clippy::assign_op_pattern)]
+            for (o, &x) in scratch.out.iter_mut().zip(&scratch.tail) {
+                *o = x + *o;
+            }
+        }
+    }
+    if d.tail_relu {
+        for o in &mut scratch.out {
+            *o = o.max(0.0);
+        }
+    }
+    write_f32s_bulk(mem, w, tlb, rep, d.final_out_va(), &scratch.out)?;
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_op(
+    mem: &mut Memory,
+    w: &Walker,
+    tlb: &mut Tlb,
+    scratch: &mut ExecScratch,
+    op: &ShaderOp,
+    present_cores: u32,
+    rep: &mut ExecReport,
+) -> Result<(), ShaderFault> {
+    match *op {
+        ShaderOp::Conv2d { .. } | ShaderOp::MatMul { .. } | ShaderOp::Add { .. } => {
+            let out_va = stage_head_kernel(mem, w, tlb, scratch, op, present_cores, rep)?;
             write_f32s_bulk(mem, w, tlb, rep, out_va, &scratch.out)?;
         }
         ShaderOp::Pool {
@@ -1075,20 +1289,6 @@ fn execute_op(
             scratch.out.extend(scratch.a.iter().map(|&v| v.max(0.0)));
             write_f32s_bulk(mem, w, tlb, rep, out_va, &scratch.out)?;
         }
-        ShaderOp::Add {
-            a_va,
-            b_va,
-            out_va,
-            len,
-        } => {
-            read_f32s_bulk(mem, w, tlb, rep, a_va, len as usize, &mut scratch.a)?;
-            read_f32s_bulk(mem, w, tlb, rep, b_va, len as usize, &mut scratch.b)?;
-            scratch.out.clear();
-            scratch
-                .out
-                .extend(scratch.a.iter().zip(&scratch.b).map(|(x, y)| x + y));
-            write_f32s_bulk(mem, w, tlb, rep, out_va, &scratch.out)?;
-        }
         ShaderOp::Softmax { in_va, out_va, len } => {
             read_f32s_bulk(mem, w, tlb, rep, in_va, len as usize, &mut scratch.a)?;
             let max = scratch.a.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
@@ -1110,7 +1310,10 @@ fn execute_op(
             let bytes = len as u64 * 4;
             let aligned = src_va.is_multiple_of(4) && dst_va.is_multiple_of(4);
             let overlaps = src_va < dst_va + bytes && dst_va < src_va + bytes;
-            if aligned && !overlaps {
+            // Identity copies (src == dst) overlap *fully*, which is the
+            // one overlap shape the direct path handles exactly: every run
+            // aliases in place and nothing moves.
+            if aligned && (src_va == dst_va || !overlaps) {
                 copy_f32s_bulk(mem, w, tlb, rep, src_va, dst_va, len as usize)?;
             } else {
                 // Staged oracle path: read everything, then write — the
@@ -1366,6 +1569,7 @@ mod tests {
             Walker {
                 root_pa: root,
                 quirk: 0,
+                asn: 0,
             },
         )
     }
@@ -1693,7 +1897,8 @@ mod tests {
         }
         let mut tlb = Tlb::new();
         let mut scratch = ExecScratch::default();
-        let rep = execute_program(&mut mem, &w, &mut tlb, &mut scratch, shader_va, 1, 8).unwrap();
+        let rep =
+            execute_program(&mut mem, &w, &mut tlb, &mut scratch, shader_va, 1, 8, None).unwrap();
         assert_eq!(rep.macs, 2);
         assert_eq!(rep.per_kind[OpKind::Copy.index()].events, 1);
         assert_eq!(rep.per_kind[OpKind::Conv2d.index()].events, 0);
@@ -1849,5 +2054,232 @@ mod tests {
         assert_eq!(p.out_h(), 32);
         assert_eq!(p.out_w(), 32);
         assert_eq!(p.macs(), 16 * 32 * 32 * 3 * 3 * 3);
+    }
+
+    #[test]
+    fn op_kind_names_and_indexes_are_stable() {
+        for (i, k) in OpKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        assert_eq!(OpKind::FusedConvAddRelu.name(), "fused:conv2d+add+relu");
+        assert_eq!(
+            OpKind::fused(OpKind::Conv2d, true, true),
+            Some(OpKind::FusedConvAddRelu)
+        );
+        assert_eq!(
+            OpKind::fused(OpKind::Add, false, true),
+            Some(OpKind::FusedAddRelu)
+        );
+        assert_eq!(OpKind::fused(OpKind::Add, true, false), None);
+        assert_eq!(OpKind::fused(OpKind::Pool, false, true), None);
+        assert!(OpKind::FusedAddRelu.is_fused() && !OpKind::Copy.is_fused());
+    }
+
+    /// Writes `op` as the single-instruction program at `shader_va`.
+    fn write_program(mem: &mut Memory, w: &Walker, shader_va: u64, op: &ShaderOp) {
+        for (j, byte) in op.encode().iter().enumerate() {
+            let pa = w
+                .translate(mem, shader_va + j as u64, AccessKind::Write)
+                .unwrap();
+            mem.write(pa, &[*byte], crate::mem::Accessor::Gpu).unwrap();
+        }
+    }
+
+    fn write_f32s(mem: &mut Memory, w: &Walker, va: u64, data: &[f32]) {
+        for (i, &v) in data.iter().enumerate() {
+            let pa = w
+                .translate(mem, va + (i * 4) as u64, AccessKind::Write)
+                .unwrap();
+            mem.write_f32(pa, v, crate::mem::Accessor::Gpu).unwrap();
+        }
+    }
+
+    fn read_f32s(mem: &Memory, w: &Walker, va: u64, n: usize) -> Vec<f32> {
+        let mut tlb = Tlb::new();
+        let mut out = Vec::new();
+        read_f32s_bulk(
+            mem,
+            w,
+            &mut tlb,
+            &mut ExecReport::default(),
+            va,
+            n,
+            &mut out,
+        )
+        .unwrap();
+        out
+    }
+
+    /// Fused conv2d+add+relu produces bit-identical final output to the
+    /// three standalone instructions run in sequence, never materializes
+    /// the intermediate, and reports under the fused kind.
+    #[test]
+    fn fused_conv_add_relu_matches_sequential_bitwise() {
+        let p = ConvParams {
+            in_c: 2,
+            in_h: 6,
+            in_w: 6,
+            out_c: 3,
+            k: 3,
+            stride: 1,
+            pad: 1,
+        };
+        let out_len = (p.out_c * p.out_h() * p.out_w()) as usize;
+        let mut rng = lcg(7);
+        let input = fill((p.in_c * p.in_h * p.in_w) as usize, &mut rng);
+        let weights = fill((p.out_c * p.in_c * p.k * p.k) as usize, &mut rng);
+        let bias = fill(p.out_c as usize, &mut rng);
+        let skip = fill(out_len, &mut rng);
+        let (in_va, w_va, b_va, mid_va, skip_va, out_va, shader_va) =
+            (0x1000u64, 0x2000, 0x3000, 0x4000, 0x5000, 0x6000, 0x7000);
+        let conv = ShaderOp::Conv2d {
+            in_va,
+            w_va,
+            b_va,
+            out_va: mid_va,
+            p,
+            tiles: 8,
+        };
+
+        // Sequential oracle: conv → add → relu as standalone ops.
+        let (mut mem, w) = setup_mapped(8);
+        write_f32s(&mut mem, &w, in_va, &input);
+        write_f32s(&mut mem, &w, w_va, &weights);
+        write_f32s(&mut mem, &w, b_va, &bias);
+        write_f32s(&mut mem, &w, skip_va, &skip);
+        exec(&mut mem, &w, &conv, 8).unwrap();
+        exec(
+            &mut mem,
+            &w,
+            &ShaderOp::Add {
+                a_va: mid_va,
+                b_va: skip_va,
+                out_va,
+                len: out_len as u32,
+            },
+            8,
+        )
+        .unwrap();
+        exec(
+            &mut mem,
+            &w,
+            &ShaderOp::Relu {
+                in_va: out_va,
+                out_va,
+                len: out_len as u32,
+            },
+            8,
+        )
+        .unwrap();
+        let sequential = read_f32s(&mem, &w, out_va, out_len);
+
+        // Fused path on an identical second device.
+        let (mut mem2, w2) = setup_mapped(8);
+        write_f32s(&mut mem2, &w2, in_va, &input);
+        write_f32s(&mut mem2, &w2, w_va, &weights);
+        write_f32s(&mut mem2, &w2, b_va, &bias);
+        write_f32s(&mut mem2, &w2, skip_va, &skip);
+        write_program(&mut mem2, &w2, shader_va, &conv);
+        let d = FusedDirective {
+            head: OpKind::Conv2d,
+            head_out_va: mid_va,
+            head_len: out_len as u64,
+            tail_add: Some(crate::fusion::TailAdd {
+                other_va: skip_va,
+                out_va,
+                len: out_len as u64,
+                interm_first: true,
+            }),
+            tail_relu: true,
+            extra_cost_us: 20,
+            kind: OpKind::FusedConvAddRelu,
+        };
+        let mut tlb = Tlb::new();
+        let mut scratch = ExecScratch::default();
+        let rep = execute_program(
+            &mut mem2,
+            &w2,
+            &mut tlb,
+            &mut scratch,
+            shader_va,
+            1,
+            8,
+            Some(&d),
+        )
+        .unwrap();
+        let fused = read_f32s(&mem2, &w2, out_va, out_len);
+        assert_eq!(bits(&fused), bits(&sequential));
+
+        // The intermediate tensor was never written to the carveout.
+        let mid = read_f32s(&mem2, &w2, mid_va, out_len);
+        assert!(
+            mid.iter().all(|&v| v == 0.0),
+            "fused run must not materialize the intermediate"
+        );
+        // Stats land under the fused kind, with head + tail MACs.
+        assert_eq!(rep.per_kind[OpKind::FusedConvAddRelu.index()].events, 1);
+        assert_eq!(rep.per_kind[OpKind::Conv2d.index()].events, 0);
+        assert_eq!(rep.macs, p.macs() + 2 * out_len as u64);
+    }
+
+    /// A directive that disagrees with the decoded head faults instead of
+    /// silently computing something else.
+    #[test]
+    fn mismatched_directive_faults() {
+        let (mut mem, w) = setup_mapped(8);
+        let shader_va = 0x1000u64;
+        let op = ShaderOp::Relu {
+            in_va: 0x2000,
+            out_va: 0x2000,
+            len: 8,
+        };
+        write_program(&mut mem, &w, shader_va, &op);
+        let d = FusedDirective {
+            head: OpKind::Conv2d,
+            head_out_va: 0x2000,
+            head_len: 8,
+            tail_add: None,
+            tail_relu: true,
+            extra_cost_us: 10,
+            kind: OpKind::FusedConvRelu,
+        };
+        let mut tlb = Tlb::new();
+        let mut scratch = ExecScratch::default();
+        let r = execute_program(
+            &mut mem,
+            &w,
+            &mut tlb,
+            &mut scratch,
+            shader_va,
+            1,
+            8,
+            Some(&d),
+        );
+        assert_eq!(r, Err(ShaderFault::FusionMismatch));
+    }
+
+    /// A copy whose source and destination resolve to the same physical
+    /// run moves nothing and reports the aliased runs for refunding, while
+    /// element accounting stays identical to a real copy.
+    #[test]
+    fn identity_copy_aliases_in_place() {
+        let (mut mem, w) = setup_mapped(4);
+        let n = 64usize;
+        let data: Vec<f32> = (0..n).map(|i| i as f32 - 7.5).collect();
+        let mut tlb = Tlb::new();
+        write_f32s(&mut mem, &w, 0x1000, &data);
+        let op = ShaderOp::Copy {
+            src_va: 0x1000,
+            dst_va: 0x1000,
+            len: n as u32,
+        };
+        let mut scratch = ExecScratch::default();
+        let mut rep = ExecReport::default();
+        execute_op(&mut mem, &w, &mut tlb, &mut scratch, &op, 8, &mut rep).unwrap();
+        assert_eq!(rep.element_accesses, 2 * n as u64);
+        assert_eq!(rep.alias_runs, rep.bulk_runs);
+        assert_eq!(rep.alias_elems, n as u64);
+        let out = read_f32s(&mem, &w, 0x1000, n);
+        assert_eq!(bits(&out), bits(&data));
     }
 }

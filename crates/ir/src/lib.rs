@@ -22,10 +22,12 @@
 
 pub mod dataflow;
 pub mod dump;
+pub mod fusion;
 pub mod iset;
 pub mod lift;
 pub mod program;
 pub mod shadow;
 
+pub use fusion::{FusionPlan, FusionSummary};
 pub use lift::{lift, EventView, LiftInput};
 pub use program::IrProgram;

@@ -98,6 +98,13 @@ pub struct RegistryStats {
     /// per insert; the compiled form is cached with the entry, so fetches
     /// never pay parse/validate/decompress again — DESIGN.md §9).
     pub compiled_inserts: u64,
+    /// Superinstruction chains fused across all compiled inserts
+    /// (DESIGN.md §15): every fetch of those entries replays with the
+    /// cached fusion plan.
+    pub fused_chains: u64,
+    /// Job dialog windows (absorbed tails + identity copies) elided from
+    /// the warm path across all compiled inserts.
+    pub fused_jobs_elided: u64,
     /// Recordings refused because static analysis found a rule violation.
     pub lint_rejections: u64,
     /// Provenance records built and signed at insert (one per entry).
@@ -131,6 +138,8 @@ impl RegistryStats {
         self.verified_inserts += other.verified_inserts;
         self.linted_inserts += other.linted_inserts;
         self.compiled_inserts += other.compiled_inserts;
+        self.fused_chains += other.fused_chains;
+        self.fused_jobs_elided += other.fused_jobs_elided;
         self.lint_rejections += other.lint_rejections;
         self.provenance_records += other.provenance_records;
         self.provenance_rejections += other.provenance_rejections;
@@ -573,6 +582,9 @@ fn vet(
             }
         })?;
     stats.compiled_inserts += 1;
+    let fusion = compiled.fusion_summary();
+    stats.fused_chains += fusion.chains_fused as u64;
+    stats.fused_jobs_elided += fusion.jobs_elided as u64;
     // Sign the provenance record binding the recording bytes, the SKU,
     // and the lint verdict together; fleet devices chain their replay
     // receipts to it and auditors verify against the registry export.
@@ -861,6 +873,26 @@ mod tests {
         // Lowered once and shared, like the recording and the verdict.
         assert!(Rc::ptr_eq(&first.compiled, &second.compiled));
         assert_eq!(r.stats().compiled_inserts, 1);
+    }
+
+    #[test]
+    fn fusion_plan_is_cached_with_the_entry() {
+        let mut r = registry(4);
+        let spec = grt_ml::zoo::mnist();
+        let sku = GpuSku::mali_g71_mp8();
+        let first = r.fetch(&spec, &sku).unwrap();
+        // The insert-time lowering fused chains, and the cached compiled
+        // form carries the plan — every subsequent fetch (which shares
+        // the same Rc) replays fused without re-analysis.
+        let summary = first.compiled.fusion_summary();
+        assert!(summary.chains_fused > 0);
+        assert!(!first.compiled.fusion_plan().is_empty());
+        assert_eq!(r.stats().fused_chains, summary.chains_fused as u64);
+        assert_eq!(r.stats().fused_jobs_elided, summary.jobs_elided as u64);
+        let second = r.fetch(&spec, &sku).unwrap();
+        assert!(Rc::ptr_eq(&first.compiled, &second.compiled));
+        // Fetches never re-lower, so the fusion counters are per insert.
+        assert_eq!(r.stats().fused_chains, summary.chains_fused as u64);
     }
 
     #[test]

@@ -80,6 +80,7 @@ impl KernelRig {
             walker: Walker {
                 root_pa: root,
                 quirk: 0,
+                asn: 0,
             },
             tlb: Tlb::new(),
             scratch: ExecScratch::default(),
@@ -115,6 +116,7 @@ impl KernelRig {
             SHADER_VA,
             1,
             TILES,
+            None,
         )
         .unwrap();
     }
